@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the simulator's hot components: the
+//! event queue, the set-associative cache, the coherence directory, the
+//! Table I FSM, the link model, and the PRNG. These track the simulator's
+//! own performance (the Fig. 7 "simulation runtime" axis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hmg::interconnect::{Link, Topology};
+use hmg::mem::addr::{BlockAddr, LineAddr};
+use hmg::mem::{Cache, CacheConfig, Directory, DirectoryConfig, Sharer};
+use hmg::protocol::{transition, DirEvent, DirState};
+use hmg::sim::{Cycle, EventQueue, Rng};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue push+pop 1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(Cycle(i * 3 % 997), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l2_cache insert+get 4k lines", |b| {
+        let cfg = CacheConfig::new(24_576, 16); // a 3 MB slice
+        b.iter(|| {
+            let mut cache: Cache<u64> = Cache::new(cfg);
+            for i in 0..4096u64 {
+                cache.insert(LineAddr(i * 7), i);
+            }
+            let mut hits = 0;
+            for i in 0..4096u64 {
+                if cache.get(LineAddr(i * 7)).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+}
+
+fn bench_directory(c: &mut Criterion) {
+    let topo = Topology::new(4, 4);
+    c.bench_function("directory allocate+insert 4k blocks", |b| {
+        b.iter(|| {
+            let mut dir = Directory::new(DirectoryConfig::paper_default(), topo);
+            for i in 0..4096u64 {
+                let (set, _evicted) = dir.allocate(BlockAddr(i * 13));
+                set.insert(&topo, Sharer::Gpm(hmg::interconnect::GpmId((i % 16) as u16)));
+            }
+            black_box(dir.len())
+        })
+    });
+}
+
+fn bench_fsm(c: &mut Criterion) {
+    c.bench_function("table1 transition x1k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1000u32 {
+                let ev = match i % 4 {
+                    0 => DirEvent::LocalLoad,
+                    1 => DirEvent::RemoteLoad,
+                    2 => DirEvent::RemoteStore,
+                    _ => DirEvent::LocalStore,
+                };
+                let o = transition(black_box(DirState::Valid), ev, true);
+                acc += o.add_sharer as u32;
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link send x1k", |b| {
+        b.iter(|| {
+            let mut l = Link::new(153.8, Cycle(135));
+            let mut last = Cycle::ZERO;
+            for i in 0..1000u64 {
+                last = l.send(Cycle(i), 144);
+            }
+            black_box(last)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("splitmix64 zipf x1k", |b| {
+        b.iter(|| {
+            let mut r = Rng::new(42);
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(r.gen_zipf(100_000, 0.9));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_cache,
+    bench_directory,
+    bench_fsm,
+    bench_link,
+    bench_rng
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion end-to-end benchmarks: whole simulations of a small
+//! workload under each coherence configuration. Tracks simulator
+//! throughput regressions across the protocol implementations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hmg::prelude::*;
+use hmg::workloads::suite::by_abbrev;
+
+fn bench_protocols(c: &mut Criterion) {
+    let spec = by_abbrev("bfs").expect("bfs");
+    let trace = spec.generate(Scale::Tiny, 2020);
+    let mut group = c.benchmark_group("simulate-bfs-tiny");
+    group.sample_size(20);
+    for p in ProtocolKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
+            b.iter(|| {
+                let m = Engine::new(EngineConfig::small_test(p)).run(black_box(&trace));
+                black_box(m.total_cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate-trace-tiny");
+    group.sample_size(20);
+    for name in ["bfs", "lstm", "CoMD", "cuSolver"] {
+        let spec = by_abbrev(name).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| black_box(spec.generate(Scale::Tiny, 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! The figure-regeneration harness: `cargo bench --bench figures`
+//! re-runs every table and figure of the paper's evaluation and prints
+//! the measured values next to the paper's.
+//!
+//! By default the full Table III suite runs at `Small` scale for the
+//! headline figures and a representative six-workload subset for the
+//! three sensitivity sweeps (which multiply the run count by 3-4x).
+//! Control with environment variables:
+//!
+//! * `HMG_FIGURES_SCALE=tiny|small|full` — experiment scale.
+//! * `HMG_FIGURES_FULL=1` — run the sweeps over the whole suite too.
+
+use hmg::experiments as exp;
+use hmg::workloads::Scale;
+
+fn main() {
+    // Respect `cargo bench -- --test` style smoke invocations.
+    let scale = match std::env::var("HMG_FIGURES_SCALE").as_deref() {
+        Ok("tiny") => Scale::Tiny,
+        Ok("full") => Scale::Full,
+        _ => Scale::Small,
+    };
+    let full_sweeps = std::env::var_os("HMG_FIGURES_FULL").is_some();
+    let opts = exp::ExpOptions {
+        scale,
+        seed: 2020,
+        filter: None,
+    };
+    // Sweeps cost 3-4x a full-suite pass each; default to a subset that
+    // spans the archetypes (stencil, solver, graph, wavefront, RNN, conv).
+    let sweep_opts = if full_sweeps {
+        opts.clone()
+    } else {
+        exp::ExpOptions {
+            filter: Some(
+                ["CoMD", "cuSolver", "bfs", "nw-16K", "RNN_FW", "GoogLeNet"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+            ),
+            ..opts.clone()
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    println!("# HMG figure regeneration (scale {scale:?})\n");
+
+    exp::print_table3(&opts);
+
+    let f8 = exp::fig8(&opts);
+    f8.print("Fig. 8: five coherence configurations on the 4-GPU machine");
+    let (vs_sw, vs_nhcc, of_ideal) = exp::headline(&f8);
+    println!(
+        "headline (measured): HMG vs SW {:+.0}%, vs NHCC {:+.0}%, {:.0}% of ideal",
+        vs_sw * 100.0,
+        vs_nhcc * 100.0,
+        of_ideal * 100.0
+    );
+    println!("headline (paper):    HMG vs SW +26%, vs NHCC +18%, 97% of ideal\n");
+
+    exp::fig2(&opts).print("Fig. 2: motivating subset");
+    exp::fig3(&opts).print();
+    exp::fig7().print();
+    println!("paper Fig. 7: r = 0.99, mean abs err = 0.13\n");
+    exp::fig9_10_11(&opts).print();
+    exp::fig12(&sweep_opts).print("Fig. 12: inter-GPU bandwidth sweep");
+    exp::fig13(&sweep_opts).print("Fig. 13: L2 capacity sweep");
+    exp::fig14(&sweep_opts).print("Fig. 14: directory capacity sweep");
+    exp::grain_sweep(&sweep_opts).print("§VII-B: directory granularity sweep");
+    exp::print_storage_cost();
+    exp::ablate_fences(&sweep_opts).print();
+    exp::ablate_placement(&sweep_opts).print();
+    exp::ablate_writeback(&sweep_opts).print();
+    exp::ablate_downgrades(&sweep_opts).print();
+    exp::carve_comparison(&sweep_opts)
+        .print("Prior work: CARVE-like broadcast coherence vs NHCC/HMG");
+
+    println!("\n[figures regenerated in {:.0}s]", t0.elapsed().as_secs_f64());
+}

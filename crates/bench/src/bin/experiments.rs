@@ -1,0 +1,137 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments fig8 --scale small
+//! experiments all --scale small
+//! experiments fig12 --workloads bfs,lstm --scale tiny
+//! ```
+
+use std::process::ExitCode;
+
+use hmg::experiments as exp;
+use hmg_bench::{parse_args, Command};
+
+/// Writes `svg` into `dir/name.svg` when SVG output was requested.
+fn save_svg(dir: &Option<String>, name: &str, svg: &str) {
+    let Some(dir) = dir else { return };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        return;
+    }
+    let path = format!("{dir}/{name}.svg");
+    match std::fs::write(&path, svg) {
+        Ok(()) => eprintln!("[wrote {path}]"),
+        Err(e) => eprintln!("cannot write {path}: {e}"),
+    }
+}
+
+fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
+    match cmd {
+        Command::Table3 => exp::print_table3(opts),
+        Command::Fig2 => {
+            let r = exp::fig2(opts);
+            r.print("Fig. 2: motivating multi-GPU comparison");
+            save_svg(svg, "fig2", &r.to_svg("Fig. 2: motivating multi-GPU comparison"));
+        }
+        Command::Fig3 => {
+            let r = exp::fig3(opts);
+            r.print();
+            save_svg(svg, "fig3", &r.to_svg());
+        }
+        Command::Fig7 => {
+            let r = exp::fig7();
+            r.print();
+            save_svg(svg, "fig7", &r.to_svg());
+        }
+        Command::Fig8 => {
+            let r = exp::fig8(opts);
+            r.print("Fig. 8: 4-GPU x 4-GPM, five coherence configurations");
+            let (vs_sw, vs_nhcc, of_ideal) = exp::headline(&r);
+            println!(
+                "headline: HMG vs SW-coherence {:+.0}%, vs NHCC {:+.0}%, {:.0}% of ideal",
+                vs_sw * 100.0,
+                vs_nhcc * 100.0,
+                of_ideal * 100.0
+            );
+            println!("paper:    HMG vs SW-coherence +26%, vs NHCC +18%, 97% of ideal\n");
+            save_svg(svg, "fig8", &r.to_svg("Fig. 8: five coherence configurations"));
+        }
+        Command::Fig9To11 => {
+            let r = exp::fig9_10_11(opts);
+            r.print();
+            let [f9, f10, f11] = r.to_svgs();
+            save_svg(svg, "fig9", &f9);
+            save_svg(svg, "fig10", &f10);
+            save_svg(svg, "fig11", &f11);
+        }
+        Command::Fig12 => {
+            let r = exp::fig12(opts);
+            r.print("Fig. 12: inter-GPU bandwidth sensitivity");
+            save_svg(svg, "fig12", &r.to_svg("Fig. 12: inter-GPU bandwidth sensitivity"));
+        }
+        Command::Fig13 => {
+            let r = exp::fig13(opts);
+            r.print("Fig. 13: L2 capacity sensitivity");
+            save_svg(svg, "fig13", &r.to_svg("Fig. 13: L2 capacity sensitivity"));
+        }
+        Command::Fig14 => {
+            let r = exp::fig14(opts);
+            r.print("Fig. 14: directory capacity sensitivity");
+            save_svg(svg, "fig14", &r.to_svg("Fig. 14: directory capacity sensitivity"));
+        }
+        Command::Grain => {
+            let r = exp::grain_sweep(opts);
+            r.print("§VII-B: directory granularity sweep");
+            save_svg(svg, "grain", &r.to_svg("Directory granularity sweep"));
+        }
+        Command::Cost => exp::print_storage_cost(),
+        Command::SingleGpu => exp::single_gpu(opts).print("§VII-A: single-GPU (1x4 GPM) check"),
+        Command::Carve => {
+            let r = exp::carve_comparison(opts);
+            r.print("Prior work: CARVE-like broadcast coherence vs NHCC/HMG");
+            save_svg(svg, "carve", &r.to_svg("CARVE-like broadcast coherence vs NHCC/HMG"));
+        }
+        Command::Characterize => {
+            let list = opts
+                .filter
+                .clone()
+                .unwrap_or_else(|| vec!["bfs".into(), "RNN_FW".into()]);
+            for w in list {
+                match exp::characterize(opts, &w) {
+                    Some(rows) => exp::print_characterization(&w, &rows),
+                    None => eprintln!("unknown workload `{w}`"),
+                }
+            }
+        }
+        Command::ScaleStudy => {
+            let r = exp::scale_study(opts);
+            r.print("§VII-D: scaling to larger systems");
+            save_svg(svg, "scale-study", &r.to_svg("Scaling to larger systems"));
+        }
+        Command::AblateFence => exp::ablate_fences(opts).print(),
+        Command::AblatePlacement => exp::ablate_placement(opts).print(),
+        Command::AblateWriteback => exp::ablate_writeback(opts).print(),
+        Command::AblateDowngrade => exp::ablate_downgrades(opts).print(),
+        Command::All => {
+            for c in Command::PAPER_ORDER {
+                run(c, opts, svg);
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(parsed) => {
+            let t0 = std::time::Instant::now();
+            run(parsed.command, &parsed.options, &parsed.svg_dir);
+            eprintln!("[experiments completed in {:.1}s]", t0.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Minimal argument parsing for the `experiments` binary (std-only; no
+//! external CLI crates per the dependency policy in DESIGN.md §5).
+
+use hmg::experiments::ExpOptions;
+use hmg::workloads::Scale;
+
+/// Which experiment to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Fig. 2 — motivating comparison (SW-NH / NHCC / Ideal).
+    Fig2,
+    /// Fig. 3 — inter-GPU load redundancy.
+    Fig3,
+    /// Fig. 7 — simulator correlation vs analytical model.
+    Fig7,
+    /// Fig. 8 — headline five-configuration comparison.
+    Fig8,
+    /// Figs. 9–11 — HMG invalidation costs.
+    Fig9To11,
+    /// Fig. 12 — inter-GPU bandwidth sweep.
+    Fig12,
+    /// Fig. 13 — L2 capacity sweep.
+    Fig13,
+    /// Fig. 14 — directory capacity sweep.
+    Fig14,
+    /// §VII-B — directory granularity sweep (not pictured in the paper).
+    Grain,
+    /// §VII-C — directory storage cost.
+    Cost,
+    /// Table III — workload inventory.
+    Table3,
+    /// §VII-A — single-GPU sanity comparison.
+    SingleGpu,
+    /// §II-A prior-work comparison — CARVE-like broadcast coherence.
+    Carve,
+    /// §VII-D scaling discussion — 2/4/8-GPU systems.
+    ScaleStudy,
+    /// Per-workload traffic/locality drill-down under every protocol.
+    Characterize,
+    /// DESIGN.md ablation — release-fence cost.
+    AblateFence,
+    /// DESIGN.md ablation — page placement.
+    AblatePlacement,
+    /// §IV-B ablation — write-back vs write-through L2s.
+    AblateWriteback,
+    /// §IV-B ablation — sharer downgrade messages.
+    AblateDowngrade,
+    /// Run every experiment in paper order.
+    All,
+}
+
+impl Command {
+    /// Parses a command name.
+    pub fn from_name(s: &str) -> Option<Command> {
+        Some(match s {
+            "fig2" => Command::Fig2,
+            "fig3" => Command::Fig3,
+            "fig7" => Command::Fig7,
+            "fig8" => Command::Fig8,
+            "fig9" | "fig10" | "fig11" | "fig9-11" => Command::Fig9To11,
+            "fig12" => Command::Fig12,
+            "fig13" => Command::Fig13,
+            "fig14" => Command::Fig14,
+            "grain" => Command::Grain,
+            "cost" => Command::Cost,
+            "table3" => Command::Table3,
+            "single-gpu" => Command::SingleGpu,
+            "carve" => Command::Carve,
+            "scale-study" => Command::ScaleStudy,
+            "characterize" => Command::Characterize,
+            "ablate-fence" => Command::AblateFence,
+            "ablate-placement" => Command::AblatePlacement,
+            "ablate-writeback" => Command::AblateWriteback,
+            "ablate-downgrade" => Command::AblateDowngrade,
+            "all" => Command::All,
+            _ => return None,
+        })
+    }
+
+    /// Every individual experiment, in paper order (used by `all`).
+    pub const PAPER_ORDER: [Command; 15] = [
+        Command::Table3,
+        Command::Fig2,
+        Command::Fig3,
+        Command::Fig7,
+        Command::Fig8,
+        Command::Fig9To11,
+        Command::Fig12,
+        Command::Fig13,
+        Command::Fig14,
+        Command::Grain,
+        Command::Cost,
+        Command::AblateFence,
+        Command::AblatePlacement,
+        Command::AblateWriteback,
+        Command::AblateDowngrade,
+    ];
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// The experiment to run.
+    pub command: Command,
+    /// Options passed through to the drivers.
+    pub options: ExpOptions,
+    /// When set, also write the figures as SVG files into this directory.
+    pub svg_dir: Option<String>,
+}
+
+/// Usage text.
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR]
+
+commands:
+  table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
+  grain cost single-gpu carve scale-study characterize all
+  ablate-fence ablate-placement ablate-writeback ablate-downgrade";
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage message on unknown commands, flags, or values.
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| USAGE.to_string())?;
+    let command =
+        Command::from_name(cmd).ok_or_else(|| format!("unknown command `{cmd}`\n{USAGE}"))?;
+    let mut options = ExpOptions::default();
+    let mut svg_dir = None;
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--svg" => svg_dir = Some(it.next().ok_or("--svg needs a directory")?.clone()),
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                options.scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                options.seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--workloads" => {
+                let v = it.next().ok_or("--workloads needs a value")?;
+                options.filter = Some(v.split(',').map(str::to_string).collect());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok(ParsedArgs {
+        command,
+        options,
+        svg_dir,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = parse_args(&s(&["fig8", "--scale", "tiny", "--seed", "7"])).unwrap();
+        assert_eq!(p.command, Command::Fig8);
+        assert_eq!(p.options.scale, Scale::Tiny);
+        assert_eq!(p.options.seed, 7);
+        assert!(p.options.filter.is_none());
+    }
+
+    #[test]
+    fn parses_svg_dir() {
+        let p = parse_args(&s(&["fig8", "--svg", "out"])).unwrap();
+        assert_eq!(p.svg_dir.as_deref(), Some("out"));
+        assert!(parse_args(&s(&["fig8"])).unwrap().svg_dir.is_none());
+    }
+
+    #[test]
+    fn parses_workload_filter() {
+        let p = parse_args(&s(&["fig3", "--workloads", "bfs,mst"])).unwrap();
+        assert_eq!(p.options.filter, Some(vec!["bfs".into(), "mst".into()]));
+    }
+
+    #[test]
+    fn rejects_unknown_command_and_flags() {
+        assert!(parse_args(&s(&["nope"])).is_err());
+        assert!(parse_args(&s(&["fig8", "--bogus"])).is_err());
+        assert!(parse_args(&s(&[])).is_err());
+        assert!(parse_args(&s(&["fig8", "--scale", "huge"])).is_err());
+    }
+
+    #[test]
+    fn all_command_names_round_trip() {
+        for name in [
+            "fig2", "fig3", "fig7", "fig8", "fig9-11", "fig12", "fig13", "fig14", "grain",
+            "cost", "table3", "single-gpu", "ablate-fence", "ablate-placement",
+            "ablate-writeback", "ablate-downgrade", "all",
+        ] {
+            assert!(Command::from_name(name).is_some(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,1198 @@
+//! Drivers that regenerate every table and figure of the paper's
+//! evaluation (Section VII). Each function returns a structured result
+//! with a `print` method; the `experiments` binary in `hmg-bench` wires
+//! them to the command line, and EXPERIMENTS.md records paper-measured
+//! comparisons.
+
+use hmg_gpu::{Engine, EngineConfig, RunMetrics};
+use hmg_protocol::{ProtocolKind, WorkloadTrace};
+use hmg_sim::stats;
+use hmg_workloads::micro::{correlation_suite, MachineParams, Micro};
+use hmg_workloads::suite::table3;
+use hmg_workloads::{Scale, WorkloadSpec};
+
+use crate::report::{f2, f3, pct, Table};
+use crate::runner::parallel_map;
+
+/// Options shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpOptions {
+    /// Experiment scale (default [`Scale::Small`]).
+    pub scale: Scale,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Restrict to these workload abbreviations (None = whole suite).
+    pub filter: Option<Vec<String>>,
+}
+
+impl Default for ExpOptions {
+    fn default() -> Self {
+        ExpOptions {
+            scale: Scale::Small,
+            seed: 2020,
+            filter: None,
+        }
+    }
+}
+
+impl ExpOptions {
+    /// The Table III specs selected by the filter, in figure order.
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        table3()
+            .into_iter()
+            .filter(|s| match &self.filter {
+                None => true,
+                Some(list) => list.iter().any(|a| a == s.abbrev),
+            })
+            .collect()
+    }
+
+    fn base_config(&self, protocol: ProtocolKind) -> EngineConfig {
+        match self.scale {
+            Scale::Tiny => EngineConfig::small_test(protocol),
+            Scale::Small | Scale::Full => EngineConfig::paper_default(protocol),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Speedup suites (Figs. 2, 8, 12, 13, 14)
+// ---------------------------------------------------------------------
+
+/// Per-workload speedups of several protocols over the no-peer-caching
+/// baseline.
+#[derive(Debug, Clone)]
+pub struct SpeedupResult {
+    /// The protocols compared, in column order.
+    pub protocols: Vec<ProtocolKind>,
+    /// Workload abbreviations, in figure order.
+    pub workloads: Vec<String>,
+    /// `rows[w][p]` = speedup of protocol `p` on workload `w`.
+    pub rows: Vec<Vec<f64>>,
+    /// Geomean per protocol.
+    pub geomeans: Vec<f64>,
+}
+
+impl SpeedupResult {
+    /// Renders the figure as a table.
+    pub fn print(&self, title: &str) {
+        println!("== {title} ==");
+        let mut headers = vec!["workload".to_string()];
+        headers.extend(self.protocols.iter().map(|p| p.name().to_string()));
+        let mut t = Table::new(headers);
+        for (w, row) in self.workloads.iter().zip(&self.rows) {
+            let mut cells = vec![w.clone()];
+            cells.extend(row.iter().map(|&v| f2(v)));
+            t.row(cells);
+        }
+        let mut cells = vec!["GeoMean".to_string()];
+        cells.extend(self.geomeans.iter().map(|&v| f2(v)));
+        t.row(cells);
+        println!("{}", t.render());
+    }
+
+    /// Renders the figure as an SVG grouped-bar chart.
+    pub fn to_svg(&self, title: &str) -> String {
+        let mut chart = hmg_plot::GroupedBars::new(title)
+            .subtitle("speedup over the no-peer-caching baseline")
+            .series(self.protocols.iter().map(|p| p.name().to_string()).collect())
+            .y_label("speedup")
+            .reference_line(1.0)
+            .label_last_group();
+        for (w, row) in self.workloads.iter().zip(&self.rows) {
+            chart = chart.group(w.clone(), row.clone());
+        }
+        chart = chart.group("GeoMean", self.geomeans.clone());
+        chart.to_svg()
+    }
+
+    /// Geomean speedup of one protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol was not part of this result.
+    pub fn geomean_of(&self, p: ProtocolKind) -> f64 {
+        let i = self
+            .protocols
+            .iter()
+            .position(|&q| q == p)
+            .expect("protocol in result");
+        self.geomeans[i]
+    }
+}
+
+/// Runs the suite under `protocols` (plus the baseline) with `tweak`
+/// applied to every configuration; returns speedups over the baseline.
+pub fn speedup_suite(
+    opts: &ExpOptions,
+    protocols: &[ProtocolKind],
+    tweak: impl Fn(&mut EngineConfig) + Sync,
+) -> SpeedupResult {
+    let specs = opts.specs();
+    let traces: Vec<WorkloadTrace> =
+        parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+    // One task per (workload, protocol-or-baseline).
+    let mut tasks: Vec<(usize, ProtocolKind)> = Vec::new();
+    for w in 0..specs.len() {
+        tasks.push((w, ProtocolKind::NoPeerCaching));
+        for &p in protocols {
+            tasks.push((w, p));
+        }
+    }
+    let cycles: Vec<u64> = parallel_map(&tasks, |&(w, p)| {
+        let mut cfg = opts.base_config(p);
+        tweak(&mut cfg);
+        crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
+        Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
+    });
+    let per_run = protocols.len() + 1;
+    let mut rows = Vec::with_capacity(specs.len());
+    for w in 0..specs.len() {
+        let base = cycles[w * per_run] as f64;
+        let row: Vec<f64> = (0..protocols.len())
+            .map(|p| base / cycles[w * per_run + 1 + p] as f64)
+            .collect();
+        rows.push(row);
+    }
+    let geomeans: Vec<f64> = (0..protocols.len())
+        .map(|p| stats::geomean(&rows.iter().map(|r| r[p]).collect::<Vec<_>>()))
+        .collect();
+    SpeedupResult {
+        protocols: protocols.to_vec(),
+        workloads: specs.iter().map(|s| s.abbrev.to_string()).collect(),
+        rows,
+        geomeans,
+    }
+}
+
+/// Fig. 8: all five configurations on the 4-GPU Table II machine.
+pub fn fig8(opts: &ExpOptions) -> SpeedupResult {
+    speedup_suite(opts, &ProtocolKind::FIG8, |_| {})
+}
+
+/// Fig. 2: the motivating subset (non-hierarchical SW, non-hierarchical
+/// HW, idealized caching).
+pub fn fig2(opts: &ExpOptions) -> SpeedupResult {
+    speedup_suite(
+        opts,
+        &[
+            ProtocolKind::SwNonHier,
+            ProtocolKind::Nhcc,
+            ProtocolKind::Ideal,
+        ],
+        |_| {},
+    )
+}
+
+/// Prior-work comparison: the CARVE-like broadcast-filtered protocol
+/// [14] against NHCC and HMG (Section II-A's motivation for precise,
+/// hierarchical sharer tracking).
+pub fn carve_comparison(opts: &ExpOptions) -> SpeedupResult {
+    speedup_suite(
+        opts,
+        &[
+            ProtocolKind::Nhcc,
+            ProtocolKind::CarveLike,
+            ProtocolKind::Hmg,
+            ProtocolKind::Ideal,
+        ],
+        |_| {},
+    )
+}
+
+/// §VII-D scaling discussion: geomean speedups as the system grows from
+/// 2 to 8 GPUs (4 GPMs each). Directory capacity per GPM is held at the
+/// Table II value; the paper argues HMG has headroom here (Fig. 14
+/// showed a 50% smaller directory still performs).
+pub fn scale_study(opts: &ExpOptions) -> SweepResult {
+    // Persistent-kernel grids are sized for the 4-GPU machine; smaller
+    // topologies cannot make them resident.
+    let opts = &exclude_persistent_kernels(opts);
+    let points: Vec<SweepPoint> = [2u16, 4, 8]
+        .into_iter()
+        .map(|gpus| {
+            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
+                Box::new(move |cfg: &mut EngineConfig| {
+                    cfg.topo = hmg_interconnect::Topology::new(gpus, 4);
+                });
+            (format!("{gpus} GPUs"), f)
+        })
+        .collect();
+    // Per-point normalization here (a bigger machine changes the
+    // baseline too); the interesting output is HMG's gap at each size.
+    let specs = opts.specs();
+    let protocols = SWEEP_PROTOCOLS;
+    let geomeans = points
+        .iter()
+        .map(|(_, tweak)| {
+            let traces: Vec<WorkloadTrace> =
+                parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+            let mut tasks: Vec<(usize, ProtocolKind)> = Vec::new();
+            for w in 0..specs.len() {
+                tasks.push((w, ProtocolKind::NoPeerCaching));
+                for &p in &protocols {
+                    tasks.push((w, p));
+                }
+            }
+            let cycles: Vec<u64> = parallel_map(&tasks, |&(w, p)| {
+                let mut cfg = opts.base_config(p);
+                tweak(&mut cfg);
+                crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
+                Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
+            });
+            let per_run = protocols.len() + 1;
+            (0..protocols.len())
+                .map(|pi| {
+                    let speedups: Vec<f64> = (0..specs.len())
+                        .map(|w| {
+                            cycles[w * per_run] as f64 / cycles[w * per_run + 1 + pi] as f64
+                        })
+                        .collect();
+                    stats::geomean(&speedups)
+                })
+                .collect()
+        })
+        .collect();
+    SweepResult {
+        parameter: "system size",
+        points: points.into_iter().map(|(l, _)| l).collect(),
+        protocols: protocols.to_vec(),
+        geomeans,
+    }
+}
+
+/// §VII-A single-GPU check: on one GPU, protocols should be close.
+///
+/// Persistent-kernel workloads are excluded: their resident grids are
+/// sized for the full Table II machine and cannot co-schedule on one
+/// GPU (see `WorkloadSpec::uses_persistent_kernel`).
+pub fn single_gpu(opts: &ExpOptions) -> SpeedupResult {
+    let opts = exclude_persistent_kernels(opts);
+    speedup_suite(&opts, &ProtocolKind::FIG8, |cfg| {
+        cfg.topo = hmg_interconnect::Topology::new(1, 4);
+    })
+}
+
+/// Drops persistent-kernel workloads from the selection (they require
+/// the default machine's SM count to be fully resident).
+fn exclude_persistent_kernels(opts: &ExpOptions) -> ExpOptions {
+    let keep: Vec<String> = opts
+        .specs()
+        .into_iter()
+        .filter(|s| !s.uses_persistent_kernel())
+        .map(|s| s.abbrev.to_string())
+        .collect();
+    ExpOptions {
+        filter: Some(keep),
+        ..opts.clone()
+    }
+}
+
+/// A sensitivity sweep: geomean speedups per sweep point.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Label of the swept parameter.
+    pub parameter: &'static str,
+    /// Sweep point labels.
+    pub points: Vec<String>,
+    /// Protocols, in column order.
+    pub protocols: Vec<ProtocolKind>,
+    /// `geomeans[point][protocol]`.
+    pub geomeans: Vec<Vec<f64>>,
+}
+
+impl SweepResult {
+    /// Renders the sweep as a table.
+    pub fn print(&self, title: &str) {
+        println!("== {title} ==");
+        let mut headers = vec![self.parameter.to_string()];
+        headers.extend(self.protocols.iter().map(|p| p.name().to_string()));
+        let mut t = Table::new(headers);
+        for (pt, row) in self.points.iter().zip(&self.geomeans) {
+            let mut cells = vec![pt.clone()];
+            cells.extend(row.iter().map(|&v| f2(v)));
+            t.row(cells);
+        }
+        println!("{}", t.render());
+    }
+}
+
+impl SweepResult {
+    /// Renders the sweep as an SVG line chart.
+    pub fn to_svg(&self, title: &str) -> String {
+        let mut chart = hmg_plot::LineChart::new(title)
+            .subtitle(format!("geomean speedup vs {}", self.parameter))
+            .x_points(self.points.clone())
+            .y_label("geomean speedup");
+        for (i, p) in self.protocols.iter().enumerate() {
+            let series: Vec<f64> = self.geomeans.iter().map(|row| row[i]).collect();
+            chart = chart.line(p.name(), series);
+        }
+        chart.to_svg()
+    }
+}
+
+/// One sweep point: its axis label and the configuration tweak it
+/// applies.
+pub type SweepPoint = (String, Box<dyn Fn(&mut EngineConfig) + Sync>);
+
+/// The four configurations the sensitivity figures plot.
+const SWEEP_PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Nhcc,
+    ProtocolKind::SwHier,
+    ProtocolKind::Hmg,
+    ProtocolKind::Ideal,
+];
+
+/// Runs a sensitivity sweep the way the paper's Figs. 12–14 are
+/// normalized: the no-peer-caching baseline is measured **once, on the
+/// Table II configuration**, and every sweep point's protocols are
+/// compared against it ("baseline is no caching with configurations of
+/// Table II").
+fn sweep_fixed_baseline(
+    opts: &ExpOptions,
+    parameter: &'static str,
+    points: Vec<SweepPoint>,
+    protocols: &[ProtocolKind],
+) -> SweepResult {
+    let specs = opts.specs();
+    let traces: Vec<WorkloadTrace> =
+        parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+
+    // The fixed Table II baseline, once per workload.
+    let indices: Vec<usize> = (0..specs.len()).collect();
+    let baseline: Vec<u64> = parallel_map(&indices, |&w| {
+        let mut cfg = opts.base_config(ProtocolKind::NoPeerCaching);
+        crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
+        Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
+    });
+
+    // Every (point, workload, protocol) run.
+    let mut tasks: Vec<(usize, usize, ProtocolKind)> = Vec::new();
+    for pt in 0..points.len() {
+        for w in 0..specs.len() {
+            for &p in protocols {
+                tasks.push((pt, w, p));
+            }
+        }
+    }
+    let cycles: Vec<u64> = parallel_map(&tasks, |&(pt, w, p)| {
+        let mut cfg = opts.base_config(p);
+        (points[pt].1)(&mut cfg);
+        crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
+        Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
+    });
+
+    let per_point = specs.len() * protocols.len();
+    let geomeans: Vec<Vec<f64>> = (0..points.len())
+        .map(|pt| {
+            (0..protocols.len())
+                .map(|pi| {
+                    let speedups: Vec<f64> = (0..specs.len())
+                        .map(|w| {
+                            let c = cycles[pt * per_point + w * protocols.len() + pi];
+                            baseline[w] as f64 / c as f64
+                        })
+                        .collect();
+                    stats::geomean(&speedups)
+                })
+                .collect()
+        })
+        .collect();
+    SweepResult {
+        parameter,
+        points: points.into_iter().map(|(l, _)| l).collect(),
+        protocols: protocols.to_vec(),
+        geomeans,
+    }
+}
+
+/// Fig. 12: sensitivity to inter-GPU bandwidth (100–400 GB/s per link).
+pub fn fig12(opts: &ExpOptions) -> SweepResult {
+    let points: Vec<SweepPoint> =
+        [100.0f64, 200.0, 300.0, 400.0]
+            .into_iter()
+            .map(|bw| {
+                let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
+                    Box::new(move |cfg: &mut EngineConfig| {
+                        cfg.fabric.inter_gpu_gbps = bw;
+                    });
+                (format!("{bw:.0}GB/s"), f)
+            })
+            .collect();
+    sweep_fixed_baseline(opts, "inter-GPU BW", points, &SWEEP_PROTOCOLS)
+}
+
+/// Fig. 13: sensitivity to L2 capacity (6/12/24 MB per GPU).
+pub fn fig13(opts: &ExpOptions) -> SweepResult {
+    let points: Vec<SweepPoint> = [6u32, 12, 24]
+        .into_iter()
+        .map(|mb| {
+            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
+                Box::new(move |cfg: &mut EngineConfig| {
+                    let lines_per_gpm =
+                        mb as u64 * 1024 * 1024 / 4 / cfg.geometry.line_bytes() as u64;
+                    cfg.l2 = hmg_mem::CacheConfig::new(lines_per_gpm as u32, 16);
+                });
+            (format!("{mb}MB/GPU"), f)
+        })
+        .collect();
+    sweep_fixed_baseline(opts, "L2 per GPU", points, &SWEEP_PROTOCOLS)
+}
+
+/// Fig. 14: sensitivity to coherence directory capacity
+/// (3K/6K/12K entries per GPM).
+pub fn fig14(opts: &ExpOptions) -> SweepResult {
+    let points: Vec<SweepPoint> = [3u32, 6, 12]
+        .into_iter()
+        .map(|k| {
+            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
+                Box::new(move |cfg: &mut EngineConfig| {
+                    cfg.dir = hmg_mem::DirectoryConfig::new(k * 1024, 16);
+                });
+            (format!("{k}K/GPM"), f)
+        })
+        .collect();
+    sweep_fixed_baseline(opts, "dir entries", points, &SWEEP_PROTOCOLS)
+}
+
+/// §VII-B (not pictured): directory tracking granularity at constant
+/// coverage — `lines_per_entry` in {1, 2, 4, 8} with the entry count
+/// adjusted so total covered bytes stay fixed.
+pub fn grain_sweep(opts: &ExpOptions) -> SweepResult {
+    let points: Vec<SweepPoint> = [1u32, 2, 4, 8]
+        .into_iter()
+        .map(|g| {
+            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
+                Box::new(move |cfg: &mut EngineConfig| {
+                    let coverage_lines = cfg.dir.entries as u64 * 4; // Table II coverage
+                    let entries = (coverage_lines / g as u64) as u32;
+                    cfg.geometry = hmg_mem::MemGeometry::new(
+                        cfg.geometry.line_bytes(),
+                        g,
+                        cfg.geometry.page_bytes(),
+                    );
+                    cfg.dir = hmg_mem::DirectoryConfig::new(entries.max(16) / 16 * 16, 16);
+                });
+            (format!("{g}x128B"), f)
+        })
+        .collect();
+    sweep_fixed_baseline(opts, "lines/entry", points, &[ProtocolKind::Hmg])
+}
+
+// ---------------------------------------------------------------------
+// Fig. 3: inter-GPU load redundancy
+// ---------------------------------------------------------------------
+
+/// Fig. 3 result: per workload, the fraction of inter-GPU loads whose
+/// line another GPM of the same GPU had already accessed.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// `(workload, redundancy)`; `None` when no inter-GPU loads occur.
+    pub rows: Vec<(String, Option<f64>)>,
+    /// Mean over workloads with inter-GPU loads.
+    pub average: f64,
+}
+
+impl Fig3Result {
+    /// Renders the figure as a table.
+    pub fn print(&self) {
+        println!("== Fig. 3: % of inter-GPU loads redundant within the GPU ==");
+        let mut t = Table::new(vec!["workload".into(), "redundant".into()]);
+        for (w, v) in &self.rows {
+            t.row(vec![
+                w.clone(),
+                v.map(pct).unwrap_or_else(|| "n/a".into()),
+            ]);
+        }
+        t.row(vec!["Avg".into(), pct(self.average)]);
+        println!("{}", t.render());
+    }
+}
+
+impl Fig3Result {
+    /// Renders the figure as an SVG bar chart (percent per workload).
+    pub fn to_svg(&self) -> String {
+        let mut chart = hmg_plot::GroupedBars::new(
+            "Fig. 3: inter-GPU loads redundant within the GPU",
+        )
+        .subtitle("measured on the no-peer-caching baseline")
+        .series(vec!["redundant share".into()])
+        .y_label("% of inter-GPU loads");
+        for (w, v) in &self.rows {
+            chart = chart.group(w.clone(), vec![v.unwrap_or(0.0) * 100.0]);
+        }
+        chart = chart.group("Avg", vec![self.average * 100.0]);
+        chart.label_last_group().to_svg()
+    }
+}
+
+/// Fig. 3: measured on the no-peer-caching baseline, where every remote
+/// load crosses the inter-GPU network.
+pub fn fig3(opts: &ExpOptions) -> Fig3Result {
+    let specs = opts.specs();
+    let rows: Vec<(String, Option<f64>)> = parallel_map(&specs, |spec| {
+        let trace = spec.generate(opts.scale, opts.seed);
+        let mut cfg = opts.base_config(ProtocolKind::NoPeerCaching);
+        cfg.track_peer_redundancy = true;
+        crate::runner::scale_capacities(&mut cfg, spec.capacity_factor(opts.scale));
+        let m = Engine::new(cfg).run(&trace);
+        (spec.abbrev.to_string(), m.peer_redundancy())
+    });
+    let vals: Vec<f64> = rows.iter().filter_map(|(_, v)| *v).collect();
+    Fig3Result {
+        average: stats::mean(&vals),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig. 7: simulator correlation
+// ---------------------------------------------------------------------
+
+/// One Fig. 7 scatter point.
+#[derive(Debug, Clone)]
+pub struct Fig7Point {
+    /// Microbenchmark name.
+    pub name: String,
+    /// Analytically predicted cycles.
+    pub predicted: f64,
+    /// Simulated cycles.
+    pub simulated: f64,
+}
+
+/// Fig. 7 result: correlation of the DES against the analytical model.
+#[derive(Debug, Clone)]
+pub struct Fig7Result {
+    /// The scatter points.
+    pub points: Vec<Fig7Point>,
+    /// Pearson correlation of log10(cycles).
+    pub r_log: f64,
+    /// Mean absolute relative error.
+    pub mean_abs_rel_err: f64,
+    /// Simulation throughput in events per second of wall time.
+    pub events_per_second: f64,
+}
+
+impl Fig7Result {
+    /// Renders the figure as a table.
+    pub fn print(&self) {
+        println!("== Fig. 7: simulator correlation vs analytical model ==");
+        let mut t = Table::new(vec![
+            "microbenchmark".into(),
+            "predicted".into(),
+            "simulated".into(),
+            "ratio".into(),
+        ]);
+        for p in &self.points {
+            t.row(vec![
+                p.name.clone(),
+                format!("{:.0}", p.predicted),
+                format!("{:.0}", p.simulated),
+                f2(p.simulated / p.predicted),
+            ]);
+        }
+        println!("{}", t.render());
+        println!("correlation (log10): r = {}", f3(self.r_log));
+        println!("mean abs rel err:    {}", f3(self.mean_abs_rel_err));
+        println!(
+            "simulator speed:     {:.1}M events/s",
+            self.events_per_second / 1e6
+        );
+    }
+}
+
+impl Fig7Result {
+    /// Renders the correlation scatter as SVG.
+    pub fn to_svg(&self) -> String {
+        let mut chart = hmg_plot::LogLogScatter::new(
+            "Fig. 7: simulator correlation",
+            "analytically predicted cycles",
+            "simulated cycles",
+        )
+        .subtitle(format!(
+            "r(log10) = {:.3}, mean abs rel err = {:.3}",
+            self.r_log, self.mean_abs_rel_err
+        ));
+        for p in &self.points {
+            chart = chart.point(p.name.clone(), p.predicted, p.simulated);
+        }
+        chart.to_svg()
+    }
+}
+
+/// Fig. 7 with the default microbenchmark suite.
+pub fn fig7() -> Fig7Result {
+    fig7_with(correlation_suite())
+}
+
+/// Fig. 7 over a caller-supplied microbenchmark set (the Table II
+/// machine is always used; the micros assume its 16-GPM shape).
+pub fn fig7_with(suite: Vec<Micro>) -> Fig7Result {
+    let cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+    let params = MachineParams {
+        issue_cycles: cfg.issue_cycles as f64,
+        l1_latency: cfg.l1_latency.as_u64() as f64,
+        l2_latency: cfg.l2_latency.as_u64() as f64,
+        dram_latency: cfg.dram_latency.as_u64() as f64,
+        dram_bytes_per_cycle: cfg.dram_bytes_per_cycle,
+        inter_gpu_bytes_per_cycle: cfg.fabric.inter_gpu_gbps / cfg.fabric.freq_ghz,
+        line_bytes: cfg.geometry.line_bytes() as f64,
+        resp_bytes: cfg.msg.load_resp as f64,
+        kernel_launch: cfg.kernel_launch_overhead.as_u64() as f64,
+        num_gpms: cfg.topo.num_gpms() as f64,
+        num_gpus: cfg.topo.num_gpus() as f64,
+    };
+    let start = std::time::Instant::now();
+    let results: Vec<(String, f64, f64, u64)> = parallel_map(&suite, |m| {
+        let sim = Engine::new(EngineConfig::paper_default(ProtocolKind::Hmg)).run(&m.trace);
+        (
+            m.name.clone(),
+            (m.predict)(&params),
+            sim.total_cycles.as_u64() as f64,
+            sim.events,
+        )
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let total_events: u64 = results.iter().map(|r| r.3).sum();
+    let points: Vec<Fig7Point> = results
+        .into_iter()
+        .map(|(name, predicted, simulated, _)| Fig7Point {
+            name,
+            predicted,
+            simulated,
+        })
+        .collect();
+    let logp: Vec<f64> = points.iter().map(|p| p.predicted.log10()).collect();
+    let logs: Vec<f64> = points.iter().map(|p| p.simulated.log10()).collect();
+    let sims: Vec<f64> = points.iter().map(|p| p.simulated).collect();
+    let preds: Vec<f64> = points.iter().map(|p| p.predicted).collect();
+    Fig7Result {
+        r_log: stats::pearson(&logp, &logs),
+        mean_abs_rel_err: stats::mean_abs_rel_err(&sims, &preds),
+        events_per_second: total_events as f64 / wall.max(1e-9),
+        points,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figs. 9, 10, 11: invalidation cost profile of HMG
+// ---------------------------------------------------------------------
+
+/// Per-workload invalidation costs under HMG.
+#[derive(Debug, Clone)]
+pub struct InvCostRow {
+    /// Workload abbreviation.
+    pub workload: String,
+    /// Fig. 9: avg lines invalidated per invalidation-triggering store.
+    pub lines_per_store_inv: Option<f64>,
+    /// Fig. 10: avg lines invalidated per directory eviction.
+    pub lines_per_eviction_inv: Option<f64>,
+    /// Fig. 11: invalidation-message bandwidth in GB/s.
+    pub inv_gbps: f64,
+}
+
+/// Figs. 9–11 result.
+#[derive(Debug, Clone)]
+pub struct InvCostResult {
+    /// One row per workload.
+    pub rows: Vec<InvCostRow>,
+    /// Averages across workloads (where defined).
+    pub avg_store: f64,
+    /// Average lines per eviction.
+    pub avg_evict: f64,
+    /// Average invalidation bandwidth.
+    pub avg_gbps: f64,
+}
+
+impl InvCostResult {
+    /// Renders the three figures as one table.
+    pub fn print(&self) {
+        println!("== Figs. 9-11: HMG invalidation costs ==");
+        let mut t = Table::new(vec![
+            "workload".into(),
+            "lines/store-inv".into(),
+            "lines/dir-evict".into(),
+            "inv GB/s".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.workload.clone(),
+                r.lines_per_store_inv.map(f2).unwrap_or_else(|| "0".into()),
+                r.lines_per_eviction_inv
+                    .map(f2)
+                    .unwrap_or_else(|| "0".into()),
+                f2(r.inv_gbps),
+            ]);
+        }
+        t.row(vec![
+            "Avg".into(),
+            f2(self.avg_store),
+            f2(self.avg_evict),
+            f2(self.avg_gbps),
+        ]);
+        println!("{}", t.render());
+    }
+}
+
+impl InvCostResult {
+    /// Renders Figs. 9–11 as three single-series SVG bar charts,
+    /// concatenated vertically is left to the caller; this returns the
+    /// three documents in figure order.
+    pub fn to_svgs(&self) -> [String; 3] {
+        let mk = |title: &str, sub: &str, vals: Vec<(String, f64)>, avg: f64| {
+            let mut chart = hmg_plot::GroupedBars::new(title)
+                .subtitle(sub)
+                .series(vec!["HMG".into()]);
+            for (w, v) in vals {
+                chart = chart.group(w, vec![v]);
+            }
+            chart.group("Avg".to_string(), vec![avg]).label_last_group().to_svg()
+        };
+        let fig9 = mk(
+            "Fig. 9: lines invalidated per store",
+            "stores that triggered invalidations",
+            self.rows
+                .iter()
+                .map(|r| (r.workload.clone(), r.lines_per_store_inv.unwrap_or(0.0)))
+                .collect(),
+            self.avg_store,
+        );
+        let fig10 = mk(
+            "Fig. 10: lines invalidated per directory eviction",
+            "evictions that triggered invalidations",
+            self.rows
+                .iter()
+                .map(|r| (r.workload.clone(), r.lines_per_eviction_inv.unwrap_or(0.0)))
+                .collect(),
+            self.avg_evict,
+        );
+        let fig11 = mk(
+            "Fig. 11: invalidation-message bandwidth",
+            "GB/s across both network tiers",
+            self.rows
+                .iter()
+                .map(|r| (r.workload.clone(), r.inv_gbps))
+                .collect(),
+            self.avg_gbps,
+        );
+        [fig9, fig10, fig11]
+    }
+}
+
+/// Runs HMG over the suite and extracts the Figs. 9–11 statistics.
+pub fn fig9_10_11(opts: &ExpOptions) -> InvCostResult {
+    let specs = opts.specs();
+    let rows: Vec<InvCostRow> = parallel_map(&specs, |spec| {
+        let trace = spec.generate(opts.scale, opts.seed);
+        let mut cfg = opts.base_config(ProtocolKind::Hmg);
+        crate::runner::scale_capacities(&mut cfg, spec.capacity_factor(opts.scale));
+        let freq = cfg.fabric.freq_ghz;
+        let m = Engine::new(cfg).run(&trace);
+        InvCostRow {
+            workload: spec.abbrev.to_string(),
+            lines_per_store_inv: m.lines_per_store_inv(),
+            lines_per_eviction_inv: m.lines_per_eviction_inv(),
+            inv_gbps: m.inv_bandwidth_gbps(freq),
+        }
+    });
+    let stores: Vec<f64> = rows.iter().filter_map(|r| r.lines_per_store_inv).collect();
+    let evicts: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.lines_per_eviction_inv)
+        .collect();
+    let gbps: Vec<f64> = rows.iter().map(|r| r.inv_gbps).collect();
+    InvCostResult {
+        avg_store: stats::mean(&stores),
+        avg_evict: stats::mean(&evicts),
+        avg_gbps: stats::mean(&gbps),
+        rows,
+    }
+}
+
+// ---------------------------------------------------------------------
+// §VII-C storage cost, and the DESIGN.md ablations
+// ---------------------------------------------------------------------
+
+/// §VII-C: directory storage arithmetic for the Table II machine.
+pub fn storage_cost() -> (u32, u64, f64) {
+    let cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+    let dir = hmg_mem::Directory::new(cfg.dir, cfg.topo);
+    let cost = dir.storage_cost(48);
+    let l2_slice_bytes = cfg.l2.lines as u64 * cfg.geometry.line_bytes() as u64;
+    let frac = cost.total_bytes as f64 / l2_slice_bytes as f64;
+    (cost.bits_per_entry, cost.total_bytes, frac)
+}
+
+/// Prints the §VII-C hardware-cost numbers.
+pub fn print_storage_cost() {
+    let (bits, bytes, frac) = storage_cost();
+    println!("== §VII-C: HMG directory hardware cost ==");
+    println!("bits per entry:      {bits} (48 tag + 1 state + 6 sharers)");
+    println!("bytes per GPM:       {bytes} ({:.0} KB)", bytes as f64 / 1024.0);
+    println!("fraction of L2 data: {}", pct(frac));
+}
+
+/// Result of a two-point ablation.
+#[derive(Debug, Clone)]
+pub struct AblationResult {
+    /// What was ablated.
+    pub name: &'static str,
+    /// `(label, geomean speedup over baseline)`.
+    pub variants: Vec<(String, f64)>,
+}
+
+impl AblationResult {
+    /// Renders the ablation.
+    pub fn print(&self) {
+        println!("== Ablation: {} ==", self.name);
+        let mut t = Table::new(vec!["variant".into(), "geomean speedup".into()]);
+        for (label, v) in &self.variants {
+            t.row(vec![label.clone(), f2(*v)]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+/// Ablation: HMG with real (acked, drained) release fences vs
+/// zero-cost fences.
+pub fn ablate_fences(opts: &ExpOptions) -> AblationResult {
+    let real = speedup_suite(opts, &[ProtocolKind::Hmg], |_| {});
+    let free = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.zero_cost_fences = true;
+    });
+    AblationResult {
+        name: "release fence cost (HMG)",
+        variants: vec![
+            ("acked fences (paper)".into(), real.geomeans[0]),
+            ("zero-cost fences".into(), free.geomeans[0]),
+        ],
+    }
+}
+
+/// Ablation: §IV-B's write-back option vs the evaluated write-through
+/// configuration, under HMG.
+pub fn ablate_writeback(opts: &ExpOptions) -> AblationResult {
+    let wt = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteThrough;
+    });
+    let wb = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteBack;
+    });
+    AblationResult {
+        name: "L2 write policy (HMG)",
+        variants: vec![
+            ("write-through (paper)".into(), wt.geomeans[0]),
+            ("write-back (§IV-B option)".into(), wb.geomeans[0]),
+        ],
+    }
+}
+
+/// Ablation: §IV-B's optional sharer-downgrade messages, under HMG.
+pub fn ablate_downgrades(opts: &ExpOptions) -> AblationResult {
+    let without = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.sharer_downgrades = false;
+    });
+    let with = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.sharer_downgrades = true;
+    });
+    AblationResult {
+        name: "sharer downgrades (HMG)",
+        variants: vec![
+            ("silent clean evictions (paper)".into(), without.geomeans[0]),
+            ("downgrade messages".into(), with.geomeans[0]),
+        ],
+    }
+}
+
+/// Ablation: first-touch vs interleaved page placement under HMG.
+pub fn ablate_placement(opts: &ExpOptions) -> AblationResult {
+    let ft = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.placement = hmg_mem::PagePlacement::FirstTouch;
+    });
+    let il = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
+        cfg.placement = hmg_mem::PagePlacement::Interleaved;
+    });
+    AblationResult {
+        name: "page placement (HMG)",
+        variants: vec![
+            ("first-touch (paper)".into(), ft.geomeans[0]),
+            ("interleaved".into(), il.geomeans[0]),
+        ],
+    }
+}
+
+/// Prints Table III (the workload inventory) with generated-trace sizes.
+pub fn print_table3(opts: &ExpOptions) {
+    println!("== Table III: benchmarks ==");
+    let mut t = Table::new(vec![
+        "benchmark".into(),
+        "abbrev".into(),
+        "paper footprint".into(),
+        "generated accesses".into(),
+        "kernels".into(),
+    ]);
+    let specs = opts.specs();
+    let traces: Vec<WorkloadTrace> =
+        parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+    for (s, tr) in specs.iter().zip(&traces) {
+        let fp = if s.paper_footprint_mb >= 1000.0 {
+            format!("{:.2} GB", s.paper_footprint_mb / 1024.0)
+        } else {
+            format!("{:.0} MB", s.paper_footprint_mb)
+        };
+        t.row(vec![
+            s.name.to_string(),
+            s.abbrev.to_string(),
+            fp,
+            tr.num_accesses().to_string(),
+            tr.num_kernels().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// One protocol's traffic/locality profile on one workload — the raw
+/// characterization behind the figures.
+#[derive(Debug, Clone)]
+pub struct CharacterizationRow {
+    /// Protocol profiled.
+    pub protocol: ProtocolKind,
+    /// Total execution cycles.
+    pub cycles: u64,
+    /// L1 hit rate over loads.
+    pub l1_hit_rate: f64,
+    /// Fraction of loads served by any L2 level.
+    pub l2_serve_rate: f64,
+    /// DRAM accesses per load.
+    pub dram_per_load: f64,
+    /// Inter-GPU bytes moved (all classes).
+    pub inter_bytes: u64,
+    /// Invalidation messages (store- plus eviction-caused).
+    pub invalidations: u64,
+    /// Median / 99th-percentile miss latency.
+    pub lat_p50_p99: (u64, u64),
+}
+
+/// Characterizes one workload under every protocol (the `characterize`
+/// CLI command) — a drill-down companion to Fig. 8.
+pub fn characterize(opts: &ExpOptions, abbrev: &str) -> Option<Vec<CharacterizationRow>> {
+    let spec = opts.specs().into_iter().find(|s| s.abbrev == abbrev)?;
+    let trace = spec.generate(opts.scale, opts.seed);
+    let protocols: Vec<ProtocolKind> = ProtocolKind::ALL.to_vec();
+    let rows = parallel_map(&protocols, |&p| {
+        let mut cfg = opts.base_config(p);
+        crate::runner::scale_capacities(&mut cfg, spec.capacity_factor(opts.scale));
+        let m = Engine::new(cfg).run(&trace);
+        let inter: u64 = hmg_interconnect::MsgClass::ALL
+            .iter()
+            .map(|&c| m.fabric.inter_bytes(c))
+            .sum();
+        CharacterizationRow {
+            protocol: p,
+            cycles: m.total_cycles.as_u64(),
+            l1_hit_rate: m.l1_hit_rate(),
+            l2_serve_rate: if m.loads == 0 {
+                0.0
+            } else {
+                (m.local_l2_hits + m.gpu_home_hits + m.sys_home_hits) as f64 / m.loads as f64
+            },
+            dram_per_load: if m.loads == 0 {
+                0.0
+            } else {
+                m.dram_accesses as f64 / m.loads as f64
+            },
+            inter_bytes: inter,
+            invalidations: m.invs_from_stores + m.invs_from_evictions,
+            lat_p50_p99: (
+                m.miss_latency_percentile(0.5),
+                m.miss_latency_percentile(0.99),
+            ),
+        }
+    });
+    Some(rows)
+}
+
+/// Prints a characterization as a table.
+pub fn print_characterization(abbrev: &str, rows: &[CharacterizationRow]) {
+    println!("== Characterization: {abbrev} ==");
+    let mut t = Table::new(vec![
+        "protocol".into(),
+        "cycles".into(),
+        "L1 hit".into(),
+        "L2 serve".into(),
+        "DRAM/load".into(),
+        "inter MB".into(),
+        "invs".into(),
+        "p50/p99 lat".into(),
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.protocol.name().into(),
+            r.cycles.to_string(),
+            pct(r.l1_hit_rate),
+            pct(r.l2_serve_rate),
+            f2(r.dram_per_load),
+            format!("{:.1}", r.inter_bytes as f64 / 1e6),
+            r.invalidations.to_string(),
+            format!("{}/{}", r.lat_p50_p99.0, r.lat_p50_p99.1),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Convenience: the headline numbers of the abstract, computed from a
+/// Fig. 8 result — HMG's improvement over SW coherence and NHCC, and the
+/// fraction of idealized caching it reaches.
+pub fn headline(fig8: &SpeedupResult) -> (f64, f64, f64) {
+    let hmg = fig8.geomean_of(ProtocolKind::Hmg);
+    let sw = fig8.geomean_of(ProtocolKind::SwNonHier);
+    let nhcc = fig8.geomean_of(ProtocolKind::Nhcc);
+    let ideal = fig8.geomean_of(ProtocolKind::Ideal);
+    (hmg / sw - 1.0, hmg / nhcc - 1.0, hmg / ideal)
+}
+
+/// Summary metrics of one run, used by the examples.
+pub fn describe_run(m: &RunMetrics) -> String {
+    format!(
+        "{} cycles, {} loads ({} L1 hits), {} stores, {} invs, {} DRAM reads",
+        m.total_cycles.as_u64(),
+        m.loads,
+        m.l1_hits,
+        m.stores,
+        m.invs_from_stores + m.invs_from_evictions,
+        m.dram_accesses,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpOptions {
+        ExpOptions {
+            scale: Scale::Tiny,
+            seed: 1,
+            filter: Some(vec!["bfs".into(), "lstm".into(), "CoMD".into()]),
+        }
+    }
+
+    #[test]
+    fn fig8_runs_on_tiny_subset() {
+        let r = fig8(&tiny());
+        assert_eq!(r.workloads.len(), 3);
+        assert_eq!(r.protocols.len(), 5);
+        for row in &r.rows {
+            for &v in row {
+                assert!(v > 0.1 && v < 100.0, "speedup {v} out of range");
+            }
+        }
+        assert!(r.geomean_of(ProtocolKind::Ideal) >= r.geomean_of(ProtocolKind::Hmg) * 0.7);
+    }
+
+    #[test]
+    fn fig2_is_a_subset_of_protocols() {
+        let r = fig2(&tiny());
+        assert_eq!(r.protocols.len(), 3);
+    }
+
+    #[test]
+    fn fig3_reports_redundancy() {
+        let r = fig3(&tiny());
+        assert_eq!(r.rows.len(), 3);
+        assert!(r.average >= 0.0 && r.average <= 1.0);
+    }
+
+    #[test]
+    fn storage_cost_matches_paper() {
+        let (bits, bytes, frac) = storage_cost();
+        assert_eq!(bits, 55);
+        assert_eq!(bytes, 84_480);
+        assert!((frac - 0.027).abs() < 0.002);
+    }
+
+    #[test]
+    fn headline_computes_ratios() {
+        let r = fig8(&tiny());
+        let (vs_sw, vs_nhcc, of_ideal) = headline(&r);
+        assert!(vs_sw > -0.9 && vs_nhcc > -0.9);
+        assert!(of_ideal > 0.1 && of_ideal <= 1.5);
+    }
+
+    #[test]
+    fn fixed_baseline_sweeps_share_one_baseline() {
+        // Fig. 12-14 semantics: the same sweep run twice with an
+        // identity point must reproduce the plain suite speedups.
+        let opts = ExpOptions {
+            filter: Some(vec!["bfs".into()]),
+            ..tiny()
+        };
+        let plain = speedup_suite(&opts, &[ProtocolKind::Hmg], |_| {});
+        // The 200 GB/s point of fig12 leaves the machine at its default
+        // bandwidth, so it must reproduce the plain suite's speedup.
+        let sweep = fig12(&opts);
+        let identity = sweep
+            .points
+            .iter()
+            .position(|p| p == "200GB/s")
+            .expect("200GB/s point");
+        let hmg_col = sweep
+            .protocols
+            .iter()
+            .position(|&p| p == ProtocolKind::Hmg)
+            .expect("hmg in sweep");
+        let a = sweep.geomeans[identity][hmg_col];
+        let b = plain.geomean_of(ProtocolKind::Hmg);
+        assert!(
+            (a - b).abs() < 1e-9,
+            "identity sweep point must match the plain run: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn orderings_do_not_collapse_across_seeds() {
+        // Tiny-scale runs are noisy; the sanity requirement is that HMG
+        // never collapses far below the software baseline for any seed.
+        for seed in [3, 99] {
+            let opts = ExpOptions {
+                scale: Scale::Tiny,
+                seed,
+                filter: Some(vec!["bfs".into(), "RNN_FW".into()]),
+            };
+            let r = fig8(&opts);
+            let hmg = r.geomean_of(ProtocolKind::Hmg);
+            let sw = r.geomean_of(ProtocolKind::SwNonHier);
+            assert!(
+                hmg >= sw * 0.8,
+                "seed {seed}: hmg {hmg} collapsed below sw {sw}"
+            );
+        }
+    }
+
+    #[test]
+    fn characterization_covers_all_protocols() {
+        let opts = ExpOptions {
+            filter: Some(vec!["bfs".into()]),
+            ..tiny()
+        };
+        let rows = characterize(&opts, "bfs").expect("bfs known");
+        assert_eq!(rows.len(), ProtocolKind::ALL.len());
+        for r in &rows {
+            assert!(r.cycles > 0);
+            assert!((0.0..=1.0).contains(&r.l1_hit_rate));
+        }
+        assert!(characterize(&opts, "nope").is_none());
+    }
+
+    #[test]
+    fn sweep_structures_are_complete() {
+        let opts = ExpOptions {
+            filter: Some(vec!["bfs".into()]),
+            ..tiny()
+        };
+        let s = fig12(&opts);
+        assert_eq!(s.points.len(), 4);
+        assert_eq!(s.geomeans.len(), 4);
+        assert_eq!(s.geomeans[0].len(), 4);
+    }
+}

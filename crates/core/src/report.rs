@@ -1,0 +1,144 @@
+//! Plain-text table formatting for experiment output.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use hmg::report::Table;
+///
+/// let mut t = Table::new(vec!["workload".into(), "speedup".into()]);
+/// t.row(vec!["bfs".into(), "3.30".into()]);
+/// let s = t.render();
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("3.30"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let pad = widths[i] - cells[i].len();
+                // Right-align numeric-looking cells, left-align the rest.
+                let numeric = cells[i]
+                    .chars()
+                    .all(|c| c.is_ascii_digit() || ".-+%x".contains(c));
+                if numeric && !cells[i].is_empty() {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(&cells[i]);
+                } else {
+                    line.push_str(&cells[i]);
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a float with 3 decimal places.
+pub fn f3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a".into(), "value".into()]);
+        t.row(vec!["workload-x".into(), "1.50".into()]);
+        t.row(vec!["y".into(), "12.25".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("workload-x"));
+        assert!(lines[3].ends_with("12.25"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        Table::new(vec!["a".into()]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f2(1.005), "1.00");
+        assert_eq!(f3(0.12349), "0.123");
+        assert_eq!(pct(0.973), "97.3%");
+    }
+}

@@ -1,0 +1,251 @@
+//! Runs workload traces through engine configurations, with the
+//! scale-appropriate Table II machine and per-experiment overrides.
+
+use hmg_gpu::{Engine, EngineConfig, RunMetrics};
+use hmg_protocol::{ProtocolKind, WorkloadTrace};
+use hmg_workloads::Scale;
+
+/// Builds engine configurations matched to an experiment scale and runs
+/// traces through them.
+///
+/// `Scale::Tiny` pairs with the small test machine; `Small` and `Full`
+/// pair with the paper's Table II machine. Overrides (for the
+/// sensitivity sweeps) are applied through [`Runner::configure`].
+#[derive(Debug)]
+pub struct Runner {
+    scale: Scale,
+    /// Mutation applied to every configuration before running.
+    overrides: Vec<fn(&mut EngineConfig)>,
+}
+
+impl Runner {
+    /// Creates a runner for `scale` with no overrides.
+    pub fn new(scale: Scale) -> Self {
+        Runner {
+            scale,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// The scale this runner was built for.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Registers a configuration override applied to every run (e.g. a
+    /// sweep point setting the inter-GPU bandwidth).
+    pub fn configure(&mut self, f: fn(&mut EngineConfig)) -> &mut Self {
+        self.overrides.push(f);
+        self
+    }
+
+    /// The engine configuration this runner uses for `protocol`.
+    pub fn config(&self, protocol: ProtocolKind) -> EngineConfig {
+        let mut cfg = match self.scale {
+            Scale::Tiny => EngineConfig::small_test(protocol),
+            Scale::Small | Scale::Full => EngineConfig::paper_default(protocol),
+        };
+        for f in &self.overrides {
+            f(&mut cfg);
+        }
+        cfg
+    }
+
+    /// Runs `trace` under `protocol` and returns the metrics.
+    pub fn run(&mut self, trace: &WorkloadTrace, protocol: ProtocolKind) -> RunMetrics {
+        Engine::new(self.config(protocol)).run(trace)
+    }
+
+    /// Runs `trace` under `protocol` with an additional one-off
+    /// configuration tweak.
+    pub fn run_with(
+        &mut self,
+        trace: &WorkloadTrace,
+        protocol: ProtocolKind,
+        tweak: impl FnOnce(&mut EngineConfig),
+    ) -> RunMetrics {
+        let mut cfg = self.config(protocol);
+        tweak(&mut cfg);
+        Engine::new(cfg).run(trace)
+    }
+}
+
+/// Speedup of `measured` relative to `baseline` execution time.
+///
+/// # Panics
+///
+/// Panics if `measured` reports zero cycles.
+pub fn speedup(baseline: &RunMetrics, measured: &RunMetrics) -> f64 {
+    assert!(measured.total_cycles.as_u64() > 0, "empty run");
+    baseline.total_cycles.as_u64() as f64 / measured.total_cycles.as_u64() as f64
+}
+
+/// Shrinks a machine's cache/directory capacities — and the OS page
+/// size — by `factor`, keeping associativities and line/block sizes.
+/// Used by the experiment drivers so that a workload whose footprint was
+/// scaled down by N runs on a machine whose capacities are scaled down
+/// by the same N, preserving both the footprint-to-cache ratios and the
+/// pages-per-region ratios (home-node distribution) that the paper's
+/// results depend on (DESIGN.md).
+pub fn scale_capacities(cfg: &mut EngineConfig, factor: f64) {
+    assert!(factor >= 1.0, "capacity factor must be >= 1, got {factor}");
+    let shrink = |c: hmg_mem::CacheConfig| {
+        let sets = ((c.lines / c.ways) as f64 / factor).round().max(1.0) as u32;
+        hmg_mem::CacheConfig::new(sets * c.ways, c.ways)
+    };
+    cfg.l1 = shrink(cfg.l1);
+    cfg.l2 = shrink(cfg.l2);
+    let dir_sets = ((cfg.dir.entries / cfg.dir.ways) as f64 / factor)
+        .round()
+        .max(1.0) as u32;
+    cfg.dir = hmg_mem::DirectoryConfig::new(dir_sets * cfg.dir.ways, cfg.dir.ways);
+    let block_bytes =
+        (cfg.geometry.line_bytes() * cfg.geometry.lines_per_block()) as u64;
+    let page = ((cfg.geometry.page_bytes() as f64 / factor) as u64)
+        .next_multiple_of(block_bytes)
+        .max(16 * 1024);
+    cfg.geometry = hmg_mem::MemGeometry::new(
+        cfg.geometry.line_bytes(),
+        cfg.geometry.lines_per_block(),
+        page,
+    );
+    // Kernel launch overhead amortizes over kernel duration on the real
+    // machine; scaled-down kernels get proportionally scaled overhead.
+    cfg.kernel_launch_overhead =
+        hmg_sim::Cycle(((cfg.kernel_launch_overhead.as_u64() as f64 / factor) as u64).max(200));
+}
+
+/// Maps `f` over `items` on all available cores, preserving order.
+/// Simulation runs are independent, so the experiment drivers use this
+/// to fan whole sweeps out across the machine.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results.lock().expect("poisoned")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmg_workloads::suite::by_abbrev;
+
+    #[test]
+    fn tiny_scale_uses_small_machine() {
+        let r = Runner::new(Scale::Tiny);
+        let cfg = r.config(ProtocolKind::Hmg);
+        assert_eq!(cfg.topo.num_gpus(), 2);
+        let r = Runner::new(Scale::Small);
+        assert_eq!(r.config(ProtocolKind::Hmg).topo.num_gpus(), 4);
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut r = Runner::new(Scale::Small);
+        r.configure(|c| c.fabric.inter_gpu_gbps = 400.0);
+        assert_eq!(r.config(ProtocolKind::Nhcc).fabric.inter_gpu_gbps, 400.0);
+    }
+
+    #[test]
+    fn scale_capacities_identity_at_factor_one() {
+        let base = EngineConfig::paper_default(ProtocolKind::Hmg);
+        let mut scaled = base.clone();
+        scale_capacities(&mut scaled, 1.0);
+        assert_eq!(scaled.l1, base.l1);
+        assert_eq!(scaled.l2, base.l2);
+        assert_eq!(scaled.dir, base.dir);
+        assert_eq!(scaled.geometry.page_bytes(), base.geometry.page_bytes());
+        assert_eq!(scaled.kernel_launch_overhead, base.kernel_launch_overhead);
+    }
+
+    #[test]
+    fn scale_capacities_shrinks_proportionally() {
+        let mut cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+        scale_capacities(&mut cfg, 16.0);
+        // 1024-line L1 -> 64 lines; 24576-line L2 -> 1536; 12K dir -> 768.
+        assert_eq!(cfg.l1.lines, 64);
+        assert_eq!(cfg.l2.lines, 1536);
+        assert_eq!(cfg.dir.entries, 768);
+        // Associativities preserved.
+        assert_eq!(cfg.l1.ways, 8);
+        assert_eq!(cfg.l2.ways, 16);
+        // Page shrinks and stays a multiple of the directory block.
+        assert_eq!(cfg.geometry.page_bytes(), 128 * 1024);
+        let block = (cfg.geometry.line_bytes() * cfg.geometry.lines_per_block()) as u64;
+        assert_eq!(cfg.geometry.page_bytes() % block, 0);
+        // Launch overhead scales with a floor.
+        assert!(cfg.kernel_launch_overhead.as_u64() >= 187);
+    }
+
+    #[test]
+    fn scale_capacities_has_floors() {
+        let mut cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+        scale_capacities(&mut cfg, 1e6);
+        assert!(cfg.l1.lines >= cfg.l1.ways);
+        assert!(cfg.l2.lines >= cfg.l2.ways);
+        assert!(cfg.dir.entries >= cfg.dir.ways);
+        assert!(cfg.geometry.page_bytes() >= 16 * 1024);
+        assert!(cfg.kernel_launch_overhead.as_u64() >= 200);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be >= 1")]
+    fn scale_capacities_rejects_expansion() {
+        let mut cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+        scale_capacities(&mut cfg, 0.5);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<u64> = Vec::new();
+        assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn runs_produce_metrics_and_speedup() {
+        let spec = by_abbrev("bfs").unwrap();
+        let trace = spec.generate(Scale::Tiny, 7);
+        let mut r = Runner::new(Scale::Tiny);
+        let base = r.run(&trace, ProtocolKind::NoPeerCaching);
+        let hmg = r.run(&trace, ProtocolKind::Hmg);
+        assert!(base.total_cycles.as_u64() > 0);
+        let s = speedup(&base, &hmg);
+        assert!(s > 0.5, "speedup {s} implausible");
+    }
+}

@@ -1,0 +1,215 @@
+//! Engine configuration: the Table II machine expressed in simulator
+//! units (lines, bytes per cycle, cycles).
+
+use hmg_interconnect::{FabricConfig, Topology};
+use hmg_mem::{CacheConfig, DirectoryConfig, MemGeometry, PagePlacement};
+use hmg_protocol::{MsgSizes, ProtocolKind};
+use hmg_sim::Cycle;
+
+/// L2 write policy for plain (`.cta`) stores.
+///
+/// The paper's evaluated configuration is write-through everywhere
+/// (Section VI), but Section IV-B explicitly designs for both: under
+/// write-back, plain stores coalesce as dirty lines in the issuing GPM's
+/// L2 and are flushed by evictions and release operations (using the
+/// paper's "data update without sharer tracking" message). Scoped
+/// stores are always written through to their scope home to guarantee
+/// forward progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WritePolicy {
+    /// Every store writes through immediately (the evaluated default).
+    #[default]
+    WriteThrough,
+    /// Plain stores dirty the local L2; evictions and releases flush.
+    WriteBack,
+}
+
+/// Full configuration of one simulated system.
+///
+/// Construct via [`EngineConfig::paper_default`] (the Table II machine)
+/// or [`EngineConfig::small_test`] (a fast configuration for tests), then
+/// adjust fields as needed for sweeps.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// GPUs and GPMs per GPU.
+    pub topo: Topology,
+    /// The coherence configuration to run.
+    pub protocol: ProtocolKind,
+    /// Line/block/page sizes.
+    pub geometry: MemGeometry,
+    /// Protocol message sizes.
+    pub msg: MsgSizes,
+    /// Interconnect bandwidths and latencies.
+    pub fabric: FabricConfig,
+    /// SMs per GPM (Table II: 128 per GPU / 4 GPMs = 32).
+    pub sms_per_gpm: u16,
+    /// Per-SM L1 shape (Table II: 128 KB, 128 B lines).
+    pub l1: CacheConfig,
+    /// Per-GPM L2 slice shape (Table II: 12 MB per GPU / 4 = 3 MB).
+    pub l2: CacheConfig,
+    /// Per-GPM coherence directory shape (Table II: 12K entries).
+    pub dir: DirectoryConfig,
+    /// System-home page placement policy.
+    pub placement: PagePlacement,
+    /// DRAM bandwidth per GPM in bytes/cycle (Table II: 1 TB/s per GPU).
+    pub dram_bytes_per_cycle: f64,
+    /// DRAM access latency.
+    pub dram_latency: Cycle,
+    /// L1 hit/lookup latency.
+    pub l1_latency: Cycle,
+    /// L2 slice access latency (data array, charged when serving data).
+    pub l2_latency: Cycle,
+    /// L2 tag-probe latency, charged when a lookup misses and the
+    /// request is forwarded onward (pass-through nodes of the
+    /// hierarchical path probe tags without touching the data array).
+    pub l2_tag_latency: Cycle,
+    /// Maximum in-flight load/atomic misses per SM (one per warp).
+    pub max_outstanding_per_sm: u32,
+    /// Cycles an SM spends issuing one memory instruction.
+    pub issue_cycles: u32,
+    /// Fixed cost of launching a kernel (host-side + scheduling).
+    pub kernel_launch_overhead: Cycle,
+    /// Latency for a flag update to become visible to waiters.
+    pub flag_latency: Cycle,
+    /// Cycles charged to an SM for a bulk L1 invalidation at an acquire.
+    pub acquire_l1_cost: u32,
+    /// Cycles charged for a bulk L2 invalidation at an acquire (software
+    /// coherence only).
+    pub acquire_l2_cost: u32,
+    /// Record the Fig. 3 peer-redundancy statistic (costs memory).
+    pub track_peer_redundancy: bool,
+    /// Coherence-checker hook: when set to a raw line index, every load
+    /// of that line records the version it observed into
+    /// [`crate::RunMetrics::probe`].
+    pub probe_line: Option<u64>,
+    /// Ablation: make release fences complete instantly (no fence
+    /// traffic, no drain waiting). Quantifies the cost of HMG's only
+    /// acknowledged operation. Breaks the visibility guarantees the
+    /// coherence checker tests, so only use it for performance ablation.
+    pub zero_cost_fences: bool,
+    /// L2 write policy for plain stores (Section IV-B gives both
+    /// options; Section VI evaluates write-through).
+    pub l2_write_policy: WritePolicy,
+    /// Optional sharer-downgrade messages on clean L2 evictions
+    /// (Section IV-B "Cache Eviction", first option). Deletes the
+    /// evicting GPM from the home directory when its last line of the
+    /// block departs, saving a later spurious invalidation. The paper's
+    /// evaluation leaves this off (Section VI).
+    pub sharer_downgrades: bool,
+}
+
+impl EngineConfig {
+    /// The Table II machine: 4 GPUs x 4 GPMs, 32 SMs/GPM, 128 KB L1s,
+    /// 3 MB L2 slices, 12K-entry directories, 2 TB/s intra-GPU and
+    /// 200 GB/s inter-GPU bandwidth, 1 TB/s DRAM per GPU, 1.3 GHz.
+    pub fn paper_default(protocol: ProtocolKind) -> Self {
+        let geometry = MemGeometry::paper_default();
+        EngineConfig {
+            topo: Topology::new(4, 4),
+            protocol,
+            geometry,
+            msg: MsgSizes::paper_default(),
+            fabric: FabricConfig::paper_default(),
+            sms_per_gpm: 32,
+            l1: CacheConfig::new((128 * 1024 / 128) as u32, 8),
+            l2: CacheConfig::new((3 * 1024 * 1024 / 128) as u32, 16),
+            dir: DirectoryConfig::paper_default(),
+            placement: PagePlacement::FirstTouch,
+            // 1 TB/s per GPU / 4 GPMs at 1.3 GHz ~ 192 B/cycle.
+            dram_bytes_per_cycle: 250.0 / 1.3,
+            dram_latency: Cycle(350),
+            l1_latency: Cycle(30),
+            l2_latency: Cycle(120),
+            l2_tag_latency: Cycle(40),
+            max_outstanding_per_sm: 96,
+            issue_cycles: 2,
+            kernel_launch_overhead: Cycle(3000),
+            flag_latency: Cycle(150),
+            acquire_l1_cost: 30,
+            acquire_l2_cost: 120,
+            track_peer_redundancy: false,
+            probe_line: None,
+            zero_cost_fences: false,
+            l2_write_policy: WritePolicy::WriteThrough,
+            sharer_downgrades: false,
+        }
+    }
+
+    /// A deliberately small machine for unit/integration tests:
+    /// 2 GPUs x 2 GPMs, 2 SMs per GPM, tiny caches, low latencies.
+    pub fn small_test(protocol: ProtocolKind) -> Self {
+        let mut c = EngineConfig::paper_default(protocol);
+        c.topo = Topology::new(2, 2);
+        c.sms_per_gpm = 2;
+        c.l1 = CacheConfig::new(64, 4);
+        c.l2 = CacheConfig::new(256, 8);
+        c.dir = hmg_mem::DirectoryConfig::new(128, 4);
+        c.dram_latency = Cycle(50);
+        c.l1_latency = Cycle(5);
+        c.l2_latency = Cycle(10);
+        c.l2_tag_latency = Cycle(4);
+        c.kernel_launch_overhead = Cycle(100);
+        c.flag_latency = Cycle(20);
+        c
+    }
+
+    /// Total SMs in the system.
+    pub fn total_sms(&self) -> u32 {
+        self.topo.num_gpms() as u32 * self.sms_per_gpm as u32
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory granularity and message sizes disagree
+    /// with the geometry, or dimensions are zero.
+    pub fn validate(&self) {
+        assert!(self.sms_per_gpm > 0, "need at least one SM per GPM");
+        assert!(self.max_outstanding_per_sm > 0);
+        assert!(self.issue_cycles > 0);
+        assert!(self.dram_bytes_per_cycle > 0.0);
+        assert_eq!(
+            self.msg.load_resp,
+            self.msg.header + self.geometry.line_bytes(),
+            "response size must carry exactly one line"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table_ii() {
+        let c = EngineConfig::paper_default(ProtocolKind::Hmg);
+        assert_eq!(c.topo.num_gpus(), 4);
+        assert_eq!(c.topo.gpms_per_gpu(), 4);
+        assert_eq!(c.total_sms(), 512);
+        assert_eq!(c.sms_per_gpm as u32 * c.topo.gpms_per_gpu() as u32, 128);
+        assert_eq!(c.l1.lines * 128, 128 * 1024); // 128 KB per SM
+        assert_eq!(c.l2.lines as u64 * 128 * 4, 12 * 1024 * 1024); // 12 MB per GPU
+        assert_eq!(c.l2.ways, 16);
+        assert_eq!(c.dir.entries, 12 * 1024);
+        assert_eq!(c.geometry.page_bytes(), 2 * 1024 * 1024);
+        assert!((c.fabric.intra_gpu_gbps - 2000.0).abs() < 1e-9);
+        assert!((c.fabric.inter_gpu_gbps - 200.0).abs() < 1e-9);
+        c.validate();
+    }
+
+    #[test]
+    fn small_test_is_consistent() {
+        for p in ProtocolKind::ALL {
+            EngineConfig::small_test(p).validate();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "response size")]
+    fn validate_catches_msg_geometry_mismatch() {
+        let mut c = EngineConfig::small_test(ProtocolKind::Hmg);
+        c.msg.load_resp = 10;
+        c.validate();
+    }
+}

@@ -1,0 +1,2291 @@
+//! The event-driven engine: replays a workload trace through the modeled
+//! cache/directory/interconnect system under one coherence configuration.
+//!
+//! # Model summary
+//!
+//! * Each SM issues its CTA's trace ops in order, with up to
+//!   `max_outstanding_per_sm` load/atomic misses in flight (warp-level
+//!   memory parallelism). Stores are fire-and-forget write-throughs,
+//!   drained by release fences.
+//! * Loads walk the hierarchy: local L2 → GPU home (hierarchical
+//!   protocols) → system home → DRAM, obeying the scope hit rules of
+//!   [`ProtocolKind::load_may_hit`]. Responses fill caches on the way
+//!   back where [`ProtocolKind::may_fill`] allows.
+//! * Stores write through along the same path, updating copies they pass
+//!   and triggering Table I directory transitions (and thus background
+//!   invalidations) at home nodes.
+//! * Release fences broadcast to the protocol's fence domain and
+//!   additionally wait for this GPM's outstanding write-throughs and
+//!   store-caused invalidations to drain — the paper's requirement that
+//!   releases "ensure completion of any write-through operations and
+//!   invalidation messages that are still in flight".
+//! * Kernel boundaries carry the implicit `.sys` acquire (bulk cache
+//!   invalidation under software coherence) and release (fence per GPM).
+
+use std::collections::VecDeque;
+
+use hmg_interconnect::{Fabric, GpmId, GpuId, MsgClass};
+use hmg_mem::{
+    BlockAddr, Cache, Directory, Dram, LineAddr, PageMap, Sharer, VersionStore,
+};
+use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
+use hmg_protocol::{AccessKind, ProtocolKind, Scope, TraceOp, WorkloadTrace};
+use hmg_sim::{Cycle, EventQueue};
+
+use crate::config::EngineConfig;
+use crate::metrics::RunMetrics;
+
+/// One L2 line's metadata: the data version it holds and, under the
+/// write-back policy, whether it is dirty (newer than its home).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct L2Line {
+    version: u64,
+    dirty: bool,
+}
+
+impl L2Line {
+    fn clean(version: u64) -> Self {
+        L2Line {
+            version,
+            dirty: false,
+        }
+    }
+}
+
+/// Identifies one SM: its GPM and its index within the GPM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SmRef {
+    gpm: GpmId,
+    sm: u16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SmState {
+    /// Has a pending `SmResume` event or is mid-issue.
+    Runnable,
+    /// Out of outstanding-miss capacity; woken by a response.
+    StalledMem,
+    /// Waiting on a release fence.
+    FenceWait,
+    /// Waiting on a counting flag.
+    FlagWait(u32),
+    /// No CTA to run.
+    Idle,
+}
+
+#[derive(Debug)]
+struct Sm {
+    l1: Cache<u64>,
+    cta: Option<usize>,
+    pc: usize,
+    outstanding: u32,
+    state: SmState,
+}
+
+#[derive(Debug)]
+struct Gpm {
+    l2: Cache<L2Line>,
+    dir: Directory,
+    dram: Dram,
+    /// Stores issued by this GPM not yet past their GPU-level ordering point.
+    st_pending_gpu: u64,
+    /// Stores issued by this GPM not yet committed at the system home.
+    st_pending_sys: u64,
+    /// Store-caused invalidations headed to targets within this GPM's GPU.
+    inv_pending_gpu: u64,
+    /// All store-caused invalidations attributed to this GPM.
+    inv_pending_sys: u64,
+    /// CTA work queue for the current kernel.
+    cta_queue: VecDeque<usize>,
+    /// CARVE-like sharing classification for blocks homed here.
+    carve: std::collections::HashMap<BlockAddr, CarveClass>,
+}
+
+/// A load or atomic request in flight.
+#[derive(Debug, Clone, Copy)]
+struct MemMsg {
+    sm: SmRef,
+    line: LineAddr,
+    kind: AccessKind,
+    scope: Scope,
+    /// For atomics: the version the RMW will publish.
+    version: u64,
+    /// Issue time, for latency accounting.
+    issued_at: Cycle,
+}
+
+/// A store (or atomic write-through continuation) in flight.
+#[derive(Debug, Clone, Copy)]
+struct StoreMsg {
+    origin: GpmId,
+    line: LineAddr,
+    version: u64,
+    /// Whether the store has passed its GPU-level ordering point.
+    gpu_ordered: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InvCause {
+    Store,
+    Eviction,
+}
+
+/// CARVE-like per-block sharing classification, kept at the block's
+/// system home. (CARVE stores this metadata in spare DRAM; the map is
+/// the idealization of that storage.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CarveClass {
+    /// Accessed by exactly one GPM so far.
+    Private(GpmId),
+    /// Read by multiple GPMs, never written by a non-owner.
+    ReadOnly,
+    /// Read-write shared: stores broadcast invalidations.
+    ReadWrite,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InvMsg {
+    block: BlockAddr,
+    cause: InvCause,
+    /// GPM whose store caused this invalidation (counter attribution).
+    causer: GpmId,
+    /// Counted against the causer's pending counters (store-caused only).
+    counted: bool,
+    /// Arriving at a GPU home from the system home (HMG forwards these).
+    from_sys: bool,
+    target: GpmId,
+}
+
+#[derive(Debug)]
+struct Fence {
+    gpm: GpmId,
+    scope: Scope,
+    /// `Some` for an SM-issued release, `None` for a kernel-end fence.
+    sm: Option<SmRef>,
+    acks_done: bool,
+    completed: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    SmResume(SmRef),
+    Req { msg: MemMsg, node: GpmId },
+    Store { msg: StoreMsg, node: GpmId },
+    RespGpuHome { msg: MemMsg, node: GpmId },
+    Resp { msg: MemMsg },
+    Inv(InvMsg),
+    Downgrade {
+        block: BlockAddr,
+        target: GpmId,
+        evictor: GpmId,
+    },
+    FenceAcks(usize),
+    KernelStart(usize),
+}
+
+/// The simulation engine. Construct with a validated [`EngineConfig`],
+/// then call [`Engine::run`] on a trace.
+#[derive(Debug)]
+pub struct Engine {
+    cfg: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent
+    /// (see [`EngineConfig::validate`]).
+    pub fn new(cfg: EngineConfig) -> Self {
+        cfg.validate();
+        Engine { cfg }
+    }
+
+    /// The configuration this engine runs.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Replays `trace` to completion and returns the collected metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (a `WaitFlag` whose count is never reached).
+    pub fn run(&self, trace: &WorkloadTrace) -> RunMetrics {
+        let mut sim = Sim::new(&self.cfg, trace);
+        sim.run()
+    }
+}
+
+/// Maximum ops an SM issues per `SmResume` event before yielding.
+const ISSUE_BATCH: usize = 256;
+
+struct Sim<'t> {
+    cfg: &'t EngineConfig,
+    trace: &'t WorkloadTrace,
+    q: EventQueue<Ev>,
+    fabric: Fabric,
+    pages: PageMap,
+    versions: VersionStore,
+    gpms: Vec<Gpm>,
+    sms: Vec<Sm>,
+    fences: Vec<Fence>,
+    /// Indices of fences not yet completed (scanned on every counter
+    /// change; completed entries are swap-removed so the scan stays
+    /// proportional to fences actually in flight).
+    active_fences: Vec<usize>,
+    flags: std::collections::HashMap<u32, u32>,
+    flag_waiters: std::collections::HashMap<u32, Vec<SmRef>>,
+    /// MSHR-style miss coalescing: requests merged behind an outstanding
+    /// fill of the same line at the same node. Keyed by (node, line).
+    mshr: std::collections::HashMap<(u16, LineAddr), Vec<MemMsg>>,
+    /// Line -> bitmask of GPMs that have loaded it (Fig. 3 tracking).
+    touch_map: std::collections::HashMap<LineAddr, u64>,
+    /// Line -> latest version committed at its system home.
+    committed: std::collections::HashMap<LineAddr, u64>,
+    kernel: usize,
+    ctas_unfinished: u64,
+    loads_inflight: u64,
+    kernel_fences_left: u32,
+    draining: bool,
+    finished: bool,
+    m: RunMetrics,
+}
+
+impl<'t> Sim<'t> {
+    fn new(cfg: &'t EngineConfig, trace: &'t WorkloadTrace) -> Self {
+        let topo = cfg.topo;
+        let gpms = topo
+            .all_gpms()
+            .map(|_| Gpm {
+                l2: Cache::new(cfg.l2),
+                dir: Directory::new(cfg.dir, topo),
+                dram: Dram::new(cfg.dram_bytes_per_cycle, cfg.dram_latency),
+                st_pending_gpu: 0,
+                st_pending_sys: 0,
+                inv_pending_gpu: 0,
+                inv_pending_sys: 0,
+                cta_queue: VecDeque::new(),
+                carve: std::collections::HashMap::new(),
+            })
+            .collect();
+        let sms = (0..cfg.total_sms())
+            .map(|_| Sm {
+                l1: Cache::new(cfg.l1),
+                cta: None,
+                pc: 0,
+                outstanding: 0,
+                state: SmState::Idle,
+            })
+            .collect();
+        Sim {
+            cfg,
+            trace,
+            q: EventQueue::new(),
+            fabric: Fabric::new(topo, cfg.fabric),
+            pages: PageMap::new(topo, cfg.placement),
+            versions: VersionStore::new(),
+            gpms,
+            sms,
+            fences: Vec::new(),
+            active_fences: Vec::new(),
+            flags: std::collections::HashMap::new(),
+            flag_waiters: std::collections::HashMap::new(),
+            mshr: std::collections::HashMap::new(),
+            touch_map: std::collections::HashMap::new(),
+            committed: std::collections::HashMap::new(),
+            kernel: 0,
+            ctas_unfinished: 0,
+            loads_inflight: 0,
+            kernel_fences_left: 0,
+            draining: false,
+            finished: false,
+            m: RunMetrics::default(),
+        }
+    }
+
+    // ---------- identity helpers ----------
+
+    fn sm_index(&self, r: SmRef) -> usize {
+        r.gpm.index() * self.cfg.sms_per_gpm as usize + r.sm as usize
+    }
+
+    fn sm(&mut self, r: SmRef) -> &mut Sm {
+        let i = self.sm_index(r);
+        &mut self.sms[i]
+    }
+
+    fn line_of(&self, addr: hmg_mem::Addr) -> LineAddr {
+        self.cfg.geometry.line_of(addr)
+    }
+
+    /// System home GPM of `line` (first-touch assigned by `toucher`).
+    fn sys_home(&mut self, line: LineAddr, toucher: GpmId) -> GpmId {
+        let page = self.cfg.geometry.page_of_line(line);
+        self.pages.home_of(page, toucher)
+    }
+
+    /// GPU home of `line` within `gpu`, given its system home.
+    fn gpu_home(&self, gpu: GpuId, line: LineAddr, sys_home: GpmId) -> GpmId {
+        let block = self.cfg.geometry.block_of(line);
+        self.pages.gpu_home(gpu, block, sys_home)
+    }
+
+    /// The cache level `node` represents for `line` requested by `req_gpm`.
+    fn level_of(&self, node: GpmId, req_gpm: GpmId, sys_home: GpmId, gpu_home: GpmId) -> CacheLevel {
+        if node == sys_home {
+            CacheLevel::SysHomeL2
+        } else if self.cfg.protocol.hierarchical_routing() && node == gpu_home {
+            let _ = req_gpm;
+            CacheLevel::GpuHomeL2
+        } else {
+            CacheLevel::LocalL2NonHome
+        }
+    }
+
+    /// The next node a request at `node` forwards to, or `None` when
+    /// `node` is the system home (next stop is DRAM).
+    fn next_node(&self, node: GpmId, req_gpm: GpmId, sys_home: GpmId, gpu_home: GpmId) -> Option<GpmId> {
+        if node == sys_home {
+            return None;
+        }
+        if self.cfg.protocol.hierarchical_routing() && node != gpu_home && node == req_gpm {
+            Some(gpu_home)
+        } else {
+            Some(sys_home)
+        }
+    }
+
+    // ---------- main loop ----------
+
+    fn run(&mut self) -> RunMetrics {
+        if self.trace.kernels.is_empty() {
+            self.m.total_cycles = Cycle::ZERO;
+            return std::mem::take(&mut self.m);
+        }
+        self.q.push(Cycle::ZERO, Ev::KernelStart(0));
+        while let Some((now, ev)) = self.q.pop() {
+            match ev {
+                Ev::SmResume(r) => self.sm_issue(now, r),
+                Ev::Req { msg, node } => self.handle_req(now, msg, node),
+                Ev::Store { msg, node } => self.handle_store(now, msg, node),
+                Ev::RespGpuHome { msg, node } => self.handle_resp_gpu_home(now, msg, node),
+                Ev::Resp { msg } => self.handle_resp(now, msg),
+                Ev::Inv(inv) => self.handle_inv(now, inv),
+                Ev::Downgrade {
+                    block,
+                    target,
+                    evictor,
+                } => {
+                    let topo = self.cfg.topo;
+                    if let Some(sharers) = self.gpms[target.index()].dir.lookup_mut(block) {
+                        sharers.remove(&topo, Sharer::Gpm(evictor));
+                    }
+                }
+                Ev::FenceAcks(id) => self.handle_fence_acks(now, id),
+                Ev::KernelStart(k) => self.kernel_start(now, k),
+            }
+            if self.finished {
+                break;
+            }
+        }
+        assert!(
+            self.finished,
+            "simulation deadlocked: kernel {}/{} unfinished_ctas={} loads_inflight={} \
+             mshr_entries={} (a WaitFlag count was likely never reached)",
+            self.kernel,
+            self.trace.num_kernels(),
+            self.ctas_unfinished,
+            self.loads_inflight,
+            self.mshr.len()
+        );
+        #[cfg(debug_assertions)]
+        if !self.cfg.zero_cost_fences {
+            // Every kernel-end fence waits for write-throughs and
+            // invalidations; nothing may be left in flight at the end.
+            self.assert_drained();
+        }
+        self.m.total_cycles = self.q.now();
+        self.m.events = self.q.events_processed();
+        self.m.fabric = *self.fabric.stats();
+        self.m.dram_bytes = self.gpms.iter().map(|g| g.dram.bytes_transferred()).sum();
+        let elapsed = self.m.total_cycles;
+        self.m.max_dram_util = self
+            .gpms
+            .iter()
+            .map(|g| g.dram.utilization(elapsed))
+            .fold(0.0, f64::max);
+        self.m.max_inter_util = self
+            .cfg
+            .topo
+            .all_gpus()
+            .map(|g| self.fabric.inter_egress_utilization(g, elapsed))
+            .fold(0.0, f64::max);
+        self.m.max_intra_util = self
+            .cfg
+            .topo
+            .all_gpms()
+            .map(|g| {
+                self.fabric
+                    .intra_egress_utilization(g, elapsed)
+                    .max(self.fabric.intra_ingress_utilization(g, elapsed))
+            })
+            .fold(0.0, f64::max);
+        std::mem::take(&mut self.m)
+    }
+
+    // ---------- kernel lifecycle ----------
+
+    fn kernel_start(&mut self, now: Cycle, k: usize) {
+        self.kernel = k;
+        let kernel = &self.trace.kernels[k];
+        let n_ctas = kernel.num_ctas();
+        self.ctas_unfinished = n_ctas as u64;
+        if n_ctas == 0 {
+            self.kernel_end(now);
+            return;
+        }
+        self.draining = false;
+
+        // Implicit .sys acquire at kernel launch: bulk-invalidate caches
+        // according to the protocol (software coherence pays here).
+        self.apply_acquire_everywhere(now);
+
+        // Contiguous CTA scheduling: adjacent CTAs share a GPM [5, 13].
+        let num_gpms = self.cfg.topo.num_gpms() as usize;
+        let chunk = n_ctas.div_ceil(num_gpms);
+        for g in 0..num_gpms {
+            self.gpms[g].cta_queue.clear();
+            let lo = (g * chunk).min(n_ctas);
+            let hi = ((g + 1) * chunk).min(n_ctas);
+            self.gpms[g].cta_queue.extend(lo..hi);
+        }
+
+        let start = now + self.cfg.kernel_launch_overhead;
+        for gpm in self.cfg.topo.all_gpms() {
+            for sm in 0..self.cfg.sms_per_gpm {
+                let r = SmRef { gpm, sm };
+                let cta = self.gpms[gpm.index()].cta_queue.pop_front();
+                let s = self.sm(r);
+                s.cta = cta;
+                s.pc = 0;
+                if cta.is_some() {
+                    s.state = SmState::Runnable;
+                    self.q.push(start, Ev::SmResume(r));
+                } else {
+                    s.state = SmState::Idle;
+                }
+            }
+        }
+    }
+
+    fn apply_acquire_everywhere(&mut self, now: Cycle) {
+        let action = self.cfg.protocol.acquire_action(Scope::Sys);
+        match action {
+            AcquireAction::None => {}
+            AcquireAction::L1 => {
+                for sm in &mut self.sms {
+                    self.m.lines_bulk_invalidated += sm.l1.invalidate_all();
+                }
+            }
+            AcquireAction::L1AndLocalL2 | AcquireAction::L1AndAllGpuL2 => {
+                for sm in &mut self.sms {
+                    self.m.lines_bulk_invalidated += sm.l1.invalidate_all();
+                }
+                for gpm in self.cfg.topo.all_gpms() {
+                    self.m.lines_bulk_invalidated += self.wipe_l2(now, gpm);
+                }
+            }
+        }
+    }
+
+    fn maybe_kernel_end(&mut self, now: Cycle) {
+        if self.ctas_unfinished == 0 && self.loads_inflight == 0 && !self.draining {
+            self.kernel_end(now);
+        }
+    }
+
+    fn kernel_end(&mut self, now: Cycle) {
+        // Implicit .sys release: flush dirty data (write-back policy),
+        // then one fence per GPM drains write-throughs and in-flight
+        // invalidations before the next dependent kernel.
+        if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack {
+            for gpm in self.cfg.topo.all_gpms() {
+                self.flush_dirty(now, gpm);
+            }
+        }
+        self.draining = true;
+        self.kernel_fences_left = 0;
+        let domain = self.cfg.protocol.release_domain(Scope::Sys);
+        if domain == FenceDomain::None {
+            self.advance_kernel(now);
+            return;
+        }
+        for gpm in self.cfg.topo.all_gpms() {
+            self.kernel_fences_left += 1;
+            self.start_fence(now, gpm, Scope::Sys, None);
+        }
+    }
+
+    fn advance_kernel(&mut self, now: Cycle) {
+        self.m.kernel_end_cycles.push(now.as_u64());
+        if self.kernel + 1 < self.trace.num_kernels() {
+            self.q.push(now, Ev::KernelStart(self.kernel + 1));
+        } else {
+            self.finished = true;
+        }
+    }
+
+    // ---------- SM issue ----------
+
+    fn sm_issue(&mut self, now: Cycle, r: SmRef) {
+        let mut t = now;
+        let idx = self.sm_index(r);
+        if self.sms[idx].state != SmState::Runnable {
+            return;
+        }
+        for _ in 0..ISSUE_BATCH {
+            let (kernel, cta, pc) = {
+                let s = &self.sms[idx];
+                match s.cta {
+                    Some(c) => (self.kernel, c, s.pc),
+                    None => {
+                        self.sms[idx].state = SmState::Idle;
+                        self.maybe_kernel_end(t);
+                        return;
+                    }
+                }
+            };
+            let ops = &self.trace.kernels[kernel].ctas[cta].ops;
+            if pc >= ops.len() {
+                // CTA complete; grab the next one from the GPM queue.
+                self.ctas_unfinished -= 1;
+                let next = self.gpms[r.gpm.index()].cta_queue.pop_front();
+                let s = &mut self.sms[idx];
+                s.cta = next;
+                s.pc = 0;
+                if next.is_none() {
+                    s.state = SmState::Idle;
+                    self.maybe_kernel_end(t);
+                    return;
+                }
+                continue;
+            }
+            let op = ops[pc];
+            match op {
+                TraceOp::Access(a) => {
+                    let line = self.line_of(a.addr);
+                    match a.kind {
+                        AccessKind::Load => {
+                            if !self.issue_load(t, r, line, a.scope) {
+                                // Stalled for capacity: retry this op later.
+                                self.sms[idx].state = SmState::StalledMem;
+                                return;
+                            }
+                        }
+                        AccessKind::Store => self.issue_store(t, r, line, a.scope),
+                        AccessKind::Atomic => {
+                            if !self.issue_atomic(t, r, line, a.scope) {
+                                self.sms[idx].state = SmState::StalledMem;
+                                return;
+                            }
+                        }
+                    }
+                    self.sms[idx].pc += 1;
+                    t += Cycle(self.cfg.issue_cycles as u64);
+                }
+                TraceOp::Delay(d) => {
+                    self.sms[idx].pc += 1;
+                    self.q.push(t + Cycle(d as u64), Ev::SmResume(r));
+                    return;
+                }
+                TraceOp::Acquire(scope) => {
+                    t += self.apply_acquire(t, r, scope);
+                    self.sms[idx].pc += 1;
+                }
+                TraceOp::Release(scope) => {
+                    self.sms[idx].pc += 1;
+                    if self.cfg.protocol.release_domain(scope) == FenceDomain::None {
+                        continue;
+                    }
+                    if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack {
+                        self.flush_dirty(t, r.gpm);
+                    }
+                    self.sms[idx].state = SmState::FenceWait;
+                    self.start_fence(t, r.gpm, scope, Some(r));
+                    return;
+                }
+                TraceOp::SetFlag(f) => {
+                    self.sms[idx].pc += 1;
+                    *self.flags.entry(f).or_insert(0) += 1;
+                    if let Some(waiters) = self.flag_waiters.remove(&f) {
+                        let wake = t + self.cfg.flag_latency;
+                        for w in waiters {
+                            let wi = self.sm_index(w);
+                            if self.sms[wi].state == SmState::FlagWait(f) {
+                                self.sms[wi].state = SmState::Runnable;
+                                self.q.push(wake, Ev::SmResume(w));
+                            }
+                        }
+                    }
+                    t += Cycle(self.cfg.issue_cycles as u64);
+                }
+                TraceOp::WaitFlag { flag, count } => {
+                    if self.flags.get(&flag).copied().unwrap_or(0) >= count {
+                        self.sms[idx].pc += 1;
+                        t += Cycle(self.cfg.issue_cycles as u64);
+                    } else {
+                        self.sms[idx].state = SmState::FlagWait(flag);
+                        self.flag_waiters.entry(flag).or_default().push(r);
+                        return;
+                    }
+                }
+            }
+        }
+        // Yield after a long batch so other events interleave.
+        self.q.push(t, Ev::SmResume(r));
+    }
+
+    /// Issues a load. Returns `false` if the SM is out of miss capacity.
+    fn issue_load(&mut self, t: Cycle, r: SmRef, line: LineAddr, scope: Scope) -> bool {
+        let proto = self.cfg.protocol;
+        let idx = self.sm_index(r);
+        if proto.load_may_hit(CacheLevel::L1, scope) {
+            if let Some(&v) = self.sms[idx].l1.get(line) {
+                self.m.loads += 1;
+                self.m.l1_hits += 1;
+                self.record_touch(r, line);
+                self.record_probe(r, line, v);
+                return true;
+            }
+        }
+        if self.sms[idx].outstanding >= self.cfg.max_outstanding_per_sm {
+            return false;
+        }
+        self.m.loads += 1;
+        self.record_touch(r, line);
+        self.sms[idx].outstanding += 1;
+        self.loads_inflight += 1;
+        if self.loads_inflight > self.m.max_loads_inflight {
+            self.m.max_loads_inflight = self.loads_inflight;
+        }
+        let msg = MemMsg {
+            sm: r,
+            line,
+            kind: AccessKind::Load,
+            scope,
+            version: 0,
+            issued_at: t,
+        };
+        self.q
+            .push(t + self.cfg.l1_latency, Ev::Req { msg, node: r.gpm });
+        true
+    }
+
+    /// Fig. 3 bookkeeping: remember which GPMs touched each line.
+    fn record_touch(&mut self, r: SmRef, line: LineAddr) {
+        if self.cfg.track_peer_redundancy {
+            let mask = self.touch_map.entry(line).or_insert(0);
+            *mask |= 1u64 << r.gpm.index();
+        }
+    }
+
+    /// Coherence-checker hook: records the version each load of the probe
+    /// line observes.
+    fn record_probe(&mut self, r: SmRef, line: LineAddr, version: u64) {
+        if self.cfg.probe_line == Some(line.0) {
+            let sm = self.sm_index(r) as u32;
+            self.m.probe.push((sm, version));
+        }
+    }
+
+    fn issue_store(&mut self, t: Cycle, r: SmRef, line: LineAddr, scope: Scope) {
+        self.m.stores += 1;
+        let v = self.versions.bump(line);
+        let idx = self.sm_index(r);
+        // The L1 is always write-through with write-update, no-allocate.
+        if let Some(meta) = self.sms[idx].l1.get_mut(line) {
+            *meta = v;
+        }
+        // §IV-B write-back option: plain stores coalesce as dirty lines
+        // in the local L2; evictions and releases flush them. Scoped
+        // stores always write through to their scope home.
+        if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack
+            && scope == Scope::Cta
+        {
+            self.fill_l2(
+                t + self.cfg.l1_latency,
+                r.gpm,
+                line,
+                L2Line {
+                    version: v,
+                    dirty: true,
+                },
+            );
+            return;
+        }
+        let g = &mut self.gpms[r.gpm.index()];
+        g.st_pending_gpu += 1;
+        g.st_pending_sys += 1;
+        let msg = StoreMsg {
+            origin: r.gpm,
+            line,
+            version: v,
+            gpu_ordered: false,
+        };
+        self.q
+            .push(t + self.cfg.l1_latency, Ev::Store { msg, node: r.gpm });
+    }
+
+    /// Issues an atomic. Returns `false` if out of miss capacity.
+    fn issue_atomic(&mut self, t: Cycle, r: SmRef, line: LineAddr, scope: Scope) -> bool {
+        let idx = self.sm_index(r);
+        if self.sms[idx].outstanding >= self.cfg.max_outstanding_per_sm {
+            return false;
+        }
+        self.m.loads += 1; // response-bearing
+        self.m.stores += 1; // write-committing
+        let v = self.versions.bump(line);
+        let g = &mut self.gpms[r.gpm.index()];
+        g.st_pending_gpu += 1;
+        g.st_pending_sys += 1;
+        self.sms[idx].outstanding += 1;
+        self.loads_inflight += 1;
+        let msg = MemMsg {
+            sm: r,
+            line,
+            kind: AccessKind::Atomic,
+            scope,
+            version: v,
+            issued_at: t,
+        };
+        self.q
+            .push(t + self.cfg.l1_latency, Ev::Req { msg, node: r.gpm });
+        true
+    }
+
+    fn apply_acquire(&mut self, t: Cycle, r: SmRef, scope: Scope) -> Cycle {
+        let idx = self.sm_index(r);
+        match self.cfg.protocol.acquire_action(scope) {
+            AcquireAction::None => Cycle::ZERO,
+            AcquireAction::L1 => {
+                self.m.lines_bulk_invalidated += self.sms[idx].l1.invalidate_all();
+                Cycle(self.cfg.acquire_l1_cost as u64)
+            }
+            AcquireAction::L1AndLocalL2 => {
+                self.m.lines_bulk_invalidated += self.sms[idx].l1.invalidate_all();
+                self.m.lines_bulk_invalidated += self.wipe_l2(t, r.gpm);
+                Cycle((self.cfg.acquire_l1_cost + self.cfg.acquire_l2_cost) as u64)
+            }
+            AcquireAction::L1AndAllGpuL2 => {
+                self.m.lines_bulk_invalidated += self.sms[idx].l1.invalidate_all();
+                let gpu = self.cfg.topo.gpu_of(r.gpm);
+                let gpms: Vec<GpmId> = self.cfg.topo.gpms_of(gpu).collect();
+                for g in gpms {
+                    self.m.lines_bulk_invalidated += self.wipe_l2(t, g);
+                }
+                Cycle((self.cfg.acquire_l1_cost + 2 * self.cfg.acquire_l2_cost) as u64)
+            }
+        }
+    }
+
+    // ---------- request path ----------
+
+    fn handle_req(&mut self, now: Cycle, msg: MemMsg, node: GpmId) {
+        let proto = self.cfg.protocol;
+        let req_gpm = msg.sm.gpm;
+        let req_gpu = self.cfg.topo.gpu_of(req_gpm);
+        let sys_home = self.sys_home(msg.line, req_gpm);
+        let gpu_home = self.gpu_home(req_gpu, msg.line, sys_home);
+        let level = self.level_of(node, req_gpm, sys_home, gpu_home);
+        // A lookup that forwards costs only a tag probe; serving data
+        // (hits, DRAM fetches, atomics) costs the full data-array access.
+        let t = now + self.cfg.l2_tag_latency;
+        let t_data = now + self.cfg.l2_latency;
+        let block = self.cfg.geometry.block_of(msg.line);
+
+        // Fig. 3: the request is about to leave the requester's GPU.
+        if self.cfg.track_peer_redundancy
+            && msg.kind == AccessKind::Load
+            && node == req_gpm
+            && self.cfg.topo.gpu_of(sys_home) != req_gpu
+        {
+            self.m.inter_gpu_loads += 1;
+            let mask = self.touch_map.get(&msg.line).copied().unwrap_or(0);
+            let gpu_mask: u64 = self
+                .cfg
+                .topo
+                .gpms_of(req_gpu)
+                .filter(|g| *g != req_gpm)
+                .map(|g| 1u64 << g.index())
+                .sum();
+            if mask & gpu_mask != 0 {
+                self.m.inter_gpu_loads_peer_redundant += 1;
+            }
+        }
+
+        // Atomics are performed at the home node of their scope; on the
+        // way there they act like stores on every directory they pass.
+        if msg.kind == AccessKind::Atomic {
+            let perform_here = match msg.scope {
+                Scope::Cta => node == req_gpm,
+                Scope::Gpu => {
+                    if proto.hierarchical_routing() {
+                        node == gpu_home
+                    } else {
+                        node == sys_home
+                    }
+                }
+                Scope::Sys => node == sys_home,
+            };
+            if perform_here {
+                self.perform_atomic(t_data, msg, node, sys_home, gpu_home);
+            } else {
+                if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
+                    let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
+                    let local = req_gpm == node;
+                    self.dir_store(t, node, block, sharer, local, req_gpm);
+                }
+                self.forward_req(t, msg, node, req_gpm, sys_home, gpu_home);
+            }
+            return;
+        }
+
+        // Hardware directory participation for loads (Table I).
+        if proto.has_hw_directory()
+            && self.node_is_dir_home(node, sys_home, gpu_home)
+            && req_gpm != node
+        {
+            let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
+            self.dir_remote_load(t, node, block, sharer);
+        }
+
+        // CARVE-like classifier: loads widen Private -> ReadOnly.
+        if proto.has_broadcast_classifier() && node == sys_home {
+            let entry = self.gpms[node.index()]
+                .carve
+                .entry(block)
+                .or_insert(CarveClass::Private(req_gpm));
+            if let CarveClass::Private(owner) = *entry {
+                if owner != req_gpm {
+                    *entry = CarveClass::ReadOnly;
+                }
+            }
+        }
+
+        // Load hit check.
+        let may_hit = proto.load_may_hit(level, msg.scope);
+        if may_hit {
+            if let Some(&L2Line { version: v, .. }) = self.gpms[node.index()].l2.get(msg.line) {
+                match level {
+                    CacheLevel::SysHomeL2 => self.m.sys_home_hits += 1,
+                    CacheLevel::GpuHomeL2 => self.m.gpu_home_hits += 1,
+                    _ => self.m.local_l2_hits += 1,
+                }
+                let mut served = msg;
+                served.version = v;
+                self.send_response(t_data, served, node, sys_home, gpu_home);
+                return;
+            }
+        }
+
+        if node == sys_home {
+            // Miss at the system home: fetch from DRAM and fill.
+            self.m.dram_accesses += 1;
+            let line_bytes = self.cfg.geometry.line_bytes();
+            let done = self.gpms[node.index()].dram.access(t_data, line_bytes);
+            let v = self.home_version(msg.line);
+            if proto.may_fill(CacheLevel::SysHomeL2, true) {
+                self.fill_l2(done, node, msg.line, L2Line::clean(v));
+            }
+            let mut served = msg;
+            served.version = v;
+            self.send_response(done, served, node, sys_home, gpu_home);
+            return;
+        }
+
+        // MSHR merge: a load that misses behind an identical outstanding
+        // fill at this node rides that fill instead of re-crossing the
+        // network. Merging is only legal when this node's cache would be
+        // a valid serving point for the load's scope.
+        let mergeable = msg.kind == AccessKind::Load && may_hit;
+        if mergeable {
+            let key = (node.0, msg.line);
+            if let Some(waiters) = self.mshr.get_mut(&key) {
+                waiters.push(msg);
+                return;
+            }
+            self.mshr.insert(key, Vec::new());
+        }
+        self.forward_req(t, msg, node, req_gpm, sys_home, gpu_home);
+    }
+
+    /// Completes any loads merged behind a fill of `line` at `node`.
+    /// Waiters from this GPM complete in place (recursively draining
+    /// their own merge chains); waiters forwarded from other GPMs (merged
+    /// at a GPU home) are sent their own responses.
+    fn drain_mshr(&mut self, now: Cycle, node: GpmId, line: LineAddr, version: u64) {
+        let Some(waiters) = self.mshr.remove(&(node.0, line)) else {
+            return;
+        };
+        for mut w in waiters {
+            w.version = version;
+            if w.sm.gpm == node {
+                self.complete_load(now, w);
+                self.drain_mshr(now, node, line, version);
+            } else {
+                let arrive =
+                    self.fabric
+                        .send(now, node, w.sm.gpm, self.cfg.msg.load_resp, MsgClass::Data);
+                self.q.push(arrive, Ev::Resp { msg: w });
+            }
+        }
+    }
+
+    fn forward_req(
+        &mut self,
+        t: Cycle,
+        msg: MemMsg,
+        node: GpmId,
+        req_gpm: GpmId,
+        sys_home: GpmId,
+        gpu_home: GpmId,
+    ) {
+        let next = self
+            .next_node(node, req_gpm, sys_home, gpu_home)
+            .expect("non-home node must forward");
+        let bytes = match msg.kind {
+            AccessKind::Atomic => self.cfg.msg.atomic_req,
+            _ => self.cfg.msg.load_req,
+        };
+        let arrive = self.fabric.send(t, node, next, bytes, MsgClass::Request);
+        self.q.push(arrive, Ev::Req { msg, node: next });
+    }
+
+    /// The latest version committed at the system home for `line`.
+    fn home_version(&self, line: LineAddr) -> u64 {
+        self.committed.get(&line).copied().unwrap_or(0)
+    }
+
+    /// Inserts into a GPM's L2, handling the victim: dirty victims are
+    /// written back toward their home (§IV-B's data-update message);
+    /// clean victims optionally send a sharer downgrade.
+    fn fill_l2(&mut self, t: Cycle, node: GpmId, line: LineAddr, meta: L2Line) {
+        if let Some((victim_line, victim)) = self.gpms[node.index()].l2.insert(line, meta) {
+            self.evicted_l2_line(t, node, victim_line, victim);
+        }
+    }
+
+    /// Handles an L2 line leaving a cache (capacity eviction or bulk
+    /// invalidation): flush it if dirty, else maybe downgrade.
+    fn evicted_l2_line(&mut self, t: Cycle, node: GpmId, line: LineAddr, meta: L2Line) {
+        if meta.dirty {
+            self.m.writebacks += 1;
+            let g = &mut self.gpms[node.index()];
+            g.st_pending_gpu += 1;
+            g.st_pending_sys += 1;
+            let msg = StoreMsg {
+                origin: node,
+                line,
+                version: meta.version,
+                gpu_ordered: false,
+            };
+            self.q.push(t + Cycle(1), Ev::Store { msg, node });
+            return;
+        }
+        if !self.cfg.sharer_downgrades || !self.cfg.protocol.has_hw_directory() {
+            return;
+        }
+        // Downgrade only once the evictor holds no other line of the
+        // block — the directory entry covers the whole block, so sending
+        // earlier would lose coverage of the remaining sibling lines.
+        let block = self.cfg.geometry.block_of(line);
+        let siblings_resident = self
+            .cfg
+            .geometry
+            .lines_of_block(block)
+            .any(|l| l != line && self.gpms[node.index()].l2.contains(l));
+        if siblings_resident {
+            return;
+        }
+        let sys_home = match self
+            .pages
+            .peek_home(self.cfg.geometry.page_of_line(line))
+        {
+            Some(h) => h,
+            None => return,
+        };
+        if sys_home == node {
+            return;
+        }
+        // The directory tracking this GPM: its GPU home under HMG when
+        // the system home is on another GPU, the system home otherwise.
+        let topo = self.cfg.topo;
+        let tracker = if self.cfg.protocol == ProtocolKind::Hmg
+            && topo.gpu_of(sys_home) != topo.gpu_of(node)
+        {
+            self.pages.gpu_home(topo.gpu_of(node), block, sys_home)
+        } else {
+            sys_home
+        };
+        if tracker == node {
+            return;
+        }
+        self.m.downgrades += 1;
+        let arrive = self
+            .fabric
+            .send(t, node, tracker, self.cfg.msg.fence, MsgClass::Ctrl);
+        self.q.push(
+            arrive,
+            Ev::Downgrade {
+                block,
+                target: tracker,
+                evictor: node,
+            },
+        );
+    }
+
+    /// Flushes every dirty line of a GPM's L2 (release semantics under
+    /// the write-back policy), marking them clean in place.
+    fn flush_dirty(&mut self, t: Cycle, node: GpmId) {
+        let mut dirty: Vec<(LineAddr, u64)> = Vec::new();
+        for (line, meta) in self.gpms[node.index()].l2.iter() {
+            if meta.dirty {
+                dirty.push((line, meta.version));
+            }
+        }
+        for &(line, version) in &dirty {
+            if let Some(meta) = self.gpms[node.index()].l2.get_mut(line) {
+                meta.dirty = false;
+            }
+            self.m.writebacks += 1;
+            let g = &mut self.gpms[node.index()];
+            g.st_pending_gpu += 1;
+            g.st_pending_sys += 1;
+            let msg = StoreMsg {
+                origin: node,
+                line,
+                version,
+                gpu_ordered: false,
+            };
+            self.q.push(t + Cycle(1), Ev::Store { msg, node });
+        }
+    }
+
+    /// Bulk-invalidates a GPM's L2 (software acquire), flushing dirty
+    /// lines first so no write is lost. Returns lines dropped.
+    fn wipe_l2(&mut self, t: Cycle, node: GpmId) -> u64 {
+        if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack {
+            self.flush_dirty(t, node);
+        }
+        self.gpms[node.index()].l2.invalidate_all()
+    }
+
+    fn perform_atomic(
+        &mut self,
+        t: Cycle,
+        msg: MemMsg,
+        node: GpmId,
+        sys_home: GpmId,
+        gpu_home: GpmId,
+    ) {
+        let proto = self.cfg.protocol;
+        let block = self.cfg.geometry.block_of(msg.line);
+        // Directory: atomics are stores (Table I).
+        if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
+            let sharer = self.dir_sharer_for(node, msg.sm.gpm, sys_home);
+            let local = msg.sm.gpm == node;
+            self.dir_store(t, node, block, sharer, local, msg.sm.gpm);
+        }
+        // CARVE-like classifier treats atomics as stores too.
+        if proto.has_broadcast_classifier() && node == sys_home {
+            self.carve_store(t, node, block, msg.sm.gpm);
+        }
+        // Atomics are performed (and cached) at their scope home.
+        self.fill_l2(t, node, msg.line, L2Line::clean(msg.version));
+        // Respond to the requester.
+        self.send_response(t, msg, node, sys_home, gpu_home);
+        // Continue the write-through towards the system home.
+        let st = StoreMsg {
+            origin: msg.sm.gpm,
+            line: msg.line,
+            version: msg.version,
+            gpu_ordered: false,
+        };
+        self.continue_store(t, st, node, sys_home, gpu_home);
+    }
+
+    fn send_response(&mut self, t: Cycle, msg: MemMsg, server: GpmId, sys_home: GpmId, gpu_home: GpmId) {
+        let req_gpm = msg.sm.gpm;
+        let proto = self.cfg.protocol;
+        let bytes = match msg.kind {
+            AccessKind::Atomic => self.cfg.msg.atomic_resp,
+            _ => self.cfg.msg.load_resp,
+        };
+        if server == req_gpm {
+            self.q.push(t + Cycle(1), Ev::Resp { msg });
+            return;
+        }
+        // Hierarchical responses pass (and fill) the GPU home.
+        if proto.hierarchical_routing()
+            && server == sys_home
+            && gpu_home != sys_home
+            && gpu_home != req_gpm
+            && msg.kind == AccessKind::Load
+        {
+            let arrive = self
+                .fabric
+                .send(t, server, gpu_home, bytes, MsgClass::Data);
+            self.q.push(arrive, Ev::RespGpuHome { msg, node: gpu_home });
+            return;
+        }
+        let arrive = self.fabric.send(t, server, req_gpm, bytes, MsgClass::Data);
+        self.q.push(arrive, Ev::Resp { msg });
+    }
+
+    fn handle_resp_gpu_home(&mut self, now: Cycle, msg: MemMsg, node: GpmId) {
+        // Fill the GPU home L2 on the response path (Fig. 6(b)).
+        let req_gpm = msg.sm.gpm;
+        let req_gpu = self.cfg.topo.gpu_of(req_gpm);
+        let sys_home = self.sys_home(msg.line, req_gpm);
+        let same_gpu = self.cfg.topo.gpu_of(sys_home) == req_gpu;
+        if self.cfg.protocol.may_fill(CacheLevel::GpuHomeL2, same_gpu) {
+            self.fill_l2(now, node, msg.line, L2Line::clean(msg.version));
+        }
+        let arrive = self
+            .fabric
+            .send(now, node, req_gpm, self.cfg.msg.load_resp, MsgClass::Data);
+        self.q.push(arrive, Ev::Resp { msg });
+        // Serve the other GPMs merged behind this fill at the GPU home.
+        if msg.kind == AccessKind::Load {
+            self.drain_mshr(now, node, msg.line, msg.version);
+        }
+    }
+
+    fn handle_resp(&mut self, now: Cycle, msg: MemMsg) {
+        self.complete_load(now, msg);
+        if msg.kind == AccessKind::Load {
+            self.drain_mshr(now, msg.sm.gpm, msg.line, msg.version);
+        }
+    }
+
+    /// Fills requester-side caches and wakes the issuing SM.
+    fn complete_load(&mut self, now: Cycle, msg: MemMsg) {
+        let req_gpm = msg.sm.gpm;
+        let req_gpu = self.cfg.topo.gpu_of(req_gpm);
+        let sys_home = self.sys_home(msg.line, req_gpm);
+        let same_gpu = self.cfg.topo.gpu_of(sys_home) == req_gpu;
+        let proto = self.cfg.protocol;
+        // Fill requester-side caches with the version served.
+        if msg.kind == AccessKind::Load {
+            if req_gpm != sys_home && proto.may_fill(CacheLevel::LocalL2NonHome, same_gpu) {
+                self.fill_l2(now, req_gpm, msg.line, L2Line::clean(msg.version));
+            }
+            if proto.may_fill(CacheLevel::L1, same_gpu) {
+                let idx = self.sm_index(msg.sm);
+                self.sms[idx].l1.insert(msg.line, msg.version);
+            }
+        }
+        self.record_probe(msg.sm, msg.line, msg.version);
+        let lat = now.saturating_sub(msg.issued_at).as_u64();
+        self.m.miss_latency_sum += lat;
+        self.m.miss_count += 1;
+        let bucket = (64 - lat.max(1).leading_zeros() as usize - 1)
+            .min(self.m.miss_latency_hist.len() - 1);
+        self.m.miss_latency_hist[bucket] += 1;
+        // Wake the SM.
+        let idx = self.sm_index(msg.sm);
+        self.sms[idx].outstanding -= 1;
+        self.loads_inflight -= 1;
+        if self.sms[idx].state == SmState::StalledMem {
+            self.sms[idx].state = SmState::Runnable;
+            self.q.push(now, Ev::SmResume(msg.sm));
+        }
+        self.maybe_kernel_end(now);
+    }
+
+    // ---------- store path ----------
+
+    fn handle_store(&mut self, now: Cycle, msg: StoreMsg, node: GpmId) {
+        let req_gpm = msg.origin;
+        let req_gpu = self.cfg.topo.gpu_of(req_gpm);
+        let sys_home = self.sys_home(msg.line, req_gpm);
+        let gpu_home = self.gpu_home(req_gpu, msg.line, sys_home);
+        let block = self.cfg.geometry.block_of(msg.line);
+        let proto = self.cfg.protocol;
+
+        // §IV-B "Remote Stores": stores that arrive at a home L2 are
+        // *cached* (write-allocate) and written through; elsewhere they
+        // only update an existing copy.
+        let is_home = node == sys_home || (proto.hierarchical_routing() && node == gpu_home);
+        let t = if is_home {
+            now + self.cfg.l2_latency
+        } else {
+            now + self.cfg.l2_tag_latency
+        };
+        if is_home {
+            self.fill_l2(t, node, msg.line, L2Line::clean(msg.version));
+        } else if let Some(meta) = self.gpms[node.index()].l2.get_mut(msg.line) {
+            meta.version = msg.version;
+            // An in-flight write-through supersedes local dirtiness.
+            if msg.origin == node {
+                meta.dirty = false;
+            }
+        }
+
+        // Directory transitions at home nodes.
+        if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
+            let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
+            let local = req_gpm == node;
+            self.dir_store(t, node, block, sharer, local, req_gpm);
+        }
+
+        // CARVE-like classifier: a store to data any other GPM has
+        // touched makes the block read-write shared and broadcasts
+        // invalidations to every cache — no sharer list exists.
+        if proto.has_broadcast_classifier() && node == sys_home {
+            self.carve_store(t, node, block, req_gpm);
+        }
+
+        self.continue_store(t, msg, node, sys_home, gpu_home);
+    }
+
+    /// CARVE-like store handling at the system home: classify, and
+    /// broadcast invalidations for shared blocks.
+    fn carve_store(&mut self, t: Cycle, node: GpmId, block: BlockAddr, writer: GpmId) {
+        let class = self.gpms[node.index()]
+            .carve
+            .entry(block)
+            .or_insert(CarveClass::Private(writer));
+        let shared = match *class {
+            CarveClass::Private(owner) if owner == writer => false,
+            CarveClass::Private(_) | CarveClass::ReadOnly | CarveClass::ReadWrite => {
+                *class = CarveClass::ReadWrite;
+                true
+            }
+        };
+        if !shared {
+            return;
+        }
+        let targets: Vec<Sharer> = self
+            .cfg
+            .topo
+            .all_gpms()
+            .filter(|&g| g != node && g != writer)
+            .map(Sharer::Gpm)
+            .collect();
+        self.m.stores_triggering_invs += 1;
+        self.send_invs(t, node, block, &targets, InvCause::Store, writer);
+    }
+
+    /// Routes a store onward from `node`, maintaining the pending
+    /// counters.
+    fn continue_store(
+        &mut self,
+        t: Cycle,
+        mut msg: StoreMsg,
+        node: GpmId,
+        sys_home: GpmId,
+        gpu_home: GpmId,
+    ) {
+        let proto = self.cfg.protocol;
+        // GPU-level ordering point: the GPU home under hierarchical
+        // routing, the system home otherwise.
+        let gpu_order_point = if proto.hierarchical_routing() {
+            gpu_home
+        } else {
+            sys_home
+        };
+        if !msg.gpu_ordered && node == gpu_order_point {
+            msg.gpu_ordered = true;
+            let g = &mut self.gpms[msg.origin.index()];
+            g.st_pending_gpu -= 1;
+            self.check_fences(t);
+        }
+        if node == sys_home {
+            // Commit: update the authoritative home version, write DRAM.
+            let cur = self.committed.entry(msg.line).or_insert(0);
+            if msg.version > *cur {
+                *cur = msg.version;
+            }
+            let bytes = self.cfg.geometry.line_bytes();
+            self.gpms[node.index()].dram.write(t, bytes);
+            if !msg.gpu_ordered {
+                msg.gpu_ordered = true;
+                self.gpms[msg.origin.index()].st_pending_gpu -= 1;
+            }
+            self.gpms[msg.origin.index()].st_pending_sys -= 1;
+            self.check_fences(t);
+            return;
+        }
+        let next = self
+            .next_node(node, msg.origin, sys_home, gpu_home)
+            .expect("non-home store must forward");
+        let arrive = self
+            .fabric
+            .send(t, node, next, self.cfg.msg.store, MsgClass::StoreData);
+        self.q.push(arrive, Ev::Store { msg, node: next });
+    }
+
+    // ---------- directory ----------
+
+    fn node_is_dir_home(&self, node: GpmId, sys_home: GpmId, gpu_home: GpmId) -> bool {
+        match self.cfg.protocol {
+            ProtocolKind::Nhcc => node == sys_home,
+            ProtocolKind::Hmg => node == sys_home || node == gpu_home,
+            _ => false,
+        }
+    }
+
+    /// How the sender is identified in `node`'s directory.
+    fn dir_sharer_for(&self, node: GpmId, req_gpm: GpmId, sys_home: GpmId) -> Sharer {
+        let topo = self.cfg.topo;
+        if self.cfg.protocol == ProtocolKind::Hmg
+            && node == sys_home
+            && topo.gpu_of(req_gpm) != topo.gpu_of(node)
+        {
+            Sharer::Gpu(topo.gpu_of(req_gpm))
+        } else {
+            Sharer::Gpm(req_gpm)
+        }
+    }
+
+    fn dir_remote_load(&mut self, t: Cycle, node: GpmId, block: BlockAddr, sharer: Sharer) {
+        let topo = self.cfg.topo;
+        let evicted = {
+            let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
+            set.insert(&topo, sharer);
+            evicted
+        };
+        if let Some((vblock, sharers)) = evicted {
+            self.send_evict_invs(t, node, vblock, sharers);
+        }
+    }
+
+    fn dir_store(
+        &mut self,
+        t: Cycle,
+        node: GpmId,
+        block: BlockAddr,
+        sharer: Sharer,
+        local: bool,
+        origin: GpmId,
+    ) {
+        let topo = self.cfg.topo;
+        if local {
+            // Table I: V + Local St -> inv all sharers, -> I.
+            if let Some(sharers) = self.gpms[node.index()].dir.remove(block) {
+                let targets = sharers.iter(&topo);
+                if !targets.is_empty() {
+                    self.m.stores_triggering_invs += 1;
+                    self.send_invs(t, node, block, &targets, InvCause::Store, origin);
+                }
+            }
+            return;
+        }
+        // Table I: remote St -> add s, inv other sharers (stay V; allocate
+        // from I).
+        let (others, evicted) = {
+            let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
+            let others: Vec<Sharer> = set
+                .iter(&topo)
+                .into_iter()
+                .filter(|s| *s != sharer)
+                .collect();
+            set.insert(&topo, sharer);
+            (others, evicted)
+        };
+        if !others.is_empty() {
+            self.m.stores_triggering_invs += 1;
+            self.send_invs(t, node, block, &others, InvCause::Store, origin);
+        }
+        if let Some((vblock, sharers)) = evicted {
+            self.send_evict_invs(t, node, vblock, sharers);
+        }
+    }
+
+    fn send_evict_invs(&mut self, t: Cycle, node: GpmId, block: BlockAddr, sharers: hmg_mem::SharerSet) {
+        let topo = self.cfg.topo;
+        let targets = sharers.iter(&topo);
+        if !targets.is_empty() {
+            self.m.evictions_triggering_invs += 1;
+            self.send_invs(t, node, block, &targets, InvCause::Eviction, node);
+        }
+    }
+
+    fn send_invs(
+        &mut self,
+        t: Cycle,
+        node: GpmId,
+        block: BlockAddr,
+        targets: &[Sharer],
+        cause: InvCause,
+        causer: GpmId,
+    ) {
+        let topo = self.cfg.topo;
+        for &s in targets {
+            let (target, from_sys) = match s {
+                Sharer::Gpm(g) => (g, false),
+                Sharer::Gpu(g) => {
+                    // Invalidate via that GPU's home node, which forwards.
+                    let gh = self.pages.gpu_home(g, block, node);
+                    (gh, true)
+                }
+            };
+            if target == node {
+                continue;
+            }
+            let counted = cause == InvCause::Store;
+            if counted {
+                let same_gpu = topo.gpu_of(target) == topo.gpu_of(causer);
+                let gc = &mut self.gpms[causer.index()];
+                gc.inv_pending_sys += 1;
+                if same_gpu {
+                    gc.inv_pending_gpu += 1;
+                }
+            }
+            match cause {
+                InvCause::Store => self.m.invs_from_stores += 1,
+                InvCause::Eviction => self.m.invs_from_evictions += 1,
+            }
+            let arrive = self
+                .fabric
+                .send(t, node, target, self.cfg.msg.inv, MsgClass::Inv);
+            self.q.push(
+                arrive,
+                Ev::Inv(InvMsg {
+                    block,
+                    cause,
+                    causer,
+                    counted,
+                    from_sys,
+                    target,
+                }),
+            );
+        }
+    }
+
+    fn handle_inv(&mut self, now: Cycle, inv: InvMsg) {
+        let topo = self.cfg.topo;
+        // Drop the L2 copies of every line in the block; racy dirty
+        // copies are flushed rather than lost.
+        let mut removed = 0u64;
+        for line in self.cfg.geometry.lines_of_block(inv.block) {
+            if let Some(meta) = self.gpms[inv.target.index()].l2.invalidate(line) {
+                removed += 1;
+                if meta.dirty {
+                    self.evicted_l2_line(now, inv.target, line, meta);
+                }
+            }
+        }
+        match inv.cause {
+            InvCause::Store => self.m.lines_invalidated_by_stores += removed,
+            InvCause::Eviction => self.m.lines_invalidated_by_evictions += removed,
+        }
+        // HMG: a GPU home node forwards system-home invalidations to its
+        // tracked GPM sharers (the extra Table I transition).
+        if inv.from_sys && self.cfg.protocol == ProtocolKind::Hmg {
+            if let Some(sharers) = self.gpms[inv.target.index()].dir.remove(inv.block) {
+                let targets = sharers.iter(&topo);
+                if !targets.is_empty() {
+                    self.send_invs(now, inv.target, inv.block, &targets, inv.cause, inv.causer);
+                }
+            }
+        }
+        if inv.counted {
+            let same_gpu = topo.gpu_of(inv.target) == topo.gpu_of(inv.causer);
+            let gc = &mut self.gpms[inv.causer.index()];
+            gc.inv_pending_sys -= 1;
+            if same_gpu {
+                gc.inv_pending_gpu -= 1;
+            }
+            self.check_fences(now);
+        }
+    }
+
+    // ---------- fences ----------
+
+    fn start_fence(&mut self, t: Cycle, gpm: GpmId, scope: Scope, sm: Option<SmRef>) {
+        self.m.fences += 1;
+        if self.cfg.zero_cost_fences {
+            // Fence-cost ablation: complete immediately, without traffic
+            // or drain waiting.
+            match sm {
+                Some(r) => {
+                    let idx = self.sm_index(r);
+                    self.sms[idx].state = SmState::Runnable;
+                    self.q.push(t, Ev::SmResume(r));
+                }
+                None => {
+                    self.kernel_fences_left -= 1;
+                    if self.kernel_fences_left == 0 {
+                        self.advance_kernel(t);
+                    }
+                }
+            }
+            return;
+        }
+        let domain = self.cfg.protocol.release_domain(scope);
+        let targets: Vec<GpmId> = match domain {
+            FenceDomain::None => Vec::new(),
+            FenceDomain::LocalGpu => self
+                .cfg
+                .topo
+                .gpms_of(self.cfg.topo.gpu_of(gpm))
+                .filter(|g| *g != gpm)
+                .collect(),
+            FenceDomain::AllGpms => self.cfg.topo.all_gpms().filter(|g| *g != gpm).collect(),
+        };
+        let id = self.fences.len();
+        self.fences.push(Fence {
+            gpm,
+            scope,
+            sm,
+            acks_done: targets.is_empty(),
+            completed: false,
+        });
+        self.active_fences.push(id);
+        if targets.is_empty() {
+            self.q.push(t, Ev::FenceAcks(id));
+            return;
+        }
+        // Fence messages ride the same FIFO links as the stores they
+        // order; acks return on the reverse path.
+        let mut last_ack = t;
+        for target in targets {
+            let there = self
+                .fabric
+                .send(t, gpm, target, self.cfg.msg.fence, MsgClass::Ctrl);
+            let processed = there + self.cfg.l2_latency;
+            let back = self
+                .fabric
+                .send(processed, target, gpm, self.cfg.msg.fence, MsgClass::Ctrl);
+            last_ack = last_ack.max(back);
+        }
+        self.q.push(last_ack, Ev::FenceAcks(id));
+    }
+
+    fn handle_fence_acks(&mut self, now: Cycle, id: usize) {
+        self.fences[id].acks_done = true;
+        self.check_fences(now);
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_drained(&self) {
+        for (i, g) in self.gpms.iter().enumerate() {
+            assert_eq!(g.st_pending_gpu, 0, "GPM{i} st_pending_gpu leaked");
+            assert_eq!(g.st_pending_sys, 0, "GPM{i} st_pending_sys leaked");
+            assert_eq!(g.inv_pending_gpu, 0, "GPM{i} inv_pending_gpu leaked");
+            assert_eq!(g.inv_pending_sys, 0, "GPM{i} inv_pending_sys leaked");
+        }
+    }
+
+    fn check_fences(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.active_fences.len() {
+            let id = self.active_fences[i];
+            if !self.fences[id].acks_done {
+                i += 1;
+                continue;
+            }
+            let gpm = self.fences[id].gpm;
+            let scope = self.fences[id].scope;
+            let drained = {
+                let g = &self.gpms[gpm.index()];
+                let hier = self.cfg.protocol.hierarchical_routing();
+                match (scope, hier) {
+                    (Scope::Gpu, true) => g.st_pending_gpu == 0 && g.inv_pending_gpu == 0,
+                    _ => g.st_pending_sys == 0 && g.inv_pending_sys == 0,
+                }
+            };
+            if !drained {
+                i += 1;
+                continue;
+            }
+            self.fences[id].completed = true;
+            self.active_fences.swap_remove(i);
+            match self.fences[id].sm {
+                Some(r) => {
+                    let idx = self.sm_index(r);
+                    if self.sms[idx].state == SmState::FenceWait {
+                        self.sms[idx].state = SmState::Runnable;
+                        self.q.push(now, Ev::SmResume(r));
+                    }
+                }
+                None => {
+                    self.kernel_fences_left -= 1;
+                    if self.kernel_fences_left == 0 {
+                        self.advance_kernel(now);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmg_mem::Addr;
+    use hmg_protocol::{Access, Cta, Kernel, WorkloadTrace};
+
+    /// Builds a kernel with one CTA per GPM of the small_test topology
+    /// (2 GPUs x 2 GPMs = 4 GPMs), so CTA `i` lands on GPM `i` under
+    /// contiguous scheduling.
+    fn kernel_per_gpm(mut ops: Vec<Vec<TraceOp>>) -> Kernel {
+        ops.resize(4, Vec::new());
+        Kernel::new(ops.into_iter().map(Cta::new).collect())
+    }
+
+    fn ld(addr: u64) -> TraceOp {
+        TraceOp::Access(Access::load(Addr(addr)))
+    }
+
+    fn st(addr: u64) -> TraceOp {
+        TraceOp::Access(Access::store(Addr(addr)))
+    }
+
+    fn run(protocol: ProtocolKind, trace: &WorkloadTrace) -> RunMetrics {
+        Engine::new(EngineConfig::small_test(protocol)).run(trace)
+    }
+
+    fn run_probed(protocol: ProtocolKind, trace: &WorkloadTrace, line: u64) -> RunMetrics {
+        let mut cfg = EngineConfig::small_test(protocol);
+        cfg.probe_line = Some(line);
+        Engine::new(cfg).run(trace)
+    }
+
+    #[test]
+    fn empty_trace_completes_instantly() {
+        let m = run(ProtocolKind::Hmg, &WorkloadTrace::new("empty", vec![]));
+        assert_eq!(m.total_cycles, Cycle::ZERO);
+        assert_eq!(m.loads, 0);
+    }
+
+    #[test]
+    fn repeated_load_hits_l1() {
+        // The delay lets the first fill land before the reloads issue.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![kernel_per_gpm(vec![vec![
+                ld(0),
+                TraceOp::Delay(100_000),
+                ld(0),
+                ld(0),
+            ]])],
+        );
+        let m = run(ProtocolKind::Hmg, &trace);
+        assert_eq!(m.loads, 3);
+        assert_eq!(m.l1_hits, 2);
+        assert_eq!(m.dram_accesses, 1);
+    }
+
+    #[test]
+    fn overlapping_misses_exploit_memory_level_parallelism() {
+        // Without a delay, back-to-back loads of one line all miss and
+        // overlap — the engine models MLP rather than serializing.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![kernel_per_gpm(vec![vec![ld(0), ld(0), ld(0)]])],
+        );
+        let m = run(ProtocolKind::Hmg, &trace);
+        assert_eq!(m.loads, 3);
+        assert_eq!(m.l1_hits, 0, "fills cannot land before the next issue");
+    }
+
+    #[test]
+    fn first_touch_homes_line_at_toucher() {
+        // GPM0 touches line 0 first (kernel 0); GPM3's load in kernel 1
+        // must therefore cross the inter-GPU network.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![], vec![ld(0)]]),
+            ],
+        );
+        let m = run(ProtocolKind::Hmg, &trace);
+        assert!(
+            m.fabric.inter_bytes(hmg_interconnect::MsgClass::Request) > 0,
+            "GPM3's load must cross GPUs"
+        );
+    }
+
+    #[test]
+    fn baseline_never_caches_remote_gpu_lines() {
+        // Line homed at GPM0 (GPU0); GPM2 (GPU1) loads it twice in one
+        // kernel. Without peer caching both loads travel to the home.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![
+                    vec![],
+                    vec![],
+                    vec![ld(0), TraceOp::Delay(100_000), ld(0)],
+                    vec![],
+                ]),
+            ],
+        );
+        let m = run(ProtocolKind::NoPeerCaching, &trace);
+        // The second remote load cannot hit L1 or the local L2.
+        assert_eq!(m.l1_hits, 0);
+        assert_eq!(m.local_l2_hits, 0);
+        assert!(m.sys_home_hits >= 1, "second load serves at the home");
+
+        let m2 = run(ProtocolKind::Hmg, &trace);
+        assert!(m2.l1_hits >= 1, "HMG caches the remote line locally");
+    }
+
+    #[test]
+    fn hmg_store_invalidates_remote_sharer() {
+        // Kernel 0: GPM0 homes line 0. Kernel 1: GPM2 (GPU1) caches it.
+        // Kernel 2: GPM0 stores -> the GPU1 copy must be invalidated.
+        // Kernel 3: GPM2 reloads and must observe version 2.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]), // version 1, homes at GPM0
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0), ld(0)], vec![]]),
+                kernel_per_gpm(vec![vec![st(0)]]), // version 2
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+            ],
+        );
+        let m = run_probed(ProtocolKind::Hmg, &trace, 0);
+        assert!(m.invs_from_stores >= 1, "store must invalidate the sharer");
+        assert!(m.lines_invalidated_by_stores >= 1);
+        let last = m.probe.last().expect("final load observed");
+        assert_eq!(last.1, 2, "consumer must see the second store");
+    }
+
+    #[test]
+    fn nhcc_store_invalidates_remote_sharer_too() {
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], vec![ld(0), ld(0)], vec![], vec![]]),
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], vec![ld(0)], vec![], vec![]]),
+            ],
+        );
+        let m = run_probed(ProtocolKind::Nhcc, &trace, 0);
+        assert!(m.invs_from_stores >= 1);
+        assert_eq!(m.probe.last().unwrap().1, 2);
+    }
+
+    #[test]
+    fn software_coherence_sees_fresh_data_after_kernel_boundary() {
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+            ],
+        );
+        for p in [ProtocolKind::SwNonHier, ProtocolKind::SwHier, ProtocolKind::NoPeerCaching] {
+            let m = run_probed(p, &trace, 0);
+            assert_eq!(
+                m.probe.last().unwrap().1,
+                2,
+                "{p} must see the second store after the kernel boundary"
+            );
+            assert_eq!(m.invs_from_stores, 0, "{p} sends no hardware invs");
+        }
+    }
+
+    #[test]
+    fn sw_protocols_bulk_invalidate_at_kernel_start() {
+        // Two kernels, same GPM reloading its own remote-homed line: SW
+        // coherence refetches after the boundary, HW does not.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]), // homes at GPM0
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+            ],
+        );
+        let sw = run(ProtocolKind::SwNonHier, &trace);
+        assert!(sw.lines_bulk_invalidated > 0);
+        // HMG keeps the line across the boundary: the kernel-2 load is
+        // served inside GPU1 (local L2 or GPU home) instead of crossing
+        // back to GPU0.
+        let hw = run(ProtocolKind::Hmg, &trace);
+        assert!(
+            hw.l1_hits + hw.local_l2_hits + hw.gpu_home_hits >= 1,
+            "HMG retains remote lines across kernel boundaries"
+        );
+    }
+
+    #[test]
+    fn gpu_home_serves_second_module_of_same_gpu() {
+        // Line homed on GPU0. Both GPMs of GPU1 load it; under HMG the
+        // second GPM's request should be served inside GPU1.
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![ld(0)]]),
+            ],
+        );
+        let m = run(ProtocolKind::Hmg, &trace);
+        let flat = run(ProtocolKind::Nhcc, &trace);
+        assert!(
+            m.fabric.inter_bytes(hmg_interconnect::MsgClass::Request)
+                <= flat.fabric.inter_bytes(hmg_interconnect::MsgClass::Request),
+            "hierarchical routing must not increase inter-GPU requests"
+        );
+    }
+
+    #[test]
+    fn flags_synchronize_producer_and_consumer() {
+        // GPM0 stores then releases and sets a flag; GPM2 waits, acquires
+        // and loads: it must observe the store.
+        let producer = vec![
+            st(0),
+            TraceOp::Release(Scope::Sys),
+            TraceOp::SetFlag(7),
+        ];
+        let consumer = vec![
+            TraceOp::WaitFlag { flag: 7, count: 1 },
+            TraceOp::Acquire(Scope::Sys),
+            ld(0),
+        ];
+        let trace = WorkloadTrace::new(
+            "mp",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]), // home line at GPM0
+                kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+            ],
+        );
+        for p in [
+            ProtocolKind::Hmg,
+            ProtocolKind::Nhcc,
+            ProtocolKind::SwNonHier,
+            ProtocolKind::SwHier,
+            ProtocolKind::NoPeerCaching,
+        ] {
+            let m = run_probed(p, &trace, 0);
+            let last = m.probe.last().expect("consumer load observed");
+            assert_eq!(last.1, 1, "{p}: message passing must be visible");
+            assert!(m.fences >= 1);
+        }
+    }
+
+    #[test]
+    fn gpu_scoped_sync_within_one_gpu() {
+        // Producer GPM0 and consumer GPM1 are on the same GPU; .gpu-scoped
+        // release/acquire must be sufficient.
+        let producer = vec![
+            st(0),
+            TraceOp::Release(Scope::Gpu),
+            TraceOp::SetFlag(1),
+        ];
+        let consumer = vec![
+            TraceOp::WaitFlag { flag: 1, count: 1 },
+            TraceOp::Acquire(Scope::Gpu),
+            TraceOp::Access(Access::new(Addr(0), AccessKind::Load, Scope::Gpu)),
+        ];
+        let trace = WorkloadTrace::new(
+            "mp-gpu",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![producer, consumer, vec![], vec![]]),
+            ],
+        );
+        for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc, ProtocolKind::SwHier] {
+            let m = run_probed(p, &trace, 0);
+            assert_eq!(m.probe.last().unwrap().1, 1, "{p}");
+        }
+    }
+
+    #[test]
+    fn atomics_commit_and_respond() {
+        let trace = WorkloadTrace::new(
+            "atom",
+            vec![kernel_per_gpm(vec![
+                vec![TraceOp::Access(Access::atomic(Addr(0), Scope::Gpu))],
+                vec![TraceOp::Access(Access::atomic(Addr(0), Scope::Sys))],
+            ])],
+        );
+        for p in ProtocolKind::ALL {
+            let m = run(p, &trace);
+            assert_eq!(m.stores, 2, "{p}: atomics count as stores");
+            assert_eq!(m.loads, 2, "{p}: atomics count as loads");
+        }
+    }
+
+    #[test]
+    fn ideal_is_fastest_or_equal_on_shared_reload() {
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0), ld(128), ld(256)]]),
+                kernel_per_gpm(vec![
+                    vec![ld(0), ld(128)],
+                    vec![ld(0), ld(128)],
+                    vec![ld(0), ld(128)],
+                    vec![ld(0), ld(128)],
+                ]),
+                kernel_per_gpm(vec![
+                    vec![ld(0), ld(128)],
+                    vec![ld(0), ld(128)],
+                    vec![ld(0), ld(128)],
+                    vec![ld(0), ld(128)],
+                ]),
+            ],
+        );
+        let ideal = run(ProtocolKind::Ideal, &trace);
+        for p in ProtocolKind::ALL {
+            let m = run(p, &trace);
+            // Ideal is an upper bound on *caching*; on tiny traces its
+            // hierarchical routing can cost a percent or two against a
+            // flat protocol, so allow a small tolerance.
+            assert!(
+                ideal.total_cycles.as_u64() as f64 <= m.total_cycles.as_u64() as f64 * 1.05,
+                "{p}: ideal {} far exceeds {}",
+                ideal.total_cycles,
+                m.total_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![
+                    vec![ld(0), st(128), ld(256), ld(0)],
+                    vec![ld(0), ld(512)],
+                    vec![st(0), ld(640)],
+                    vec![ld(128)],
+                ]),
+                kernel_per_gpm(vec![vec![ld(0)], vec![ld(128)], vec![ld(256)], vec![ld(512)]]),
+            ],
+        );
+        let a = Engine::new(EngineConfig::small_test(ProtocolKind::Hmg)).run(&trace);
+        let b = Engine::new(EngineConfig::small_test(ProtocolKind::Hmg)).run(&trace);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            a.fabric.inter_bytes(MsgClass::Data),
+            b.fabric.inter_bytes(MsgClass::Data)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlocked")]
+    fn unsatisfiable_wait_flag_panics() {
+        let trace = WorkloadTrace::new(
+            "dead",
+            vec![kernel_per_gpm(vec![vec![TraceOp::WaitFlag {
+                flag: 99,
+                count: 1,
+            }]])],
+        );
+        run(ProtocolKind::Hmg, &trace);
+    }
+
+    #[test]
+    fn delay_advances_time() {
+        let base = run(
+            ProtocolKind::Hmg,
+            &WorkloadTrace::new("a", vec![kernel_per_gpm(vec![vec![ld(0)]])]),
+        );
+        let delayed = run(
+            ProtocolKind::Hmg,
+            &WorkloadTrace::new(
+                "b",
+                vec![kernel_per_gpm(vec![vec![TraceOp::Delay(100_000), ld(0)]])],
+            ),
+        );
+        assert!(delayed.total_cycles.as_u64() >= base.total_cycles.as_u64() + 100_000);
+    }
+
+    #[test]
+    fn peer_redundancy_tracks_shared_remote_lines() {
+        // GPMs 2 and 3 (GPU1) both load a GPU0-homed line.
+        let mut cfg = EngineConfig::small_test(ProtocolKind::NoPeerCaching);
+        cfg.track_peer_redundancy = true;
+        let trace = WorkloadTrace::new(
+            "t",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![ld(0)]]),
+            ],
+        );
+        let m = Engine::new(cfg).run(&trace);
+        assert_eq!(m.inter_gpu_loads, 2);
+        assert!(
+            m.inter_gpu_loads_peer_redundant >= 1,
+            "the second GPM's load is redundant"
+        );
+        assert!(m.peer_redundancy().unwrap() >= 0.5);
+    }
+
+    #[test]
+    fn writeback_coalesces_repeated_stores() {
+        // 24 rewrites of a remote-homed line: write-through crosses the
+        // fabric 24 times, write-back flushes once at the kernel boundary.
+        let ops: Vec<TraceOp> = (0..24).map(|_| st(0)).collect();
+        let trace = WorkloadTrace::new(
+            "wb",
+            vec![
+                // Home line 0 at GPM2 first.
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+                kernel_per_gpm(vec![ops]),
+            ],
+        );
+        let run_policy = |policy| {
+            let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+            cfg.l2_write_policy = policy;
+            Engine::new(cfg).run(&trace)
+        };
+        let wt = run_policy(crate::config::WritePolicy::WriteThrough);
+        let wb = run_policy(crate::config::WritePolicy::WriteBack);
+        assert_eq!(wt.writebacks, 0);
+        assert!(wb.writebacks >= 1);
+        let store_bytes = |m: &RunMetrics| m.fabric.total_bytes(MsgClass::StoreData);
+        assert!(
+            store_bytes(&wb) < store_bytes(&wt),
+            "write-back must coalesce store traffic: wb={} wt={}",
+            store_bytes(&wb),
+            store_bytes(&wt)
+        );
+    }
+
+    #[test]
+    fn writeback_preserves_synchronized_visibility() {
+        // The mp-with-flags litmus under the write-back policy: the
+        // release flush must publish the dirty line before the flag.
+        let producer = vec![
+            st(0),
+            TraceOp::Release(Scope::Sys),
+            TraceOp::SetFlag(4),
+        ];
+        let consumer = vec![
+            TraceOp::WaitFlag { flag: 4, count: 1 },
+            TraceOp::Acquire(Scope::Sys),
+            ld(0),
+        ];
+        let trace = WorkloadTrace::new(
+            "wb-mp",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+            ],
+        );
+        for p in [
+            ProtocolKind::Hmg,
+            ProtocolKind::Nhcc,
+            ProtocolKind::SwHier,
+            ProtocolKind::SwNonHier,
+        ] {
+            let mut cfg = EngineConfig::small_test(p);
+            cfg.l2_write_policy = crate::config::WritePolicy::WriteBack;
+            cfg.probe_line = Some(0);
+            let m = Engine::new(cfg).run(&trace);
+            assert_eq!(m.probe.last().unwrap().1, 1, "{p} under write-back");
+        }
+    }
+
+    #[test]
+    fn writeback_publishes_across_kernel_boundary() {
+        let trace = WorkloadTrace::new(
+            "wb-kernel",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+            ],
+        );
+        for p in [ProtocolKind::Hmg, ProtocolKind::SwNonHier] {
+            let mut cfg = EngineConfig::small_test(p);
+            cfg.l2_write_policy = crate::config::WritePolicy::WriteBack;
+            cfg.probe_line = Some(0);
+            let m = Engine::new(cfg).run(&trace);
+            assert_eq!(m.probe.last().unwrap().1, 1, "{p}");
+        }
+    }
+
+    #[test]
+    fn downgrades_reduce_eviction_invalidations() {
+        // Tiny L2 at the reader forces clean evictions of remote lines;
+        // with downgrades on, the home stops tracking the evictor and
+        // sends fewer spurious invalidations later.
+        let homing: Vec<TraceOp> = (0..64u64).map(|i| ld(i * 512)).collect();
+        let reading: Vec<TraceOp> = (0..64u64)
+            .flat_map(|i| [ld(i * 512), TraceOp::Delay(500)])
+            .collect();
+        let writing: Vec<TraceOp> = (0..64u64).map(|i| st(i * 512)).collect();
+        let trace = WorkloadTrace::new(
+            "downgrade",
+            vec![
+                kernel_per_gpm(vec![homing]),
+                kernel_per_gpm(vec![vec![], vec![], reading, vec![]]),
+                kernel_per_gpm(vec![writing]),
+            ],
+        );
+        let run_dg = |dg: bool| {
+            let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+            cfg.l2 = hmg_mem::CacheConfig::new(16, 4); // tiny: forces evictions
+            cfg.sharer_downgrades = dg;
+            Engine::new(cfg).run(&trace)
+        };
+        let without = run_dg(false);
+        let with = run_dg(true);
+        assert_eq!(without.downgrades, 0);
+        assert!(with.downgrades > 0, "clean evictions must downgrade");
+        assert!(
+            with.invs_from_stores <= without.invs_from_stores,
+            "downgrades must not increase invalidations ({} vs {})",
+            with.invs_from_stores,
+            without.invs_from_stores
+        );
+    }
+
+    #[test]
+    fn scoped_loads_never_hit_below_their_home() {
+        // All loads at .gpu scope: the local (non-home) L2 must never
+        // serve them, even when it holds the line.
+        let warm = vec![ld(0), TraceOp::Delay(50_000)];
+        let scoped: Vec<TraceOp> = (0..4)
+            .flat_map(|_| {
+                [
+                    TraceOp::Access(Access::new(Addr(0), AccessKind::Load, Scope::Gpu)),
+                    TraceOp::Delay(1000),
+                ]
+            })
+            .collect();
+        let mut ops = warm;
+        ops.extend(scoped);
+        let trace = WorkloadTrace::new(
+            "scoped",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]), // home at GPM0
+                kernel_per_gpm(vec![vec![], ops, vec![], vec![]]),
+            ],
+        );
+        for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc, ProtocolKind::SwHier] {
+            let m = run(p, &trace);
+            // The .gpu loads must all travel to a home; only the single
+            // plain warm load may hit locally after its fill.
+            assert!(
+                m.l1_hits <= 1,
+                "{p}: scoped loads leaked into the L1 ({} hits)",
+                m.l1_hits
+            );
+        }
+        // Ideal waives the rule: scoped loads may hit locally.
+        let ideal = run(ProtocolKind::Ideal, &trace);
+        assert!(ideal.l1_hits >= 2, "ideal hits: {}", ideal.l1_hits);
+    }
+
+    #[test]
+    fn sys_scoped_loads_travel_to_the_system_home() {
+        // A .sys load may only be served at the system home, even under
+        // hierarchical routing with a warm GPU home.
+        let warm = vec![ld(0), TraceOp::Delay(50_000)]; // fills gpu home
+        let sys_load = vec![TraceOp::Access(Access::new(
+            Addr(0),
+            AccessKind::Load,
+            Scope::Sys,
+        ))];
+        let mut ops = warm;
+        ops.extend(sys_load);
+        let trace = WorkloadTrace::new(
+            "sys-scope",
+            vec![
+                kernel_per_gpm(vec![vec![ld(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], ops, vec![]]),
+            ],
+        );
+        let m = run(ProtocolKind::Hmg, &trace);
+        // At least one request reached the system home in kernel 1 (the
+        // .sys load; the warm load may have been served at the GPU home).
+        assert!(m.sys_home_hits + m.dram_accesses >= 2);
+    }
+
+    #[test]
+    fn carve_broadcasts_on_read_write_sharing() {
+        // GPM0 homes and writes a line that GPMs 1-3 have read: the
+        // CARVE-like classifier must broadcast invalidations to every
+        // cache, and a synchronized reader still sees the new value.
+        let reader = vec![ld(0)];
+        let trace = WorkloadTrace::new(
+            "carve",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], reader.clone(), reader.clone(), reader]),
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
+            ],
+        );
+        let m = run_probed(ProtocolKind::CarveLike, &trace, 0);
+        // Broadcast: the second store reaches a ReadWrite block ->
+        // invalidations to all GPMs but home and writer (= 3 on the
+        // small_test machine, per store event).
+        assert!(m.invs_from_stores >= 3, "got {}", m.invs_from_stores);
+        assert_eq!(m.probe.last().unwrap().1, 2);
+    }
+
+    #[test]
+    fn carve_private_blocks_stay_quiet() {
+        // A GPM rewriting its own private data must not broadcast.
+        let ops: Vec<TraceOp> = (0..8).map(|_| st(0)).collect();
+        let trace = WorkloadTrace::new("carve-priv", vec![kernel_per_gpm(vec![ops])]);
+        let m = run(ProtocolKind::CarveLike, &trace);
+        assert_eq!(m.invs_from_stores, 0, "private writes must not broadcast");
+    }
+
+    #[test]
+    fn carve_sends_more_invalidations_than_hmg_on_shared_writes() {
+        // The paper's §II-A point: without sharer tracking, CARVE
+        // broadcasts where HMG invalidates precisely.
+        let reader = vec![ld(0)];
+        let trace = WorkloadTrace::new(
+            "carve-vs-hmg",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]),
+                kernel_per_gpm(vec![vec![], reader.clone(), vec![], vec![]]),
+                kernel_per_gpm(vec![vec![st(0)]]),
+            ],
+        );
+        let carve = run(ProtocolKind::CarveLike, &trace);
+        let hmg = run(ProtocolKind::Hmg, &trace);
+        assert!(
+            carve.invs_from_stores > hmg.invs_from_stores,
+            "carve {} vs hmg {}",
+            carve.invs_from_stores,
+            hmg.invs_from_stores
+        );
+    }
+
+    #[test]
+    fn directory_eviction_sends_invalidations() {
+        // A tiny directory (4 entries, 1 way) plus many distinct remote
+        // blocks forces eviction invalidations.
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.dir = hmg_mem::DirectoryConfig::new(4, 1);
+        let line_b = cfg.geometry.line_bytes() as u64;
+        let block_b = line_b * cfg.geometry.lines_per_block() as u64;
+        // Home everything at GPM0 in kernel 0, then have GPM2 read many
+        // distinct blocks.
+        let homing: Vec<TraceOp> = (0..64u64).map(|i| ld(i * block_b)).collect();
+        let remote: Vec<TraceOp> = (0..64u64).map(|i| ld(i * block_b)).collect();
+        let trace = WorkloadTrace::new(
+            "evict",
+            vec![
+                kernel_per_gpm(vec![homing]),
+                kernel_per_gpm(vec![vec![], vec![], remote, vec![]]),
+            ],
+        );
+        let m = Engine::new(cfg).run(&trace);
+        assert!(m.invs_from_evictions > 0, "directory must overflow");
+        assert!(m.evictions_triggering_invs > 0);
+    }
+}

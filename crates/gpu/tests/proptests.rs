@@ -1,0 +1,86 @@
+//! Property-based tests on the engine: arbitrary (flag-free) traces must
+//! complete deterministically under every protocol, with conserved
+//! accounting.
+
+use proptest::prelude::*;
+
+use hmg_gpu::{Engine, EngineConfig};
+use hmg_mem::Addr;
+use hmg_protocol::{Access, AccessKind, Cta, Kernel, ProtocolKind, Scope, TraceOp, WorkloadTrace};
+
+/// Strategy: a random flag-free CTA (loads, stores, atomics, delays,
+/// acquires, releases over a bounded address space).
+fn arb_cta() -> impl Strategy<Value = Cta> {
+    let op = prop_oneof![
+        6 => (0u64..512, any::<bool>()).prop_map(|(l, st)| {
+            let a = Addr(l * 128);
+            TraceOp::Access(if st { Access::store(a) } else { Access::load(a) })
+        }),
+        1 => (0u64..512, prop_oneof![Just(Scope::Gpu), Just(Scope::Sys)])
+            .prop_map(|(l, s)| TraceOp::Access(Access::new(Addr(l * 128), AccessKind::Atomic, s))),
+        1 => (1u32..200).prop_map(TraceOp::Delay),
+        1 => prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
+            .prop_map(TraceOp::Acquire),
+        1 => prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
+            .prop_map(TraceOp::Release),
+    ];
+    proptest::collection::vec(op, 0..40).prop_map(Cta::new)
+}
+
+fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
+    proptest::collection::vec(
+        proptest::collection::vec(arb_cta(), 1..9).prop_map(Kernel::new),
+        1..4,
+    )
+    .prop_map(|kernels| WorkloadTrace::new("random", kernels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness: arbitrary flag-free traces terminate under every
+    /// protocol, and the metrics account for every access issued.
+    #[test]
+    fn random_traces_complete_with_conserved_accounting(trace in arb_trace()) {
+        let expected_accesses = trace.num_accesses() as u64;
+        for p in ProtocolKind::ALL {
+            let m = Engine::new(EngineConfig::small_test(p)).run(&trace);
+            // Loads + stores together count every access exactly once,
+            // except atomics which count as both.
+            let mut atomics = 0u64;
+            for k in &trace.kernels {
+                for c in &k.ctas {
+                    for op in &c.ops {
+                        if let TraceOp::Access(a) = op {
+                            if a.kind == AccessKind::Atomic {
+                                atomics += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(m.loads + m.stores, expected_accesses + atomics, "{}", p);
+            prop_assert!(m.l1_hits <= m.loads, "{}", p);
+        }
+    }
+
+    /// Determinism: the same trace yields identical cycle counts twice.
+    #[test]
+    fn random_traces_are_deterministic(trace in arb_trace()) {
+        for p in [ProtocolKind::Hmg, ProtocolKind::SwHier] {
+            let a = Engine::new(EngineConfig::small_test(p)).run(&trace);
+            let b = Engine::new(EngineConfig::small_test(p)).run(&trace);
+            prop_assert_eq!(a.total_cycles, b.total_cycles);
+            prop_assert_eq!(a.events, b.events);
+        }
+    }
+
+    /// Software protocols never emit invalidation traffic, for any trace.
+    #[test]
+    fn sw_protocols_never_invalidate(trace in arb_trace()) {
+        for p in [ProtocolKind::SwNonHier, ProtocolKind::SwHier, ProtocolKind::Ideal] {
+            let m = Engine::new(EngineConfig::small_test(p)).run(&trace);
+            prop_assert_eq!(m.invs_from_stores + m.invs_from_evictions, 0, "{}", p);
+        }
+    }
+}

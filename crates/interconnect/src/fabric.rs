@@ -1,0 +1,371 @@
+//! The assembled two-tier network: intra-GPU crossbar ports per GPM and
+//! inter-GPU switch ports per GPU, with per-class byte accounting.
+
+use hmg_sim::Cycle;
+
+use crate::ids::{GpmId, Topology};
+use crate::link::Link;
+
+/// Classification of protocol traffic, used for the bandwidth breakdowns
+/// in the evaluation (Fig. 11 charges only `Inv` bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MsgClass {
+    /// Load/atomic request headers.
+    Request,
+    /// Load/atomic responses carrying a cache line.
+    Data,
+    /// Store write-through traffic (header + sector payload).
+    StoreData,
+    /// Coherence invalidation messages.
+    Inv,
+    /// Control traffic: release fences and their acknowledgments.
+    Ctrl,
+}
+
+impl MsgClass {
+    /// All classes, in index order.
+    pub const ALL: [MsgClass; 5] = [
+        MsgClass::Request,
+        MsgClass::Data,
+        MsgClass::StoreData,
+        MsgClass::Inv,
+        MsgClass::Ctrl,
+    ];
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            MsgClass::Request => 0,
+            MsgClass::Data => 1,
+            MsgClass::StoreData => 2,
+            MsgClass::Inv => 3,
+            MsgClass::Ctrl => 4,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgClass::Request => "request",
+            MsgClass::Data => "data",
+            MsgClass::StoreData => "store",
+            MsgClass::Inv => "inv",
+            MsgClass::Ctrl => "ctrl",
+        }
+    }
+}
+
+/// Bandwidth and latency parameters for the two network tiers.
+///
+/// Bandwidths are specified the way Table II does: an aggregate
+/// bidirectional intra-GPU figure per GPU (2 TB/s) and a per-direction
+/// inter-GPU link figure (200 GB/s).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Core clock in GHz; converts GB/s into bytes per cycle.
+    pub freq_ghz: f64,
+    /// Aggregate intra-GPU (inter-GPM) bandwidth per GPU, GB/s,
+    /// bidirectional. Each GPM gets `intra / gpms_per_gpu` per direction.
+    pub intra_gpu_gbps: f64,
+    /// Inter-GPU bandwidth per GPU, GB/s, each direction.
+    pub inter_gpu_gbps: f64,
+    /// One-way latency between two GPMs of the same GPU.
+    pub intra_latency: Cycle,
+    /// One-way latency between two GPMs of different GPUs.
+    pub inter_latency: Cycle,
+}
+
+impl FabricConfig {
+    /// Table II defaults: 1.3 GHz, 2 TB/s intra-GPU, 200 GB/s inter-GPU.
+    pub fn paper_default() -> Self {
+        FabricConfig {
+            freq_ghz: 1.3,
+            intra_gpu_gbps: 2000.0,
+            inter_gpu_gbps: 200.0,
+            intra_latency: Cycle(90),
+            inter_latency: Cycle(360),
+        }
+    }
+
+    fn bytes_per_cycle(&self, gbps: f64) -> f64 {
+        gbps / self.freq_ghz
+    }
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig::paper_default()
+    }
+}
+
+/// Byte totals observed by the fabric, split by tier and message class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    intra_bytes: [u64; 5],
+    inter_bytes: [u64; 5],
+    intra_msgs: [u64; 5],
+    inter_msgs: [u64; 5],
+}
+
+impl FabricStats {
+    /// Bytes of class `class` that crossed intra-GPU ports.
+    pub fn intra_bytes(&self, class: MsgClass) -> u64 {
+        self.intra_bytes[class.idx()]
+    }
+
+    /// Bytes of class `class` that crossed inter-GPU ports.
+    pub fn inter_bytes(&self, class: MsgClass) -> u64 {
+        self.inter_bytes[class.idx()]
+    }
+
+    /// Messages of class `class` on intra-GPU ports.
+    pub fn intra_msgs(&self, class: MsgClass) -> u64 {
+        self.intra_msgs[class.idx()]
+    }
+
+    /// Messages of class `class` on inter-GPU ports.
+    pub fn inter_msgs(&self, class: MsgClass) -> u64 {
+        self.inter_msgs[class.idx()]
+    }
+
+    /// Total bytes of a class over both tiers.
+    pub fn total_bytes(&self, class: MsgClass) -> u64 {
+        self.intra_bytes(class) + self.inter_bytes(class)
+    }
+
+    /// Converts a byte total into GB/s given elapsed cycles and frequency;
+    /// this is the unit Fig. 11 reports.
+    pub fn gbps(bytes: u64, elapsed: Cycle, freq_ghz: f64) -> f64 {
+        if elapsed == Cycle::ZERO {
+            return 0.0;
+        }
+        let seconds = elapsed.to_seconds(freq_ghz);
+        bytes as f64 / 1e9 / seconds
+    }
+}
+
+/// The two-tier interconnect: per-GPM intra-GPU ports and per-GPU
+/// inter-GPU ports, with store-and-forward routing between them.
+///
+/// # Example
+///
+/// ```
+/// use hmg_interconnect::{Fabric, FabricConfig, MsgClass, Topology, GpmId};
+/// use hmg_sim::Cycle;
+///
+/// let topo = Topology::new(2, 2);
+/// let mut fabric = Fabric::new(topo, FabricConfig::paper_default());
+/// // GPM0 -> GPM3 crosses the inter-GPU tier.
+/// let arrival = fabric.send(Cycle(0), GpmId(0), GpmId(3), 128, MsgClass::Data);
+/// assert!(arrival > Cycle(0));
+/// assert!(fabric.stats().inter_bytes(MsgClass::Data) >= 128);
+/// ```
+#[derive(Debug)]
+pub struct Fabric {
+    topo: Topology,
+    config: FabricConfig,
+    intra_egress: Vec<Link>,
+    intra_ingress: Vec<Link>,
+    inter_egress: Vec<Link>,
+    inter_ingress: Vec<Link>,
+    stats: FabricStats,
+}
+
+impl Fabric {
+    /// Builds the fabric for `topo` with the given tier parameters.
+    pub fn new(topo: Topology, config: FabricConfig) -> Self {
+        let intra_bpc =
+            config.bytes_per_cycle(config.intra_gpu_gbps / topo.gpms_per_gpu() as f64);
+        let inter_bpc = config.bytes_per_cycle(config.inter_gpu_gbps);
+        // Propagation latency is split between the egress and ingress hop.
+        let intra_half = Cycle(config.intra_latency.0 / 2);
+        let intra_rest = config.intra_latency - intra_half;
+        let inter_half = Cycle(config.inter_latency.0 / 2);
+        let _ = inter_half;
+        // Inter-GPU messages also cross the intra fabric at both ends, so
+        // the inter ports carry only the remaining latency.
+        let inter_port_lat = Cycle(
+            config
+                .inter_latency
+                .0
+                .saturating_sub(config.intra_latency.0)
+                / 2,
+        );
+        Fabric {
+            topo,
+            config,
+            intra_egress: (0..topo.num_gpms())
+                .map(|_| Link::new(intra_bpc, intra_half))
+                .collect(),
+            intra_ingress: (0..topo.num_gpms())
+                .map(|_| Link::new(intra_bpc, intra_rest))
+                .collect(),
+            inter_egress: (0..topo.num_gpus())
+                .map(|_| Link::new(inter_bpc, inter_port_lat))
+                .collect(),
+            inter_ingress: (0..topo.num_gpus())
+                .map(|_| Link::new(inter_bpc, inter_port_lat))
+                .collect(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// The topology this fabric was built for.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// The configuration this fabric was built with.
+    pub fn config(&self) -> &FabricConfig {
+        &self.config
+    }
+
+    /// Routes `bytes` from `src` to `dst` starting at `now`; returns the
+    /// arrival time. Same-GPM traffic does not touch the network.
+    pub fn send(
+        &mut self,
+        now: Cycle,
+        src: GpmId,
+        dst: GpmId,
+        bytes: u32,
+        class: MsgClass,
+    ) -> Cycle {
+        if src == dst {
+            return now;
+        }
+        if self.topo.same_gpu(src, dst) {
+            self.stats.intra_bytes[class.idx()] += bytes as u64;
+            self.stats.intra_msgs[class.idx()] += 1;
+            let t1 = self.intra_egress[src.index()].send(now, bytes);
+            self.intra_ingress[dst.index()].send(t1, bytes)
+        } else {
+            self.stats.intra_bytes[class.idx()] += bytes as u64;
+            self.stats.intra_msgs[class.idx()] += 1;
+            self.stats.inter_bytes[class.idx()] += bytes as u64;
+            self.stats.inter_msgs[class.idx()] += 1;
+            let src_gpu = self.topo.gpu_of(src);
+            let dst_gpu = self.topo.gpu_of(dst);
+            let t1 = self.intra_egress[src.index()].send(now, bytes);
+            let t2 = self.inter_egress[src_gpu.0 as usize].send(t1, bytes);
+            let t3 = self.inter_ingress[dst_gpu.0 as usize].send(t2, bytes);
+            self.intra_ingress[dst.index()].send(t3, bytes)
+        }
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &FabricStats {
+        &self.stats
+    }
+
+    /// Utilization of a GPU's inter-GPU egress port over `elapsed` cycles.
+    pub fn inter_egress_utilization(&self, gpu: crate::GpuId, elapsed: Cycle) -> f64 {
+        self.inter_egress[gpu.0 as usize].utilization(elapsed)
+    }
+
+    /// Utilization of a GPM's intra-GPU egress port over `elapsed` cycles.
+    pub fn intra_egress_utilization(&self, gpm: GpmId, elapsed: Cycle) -> f64 {
+        self.intra_egress[gpm.index()].utilization(elapsed)
+    }
+
+    /// Utilization of a GPM's intra-GPU ingress port over `elapsed` cycles.
+    pub fn intra_ingress_utilization(&self, gpm: GpmId, elapsed: Cycle) -> f64 {
+        self.intra_ingress[gpm.index()].utilization(elapsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GpuId;
+
+    fn small_fabric() -> Fabric {
+        let topo = Topology::new(2, 2);
+        Fabric::new(
+            topo,
+            FabricConfig {
+                freq_ghz: 1.0,
+                intra_gpu_gbps: 128.0, // 64 B/cyc per GPM
+                inter_gpu_gbps: 16.0,  // 16 B/cyc per GPU
+                intra_latency: Cycle(10),
+                inter_latency: Cycle(50),
+            },
+        )
+    }
+
+    #[test]
+    fn same_gpm_is_free() {
+        let mut f = small_fabric();
+        assert_eq!(f.send(Cycle(5), GpmId(0), GpmId(0), 128, MsgClass::Data), Cycle(5));
+        assert_eq!(f.stats().total_bytes(MsgClass::Data), 0);
+    }
+
+    #[test]
+    fn intra_gpu_crosses_only_intra_tier() {
+        let mut f = small_fabric();
+        let a = f.send(Cycle(0), GpmId(0), GpmId(1), 128, MsgClass::Request);
+        // 2 ports x 2 cycles serialization + 10 total latency = 14.
+        assert_eq!(a, Cycle(14));
+        assert_eq!(f.stats().intra_bytes(MsgClass::Request), 128);
+        assert_eq!(f.stats().inter_bytes(MsgClass::Request), 0);
+    }
+
+    #[test]
+    fn inter_gpu_crosses_both_tiers() {
+        let mut f = small_fabric();
+        let a = f.send(Cycle(0), GpmId(0), GpmId(2), 128, MsgClass::Data);
+        assert!(a > Cycle(14), "inter-GPU must be slower than intra");
+        assert_eq!(f.stats().intra_bytes(MsgClass::Data), 128);
+        assert_eq!(f.stats().inter_bytes(MsgClass::Data), 128);
+    }
+
+    #[test]
+    fn inter_gpu_bandwidth_throttles() {
+        let mut f = small_fabric();
+        // Saturate the 16 B/cyc inter link with 128 B messages.
+        let mut last = Cycle::ZERO;
+        for _ in 0..100 {
+            last = f.send(Cycle(0), GpmId(0), GpmId(2), 128, MsgClass::Data);
+        }
+        // 100 * 128 B at 16 B/cyc is at least 800 cycles of serialization.
+        assert!(last >= Cycle(800), "last arrival {last}");
+    }
+
+    #[test]
+    fn per_class_accounting_is_separate() {
+        let mut f = small_fabric();
+        f.send(Cycle(0), GpmId(0), GpmId(2), 16, MsgClass::Inv);
+        f.send(Cycle(0), GpmId(0), GpmId(2), 144, MsgClass::StoreData);
+        assert_eq!(f.stats().inter_bytes(MsgClass::Inv), 16);
+        assert_eq!(f.stats().inter_bytes(MsgClass::StoreData), 144);
+        assert_eq!(f.stats().inter_msgs(MsgClass::Inv), 1);
+    }
+
+    #[test]
+    fn fifo_per_directed_pair() {
+        let mut f = small_fabric();
+        let mut prev = Cycle::ZERO;
+        for i in 0..50 {
+            let a = f.send(Cycle(i), GpmId(1), GpmId(3), 64, MsgClass::Inv);
+            assert!(a >= prev);
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn gbps_conversion() {
+        // 1e9 bytes over 1e9 cycles at 1 GHz = 1 second -> 1 GB/s.
+        let g = FabricStats::gbps(1_000_000_000, Cycle(1_000_000_000), 1.0);
+        assert!((g - 1.0).abs() < 1e-9);
+        assert_eq!(FabricStats::gbps(100, Cycle::ZERO, 1.0), 0.0);
+    }
+
+    #[test]
+    fn utilization_reported() {
+        let mut f = small_fabric();
+        for _ in 0..10 {
+            f.send(Cycle(0), GpmId(0), GpmId(2), 128, MsgClass::Data);
+        }
+        let u = f.inter_egress_utilization(GpuId(0), Cycle(100));
+        assert!(u > 0.5, "u={u}");
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Interconnect model for hierarchical multi-GPU systems.
+//!
+//! Models the two bandwidth tiers the paper's analysis revolves around
+//! (Section II-A): the high-bandwidth intra-GPU (inter-GPM) fabric and the
+//! bandwidth-constrained inter-GPU links (NVLink/NVSwitch class). Every
+//! message is charged serialization delay on the ports it crosses, so link
+//! contention and NUMA bottlenecks emerge naturally.
+//!
+//! * [`ids`] — strongly-typed GPU/GPM identifiers and the [`Topology`].
+//! * [`link`] — a single bandwidth/latency-modeled port.
+//! * [`fabric`] — the assembled network: routing, per-tier and per-class
+//!   byte accounting (needed for the Fig. 11 invalidation-bandwidth data).
+//!
+//! # Example
+//!
+//! ```
+//! use hmg_interconnect::{Topology, GpuId};
+//!
+//! let topo = Topology::new(4, 4); // 4 GPUs x 4 GPMs (Table II)
+//! assert_eq!(topo.num_gpms(), 16);
+//! let gpm = topo.gpm(GpuId(2), 3);
+//! assert_eq!(topo.gpu_of(gpm), GpuId(2));
+//! ```
+
+pub mod fabric;
+pub mod ids;
+pub mod link;
+
+pub use fabric::{Fabric, FabricConfig, FabricStats, MsgClass};
+pub use ids::{GpmId, GpuId, Topology};
+pub use link::Link;

@@ -1,0 +1,172 @@
+//! A single bandwidth/latency-modeled network port.
+
+use hmg_sim::Cycle;
+
+/// One directed port with finite bandwidth and fixed propagation latency.
+///
+/// A message of *b* bytes offered at time *t* begins serializing at
+/// `max(t, next_free)`, occupies the port for `b / bytes_per_cycle` cycles,
+/// and arrives `latency` cycles after serialization completes. Because
+/// `next_free` only moves forward, deliveries over one port are FIFO —
+/// the property HMG's ack-free invalidations and release fences rely on
+/// (Section IV, "Release").
+///
+/// # Example
+///
+/// ```
+/// use hmg_interconnect::Link;
+/// use hmg_sim::Cycle;
+///
+/// // 64 bytes/cycle, 10-cycle latency.
+/// let mut port = Link::new(64.0, Cycle(10));
+/// let a1 = port.send(Cycle(0), 128); // 2 cycles serialization + 10
+/// let a2 = port.send(Cycle(0), 128); // queued behind the first
+/// assert_eq!(a1, Cycle(12));
+/// assert_eq!(a2, Cycle(14));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Link {
+    bytes_per_cycle: f64,
+    latency: Cycle,
+    /// Time (in fractional cycles) at which the port next becomes idle.
+    next_free: f64,
+    bytes_sent: u64,
+    messages_sent: u64,
+    busy_cycles: f64,
+}
+
+impl Link {
+    /// Creates a port that moves `bytes_per_cycle` bytes each cycle and
+    /// adds `latency` cycles of propagation delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_cycle` is not strictly positive.
+    pub fn new(bytes_per_cycle: f64, latency: Cycle) -> Self {
+        assert!(
+            bytes_per_cycle > 0.0,
+            "link bandwidth must be positive, got {bytes_per_cycle}"
+        );
+        Link {
+            bytes_per_cycle,
+            latency,
+            next_free: 0.0,
+            bytes_sent: 0,
+            messages_sent: 0,
+            busy_cycles: 0.0,
+        }
+    }
+
+    /// Offers a message of `bytes` to the port at time `now`; returns its
+    /// arrival time at the far end.
+    pub fn send(&mut self, now: Cycle, bytes: u32) -> Cycle {
+        let start = self.next_free.max(now.0 as f64);
+        let ser = bytes as f64 / self.bytes_per_cycle;
+        self.next_free = start + ser;
+        self.bytes_sent += bytes as u64;
+        self.messages_sent += 1;
+        self.busy_cycles += ser;
+        Cycle((start + ser).ceil() as u64) + self.latency
+    }
+
+    /// Earliest time a new message could start serializing.
+    pub fn next_free(&self) -> Cycle {
+        Cycle(self.next_free.ceil() as u64)
+    }
+
+    /// Total bytes pushed through this port.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total messages pushed through this port.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Port utilization over `elapsed` simulated cycles, in `[0, 1]`.
+    pub fn utilization(&self, elapsed: Cycle) -> f64 {
+        if elapsed == Cycle::ZERO {
+            0.0
+        } else {
+            (self.busy_cycles / elapsed.0 as f64).min(1.0)
+        }
+    }
+
+    /// The configured bandwidth in bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// The configured propagation latency.
+    pub fn latency(&self) -> Cycle {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_message_sees_serialization_plus_latency() {
+        let mut l = Link::new(32.0, Cycle(100));
+        // 128 B at 32 B/cyc = 4 cycles, plus 100 latency.
+        assert_eq!(l.send(Cycle(0), 128), Cycle(104));
+    }
+
+    #[test]
+    fn back_to_back_messages_queue() {
+        let mut l = Link::new(32.0, Cycle(0));
+        assert_eq!(l.send(Cycle(0), 128), Cycle(4));
+        assert_eq!(l.send(Cycle(0), 128), Cycle(8));
+        assert_eq!(l.send(Cycle(0), 128), Cycle(12));
+    }
+
+    #[test]
+    fn idle_gaps_are_not_charged() {
+        let mut l = Link::new(32.0, Cycle(0));
+        l.send(Cycle(0), 32); // busy until cycle 1
+        assert_eq!(l.send(Cycle(100), 32), Cycle(101));
+    }
+
+    #[test]
+    fn delivery_is_fifo() {
+        let mut l = Link::new(16.0, Cycle(50));
+        let mut prev = Cycle::ZERO;
+        for i in 0..100 {
+            let a = l.send(Cycle(i), 64);
+            assert!(a >= prev, "arrival went backwards");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn fractional_serialization_accumulates_exactly() {
+        // 3 bytes/cycle: a 1-byte message serializes in 1/3 cycle. Three
+        // back-to-back messages should finish at exactly 1 cycle.
+        let mut l = Link::new(3.0, Cycle(0));
+        l.send(Cycle(0), 1);
+        l.send(Cycle(0), 1);
+        let a = l.send(Cycle(0), 1);
+        assert_eq!(a, Cycle(1));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut l = Link::new(64.0, Cycle(1));
+        l.send(Cycle(0), 100);
+        l.send(Cycle(0), 28);
+        assert_eq!(l.bytes_sent(), 128);
+        assert_eq!(l.messages_sent(), 2);
+        // 128 B / 64 Bpc = 2 busy cycles out of 4.
+        assert!((l.utilization(Cycle(4)) - 0.5).abs() < 1e-9);
+        assert_eq!(l.utilization(Cycle::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        Link::new(0.0, Cycle(0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the interconnect: per-port FIFO delivery,
+//! byte conservation, bandwidth lower bounds, and topology round trips.
+
+use proptest::prelude::*;
+
+use hmg_interconnect::{Fabric, FabricConfig, GpmId, Link, MsgClass, Topology};
+use hmg_sim::Cycle;
+
+proptest! {
+    /// Deliveries over one port never reorder, for any offered schedule
+    /// of send times and sizes.
+    #[test]
+    fn link_is_fifo(
+        sends in proptest::collection::vec((0u64..10_000, 1u32..4096), 1..200),
+        bpc in 1u32..512,
+        lat in 0u64..1000,
+    ) {
+        let mut link = Link::new(bpc as f64, Cycle(lat));
+        let mut sorted = sends.clone();
+        sorted.sort_by_key(|&(t, _)| t);
+        let mut prev = Cycle::ZERO;
+        for (t, bytes) in sorted {
+            let arrival = link.send(Cycle(t), bytes);
+            prop_assert!(arrival >= prev, "FIFO violated");
+            prop_assert!(arrival >= Cycle(t + lat), "faster than latency");
+            prev = arrival;
+        }
+    }
+
+    /// A port can never move data faster than its bandwidth: the last
+    /// arrival is bounded below by total bytes over bandwidth.
+    #[test]
+    fn link_respects_bandwidth(
+        sizes in proptest::collection::vec(1u32..4096, 1..100),
+        bpc in 1u32..256,
+    ) {
+        let mut link = Link::new(bpc as f64, Cycle(0));
+        let mut last = Cycle::ZERO;
+        for &b in &sizes {
+            last = link.send(Cycle::ZERO, b);
+        }
+        let total: u64 = sizes.iter().map(|&b| b as u64).sum();
+        let min_cycles = (total as f64 / bpc as f64).floor() as u64;
+        prop_assert!(last.as_u64() >= min_cycles, "{last} < {min_cycles}");
+        prop_assert_eq!(link.bytes_sent(), total);
+    }
+
+    /// Fabric byte accounting conserves: per-class totals equal the sum
+    /// of what was sent, with inter-tier bytes counted only for
+    /// cross-GPU messages.
+    #[test]
+    fn fabric_accounting_conserves(
+        msgs in proptest::collection::vec((0u16..16, 0u16..16, 1u32..2048), 1..150),
+    ) {
+        let topo = Topology::new(4, 4);
+        let mut fabric = Fabric::new(topo, FabricConfig::paper_default());
+        let mut intra_expected = 0u64;
+        let mut inter_expected = 0u64;
+        for &(s, d, bytes) in &msgs {
+            let (src, dst) = (GpmId(s), GpmId(d));
+            fabric.send(Cycle::ZERO, src, dst, bytes, MsgClass::Data);
+            if src != dst {
+                intra_expected += bytes as u64;
+                if !topo.same_gpu(src, dst) {
+                    inter_expected += bytes as u64;
+                }
+            }
+        }
+        prop_assert_eq!(fabric.stats().intra_bytes(MsgClass::Data), intra_expected);
+        prop_assert_eq!(fabric.stats().inter_bytes(MsgClass::Data), inter_expected);
+        for class in [MsgClass::Request, MsgClass::Inv, MsgClass::Ctrl] {
+            prop_assert_eq!(fabric.stats().total_bytes(class), 0);
+        }
+    }
+
+    /// Cross-GPU messages are never faster than same-GPU messages of the
+    /// same size on an idle fabric.
+    #[test]
+    fn inter_gpu_is_never_faster(bytes in 1u32..4096) {
+        let topo = Topology::new(2, 2);
+        let mut f1 = Fabric::new(topo, FabricConfig::paper_default());
+        let mut f2 = Fabric::new(topo, FabricConfig::paper_default());
+        let intra = f1.send(Cycle::ZERO, GpmId(0), GpmId(1), bytes, MsgClass::Data);
+        let inter = f2.send(Cycle::ZERO, GpmId(0), GpmId(2), bytes, MsgClass::Data);
+        prop_assert!(inter >= intra);
+    }
+
+    /// Topology coordinate round trips hold for arbitrary shapes.
+    #[test]
+    fn topology_roundtrips(gpus in 1u16..12, gpms in 1u16..8) {
+        let t = Topology::new(gpus, gpms);
+        prop_assert_eq!(t.num_gpms(), gpus * gpms);
+        for gpm in t.all_gpms() {
+            let gpu = t.gpu_of(gpm);
+            let local = t.local_index(gpm);
+            prop_assert_eq!(t.gpm(gpu, local), gpm);
+            prop_assert!(local < gpms);
+            prop_assert!(gpu.0 < gpus);
+        }
+        // Every GPU's block partitions the GPM space.
+        let mut seen = std::collections::HashSet::new();
+        for gpu in t.all_gpus() {
+            for gpm in t.gpms_of(gpu) {
+                prop_assert!(seen.insert(gpm), "GPM listed twice");
+                prop_assert_eq!(t.gpu_of(gpm), gpu);
+            }
+        }
+        prop_assert_eq!(seen.len() as u16, t.num_gpms());
+    }
+}

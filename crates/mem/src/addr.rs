@@ -1,0 +1,235 @@
+//! Byte addresses and the cache-line / directory-block / page granularities
+//! derived from them.
+
+use std::fmt;
+
+/// A byte address in global memory (the virtual address space shared by
+/// all GPUs — Section II's "global memory").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A cache-line index: the byte address divided by the line size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line:{:#x}", self.0)
+    }
+}
+
+/// A directory-block index: the cache-line index divided by the number of
+/// lines each directory entry covers (4 in the paper's configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk:{:#x}", self.0)
+    }
+}
+
+/// An OS page index: the byte address divided by the page size (2 MB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(pub u64);
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page:{:#x}", self.0)
+    }
+}
+
+/// The granularities the memory system operates at.
+///
+/// # Example
+///
+/// ```
+/// use hmg_mem::{MemGeometry, Addr};
+///
+/// let g = MemGeometry::paper_default(); // 128 B lines, 2 MB pages, 4 lines/block
+/// let a = Addr(2 * 1024 * 1024 + 640);
+/// assert_eq!(g.line_of(a).0, (2 * 1024 * 1024 + 640) / 128);
+/// assert_eq!(g.page_of(a).0, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemGeometry {
+    line_bytes: u32,
+    lines_per_block: u32,
+    page_bytes: u64,
+}
+
+impl MemGeometry {
+    /// Builds a geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, if `line_bytes` or
+    /// `lines_per_block` is not a power of two, or if a page does not hold
+    /// a whole number of lines.
+    pub fn new(line_bytes: u32, lines_per_block: u32, page_bytes: u64) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            lines_per_block.is_power_of_two(),
+            "directory granularity must be a power of two"
+        );
+        assert!(page_bytes > 0 && page_bytes.is_multiple_of(line_bytes as u64));
+        MemGeometry {
+            line_bytes,
+            lines_per_block,
+            page_bytes,
+        }
+    }
+
+    /// Table II values: 128 B lines, 2 MB pages; directory entries cover
+    /// 4 cache lines (Section VI).
+    pub fn paper_default() -> Self {
+        MemGeometry::new(128, 4, 2 * 1024 * 1024)
+    }
+
+    /// Cache-line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of cache lines covered by one directory entry.
+    #[inline]
+    pub fn lines_per_block(&self) -> u32 {
+        self.lines_per_block
+    }
+
+    /// Page size in bytes.
+    #[inline]
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// The cache line containing `a`.
+    #[inline]
+    pub fn line_of(&self, a: Addr) -> LineAddr {
+        LineAddr(a.0 / self.line_bytes as u64)
+    }
+
+    /// The directory block containing `line`.
+    #[inline]
+    pub fn block_of(&self, line: LineAddr) -> BlockAddr {
+        BlockAddr(line.0 / self.lines_per_block as u64)
+    }
+
+    /// The directory block containing byte address `a`.
+    #[inline]
+    pub fn block_of_addr(&self, a: Addr) -> BlockAddr {
+        self.block_of(self.line_of(a))
+    }
+
+    /// The page containing `a`.
+    #[inline]
+    pub fn page_of(&self, a: Addr) -> PageId {
+        PageId(a.0 / self.page_bytes)
+    }
+
+    /// The page containing cache line `line`.
+    #[inline]
+    pub fn page_of_line(&self, line: LineAddr) -> PageId {
+        PageId(line.0 * self.line_bytes as u64 / self.page_bytes)
+    }
+
+    /// The first byte address of `line`.
+    #[inline]
+    pub fn line_base(&self, line: LineAddr) -> Addr {
+        Addr(line.0 * self.line_bytes as u64)
+    }
+
+    /// Iterates the cache lines covered by directory block `b`.
+    pub fn lines_of_block(&self, b: BlockAddr) -> impl Iterator<Item = LineAddr> {
+        let base = b.0 * self.lines_per_block as u64;
+        (base..base + self.lines_per_block as u64).map(LineAddr)
+    }
+
+    /// Number of lines a cache of `bytes` capacity holds.
+    #[inline]
+    pub fn lines_in(&self, bytes: u64) -> u64 {
+        bytes / self.line_bytes as u64
+    }
+}
+
+impl Default for MemGeometry {
+    fn default() -> Self {
+        MemGeometry::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let g = MemGeometry::paper_default();
+        assert_eq!(g.line_bytes(), 128);
+        assert_eq!(g.lines_per_block(), 4);
+        assert_eq!(g.page_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn line_block_page_math() {
+        let g = MemGeometry::new(128, 4, 1 << 21);
+        let a = Addr(128 * 7 + 5);
+        assert_eq!(g.line_of(a), LineAddr(7));
+        assert_eq!(g.block_of(LineAddr(7)), BlockAddr(1));
+        assert_eq!(g.block_of_addr(a), BlockAddr(1));
+        assert_eq!(g.page_of(Addr((1 << 21) + 1)), PageId(1));
+        assert_eq!(g.line_base(LineAddr(7)), Addr(896));
+    }
+
+    #[test]
+    fn page_of_line_consistent_with_page_of_addr() {
+        let g = MemGeometry::paper_default();
+        for raw in [0u64, 127, 128, 1 << 21, (1 << 22) - 1, 123_456_789] {
+            let a = Addr(raw);
+            assert_eq!(g.page_of(a), g.page_of_line(g.line_of(a)));
+        }
+    }
+
+    #[test]
+    fn lines_of_block_covers_exactly_the_block() {
+        let g = MemGeometry::new(128, 4, 1 << 21);
+        let lines: Vec<_> = g.lines_of_block(BlockAddr(3)).collect();
+        assert_eq!(lines, vec![LineAddr(12), LineAddr(13), LineAddr(14), LineAddr(15)]);
+        for l in lines {
+            assert_eq!(g.block_of(l), BlockAddr(3));
+        }
+    }
+
+    #[test]
+    fn lines_in_capacity() {
+        let g = MemGeometry::paper_default();
+        assert_eq!(g.lines_in(12 * 1024 * 1024 / 4), 24_576); // 3 MB L2 slice
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        MemGeometry::new(100, 4, 1 << 21);
+    }
+
+    #[test]
+    fn displays_are_nonempty() {
+        assert_eq!(Addr(16).to_string(), "0x10");
+        assert_eq!(LineAddr(2).to_string(), "line:0x2");
+        assert_eq!(BlockAddr(2).to_string(), "blk:0x2");
+        assert_eq!(PageId(2).to_string(), "page:0x2");
+    }
+}

@@ -1,0 +1,391 @@
+//! A set-associative cache with LRU replacement and per-line metadata.
+//!
+//! Used for both the software-managed L1s and the GPM L2 slices. The
+//! paper's evaluated configuration is write-through everywhere
+//! (Section VI), so evictions of clean lines are silent and the cache
+//! never needs a writeback path.
+
+use crate::addr::LineAddr;
+
+/// Shape of one cache: total capacity in lines and associativity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total number of cache lines.
+    pub lines: u32,
+    /// Ways per set.
+    pub ways: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is not a positive multiple of `ways`. Set counts
+    /// need not be powers of two; indexing uses modulo, which lets the
+    /// Table II capacities (e.g. 3 MB slices, 16 ways, 1536 sets) be
+    /// expressed exactly.
+    pub fn new(lines: u32, ways: u32) -> Self {
+        assert!(ways > 0 && lines > 0, "cache dimensions must be positive");
+        assert!(lines.is_multiple_of(ways), "lines must divide evenly into ways");
+        CacheConfig { lines, ways }
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> u32 {
+        self.lines / self.ways
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Way<M> {
+    tag: u64,
+    last_use: u64,
+    meta: M,
+}
+
+/// A set-associative, LRU-replacement cache mapping [`LineAddr`]s to
+/// per-line metadata `M`.
+///
+/// The cache stores no data payloads — the simulator tracks line
+/// *versions* (for the coherence checker) and timing, not values.
+///
+/// # Example
+///
+/// ```
+/// use hmg_mem::{Cache, CacheConfig};
+/// use hmg_mem::addr::LineAddr;
+///
+/// let mut c: Cache<u64> = Cache::new(CacheConfig::new(8, 2));
+/// assert!(c.insert(LineAddr(1), 7).is_none());
+/// assert_eq!(c.get(LineAddr(1)), Some(&7));
+/// c.invalidate(LineAddr(1));
+/// assert_eq!(c.get(LineAddr(1)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache<M> {
+    config: CacheConfig,
+    sets: Vec<Vec<Way<M>>>,
+    tick: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl<M> Cache<M> {
+    /// Creates an empty cache of the given shape.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        Cache {
+            config,
+            sets,
+            tick: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The configuration the cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 % self.config.sets() as u64) as usize
+    }
+
+    #[inline]
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.0 / self.config.sets() as u64
+    }
+
+    /// Looks up `line` without updating recency. Returns the metadata if
+    /// present.
+    pub fn peek(&self, line: LineAddr) -> Option<&M> {
+        let set = &self.sets[self.set_index(line)];
+        let tag = self.tag(line);
+        set.iter().find(|w| w.tag == tag).map(|w| &w.meta)
+    }
+
+    /// Looks up `line`, updating LRU recency on a hit.
+    pub fn get(&mut self, line: LineAddr) -> Option<&M> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let tag = self.tag(line);
+        let set = &mut self.sets[idx];
+        for w in set.iter_mut() {
+            if w.tag == tag {
+                w.last_use = tick;
+                return Some(&w.meta);
+            }
+        }
+        None
+    }
+
+    /// Mutable lookup, updating LRU recency on a hit.
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut M> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(line);
+        let tag = self.tag(line);
+        let set = &mut self.sets[idx];
+        for w in set.iter_mut() {
+            if w.tag == tag {
+                w.last_use = tick;
+                return Some(&mut w.meta);
+            }
+        }
+        None
+    }
+
+    /// Inserts (or overwrites) `line` with `meta`. Returns the evicted
+    /// line and its metadata if an LRU victim had to be displaced.
+    pub fn insert(&mut self, line: LineAddr, meta: M) -> Option<(LineAddr, M)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let sets_count = self.config.sets() as u64;
+        let ways = self.config.ways as usize;
+        let idx = self.set_index(line);
+        let tag = self.tag(line);
+        let set = &mut self.sets[idx];
+        for w in set.iter_mut() {
+            if w.tag == tag {
+                w.meta = meta;
+                w.last_use = tick;
+                return None;
+            }
+        }
+        self.insertions += 1;
+        if set.len() < ways {
+            set.push(Way {
+                tag,
+                last_use: tick,
+                meta,
+            });
+            return None;
+        }
+        // Evict the LRU way.
+        let victim_i = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let victim = std::mem::replace(
+            &mut set[victim_i],
+            Way {
+                tag,
+                last_use: tick,
+                meta,
+            },
+        );
+        self.evictions += 1;
+        let victim_line = LineAddr(victim.tag * sets_count + idx as u64);
+        Some((victim_line, victim.meta))
+    }
+
+    /// Removes `line` if present, returning its metadata.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<M> {
+        let idx = self.set_index(line);
+        let tag = self.tag(line);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.tag == tag)?;
+        Some(set.swap_remove(pos).meta)
+    }
+
+    /// Removes every line — the bulk invalidation software coherence
+    /// performs at acquire operations. Returns the number removed.
+    pub fn invalidate_all(&mut self) -> u64 {
+        let mut n = 0;
+        for set in &mut self.sets {
+            n += set.len() as u64;
+            set.clear();
+        }
+        n
+    }
+
+    /// Removes every line for which `pred` holds; returns how many.
+    pub fn invalidate_where<F: FnMut(LineAddr, &M) -> bool>(&mut self, mut pred: F) -> u64 {
+        let sets_count = self.config.sets() as u64;
+        let mut n = 0;
+        for (idx, set) in self.sets.iter_mut().enumerate() {
+            set.retain(|w| {
+                let line = LineAddr(w.tag * sets_count + idx as u64);
+                if pred(line, &w.meta) {
+                    n += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        n
+    }
+
+    /// Whether `line` is currently cached.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.peek(line).is_some()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lines inserted so far (fills).
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Capacity/conflict evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterates over resident `(line, meta)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> {
+        let sets_count = self.config.sets() as u64;
+        self.sets.iter().enumerate().flat_map(move |(idx, set)| {
+            set.iter()
+                .map(move |w| (LineAddr(w.tag * sets_count + idx as u64), &w.meta))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(lines: u32, ways: u32) -> Cache<u32> {
+        Cache::new(CacheConfig::new(lines, ways))
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = cache(16, 4);
+        assert!(c.insert(LineAddr(5), 99).is_none());
+        assert_eq!(c.get(LineAddr(5)), Some(&99));
+        assert!(c.contains(LineAddr(5)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn miss_on_absent_line() {
+        let mut c = cache(16, 4);
+        assert_eq!(c.get(LineAddr(3)), None);
+        assert_eq!(c.peek(LineAddr(3)), None);
+    }
+
+    #[test]
+    fn overwrite_updates_meta_without_eviction() {
+        let mut c = cache(16, 4);
+        c.insert(LineAddr(5), 1);
+        assert!(c.insert(LineAddr(5), 2).is_none());
+        assert_eq!(c.peek(LineAddr(5)), Some(&2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_victim_is_least_recently_used() {
+        // 1 set, 2 ways: lines 0, 4, 8 all map to set 0 (4 sets? no: 2
+        // lines / 2 ways = 1 set). Use 2-line, 2-way cache.
+        let mut c = cache(2, 2);
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(1), 11);
+        c.get(LineAddr(0)); // 1 becomes LRU
+        let evicted = c.insert(LineAddr(2), 12).expect("must evict");
+        assert_eq!(evicted, (LineAddr(1), 11));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn evicted_line_address_is_reconstructed_correctly() {
+        let mut c = cache(8, 2); // 4 sets
+        // Lines 3, 7, 11 map to set 3; fill two ways then force eviction.
+        c.insert(LineAddr(3), 1);
+        c.insert(LineAddr(7), 2);
+        let (victim, meta) = c.insert(LineAddr(11), 3).expect("eviction");
+        assert_eq!(victim, LineAddr(3));
+        assert_eq!(meta, 1);
+    }
+
+    #[test]
+    fn invalidate_single_line() {
+        let mut c = cache(16, 4);
+        c.insert(LineAddr(6), 42);
+        assert_eq!(c.invalidate(LineAddr(6)), Some(42));
+        assert_eq!(c.invalidate(LineAddr(6)), None);
+        assert!(!c.contains(LineAddr(6)));
+    }
+
+    #[test]
+    fn invalidate_all_clears_everything() {
+        let mut c = cache(16, 4);
+        for i in 0..10 {
+            c.insert(LineAddr(i), i as u32);
+        }
+        assert_eq!(c.invalidate_all(), 10);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_where_is_selective() {
+        let mut c = cache(16, 4);
+        for i in 0..8 {
+            c.insert(LineAddr(i), i as u32);
+        }
+        let n = c.invalidate_where(|_, &m| m % 2 == 0);
+        assert_eq!(n, 4);
+        assert_eq!(c.len(), 4);
+        assert!(c.contains(LineAddr(1)));
+        assert!(!c.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn iter_reports_correct_line_addresses() {
+        let mut c = cache(8, 2);
+        let lines = [LineAddr(0), LineAddr(5), LineAddr(10)];
+        for (i, &l) in lines.iter().enumerate() {
+            c.insert(l, i as u32);
+        }
+        let mut seen: Vec<LineAddr> = c.iter().map(|(l, _)| l).collect();
+        seen.sort();
+        assert_eq!(seen, vec![LineAddr(0), LineAddr(5), LineAddr(10)]);
+    }
+
+    #[test]
+    fn fill_and_eviction_counters() {
+        let mut c = cache(2, 1); // 2 sets, direct-mapped
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(2), 0); // same set as 0, evicts
+        assert_eq!(c.insertions(), 2);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn non_power_of_two_set_count_works() {
+        // 12 lines / 4 ways = 3 sets; lines 0, 3, 6, 9 share set 0.
+        let mut c = cache(12, 4);
+        for i in 0..5 {
+            c.insert(LineAddr(i * 3), i as u32);
+        }
+        assert_eq!(c.evictions(), 1);
+        for i in 1..5 {
+            assert!(c.contains(LineAddr(i * 3)), "line {} resident", i * 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn indivisible_lines_rejected() {
+        CacheConfig::new(10, 4);
+    }
+}

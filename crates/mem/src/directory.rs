@@ -1,0 +1,492 @@
+//! The NHCC/HMG coherence directory.
+//!
+//! A set-associative structure attached to every GPM's L2 slice
+//! (Section IV-A). Each entry tracks one *block* (four cache lines in the
+//! paper's configuration) in one of two stable states — Valid (present)
+//! and Invalid (absent) — plus the set of sharers. Under HMG the sharer
+//! set is hierarchical: other GPMs of the home GPU are tracked
+//! individually, while remote GPUs are tracked as whole GPUs (Section V-A).
+
+use hmg_interconnect::{GpmId, GpuId, Topology};
+
+use crate::addr::BlockAddr;
+
+/// One tracked sharer: either a specific GPM (a module of the home GPU,
+/// or any GPM under flat NHCC tracking) or a whole GPU (HMG's inter-GPU
+/// layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sharer {
+    /// A GPU module, identified by its global index.
+    Gpm(GpmId),
+    /// A whole GPU (tracked by the system home node under HMG).
+    Gpu(GpuId),
+}
+
+impl std::fmt::Display for Sharer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sharer::Gpm(g) => write!(f, "{g}"),
+            Sharer::Gpu(g) => write!(f, "{g}"),
+        }
+    }
+}
+
+/// A compact set of [`Sharer`]s: one bit per GPM in the system plus one
+/// bit per GPU. Sized for systems up to 48 GPMs + 16 GPUs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharerSet {
+    bits: u64,
+}
+
+impl SharerSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        SharerSet::default()
+    }
+
+    fn slot(topo: &Topology, s: Sharer) -> u32 {
+        match s {
+            Sharer::Gpm(g) => {
+                assert!(g.0 < topo.num_gpms(), "{g} out of range");
+                g.0 as u32
+            }
+            Sharer::Gpu(g) => {
+                assert!(g.0 < topo.num_gpus(), "{g} out of range");
+                topo.num_gpms() as u32 + g.0 as u32
+            }
+        }
+    }
+
+    /// Adds a sharer; returns `true` if it was newly added.
+    pub fn insert(&mut self, topo: &Topology, s: Sharer) -> bool {
+        let mask = 1u64 << Self::slot(topo, s);
+        let added = self.bits & mask == 0;
+        self.bits |= mask;
+        added
+    }
+
+    /// Removes a sharer; returns `true` if it was present.
+    pub fn remove(&mut self, topo: &Topology, s: Sharer) -> bool {
+        let mask = 1u64 << Self::slot(topo, s);
+        let present = self.bits & mask != 0;
+        self.bits &= !mask;
+        present
+    }
+
+    /// Whether `s` is in the set.
+    pub fn contains(&self, topo: &Topology, s: Sharer) -> bool {
+        self.bits & (1u64 << Self::slot(topo, s)) != 0
+    }
+
+    /// Number of sharers tracked.
+    pub fn len(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// Removes all sharers.
+    pub fn clear(&mut self) {
+        self.bits = 0;
+    }
+
+    /// Enumerates the sharers in the set.
+    pub fn iter(&self, topo: &Topology) -> Vec<Sharer> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        for gpm in topo.all_gpms() {
+            if self.bits & (1u64 << (gpm.0 as u32)) != 0 {
+                out.push(Sharer::Gpm(gpm));
+            }
+        }
+        for gpu in topo.all_gpus() {
+            if self.bits & (1u64 << (topo.num_gpms() as u32 + gpu.0 as u32)) != 0 {
+                out.push(Sharer::Gpu(gpu));
+            }
+        }
+        out
+    }
+}
+
+/// Shape of one GPM's coherence directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DirectoryConfig {
+    /// Total entries (Table II: 12K per GPM).
+    pub entries: u32,
+    /// Ways per set.
+    pub ways: u32,
+}
+
+impl DirectoryConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are zero or `entries` is not a multiple of
+    /// `ways`. (Unlike the data caches, the directory permits a
+    /// non-power-of-two set count; indexing uses modulo.)
+    pub fn new(entries: u32, ways: u32) -> Self {
+        assert!(entries > 0 && ways > 0, "directory dimensions must be positive");
+        assert!(entries.is_multiple_of(ways), "entries must divide evenly into ways");
+        DirectoryConfig { entries, ways }
+    }
+
+    /// Table II: 12K entries per GPM, 16-way.
+    pub fn paper_default() -> Self {
+        DirectoryConfig::new(12 * 1024, 16)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u32 {
+        self.entries / self.ways
+    }
+}
+
+/// Counters the evaluation reads out of the directory (Figs. 9 and 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryStats {
+    /// Entries evicted for capacity/conflict reasons.
+    pub evictions: u64,
+    /// Evictions whose entry still tracked at least one sharer (these are
+    /// the ones that cost invalidation messages).
+    pub evictions_with_sharers: u64,
+    /// Total sharers held by evicted entries.
+    pub evicted_sharers: u64,
+    /// Entries currently allocated.
+    pub allocations: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DirWay {
+    tag: u64,
+    last_use: u64,
+    sharers: SharerSet,
+}
+
+/// One GPM's coherence directory: block-granular, set-associative,
+/// LRU-replaced. Presence in the directory is the Valid state of
+/// Table I; absence is Invalid.
+///
+/// # Example
+///
+/// ```
+/// use hmg_mem::{Directory, DirectoryConfig, Sharer};
+/// use hmg_mem::addr::BlockAddr;
+/// use hmg_interconnect::{Topology, GpmId};
+///
+/// let topo = Topology::new(2, 2);
+/// let mut dir = Directory::new(DirectoryConfig::new(64, 4), topo);
+/// let (set, evicted) = dir.allocate(BlockAddr(9));
+/// assert!(evicted.is_none());
+/// set.insert(&topo, Sharer::Gpm(GpmId(1)));
+/// assert!(dir.lookup(BlockAddr(9)).is_some());
+/// ```
+#[derive(Debug)]
+pub struct Directory {
+    config: DirectoryConfig,
+    topo: Topology,
+    sets: Vec<Vec<DirWay>>,
+    tick: u64,
+    stats: DirectoryStats,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new(config: DirectoryConfig, topo: Topology) -> Self {
+        Directory {
+            config,
+            topo,
+            sets: (0..config.sets()).map(|_| Vec::new()).collect(),
+            tick: 0,
+            stats: DirectoryStats::default(),
+        }
+    }
+
+    /// The configuration the directory was built with.
+    pub fn config(&self) -> DirectoryConfig {
+        self.config
+    }
+
+    #[inline]
+    fn set_index(&self, block: BlockAddr) -> usize {
+        (block.0 % self.config.sets() as u64) as usize
+    }
+
+    #[inline]
+    fn tag(&self, block: BlockAddr) -> u64 {
+        block.0 / self.config.sets() as u64
+    }
+
+    /// Looks up `block` without touching recency.
+    pub fn lookup(&self, block: BlockAddr) -> Option<&SharerSet> {
+        let tag = self.tag(block);
+        self.sets[self.set_index(block)]
+            .iter()
+            .find(|w| w.tag == tag)
+            .map(|w| &w.sharers)
+    }
+
+    /// Looks up `block`, refreshing LRU recency on a hit.
+    pub fn lookup_mut(&mut self, block: BlockAddr) -> Option<&mut SharerSet> {
+        self.tick += 1;
+        let tick = self.tick;
+        let idx = self.set_index(block);
+        let tag = self.tag(block);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.tag == tag)
+            .map(|w| {
+                w.last_use = tick;
+                &mut w.sharers
+            })
+    }
+
+    /// Finds or creates the entry for `block`. If the set is full, the
+    /// LRU victim is evicted and returned — the caller must send
+    /// invalidations to the victim's sharers (Table I, "Replace Dir
+    /// Entry").
+    pub fn allocate(&mut self, block: BlockAddr) -> (&mut SharerSet, Option<(BlockAddr, SharerSet)>) {
+        self.tick += 1;
+        let tick = self.tick;
+        let sets_count = self.config.sets() as u64;
+        let ways = self.config.ways as usize;
+        let idx = self.set_index(block);
+        let tag = self.tag(block);
+
+        let pos = self.sets[idx].iter().position(|w| w.tag == tag);
+        if let Some(p) = pos {
+            self.sets[idx][p].last_use = tick;
+            return (&mut self.sets[idx][p].sharers, None);
+        }
+
+        self.stats.allocations += 1;
+        if self.sets[idx].len() < ways {
+            self.sets[idx].push(DirWay {
+                tag,
+                last_use: tick,
+                sharers: SharerSet::new(),
+            });
+            let last = self.sets[idx].len() - 1;
+            return (&mut self.sets[idx][last].sharers, None);
+        }
+
+        let victim_i = self.sets[idx]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_use)
+            .map(|(i, _)| i)
+            .expect("non-empty set");
+        let victim = std::mem::replace(
+            &mut self.sets[idx][victim_i],
+            DirWay {
+                tag,
+                last_use: tick,
+                sharers: SharerSet::new(),
+            },
+        );
+        self.stats.evictions += 1;
+        if !victim.sharers.is_empty() {
+            self.stats.evictions_with_sharers += 1;
+            self.stats.evicted_sharers += victim.sharers.len() as u64;
+        }
+        let victim_block = BlockAddr(victim.tag * sets_count + idx as u64);
+        (
+            &mut self.sets[idx][victim_i].sharers,
+            Some((victim_block, victim.sharers)),
+        )
+    }
+
+    /// Deallocates `block` (the V→I transition on a local store), returning
+    /// the sharers that must be invalidated.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<SharerSet> {
+        let idx = self.set_index(block);
+        let tag = self.tag(block);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.tag == tag)?;
+        Some(set.swap_remove(pos).sharers)
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters for the Figs. 9–10 analyses.
+    pub fn stats(&self) -> DirectoryStats {
+        self.stats
+    }
+
+    /// Storage cost of this directory in bits per entry and total bytes,
+    /// reproducing the §VII-C arithmetic: tag bits + 1 state bit +
+    /// one sharer bit per trackable sharer (M + N − 2 hierarchically).
+    pub fn storage_cost(&self, tag_bits: u32) -> StorageCost {
+        let sharer_bits = self.topo.max_hierarchical_sharers() as u32;
+        let bits_per_entry = tag_bits + 1 + sharer_bits;
+        let total_bits = bits_per_entry as u64 * self.config.entries as u64;
+        StorageCost {
+            bits_per_entry,
+            total_bytes: total_bits / 8,
+        }
+    }
+}
+
+/// Result of [`Directory::storage_cost`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageCost {
+    /// Bits of storage per directory entry (55 in §VII-C).
+    pub bits_per_entry: u32,
+    /// Total bytes across all entries (84 KB per GPM in §VII-C).
+    pub total_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topo() -> Topology {
+        Topology::new(4, 4)
+    }
+
+    #[test]
+    fn sharer_set_insert_remove_contains() {
+        let t = topo();
+        let mut s = SharerSet::new();
+        assert!(s.insert(&t, Sharer::Gpm(GpmId(3))));
+        assert!(!s.insert(&t, Sharer::Gpm(GpmId(3))), "duplicate insert");
+        assert!(s.insert(&t, Sharer::Gpu(GpuId(2))));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&t, Sharer::Gpm(GpmId(3))));
+        assert!(!s.contains(&t, Sharer::Gpm(GpmId(2))));
+        assert!(s.remove(&t, Sharer::Gpm(GpmId(3))));
+        assert!(!s.remove(&t, Sharer::Gpm(GpmId(3))));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sharer_set_gpm_and_gpu_slots_do_not_collide() {
+        let t = topo();
+        let mut s = SharerSet::new();
+        // GpmId(0) and GpuId(0) are distinct sharers.
+        s.insert(&t, Sharer::Gpm(GpmId(0)));
+        assert!(!s.contains(&t, Sharer::Gpu(GpuId(0))));
+        s.insert(&t, Sharer::Gpu(GpuId(0)));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sharer_set_iter_roundtrip() {
+        let t = topo();
+        let mut s = SharerSet::new();
+        let members = [Sharer::Gpm(GpmId(1)), Sharer::Gpm(GpmId(9)), Sharer::Gpu(GpuId(3))];
+        for &m in &members {
+            s.insert(&t, m);
+        }
+        let got = s.iter(&t);
+        assert_eq!(got.len(), 3);
+        for m in members {
+            assert!(got.contains(&m));
+        }
+    }
+
+    #[test]
+    fn directory_allocate_then_lookup() {
+        let t = topo();
+        let mut d = Directory::new(DirectoryConfig::new(64, 4), t);
+        {
+            let (set, ev) = d.allocate(BlockAddr(100));
+            assert!(ev.is_none());
+            set.insert(&t, Sharer::Gpu(GpuId(1)));
+        }
+        let s = d.lookup(BlockAddr(100)).expect("present");
+        assert!(s.contains(&t, Sharer::Gpu(GpuId(1))));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn directory_eviction_returns_sharers() {
+        let t = topo();
+        // 4 entries, 1 way: 4 sets; blocks 0 and 4 collide in set 0.
+        let mut d = Directory::new(DirectoryConfig::new(4, 1), t);
+        {
+            let (set, _) = d.allocate(BlockAddr(0));
+            set.insert(&t, Sharer::Gpm(GpmId(2)));
+        }
+        let (_, evicted) = d.allocate(BlockAddr(4));
+        let (block, sharers) = evicted.expect("conflict eviction");
+        assert_eq!(block, BlockAddr(0));
+        assert!(sharers.contains(&t, Sharer::Gpm(GpmId(2))));
+        assert_eq!(d.stats().evictions, 1);
+        assert_eq!(d.stats().evictions_with_sharers, 1);
+        assert_eq!(d.stats().evicted_sharers, 1);
+    }
+
+    #[test]
+    fn directory_eviction_of_sharerless_entry_is_cheap() {
+        let t = topo();
+        let mut d = Directory::new(DirectoryConfig::new(4, 1), t);
+        d.allocate(BlockAddr(0));
+        d.allocate(BlockAddr(4));
+        assert_eq!(d.stats().evictions, 1);
+        assert_eq!(d.stats().evictions_with_sharers, 0);
+    }
+
+    #[test]
+    fn directory_remove_is_v_to_i() {
+        let t = topo();
+        let mut d = Directory::new(DirectoryConfig::new(64, 4), t);
+        {
+            let (set, _) = d.allocate(BlockAddr(7));
+            set.insert(&t, Sharer::Gpm(GpmId(1)));
+            set.insert(&t, Sharer::Gpu(GpuId(2)));
+        }
+        let sharers = d.remove(BlockAddr(7)).expect("present");
+        assert_eq!(sharers.len(), 2);
+        assert!(d.lookup(BlockAddr(7)).is_none());
+        assert!(d.remove(BlockAddr(7)).is_none());
+    }
+
+    #[test]
+    fn lru_replacement_in_directory() {
+        let t = topo();
+        // 2 entries, 2 ways: single set.
+        let mut d = Directory::new(DirectoryConfig::new(2, 2), t);
+        d.allocate(BlockAddr(10));
+        d.allocate(BlockAddr(20));
+        d.lookup_mut(BlockAddr(10)); // 20 becomes LRU
+        let (_, ev) = d.allocate(BlockAddr(30));
+        assert_eq!(ev.expect("eviction").0, BlockAddr(20));
+    }
+
+    #[test]
+    fn paper_storage_cost() {
+        // §VII-C: 48-bit tags + 1 state bit + 6 sharers = 55 bits/entry;
+        // 12K entries -> 84 KB (84,480 bytes).
+        let t = topo();
+        let d = Directory::new(DirectoryConfig::paper_default(), t);
+        let cost = d.storage_cost(48);
+        assert_eq!(cost.bits_per_entry, 55);
+        assert_eq!(cost.total_bytes, 84_480);
+        // 2.7% of a 3 MB L2 slice.
+        let frac = cost.total_bytes as f64 / (3.0 * 1024.0 * 1024.0);
+        assert!((frac - 0.027).abs() < 0.001, "frac={frac}");
+    }
+
+    #[test]
+    fn non_power_of_two_sets_allowed() {
+        let t = topo();
+        let cfg = DirectoryConfig::paper_default();
+        assert_eq!(cfg.sets(), 768);
+        let mut d = Directory::new(cfg, t);
+        for b in 0..10_000u64 {
+            d.allocate(BlockAddr(b));
+        }
+        assert!(d.len() <= cfg.entries as usize);
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Memory-system substrate: addresses, caches, coherence directory,
+//! DRAM partitions, and NUMA page placement.
+//!
+//! These are the passive structures the coherence protocols (crate
+//! `hmg-protocol`) and the GPU model (crate `hmg-gpu`) are built from:
+//!
+//! * [`addr`] — byte addresses, cache lines, directory blocks, pages.
+//! * [`cache`] — a set-associative LRU cache with per-line metadata.
+//! * [`directory`] — the NHCC/HMG coherence directory: set-associative,
+//!   coarse-grained (each entry covers several lines), hierarchical
+//!   sharer tracking (GPM sharers + GPU sharers).
+//! * [`dram`] — a bandwidth/latency-modeled local DRAM partition per GPM.
+//! * [`page`] — first-touch (or interleaved) page placement deciding each
+//!   address's *system home* GPM, plus the HMG *GPU home* hash.
+//! * [`version`] — the authoritative per-line version store used by the
+//!   functional coherence checker.
+
+pub mod addr;
+pub mod cache;
+pub mod directory;
+pub mod dram;
+pub mod page;
+pub mod version;
+
+pub use addr::{Addr, BlockAddr, LineAddr, MemGeometry, PageId};
+pub use cache::{Cache, CacheConfig};
+pub use directory::{Directory, DirectoryConfig, DirectoryStats, Sharer, SharerSet};
+pub use dram::Dram;
+pub use page::{PageMap, PagePlacement};
+pub use version::VersionStore;

@@ -1,0 +1,169 @@
+//! NUMA page placement and home-node resolution.
+//!
+//! The *system home* GPM of every address is decided at page granularity
+//! (2 MB pages, Table II) by the placement policy — first-touch by
+//! default, as the paper's simulator inherits from MCM-GPU and NUMA-GPU
+//! work [5, 13]. Under HMG every other GPU additionally designates a
+//! *GPU home* GPM per directory block via a hash (Section V-A); within
+//! the owning GPU the GPU home coincides with the system home (Fig. 6).
+
+use std::collections::HashMap;
+
+use hmg_interconnect::{GpmId, GpuId, Topology};
+use hmg_sim::rng::hash64;
+
+use crate::addr::{BlockAddr, PageId};
+
+/// Placement policy for the system home of each page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PagePlacement {
+    /// The page is homed at the GPM that first touches it — the paper's
+    /// default (maximizes locality under contiguous CTA scheduling).
+    #[default]
+    FirstTouch,
+    /// The page is homed by hashing its page number across all GPMs —
+    /// the "static distribution" alternative (used as an ablation).
+    Interleaved,
+}
+
+/// Tracks page-to-home-GPM assignments and answers home-node queries.
+///
+/// # Example
+///
+/// ```
+/// use hmg_mem::{PageMap, PagePlacement};
+/// use hmg_mem::addr::PageId;
+/// use hmg_interconnect::{Topology, GpmId};
+///
+/// let topo = Topology::new(2, 2);
+/// let mut pm = PageMap::new(topo, PagePlacement::FirstTouch);
+/// let home = pm.home_of(PageId(5), GpmId(3));
+/// assert_eq!(home, GpmId(3)); // first touch wins
+/// assert_eq!(pm.home_of(PageId(5), GpmId(0)), GpmId(3)); // sticky
+/// ```
+#[derive(Debug)]
+pub struct PageMap {
+    topo: Topology,
+    placement: PagePlacement,
+    homes: HashMap<PageId, GpmId>,
+}
+
+impl PageMap {
+    /// Creates an empty map for `topo` under `placement`.
+    pub fn new(topo: Topology, placement: PagePlacement) -> Self {
+        PageMap {
+            topo,
+            placement,
+            homes: HashMap::new(),
+        }
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> PagePlacement {
+        self.placement
+    }
+
+    /// Returns the system home GPM of `page`, assigning it on first use
+    /// according to the placement policy (`toucher` is the GPM issuing
+    /// the access).
+    pub fn home_of(&mut self, page: PageId, toucher: GpmId) -> GpmId {
+        match self.placement {
+            PagePlacement::FirstTouch => *self.homes.entry(page).or_insert(toucher),
+            PagePlacement::Interleaved => {
+                let n = self.topo.num_gpms() as u64;
+                GpmId((hash64(page.0) % n) as u16)
+            }
+        }
+    }
+
+    /// The home of `page` if already assigned (always `Some` under
+    /// interleaved placement).
+    pub fn peek_home(&self, page: PageId) -> Option<GpmId> {
+        match self.placement {
+            PagePlacement::FirstTouch => self.homes.get(&page).copied(),
+            PagePlacement::Interleaved => {
+                let n = self.topo.num_gpms() as u64;
+                Some(GpmId((hash64(page.0) % n) as u16))
+            }
+        }
+    }
+
+    /// Number of pages assigned so far (first-touch only).
+    pub fn assigned_pages(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// HMG's *GPU home* for directory block `block` within `gpu`, given
+    /// the block's system home `sys_home`. Within the owning GPU the GPU
+    /// home is the system home itself; elsewhere it is a hash across the
+    /// GPU's modules.
+    pub fn gpu_home(&self, gpu: GpuId, block: BlockAddr, sys_home: GpmId) -> GpmId {
+        if self.topo.gpu_of(sys_home) == gpu {
+            sys_home
+        } else {
+            let local = (hash64(block.0) % self.topo.gpms_per_gpu() as u64) as u16;
+            self.topo.gpm(gpu, local)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_is_sticky() {
+        let topo = Topology::new(4, 4);
+        let mut pm = PageMap::new(topo, PagePlacement::FirstTouch);
+        assert_eq!(pm.home_of(PageId(1), GpmId(9)), GpmId(9));
+        assert_eq!(pm.home_of(PageId(1), GpmId(2)), GpmId(9));
+        assert_eq!(pm.assigned_pages(), 1);
+        assert_eq!(pm.peek_home(PageId(1)), Some(GpmId(9)));
+        assert_eq!(pm.peek_home(PageId(2)), None);
+    }
+
+    #[test]
+    fn interleaved_ignores_toucher_and_spreads() {
+        let topo = Topology::new(4, 4);
+        let mut pm = PageMap::new(topo, PagePlacement::Interleaved);
+        let mut seen = std::collections::HashSet::new();
+        for p in 0..256u64 {
+            let h = pm.home_of(PageId(p), GpmId(0));
+            assert_eq!(pm.home_of(PageId(p), GpmId(5)), h, "deterministic");
+            seen.insert(h);
+        }
+        assert!(seen.len() >= 12, "interleaving should hit most GPMs");
+    }
+
+    #[test]
+    fn gpu_home_in_owning_gpu_is_system_home() {
+        let topo = Topology::new(4, 4);
+        let pm = PageMap::new(topo, PagePlacement::FirstTouch);
+        let sys_home = GpmId(6); // GPU1
+        let gh = pm.gpu_home(GpuId(1), BlockAddr(77), sys_home);
+        assert_eq!(gh, sys_home);
+    }
+
+    #[test]
+    fn gpu_home_elsewhere_is_within_that_gpu_and_deterministic() {
+        let topo = Topology::new(4, 4);
+        let pm = PageMap::new(topo, PagePlacement::FirstTouch);
+        let sys_home = GpmId(6); // GPU1
+        for b in 0..100u64 {
+            let gh = pm.gpu_home(GpuId(3), BlockAddr(b), sys_home);
+            assert_eq!(topo.gpu_of(gh), GpuId(3));
+            assert_eq!(pm.gpu_home(GpuId(3), BlockAddr(b), sys_home), gh);
+        }
+    }
+
+    #[test]
+    fn gpu_home_spreads_blocks_across_modules() {
+        let topo = Topology::new(4, 4);
+        let pm = PageMap::new(topo, PagePlacement::FirstTouch);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..64u64 {
+            seen.insert(pm.gpu_home(GpuId(2), BlockAddr(b), GpmId(0)));
+        }
+        assert_eq!(seen.len(), 4, "all four modules should serve as GPU homes");
+    }
+}

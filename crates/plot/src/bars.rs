@@ -1,0 +1,277 @@
+//! Grouped bar charts — the Figs. 2/8-style protocol comparisons and
+//! the single-series Fig. 3/9–11 profiles.
+
+use crate::style::{clean_ticks, fmt_tick, BAR_MAX, BAR_RADIUS, MARK_GAP};
+use crate::svg::{Anchor, Svg};
+
+/// A grouped (or single-series) vertical bar chart.
+///
+/// Groups run along the x-axis (one per workload); each group holds one
+/// bar per series (protocol), colored by fixed slot order and separated
+/// by 2 px of surface. The final group may be marked as the headline
+/// (e.g. GeoMean) and gets direct value labels — the "relief" channel
+/// for the two low-contrast palette slots.
+#[derive(Debug, Clone)]
+pub struct GroupedBars {
+    title: String,
+    subtitle: Option<String>,
+    series_names: Vec<String>,
+    groups: Vec<(String, Vec<f64>)>,
+    y_label: Option<String>,
+    label_last_group: bool,
+    reference_line: Option<f64>,
+    theme: crate::style::Theme,
+}
+
+impl GroupedBars {
+    /// Starts a chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        GroupedBars {
+            title: title.into(),
+            subtitle: None,
+            series_names: Vec::new(),
+            groups: Vec::new(),
+            y_label: None,
+            label_last_group: false,
+            reference_line: None,
+            theme: crate::style::Theme::light(),
+        }
+    }
+
+    /// Renders with the given theme (light is the default; dark is the
+    /// validated dark restep of the same hues).
+    pub fn theme(mut self, theme: crate::style::Theme) -> Self {
+        self.theme = theme;
+        self
+    }
+
+    /// Adds a subtitle under the title.
+    pub fn subtitle(mut self, s: impl Into<String>) -> Self {
+        self.subtitle = Some(s.into());
+        self
+    }
+
+    /// Names the series, in fixed slot order.
+    pub fn series(mut self, names: Vec<String>) -> Self {
+        self.series_names = names;
+        self
+    }
+
+    /// Appends one x-axis group with one value per series.
+    pub fn group(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.groups.push((name.into(), values));
+        self
+    }
+
+    /// Labels the y axis.
+    pub fn y_label(mut self, s: impl Into<String>) -> Self {
+        self.y_label = Some(s.into());
+        self
+    }
+
+    /// Direct-labels the values of the final group (the headline).
+    pub fn label_last_group(mut self) -> Self {
+        self.label_last_group = true;
+        self
+    }
+
+    /// Draws a horizontal reference line (e.g. the 1.0 baseline).
+    pub fn reference_line(mut self, y: f64) -> Self {
+        self.reference_line = Some(y);
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a group's value count disagrees with the series names,
+    /// or the chart has no data.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.groups.is_empty(), "chart has no groups");
+        let n_series = self.series_names.len().max(1);
+        for (g, vals) in &self.groups {
+            assert_eq!(vals.len(), n_series, "group {g} has wrong arity");
+        }
+
+        let n_groups = self.groups.len();
+        let bar_w = BAR_MAX.min(18.0).min(160.0 / n_series as f64);
+        let group_w = (n_series as f64 * (bar_w + MARK_GAP) + 18.0).max(34.0);
+        let margin_l = 64.0;
+        let margin_r = 24.0;
+        let legend_h = if n_series > 1 { 26.0 } else { 0.0 };
+        let margin_t = 48.0 + if self.subtitle.is_some() { 18.0 } else { 0.0 } + legend_h;
+        let margin_b = 74.0;
+        let plot_w = group_w * n_groups as f64;
+        let plot_h = 260.0;
+        let width = margin_l + plot_w + margin_r;
+        let height = margin_t + plot_h + margin_b;
+
+        let max_v = self
+            .groups
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(self.reference_line.unwrap_or(0.0));
+        let (step, top) = clean_ticks(max_v.max(1e-9));
+        let y_of = |v: f64| margin_t + plot_h - (v / top) * plot_h;
+
+        let mut svg = Svg::new(width, height, self.theme.surface);
+
+        // Title block.
+        svg.text(margin_l, 24.0, &self.title, self.theme.text_primary, 15.0, Anchor::Start);
+        if let Some(sub) = &self.subtitle {
+            svg.text(margin_l, 42.0, sub, self.theme.text_secondary, 11.0, Anchor::Start);
+        }
+        // Legend (only with two or more series).
+        if n_series > 1 {
+            let mut x = margin_l;
+            let ly = margin_t - legend_h + 4.0;
+            for (i, name) in self.series_names.iter().enumerate() {
+                svg.swatch(x, ly, 10.0, self.theme.series[i % self.theme.series.len()]);
+                svg.text(x + 14.0, ly + 9.0, name, self.theme.text_secondary, 11.0, Anchor::Start);
+                x += 14.0 + 7.0 * name.len() as f64 + 18.0;
+            }
+        }
+
+        // Gridlines + y ticks.
+        let mut v = 0.0;
+        while v <= top + 1e-9 {
+            let y = y_of(v);
+            svg.line(margin_l, y, margin_l + plot_w, y, self.theme.grid, 1.0);
+            svg.text(
+                margin_l - 8.0,
+                y + 3.5,
+                &fmt_tick(v),
+                self.theme.text_secondary,
+                10.0,
+                Anchor::End,
+            );
+            v += step;
+        }
+        if let Some(label) = &self.y_label {
+            svg.text_rotated(
+                16.0,
+                margin_t + plot_h / 2.0,
+                label,
+                self.theme.text_secondary,
+                11.0,
+                Anchor::Middle,
+                -90.0,
+            );
+        }
+
+        // Bars.
+        let base_y = y_of(0.0);
+        for (gi, (gname, vals)) in self.groups.iter().enumerate() {
+            let gx = margin_l + gi as f64 * group_w + 9.0;
+            for (si, &val) in vals.iter().enumerate() {
+                let x = gx + si as f64 * (bar_w + MARK_GAP);
+                let h = (val.max(0.0) / top) * plot_h;
+                let color = self.theme.series[si % self.theme.series.len()];
+                let tip = if n_series > 1 {
+                    format!("{gname} · {}: {val:.2}", self.series_names[si])
+                } else {
+                    format!("{gname}: {val:.2}")
+                };
+                svg.bar_up(x, base_y, bar_w, h, BAR_RADIUS, color, &tip);
+                if self.label_last_group && gi == n_groups - 1 {
+                    svg.text(
+                        x + bar_w / 2.0,
+                        y_of(val) - 5.0,
+                        &format!("{val:.2}"),
+                        self.theme.text_primary,
+                        9.5,
+                        Anchor::Middle,
+                    );
+                }
+            }
+            // X label, angled to avoid collisions.
+            svg.text_rotated(
+                gx + (n_series as f64 * (bar_w + MARK_GAP)) / 2.0,
+                base_y + 14.0,
+                gname,
+                self.theme.text_secondary,
+                10.0,
+                Anchor::End,
+                -35.0,
+            );
+        }
+
+        // Reference line over the bars.
+        if let Some(r) = self.reference_line {
+            let y = y_of(r);
+            svg.line(margin_l, y, margin_l + plot_w, y, self.theme.text_secondary, 1.0);
+        }
+        // Baseline axis.
+        svg.line(margin_l, base_y, margin_l + plot_w, base_y, self.theme.text_secondary, 1.0);
+
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroupedBars {
+        GroupedBars::new("Fig. 8")
+            .subtitle("speedup over baseline")
+            .series(vec!["sw".into(), "nhcc".into(), "hmg".into()])
+            .group("bfs", vec![1.2, 2.2, 2.5])
+            .group("lstm", vec![1.1, 1.2, 1.8])
+            .group("GeoMean", vec![1.1, 1.5, 2.0])
+            .y_label("speedup")
+            .label_last_group()
+            .reference_line(1.0)
+    }
+
+    #[test]
+    fn renders_all_parts() {
+        let out = sample().to_svg();
+        assert!(out.starts_with("<svg"));
+        for needle in ["Fig. 8", "speedup over baseline", "bfs", "GeoMean", "hmg"] {
+            assert!(out.contains(needle), "missing {needle}");
+        }
+        // Three groups x three series = nine bars with tooltips.
+        assert_eq!(out.matches("<path").count(), 9);
+        assert_eq!(out.matches("<title>").count(), 9);
+        // Headline labels on the last group only.
+        assert!(out.contains(">2.00<"));
+    }
+
+    #[test]
+    fn dark_theme_swaps_surface_and_series() {
+        let light = sample().to_svg();
+        let dark = sample().theme(crate::style::Theme::dark()).to_svg();
+        assert!(light.contains("#fcfcfb"));
+        assert!(dark.contains("#1a1a19"));
+        assert!(dark.contains("#3987e5"), "dark blue step used");
+        assert!(!dark.contains("#2a78d6"), "light blue step absent");
+    }
+
+    #[test]
+    fn single_series_has_no_legend() {
+        let out = GroupedBars::new("solo")
+            .series(vec!["only".into()])
+            .group("a", vec![1.0])
+            .to_svg();
+        // Exactly one rect: the background; no legend swatches.
+        assert_eq!(out.matches("<rect").count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn arity_mismatch_rejected() {
+        GroupedBars::new("bad")
+            .series(vec!["a".into(), "b".into()])
+            .group("g", vec![1.0])
+            .to_svg();
+    }
+
+    #[test]
+    #[should_panic(expected = "no groups")]
+    fn empty_chart_rejected() {
+        GroupedBars::new("empty").to_svg();
+    }
+}

@@ -1,0 +1,275 @@
+//! Line charts for the sensitivity sweeps (Figs. 12–14): one line per
+//! protocol over the swept parameter's points.
+
+use crate::style::{clean_ticks, fmt_tick, LINE_WIDTH, MARKER_R};
+use crate::svg::{Anchor, Svg};
+
+/// A multi-series line chart over categorical x points.
+#[derive(Debug, Clone)]
+pub struct LineChart {
+    title: String,
+    subtitle: Option<String>,
+    x_points: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+    y_label: Option<String>,
+    theme: crate::style::Theme,
+}
+
+impl LineChart {
+    /// Starts a chart with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        LineChart {
+            title: title.into(),
+            subtitle: None,
+            x_points: Vec::new(),
+            series: Vec::new(),
+            y_label: None,
+            theme: crate::style::Theme::light(),
+        }
+    }
+
+    /// Renders with the given theme (light is the default; dark is the
+    /// validated dark restep of the same hues).
+    pub fn theme(mut self, theme: crate::style::Theme) -> Self {
+        self.theme = theme;
+        self
+    }
+
+    /// Adds a subtitle.
+    pub fn subtitle(mut self, s: impl Into<String>) -> Self {
+        self.subtitle = Some(s.into());
+        self
+    }
+
+    /// Sets the x-axis point labels (the sweep values).
+    pub fn x_points(mut self, labels: Vec<String>) -> Self {
+        self.x_points = labels;
+        self
+    }
+
+    /// Adds one series with a value per x point.
+    pub fn line(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Labels the y axis.
+    pub fn y_label(mut self, s: impl Into<String>) -> Self {
+        self.y_label = Some(s.into());
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics on missing x points or arity mismatches.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.x_points.is_empty(), "chart has no x points");
+        assert!(!self.series.is_empty(), "chart has no series");
+        for (name, vals) in &self.series {
+            assert_eq!(vals.len(), self.x_points.len(), "series {name} arity");
+        }
+
+        let margin_l = 64.0;
+        let margin_r = 110.0; // room for direct end labels
+        let legend_h = if self.series.len() > 1 { 26.0 } else { 0.0 };
+        let margin_t = 48.0 + if self.subtitle.is_some() { 18.0 } else { 0.0 } + legend_h;
+        let margin_b = 44.0;
+        let plot_w = (self.x_points.len() as f64 - 1.0).max(1.0) * 110.0;
+        let plot_h = 240.0;
+        let width = margin_l + plot_w + margin_r;
+        let height = margin_t + plot_h + margin_b;
+
+        let max_v = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max);
+        let (step, top) = clean_ticks(max_v.max(1e-9));
+        let y_of = |v: f64| margin_t + plot_h - (v / top) * plot_h;
+        let x_of = |i: usize| {
+            if self.x_points.len() == 1 {
+                margin_l + plot_w / 2.0
+            } else {
+                margin_l + i as f64 * plot_w / (self.x_points.len() as f64 - 1.0)
+            }
+        };
+
+        let mut svg = Svg::new(width, height, self.theme.surface);
+        svg.text(margin_l, 24.0, &self.title, self.theme.text_primary, 15.0, Anchor::Start);
+        if let Some(sub) = &self.subtitle {
+            svg.text(margin_l, 42.0, sub, self.theme.text_secondary, 11.0, Anchor::Start);
+        }
+        if self.series.len() > 1 {
+            let mut x = margin_l;
+            let ly = margin_t - legend_h + 4.0;
+            for (i, (name, _)) in self.series.iter().enumerate() {
+                svg.swatch(x, ly, 10.0, self.theme.series[i % self.theme.series.len()]);
+                svg.text(x + 14.0, ly + 9.0, name, self.theme.text_secondary, 11.0, Anchor::Start);
+                x += 14.0 + 7.0 * name.len() as f64 + 18.0;
+            }
+        }
+
+        let mut v = 0.0;
+        while v <= top + 1e-9 {
+            let y = y_of(v);
+            svg.line(margin_l, y, margin_l + plot_w, y, self.theme.grid, 1.0);
+            svg.text(
+                margin_l - 8.0,
+                y + 3.5,
+                &fmt_tick(v),
+                self.theme.text_secondary,
+                10.0,
+                Anchor::End,
+            );
+            v += step;
+        }
+        if let Some(label) = &self.y_label {
+            svg.text_rotated(
+                16.0,
+                margin_t + plot_h / 2.0,
+                label,
+                self.theme.text_secondary,
+                11.0,
+                Anchor::Middle,
+                -90.0,
+            );
+        }
+        for (i, xl) in self.x_points.iter().enumerate() {
+            svg.text(
+                x_of(i),
+                margin_t + plot_h + 18.0,
+                xl,
+                self.theme.text_secondary,
+                10.5,
+                Anchor::Middle,
+            );
+        }
+        svg.line(
+            margin_l,
+            y_of(0.0),
+            margin_l + plot_w,
+            y_of(0.0),
+            self.theme.text_secondary,
+            1.0,
+        );
+
+        // Lines, markers, and direct end labels with collision nudging
+        // replaced by leader-free spacing: end labels sort by final value
+        // and spread at least 13 px apart.
+        let mut ends: Vec<(usize, f64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .map(|(i, (_, vals))| (i, *vals.last().expect("nonempty")))
+            .collect();
+        ends.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        let mut label_ys: Vec<(usize, f64)> = Vec::new();
+        let mut prev_y = f64::NEG_INFINITY;
+        for &(si, val) in &ends {
+            let mut y = y_of(val);
+            if y - prev_y < 13.0 && prev_y.is_finite() {
+                y = prev_y + 13.0;
+            }
+            label_ys.push((si, y));
+            prev_y = y;
+        }
+
+        for (si, (name, vals)) in self.series.iter().enumerate() {
+            let color = self.theme.series[si % self.theme.series.len()];
+            let pts: Vec<(f64, f64)> = vals
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (x_of(i), y_of(v)))
+                .collect();
+            svg.polyline(&pts, color, LINE_WIDTH);
+            for (i, &v) in vals.iter().enumerate() {
+                svg.marker(
+                    x_of(i),
+                    y_of(v),
+                    MARKER_R,
+                    color,
+                    self.theme.surface,
+                    &format!("{name} @ {}: {v:.2}", self.x_points[i]),
+                );
+            }
+            let ly = label_ys
+                .iter()
+                .find(|(i, _)| *i == si)
+                .map(|&(_, y)| y)
+                .expect("every series labeled");
+            svg.text(
+                margin_l + plot_w + 10.0,
+                ly + 3.5,
+                name,
+                self.theme.text_secondary,
+                10.5,
+                Anchor::Start,
+            );
+        }
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LineChart {
+        LineChart::new("Fig. 12")
+            .subtitle("inter-GPU bandwidth")
+            .x_points(vec!["100".into(), "200".into(), "300".into(), "400".into()])
+            .line("nhcc", vec![1.0, 1.1, 1.15, 1.18])
+            .line("hmg", vec![1.2, 1.3, 1.32, 1.33])
+            .y_label("geomean speedup")
+    }
+
+    #[test]
+    fn renders_lines_markers_labels() {
+        let out = sample().to_svg();
+        assert_eq!(out.matches("<polyline").count(), 2);
+        assert_eq!(out.matches("<circle").count(), 8);
+        assert!(out.contains("hmg @ 400: 1.33"));
+        assert!(out.contains("Fig. 12"));
+    }
+
+    #[test]
+    fn end_labels_never_collide() {
+        // Two series converging to nearly identical values.
+        let out = LineChart::new("converge")
+            .x_points(vec!["a".into(), "b".into()])
+            .line("one", vec![1.0, 2.0])
+            .line("two", vec![1.5, 2.01])
+            .to_svg();
+        // Extract the y of the two end labels (last two text elements
+        // anchored at start beyond the plot).
+        // The *last* occurrence of each name is its end label (the
+        // first is the legend entry).
+        let ys: Vec<f64> = [">one<", ">two<"]
+            .iter()
+            .filter_map(|n| out.match_indices(n).last())
+            .map(|(i, _)| {
+                let prefix = &out[..i];
+                let y_pos = prefix.rfind(" y=\"").expect("y attr") + 4;
+                prefix[y_pos..]
+                    .split('"')
+                    .next()
+                    .expect("value")
+                    .parse()
+                    .expect("float")
+            })
+            .collect();
+        assert_eq!(ys.len(), 2);
+        assert!((ys[0] - ys[1]).abs() >= 12.9, "labels too close: {ys:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        LineChart::new("bad")
+            .x_points(vec!["a".into()])
+            .line("s", vec![1.0, 2.0])
+            .to_svg();
+    }
+}

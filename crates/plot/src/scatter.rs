@@ -1,0 +1,194 @@
+//! A log-log scatter with the y = x diagonal — the Fig. 7 correlation
+//! plot (predicted vs simulated cycles).
+
+use crate::style::MARKER_R;
+use crate::svg::{Anchor, Svg};
+
+/// A log-log scatter of (x, y) points against the y = x diagonal.
+#[derive(Debug, Clone)]
+pub struct LogLogScatter {
+    title: String,
+    subtitle: Option<String>,
+    x_label: String,
+    y_label: String,
+    points: Vec<(String, f64, f64)>,
+    theme: crate::style::Theme,
+}
+
+impl LogLogScatter {
+    /// Starts a chart with a title and axis labels.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        LogLogScatter {
+            title: title.into(),
+            subtitle: None,
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            points: Vec::new(),
+            theme: crate::style::Theme::light(),
+        }
+    }
+
+    /// Renders with the given theme (light is the default; dark is the
+    /// validated dark restep of the same hues).
+    pub fn theme(mut self, theme: crate::style::Theme) -> Self {
+        self.theme = theme;
+        self
+    }
+
+    /// Adds a subtitle (e.g. the correlation coefficient).
+    pub fn subtitle(mut self, s: impl Into<String>) -> Self {
+        self.subtitle = Some(s.into());
+        self
+    }
+
+    /// Adds one named point.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both coordinates are strictly positive (log scale).
+    pub fn point(mut self, name: impl Into<String>, x: f64, y: f64) -> Self {
+        assert!(x > 0.0 && y > 0.0, "log-log points must be positive");
+        self.points.push((name.into(), x, y));
+        self
+    }
+
+    /// Renders the chart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no points.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.points.is_empty(), "scatter has no points");
+        let margin_l = 70.0;
+        let margin_r = 28.0;
+        let margin_t = 48.0 + if self.subtitle.is_some() { 18.0 } else { 0.0 };
+        let margin_b = 56.0;
+        let plot = 300.0;
+        let width = margin_l + plot + margin_r;
+        let height = margin_t + plot + margin_b;
+
+        // Shared log range covering both axes, expanded to whole decades.
+        let min_v = self
+            .points
+            .iter()
+            .flat_map(|&(_, x, y)| [x, y])
+            .fold(f64::INFINITY, f64::min);
+        let max_v = self
+            .points
+            .iter()
+            .flat_map(|&(_, x, y)| [x, y])
+            .fold(0.0f64, f64::max);
+        let lo = min_v.log10().floor();
+        let hi = max_v.log10().ceil().max(lo + 1.0);
+        let pos = |v: f64| (v.log10() - lo) / (hi - lo) * plot;
+        let x_of = |v: f64| margin_l + pos(v);
+        let y_of = |v: f64| margin_t + plot - pos(v);
+
+        let mut svg = Svg::new(width, height, self.theme.surface);
+        svg.text(margin_l, 24.0, &self.title, self.theme.text_primary, 15.0, Anchor::Start);
+        if let Some(sub) = &self.subtitle {
+            svg.text(margin_l, 42.0, sub, self.theme.text_secondary, 11.0, Anchor::Start);
+        }
+
+        // Decade gridlines on both axes.
+        let mut d = lo;
+        while d <= hi + 1e-9 {
+            let v = 10f64.powf(d);
+            svg.line(x_of(v), margin_t, x_of(v), margin_t + plot, self.theme.grid, 1.0);
+            svg.line(margin_l, y_of(v), margin_l + plot, y_of(v), self.theme.grid, 1.0);
+            let tick = format!("1e{d:.0}");
+            svg.text(
+                x_of(v),
+                margin_t + plot + 16.0,
+                &tick,
+                self.theme.text_secondary,
+                10.0,
+                Anchor::Middle,
+            );
+            svg.text(
+                margin_l - 8.0,
+                y_of(v) + 3.5,
+                &tick,
+                self.theme.text_secondary,
+                10.0,
+                Anchor::End,
+            );
+            d += 1.0;
+        }
+        svg.text(
+            margin_l + plot / 2.0,
+            margin_t + plot + 38.0,
+            &self.x_label,
+            self.theme.text_secondary,
+            11.0,
+            Anchor::Middle,
+        );
+        svg.text_rotated(
+            18.0,
+            margin_t + plot / 2.0,
+            &self.y_label,
+            self.theme.text_secondary,
+            11.0,
+            Anchor::Middle,
+            -90.0,
+        );
+
+        // y = x diagonal.
+        svg.line(
+            x_of(10f64.powf(lo)),
+            y_of(10f64.powf(lo)),
+            x_of(10f64.powf(hi)),
+            y_of(10f64.powf(hi)),
+            self.theme.text_secondary,
+            1.0,
+        );
+
+        // Points, all in slot 1 (one population, identity via tooltip).
+        for (name, x, y) in &self.points {
+            svg.marker(
+                x_of(*x),
+                y_of(*y),
+                MARKER_R,
+                self.theme.series[0],
+                self.theme.surface,
+                &format!("{name}: predicted {x:.0}, simulated {y:.0}"),
+            );
+        }
+        svg.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_diagonal() {
+        let out = LogLogScatter::new("Fig. 7", "predicted", "simulated")
+            .subtitle("r = 0.998")
+            .point("a", 1e4, 1.2e4)
+            .point("b", 1e6, 0.9e6)
+            .point("c", 1e8, 1e8)
+            .to_svg();
+        assert_eq!(out.matches("<circle").count(), 3);
+        assert!(out.contains("r = 0.998"));
+        assert!(out.contains("1e4"));
+        assert!(out.contains("predicted 1000000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_points() {
+        let _ = LogLogScatter::new("t", "x", "y").point("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn rejects_empty() {
+        LogLogScatter::new("t", "x", "y").to_svg();
+    }
+}

@@ -1,0 +1,190 @@
+//! Visual constants: the validated light-mode palette and the fixed
+//! mark specs.
+
+/// Chart surface (light mode).
+pub const SURFACE: &str = "#fcfcfb";
+/// Primary ink for titles and values.
+pub const TEXT_PRIMARY: &str = "#0b0b0b";
+/// Secondary ink for axis labels and legends.
+pub const TEXT_SECONDARY: &str = "#52514e";
+/// Recessive hairline for gridlines and axes.
+pub const GRID: &str = "#e7e6e3";
+
+/// Categorical series hues in fixed slot order (validated: worst
+/// adjacent CVD ΔE 24.2 on the light surface). Identity follows the
+/// slot, never the rank — a chart with fewer series uses a prefix.
+pub const SERIES: [&str; 8] = [
+    "#2a78d6", // blue
+    "#1baf7a", // aqua (relief rule: needs labels or table view)
+    "#eda100", // yellow (relief rule)
+    "#008300", // green
+    "#4a3aa7", // violet
+    "#e34948", // red
+    "#e87ba4", // magenta
+    "#eb6834", // orange
+];
+
+/// All color roles a chart needs, as one swappable set. Dark mode is a
+/// *selected* restep of the same hues for the dark surface (validated as
+/// a set), not an automatic inversion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Theme {
+    /// Chart surface color.
+    pub surface: &'static str,
+    /// Primary ink (titles, direct value labels).
+    pub text_primary: &'static str,
+    /// Secondary ink (axes, legends, tick labels).
+    pub text_secondary: &'static str,
+    /// Recessive hairline for gridlines.
+    pub grid: &'static str,
+    /// Categorical series hues in fixed slot order.
+    pub series: [&'static str; 8],
+}
+
+impl Theme {
+    /// The validated light theme (the default).
+    pub fn light() -> Self {
+        Theme {
+            surface: SURFACE,
+            text_primary: TEXT_PRIMARY,
+            text_secondary: TEXT_SECONDARY,
+            grid: GRID,
+            series: SERIES,
+        }
+    }
+
+    /// The validated dark theme: same eight hues restepped for the dark
+    /// surface (worst adjacent CVD ΔE 10.3 — the floor band, so charts
+    /// keep their direct labels and table views as secondary encoding).
+    pub fn dark() -> Self {
+        Theme {
+            surface: "#1a1a19",
+            text_primary: "#ffffff",
+            text_secondary: "#c3c2b7",
+            grid: "#2e2e2c",
+            series: [
+                "#3987e5", // blue
+                "#199e70", // aqua
+                "#c98500", // yellow
+                "#008300", // green
+                "#9085e9", // violet
+                "#e66767", // red
+                "#d55181", // magenta
+                "#d95926", // orange
+            ],
+        }
+    }
+}
+
+impl Default for Theme {
+    fn default() -> Self {
+        Theme::light()
+    }
+}
+
+/// Maximum bar thickness in px.
+pub const BAR_MAX: f64 = 24.0;
+/// Radius of the rounded data-end of a bar.
+pub const BAR_RADIUS: f64 = 4.0;
+/// Gap between touching marks, in surface color.
+pub const MARK_GAP: f64 = 2.0;
+/// Line stroke width.
+pub const LINE_WIDTH: f64 = 2.0;
+/// Marker radius (≥ 4 so the dot is ≥ 8 px).
+pub const MARKER_R: f64 = 4.5;
+/// Base font stack.
+pub const FONT: &str = "system-ui, -apple-system, 'Segoe UI', sans-serif";
+
+/// Picks clean axis ticks covering `[0, max]`: returns (tick step,
+/// scale top). Steps are 1/2/2.5/5 × 10^k.
+///
+/// # Panics
+///
+/// Panics if `max` is not finite and positive.
+pub fn clean_ticks(max: f64) -> (f64, f64) {
+    assert!(max.is_finite() && max > 0.0, "axis max must be positive");
+    let raw = max / 5.0;
+    let mag = 10f64.powf(raw.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|&s| s >= raw)
+        .unwrap_or(10.0 * mag);
+    let top = (max / step).ceil() * step;
+    (step, top)
+}
+
+/// Formats a tick value without trailing noise (1, 2.5, 1,000).
+pub fn fmt_tick(v: f64) -> String {
+    if v >= 1000.0 && v.fract() == 0.0 {
+        let n = v as i64;
+        let s = n.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    } else if v.fract().abs() < 1e-9 {
+        format!("{v:.0}")
+    } else if (v * 10.0).fract().abs() < 1e-9 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ticks_are_clean_and_cover() {
+        for max in [0.7, 1.0, 3.3, 7.2, 42.0, 997.0] {
+            let (step, top) = clean_ticks(max);
+            assert!(top >= max, "top {top} must cover {max}");
+            assert!(top / step <= 8.5, "too many ticks for {max}");
+            assert!(step > 0.0);
+        }
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(2.0), "2");
+        assert_eq!(fmt_tick(2.5), "2.5");
+        assert_eq!(fmt_tick(1000.0), "1,000");
+        assert_eq!(fmt_tick(1234567.0), "1,234,567");
+        assert_eq!(fmt_tick(0.25), "0.25");
+    }
+
+    #[test]
+    fn themes_are_complete_and_distinct() {
+        let l = Theme::light();
+        let d = Theme::dark();
+        assert_ne!(l.surface, d.surface);
+        assert_eq!(l.series.len(), d.series.len());
+        for hex in l.series.iter().chain(d.series.iter()) {
+            assert!(hex.starts_with('#') && hex.len() == 7, "{hex}");
+        }
+        assert_eq!(Theme::default(), Theme::light());
+    }
+
+    #[test]
+    fn palette_has_eight_fixed_slots() {
+        assert_eq!(SERIES.len(), 8);
+        let mut uniq: Vec<&str> = SERIES.to_vec();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8);
+        for hex in SERIES {
+            assert!(hex.starts_with('#') && hex.len() == 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn ticks_reject_nonpositive() {
+        clean_ticks(0.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! A minimal SVG document builder: just enough shapes and text for the
+//! figure renderers, with XML escaping handled in one place.
+
+use std::fmt::Write as _;
+
+/// Escapes text for XML content/attributes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Horizontal text anchoring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Left-aligned.
+    Start,
+    /// Centered.
+    Middle,
+    /// Right-aligned.
+    End,
+}
+
+impl Anchor {
+    fn as_str(self) -> &'static str {
+        match self {
+            Anchor::Start => "start",
+            Anchor::Middle => "middle",
+            Anchor::End => "end",
+        }
+    }
+}
+
+/// An SVG document under construction.
+#[derive(Debug)]
+pub struct Svg {
+    width: f64,
+    height: f64,
+    body: String,
+}
+
+impl Svg {
+    /// Starts a document of the given pixel size with a surface-colored
+    /// background.
+    pub fn new(width: f64, height: f64, surface: &str) -> Self {
+        let mut svg = Svg {
+            width,
+            height,
+            body: String::new(),
+        };
+        let _ = write!(
+            svg.body,
+            r#"<rect x="0" y="0" width="{width}" height="{height}" fill="{surface}"/>"#
+        );
+        svg
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = write!(
+            self.body,
+            r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{stroke}" stroke-width="{width}" stroke-linecap="round"/>"#
+        );
+    }
+
+    /// A polyline through `points` (no fill).
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points
+            .iter()
+            .map(|(x, y)| format!("{x:.1},{y:.1}"))
+            .collect();
+        let _ = write!(
+            self.body,
+            r#"<polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{width}" stroke-linejoin="round" stroke-linecap="round"/>"#,
+            pts.join(" ")
+        );
+    }
+
+    /// A filled circle with a surface-colored 2 px ring and a tooltip.
+    pub fn marker(&mut self, x: f64, y: f64, r: f64, fill: &str, surface: &str, tip: &str) {
+        let _ = write!(
+            self.body,
+            r#"<circle cx="{x:.1}" cy="{y:.1}" r="{r}" fill="{fill}" stroke="{surface}" stroke-width="2"><title>{}</title></circle>"#,
+            escape(tip)
+        );
+    }
+
+    /// A vertical bar growing up from `base_y`, with a 4 px rounded data
+    /// end, a square baseline, and a tooltip.
+    #[allow(clippy::too_many_arguments)] // a geometry call, not a config
+    pub fn bar_up(
+        &mut self,
+        x: f64,
+        base_y: f64,
+        w: f64,
+        h: f64,
+        radius: f64,
+        fill: &str,
+        tip: &str,
+    ) {
+        let r = radius.min(w / 2.0).min(h.max(0.0));
+        let top = base_y - h;
+        // Path: baseline-left up to rounded top corners, down to
+        // baseline-right.
+        let _ = write!(
+            self.body,
+            r#"<path d="M{x0:.1} {by:.1} L{x0:.1} {ty1:.1} Q{x0:.1} {ty:.1} {x1:.1} {ty:.1} L{x2:.1} {ty:.1} Q{x3:.1} {ty:.1} {x3:.1} {ty1:.1} L{x3:.1} {by:.1} Z" fill="{fill}"><title>{tip}</title></path>"#,
+            x0 = x,
+            by = base_y,
+            ty = top,
+            ty1 = top + r,
+            x1 = x + r,
+            x2 = x + w - r,
+            x3 = x + w,
+            tip = escape(tip),
+        );
+    }
+
+    /// Text at `(x, y)` (baseline), in `fill`, `size` px, anchored.
+    pub fn text(&mut self, x: f64, y: f64, s: &str, fill: &str, size: f64, anchor: Anchor) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" fill="{fill}" font-size="{size}" text-anchor="{}" font-family="{}">{}</text>"#,
+            anchor.as_str(),
+            crate::style::FONT,
+            escape(s)
+        );
+    }
+
+    /// Text rotated `deg` degrees around its anchor point.
+    #[allow(clippy::too_many_arguments)] // a geometry call, not a config
+    pub fn text_rotated(
+        &mut self,
+        x: f64,
+        y: f64,
+        s: &str,
+        fill: &str,
+        size: f64,
+        anchor: Anchor,
+        deg: f64,
+    ) {
+        let _ = write!(
+            self.body,
+            r#"<text x="{x:.1}" y="{y:.1}" fill="{fill}" font-size="{size}" text-anchor="{}" font-family="{}" transform="rotate({deg:.0} {x:.1} {y:.1})">{}</text>"#,
+            anchor.as_str(),
+            crate::style::FONT,
+            escape(s)
+        );
+    }
+
+    /// A small filled square (legend swatch).
+    pub fn swatch(&mut self, x: f64, y: f64, size: f64, fill: &str) {
+        let _ = write!(
+            self.body,
+            r#"<rect x="{x:.1}" y="{y:.1}" width="{size}" height="{size}" rx="2" fill="{fill}"/>"#
+        );
+    }
+
+    /// Finishes the document.
+    pub fn finish(self) -> String {
+        format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}">{body}</svg>"#,
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_xml_specials() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn document_structure() {
+        let mut s = Svg::new(100.0, 50.0, "#fff");
+        s.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0);
+        s.text(5.0, 5.0, "hi & bye", "#000", 10.0, Anchor::Middle);
+        let out = s.finish();
+        assert!(out.starts_with("<svg"));
+        assert!(out.ends_with("</svg>"));
+        assert!(out.contains("hi &amp; bye"));
+        assert!(out.contains(r#"viewBox="0 0 100 50""#));
+    }
+
+    #[test]
+    fn bar_radius_clamps_to_geometry() {
+        let mut s = Svg::new(100.0, 100.0, "#fff");
+        // A bar shorter than the radius must not produce a negative
+        // quadratic control point.
+        s.bar_up(10.0, 90.0, 6.0, 2.0, 4.0, "#123456", "tip");
+        let out = s.finish();
+        assert!(out.contains("path"));
+        assert!(!out.contains("NaN"));
+    }
+
+    #[test]
+    fn markers_carry_tooltips_and_rings() {
+        let mut s = Svg::new(10.0, 10.0, "#fff");
+        s.marker(5.0, 5.0, 4.5, "#123", "#fff", "series: 3 & 4");
+        let out = s.finish();
+        assert!(out.contains("<title>series: 3 &amp; 4</title>"));
+        assert!(out.contains(r#"stroke-width="2""#));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for the SVG renderers: arbitrary data never
+//! panics, output is structurally sound, and escaping is total.
+
+use proptest::prelude::*;
+
+use hmg_plot::{svg::escape, GroupedBars, LineChart, LogLogScatter};
+
+proptest! {
+    /// Escaping never leaves a raw XML special in the output.
+    #[test]
+    fn escape_is_total(s in ".{0,200}") {
+        let e = escape(&s);
+        // No unescaped specials: every '&' must start an entity.
+        let mut chars = e.chars().peekable();
+        while let Some(c) = chars.next() {
+            prop_assert!(c != '<' && c != '>' && c != '"');
+            if c == '&' {
+                let rest: String = chars.clone().take(5).collect();
+                prop_assert!(
+                    rest.starts_with("amp;")
+                        || rest.starts_with("lt;")
+                        || rest.starts_with("gt;")
+                        || rest.starts_with("quot;")
+                        || rest.starts_with("apos;"),
+                    "bare & in {e}"
+                );
+            }
+        }
+    }
+
+    /// Grouped bars render for arbitrary positive data, names included
+    /// verbatim-escaped, with one path per bar.
+    #[test]
+    fn bars_render_arbitrary_data(
+        names in proptest::collection::vec("[a-zA-Z0-9 _.<>&-]{1,12}", 1..5),
+        groups in proptest::collection::vec(
+            ("[a-zA-Z0-9 _-]{1,10}", proptest::collection::vec(0.01f64..1e6, 1..5)),
+            1..8,
+        ),
+    ) {
+        let n = names.len();
+        let mut chart = GroupedBars::new("prop").series(names.clone());
+        let mut bars = 0;
+        for (g, vals) in &groups {
+            let mut v = vals.clone();
+            v.resize(n, 1.0);
+            bars += n;
+            chart = chart.group(g.clone(), v);
+        }
+        let out = chart.to_svg();
+        prop_assert!(out.starts_with("<svg"));
+        prop_assert_eq!(out.matches("<path").count(), bars);
+        prop_assert!(!out.contains("NaN"));
+    }
+
+    /// Line charts with converging/equal values still render with one
+    /// end label per series and no NaNs.
+    #[test]
+    fn lines_render_arbitrary_data(
+        xs in proptest::collection::vec("[a-z0-9]{1,6}", 1..6),
+        series in proptest::collection::vec(
+            ("[a-z]{1,8}", 0.01f64..100.0),
+            1..6,
+        ),
+    ) {
+        let mut chart = LineChart::new("prop").x_points(xs.clone());
+        for (name, v) in &series {
+            chart = chart.line(name.clone(), vec![*v; xs.len()]);
+        }
+        let out = chart.to_svg();
+        prop_assert_eq!(out.matches("<polyline").count(), series.len());
+        prop_assert!(!out.contains("NaN"));
+    }
+
+    /// The scatter accepts any positive magnitudes across many decades.
+    #[test]
+    fn scatter_renders_any_positive_points(
+        pts in proptest::collection::vec((1e-3f64..1e12, 1e-3f64..1e12), 1..20),
+    ) {
+        let mut chart = LogLogScatter::new("prop", "x", "y");
+        for (i, (x, y)) in pts.iter().enumerate() {
+            chart = chart.point(format!("p{i}"), *x, *y);
+        }
+        let out = chart.to_svg();
+        prop_assert_eq!(out.matches("<circle").count(), pts.len());
+        prop_assert!(!out.contains("NaN") && !out.contains("inf"));
+    }
+}

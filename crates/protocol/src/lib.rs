@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Coherence protocols for hierarchical multi-GPU systems.
+//!
+//! This crate is the paper's primary contribution, expressed as data and
+//! pure logic that the timing model in `hmg-gpu` executes:
+//!
+//! * [`scope`] — the scoped memory model's `.cta` / `.gpu` / `.sys`
+//!   synchronization scopes (Section II-C).
+//! * [`op`] — memory access kinds and scoped accesses.
+//! * [`msg`] — protocol message types and their on-wire sizes.
+//! * [`table`] — the NHCC/HMG coherence-directory transition table
+//!   (Table I) as a pure function, exhaustively unit-tested per cell.
+//! * [`policy`] — the six evaluated coherence configurations and their
+//!   caching / invalidation / routing rules (Section VI).
+//! * [`trace`] — the trace format the workload generators produce and
+//!   the GPU engine replays.
+//! * [`tracefile`] — on-disk (de)serialization of traces.
+
+pub mod msg;
+pub mod op;
+pub mod policy;
+pub mod scope;
+pub mod table;
+pub mod trace;
+pub mod tracefile;
+
+pub use msg::MsgSizes;
+pub use op::{Access, AccessKind};
+pub use policy::{AcquireAction, ProtocolKind};
+pub use scope::Scope;
+pub use table::{transition, DirEvent, DirState, Outcome};
+pub use trace::{Cta, Kernel, TraceOp, WorkloadTrace};

@@ -1,0 +1,95 @@
+//! On-wire sizes of protocol messages.
+//!
+//! The paper notes that invalidation messages are "relatively small
+//! compared to a GPU cache line" (§VII-A); these sizes make that concrete
+//! so the fabric can charge serialization accurately and Fig. 11 can
+//! report invalidation bandwidth in GB/s.
+
+/// Byte sizes for every message the protocols exchange.
+///
+/// # Example
+///
+/// ```
+/// use hmg_protocol::MsgSizes;
+///
+/// let m = MsgSizes::paper_default();
+/// assert_eq!(m.load_resp, m.header + 128); // response carries a line
+/// assert!(m.inv < 128 / 4, "invalidations are far smaller than lines");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MsgSizes {
+    /// Request/response header: address, ids, opcode.
+    pub header: u32,
+    /// Load or atomic request.
+    pub load_req: u32,
+    /// Load response: header plus one cache line.
+    pub load_resp: u32,
+    /// Store write-through: header plus one cache line of data.
+    pub store: u32,
+    /// Atomic request: header plus operand.
+    pub atomic_req: u32,
+    /// Atomic response: header plus result word.
+    pub atomic_resp: u32,
+    /// Invalidation message (header only — no data, no ack).
+    pub inv: u32,
+    /// Release fence and its acknowledgment.
+    pub fence: u32,
+}
+
+impl MsgSizes {
+    /// Sizes for 128-byte cache lines: 16 B headers, full-line store
+    /// payloads, 16 B invalidations, 8 B fences/acks.
+    pub fn paper_default() -> Self {
+        MsgSizes::for_line_bytes(128)
+    }
+
+    /// Sizes scaled to a different cache-line size.
+    pub fn for_line_bytes(line_bytes: u32) -> Self {
+        let header = 16;
+        MsgSizes {
+            header,
+            load_req: header,
+            load_resp: header + line_bytes,
+            store: header + line_bytes,
+            atomic_req: header + 8,
+            atomic_resp: header + 8,
+            inv: header,
+            fence: 8,
+        }
+    }
+}
+
+impl Default for MsgSizes {
+    fn default() -> Self {
+        MsgSizes::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_sizes() {
+        let m = MsgSizes::paper_default();
+        assert_eq!(m.header, 16);
+        assert_eq!(m.load_req, 16);
+        assert_eq!(m.load_resp, 144);
+        assert_eq!(m.store, 144);
+        assert_eq!(m.inv, 16);
+        assert_eq!(m.fence, 8);
+    }
+
+    #[test]
+    fn scales_with_line_size() {
+        let m = MsgSizes::for_line_bytes(64);
+        assert_eq!(m.load_resp, 80);
+        assert_eq!(m.store, 80);
+    }
+
+    #[test]
+    fn inv_much_smaller_than_data() {
+        let m = MsgSizes::paper_default();
+        assert!(m.inv * 4 < m.load_resp);
+    }
+}

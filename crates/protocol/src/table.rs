@@ -1,0 +1,288 @@
+//! The NHCC/HMG coherence-directory transition table (Table I of the
+//! paper), as a pure function.
+//!
+//! The directory has exactly two stable states — Valid and Invalid — and
+//! no transient states; stores never wait for invalidation
+//! acknowledgments because the memory model is not multi-copy-atomic
+//! (Section III-B). The one HMG-specific addition is the `Invalidation`
+//! column: a GPU home node receiving an invalidation from the system home
+//! must forward it to its local GPM sharers.
+//!
+//! | State | Local Ld | Local St/Atom       | Remote Ld    | Remote St/Atom               | Replace             | Invalidation (HMG)            |
+//! |-------|----------|---------------------|--------------|------------------------------|---------------------|-------------------------------|
+//! | I     | –        | –                   | add s, →V    | add s, →V                    | N/A                 | →I                            |
+//! | V     | –        | inv all sharers, →I | add s        | add s, inv other sharers     | inv all sharers, →I | forward inv to all sharers, →I |
+
+/// Stable directory states. Valid corresponds to the entry being present
+/// in the set-associative directory; Invalid to its absence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirState {
+    /// No sharers tracked.
+    Invalid,
+    /// Entry present; sharer list is meaningful.
+    Valid,
+}
+
+/// Events a directory entry can observe. "Local" means issued by the GPM
+/// owning this directory; "remote" means arriving from another GPM or GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirEvent {
+    /// A load from the home GPM itself.
+    LocalLoad,
+    /// A store or atomic from the home GPM itself.
+    LocalStore,
+    /// A load from a remote GPM/GPU (the sender `s`).
+    RemoteLoad,
+    /// A store or atomic from a remote GPM/GPU (the sender `s`).
+    RemoteStore,
+    /// Capacity/conflict eviction of the directory entry.
+    Replace,
+    /// HMG only: an invalidation received by a GPU home node from the
+    /// system home node.
+    Invalidation,
+}
+
+/// What the controller must do in response to a directory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Outcome {
+    /// The state the entry moves to.
+    pub next: DirState,
+    /// Record the message sender as a sharer.
+    pub add_sharer: bool,
+    /// Send invalidations to every tracked sharer.
+    pub inv_all_sharers: bool,
+    /// Send invalidations to every tracked sharer except the sender.
+    pub inv_other_sharers: bool,
+}
+
+impl Outcome {
+    const fn quiet(next: DirState) -> Self {
+        Outcome {
+            next,
+            add_sharer: false,
+            inv_all_sharers: false,
+            inv_other_sharers: false,
+        }
+    }
+}
+
+/// Applies Table I. `hmg` selects the hierarchical variant, which is the
+/// only one that defines the `Invalidation` column.
+///
+/// # Panics
+///
+/// Panics on `(Invalid, Replace)` — an absent entry cannot be evicted —
+/// and on `(_, Invalidation)` when `hmg` is false, since flat NHCC homes
+/// never receive invalidations from above.
+///
+/// # Example
+///
+/// ```
+/// use hmg_protocol::{transition, DirEvent, DirState};
+///
+/// // A remote load allocates the entry and records the sharer.
+/// let o = transition(DirState::Invalid, DirEvent::RemoteLoad, false);
+/// assert_eq!(o.next, DirState::Valid);
+/// assert!(o.add_sharer);
+///
+/// // A local store to shared data invalidates all sharers.
+/// let o = transition(DirState::Valid, DirEvent::LocalStore, false);
+/// assert_eq!(o.next, DirState::Invalid);
+/// assert!(o.inv_all_sharers);
+/// ```
+pub fn transition(state: DirState, event: DirEvent, hmg: bool) -> Outcome {
+    use DirEvent::*;
+    use DirState::*;
+    match (state, event) {
+        (Invalid, LocalLoad) | (Invalid, LocalStore) => Outcome::quiet(Invalid),
+        (Invalid, RemoteLoad) | (Invalid, RemoteStore) => Outcome {
+            next: Valid,
+            add_sharer: true,
+            inv_all_sharers: false,
+            inv_other_sharers: false,
+        },
+        (Invalid, Replace) => panic!("cannot replace an Invalid directory entry"),
+        (Invalid, Invalidation) => {
+            assert!(hmg, "only HMG GPU home nodes receive invalidations");
+            Outcome::quiet(Invalid)
+        }
+        (Valid, LocalLoad) => Outcome::quiet(Valid),
+        (Valid, LocalStore) => Outcome {
+            next: Invalid,
+            add_sharer: false,
+            inv_all_sharers: true,
+            inv_other_sharers: false,
+        },
+        (Valid, RemoteLoad) => Outcome {
+            next: Valid,
+            add_sharer: true,
+            inv_all_sharers: false,
+            inv_other_sharers: false,
+        },
+        (Valid, RemoteStore) => Outcome {
+            next: Valid,
+            add_sharer: true,
+            inv_all_sharers: false,
+            inv_other_sharers: true,
+        },
+        (Valid, Replace) => Outcome {
+            next: Invalid,
+            add_sharer: false,
+            inv_all_sharers: true,
+            inv_other_sharers: false,
+        },
+        (Valid, Invalidation) => {
+            assert!(hmg, "only HMG GPU home nodes receive invalidations");
+            Outcome {
+                next: Invalid,
+                add_sharer: false,
+                inv_all_sharers: true, // "forward inv to all sharers"
+                inv_other_sharers: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::DirEvent::*;
+    use super::DirState::*;
+    use super::*;
+
+    // One test per cell of Table I.
+
+    #[test]
+    fn i_local_load_is_a_nop() {
+        let o = transition(Invalid, LocalLoad, false);
+        assert_eq!(o, Outcome::quiet(Invalid));
+    }
+
+    #[test]
+    fn i_local_store_is_a_nop() {
+        let o = transition(Invalid, LocalStore, false);
+        assert_eq!(o, Outcome::quiet(Invalid));
+    }
+
+    #[test]
+    fn i_remote_load_allocates_and_tracks() {
+        let o = transition(Invalid, RemoteLoad, false);
+        assert_eq!(o.next, Valid);
+        assert!(o.add_sharer);
+        assert!(!o.inv_all_sharers && !o.inv_other_sharers);
+    }
+
+    #[test]
+    fn i_remote_store_allocates_and_tracks() {
+        let o = transition(Invalid, RemoteStore, false);
+        assert_eq!(o.next, Valid);
+        assert!(o.add_sharer);
+        assert!(!o.inv_all_sharers && !o.inv_other_sharers);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot replace")]
+    fn i_replace_is_unreachable() {
+        transition(Invalid, Replace, false);
+    }
+
+    #[test]
+    fn i_invalidation_under_hmg_stays_invalid() {
+        let o = transition(Invalid, Invalidation, true);
+        assert_eq!(o, Outcome::quiet(Invalid));
+    }
+
+    #[test]
+    fn v_local_load_is_a_nop() {
+        let o = transition(Valid, LocalLoad, false);
+        assert_eq!(o, Outcome::quiet(Valid));
+    }
+
+    #[test]
+    fn v_local_store_invalidates_all_and_deallocates() {
+        let o = transition(Valid, LocalStore, false);
+        assert_eq!(o.next, Invalid);
+        assert!(o.inv_all_sharers);
+        assert!(!o.add_sharer && !o.inv_other_sharers);
+    }
+
+    #[test]
+    fn v_remote_load_adds_sharer_and_stays_valid() {
+        let o = transition(Valid, RemoteLoad, false);
+        assert_eq!(o.next, Valid);
+        assert!(o.add_sharer);
+        assert!(!o.inv_all_sharers && !o.inv_other_sharers);
+    }
+
+    #[test]
+    fn v_remote_store_adds_sharer_and_invalidates_others() {
+        let o = transition(Valid, RemoteStore, false);
+        assert_eq!(o.next, Valid);
+        assert!(o.add_sharer);
+        assert!(o.inv_other_sharers);
+        assert!(!o.inv_all_sharers);
+    }
+
+    #[test]
+    fn v_replace_invalidates_all_and_deallocates() {
+        let o = transition(Valid, Replace, false);
+        assert_eq!(o.next, Invalid);
+        assert!(o.inv_all_sharers);
+        assert!(!o.add_sharer);
+    }
+
+    #[test]
+    fn v_invalidation_under_hmg_forwards_to_all_sharers() {
+        let o = transition(Valid, Invalidation, true);
+        assert_eq!(o.next, Invalid);
+        assert!(o.inv_all_sharers, "must forward to local GPM sharers");
+    }
+
+    #[test]
+    #[should_panic(expected = "only HMG")]
+    fn invalidation_without_hmg_is_rejected() {
+        transition(Valid, Invalidation, false);
+    }
+
+    #[test]
+    fn same_behavior_for_nhcc_and_hmg_outside_invalidation_column() {
+        // HMG "behaves similarly to Table I but adds the single extra
+        // transition" — every non-Invalidation cell must be identical.
+        for state in [Invalid, Valid] {
+            for event in [LocalLoad, LocalStore, RemoteLoad, RemoteStore] {
+                assert_eq!(
+                    transition(state, event, false),
+                    transition(state, event, true),
+                    "{state:?}/{event:?}"
+                );
+            }
+        }
+        assert_eq!(
+            transition(Valid, Replace, false),
+            transition(Valid, Replace, true)
+        );
+    }
+
+    #[test]
+    fn no_transition_ever_requires_an_ack_or_transient_state() {
+        // Structural property: Outcome has no "wait" capability at all —
+        // the type system itself guarantees ack-free, two-state operation.
+        // This test documents the invariant by exhaustively walking every
+        // legal (state, event) pair.
+        for (s, e, hmg) in [
+            (Invalid, LocalLoad, false),
+            (Invalid, LocalStore, false),
+            (Invalid, RemoteLoad, false),
+            (Invalid, RemoteStore, false),
+            (Invalid, Invalidation, true),
+            (Valid, LocalLoad, false),
+            (Valid, LocalStore, false),
+            (Valid, RemoteLoad, false),
+            (Valid, RemoteStore, false),
+            (Valid, Replace, false),
+            (Valid, Invalidation, true),
+        ] {
+            let o = transition(s, e, hmg);
+            assert!(matches!(o.next, Invalid | Valid));
+        }
+    }
+}

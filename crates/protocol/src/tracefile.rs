@@ -1,0 +1,321 @@
+//! On-disk serialization of workload traces.
+//!
+//! A compact little-endian binary format so traces can be generated
+//! once, inspected with the `trace-tool` binary, archived alongside
+//! experiment results, and replayed bit-identically — the moral
+//! equivalent of the program traces that drive the paper's simulator.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "HMGTRACE"  version:u32
+//! name_len:u32  name:[u8]
+//! kernel_count:u32
+//!   per kernel: cta_count:u32
+//!     per CTA: op_count:u32
+//!       per op: tag:u8 payload...
+//! ```
+
+use std::io::{self, Read, Write};
+
+use hmg_mem::Addr;
+
+use crate::op::{Access, AccessKind};
+use crate::scope::Scope;
+use crate::trace::{Cta, Kernel, TraceOp, WorkloadTrace};
+
+/// File magic.
+pub const MAGIC: &[u8; 8] = b"HMGTRACE";
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Errors reading a trace file.
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's version is not supported.
+    UnsupportedVersion(u32),
+    /// A field failed validation.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadTraceError::BadMagic => f.write_str("not an HMG trace file"),
+            ReadTraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace version {v}")
+            }
+            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(e: io::Error) -> Self {
+        ReadTraceError::Io(e)
+    }
+}
+
+fn scope_tag(s: Scope) -> u8 {
+    match s {
+        Scope::Cta => 0,
+        Scope::Gpu => 1,
+        Scope::Sys => 2,
+    }
+}
+
+fn scope_from(tag: u8) -> Result<Scope, ReadTraceError> {
+    Ok(match tag {
+        0 => Scope::Cta,
+        1 => Scope::Gpu,
+        2 => Scope::Sys,
+        _ => return Err(ReadTraceError::Corrupt("scope tag")),
+    })
+}
+
+fn kind_tag(k: AccessKind) -> u8 {
+    match k {
+        AccessKind::Load => 0,
+        AccessKind::Store => 1,
+        AccessKind::Atomic => 2,
+    }
+}
+
+fn kind_from(tag: u8) -> Result<AccessKind, ReadTraceError> {
+    Ok(match tag {
+        0 => AccessKind::Load,
+        1 => AccessKind::Store,
+        2 => AccessKind::Atomic,
+        _ => return Err(ReadTraceError::Corrupt("access kind tag")),
+    })
+}
+
+/// Writes `trace` to `w`. A `BufWriter` is recommended; note that a
+/// `&mut W` also implements `Write`, so the writer need not be consumed.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+pub fn write_trace<W: Write>(mut w: W, trace: &WorkloadTrace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name.as_bytes();
+    w.write_all(&(name.len() as u32).to_le_bytes())?;
+    w.write_all(name)?;
+    w.write_all(&(trace.kernels.len() as u32).to_le_bytes())?;
+    for k in &trace.kernels {
+        w.write_all(&(k.ctas.len() as u32).to_le_bytes())?;
+        for c in &k.ctas {
+            w.write_all(&(c.ops.len() as u32).to_le_bytes())?;
+            for op in &c.ops {
+                match *op {
+                    TraceOp::Access(a) => {
+                        w.write_all(&[0, kind_tag(a.kind), scope_tag(a.scope)])?;
+                        w.write_all(&a.addr.0.to_le_bytes())?;
+                    }
+                    TraceOp::Delay(d) => {
+                        w.write_all(&[1])?;
+                        w.write_all(&d.to_le_bytes())?;
+                    }
+                    TraceOp::Acquire(s) => w.write_all(&[2, scope_tag(s)])?,
+                    TraceOp::Release(s) => w.write_all(&[3, scope_tag(s)])?,
+                    TraceOp::SetFlag(flag) => {
+                        w.write_all(&[4])?;
+                        w.write_all(&flag.to_le_bytes())?;
+                    }
+                    TraceOp::WaitFlag { flag, count } => {
+                        w.write_all(&[5])?;
+                        w.write_all(&flag.to_le_bytes())?;
+                        w.write_all(&count.to_le_bytes())?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadTraceError> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, ReadTraceError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_u8<R: Read>(r: &mut R) -> Result<u8, ReadTraceError> {
+    let mut b = [0u8; 1];
+    r.read_exact(&mut b)?;
+    Ok(b[0])
+}
+
+/// Sanity cap on collection sizes, to fail fast on corrupt headers
+/// rather than attempting enormous allocations.
+const MAX_COUNT: u32 = 64 * 1024 * 1024;
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`ReadTraceError`] on I/O failure, wrong magic, unsupported
+/// version, or structurally invalid content.
+pub fn read_trace<R: Read>(mut r: R) -> Result<WorkloadTrace, ReadTraceError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(ReadTraceError::BadMagic);
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(ReadTraceError::UnsupportedVersion(version));
+    }
+    let name_len = read_u32(&mut r)?;
+    if name_len > MAX_COUNT {
+        return Err(ReadTraceError::Corrupt("name length"));
+    }
+    let mut name = vec![0u8; name_len as usize];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| ReadTraceError::Corrupt("name utf8"))?;
+
+    let kernel_count = read_u32(&mut r)?;
+    if kernel_count > MAX_COUNT {
+        return Err(ReadTraceError::Corrupt("kernel count"));
+    }
+    let mut kernels = Vec::with_capacity(kernel_count as usize);
+    for _ in 0..kernel_count {
+        let cta_count = read_u32(&mut r)?;
+        if cta_count > MAX_COUNT {
+            return Err(ReadTraceError::Corrupt("cta count"));
+        }
+        let mut ctas = Vec::with_capacity(cta_count as usize);
+        for _ in 0..cta_count {
+            let op_count = read_u32(&mut r)?;
+            if op_count > MAX_COUNT {
+                return Err(ReadTraceError::Corrupt("op count"));
+            }
+            let mut ops = Vec::with_capacity(op_count as usize);
+            for _ in 0..op_count {
+                let tag = read_u8(&mut r)?;
+                let op = match tag {
+                    0 => {
+                        let kind = kind_from(read_u8(&mut r)?)?;
+                        let scope = scope_from(read_u8(&mut r)?)?;
+                        let addr = Addr(read_u64(&mut r)?);
+                        TraceOp::Access(Access::new(addr, kind, scope))
+                    }
+                    1 => TraceOp::Delay(read_u32(&mut r)?),
+                    2 => TraceOp::Acquire(scope_from(read_u8(&mut r)?)?),
+                    3 => TraceOp::Release(scope_from(read_u8(&mut r)?)?),
+                    4 => TraceOp::SetFlag(read_u32(&mut r)?),
+                    5 => {
+                        let flag = read_u32(&mut r)?;
+                        let count = read_u32(&mut r)?;
+                        TraceOp::WaitFlag { flag, count }
+                    }
+                    _ => return Err(ReadTraceError::Corrupt("op tag")),
+                };
+                ops.push(op);
+            }
+            ctas.push(Cta::new(ops));
+        }
+        kernels.push(Kernel::new(ctas));
+    }
+    Ok(WorkloadTrace::new(name, kernels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WorkloadTrace {
+        let cta = Cta::new(vec![
+            TraceOp::Access(Access::load(Addr(0))),
+            TraceOp::Access(Access::new(Addr(256), AccessKind::Store, Scope::Cta)),
+            TraceOp::Access(Access::atomic(Addr(512), Scope::Gpu)),
+            TraceOp::Delay(42),
+            TraceOp::Acquire(Scope::Sys),
+            TraceOp::Release(Scope::Gpu),
+            TraceOp::SetFlag(7),
+            TraceOp::WaitFlag { flag: 7, count: 3 },
+        ]);
+        WorkloadTrace::new("sample", vec![Kernel::new(vec![cta, Cta::new(vec![])])])
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_trace(&b"NOTATRACEFILE..."[..]).unwrap_err();
+        assert!(matches!(err, ReadTraceError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&99u32.to_le_bytes());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        // Every strict prefix must fail cleanly, never panic.
+        for cut in 0..buf.len() {
+            assert!(
+                read_trace(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes unexpectedly parsed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_bad_tags() {
+        let t = WorkloadTrace::new(
+            "x",
+            vec![Kernel::new(vec![Cta::new(vec![TraceOp::Delay(1)])])],
+        );
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        // The op tag is right after the three u32 counts that follow the
+        // header + name.
+        let tag_pos = 8 + 4 + 4 + 1 + 4 + 4 + 4;
+        buf[tag_pos] = 200;
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Corrupt("op tag")), "{err}");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ReadTraceError::BadMagic.to_string().contains("HMG"));
+        assert!(ReadTraceError::Corrupt("x").to_string().contains("x"));
+    }
+}

@@ -1,0 +1,204 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::Cycle;
+
+/// An entry in the queue: ordered by time, then by insertion sequence so
+/// that same-cycle events pop in FIFO order regardless of heap internals.
+struct Entry<E> {
+    at: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// Events are popped in nondecreasing time order; events scheduled for the
+/// same cycle pop in the order they were pushed. This determinism is what
+/// makes whole-system simulations reproducible from a seed.
+///
+/// # Example
+///
+/// ```
+/// use hmg_sim::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Cycle(7), 'x');
+/// q.push(Cycle(7), 'y');
+/// q.push(Cycle(3), 'z');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['z', 'x', 'y']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    popped: u64,
+    now: Cycle,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at `Cycle::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            popped: 0,
+            now: Cycle::ZERO,
+        }
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the time of the last popped event:
+    /// scheduling into the past would silently corrupt causality.
+    pub fn push(&mut self, at: Cycle, payload: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at}, now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Removes and returns the earliest event, advancing the queue's clock.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let e = self.heap.pop()?;
+        self.now = e.at;
+        self.popped += 1;
+        Some((e.at, e.payload))
+    }
+
+    /// The time of the most recently popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events popped so far (a simulation-size metric).
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("now", &self.now)
+            .field("processed", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(30), 3);
+        q.push(Cycle(10), 1);
+        q.push(Cycle(20), 2);
+        assert_eq!(q.pop(), Some((Cycle(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Cycle(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle(5), i)));
+        }
+    }
+
+    #[test]
+    fn now_tracks_last_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), Cycle::ZERO);
+        q.push(Cycle(8), ());
+        q.pop();
+        assert_eq!(q.now(), Cycle(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), ());
+        q.pop();
+        q.push(Cycle(5), ());
+    }
+
+    #[test]
+    fn len_and_processed_counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle(1), ());
+        q.push(Cycle(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(10), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.push(Cycle(10), "b"); // same-cycle re-entry is legal
+        q.push(Cycle(12), "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Discrete-event simulation kernel for the HMG reproduction.
+//!
+//! This crate contains the domain-independent pieces of the simulator:
+//!
+//! * [`Cycle`] — the simulated clock, a newtype over `u64`.
+//! * [`EventQueue`] — a deterministic time-ordered event queue.
+//! * [`rng::Rng`] — a self-contained SplitMix64 PRNG so that every
+//!   experiment is bit-for-bit reproducible from a seed.
+//! * [`stats`] — counters and the small amount of statistics math the
+//!   evaluation needs (means, geometric means, Pearson correlation).
+//!
+//! The memory-system model itself lives in the `hmg-mem`, `hmg-protocol`
+//! and `hmg-gpu` crates; they drive this kernel.
+//!
+//! # Example
+//!
+//! ```
+//! use hmg_sim::{Cycle, EventQueue};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Cycle(10), "b");
+//! q.push(Cycle(5), "a");
+//! assert_eq!(q.pop(), Some((Cycle(5), "a")));
+//! assert_eq!(q.pop(), Some((Cycle(10), "b")));
+//! assert!(q.pop().is_none());
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use time::Cycle;

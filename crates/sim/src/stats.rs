@@ -1,0 +1,232 @@
+//! Counters and statistics helpers used across the evaluation.
+
+use std::fmt;
+
+/// A named monotone event counter.
+///
+/// # Example
+///
+/// ```
+/// use hmg_sim::stats::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running mean over an online stream of samples.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    n: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, v: f64) {
+        self.sum += v;
+        self.n += 1;
+    }
+
+    /// The mean of all samples pushed so far, or 0.0 if none.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+}
+
+/// Arithmetic mean of a slice; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of a slice of positive values; the paper reports speedup
+/// geomeans across the workload suite (Figs. 2, 8, 12–14).
+///
+/// # Panics
+///
+/// Panics if any value is not strictly positive.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "geomean requires positive values, got {x}");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Pearson correlation coefficient between two equal-length series.
+///
+/// Used for the Fig. 7 simulator-correlation experiment. Returns 0.0 when
+/// either series has zero variance or fewer than two points.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson over mismatched lengths");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Mean absolute relative error of `measured` against `reference`,
+/// mirroring the "average absolute error" reported for Fig. 7.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a reference value is 0.
+pub fn mean_abs_rel_err(measured: &[f64], reference: &[f64]) -> f64 {
+    assert_eq!(measured.len(), reference.len());
+    if measured.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = measured
+        .iter()
+        .zip(reference)
+        .map(|(&m, &r)| {
+            assert!(r != 0.0, "reference value must be nonzero");
+            ((m - r) / r).abs()
+        })
+        .sum();
+    total / measured.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn running_mean_matches_batch_mean() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let mut rm = RunningMean::new();
+        for &x in &xs {
+            rm.push(x);
+        }
+        assert_eq!(rm.count(), 4);
+        assert!((rm.mean() - mean(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(RunningMean::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn geomean_simple() {
+        let g = geomean(&[1.0, 4.0]);
+        assert!((g - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_nonpositive() {
+        geomean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pearson_perfect_positive_and_negative() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let dn = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &dn) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_cases() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn mean_abs_rel_err_basic() {
+        let e = mean_abs_rel_err(&[110.0, 90.0], &[100.0, 100.0]);
+        assert!((e - 0.1).abs() < 1e-12);
+        assert_eq!(mean_abs_rel_err(&[], &[]), 0.0);
+    }
+}

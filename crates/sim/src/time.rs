@@ -1,0 +1,152 @@
+//! Simulated time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in GPU core clock cycles.
+///
+/// `Cycle` is a transparent newtype over `u64`; it exists so that cycle
+/// counts cannot be accidentally mixed with byte counts, entry counts, or
+/// other `u64` quantities flowing through the simulator.
+///
+/// # Example
+///
+/// ```
+/// use hmg_sim::Cycle;
+///
+/// let t = Cycle(100) + Cycle(30);
+/// assert_eq!(t, Cycle(130));
+/// assert_eq!(t - Cycle(130), Cycle(0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// Time zero, the start of every simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The latest representable time; used as "never" sentinel.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycle) -> Cycle {
+        Cycle(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: returns `Cycle::ZERO` rather than wrapping.
+    #[inline]
+    pub fn saturating_sub(self, other: Cycle) -> Cycle {
+        Cycle(self.0.saturating_sub(other.0))
+    }
+
+    /// Converts a cycle count at `freq_ghz` into seconds of simulated time.
+    #[inline]
+    pub fn to_seconds(self, freq_ghz: f64) -> f64 {
+        self.0 as f64 / (freq_ghz * 1e9)
+    }
+}
+
+impl Add for Cycle {
+    type Output = Cycle;
+    #[inline]
+    fn add(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycle) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycle {
+    type Output = Cycle;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycle {
+        Cycle(self.0 - rhs.0)
+    }
+}
+
+impl Sum for Cycle {
+    fn sum<I: Iterator<Item = Cycle>>(iter: I) -> Cycle {
+        Cycle(iter.map(|c| c.0).sum())
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_u64() {
+        assert_eq!(Cycle(3) + Cycle(4), Cycle(7));
+        assert_eq!(Cycle(10) - Cycle(4), Cycle(6));
+        let mut c = Cycle(1);
+        c += Cycle(2);
+        assert_eq!(c, Cycle(3));
+    }
+
+    #[test]
+    fn ordering_and_extremes() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(5).max(Cycle(9)), Cycle(9));
+        assert_eq!(Cycle(5).min(Cycle(9)), Cycle(5));
+        assert_eq!(Cycle::ZERO, Cycle(0));
+        assert!(Cycle::MAX > Cycle(1 << 62));
+    }
+
+    #[test]
+    fn saturating_sub_does_not_wrap() {
+        assert_eq!(Cycle(3).saturating_sub(Cycle(10)), Cycle::ZERO);
+        assert_eq!(Cycle(10).saturating_sub(Cycle(3)), Cycle(7));
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        // 1.3e9 cycles at 1.3 GHz is exactly one second.
+        let c = Cycle(1_300_000_000);
+        assert!((c.to_seconds(1.3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Cycle(42).to_string(), "42 cyc");
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycle = [Cycle(1), Cycle(2), Cycle(3)].into_iter().sum();
+        assert_eq!(total, Cycle(6));
+    }
+}

@@ -1,0 +1,569 @@
+//! The sharing-pattern archetypes behind the Table III suite.
+//!
+//! Each archetype reproduces one of the communication structures the
+//! paper identifies (Sections II-B, VI): read-only weight broadcast with
+//! inter-kernel producer-consumer tensors (ML layers and RNN timesteps),
+//! halo-exchange stencils (HPC), power-law irregular read-write sharing
+//! (graph analytics), fine-grained wavefronts (Needleman-Wunsch,
+//! pathfinder), and flag-synchronized solver phases with `.gpu`-scoped
+//! operations (cuSolver, namd, mst).
+
+use hmg_protocol::{AccessKind, Kernel, Scope, WorkloadTrace};
+use hmg_sim::Rng;
+
+use crate::gen::{AddrSpace, CtaBuilder};
+
+/// Grid and budget parameters shared by all archetypes, derived from the
+/// experiment scale by the suite.
+#[derive(Debug, Clone, Copy)]
+pub struct Dims {
+    /// CTAs per kernel.
+    pub ctas: u64,
+    /// Kernel launches (or phases, for the solver archetype).
+    pub kernels: u32,
+    /// Total footprint in bytes.
+    pub footprint: u64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+/// Parameters for [`layers`]: ML conv layers and RNN timesteps.
+#[derive(Debug, Clone, Copy)]
+pub struct LayersParams {
+    /// Fraction of the footprint holding read-only broadcast data
+    /// (conv filter weights) sampled by every CTA in every kernel.
+    pub bcast_frac: f64,
+    /// Broadcast lines sampled per CTA per kernel.
+    pub bcast_reads: u64,
+    /// Fraction of the footprint holding per-CTA persistent slices
+    /// (stashed RNN weights), streamed by their owner each kernel and
+    /// homed locally by first touch.
+    pub own_frac: f64,
+    /// Own-slice lines streamed per CTA per kernel.
+    pub own_reads: u64,
+    /// Fraction of the footprint for *each* of the two ping-pong
+    /// activation/state buffers. RNN layers keep this small (the
+    /// timestep state; the bulk of their Table III footprint is weights
+    /// stashed in registers and cold I/O buffers); conv layers make it
+    /// large (activations dominate).
+    pub state_frac: f64,
+    /// Random reads over the *entire* previous activation buffer — the
+    /// RNN-style all-to-all state broadcast between timesteps.
+    pub state_reads: u64,
+    /// Sequential reads of the previous activation buffer (conv
+    /// producer-consumer movement between dependent kernels).
+    pub tile_reads: u64,
+    /// Output-tile lines written per CTA per kernel.
+    pub tile_writes: u64,
+    /// Fraction of `tile_reads` taken from a far-away (other-GPU) tile
+    /// rather than this CTA's own input tile. Spreading the remote
+    /// fraction evenly across CTAs mirrors real conv layers, where every
+    /// CTA's input window overlaps data produced elsewhere.
+    pub shift_frac: f64,
+    /// Compute cycles between accesses.
+    pub delay: u32,
+}
+
+/// ML layers / RNN timesteps: broadcast weights, per-CTA stashed slices,
+/// and producer-consumer activations ping-ponging between two buffers.
+pub fn layers(name: &str, d: Dims, p: LayersParams) -> WorkloadTrace {
+    let mut space = AddrSpace::new();
+    let bcast_bytes = ((d.footprint as f64 * p.bcast_frac) as u64).max(crate::gen::PAGE);
+    let bcast = space.alloc(bcast_bytes);
+    let own_bytes = ((d.footprint as f64 * p.own_frac) as u64).max(crate::gen::PAGE);
+    let own = space.alloc(own_bytes);
+    let act_bytes = ((d.footprint as f64 * p.state_frac) as u64).max(crate::gen::PAGE);
+    let buf_a = space.alloc(act_bytes);
+    let buf_b = space.alloc(act_bytes);
+    // The rest of the Table III footprint is cold (allocated, rarely
+    // touched): register-stashed weights, I/O buffers, etc.
+    // Remote input reads come from the tile a quarter of the grid away
+    // (another GPU on the 4-GPU machine).
+    let displacement = d.ctas / 4 + 1;
+    let remote_reads = (p.tile_reads as f64 * p.shift_frac) as u64;
+    let local_reads = p.tile_reads - remote_reads;
+
+    let mut kernels = Vec::with_capacity(d.kernels as usize);
+    for k in 0..d.kernels {
+        let (input, output) = if k % 2 == 0 {
+            (buf_a, buf_b)
+        } else {
+            (buf_b, buf_a)
+        };
+        // Broadcast data is read by *every* CTA: the filter weights and
+        // the previous timestep's state (a dense matvec reads all of
+        // h_{t-1}). All CTAs of a kernel therefore draw the same sample —
+        // the source of the intra-GPU redundancy Fig. 3 measures.
+        let mut krng = Rng::new(d.seed ^ 0xb0adca57 ^ k as u64);
+        let bcast_sample: Vec<u64> = (0..p.bcast_reads)
+            .map(|_| krng.gen_range(0, bcast.lines()))
+            .collect();
+        let state_sample: Vec<u64> = (0..p.state_reads)
+            .map(|_| krng.gen_range(0, input.lines()))
+            .collect();
+        let mut ctas = Vec::with_capacity(d.ctas as usize);
+        for i in 0..d.ctas {
+            let mut b = CtaBuilder::new();
+            // Issue the far (other-GPU) input reads first so their long
+            // latency overlaps the local work below, as real kernels
+            // arrange (and as large kernels get for free).
+            if remote_reads > 0 {
+                let src = (i + displacement) % d.ctas;
+                b.stream_loads(input.tile(src, d.ctas), 0, remote_reads, p.delay);
+            }
+            // Stream this CTA's stashed weight slice (locally homed).
+            if p.own_reads > 0 {
+                b.stream_loads(own.tile(i, d.ctas), 0, p.own_reads, p.delay);
+            }
+            // Sample the shared read-only weights. Every CTA reads the
+            // same sample but starting at a different rotation, so the
+            // redundant reads are spread over the kernel's lifetime
+            // (they reach caches, not just in-flight merge windows).
+            if !bcast_sample.is_empty() {
+                let start = (i as usize * 7) % bcast_sample.len();
+                for j in 0..bcast_sample.len() {
+                    b.load(bcast, bcast_sample[(start + j) % bcast_sample.len()]);
+                    b.delay(p.delay);
+                }
+            }
+            // RNN-style state broadcast across the previous buffer, also
+            // rotation-spread.
+            if !state_sample.is_empty() {
+                let start = (i as usize * 13) % state_sample.len();
+                for j in 0..state_sample.len() {
+                    b.load(input, state_sample[(start + j) % state_sample.len()]);
+                    b.delay(p.delay);
+                }
+            }
+            // Conv-style: the rest of this CTA's own input window.
+            if local_reads > 0 {
+                b.stream_loads(input.tile(i, d.ctas), 0, local_reads, p.delay);
+            }
+            // Produce this CTA's output tile, spread through the kernel.
+            let mut w = CtaBuilder::new();
+            w.stream_stores(output.tile(i, d.ctas), 0, p.tile_writes, p.delay);
+            ctas.push(b.build_interleaved(w));
+        }
+        kernels.push(Kernel::new(ctas));
+    }
+    WorkloadTrace::new(name, kernels)
+}
+
+/// Parameters for [`stencil`].
+#[derive(Debug, Clone, Copy)]
+pub struct StencilParams {
+    /// Interior lines read per CTA per iteration.
+    pub interior_reads: u64,
+    /// Halo lines read from each neighboring tile per iteration.
+    pub halo: u64,
+    /// Second-dimension neighbor stride in CTA indices (0 = 1-D stencil).
+    pub stride2: u64,
+    /// Lines written back per CTA per iteration.
+    pub writes: u64,
+    /// Compute cycles between accesses.
+    pub delay: u32,
+}
+
+/// Iterative halo-exchange stencil over a single grid.
+pub fn stencil(name: &str, d: Dims, p: StencilParams) -> WorkloadTrace {
+    let mut space = AddrSpace::new();
+    let grid = space.alloc(d.footprint);
+    let mut kernels = Vec::with_capacity(d.kernels as usize);
+    for _k in 0..d.kernels {
+        let mut ctas = Vec::with_capacity(d.ctas as usize);
+        for i in 0..d.ctas {
+            let mut b = CtaBuilder::new();
+            let own = grid.tile(i, d.ctas);
+            // Halo first (possibly remote), then the local interior
+            // stream overlaps its latency.
+            let mut neighbors = vec![
+                (i + d.ctas - 1) % d.ctas,
+                (i + 1) % d.ctas,
+            ];
+            if p.stride2 > 0 {
+                neighbors.push((i + d.ctas - p.stride2) % d.ctas);
+                neighbors.push((i + p.stride2) % d.ctas);
+            }
+            for n in neighbors {
+                let t = grid.tile(n, d.ctas);
+                for h in 0..p.halo {
+                    b.load(t, h);
+                    b.delay(p.delay);
+                }
+            }
+            b.stream_loads(own, 0, p.interior_reads, p.delay);
+            let mut w = CtaBuilder::new();
+            w.stream_stores(own, 0, p.writes, p.delay);
+            ctas.push(b.build_interleaved(w));
+        }
+        kernels.push(Kernel::new(ctas));
+    }
+    WorkloadTrace::new(name, kernels)
+}
+
+/// Parameters for [`graph`].
+#[derive(Debug, Clone, Copy)]
+pub struct GraphParams {
+    /// Zipf exponent of vertex popularity.
+    pub zipf_s: f64,
+    /// Irregular vertex reads per CTA per iteration.
+    pub irregular_reads: u64,
+    /// Sequential frontier lines read per CTA per iteration.
+    pub frontier_reads: u64,
+    /// Probability that an irregular access is followed by a write.
+    pub write_frac: f64,
+    /// Where the writes land: `true` = the CTA's own vertex partition
+    /// (bfs-style distance updates — reads stay shared, writes are
+    /// owner-local); `false` = the vertex just read (mst-style shared
+    /// component updates, producing conflicts and false sharing).
+    pub write_own_partition: bool,
+    /// Use scoped atomics for the writes (mst-style) instead of stores.
+    pub atomics: bool,
+    /// Scope of the atomics.
+    pub scope: Scope,
+    /// Compute cycles between accesses.
+    pub delay: u32,
+}
+
+/// Irregular graph analytics: each CTA owns a *fixed* neighbor set
+/// (graph topology does not change between iterations), re-reads it
+/// every iteration kernel, and updates a rotating subset — producing the
+/// cross-iteration reuse that makes caching pay, plus the read-write
+/// sharing and block-level false sharing the paper highlights for
+/// `mst` (§VII-A).
+pub fn graph(name: &str, d: Dims, p: GraphParams) -> WorkloadTrace {
+    let mut space = AddrSpace::new();
+    // Vertex data is the hot shared region; edge lists stream locally.
+    let vertices = space.alloc(d.footprint / 4);
+    let edges = space.alloc(3 * d.footprint / 4);
+
+    // The fixed topology: CTA i's neighbor vertices, Zipf-popular.
+    let neighbor_sets: Vec<Vec<u64>> = (0..d.ctas)
+        .map(|i| {
+            let mut rng = Rng::new(d.seed ^ 0x9e37 ^ i);
+            (0..p.irregular_reads)
+                .map(|_| rng.gen_zipf(vertices.lines(), p.zipf_s))
+                .collect()
+        })
+        .collect();
+
+    let mut kernels = Vec::with_capacity(d.kernels as usize);
+    for k in 0..d.kernels {
+        let mut ctas = Vec::with_capacity(d.ctas as usize);
+        for i in 0..d.ctas {
+            let mut rng = Rng::new(d.seed ^ 0x517f ^ ((k as u64) << 32) ^ i);
+            let mut b = CtaBuilder::new();
+            b.stream_loads(edges.tile(i, d.ctas), 0, p.frontier_reads, p.delay);
+            let own_tile = vertices.tile(i, d.ctas);
+            for &v in &neighbor_sets[i as usize] {
+                b.load(vertices, v);
+                b.delay(p.delay);
+                if rng.gen_bool(p.write_frac) {
+                    let (region, line) = if p.write_own_partition {
+                        (own_tile, rng.gen_range(0, own_tile.lines()))
+                    } else {
+                        (vertices, v)
+                    };
+                    if p.atomics {
+                        b.access(region, line, AccessKind::Atomic, p.scope);
+                    } else {
+                        b.store(region, line);
+                    }
+                    b.delay(p.delay);
+                }
+            }
+            ctas.push(b.build());
+        }
+        kernels.push(Kernel::new(ctas));
+    }
+    WorkloadTrace::new(name, kernels)
+}
+
+/// Parameters for [`wavefront`].
+#[derive(Debug, Clone, Copy)]
+pub struct WavefrontParams {
+    /// Lines of the previous step re-read each step.
+    pub back_reads: u64,
+    /// Boundary lines read from the left neighbor's previous-step tile.
+    pub boundary_reads: u64,
+    /// Lines written per CTA per step.
+    pub writes: u64,
+    /// Fraction of `back_reads` taken from the tile a quarter of the
+    /// grid away (0 = straight rows): diagonal sweeps push a share of
+    /// every CTA's consumption across GPM and GPU boundaries.
+    pub shift_frac: f64,
+    /// Compute cycles between accesses.
+    pub delay: u32,
+}
+
+/// Wavefront/dynamic-programming sweeps: many small dependent kernels,
+/// each consuming the previous step's boundary.
+pub fn wavefront(name: &str, d: Dims, p: WavefrontParams) -> WorkloadTrace {
+    let mut space = AddrSpace::new();
+    let row_bytes = (d.footprint / 2).max(crate::gen::PAGE);
+    let row_a = space.alloc(row_bytes);
+    let row_b = space.alloc(row_bytes);
+    let mut kernels = Vec::with_capacity(d.kernels as usize);
+    for k in 0..d.kernels {
+        let (prev, cur) = if k % 2 == 0 { (row_a, row_b) } else { (row_b, row_a) };
+        let displacement = d.ctas / 4 + 1;
+        let remote_reads = (p.back_reads as f64 * p.shift_frac) as u64;
+        let local_reads = p.back_reads - remote_reads;
+        let mut ctas = Vec::with_capacity(d.ctas as usize);
+        for i in 0..d.ctas {
+            let mut b = CtaBuilder::new();
+            if remote_reads > 0 {
+                let src = (i + displacement) % d.ctas;
+                b.stream_loads(prev.tile(src, d.ctas), 0, remote_reads, p.delay);
+            }
+            b.stream_loads(prev.tile(i, d.ctas), 0, local_reads, p.delay);
+            let left = (i + d.ctas - 1) % d.ctas;
+            let lt = prev.tile(left, d.ctas);
+            let edge = lt.lines().saturating_sub(p.boundary_reads);
+            for h in 0..p.boundary_reads {
+                b.load(lt, edge + h);
+                b.delay(p.delay);
+            }
+            let mut w = CtaBuilder::new();
+            w.stream_stores(cur.tile(i, d.ctas), 0, p.writes, p.delay);
+            ctas.push(b.build_interleaved(w));
+        }
+        kernels.push(Kernel::new(ctas));
+    }
+    WorkloadTrace::new(name, kernels)
+}
+
+/// Parameters for [`solver`].
+#[derive(Debug, Clone, Copy)]
+pub struct SolverParams {
+    /// Lines of each panel written by its producers.
+    pub panel_writes: u64,
+    /// Panel lines each consumer samples per phase.
+    pub panel_reads: u64,
+    /// Local trailing-update lines read+written per CTA per phase.
+    pub trailing: u64,
+    /// Scope used for the phase synchronization (the paper's
+    /// `.gpu`-scoped workloads use [`Scope::Gpu`]).
+    pub scope: Scope,
+    /// Producer groups (phase `j`'s producers are CTAs with
+    /// `i % groups == j % groups`).
+    pub groups: u64,
+    /// Compute cycles between accesses.
+    pub delay: u32,
+}
+
+/// Flag-synchronized solver phases within a single kernel: a rotating
+/// producer group writes a panel, releases at `scope`, and everyone else
+/// acquires and consumes it — the fine-grained synchronization pattern
+/// that kernel-launch-based coherence handles poorly.
+pub fn solver(name: &str, d: Dims, p: SolverParams) -> WorkloadTrace {
+    let mut space = AddrSpace::new();
+    let panel_bytes = (d.footprint / 4).max(crate::gen::PAGE);
+    let panels = space.alloc(panel_bytes);
+    let trailing = space.alloc(d.footprint - panel_bytes.min(d.footprint));
+    let phases = d.kernels;
+    let producers_per_phase = (d.ctas / p.groups).max(1) as u32;
+
+    let mut ctas = Vec::with_capacity(d.ctas as usize);
+    for i in 0..d.ctas {
+        let mut rng = Rng::new(d.seed ^ 0x501_4e8 ^ i);
+        let mut b = CtaBuilder::new();
+        for j in 0..phases {
+            let panel = panels.tile(j as u64 % p.groups, p.groups);
+            let is_producer = i % p.groups == j as u64 % p.groups;
+            if is_producer {
+                // Produce this phase's panel slice.
+                let slice = panel.tile(i / p.groups, (d.ctas / p.groups).max(1));
+                b.stream_stores(slice, 0, p.panel_writes, p.delay);
+                b.release(p.scope);
+                b.set_flag(j);
+            } else {
+                b.wait_flag(j, producers_per_phase);
+                b.acquire(p.scope);
+                b.random_loads(panel, p.panel_reads, &mut rng, p.delay);
+            }
+            // Everyone updates their local trailing tile.
+            let own = trailing.tile(i, d.ctas);
+            b.stream_loads(own, 0, p.trailing, p.delay);
+            b.stream_stores(own, 0, p.trailing / 2, p.delay);
+        }
+        ctas.push(b.build());
+    }
+    WorkloadTrace::new(name, vec![Kernel::new(ctas)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dims() -> Dims {
+        Dims {
+            ctas: 16,
+            kernels: 3,
+            footprint: 8 * 1024 * 1024,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn layers_produces_expected_structure() {
+        let t = layers(
+            "l",
+            dims(),
+            LayersParams {
+                bcast_frac: 0.2,
+                bcast_reads: 8,
+                own_frac: 0.2,
+                own_reads: 5,
+                state_frac: 0.2,
+                state_reads: 3,
+                tile_reads: 8,
+                tile_writes: 4,
+                shift_frac: 0.25,
+                delay: 2,
+            },
+        );
+        assert_eq!(t.num_kernels(), 3);
+        assert_eq!(t.num_ctas(), 48);
+        assert_eq!(t.num_accesses(), 48 * (8 + 5 + 3 + 8 + 4));
+    }
+
+    #[test]
+    fn layers_is_deterministic_per_seed() {
+        let p = LayersParams {
+            bcast_frac: 0.25,
+            bcast_reads: 8,
+            own_frac: 0.0,
+            own_reads: 0,
+            state_frac: 0.25,
+            state_reads: 4,
+            tile_reads: 8,
+            tile_writes: 4,
+            shift_frac: 0.25,
+            delay: 0,
+        };
+        assert_eq!(layers("l", dims(), p), layers("l", dims(), p));
+    }
+
+    #[test]
+    fn stencil_reads_neighbors() {
+        let t = stencil(
+            "s",
+            dims(),
+            StencilParams {
+                interior_reads: 10,
+                halo: 2,
+                stride2: 4,
+                writes: 5,
+                delay: 0,
+            },
+        );
+        // 10 interior + 4 neighbors x 2 halo + 5 writes per CTA.
+        assert_eq!(t.num_accesses(), 48 * (10 + 8 + 5));
+    }
+
+    #[test]
+    fn graph_mixes_reads_and_writes() {
+        let t = graph(
+            "g",
+            dims(),
+            GraphParams {
+                zipf_s: 0.9,
+                irregular_reads: 20,
+                frontier_reads: 5,
+                write_frac: 0.3,
+                write_own_partition: true,
+                atomics: false,
+                scope: Scope::Cta,
+                delay: 0,
+            },
+        );
+        let n = t.num_accesses();
+        let min = 48 * 25;
+        let max = 48 * 45;
+        assert!(n >= min && n <= max, "{n} not in [{min}, {max}]");
+    }
+
+    #[test]
+    fn graph_atomics_use_requested_scope() {
+        let t = graph(
+            "g",
+            dims(),
+            GraphParams {
+                zipf_s: 0.9,
+                irregular_reads: 20,
+                frontier_reads: 0,
+                write_frac: 1.0,
+                write_own_partition: false,
+                atomics: true,
+                scope: Scope::Gpu,
+                delay: 0,
+            },
+        );
+        let mut atomics = 0;
+        for k in &t.kernels {
+            for c in &k.ctas {
+                for op in &c.ops {
+                    if let hmg_protocol::TraceOp::Access(a) = op {
+                        if a.kind == AccessKind::Atomic {
+                            assert_eq!(a.scope, Scope::Gpu);
+                            atomics += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(atomics, 48 * 20);
+    }
+
+    #[test]
+    fn wavefront_has_many_small_kernels() {
+        let mut d = dims();
+        d.kernels = 10;
+        let t = wavefront(
+            "w",
+            d,
+            WavefrontParams {
+                back_reads: 4,
+                boundary_reads: 2,
+                writes: 4,
+                shift_frac: 0.25,
+                delay: 0,
+            },
+        );
+        assert_eq!(t.num_kernels(), 10);
+        assert_eq!(t.num_accesses(), 10 * 16 * 10);
+    }
+
+    #[test]
+    fn solver_is_one_kernel_with_flags() {
+        let t = solver(
+            "cu",
+            dims(),
+            SolverParams {
+                panel_writes: 4,
+                panel_reads: 4,
+                trailing: 8,
+                scope: Scope::Gpu,
+                groups: 4,
+                delay: 0,
+            },
+        );
+        assert_eq!(t.num_kernels(), 1);
+        let mut sets = 0;
+        let mut waits = 0;
+        for c in &t.kernels[0].ctas {
+            for op in &c.ops {
+                match op {
+                    hmg_protocol::TraceOp::SetFlag(_) => sets += 1,
+                    hmg_protocol::TraceOp::WaitFlag { .. } => waits += 1,
+                    _ => {}
+                }
+            }
+        }
+        assert!(sets > 0 && waits > 0);
+        // Every phase: 4 producers set, 12 consumers wait (16 CTAs, 4 groups).
+        assert_eq!(sets, 3 * 4);
+        assert_eq!(waits, 3 * 12);
+    }
+}

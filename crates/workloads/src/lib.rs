@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Synthetic workload generators for the Table III benchmark suite.
+//!
+//! The paper evaluates 20 proprietary program traces; we cannot obtain
+//! them, so each benchmark is replaced by a generator that reproduces the
+//! properties the protocols are sensitive to (see DESIGN.md §1):
+//! footprint (Table III), kernel/launch structure, read-only broadcast
+//! fraction, producer-consumer movement between kernels, halo widths,
+//! power-law irregularity and read-write sharing, and the explicit
+//! `.gpu`-scoped synchronization that `cuSolver`, `namd2.10` and `mst`
+//! use (Section VI).
+//!
+//! * [`gen`] — address-space/region allocation and CTA trace building.
+//! * [`archetypes`] — the six sharing-pattern archetypes.
+//! * [`suite`] — the 20 Table III workloads and their parameters.
+//! * [`micro`] — microbenchmarks with closed-form cycle predictions,
+//!   used for the Fig. 7 correlation experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use hmg_workloads::{suite, Scale};
+//!
+//! let specs = suite::table3();
+//! assert_eq!(specs.len(), 20);
+//! let trace = specs[0].generate(Scale::Tiny, 42);
+//! assert!(trace.num_accesses() > 0);
+//! ```
+
+pub mod archetypes;
+pub mod gen;
+pub mod micro;
+pub mod suite;
+
+pub use suite::{Category, Scale, WorkloadSpec};

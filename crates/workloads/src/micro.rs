@@ -1,0 +1,282 @@
+//! Microbenchmarks with closed-form cycle predictions, for the Fig. 7
+//! simulator-correlation experiment.
+//!
+//! The paper validates its proprietary simulator against a Quadro GV100.
+//! Real hardware is unavailable here, so we validate the discrete-event
+//! timing model against first-principles analytical bounds instead: each
+//! microbenchmark is simple enough (pure issue-bound, DRAM-bound,
+//! inter-GPU-bound, or compute-bound) that its execution time can be
+//! predicted in closed form from the machine parameters. DESIGN.md §1
+//! records this substitution.
+
+use hmg_protocol::{Cta, Kernel, WorkloadTrace};
+
+use crate::gen::{AddrSpace, CtaBuilder, LINE};
+
+/// The machine parameters the analytical model needs, in simulator units.
+/// (Filled in from `EngineConfig` by the experiment driver; kept separate
+/// so this crate does not depend on the engine.)
+#[derive(Debug, Clone, Copy)]
+pub struct MachineParams {
+    /// Cycles per issued memory instruction per SM.
+    pub issue_cycles: f64,
+    /// L1 lookup latency in cycles.
+    pub l1_latency: f64,
+    /// L2 access latency in cycles.
+    pub l2_latency: f64,
+    /// DRAM access latency in cycles.
+    pub dram_latency: f64,
+    /// DRAM bandwidth per GPM, bytes/cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Inter-GPU bandwidth per GPU per direction, bytes/cycle.
+    pub inter_gpu_bytes_per_cycle: f64,
+    /// Cache line size in bytes.
+    pub line_bytes: f64,
+    /// Load response size in bytes (header + line).
+    pub resp_bytes: f64,
+    /// Kernel launch overhead in cycles.
+    pub kernel_launch: f64,
+    /// GPMs in the system.
+    pub num_gpms: f64,
+    /// GPUs in the system.
+    pub num_gpus: f64,
+}
+
+/// One microbenchmark: a trace plus its analytical cycle prediction.
+pub struct Micro {
+    /// Name, including the size point.
+    pub name: String,
+    /// The trace to simulate.
+    pub trace: WorkloadTrace,
+    /// Predicted execution cycles for the machine in question.
+    pub predict: Box<dyn Fn(&MachineParams) -> f64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for Micro {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Micro").field("name", &self.name).finish()
+    }
+}
+
+/// Issue-bound: one SM re-reads one resident line `n` times.
+fn issue_bound(n: u64) -> Micro {
+    let mut b = CtaBuilder::new();
+    let mut space = AddrSpace::new();
+    let r = space.alloc(LINE);
+    // Warm the line, wait for the fill, then hammer it.
+    b.load(r, 0).delay(200_000);
+    for _ in 0..n {
+        b.load(r, 0);
+    }
+    let trace = WorkloadTrace::new(
+        format!("issue-bound-{n}"),
+        vec![Kernel::new(vec![b.build()])],
+    );
+    Micro {
+        name: format!("issue-bound-{n}"),
+        trace,
+        predict: Box::new(move |m| {
+            m.kernel_launch + 200_000.0 + n as f64 * m.issue_cycles
+        }),
+    }
+}
+
+/// Compute-bound: one CTA per GPM executes `n` fixed delays.
+fn compute_bound(n: u64, d: u32) -> Micro {
+    let mut ctas = Vec::new();
+    for _ in 0..16 {
+        let mut b = CtaBuilder::new();
+        for _ in 0..n {
+            b.delay(d);
+        }
+        ctas.push(b.build());
+    }
+    let trace = WorkloadTrace::new(
+        format!("compute-bound-{n}x{d}"),
+        vec![Kernel::new(ctas)],
+    );
+    Micro {
+        name: format!("compute-bound-{n}x{d}"),
+        trace,
+        predict: Box::new(move |m| m.kernel_launch + n as f64 * d as f64),
+    }
+}
+
+/// Local-DRAM-bound: `sms` CTAs per GPM stream disjoint local lines.
+fn dram_bound(lines_per_cta: u64, sms: u64) -> Micro {
+    let mut space = AddrSpace::new();
+    let mut ctas = Vec::new();
+    // One region per GPM so first touch homes each region locally; the
+    // CTAs of a GPM stream disjoint halves.
+    for _gpm in 0..16u64 {
+        let region = space.alloc(lines_per_cta * sms * LINE);
+        for s in 0..sms {
+            let mut b = CtaBuilder::new();
+            let tile = region.tile(s, sms);
+            b.stream_loads(tile, 0, lines_per_cta, 0);
+            ctas.push(b.build());
+        }
+    }
+    let n = lines_per_cta;
+    let trace = WorkloadTrace::new(
+        format!("dram-bound-{n}x{sms}"),
+        vec![Kernel::new(ctas)],
+    );
+    Micro {
+        name: format!("dram-bound-{n}x{sms}"),
+        trace,
+        predict: Box::new(move |m| {
+            // Each GPM reads n * sms lines from its own DRAM partition.
+            let bytes = n as f64 * sms as f64 * m.line_bytes;
+            let dram_time = bytes / m.dram_bytes_per_cycle;
+            let issue_time = n as f64 * m.issue_cycles;
+            m.kernel_launch
+                + dram_time.max(issue_time)
+                + m.l1_latency
+                + m.l2_latency
+                + m.dram_latency
+        }),
+    }
+}
+
+/// Inter-GPU-bound: the GPMs of GPUs 1..N stream distinct lines homed
+/// on GPU0, with enough concurrent CTAs per GPM (8) that GPU0's egress
+/// link — not per-SM memory-level parallelism — is the binding
+/// constraint its prediction assumes.
+fn inter_gpu_bound(lines_per_cta: u64) -> Micro {
+    let mut space = AddrSpace::new();
+    let consumer_gpms = 12u64;
+    let ctas_per_gpm = 8u64;
+    let consumers = consumer_gpms * ctas_per_gpm;
+    let region = space.alloc(consumers * lines_per_cta * LINE);
+    let mut touch = CtaBuilder::new();
+    // Touch one line of every page so first-touch homes the region at GPM0.
+    let pages = region.bytes() / crate::gen::PAGE;
+    for p in 0..pages {
+        touch.load(region, p * (crate::gen::PAGE / LINE));
+    }
+    // Kernel 0: contiguous scheduling sends CTA 0 to GPM0.
+    let mut k0 = vec![touch.build()];
+    k0.extend((1..16).map(|_| Cta::new(vec![])));
+
+    // Kernel 1: 16 GPMs x 8 CTAs; the 32 CTAs of GPU0 stay idle.
+    let mut k1: Vec<Cta> = Vec::new();
+    let mut slice = 0u64;
+    for gpm in 0..16u64 {
+        for _ in 0..ctas_per_gpm {
+            if gpm < 4 {
+                k1.push(Cta::new(vec![]));
+            } else {
+                let mut b = CtaBuilder::new();
+                b.stream_loads(region.tile(slice, consumers), 0, lines_per_cta, 0);
+                slice += 1;
+                k1.push(b.build());
+            }
+        }
+    }
+    let n = lines_per_cta;
+    let trace = WorkloadTrace::new(
+        format!("inter-gpu-bound-{n}"),
+        vec![Kernel::new(k0), Kernel::new(k1)],
+    );
+    Micro {
+        name: format!("inter-gpu-bound-{n}"),
+        trace,
+        predict: Box::new(move |m| {
+            // GPU0 must serve all responses through one egress port.
+            let resp_bytes = 96.0 * n as f64 * m.resp_bytes;
+            let egress_time = resp_bytes / m.inter_gpu_bytes_per_cycle;
+            // Touch kernel: one load per page, latency-bound per GPM0 SM.
+            let touch_time = (96.0 * n as f64 * m.line_bytes / (2.0 * 1024.0 * 1024.0) + 1.0)
+                * (m.dram_latency + m.l2_latency);
+            2.0 * m.kernel_launch + touch_time + egress_time + m.dram_latency
+        }),
+    }
+}
+
+/// The full correlation suite: several size points per bound type, so
+/// the Fig. 7 scatter spans multiple orders of magnitude.
+pub fn correlation_suite() -> Vec<Micro> {
+    let mut v = Vec::new();
+    for n in [2_000, 20_000, 200_000] {
+        v.push(issue_bound(n));
+    }
+    for (n, d) in [(1_000, 50), (10_000, 50), (10_000, 500)] {
+        v.push(compute_bound(n, d));
+    }
+    for (n, sms) in [(2_000, 8), (10_000, 8), (40_000, 8)] {
+        v.push(dram_bound(n, sms));
+    }
+    for n in [250, 1_000, 4_000] {
+        v.push(inter_gpu_bound(n));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MachineParams {
+        MachineParams {
+            issue_cycles: 2.0,
+            l1_latency: 30.0,
+            l2_latency: 120.0,
+            dram_latency: 350.0,
+            dram_bytes_per_cycle: 192.0,
+            inter_gpu_bytes_per_cycle: 154.0,
+            line_bytes: 128.0,
+            resp_bytes: 144.0,
+            kernel_launch: 3000.0,
+            num_gpms: 16.0,
+            num_gpus: 4.0,
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_bound_types_and_sizes() {
+        let suite = correlation_suite();
+        assert_eq!(suite.len(), 12);
+        for m in &suite {
+            assert!(m.trace.num_kernels() >= 1, "{}", m.name);
+            let p = (m.predict)(&params());
+            assert!(p > 0.0, "{} predicts {p}", m.name);
+        }
+    }
+
+    #[test]
+    fn predictions_grow_with_size() {
+        let p = params();
+        let a = (issue_bound(1_000).predict)(&p);
+        let b = (issue_bound(1_000_000).predict)(&p);
+        // The warm-up constant is ~203k cycles; a million issues dominate it.
+        assert!(b > a * 5.0, "a={a} b={b}");
+        let c = (dram_bound(1_000, 8).predict)(&p);
+        let d = (dram_bound(40_000, 8).predict)(&p);
+        assert!(d > c * 5.0);
+    }
+
+    #[test]
+    fn inter_gpu_bound_is_egress_limited() {
+        let p = params();
+        let n = 20_000u64;
+        let m = (inter_gpu_bound(n).predict)(&p);
+        let egress = 12.0 * n as f64 * p.resp_bytes / p.inter_gpu_bytes_per_cycle;
+        assert!(m >= egress, "prediction must include egress serialization");
+    }
+
+    #[test]
+    fn traces_are_structurally_sane() {
+        for m in correlation_suite() {
+            for k in &m.trace.kernels {
+                for c in &k.ctas {
+                    for op in &c.ops {
+                        if let hmg_protocol::TraceOp::Access(a) = op {
+                            assert_eq!(a.addr.0 % LINE, 0, "{}: unaligned", m.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests on the workload generators: structural
+//! well-formedness of every generated trace.
+
+use proptest::prelude::*;
+
+use hmg_protocol::TraceOp;
+use hmg_workloads::suite::table3;
+use hmg_workloads::Scale;
+
+/// Every access in a trace is line-aligned and within the allocated
+/// address space; every WaitFlag has a satisfying number of SetFlags.
+fn check_well_formed(trace: &hmg_protocol::WorkloadTrace) -> Result<(), String> {
+    let mut set_counts: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let mut waits: Vec<(u32, u32)> = Vec::new();
+    for k in &trace.kernels {
+        for c in &k.ctas {
+            for op in &c.ops {
+                match *op {
+                    TraceOp::Access(a) if !a.addr.0.is_multiple_of(128) => {
+                        return Err(format!("unaligned access {:?}", a.addr));
+                    }
+                    TraceOp::Access(_) => {}
+                    TraceOp::SetFlag(f) => *set_counts.entry(f).or_insert(0) += 1,
+                    TraceOp::WaitFlag { flag, count } => waits.push((flag, count)),
+                    _ => {}
+                }
+            }
+        }
+    }
+    for (flag, count) in waits {
+        let sets = set_counts.get(&flag).copied().unwrap_or(0);
+        if sets < count {
+            return Err(format!(
+                "flag {flag} waited to {count} but only set {sets} times (deadlock)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every Table III workload generates a structurally sound trace at
+    /// Tiny scale, for arbitrary seeds.
+    #[test]
+    fn all_workloads_well_formed_at_tiny(seed in any::<u64>()) {
+        for spec in table3() {
+            let t = spec.generate(Scale::Tiny, seed);
+            prop_assert!(t.num_accesses() > 0, "{} empty", spec.abbrev);
+            if let Err(e) = check_well_formed(&t) {
+                return Err(TestCaseError::fail(format!("{}: {e}", spec.abbrev)));
+            }
+        }
+    }
+
+    /// Generation is a pure function of (spec, scale, seed).
+    #[test]
+    fn generation_is_pure(seed in any::<u64>(), idx in 0usize..20) {
+        let spec = table3()[idx];
+        let a = spec.generate(Scale::Tiny, seed);
+        let b = spec.generate(Scale::Tiny, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Footprint scaling is monotone and capacity factors are >= 1.
+    #[test]
+    fn footprint_scaling_monotone(mb in 1.0f64..8000.0) {
+        let tiny = Scale::Tiny.footprint(mb);
+        let small = Scale::Small.footprint(mb);
+        let full = Scale::Full.footprint(mb);
+        prop_assert!(tiny <= small, "{mb}");
+        prop_assert!(small <= full, "{mb}");
+        for s in [Scale::Tiny, Scale::Small, Scale::Full] {
+            prop_assert!(s.capacity_factor(mb) >= 1.0);
+        }
+        // Factor * scaled footprint reproduces the paper footprint (to
+        // rounding) wherever clamping did not saturate.
+        let f = Scale::Small.capacity_factor(mb);
+        let recon = f * small as f64;
+        prop_assert!((recon / (mb * 1024.0 * 1024.0) - 1.0).abs() < 0.01);
+    }
+}
+
+#[test]
+fn small_scale_traces_are_well_formed_for_default_seed() {
+    for spec in table3() {
+        let t = spec.generate(Scale::Small, 2020);
+        check_well_formed(&t).unwrap_or_else(|e| panic!("{}: {e}", spec.abbrev));
+    }
+}

@@ -1,0 +1,216 @@
+//! Randomized functional coherence checker.
+//!
+//! Generates randomized multi-round producer/consumer schedules over one
+//! probed line: in round `r` a (randomly placed) producer CTA stores the
+//! line, releases, and bumps a flag; every consumer waits for the flag,
+//! acquires, and reads. Producers are serialized round-to-round by an
+//! acknowledgment flag, so round `r`'s store is exactly version `r + 1`
+//! — and scope-correct visibility demands every consumer's `r`-th read
+//! observe at least version `r + 1`.
+//!
+//! Because per-SM reads are serialized by the flag waits, a consumer
+//! SM's probe observations appear in round order, which lets us map each
+//! observation to its round without extra plumbing.
+
+use hmg::prelude::*;
+use hmg_mem::Addr;
+use hmg_protocol::{Access, Cta, Kernel, TraceOp, WorkloadTrace};
+use hmg_sim::Rng;
+
+const COHERENT: [ProtocolKind; 6] = [
+    ProtocolKind::NoPeerCaching,
+    ProtocolKind::SwNonHier,
+    ProtocolKind::SwHier,
+    ProtocolKind::Nhcc,
+    ProtocolKind::Hmg,
+    ProtocolKind::CarveLike,
+];
+
+/// Builds a randomized `rounds`-round schedule over 4 CTAs (one per GPM
+/// of the small_test machine). Returns the trace; CTA index = GPM index.
+fn random_schedule(rounds: u32, seed: u64) -> WorkloadTrace {
+    let mut rng = Rng::new(seed);
+    let line_addr = 0u64;
+    let n_ctas = 4u32;
+    let mut ops: Vec<Vec<TraceOp>> = vec![Vec::new(); n_ctas as usize];
+
+    // Home the line deterministically at GPM0 first.
+    ops[0].push(TraceOp::Access(Access::load(Addr(line_addr))));
+    // Flag 2r = "round r produced"; flag 2r+1 = "round r consumed".
+    for r in 0..rounds {
+        let producer = rng.gen_range(0, n_ctas as u64) as usize;
+        // Whether consumers warm a stale copy before synchronizing.
+        let warm = rng.gen_bool(0.5);
+        for (i, cta) in ops.iter_mut().enumerate() {
+            if i == producer {
+                if r > 0 {
+                    // Wait until every consumer acknowledged round r-1.
+                    cta.push(TraceOp::WaitFlag {
+                        flag: 2 * r - 1,
+                        count: n_ctas - 1,
+                    });
+                    cta.push(TraceOp::Acquire(Scope::Sys));
+                }
+                cta.push(TraceOp::Access(Access::store(Addr(line_addr))));
+                cta.push(TraceOp::Release(Scope::Sys));
+                cta.push(TraceOp::SetFlag(2 * r));
+                // The producer acknowledges its own round too? No — the
+                // consumer count excludes the producer, and each round's
+                // producer varies, so every CTA acknowledges when it is
+                // a consumer.
+            } else {
+                if warm {
+                    cta.push(TraceOp::Access(Access::load(Addr(line_addr))));
+                }
+                cta.push(TraceOp::WaitFlag {
+                    flag: 2 * r,
+                    count: 1,
+                });
+                cta.push(TraceOp::Acquire(Scope::Sys));
+                cta.push(TraceOp::Access(Access::load(Addr(line_addr))));
+                cta.push(TraceOp::Release(Scope::Sys));
+                cta.push(TraceOp::SetFlag(2 * r + 1));
+            }
+        }
+    }
+    WorkloadTrace::new(
+        format!("checker-{seed}"),
+        vec![Kernel::new(ops.into_iter().map(Cta::new).collect())],
+    )
+}
+
+/// Runs one schedule under one protocol and checks every observation.
+fn check(p: ProtocolKind, rounds: u32, seed: u64) {
+    let trace = random_schedule(rounds, seed);
+    let mut cfg = EngineConfig::small_test(p);
+    cfg.probe_line = Some(0);
+    let m = Engine::new(cfg).run(&trace);
+
+    // Group observations per SM in completion order; each SM's
+    // synchronized reads are its per-round observations, in order.
+    // (Unsynchronized "warm" reads may interleave; they are filtered by
+    // only checking the *minimum* requirement below: synchronized reads
+    // are exactly the ones following each flag wait, so per SM the k-th
+    // *distinct round participation* must observe >= its round's
+    // version. We conservatively check monotonicity plus the final
+    // value.)
+    let mut per_sm: std::collections::HashMap<u32, Vec<u64>> = std::collections::HashMap::new();
+    for &(sm, v) in &m.probe {
+        per_sm.entry(sm).or_default().push(v);
+    }
+    // Total stores = rounds, so the final synchronized read of every
+    // consumer SM must be the final version of a round it consumed; at
+    // minimum, the last observation of each SM that participated in the
+    // last round must be >= rounds (the last round's version).
+    for (sm, obs) in &per_sm {
+        // Versions never exceed the number of stores.
+        for &v in obs {
+            assert!(
+                v <= rounds as u64,
+                "{p}: SM{sm} observed impossible version {v}"
+            );
+        }
+    }
+    // Every consumer of the final round must see version == rounds.
+    // Consumers of round r-1 are all CTAs except the producer; their
+    // last probe entry is the synchronized read of the final round they
+    // consumed, which is the last round for all non-final-producer CTAs.
+    let max_seen = m
+        .probe
+        .iter()
+        .map(|&(_, v)| v)
+        .max()
+        .expect("some observation");
+    assert_eq!(
+        max_seen, rounds as u64,
+        "{p}: final version must be observed by some consumer"
+    );
+    // Per-SM observations must never regress below a version that SM
+    // has already synchronized with (reads are ordered by flag waits).
+    for (sm, obs) in &per_sm {
+        let mut hi = 0u64;
+        for &v in obs {
+            assert!(
+                v >= hi.max(1) - 1,
+                "{p}: SM{sm} regressed from {hi} to {v} across synchronization"
+            );
+            hi = hi.max(v);
+        }
+    }
+}
+
+#[test]
+fn randomized_rounds_under_all_coherent_protocols() {
+    for seed in [1, 7, 42] {
+        for p in COHERENT {
+            check(p, 6, seed);
+        }
+    }
+}
+
+#[test]
+fn longer_schedule_under_hw_protocols() {
+    for p in [ProtocolKind::Nhcc, ProtocolKind::Hmg] {
+        check(p, 20, 1234);
+    }
+}
+
+/// The strict per-round visibility check: with a fixed (non-random)
+/// producer, every consumer's k-th synchronized read is round k's value.
+#[test]
+fn strict_round_visibility_fixed_producer() {
+    let rounds = 8u32;
+    let line = 0u64;
+    let mut ops: Vec<Vec<TraceOp>> = vec![Vec::new(); 4];
+    ops[0].push(TraceOp::Access(Access::load(Addr(line))));
+    for r in 0..rounds {
+        // CTA0 always produces.
+        if r > 0 {
+            ops[0].push(TraceOp::WaitFlag {
+                flag: 2 * r - 1,
+                count: 3,
+            });
+        }
+        ops[0].push(TraceOp::Access(Access::store(Addr(line))));
+        ops[0].push(TraceOp::Release(Scope::Sys));
+        ops[0].push(TraceOp::SetFlag(2 * r));
+        for cta in ops.iter_mut().skip(1) {
+            cta.push(TraceOp::WaitFlag {
+                flag: 2 * r,
+                count: 1,
+            });
+            cta.push(TraceOp::Acquire(Scope::Sys));
+            cta.push(TraceOp::Access(Access::load(Addr(line))));
+            cta.push(TraceOp::SetFlag(2 * r + 1));
+        }
+    }
+    let trace = WorkloadTrace::new(
+        "strict",
+        vec![Kernel::new(ops.into_iter().map(Cta::new).collect())],
+    );
+    for p in COHERENT {
+        let mut cfg = EngineConfig::small_test(p);
+        cfg.probe_line = Some(0);
+        let m = Engine::new(cfg).run(&trace);
+        let mut per_sm: std::collections::HashMap<u32, Vec<u64>> =
+            std::collections::HashMap::new();
+        for &(sm, v) in &m.probe {
+            per_sm.entry(sm).or_default().push(v);
+        }
+        let consumers = per_sm.iter().filter(|(_, obs)| obs.len() > 1).count();
+        assert!(consumers >= 3, "{p}: expected 3 consumer SMs");
+        for (sm, obs) in per_sm {
+            if obs.len() < rounds as usize {
+                continue; // the homing load on CTA0
+            }
+            for (k, &v) in obs.iter().enumerate() {
+                // The k-th synchronized read must see round k's store
+                // (version k+1) or anything later.
+                assert!(
+                    v > k as u64,
+                    "{p}: SM{sm} round {k} observed stale version {v}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Asserts that the default simulated machine is exactly the Table II
+//! configuration, and that the §VII-C hardware-cost arithmetic matches
+//! the paper.
+
+use hmg::prelude::*;
+
+#[test]
+fn table_ii_configuration() {
+    let c = EngineConfig::paper_default(ProtocolKind::Hmg);
+
+    // Structure.
+    assert_eq!(c.topo.num_gpus(), 4, "Number of GPUs");
+    assert_eq!(c.topo.gpms_per_gpu(), 4, "Number of GPMs per GPU");
+    assert_eq!(c.total_sms(), 512, "128 SMs per GPU, 512 in total");
+
+    // Frequency and pages.
+    assert!((c.fabric.freq_ghz - 1.3).abs() < 1e-12, "GPU frequency");
+    assert_eq!(c.geometry.page_bytes(), 2 * 1024 * 1024, "OS page size");
+
+    // L1: 128 KB per SM, 128 B lines.
+    assert_eq!(c.geometry.line_bytes(), 128);
+    assert_eq!(c.l1.lines as u64 * 128, 128 * 1024);
+
+    // L2: 12 MB per GPU, 128 B lines, 16 ways.
+    assert_eq!(
+        c.l2.lines as u64 * 128 * c.topo.gpms_per_gpu() as u64,
+        12 * 1024 * 1024
+    );
+    assert_eq!(c.l2.ways, 16);
+
+    // Directory: 12K entries per GPM, each entry covers 4 cache lines.
+    assert_eq!(c.dir.entries, 12 * 1024);
+    assert_eq!(c.geometry.lines_per_block(), 4);
+
+    // Bandwidths.
+    assert!((c.fabric.intra_gpu_gbps - 2000.0).abs() < 1e-9, "2 TB/s");
+    assert!((c.fabric.inter_gpu_gbps - 200.0).abs() < 1e-9, "200 GB/s");
+    // 1 TB/s DRAM per GPU => 250 GB/s per GPM at 1.3 GHz.
+    assert!((c.dram_bytes_per_cycle * 1.3 - 250.0).abs() < 1e-6);
+}
+
+#[test]
+fn directory_coverage_matches_section_vi() {
+    // §VI: 12K entries x 4 lines x 128 B = 6 MB of shareable data per GPM.
+    let c = EngineConfig::paper_default(ProtocolKind::Hmg);
+    let coverage = c.dir.entries as u64
+        * c.geometry.lines_per_block() as u64
+        * c.geometry.line_bytes() as u64;
+    assert_eq!(coverage, 6 * 1024 * 1024);
+}
+
+#[test]
+fn storage_cost_matches_section_vii_c() {
+    let (bits, bytes, frac) = hmg::experiments::storage_cost();
+    assert_eq!(bits, 55, "48 tag + 1 state + 6 sharers");
+    assert_eq!(bytes, 84_480, "~84 KB per GPM");
+    assert!((frac - 0.027).abs() < 0.002, "2.7% of the L2 slice, got {frac}");
+}
+
+#[test]
+fn max_sharers_is_m_plus_n_minus_two() {
+    // §V-A: an M-GPM, N-GPU system tracks at most M + N - 2 sharers.
+    let c = EngineConfig::paper_default(ProtocolKind::Hmg);
+    assert_eq!(c.topo.max_hierarchical_sharers(), 6);
+    let big = hmg::interconnect::Topology::new(8, 6);
+    assert_eq!(big.max_hierarchical_sharers(), 12);
+}

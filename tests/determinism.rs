@@ -1,0 +1,69 @@
+//! Whole-stack determinism: identical seeds must reproduce identical
+//! simulations bit-for-bit, across every protocol — the property that
+//! makes every figure in EXPERIMENTS.md reproducible.
+
+use hmg::prelude::*;
+use hmg::workloads::suite::by_abbrev;
+
+fn fingerprint(m: &RunMetrics) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        m.total_cycles.as_u64(),
+        m.events,
+        m.loads,
+        m.stores,
+        m.invs_from_stores + m.invs_from_evictions,
+        m.fabric.inter_bytes(hmg::interconnect::MsgClass::Data),
+    )
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let spec = by_abbrev("bfs").expect("bfs in suite");
+    for p in ProtocolKind::ALL {
+        let t1 = spec.generate(Scale::Tiny, 99);
+        let t2 = spec.generate(Scale::Tiny, 99);
+        assert_eq!(t1, t2, "trace generation must be deterministic");
+        let mut r = Runner::new(Scale::Tiny);
+        let a = r.run(&t1, p);
+        let b = r.run(&t2, p);
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{p}");
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    let spec = by_abbrev("bfs").expect("bfs in suite");
+    let t1 = spec.generate(Scale::Tiny, 1);
+    let t2 = spec.generate(Scale::Tiny, 2);
+    assert_ne!(t1, t2, "different seeds must change the trace");
+}
+
+#[test]
+fn every_workload_is_deterministic_under_hmg() {
+    let mut r = Runner::new(Scale::Tiny);
+    for spec in hmg::workloads::suite::table3() {
+        let trace = spec.generate(Scale::Tiny, 5);
+        let a = r.run(&trace, ProtocolKind::Hmg);
+        let b = r.run(&trace, ProtocolKind::Hmg);
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{} must be deterministic",
+            spec.abbrev
+        );
+    }
+}
+
+#[test]
+fn experiment_drivers_are_deterministic() {
+    use hmg::experiments::{fig8, ExpOptions};
+    let opts = ExpOptions {
+        scale: Scale::Tiny,
+        seed: 3,
+        filter: Some(vec!["CoMD".into(), "bfs".into()]),
+    };
+    let a = fig8(&opts);
+    let b = fig8(&opts);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.geomeans, b.geomeans);
+}

@@ -1,0 +1,329 @@
+//! Litmus tests: the classic memory-model communication patterns, run
+//! through the full timing model under every coherent configuration.
+//!
+//! The engine tracks a monotone version per line; a probe on the
+//! communicated line records the version every load observes. These
+//! tests assert the visibility the scoped model guarantees: after a
+//! release→flag→wait→acquire chain at sufficient scope, the consumer
+//! must observe the producer's write.
+
+use hmg::prelude::*;
+use hmg_mem::Addr;
+use hmg_protocol::{Access, AccessKind, Cta, Kernel, TraceOp, WorkloadTrace};
+
+/// The coherent configurations (idealized caching intentionally skips
+/// invalidation, so it makes no visibility promises).
+const COHERENT: [ProtocolKind; 6] = [
+    ProtocolKind::NoPeerCaching,
+    ProtocolKind::SwNonHier,
+    ProtocolKind::SwHier,
+    ProtocolKind::Nhcc,
+    ProtocolKind::Hmg,
+    ProtocolKind::CarveLike,
+];
+
+fn ld(addr: u64) -> TraceOp {
+    TraceOp::Access(Access::load(Addr(addr)))
+}
+
+fn st(addr: u64) -> TraceOp {
+    TraceOp::Access(Access::store(Addr(addr)))
+}
+
+/// One CTA per GPM of the `small_test` 2-GPU x 2-GPM machine.
+fn kernel_per_gpm(mut ops: Vec<Vec<TraceOp>>) -> Kernel {
+    ops.resize(4, Vec::new());
+    Kernel::new(ops.into_iter().map(Cta::new).collect())
+}
+
+fn run_probed(p: ProtocolKind, trace: &WorkloadTrace, line: u64) -> RunMetrics {
+    let mut cfg = EngineConfig::small_test(p);
+    cfg.probe_line = Some(line);
+    Engine::new(cfg).run(trace)
+}
+
+/// MP (message passing) across GPUs with `.sys` scope: the canonical
+/// pattern of Section III-B.
+#[test]
+fn mp_inter_gpu_sys_scope() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(1)];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 1, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-sys",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]), // home the line at GPM0
+            // Consumer on GPM2 = the other GPU.
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(
+            m.probe.last().expect("consumer read").1,
+            1,
+            "{p}: consumer must observe the store"
+        );
+    }
+}
+
+/// MP within one GPU using only `.gpu` scope — the cheap synchronization
+/// HMG is designed to make fast (Section V-B).
+#[test]
+fn mp_intra_gpu_gpu_scope() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Gpu), TraceOp::SetFlag(2)];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 2, count: 1 },
+        TraceOp::Acquire(Scope::Gpu),
+        TraceOp::Access(Access::new(Addr(0), AccessKind::Load, Scope::Gpu)),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-gpu",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]),
+            // Producer GPM0 and consumer GPM1 share GPU0.
+            kernel_per_gpm(vec![producer, consumer, vec![], vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(m.probe.last().unwrap().1, 1, "{p}");
+    }
+}
+
+/// MP where the communicated line is *stale in the consumer's caches*
+/// before synchronization — the case that actually exercises
+/// invalidations (HW) and bulk acquire invalidation (SW).
+#[test]
+fn mp_with_stale_copy_in_consumer_cache() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(3)];
+    let consumer = vec![
+        ld(0), // warm a copy of version 1
+        TraceOp::WaitFlag { flag: 3, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-stale",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]), // version 2
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        let last = m.probe.last().unwrap();
+        assert_eq!(last.1, 2, "{p}: stale copy must not satisfy the read");
+    }
+}
+
+/// Transitive communication: A writes, syncs with B; B reads then
+/// writes a second line and syncs with C; C must see B's write.
+#[test]
+fn transitive_three_agent_chain() {
+    let line_a = 0u64;
+    let line_b = 4 * 1024 * 1024; // a different page
+    let a = vec![
+        st(line_a),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(10),
+    ];
+    let b = vec![
+        TraceOp::WaitFlag { flag: 10, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(line_a),
+        st(line_b),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(11),
+    ];
+    let c = vec![
+        TraceOp::WaitFlag { flag: 11, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(line_b),
+    ];
+    let trace = WorkloadTrace::new(
+        "transitive",
+        vec![
+            kernel_per_gpm(vec![vec![ld(line_a)], vec![ld(line_b)]]),
+            kernel_per_gpm(vec![a, b, c, vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, line_b / 128);
+        assert_eq!(m.probe.last().unwrap().1, 1, "{p}: C must see B's write");
+    }
+}
+
+/// Kernel boundaries are implicit `.sys` synchronization: a dependent
+/// kernel must see everything the previous kernel wrote, with no
+/// explicit fences in the trace.
+#[test]
+fn kernel_boundary_is_release_acquire() {
+    let trace = WorkloadTrace::new(
+        "kernel-sync",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]),
+            kernel_per_gpm(vec![vec![], vec![], vec![], vec![ld(0)]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(m.probe.last().unwrap().1, 1, "{p}");
+    }
+}
+
+/// Atomics performed at the scope home are visible to subsequent
+/// synchronized readers.
+#[test]
+fn atomic_then_synchronized_read() {
+    let producer = vec![
+        TraceOp::Access(Access::atomic(Addr(0), Scope::Sys)),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(5),
+    ];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 5, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "atomic-mp",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]),
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(m.probe.last().unwrap().1, 1, "{p}");
+    }
+}
+
+/// Two producers chained by flags: the consumer waits for both and must
+/// see the later version.
+#[test]
+fn two_producers_counting_flag() {
+    let p0 = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(8)];
+    let p1 = vec![
+        TraceOp::WaitFlag { flag: 8, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        st(0),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(8),
+    ];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 8, count: 2 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "two-producers",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]),
+            kernel_per_gpm(vec![p0, p1, consumer, vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(m.probe.last().unwrap().1, 2, "{p}: both stores ordered");
+    }
+}
+
+/// Per-location read coherence (CoRR): once a synchronized reader has
+/// observed version v of a line, its subsequent reads of the same line
+/// never observe anything older — even plain, unsynchronized ones.
+#[test]
+fn corr_no_regression_after_synchronization() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(20)];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 20, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+        TraceOp::Delay(2000),
+        ld(0), // plain re-read
+        TraceOp::Delay(2000),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "corr",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]),
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        // The consumer SM's observations must be monotone.
+        let consumer_sm: Vec<u64> = m
+            .probe
+            .iter()
+            .filter(|&&(sm, _)| sm >= 4) // SMs of GPM2 on the small machine
+            .map(|&(_, v)| v)
+            .collect();
+        let mut hi = 0;
+        for v in consumer_sm {
+            assert!(v >= hi, "{p}: read regressed from {hi} to {v}");
+            hi = hi.max(v);
+        }
+    }
+}
+
+/// Write-after-write to one line from one agent: a synchronized reader
+/// sees the *last* write (CoWW through the release).
+#[test]
+fn coww_last_write_wins_through_release() {
+    let producer = vec![
+        st(0),
+        st(0),
+        st(0),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(21),
+    ];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 21, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "coww",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]),
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(m.probe.last().unwrap().1, 3, "{p}: must see the last write");
+    }
+}
+
+/// Without synchronization the idealized protocol may legally return
+/// stale data — the checker distinguishes coherent configurations from
+/// the upper bound.
+#[test]
+fn ideal_runs_but_promises_nothing() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(9)];
+    let consumer = vec![
+        ld(0),
+        TraceOp::WaitFlag { flag: 9, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "stale-ideal",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]),
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]),
+        ],
+    );
+    // Ideal completes (no deadlock); no visibility assertion is made.
+    let m = run_probed(ProtocolKind::Ideal, &trace, 0);
+    assert!(!m.probe.is_empty());
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(m.probe.last().unwrap().1, 2, "{p}");
+    }
+}

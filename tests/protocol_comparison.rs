@@ -1,0 +1,132 @@
+//! End-to-end performance-relation sanity across the suite at test
+//! scale: the qualitative orderings the paper's figures rest on.
+
+use hmg::experiments::{fig2, fig8, ExpOptions};
+use hmg::prelude::*;
+
+fn opts(workloads: &[&str]) -> ExpOptions {
+    ExpOptions {
+        scale: Scale::Tiny,
+        seed: 17,
+        filter: Some(workloads.iter().map(|s| s.to_string()).collect()),
+    }
+}
+
+#[test]
+fn fig8_structure_and_orderings() {
+    let r = fig8(&opts(&["RNN_FW", "bfs", "CoMD", "lstm"]));
+    assert_eq!(r.workloads.len(), 4);
+    assert_eq!(r.protocols.len(), 5);
+    // All speedups within sane bounds.
+    for (w, row) in r.workloads.iter().zip(&r.rows) {
+        for (&p, &v) in r.protocols.iter().zip(row) {
+            assert!(v > 0.2 && v < 50.0, "{w}/{p}: speedup {v}");
+        }
+    }
+    // The caching upper bound leads the geomean (small tolerance for
+    // tiny-scale noise).
+    let ideal = r.geomean_of(ProtocolKind::Ideal);
+    for &p in &r.protocols {
+        assert!(
+            ideal >= r.geomean_of(p) * 0.9,
+            "{p} geomean exceeds ideal's meaningfully"
+        );
+    }
+}
+
+#[test]
+fn hmg_coalesces_broadcasts_that_flat_tracking_cannot() {
+    // The paper's core claim, isolated: both GPMs of GPU1 read the same
+    // GPU0-homed region. Flat NHCC crosses the inter-GPU link once per
+    // GPM; HMG's GPU home serves the second GPM inside GPU1, so HMG must
+    // move strictly fewer data bytes between GPUs.
+    use hmg_mem::Addr;
+    use hmg_protocol::{Access, Cta, Kernel, TraceOp, WorkloadTrace};
+
+    let lines = 64u64;
+    let homing: Vec<TraceOp> = (0..lines)
+        .map(|i| TraceOp::Access(Access::load(Addr(i * 128))))
+        .collect();
+    // Spread each reader's accesses with delays so fills land between
+    // reads rather than all merging in flight.
+    let reader = |offset: u64| -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        for round in 0..3u64 {
+            for i in 0..lines {
+                let line = (i + offset + round * 7) % lines;
+                ops.push(TraceOp::Access(Access::load(Addr(line * 128))));
+                ops.push(TraceOp::Delay(20));
+            }
+        }
+        ops
+    };
+    let trace = WorkloadTrace::new(
+        "broadcast-iso",
+        vec![
+            Kernel::new(vec![
+                Cta::new(homing),
+                Cta::new(vec![]),
+                Cta::new(vec![]),
+                Cta::new(vec![]),
+            ]),
+            Kernel::new(vec![
+                Cta::new(vec![]),
+                Cta::new(vec![]),
+                Cta::new(reader(0)),
+                Cta::new(reader(13)),
+            ]),
+        ],
+    );
+    let data = |p: ProtocolKind| {
+        let m = Engine::new(EngineConfig::small_test(p)).run(&trace);
+        m.fabric.inter_bytes(hmg::interconnect::MsgClass::Data)
+    };
+    let nhcc = data(ProtocolKind::Nhcc);
+    let hmg = data(ProtocolKind::Hmg);
+    assert!(
+        hmg < nhcc,
+        "GPU-home coalescing must cut inter-GPU data: hmg={hmg} nhcc={nhcc}"
+    );
+}
+
+#[test]
+fn hw_coherence_beats_sw_on_fine_grained_sharing() {
+    let r = fig8(&opts(&["bfs"]));
+    let hmg = r.geomean_of(ProtocolKind::Hmg);
+    let sw = r.geomean_of(ProtocolKind::SwNonHier);
+    assert!(
+        hmg > sw,
+        "cross-kernel reuse must reward hardware coherence: hmg={hmg} sw={sw}"
+    );
+}
+
+#[test]
+fn fig2_is_the_motivating_subset() {
+    let r = fig2(&opts(&["bfs", "CoMD"]));
+    assert_eq!(
+        r.protocols,
+        vec![
+            ProtocolKind::SwNonHier,
+            ProtocolKind::Nhcc,
+            ProtocolKind::Ideal
+        ]
+    );
+    assert_eq!(r.rows.len(), 2);
+}
+
+#[test]
+fn whole_suite_runs_at_tiny_scale() {
+    // Smoke: every Table III workload executes under every protocol.
+    let mut runner = Runner::new(Scale::Tiny);
+    for spec in hmg::workloads::suite::table3() {
+        let trace = spec.generate(Scale::Tiny, 4);
+        for p in ProtocolKind::ALL {
+            let m = runner.run(&trace, p);
+            assert!(
+                m.total_cycles.as_u64() > 0,
+                "{}/{p} produced an empty run",
+                spec.abbrev
+            );
+        }
+    }
+}

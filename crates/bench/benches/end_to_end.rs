@@ -1,40 +1,49 @@
-//! Criterion end-to-end benchmarks: whole simulations of a small
-//! workload under each coherence configuration. Tracks simulator
-//! throughput regressions across the protocol implementations.
+//! End-to-end benchmarks: whole simulations of a small workload under
+//! each coherence configuration. Tracks simulator throughput
+//! regressions across the protocol implementations.
+//!
+//! Plain `std::time` harness (`harness = false`): the workspace builds
+//! offline, so there is no external benchmark framework. Run with
+//! `cargo bench --bench end_to_end`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use hmg::prelude::*;
 use hmg::workloads::suite::by_abbrev;
 
-fn bench_protocols(c: &mut Criterion) {
+/// Times `f` over `samples` iterations and prints mean per iteration.
+fn bench<R>(name: &str, samples: u64, mut f: impl FnMut() -> R) {
+    black_box(f()); // warmup
+    let start = Instant::now();
+    for _ in 0..samples {
+        black_box(f());
+    }
+    let per_iter = start.elapsed().as_secs_f64() / samples as f64;
+    println!("{name:<40} {:>12.3} ms/iter  ({samples} iters)", per_iter * 1e3);
+}
+
+fn bench_protocols() {
     let spec = by_abbrev("bfs").expect("bfs");
     let trace = spec.generate(Scale::Tiny, 2020);
-    let mut group = c.benchmark_group("simulate-bfs-tiny");
-    group.sample_size(20);
     for p in ProtocolKind::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(p.name()), &p, |b, &p| {
-            b.iter(|| {
-                let m = Engine::new(EngineConfig::small_test(p)).run(black_box(&trace));
-                black_box(m.total_cycles)
-            })
+        bench(&format!("simulate-bfs-tiny/{}", p.name()), 20, || {
+            let m = Engine::new(EngineConfig::small_test(p)).run(black_box(&trace));
+            m.total_cycles
         });
     }
-    group.finish();
 }
 
-fn bench_trace_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate-trace-tiny");
-    group.sample_size(20);
+fn bench_trace_generation() {
     for name in ["bfs", "lstm", "CoMD", "cuSolver"] {
         let spec = by_abbrev(name).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
-            b.iter(|| black_box(spec.generate(Scale::Tiny, 7)))
+        bench(&format!("generate-trace-tiny/{name}"), 20, || {
+            spec.generate(Scale::Tiny, 7)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_protocols, bench_trace_generation);
-criterion_main!(benches);
+fn main() {
+    bench_protocols();
+    bench_trace_generation();
+}

@@ -25,6 +25,7 @@ fn main() {
         scale,
         seed: 2020,
         filter: None,
+        ..exp::ExpOptions::default()
     };
     // Sweeps cost 3-4x a full-suite pass each; default to a subset that
     // spans the archetypes (stencil, solver, graph, wavefront, RNN, conv).

@@ -2,6 +2,7 @@
 //! external CLI crates per the dependency policy in DESIGN.md §5).
 
 use hmg::experiments::ExpOptions;
+use hmg::prelude::FaultPlan;
 use hmg::workloads::Scale;
 
 /// Which experiment to run.
@@ -109,12 +110,20 @@ pub struct ParsedArgs {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
   grain cost single-gpu carve scale-study characterize all
-  ablate-fence ablate-placement ablate-writeback ablate-downgrade";
+  ablate-fence ablate-placement ablate-writeback ablate-downgrade
+
+fault injection (DESIGN.md `Robustness & fault injection`):
+  --faults SPEC   comma-separated clauses, e.g.
+                  degrade=FROM..UNTIL/FACTOR  stall=FROM..UNTIL/EXTRA
+                  delay=PROB/EXTRA  dup=PROB  flag-delay=EXTRA
+                  drop-store=N  reorder-inv=NTH/EXTRA  seed=N
+  --keep-going    isolate per-workload failures and print a partial
+                  report with a failure table instead of aborting";
 
 /// Parses the argument list (without the program name).
 ///
@@ -148,6 +157,12 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 let v = it.next().ok_or("--workloads needs a value")?;
                 options.filter = Some(v.split(',').map(str::to_string).collect());
             }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a fault spec")?;
+                options.faults =
+                    Some(FaultPlan::parse(v).map_err(|e| format!("bad --faults spec: {e}"))?);
+            }
+            "--keep-going" => options.keep_going = true,
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -194,6 +209,29 @@ mod tests {
         assert!(parse_args(&s(&["fig8", "--bogus"])).is_err());
         assert!(parse_args(&s(&[])).is_err());
         assert!(parse_args(&s(&["fig8", "--scale", "huge"])).is_err());
+    }
+
+    #[test]
+    fn parses_fault_plan_and_keep_going() {
+        let p = parse_args(&s(&[
+            "fig8",
+            "--faults",
+            "delay=0.5/100,drop-store=3,seed=9",
+            "--keep-going",
+        ]))
+        .unwrap();
+        assert!(p.options.keep_going);
+        let plan = p.options.faults.expect("plan parsed");
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.drop_store, Some(3));
+        assert_eq!(plan.delay.map(|d| d.extra), Some(100));
+    }
+
+    #[test]
+    fn rejects_malformed_fault_spec() {
+        let err = parse_args(&s(&["fig8", "--faults", "delay=2.0/5"])).unwrap_err();
+        assert!(err.contains("bad --faults spec"), "{err}");
+        assert!(parse_args(&s(&["fig8", "--faults"])).is_err());
     }
 
     #[test]

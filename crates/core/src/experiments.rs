@@ -6,7 +6,7 @@
 
 use hmg_gpu::{Engine, EngineConfig, RunMetrics};
 use hmg_protocol::{ProtocolKind, WorkloadTrace};
-use hmg_sim::stats;
+use hmg_sim::{stats, FaultPlan, SimError};
 use hmg_workloads::micro::{correlation_suite, MachineParams, Micro};
 use hmg_workloads::suite::table3;
 use hmg_workloads::{Scale, WorkloadSpec};
@@ -23,6 +23,13 @@ pub struct ExpOptions {
     pub seed: u64,
     /// Restrict to these workload abbreviations (None = whole suite).
     pub filter: Option<Vec<String>>,
+    /// Fault-injection plan applied to every engine run (None = no
+    /// faults).
+    pub faults: Option<FaultPlan>,
+    /// Graceful degradation: isolate per-run failures and report a
+    /// partial result with a failure table instead of aborting the
+    /// whole sweep on the first deadlocked workload.
+    pub keep_going: bool,
 }
 
 impl Default for ExpOptions {
@@ -31,6 +38,8 @@ impl Default for ExpOptions {
             scale: Scale::Small,
             seed: 2020,
             filter: None,
+            faults: None,
+            keep_going: false,
         }
     }
 }
@@ -48,10 +57,14 @@ impl ExpOptions {
     }
 
     fn base_config(&self, protocol: ProtocolKind) -> EngineConfig {
-        match self.scale {
+        let mut cfg = match self.scale {
             Scale::Tiny => EngineConfig::small_test(protocol),
             Scale::Small | Scale::Full => EngineConfig::paper_default(protocol),
+        };
+        if let Some(f) = &self.faults {
+            cfg.faults = f.clone();
         }
+        cfg
     }
 }
 
@@ -59,18 +72,33 @@ impl ExpOptions {
 // Speedup suites (Figs. 2, 8, 12, 13, 14)
 // ---------------------------------------------------------------------
 
+/// One failed run inside a `--keep-going` sweep.
+#[derive(Debug, Clone)]
+pub struct RunFailure {
+    /// Workload abbreviation.
+    pub workload: String,
+    /// Protocol configuration that failed.
+    pub protocol: ProtocolKind,
+    /// The full error, including cycle/agent/address context and the
+    /// machine-state dump.
+    pub error: SimError,
+}
+
 /// Per-workload speedups of several protocols over the no-peer-caching
 /// baseline.
 #[derive(Debug, Clone)]
 pub struct SpeedupResult {
     /// The protocols compared, in column order.
     pub protocols: Vec<ProtocolKind>,
-    /// Workload abbreviations, in figure order.
+    /// Workload abbreviations, in figure order. Workloads with a failed
+    /// run are excluded here and listed in `failures` instead.
     pub workloads: Vec<String>,
     /// `rows[w][p]` = speedup of protocol `p` on workload `w`.
     pub rows: Vec<Vec<f64>>,
-    /// Geomean per protocol.
+    /// Geomean per protocol (over the surviving workloads).
     pub geomeans: Vec<f64>,
+    /// Runs that failed under `--keep-going` (empty otherwise).
+    pub failures: Vec<RunFailure>,
 }
 
 impl SpeedupResult {
@@ -89,6 +117,20 @@ impl SpeedupResult {
         cells.extend(self.geomeans.iter().map(|&v| f2(v)));
         t.row(cells);
         println!("{}", t.render());
+        if !self.failures.is_empty() {
+            println!("-- {} failed run(s); partial result --", self.failures.len());
+            let mut ft = Table::new(vec![
+                "workload".to_string(),
+                "protocol".to_string(),
+                "error".to_string(),
+            ]);
+            for f in &self.failures {
+                let first_line =
+                    f.error.to_string().lines().next().unwrap_or_default().to_string();
+                ft.row(vec![f.workload.clone(), f.protocol.name().to_string(), first_line]);
+            }
+            println!("{}", ft.render());
+        }
     }
 
     /// Renders the figure as an SVG grouped-bar chart.
@@ -139,29 +181,55 @@ pub fn speedup_suite(
             tasks.push((w, p));
         }
     }
-    let cycles: Vec<u64> = parallel_map(&tasks, |&(w, p)| {
+    // Each run is isolated: deadlocks, livelocks and residual panics
+    // come back as typed errors instead of tearing the sweep down.
+    let cycles: Vec<Result<u64, SimError>> = parallel_map(&tasks, |&(w, p)| {
         let mut cfg = opts.base_config(p);
         tweak(&mut cfg);
         crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
-        Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
+        crate::runner::run_isolated(cfg, &traces[w]).map(|m| m.total_cycles.as_u64())
     });
     let per_run = protocols.len() + 1;
     let mut rows = Vec::with_capacity(specs.len());
+    let mut workloads = Vec::with_capacity(specs.len());
+    let mut failures = Vec::new();
     for w in 0..specs.len() {
-        let base = cycles[w * per_run] as f64;
+        let chunk = &cycles[w * per_run..(w + 1) * per_run];
+        if chunk.iter().any(|c| c.is_err()) {
+            for (i, c) in chunk.iter().enumerate() {
+                if let Err(e) = c {
+                    let protocol =
+                        if i == 0 { ProtocolKind::NoPeerCaching } else { protocols[i - 1] };
+                    failures.push(RunFailure {
+                        workload: specs[w].abbrev.to_string(),
+                        protocol,
+                        error: e.clone(),
+                    });
+                }
+            }
+            continue;
+        }
+        let base = chunk[0].as_ref().copied().unwrap_or_default() as f64;
         let row: Vec<f64> = (0..protocols.len())
-            .map(|p| base / cycles[w * per_run + 1 + p] as f64)
+            .map(|p| base / chunk[1 + p].as_ref().copied().unwrap_or(1) as f64)
             .collect();
         rows.push(row);
+        workloads.push(specs[w].abbrev.to_string());
+    }
+    if !opts.keep_going {
+        if let Some(f) = failures.first() {
+            panic!("{}", f.error);
+        }
     }
     let geomeans: Vec<f64> = (0..protocols.len())
         .map(|p| stats::geomean(&rows.iter().map(|r| r[p]).collect::<Vec<_>>()))
         .collect();
     SpeedupResult {
         protocols: protocols.to_vec(),
-        workloads: specs.iter().map(|s| s.abbrev.to_string()).collect(),
+        workloads,
         rows,
         geomeans,
+        failures,
     }
 }
 
@@ -1074,6 +1142,7 @@ mod tests {
             scale: Scale::Tiny,
             seed: 1,
             filter: Some(vec!["bfs".into(), "lstm".into(), "CoMD".into()]),
+            ..ExpOptions::default()
         }
     }
 
@@ -1158,6 +1227,7 @@ mod tests {
                 scale: Scale::Tiny,
                 seed,
                 filter: Some(vec!["bfs".into(), "RNN_FW".into()]),
+                ..ExpOptions::default()
             };
             let r = fig8(&opts);
             let hmg = r.geomean_of(ProtocolKind::Hmg);

@@ -51,5 +51,6 @@ pub mod prelude {
     pub use crate::runner::Runner;
     pub use hmg_gpu::{Engine, EngineConfig, RunMetrics};
     pub use hmg_protocol::{ProtocolKind, Scope};
+    pub use hmg_sim::{FaultPlan, SimError, SimErrorKind};
     pub use hmg_workloads::{Scale, WorkloadSpec};
 }

@@ -3,6 +3,7 @@
 
 use hmg_gpu::{Engine, EngineConfig, RunMetrics};
 use hmg_protocol::{ProtocolKind, WorkloadTrace};
+use hmg_sim::SimError;
 use hmg_workloads::Scale;
 
 /// Builds engine configurations matched to an experiment scale and runs
@@ -67,6 +68,40 @@ impl Runner {
         let mut cfg = self.config(protocol);
         tweak(&mut cfg);
         Engine::new(cfg).run(trace)
+    }
+
+    /// Fallible variant of [`Runner::run`]: deadlocks, livelocks and
+    /// protocol violations come back as typed errors instead of
+    /// panics. See [`run_isolated`] for the sweep-grade wrapper that
+    /// also contains panics.
+    pub fn try_run(
+        &mut self,
+        trace: &WorkloadTrace,
+        protocol: ProtocolKind,
+    ) -> Result<RunMetrics, SimError> {
+        run_isolated(self.config(protocol), trace)
+    }
+}
+
+/// Runs one simulation with full failure isolation: typed errors come
+/// back as `Err`, and any residual panic inside the engine (an
+/// invariant `assert!`, an arithmetic underflow from a corrupted
+/// counter) is caught and converted to a [`SimError`] rather than
+/// taking down the whole sweep. Used by `--keep-going` sweeps.
+pub fn run_isolated(cfg: EngineConfig, trace: &WorkloadTrace) -> Result<RunMetrics, SimError> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::try_new(cfg)?.try_run(trace)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("engine panicked (non-string payload)");
+            Err(SimError::protocol(format!("engine panicked: {msg}")))
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 use hmg_interconnect::{FabricConfig, Topology};
 use hmg_mem::{CacheConfig, DirectoryConfig, MemGeometry, PagePlacement};
 use hmg_protocol::{MsgSizes, ProtocolKind};
-use hmg_sim::Cycle;
+use hmg_sim::{Cycle, FaultPlan, SimError};
 
 /// L2 write policy for plain (`.cta`) stores.
 ///
@@ -96,6 +96,14 @@ pub struct EngineConfig {
     /// block departs, saving a later spurious invalidation. The paper's
     /// evaluation leaves this off (Section VI).
     pub sharer_downgrades: bool,
+    /// Fault-injection plan for this run. The default plan injects
+    /// nothing; link faults are forwarded to the fabric, message and
+    /// flag faults are consulted by the engine.
+    pub faults: FaultPlan,
+    /// Livelock watchdog budget: abort with a typed diagnostic if this
+    /// many cycles pass without a single retired access. `None`
+    /// (default) disarms the watchdog.
+    pub livelock_budget: Option<u64>,
 }
 
 impl EngineConfig {
@@ -132,6 +140,8 @@ impl EngineConfig {
             zero_cost_fences: false,
             l2_write_policy: WritePolicy::WriteThrough,
             sharer_downgrades: false,
+            faults: FaultPlan::default(),
+            livelock_budget: None,
         }
     }
 
@@ -165,15 +175,39 @@ impl EngineConfig {
     /// Panics if the directory granularity and message sizes disagree
     /// with the geometry, or dimensions are zero.
     pub fn validate(&self) {
-        assert!(self.sms_per_gpm > 0, "need at least one SM per GPM");
-        assert!(self.max_outstanding_per_sm > 0);
-        assert!(self.issue_cycles > 0);
-        assert!(self.dram_bytes_per_cycle > 0.0);
-        assert_eq!(
-            self.msg.load_resp,
-            self.msg.header + self.geometry.line_bytes(),
-            "response size must carry exactly one line"
-        );
+        self.try_validate().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible variant of [`EngineConfig::validate`]: returns a typed
+    /// [`SimError`] describing the first inconsistency found, including
+    /// fault-plan range checks.
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        if self.sms_per_gpm == 0 {
+            return Err(SimError::config("need at least one SM per GPM"));
+        }
+        if self.max_outstanding_per_sm == 0 {
+            return Err(SimError::config("max_outstanding_per_sm must be positive"));
+        }
+        if self.issue_cycles == 0 {
+            return Err(SimError::config("issue_cycles must be positive"));
+        }
+        // NaN must fail validation, hence the negative comparison.
+        if self.dram_bytes_per_cycle <= 0.0 || self.dram_bytes_per_cycle.is_nan() {
+            return Err(SimError::config(format!(
+                "dram_bytes_per_cycle must be positive, got {}",
+                self.dram_bytes_per_cycle
+            )));
+        }
+        if self.msg.load_resp != self.msg.header + self.geometry.line_bytes() {
+            return Err(SimError::config(format!(
+                "response size must carry exactly one line \
+                 (load_resp={}, header={} + line={})",
+                self.msg.load_resp,
+                self.msg.header,
+                self.geometry.line_bytes()
+            )));
+        }
+        self.faults.validate()
     }
 }
 

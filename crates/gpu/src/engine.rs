@@ -30,7 +30,7 @@ use hmg_mem::{
 };
 use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
 use hmg_protocol::{AccessKind, ProtocolKind, Scope, TraceOp, WorkloadTrace};
-use hmg_sim::{Cycle, EventQueue};
+use hmg_sim::{Cycle, EventQueue, ProgressWatchdog, Rng, SimError};
 
 use crate::config::EngineConfig;
 use crate::metrics::RunMetrics;
@@ -122,6 +122,10 @@ struct StoreMsg {
     version: u64,
     /// Whether the store has passed its GPU-level ordering point.
     gpu_ordered: bool,
+    /// Fault-injected duplicate delivery: re-applies idempotent state
+    /// (version-max commit, cache update) but skips all pending-counter
+    /// bookkeeping, which the original delivery owns.
+    duplicate: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,8 +202,14 @@ impl Engine {
     /// Panics if the configuration is internally inconsistent
     /// (see [`EngineConfig::validate`]).
     pub fn new(cfg: EngineConfig) -> Self {
-        cfg.validate();
-        Engine { cfg }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`Engine::new`]: returns the typed
+    /// [`SimError`] for an inconsistent configuration.
+    pub fn try_new(cfg: EngineConfig) -> Result<Self, SimError> {
+        cfg.try_validate()?;
+        Ok(Engine { cfg })
     }
 
     /// The configuration this engine runs.
@@ -211,8 +221,21 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics on deadlock (a `WaitFlag` whose count is never reached).
+    /// Panics on deadlock (a `WaitFlag` whose count is never reached)
+    /// or livelock; the panic message carries the full [`SimError`]
+    /// diagnostic. Use [`Engine::try_run`] to capture the error
+    /// instead.
     pub fn run(&self, trace: &WorkloadTrace) -> RunMetrics {
+        self.try_run(trace).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Replays `trace` to completion, returning a typed [`SimError`]
+    /// instead of panicking when the run deadlocks, livelocks, or
+    /// violates a protocol invariant. The error carries cycle, agent
+    /// and address context plus a machine-state dump: per-SM
+    /// outstanding ops, pending counters, the directory entry and link
+    /// backlogs for the stuck address.
+    pub fn try_run(&self, trace: &WorkloadTrace) -> Result<RunMetrics, SimError> {
         let mut sim = Sim::new(&self.cfg, trace);
         sim.run()
     }
@@ -250,6 +273,18 @@ struct Sim<'t> {
     kernel_fences_left: u32,
     draining: bool,
     finished: bool,
+    /// Fault-injection RNG stream, seeded from the plan. Event
+    /// processing order is deterministic, so draws are too.
+    rng: Rng,
+    /// Store messages sent over the fabric (drop-store fault index).
+    store_seq: u64,
+    /// Store-caused invalidations sent (reorder-inv fault index).
+    inv_seq: u64,
+    /// Livelock detection (armed by `cfg.livelock_budget`).
+    watchdog: ProgressWatchdog,
+    /// First fatal protocol violation observed inside a handler; the
+    /// main loop aborts with it at the next event boundary.
+    fatal: Option<SimError>,
     m: RunMetrics,
 }
 
@@ -279,11 +314,13 @@ impl<'t> Sim<'t> {
                 state: SmState::Idle,
             })
             .collect();
+        let mut fabric = Fabric::new(topo, cfg.fabric);
+        fabric.apply_faults(&cfg.faults);
         Sim {
             cfg,
             trace,
             q: EventQueue::new(),
-            fabric: Fabric::new(topo, cfg.fabric),
+            fabric,
             pages: PageMap::new(topo, cfg.placement),
             versions: VersionStore::new(),
             gpms,
@@ -301,6 +338,11 @@ impl<'t> Sim<'t> {
             kernel_fences_left: 0,
             draining: false,
             finished: false,
+            rng: Rng::new(cfg.faults.seed),
+            store_seq: 0,
+            inv_seq: 0,
+            watchdog: ProgressWatchdog::new(cfg.livelock_budget),
+            fatal: None,
             m: RunMetrics::default(),
         }
     }
@@ -359,13 +401,16 @@ impl<'t> Sim<'t> {
 
     // ---------- main loop ----------
 
-    fn run(&mut self) -> RunMetrics {
+    fn run(&mut self) -> Result<RunMetrics, SimError> {
         if self.trace.kernels.is_empty() {
             self.m.total_cycles = Cycle::ZERO;
-            return std::mem::take(&mut self.m);
+            return Ok(std::mem::take(&mut self.m));
         }
         self.q.push(Cycle::ZERO, Ev::KernelStart(0));
         while let Some((now, ev)) = self.q.pop() {
+            if let Some(gap) = self.watchdog.stalled(now.0) {
+                return Err(self.livelock_error(now, gap));
+            }
             match ev {
                 Ev::SmResume(r) => self.sm_issue(now, r),
                 Ev::Req { msg, node } => self.handle_req(now, msg, node),
@@ -386,20 +431,16 @@ impl<'t> Sim<'t> {
                 Ev::FenceAcks(id) => self.handle_fence_acks(now, id),
                 Ev::KernelStart(k) => self.kernel_start(now, k),
             }
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
             if self.finished {
                 break;
             }
         }
-        assert!(
-            self.finished,
-            "simulation deadlocked: kernel {}/{} unfinished_ctas={} loads_inflight={} \
-             mshr_entries={} (a WaitFlag count was likely never reached)",
-            self.kernel,
-            self.trace.num_kernels(),
-            self.ctas_unfinished,
-            self.loads_inflight,
-            self.mshr.len()
-        );
+        if !self.finished {
+            return Err(self.deadlock_error());
+        }
         #[cfg(debug_assertions)]
         if !self.cfg.zero_cost_fences {
             // Every kernel-end fence waits for write-throughs and
@@ -432,7 +473,165 @@ impl<'t> Sim<'t> {
                     .max(self.fabric.intra_ingress_utilization(g, elapsed))
             })
             .fold(0.0, f64::max);
-        std::mem::take(&mut self.m)
+        Ok(std::mem::take(&mut self.m))
+    }
+
+    // ---------- watchdog diagnostics ----------
+
+    /// Human-readable name for an SM, used as error agent context.
+    fn agent_name(&self, r: SmRef) -> String {
+        format!("gpu{}/gpm{}/sm{}", self.cfg.topo.gpu_of(r.gpm).0, r.gpm.index(), r.sm)
+    }
+
+    /// A multi-line snapshot of everything relevant to a stuck run:
+    /// non-idle SMs with their outstanding ops, per-GPM pending
+    /// counters, flag state, MSHR entries, and — for the stuck address,
+    /// when one is identifiable — the home directory entry and the link
+    /// backlogs along its path.
+    fn machine_dump(&mut self) -> (String, Option<SmRef>, Option<LineAddr>) {
+        use std::fmt::Write;
+        let now = self.q.now();
+        let topo = self.cfg.topo;
+        let mut dump = String::new();
+        let mut first_stuck: Option<SmRef> = None;
+        for gpm in topo.all_gpms() {
+            for sm in 0..self.cfg.sms_per_gpm {
+                let r = SmRef { gpm, sm };
+                let s = &self.sms[self.sm_index(r)];
+                if s.state == SmState::Idle {
+                    continue;
+                }
+                if first_stuck.is_none() {
+                    first_stuck = Some(r);
+                }
+                let _ = writeln!(
+                    dump,
+                    "  {}: {:?} cta={:?} pc={} outstanding={}",
+                    self.agent_name(r),
+                    s.state,
+                    s.cta,
+                    s.pc,
+                    s.outstanding
+                );
+            }
+        }
+        for (i, g) in self.gpms.iter().enumerate() {
+            if g.st_pending_gpu + g.st_pending_sys + g.inv_pending_gpu + g.inv_pending_sys > 0 {
+                let _ = writeln!(
+                    dump,
+                    "  gpm{i}: st_pending_gpu={} st_pending_sys={} \
+                     inv_pending_gpu={} inv_pending_sys={}",
+                    g.st_pending_gpu, g.st_pending_sys, g.inv_pending_gpu, g.inv_pending_sys
+                );
+            }
+        }
+        if !self.flags.is_empty() || !self.flag_waiters.is_empty() {
+            let mut flags: Vec<_> = self.flags.iter().collect();
+            flags.sort();
+            let _ = writeln!(dump, "  flags: {flags:?}");
+            let mut waits: Vec<_> = self
+                .flag_waiters
+                .iter()
+                .map(|(f, ws)| (*f, ws.iter().map(|w| self.agent_name(*w)).collect::<Vec<_>>()))
+                .collect();
+            waits.sort();
+            for (f, ws) in waits {
+                let _ = writeln!(dump, "  flag {f} awaited by {ws:?}");
+            }
+        }
+        // Pick the stuck address: an un-filled miss if any, else the
+        // probe line.
+        let stuck_line = self
+            .mshr
+            .keys()
+            .min()
+            .map(|&(_, line)| line)
+            .or(self.cfg.probe_line.map(LineAddr));
+        if !self.mshr.is_empty() {
+            let mut entries: Vec<_> =
+                self.mshr.iter().map(|(&(node, line), v)| (node, line, v.len())).collect();
+            entries.sort();
+            for (node, line, waiters) in entries.into_iter().take(8) {
+                let _ = writeln!(dump, "  mshr gpm{node} line {:#x}: {waiters} merged", line.0);
+            }
+        }
+        if let Some(line) = stuck_line {
+            let home = self.sys_home(line, GpmId(0));
+            let block = self.cfg.geometry.block_of(line);
+            let committed = self.committed.get(&line).copied().unwrap_or(0);
+            let sharers = self.gpms[home.index()]
+                .dir
+                .lookup(block)
+                .map(|s| s.iter(&topo))
+                .unwrap_or_default();
+            let _ = writeln!(
+                dump,
+                "  stuck line {:#x}: sys_home=gpm{} committed_version={committed} \
+                 dir[{:#x}]={sharers:?}",
+                line.0,
+                home.index(),
+                block.0
+            );
+            let (eg, ing) = self.fabric.intra_backlog(home, now);
+            let (ieg, iing) = self.fabric.inter_backlog(topo.gpu_of(home), now);
+            let _ = writeln!(
+                dump,
+                "  links at home: intra egress/ingress backlog {eg}/{ing} cycles, \
+                 inter {ieg}/{iing} cycles"
+            );
+        }
+        (dump, first_stuck, stuck_line)
+    }
+
+    /// Builds the structural-deadlock error: the event queue drained
+    /// with CTAs unfinished, loads in flight, or fences un-drained.
+    fn deadlock_error(&mut self) -> SimError {
+        let now = self.q.now();
+        let message = format!(
+            "kernel {}/{} unfinished_ctas={} loads_inflight={} mshr_entries={} \
+             (a WaitFlag count was never reached, or an in-flight message was lost)",
+            self.kernel,
+            self.trace.num_kernels(),
+            self.ctas_unfinished,
+            self.loads_inflight,
+            self.mshr.len()
+        );
+        let (dump, stuck_sm, stuck_line) = self.machine_dump();
+        let mut e = SimError::new(hmg_sim::SimErrorKind::Deadlock, message)
+            .at_cycle(now.0)
+            .with_dump(dump);
+        if let Some(r) = stuck_sm {
+            e = e.with_agent(self.agent_name(r));
+        }
+        if let Some(line) = stuck_line {
+            e = e.with_addr(line.0 * self.cfg.geometry.line_bytes() as u64);
+        }
+        e
+    }
+
+    /// Builds the livelock error: `gap` cycles elapsed with events
+    /// still flowing but no access retiring.
+    fn livelock_error(&mut self, now: Cycle, gap: u64) -> SimError {
+        let message = format!(
+            "no access retired for {gap} cycles (budget {:?}); kernel {}/{} \
+             unfinished_ctas={} loads_inflight={}",
+            self.cfg.livelock_budget,
+            self.kernel,
+            self.trace.num_kernels(),
+            self.ctas_unfinished,
+            self.loads_inflight,
+        );
+        let (dump, stuck_sm, stuck_line) = self.machine_dump();
+        let mut e = SimError::new(hmg_sim::SimErrorKind::Livelock, message)
+            .at_cycle(now.0)
+            .with_dump(dump);
+        if let Some(r) = stuck_sm {
+            e = e.with_agent(self.agent_name(r));
+        }
+        if let Some(line) = stuck_line {
+            e = e.with_addr(line.0 * self.cfg.geometry.line_bytes() as u64);
+        }
+        e
     }
 
     // ---------- kernel lifecycle ----------
@@ -620,7 +819,11 @@ impl<'t> Sim<'t> {
                     self.sms[idx].pc += 1;
                     *self.flags.entry(f).or_insert(0) += 1;
                     if let Some(waiters) = self.flag_waiters.remove(&f) {
-                        let wake = t + self.cfg.flag_latency;
+                        // Fault: delayed flag propagation. Waiters wake
+                        // later but the ordering guarantees are intact,
+                        // so outcomes are unchanged (tolerated).
+                        let extra = Cycle(self.cfg.faults.flag_delay.unwrap_or(0));
+                        let wake = t + self.cfg.flag_latency + extra;
                         for w in waiters {
                             let wi = self.sm_index(w);
                             if self.sms[wi].state == SmState::FlagWait(f) {
@@ -733,6 +936,7 @@ impl<'t> Sim<'t> {
             line,
             version: v,
             gpu_ordered: false,
+            duplicate: false,
         };
         self.q
             .push(t + self.cfg.l1_latency, Ev::Store { msg, node: r.gpm });
@@ -952,9 +1156,20 @@ impl<'t> Sim<'t> {
         sys_home: GpmId,
         gpu_home: GpmId,
     ) {
-        let next = self
-            .next_node(node, req_gpm, sys_home, gpu_home)
-            .expect("non-home node must forward");
+        let Some(next) = self.next_node(node, req_gpm, sys_home, gpu_home) else {
+            // Structurally unreachable; typed error instead of a panic.
+            self.fatal = Some(
+                SimError::protocol(format!(
+                    "request at non-home gpm{} has no forwarding target (sys_home=gpm{})",
+                    node.index(),
+                    sys_home.index()
+                ))
+                .at_cycle(t.0)
+                .with_agent(self.agent_name(msg.sm))
+                .with_addr(msg.line.0 * self.cfg.geometry.line_bytes() as u64),
+            );
+            return;
+        };
         let bytes = match msg.kind {
             AccessKind::Atomic => self.cfg.msg.atomic_req,
             _ => self.cfg.msg.load_req,
@@ -990,6 +1205,7 @@ impl<'t> Sim<'t> {
                 line,
                 version: meta.version,
                 gpu_ordered: false,
+                duplicate: false,
             };
             self.q.push(t + Cycle(1), Ev::Store { msg, node });
             return;
@@ -1068,6 +1284,7 @@ impl<'t> Sim<'t> {
                 line,
                 version,
                 gpu_ordered: false,
+                duplicate: false,
             };
             self.q.push(t + Cycle(1), Ev::Store { msg, node });
         }
@@ -1112,6 +1329,7 @@ impl<'t> Sim<'t> {
             line: msg.line,
             version: msg.version,
             gpu_ordered: false,
+            duplicate: false,
         };
         self.continue_store(t, st, node, sys_home, gpu_home);
     }
@@ -1188,6 +1406,7 @@ impl<'t> Sim<'t> {
             }
         }
         self.record_probe(msg.sm, msg.line, msg.version);
+        self.watchdog.note_progress(now.0);
         let lat = now.saturating_sub(msg.issued_at).as_u64();
         self.m.miss_latency_sum += lat;
         self.m.miss_count += 1;
@@ -1299,32 +1518,76 @@ impl<'t> Sim<'t> {
         };
         if !msg.gpu_ordered && node == gpu_order_point {
             msg.gpu_ordered = true;
-            let g = &mut self.gpms[msg.origin.index()];
-            g.st_pending_gpu -= 1;
-            self.check_fences(t);
+            // Duplicates re-apply idempotent state only; the original
+            // delivery owns every counter decrement.
+            if !msg.duplicate {
+                let g = &mut self.gpms[msg.origin.index()];
+                g.st_pending_gpu -= 1;
+                self.check_fences(t);
+            }
         }
         if node == sys_home {
             // Commit: update the authoritative home version, write DRAM.
+            // The version-max rule makes duplicate commits no-ops.
             let cur = self.committed.entry(msg.line).or_insert(0);
             if msg.version > *cur {
                 *cur = msg.version;
             }
             let bytes = self.cfg.geometry.line_bytes();
             self.gpms[node.index()].dram.write(t, bytes);
-            if !msg.gpu_ordered {
-                msg.gpu_ordered = true;
-                self.gpms[msg.origin.index()].st_pending_gpu -= 1;
+            if !msg.duplicate {
+                if !msg.gpu_ordered {
+                    msg.gpu_ordered = true;
+                    self.gpms[msg.origin.index()].st_pending_gpu -= 1;
+                }
+                self.gpms[msg.origin.index()].st_pending_sys -= 1;
+                self.check_fences(t);
+                self.watchdog.note_progress(t.0);
             }
-            self.gpms[msg.origin.index()].st_pending_sys -= 1;
-            self.check_fences(t);
             return;
         }
-        let next = self
-            .next_node(node, msg.origin, sys_home, gpu_home)
-            .expect("non-home store must forward");
-        let arrive = self
+        let Some(next) = self.next_node(node, msg.origin, sys_home, gpu_home) else {
+            // Structurally unreachable (non-home nodes always have a
+            // next hop); surface as a typed protocol violation rather
+            // than panicking mid-handler.
+            self.fatal = Some(
+                SimError::protocol(format!(
+                    "store at non-home gpm{} has no forwarding target (sys_home=gpm{})",
+                    node.index(),
+                    sys_home.index()
+                ))
+                .at_cycle(t.0)
+                .with_addr(msg.line.0 * self.cfg.geometry.line_bytes() as u64),
+            );
+            return;
+        };
+        // Fault: silently lose the nth store message. The origin's
+        // st_pending counters never drain, so the next release fence
+        // hangs and the run ends in a *detected* structural deadlock.
+        if !msg.duplicate {
+            self.store_seq += 1;
+            if self.cfg.faults.drop_store == Some(self.store_seq) {
+                return;
+            }
+        }
+        let mut arrive = self
             .fabric
             .send(t, node, next, self.cfg.msg.store, MsgClass::StoreData);
+        // Fault: random extra delivery delay. Counters are decremented
+        // at delivery, so fences wait it out (tolerated).
+        if let Some(d) = self.cfg.faults.delay {
+            if self.rng.gen_bool(d.prob) {
+                arrive += Cycle(d.extra);
+            }
+        }
+        // Fault: duplicated delivery, flagged so the copy skips
+        // counter bookkeeping (tolerated: state updates are idempotent).
+        if let Some(dup) = self.cfg.faults.duplicate {
+            if !msg.duplicate && self.rng.gen_bool(dup.prob) {
+                let copy = StoreMsg { duplicate: true, ..msg };
+                self.q.push(arrive + Cycle(1), Ev::Store { msg: copy, node: next });
+            }
+        }
         self.q.push(arrive, Ev::Store { msg, node: next });
     }
 
@@ -1436,7 +1699,24 @@ impl<'t> Sim<'t> {
             if target == node {
                 continue;
             }
-            let counted = cause == InvCause::Store;
+            let mut counted = cause == InvCause::Store;
+            let mut reorder_extra = Cycle::ZERO;
+            if counted {
+                self.inv_seq += 1;
+                // Fault: FIFO violation. The nth store-caused
+                // invalidation is delivered late *without* holding its
+                // pending counter, so the causer's release fence
+                // completes before the stale copy is removed — the
+                // exact reordering HMG's FIFO-link assumption forbids.
+                // The version oracle (probe) must detect the stale
+                // read; the run must never hang.
+                if let Some(r) = self.cfg.faults.reorder_inv {
+                    if self.inv_seq == r.nth {
+                        counted = false;
+                        reorder_extra = Cycle(r.extra);
+                    }
+                }
+            }
             if counted {
                 let same_gpu = topo.gpu_of(target) == topo.gpu_of(causer);
                 let gc = &mut self.gpms[causer.index()];
@@ -1449,20 +1729,33 @@ impl<'t> Sim<'t> {
                 InvCause::Store => self.m.invs_from_stores += 1,
                 InvCause::Eviction => self.m.invs_from_evictions += 1,
             }
-            let arrive = self
+            let mut arrive = self
                 .fabric
-                .send(t, node, target, self.cfg.msg.inv, MsgClass::Inv);
-            self.q.push(
-                arrive,
-                Ev::Inv(InvMsg {
-                    block,
-                    cause,
-                    causer,
-                    counted,
-                    from_sys,
-                    target,
-                }),
-            );
+                .send(t, node, target, self.cfg.msg.inv, MsgClass::Inv)
+                + reorder_extra;
+            // Fault: random delivery delay — counted invalidations keep
+            // their counter until delivery, so fences wait (tolerated).
+            if let Some(d) = self.cfg.faults.delay {
+                if self.rng.gen_bool(d.prob) {
+                    arrive += Cycle(d.extra);
+                }
+            }
+            let inv = InvMsg {
+                block,
+                cause,
+                causer,
+                counted,
+                from_sys,
+                target,
+            };
+            // Fault: duplicated delivery — the copy is uncounted and
+            // re-invalidation is a no-op (tolerated).
+            if let Some(dup) = self.cfg.faults.duplicate {
+                if self.rng.gen_bool(dup.prob) {
+                    self.q.push(arrive + Cycle(1), Ev::Inv(InvMsg { counted: false, ..inv }));
+                }
+            }
+            self.q.push(arrive, Ev::Inv(inv));
         }
     }
 

@@ -1,47 +1,70 @@
-//! Property-based tests on the engine: arbitrary (flag-free) traces must
-//! complete deterministically under every protocol, with conserved
-//! accounting.
-
-use proptest::prelude::*;
+//! Randomized property tests on the engine: arbitrary (flag-free)
+//! traces must complete deterministically under every protocol, with
+//! conserved accounting. Driven by the in-repo SplitMix64 [`Rng`]
+//! rather than an external property-testing crate so the workspace
+//! builds offline.
 
 use hmg_gpu::{Engine, EngineConfig};
 use hmg_mem::Addr;
 use hmg_protocol::{Access, AccessKind, Cta, Kernel, ProtocolKind, Scope, TraceOp, WorkloadTrace};
+use hmg_sim::Rng;
 
-/// Strategy: a random flag-free CTA (loads, stores, atomics, delays,
-/// acquires, releases over a bounded address space).
-fn arb_cta() -> impl Strategy<Value = Cta> {
-    let op = prop_oneof![
-        6 => (0u64..512, any::<bool>()).prop_map(|(l, st)| {
-            let a = Addr(l * 128);
-            TraceOp::Access(if st { Access::store(a) } else { Access::load(a) })
-        }),
-        1 => (0u64..512, prop_oneof![Just(Scope::Gpu), Just(Scope::Sys)])
-            .prop_map(|(l, s)| TraceOp::Access(Access::new(Addr(l * 128), AccessKind::Atomic, s))),
-        1 => (1u32..200).prop_map(TraceOp::Delay),
-        1 => prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
-            .prop_map(TraceOp::Acquire),
-        1 => prop_oneof![Just(Scope::Cta), Just(Scope::Gpu), Just(Scope::Sys)]
-            .prop_map(TraceOp::Release),
-    ];
-    proptest::collection::vec(op, 0..40).prop_map(Cta::new)
+const CASES: u64 = 24;
+
+/// A random flag-free CTA (loads, stores, atomics, delays, acquires,
+/// releases over a bounded address space). Weights mirror the original
+/// proptest strategy: 6:1:1:1:1.
+fn arb_cta(r: &mut Rng) -> Cta {
+    let n = r.gen_range(0, 40) as usize;
+    let ops = (0..n)
+        .map(|_| match r.gen_range(0, 10) {
+            0..=5 => {
+                let a = Addr(r.gen_range(0, 512) * 128);
+                if r.gen_bool(0.5) {
+                    TraceOp::Access(Access::store(a))
+                } else {
+                    TraceOp::Access(Access::load(a))
+                }
+            }
+            6 => {
+                let a = Addr(r.gen_range(0, 512) * 128);
+                let s = if r.gen_bool(0.5) { Scope::Gpu } else { Scope::Sys };
+                TraceOp::Access(Access::new(a, AccessKind::Atomic, s))
+            }
+            7 => TraceOp::Delay(r.gen_range(1, 200) as u32),
+            8 => TraceOp::Acquire(match r.gen_range(0, 3) {
+                0 => Scope::Cta,
+                1 => Scope::Gpu,
+                _ => Scope::Sys,
+            }),
+            _ => TraceOp::Release(match r.gen_range(0, 3) {
+                0 => Scope::Cta,
+                1 => Scope::Gpu,
+                _ => Scope::Sys,
+            }),
+        })
+        .collect();
+    Cta::new(ops)
 }
 
-fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
-    proptest::collection::vec(
-        proptest::collection::vec(arb_cta(), 1..9).prop_map(Kernel::new),
-        1..4,
-    )
-    .prop_map(|kernels| WorkloadTrace::new("random", kernels))
+fn arb_trace(r: &mut Rng) -> WorkloadTrace {
+    let n_kernels = r.gen_range(1, 4) as usize;
+    let kernels = (0..n_kernels)
+        .map(|_| {
+            let n_ctas = r.gen_range(1, 9) as usize;
+            Kernel::new((0..n_ctas).map(|_| arb_cta(r)).collect())
+        })
+        .collect();
+    WorkloadTrace::new("random", kernels)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Liveness: arbitrary flag-free traces terminate under every
-    /// protocol, and the metrics account for every access issued.
-    #[test]
-    fn random_traces_complete_with_conserved_accounting(trace in arb_trace()) {
+/// Liveness: arbitrary flag-free traces terminate under every
+/// protocol, and the metrics account for every access issued.
+#[test]
+fn random_traces_complete_with_conserved_accounting() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xACC7 + case);
+        let trace = arb_trace(&mut r);
         let expected_accesses = trace.num_accesses() as u64;
         for p in ProtocolKind::ALL {
             let m = Engine::new(EngineConfig::small_test(p)).run(&trace);
@@ -59,28 +82,36 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(m.loads + m.stores, expected_accesses + atomics, "{}", p);
-            prop_assert!(m.l1_hits <= m.loads, "{}", p);
+            assert_eq!(m.loads + m.stores, expected_accesses + atomics, "{}", p);
+            assert!(m.l1_hits <= m.loads, "{}", p);
         }
     }
+}
 
-    /// Determinism: the same trace yields identical cycle counts twice.
-    #[test]
-    fn random_traces_are_deterministic(trace in arb_trace()) {
+/// Determinism: the same trace yields identical cycle counts twice.
+#[test]
+fn random_traces_are_deterministic() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xDE7E + case);
+        let trace = arb_trace(&mut r);
         for p in [ProtocolKind::Hmg, ProtocolKind::SwHier] {
             let a = Engine::new(EngineConfig::small_test(p)).run(&trace);
             let b = Engine::new(EngineConfig::small_test(p)).run(&trace);
-            prop_assert_eq!(a.total_cycles, b.total_cycles);
-            prop_assert_eq!(a.events, b.events);
+            assert_eq!(a.total_cycles, b.total_cycles);
+            assert_eq!(a.events, b.events);
         }
     }
+}
 
-    /// Software protocols never emit invalidation traffic, for any trace.
-    #[test]
-    fn sw_protocols_never_invalidate(trace in arb_trace()) {
+/// Software protocols never emit invalidation traffic, for any trace.
+#[test]
+fn sw_protocols_never_invalidate() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x5091 + case);
+        let trace = arb_trace(&mut r);
         for p in [ProtocolKind::SwNonHier, ProtocolKind::SwHier, ProtocolKind::Ideal] {
             let m = Engine::new(EngineConfig::small_test(p)).run(&trace);
-            prop_assert_eq!(m.invs_from_stores + m.invs_from_evictions, 0, "{}", p);
+            assert_eq!(m.invs_from_stores + m.invs_from_evictions, 0, "{}", p);
         }
     }
 }

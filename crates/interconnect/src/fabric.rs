@@ -1,7 +1,7 @@
 //! The assembled two-tier network: intra-GPU crossbar ports per GPM and
 //! inter-GPU switch ports per GPU, with per-class byte accounting.
 
-use hmg_sim::Cycle;
+use hmg_sim::{Cycle, FaultPlan};
 
 use crate::ids::{GpmId, Topology};
 use crate::link::Link;
@@ -169,6 +169,9 @@ pub struct Fabric {
     inter_egress: Vec<Link>,
     inter_ingress: Vec<Link>,
     stats: FabricStats,
+    /// Injected link faults (bandwidth degradation / stall windows).
+    /// Empty by default; installed via [`Fabric::apply_faults`].
+    faults: FaultPlan,
 }
 
 impl Fabric {
@@ -207,7 +210,14 @@ impl Fabric {
                 .map(|_| Link::new(inter_bpc, inter_port_lat))
                 .collect(),
             stats: FabricStats::default(),
+            faults: FaultPlan::default(),
         }
+    }
+
+    /// Installs the link-fault portion of `plan` (degrade/stall
+    /// windows). Engine-side faults in the plan are ignored here.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        self.faults = plan.clone();
     }
 
     /// The topology this fabric was built for.
@@ -233,11 +243,17 @@ impl Fabric {
         if src == dst {
             return now;
         }
+        // Injected link faults: degrade/stall windows are keyed off the
+        // time the message is *offered*, applied uniformly to every hop
+        // it crosses. Slowing serialization keeps per-port FIFO order,
+        // so these faults are tolerated, not protocol-breaking.
+        let slow = self.faults.link_slowdown(now.0);
+        let extra = Cycle(self.faults.link_stall_extra(now.0));
         if self.topo.same_gpu(src, dst) {
             self.stats.intra_bytes[class.idx()] += bytes as u64;
             self.stats.intra_msgs[class.idx()] += 1;
-            let t1 = self.intra_egress[src.index()].send(now, bytes);
-            self.intra_ingress[dst.index()].send(t1, bytes)
+            let t1 = self.intra_egress[src.index()].send_degraded(now, bytes, slow, extra);
+            self.intra_ingress[dst.index()].send_degraded(t1, bytes, slow, extra)
         } else {
             self.stats.intra_bytes[class.idx()] += bytes as u64;
             self.stats.intra_msgs[class.idx()] += 1;
@@ -245,10 +261,10 @@ impl Fabric {
             self.stats.inter_msgs[class.idx()] += 1;
             let src_gpu = self.topo.gpu_of(src);
             let dst_gpu = self.topo.gpu_of(dst);
-            let t1 = self.intra_egress[src.index()].send(now, bytes);
-            let t2 = self.inter_egress[src_gpu.0 as usize].send(t1, bytes);
-            let t3 = self.inter_ingress[dst_gpu.0 as usize].send(t2, bytes);
-            self.intra_ingress[dst.index()].send(t3, bytes)
+            let t1 = self.intra_egress[src.index()].send_degraded(now, bytes, slow, extra);
+            let t2 = self.inter_egress[src_gpu.0 as usize].send_degraded(t1, bytes, slow, extra);
+            let t3 = self.inter_ingress[dst_gpu.0 as usize].send_degraded(t2, bytes, slow, extra);
+            self.intra_ingress[dst.index()].send_degraded(t3, bytes, slow, extra)
         }
     }
 
@@ -270,6 +286,26 @@ impl Fabric {
     /// Utilization of a GPM's intra-GPU ingress port over `elapsed` cycles.
     pub fn intra_ingress_utilization(&self, gpm: GpmId, elapsed: Cycle) -> f64 {
         self.intra_ingress[gpm.index()].utilization(elapsed)
+    }
+
+    /// Backlog of a GPM's intra-GPU ports relative to `now`: cycles of
+    /// queued serialization on (egress, ingress). Used by the deadlock
+    /// diagnostic to show whether a stuck address sits behind a full
+    /// link queue.
+    pub fn intra_backlog(&self, gpm: GpmId, now: Cycle) -> (u64, u64) {
+        (
+            self.intra_egress[gpm.index()].next_free().0.saturating_sub(now.0),
+            self.intra_ingress[gpm.index()].next_free().0.saturating_sub(now.0),
+        )
+    }
+
+    /// Backlog of a GPU's inter-GPU ports relative to `now`: cycles of
+    /// queued serialization on (egress, ingress).
+    pub fn inter_backlog(&self, gpu: crate::GpuId, now: Cycle) -> (u64, u64) {
+        (
+            self.inter_egress[gpu.0 as usize].next_free().0.saturating_sub(now.0),
+            self.inter_ingress[gpu.0 as usize].next_free().0.saturating_sub(now.0),
+        )
     }
 }
 
@@ -367,5 +403,40 @@ mod tests {
         }
         let u = f.inter_egress_utilization(GpuId(0), Cycle(100));
         assert!(u > 0.5, "u={u}");
+    }
+
+    #[test]
+    fn fault_windows_slow_only_in_window_sends() {
+        let mut clean = small_fabric();
+        let mut faulty = small_fabric();
+        faulty.apply_faults(&FaultPlan::parse("degrade=100..200/4,stall=100..200/33").unwrap());
+        // Outside the window, identical timing.
+        assert_eq!(
+            clean.send(Cycle(0), GpmId(0), GpmId(1), 128, MsgClass::Data),
+            faulty.send(Cycle(0), GpmId(0), GpmId(1), 128, MsgClass::Data),
+        );
+        // Inside the window, strictly later delivery (both hops pay the
+        // 33-cycle stall and 4x serialization).
+        let c = clean.send(Cycle(150), GpmId(0), GpmId(1), 128, MsgClass::Data);
+        let f = faulty.send(Cycle(150), GpmId(0), GpmId(1), 128, MsgClass::Data);
+        assert!(f >= c + Cycle(66), "clean {c:?} faulty {f:?}");
+        // After the window, new sends only queue behind the backlog.
+        let c2 = clean.send(Cycle(300), GpmId(0), GpmId(1), 128, MsgClass::Data);
+        let f2 = faulty.send(Cycle(300), GpmId(0), GpmId(1), 128, MsgClass::Data);
+        assert!(f2 >= c2 && f2 < f + Cycle(200), "c2 {c2:?} f2 {f2:?}");
+    }
+
+    #[test]
+    fn backlogs_report_queued_serialization() {
+        let mut f = small_fabric();
+        assert_eq!(f.intra_backlog(GpmId(0), Cycle(0)), (0, 0));
+        for _ in 0..100 {
+            f.send(Cycle(0), GpmId(0), GpmId(2), 128, MsgClass::StoreData);
+        }
+        // 100 x 128 B at 16 B/cyc on the inter tier: deep egress queue.
+        let (eg, _in) = f.inter_backlog(GpuId(0), Cycle(0));
+        assert!(eg > 500, "egress backlog {eg}");
+        // Relative to a later `now` the backlog shrinks to zero.
+        assert_eq!(f.inter_backlog(GpuId(0), Cycle(1_000_000)), (0, 0));
     }
 }

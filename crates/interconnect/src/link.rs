@@ -60,13 +60,31 @@ impl Link {
     /// Offers a message of `bytes` to the port at time `now`; returns its
     /// arrival time at the far end.
     pub fn send(&mut self, now: Cycle, bytes: u32) -> Cycle {
+        self.send_degraded(now, bytes, 1.0, Cycle::ZERO)
+    }
+
+    /// [`Link::send`] under injected link faults: serialization takes
+    /// `slowdown` times as long (bandwidth degradation) and delivery
+    /// sees `extra_latency` additional cycles (transient stall). With
+    /// `slowdown == 1.0` and zero extra latency this is exactly `send`.
+    /// Occupying the port longer preserves FIFO delivery, so degraded
+    /// windows slow the protocol down without breaking its ordering
+    /// assumption.
+    pub fn send_degraded(
+        &mut self,
+        now: Cycle,
+        bytes: u32,
+        slowdown: f64,
+        extra_latency: Cycle,
+    ) -> Cycle {
+        debug_assert!(slowdown >= 1.0, "slowdown factor must be >= 1, got {slowdown}");
         let start = self.next_free.max(now.0 as f64);
-        let ser = bytes as f64 / self.bytes_per_cycle;
+        let ser = bytes as f64 / self.bytes_per_cycle * slowdown;
         self.next_free = start + ser;
         self.bytes_sent += bytes as u64;
         self.messages_sent += 1;
         self.busy_cycles += ser;
-        Cycle((start + ser).ceil() as u64) + self.latency
+        Cycle((start + ser).ceil() as u64) + self.latency + extra_latency
     }
 
     /// Earliest time a new message could start serializing.
@@ -168,5 +186,17 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_rejected() {
         Link::new(0.0, Cycle(0));
+    }
+
+    #[test]
+    fn degraded_send_scales_serialization_and_adds_latency() {
+        let mut a = Link::new(32.0, Cycle(100));
+        let mut b = Link::new(32.0, Cycle(100));
+        assert_eq!(a.send(Cycle(0), 128), b.send_degraded(Cycle(0), 128, 1.0, Cycle::ZERO));
+        // 128 B at 32 B/cyc, 4x slowdown = 16 cycles + 100 + 7 extra.
+        assert_eq!(b.send_degraded(Cycle(100), 128, 4.0, Cycle(7)), Cycle(223));
+        // FIFO still holds across degraded and normal sends: the next
+        // message queues behind the slowed one (116 + 4 ser + 100).
+        assert_eq!(b.send(Cycle(100), 128), Cycle(220));
     }
 }

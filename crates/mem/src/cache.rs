@@ -5,6 +5,8 @@
 //! (Section VI), so evictions of clean lines are silent and the cache
 //! never needs a writeback path.
 
+use hmg_sim::SimError;
+
 use crate::addr::LineAddr;
 
 /// Shape of one cache: total capacity in lines and associativity.
@@ -26,9 +28,24 @@ impl CacheConfig {
     /// Table II capacities (e.g. 3 MB slices, 16 ways, 1536 sets) be
     /// expressed exactly.
     pub fn new(lines: u32, ways: u32) -> Self {
-        assert!(ways > 0 && lines > 0, "cache dimensions must be positive");
-        assert!(lines.is_multiple_of(ways), "lines must divide evenly into ways");
-        CacheConfig { lines, ways }
+        Self::try_new(lines, ways).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`CacheConfig::new`]: returns a typed
+    /// [`SimError`] instead of panicking on a bad geometry, for callers
+    /// that validate user-supplied configurations.
+    pub fn try_new(lines: u32, ways: u32) -> Result<Self, SimError> {
+        if ways == 0 || lines == 0 {
+            return Err(SimError::config(format!(
+                "cache dimensions must be positive (lines={lines}, ways={ways})"
+            )));
+        }
+        if !lines.is_multiple_of(ways) {
+            return Err(SimError::config(format!(
+                "lines must divide evenly into ways (lines={lines}, ways={ways})"
+            )));
+        }
+        Ok(CacheConfig { lines, ways })
     }
 
     /// Number of sets.
@@ -166,13 +183,15 @@ impl<M> Cache<M> {
             });
             return None;
         }
-        // Evict the LRU way.
+        // Evict the LRU way. The set is full here (len == ways >= 1),
+        // so the minimum always exists; the fallback only placates the
+        // type system without a panic path.
         let victim_i = set
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.last_use)
             .map(|(i, _)| i)
-            .expect("non-empty set");
+            .unwrap_or(0);
         let victim = std::mem::replace(
             &mut set[victim_i],
             Way {

@@ -8,6 +8,7 @@
 //! individually, while remote GPUs are tracked as whole GPUs (Section V-A).
 
 use hmg_interconnect::{GpmId, GpuId, Topology};
+use hmg_sim::SimError;
 
 use crate::addr::BlockAddr;
 
@@ -128,9 +129,23 @@ impl DirectoryConfig {
     /// `ways`. (Unlike the data caches, the directory permits a
     /// non-power-of-two set count; indexing uses modulo.)
     pub fn new(entries: u32, ways: u32) -> Self {
-        assert!(entries > 0 && ways > 0, "directory dimensions must be positive");
-        assert!(entries.is_multiple_of(ways), "entries must divide evenly into ways");
-        DirectoryConfig { entries, ways }
+        Self::try_new(entries, ways).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`DirectoryConfig::new`]: returns a typed
+    /// [`SimError`] instead of panicking on a bad geometry.
+    pub fn try_new(entries: u32, ways: u32) -> Result<Self, SimError> {
+        if entries == 0 || ways == 0 {
+            return Err(SimError::config(format!(
+                "directory dimensions must be positive (entries={entries}, ways={ways})"
+            )));
+        }
+        if !entries.is_multiple_of(ways) {
+            return Err(SimError::config(format!(
+                "entries must divide evenly into ways (entries={entries}, ways={ways})"
+            )));
+        }
+        Ok(DirectoryConfig { entries, ways })
     }
 
     /// Table II: 12K entries per GPM, 16-way.
@@ -272,12 +287,14 @@ impl Directory {
             return (&mut self.sets[idx][last].sharers, None);
         }
 
+        // The set is full here (len == ways >= 1), so the minimum
+        // always exists; the fallback avoids a panic path.
         let victim_i = self.sets[idx]
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| w.last_use)
             .map(|(i, _)| i)
-            .expect("non-empty set");
+            .unwrap_or(0);
         let victim = std::mem::replace(
             &mut self.sets[idx][victim_i],
             DirWay {

@@ -1,22 +1,56 @@
-//! Property-based tests for the SVG renderers: arbitrary data never
-//! panics, output is structurally sound, and escaping is total.
-
-use proptest::prelude::*;
+//! Randomized property tests for the SVG renderers: arbitrary data
+//! never panics, output is structurally sound, and escaping is total.
+//! Uses a tiny local SplitMix64 so the dependency-free plot crate stays
+//! dependency-free (the workspace must build offline).
 
 use hmg_plot::{svg::escape, GroupedBars, LineChart, LogLogScatter};
 
-proptest! {
-    /// Escaping never leaves a raw XML special in the output.
-    #[test]
-    fn escape_is_total(s in ".{0,200}") {
+const CASES: u64 = 64;
+
+/// Minimal SplitMix64 — mirrors `hmg_sim::Rng` without pulling it in.
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn string(&mut self, chars: &[u8], min: u64, max: u64) -> String {
+        let n = self.range(min, max) as usize;
+        (0..n)
+            .map(|_| chars[self.range(0, chars.len() as u64) as usize] as char)
+            .collect()
+    }
+}
+
+/// Escaping never leaves a raw XML special in the output.
+#[test]
+fn escape_is_total() {
+    for case in 0..CASES {
+        let mut r = Mix(0xE5C0 + case);
+        // Arbitrary unicode-ish text including the XML specials.
+        const POOL: &[u8] = b"abcXYZ 0189<>&\"'\\/#;\t";
+        let s = r.string(POOL, 0, 201);
         let e = escape(&s);
         // No unescaped specials: every '&' must start an entity.
         let mut chars = e.chars().peekable();
         while let Some(c) = chars.next() {
-            prop_assert!(c != '<' && c != '>' && c != '"');
+            assert!(c != '<' && c != '>' && c != '"');
             if c == '&' {
                 let rest: String = chars.clone().take(5).collect();
-                prop_assert!(
+                assert!(
                     rest.starts_with("amp;")
                         || rest.starts_with("lt;")
                         || rest.starts_with("gt;")
@@ -27,18 +61,27 @@ proptest! {
             }
         }
     }
+}
 
-    /// Grouped bars render for arbitrary positive data, names included
-    /// verbatim-escaped, with one path per bar.
-    #[test]
-    fn bars_render_arbitrary_data(
-        names in proptest::collection::vec("[a-zA-Z0-9 _.<>&-]{1,12}", 1..5),
-        groups in proptest::collection::vec(
-            ("[a-zA-Z0-9 _-]{1,10}", proptest::collection::vec(0.01f64..1e6, 1..5)),
-            1..8,
-        ),
-    ) {
-        let n = names.len();
+/// Grouped bars render for arbitrary positive data, names included
+/// verbatim-escaped, with one path per bar.
+#[test]
+fn bars_render_arbitrary_data() {
+    const NAME_POOL: &[u8] = b"abcZ 019_.<>&-";
+    const GROUP_POOL: &[u8] = b"abcZ 019_-";
+    for case in 0..CASES {
+        let mut r = Mix(0xBA25 + case);
+        let n = r.range(1, 5) as usize;
+        let names: Vec<String> = (0..n).map(|_| r.string(NAME_POOL, 1, 13)).collect();
+        let n_groups = r.range(1, 8) as usize;
+        let groups: Vec<(String, Vec<f64>)> = (0..n_groups)
+            .map(|_| {
+                let g = r.string(GROUP_POOL, 1, 11);
+                let k = r.range(1, 5) as usize;
+                let vals: Vec<f64> = (0..k).map(|_| 0.01 + r.f64() * 1e6).collect();
+                (g, vals)
+            })
+            .collect();
         let mut chart = GroupedBars::new("prop").series(names.clone());
         let mut bars = 0;
         for (g, vals) in &groups {
@@ -48,41 +91,55 @@ proptest! {
             chart = chart.group(g.clone(), v);
         }
         let out = chart.to_svg();
-        prop_assert!(out.starts_with("<svg"));
-        prop_assert_eq!(out.matches("<path").count(), bars);
-        prop_assert!(!out.contains("NaN"));
+        assert!(out.starts_with("<svg"));
+        assert_eq!(out.matches("<path").count(), bars);
+        assert!(!out.contains("NaN"));
     }
+}
 
-    /// Line charts with converging/equal values still render with one
-    /// end label per series and no NaNs.
-    #[test]
-    fn lines_render_arbitrary_data(
-        xs in proptest::collection::vec("[a-z0-9]{1,6}", 1..6),
-        series in proptest::collection::vec(
-            ("[a-z]{1,8}", 0.01f64..100.0),
-            1..6,
-        ),
-    ) {
+/// Line charts with converging/equal values still render with one
+/// end label per series and no NaNs.
+#[test]
+fn lines_render_arbitrary_data() {
+    const POOL: &[u8] = b"abcxyz0189";
+    for case in 0..CASES {
+        let mut r = Mix(0x11AE + case);
+        let n_x = r.range(1, 6) as usize;
+        let xs: Vec<String> = (0..n_x).map(|_| r.string(POOL, 1, 7)).collect();
+        let n_series = r.range(1, 6) as usize;
+        let series: Vec<(String, f64)> = (0..n_series)
+            .map(|_| (r.string(POOL, 1, 9), 0.01 + r.f64() * 99.99))
+            .collect();
         let mut chart = LineChart::new("prop").x_points(xs.clone());
         for (name, v) in &series {
             chart = chart.line(name.clone(), vec![*v; xs.len()]);
         }
         let out = chart.to_svg();
-        prop_assert_eq!(out.matches("<polyline").count(), series.len());
-        prop_assert!(!out.contains("NaN"));
+        assert_eq!(out.matches("<polyline").count(), series.len());
+        assert!(!out.contains("NaN"));
     }
+}
 
-    /// The scatter accepts any positive magnitudes across many decades.
-    #[test]
-    fn scatter_renders_any_positive_points(
-        pts in proptest::collection::vec((1e-3f64..1e12, 1e-3f64..1e12), 1..20),
-    ) {
+/// The scatter accepts any positive magnitudes across many decades.
+#[test]
+fn scatter_renders_any_positive_points() {
+    for case in 0..CASES {
+        let mut r = Mix(0x5CA7 + case);
+        let n = r.range(1, 20) as usize;
+        // Positive magnitudes spread across ~15 decades.
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| {
+                let x = 1e-3 * 10f64.powf(r.f64() * 15.0);
+                let y = 1e-3 * 10f64.powf(r.f64() * 15.0);
+                (x, y)
+            })
+            .collect();
         let mut chart = LogLogScatter::new("prop", "x", "y");
         for (i, (x, y)) in pts.iter().enumerate() {
             chart = chart.point(format!("p{i}"), *x, *y);
         }
         let out = chart.to_svg();
-        prop_assert_eq!(out.matches("<circle").count(), pts.len());
-        prop_assert!(!out.contains("NaN") && !out.contains("inf"));
+        assert_eq!(out.matches("<circle").count(), pts.len());
+        assert!(!out.contains("NaN") && !out.contains("inf"));
     }
 }

@@ -29,28 +29,72 @@ pub const MAGIC: &[u8; 8] = b"HMGTRACE";
 /// Current format version.
 pub const VERSION: u32 = 1;
 
+/// Where in a trace file a read error was detected: the byte offset the
+/// reader had consumed, plus (once inside the body) the kernel/CTA/op
+/// indices being decoded — so a corrupt multi-gigabyte trace archive
+/// pinpoints the damaged record instead of just saying "corrupt".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TracePos {
+    /// Bytes consumed from the reader when the error was detected.
+    pub offset: u64,
+    /// Kernel index being decoded (None while reading the header).
+    pub kernel: Option<u32>,
+    /// CTA index within the kernel, when applicable.
+    pub cta: Option<u32>,
+    /// Op index within the CTA, when applicable.
+    pub op: Option<u32>,
+}
+
+impl std::fmt::Display for TracePos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "byte {}", self.offset)?;
+        if let Some(k) = self.kernel {
+            write!(f, ", kernel {k}")?;
+        }
+        if let Some(c) = self.cta {
+            write!(f, ", cta {c}")?;
+        }
+        if let Some(o) = self.op {
+            write!(f, ", op {o}")?;
+        }
+        Ok(())
+    }
+}
+
 /// Errors reading a trace file.
 #[derive(Debug)]
 pub enum ReadTraceError {
-    /// Underlying I/O failure.
-    Io(io::Error),
+    /// Underlying I/O failure, with the position reached.
+    Io(io::Error, TracePos),
     /// The file does not start with [`MAGIC`].
     BadMagic,
     /// The file's version is not supported.
     UnsupportedVersion(u32),
-    /// A field failed validation.
-    Corrupt(&'static str),
+    /// A field failed validation at the given position.
+    Corrupt(&'static str, TracePos),
+}
+
+impl ReadTraceError {
+    /// The position the error was detected at, when one is known.
+    pub fn pos(&self) -> Option<TracePos> {
+        match self {
+            ReadTraceError::Io(_, p) | ReadTraceError::Corrupt(_, p) => Some(*p),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ReadTraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ReadTraceError::Io(e) => write!(f, "i/o error: {e}"),
+            ReadTraceError::Io(e, pos) => write!(f, "i/o error at {pos}: {e}"),
             ReadTraceError::BadMagic => f.write_str("not an HMG trace file"),
             ReadTraceError::UnsupportedVersion(v) => {
                 write!(f, "unsupported trace version {v}")
             }
-            ReadTraceError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+            ReadTraceError::Corrupt(what, pos) => {
+                write!(f, "corrupt trace file: {what} at {pos}")
+            }
         }
     }
 }
@@ -58,15 +102,9 @@ impl std::fmt::Display for ReadTraceError {
 impl std::error::Error for ReadTraceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ReadTraceError::Io(e) => Some(e),
+            ReadTraceError::Io(e, _) => Some(e),
             _ => None,
         }
-    }
-}
-
-impl From<io::Error> for ReadTraceError {
-    fn from(e: io::Error) -> Self {
-        ReadTraceError::Io(e)
     }
 }
 
@@ -78,12 +116,12 @@ fn scope_tag(s: Scope) -> u8 {
     }
 }
 
-fn scope_from(tag: u8) -> Result<Scope, ReadTraceError> {
+fn scope_from(tag: u8) -> Result<Scope, &'static str> {
     Ok(match tag {
         0 => Scope::Cta,
         1 => Scope::Gpu,
         2 => Scope::Sys,
-        _ => return Err(ReadTraceError::Corrupt("scope tag")),
+        _ => return Err("scope tag"),
     })
 }
 
@@ -95,12 +133,12 @@ fn kind_tag(k: AccessKind) -> u8 {
     }
 }
 
-fn kind_from(tag: u8) -> Result<AccessKind, ReadTraceError> {
+fn kind_from(tag: u8) -> Result<AccessKind, &'static str> {
     Ok(match tag {
         0 => AccessKind::Load,
         1 => AccessKind::Store,
         2 => AccessKind::Atomic,
-        _ => return Err(ReadTraceError::Corrupt("access kind tag")),
+        _ => return Err("access kind tag"),
     })
 }
 
@@ -149,19 +187,47 @@ pub fn write_trace<W: Write>(mut w: W, trace: &WorkloadTrace) -> io::Result<()> 
     Ok(())
 }
 
-fn read_u32<R: Read>(r: &mut R) -> Result<u32, ReadTraceError> {
+/// Reader wrapper that tracks the byte offset consumed so far and
+/// carries the structural position for error reporting.
+struct PosReader<R> {
+    inner: R,
+    pos: TracePos,
+}
+
+impl<R: Read> PosReader<R> {
+    fn new(inner: R) -> Self {
+        PosReader {
+            inner,
+            pos: TracePos::default(),
+        }
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ReadTraceError> {
+        self.inner
+            .read_exact(buf)
+            .map_err(|e| ReadTraceError::Io(e, self.pos))?;
+        self.pos.offset += buf.len() as u64;
+        Ok(())
+    }
+
+    fn corrupt(&self, what: &'static str) -> ReadTraceError {
+        ReadTraceError::Corrupt(what, self.pos)
+    }
+}
+
+fn read_u32<R: Read>(r: &mut PosReader<R>) -> Result<u32, ReadTraceError> {
     let mut b = [0u8; 4];
     r.read_exact(&mut b)?;
     Ok(u32::from_le_bytes(b))
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, ReadTraceError> {
+fn read_u64<R: Read>(r: &mut PosReader<R>) -> Result<u64, ReadTraceError> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
 }
 
-fn read_u8<R: Read>(r: &mut R) -> Result<u8, ReadTraceError> {
+fn read_u8<R: Read>(r: &mut PosReader<R>) -> Result<u8, ReadTraceError> {
     let mut b = [0u8; 1];
     r.read_exact(&mut b)?;
     Ok(b[0])
@@ -177,9 +243,11 @@ const MAX_COUNT: u32 = 64 * 1024 * 1024;
 ///
 /// Returns [`ReadTraceError`] on I/O failure, wrong magic, unsupported
 /// version, or structurally invalid content.
-pub fn read_trace<R: Read>(mut r: R) -> Result<WorkloadTrace, ReadTraceError> {
+pub fn read_trace<R: Read>(r: R) -> Result<WorkloadTrace, ReadTraceError> {
+    let mut r = PosReader::new(r);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic)
+        .map_err(|_| ReadTraceError::BadMagic)?;
     if &magic != MAGIC {
         return Err(ReadTraceError::BadMagic);
     }
@@ -189,48 +257,54 @@ pub fn read_trace<R: Read>(mut r: R) -> Result<WorkloadTrace, ReadTraceError> {
     }
     let name_len = read_u32(&mut r)?;
     if name_len > MAX_COUNT {
-        return Err(ReadTraceError::Corrupt("name length"));
+        return Err(r.corrupt("name length"));
     }
     let mut name = vec![0u8; name_len as usize];
     r.read_exact(&mut name)?;
-    let name = String::from_utf8(name).map_err(|_| ReadTraceError::Corrupt("name utf8"))?;
+    let name = String::from_utf8(name).map_err(|_| r.corrupt("name utf8"))?;
 
     let kernel_count = read_u32(&mut r)?;
     if kernel_count > MAX_COUNT {
-        return Err(ReadTraceError::Corrupt("kernel count"));
+        return Err(r.corrupt("kernel count"));
     }
     let mut kernels = Vec::with_capacity(kernel_count as usize);
-    for _ in 0..kernel_count {
+    for ki in 0..kernel_count {
+        r.pos.kernel = Some(ki);
+        r.pos.cta = None;
+        r.pos.op = None;
         let cta_count = read_u32(&mut r)?;
         if cta_count > MAX_COUNT {
-            return Err(ReadTraceError::Corrupt("cta count"));
+            return Err(r.corrupt("cta count"));
         }
         let mut ctas = Vec::with_capacity(cta_count as usize);
-        for _ in 0..cta_count {
+        for ci in 0..cta_count {
+            r.pos.cta = Some(ci);
+            r.pos.op = None;
             let op_count = read_u32(&mut r)?;
             if op_count > MAX_COUNT {
-                return Err(ReadTraceError::Corrupt("op count"));
+                return Err(r.corrupt("op count"));
             }
             let mut ops = Vec::with_capacity(op_count as usize);
-            for _ in 0..op_count {
+            for oi in 0..op_count {
+                r.pos.op = Some(oi);
                 let tag = read_u8(&mut r)?;
                 let op = match tag {
                     0 => {
-                        let kind = kind_from(read_u8(&mut r)?)?;
-                        let scope = scope_from(read_u8(&mut r)?)?;
+                        let kind = kind_from(read_u8(&mut r)?).map_err(|w| r.corrupt(w))?;
+                        let scope = scope_from(read_u8(&mut r)?).map_err(|w| r.corrupt(w))?;
                         let addr = Addr(read_u64(&mut r)?);
                         TraceOp::Access(Access::new(addr, kind, scope))
                     }
                     1 => TraceOp::Delay(read_u32(&mut r)?),
-                    2 => TraceOp::Acquire(scope_from(read_u8(&mut r)?)?),
-                    3 => TraceOp::Release(scope_from(read_u8(&mut r)?)?),
+                    2 => TraceOp::Acquire(scope_from(read_u8(&mut r)?).map_err(|w| r.corrupt(w))?),
+                    3 => TraceOp::Release(scope_from(read_u8(&mut r)?).map_err(|w| r.corrupt(w))?),
                     4 => TraceOp::SetFlag(read_u32(&mut r)?),
                     5 => {
                         let flag = read_u32(&mut r)?;
                         let count = read_u32(&mut r)?;
                         TraceOp::WaitFlag { flag, count }
                     }
-                    _ => return Err(ReadTraceError::Corrupt("op tag")),
+                    _ => return Err(r.corrupt("op tag")),
                 };
                 ops.push(op);
             }
@@ -310,12 +384,37 @@ mod tests {
         let tag_pos = 8 + 4 + 4 + 1 + 4 + 4 + 4;
         buf[tag_pos] = 200;
         let err = read_trace(buf.as_slice()).unwrap_err();
-        assert!(matches!(err, ReadTraceError::Corrupt("op tag")), "{err}");
+        assert!(matches!(err, ReadTraceError::Corrupt("op tag", _)), "{err}");
+        let pos = err.pos().expect("corrupt errors carry a position");
+        assert_eq!(pos.kernel, Some(0));
+        assert_eq!(pos.cta, Some(0));
+        assert_eq!(pos.op, Some(0));
+        assert_eq!(pos.offset as usize, tag_pos + 1, "offset after the bad tag");
+    }
+
+    #[test]
+    fn truncation_errors_carry_byte_offsets() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &t).expect("write");
+        // Cut inside the op stream: the error must locate the record.
+        let err = read_trace(&buf[..buf.len() - 2]).unwrap_err();
+        let pos = err.pos().expect("i/o errors carry a position");
+        assert!(pos.kernel.is_some(), "{err}");
+        assert!(err.to_string().contains("byte "), "{err}");
     }
 
     #[test]
     fn error_display_is_informative() {
         assert!(ReadTraceError::BadMagic.to_string().contains("HMG"));
-        assert!(ReadTraceError::Corrupt("x").to_string().contains("x"));
+        let pos = TracePos {
+            offset: 37,
+            kernel: Some(1),
+            cta: Some(2),
+            op: Some(3),
+        };
+        let msg = ReadTraceError::Corrupt("x", pos).to_string();
+        assert!(msg.contains('x') && msg.contains("byte 37"), "{msg}");
+        assert!(msg.contains("kernel 1") && msg.contains("cta 2") && msg.contains("op 3"));
     }
 }

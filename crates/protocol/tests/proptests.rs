@@ -1,28 +1,32 @@
-//! Property-based tests on the protocol logic: the Table I FSM and the
-//! policy predicates.
-
-use proptest::prelude::*;
+//! Randomized property tests on the protocol logic: the Table I FSM and
+//! the policy predicates. Driven by the in-repo SplitMix64 [`Rng`]
+//! rather than an external property-testing crate so the workspace
+//! builds offline.
 
 use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
 use hmg_protocol::{transition, DirEvent, DirState, ProtocolKind, Scope};
+use hmg_sim::Rng;
 
-fn any_state() -> impl Strategy<Value = DirState> {
-    prop_oneof![Just(DirState::Invalid), Just(DirState::Valid)]
+const CASES: u64 = 64;
+
+fn pick_state(r: &mut Rng) -> DirState {
+    if r.gen_bool(0.5) {
+        DirState::Invalid
+    } else {
+        DirState::Valid
+    }
 }
 
-proptest! {
-    /// Closure: from any state, any legal event yields a stable state —
-    /// the "no transient states" property the paper's protocols are
-    /// built around.
-    #[test]
-    fn fsm_is_closed_over_stable_states(
-        state in any_state(),
-        hmg in any::<bool>(),
-        steps in 1usize..50,
-        seed in any::<u64>(),
-    ) {
-        let mut rng = hmg_sim::Rng::new(seed);
-        let mut s = state;
+/// Closure: from any state, any legal event yields a stable state —
+/// the "no transient states" property the paper's protocols are
+/// built around.
+#[test]
+fn fsm_is_closed_over_stable_states() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xF5A0 + case);
+        let hmg = rng.gen_bool(0.5);
+        let steps = rng.gen_range(1, 50);
+        let mut s = pick_state(&mut rng);
         for _ in 0..steps {
             // Sample a legal event by rejection.
             let ev = loop {
@@ -41,35 +45,41 @@ proptest! {
                 }
             };
             let o = transition(s, ev, hmg);
-            prop_assert!(matches!(o.next, DirState::Invalid | DirState::Valid));
+            assert!(matches!(o.next, DirState::Invalid | DirState::Valid));
             // Sharer bookkeeping never contradicts itself.
-            prop_assert!(!(o.inv_all_sharers && o.inv_other_sharers));
+            assert!(!(o.inv_all_sharers && o.inv_other_sharers));
             // A transition to Invalid never also records a new sharer.
             if o.next == DirState::Invalid {
-                prop_assert!(!o.add_sharer, "I-state entries track nobody");
+                assert!(!o.add_sharer, "I-state entries track nobody");
             }
             s = o.next;
         }
     }
+}
 
-    /// Remote events always track the sender; local events never do.
-    #[test]
-    fn sender_tracking_is_remote_only(state in any_state(), hmg in any::<bool>()) {
-        for (ev, remote) in [
-            (DirEvent::LocalLoad, false),
-            (DirEvent::LocalStore, false),
-            (DirEvent::RemoteLoad, true),
-            (DirEvent::RemoteStore, true),
-        ] {
-            let o = transition(state, ev, hmg);
-            prop_assert_eq!(o.add_sharer, remote, "{:?}/{:?}", state, ev);
+/// Remote events always track the sender; local events never do.
+#[test]
+fn sender_tracking_is_remote_only() {
+    for state in [DirState::Invalid, DirState::Valid] {
+        for hmg in [false, true] {
+            for (ev, remote) in [
+                (DirEvent::LocalLoad, false),
+                (DirEvent::LocalStore, false),
+                (DirEvent::RemoteLoad, true),
+                (DirEvent::RemoteStore, true),
+            ] {
+                let o = transition(state, ev, hmg);
+                assert_eq!(o.add_sharer, remote, "{:?}/{:?}", state, ev);
+            }
         }
     }
+}
 
-    /// Acquire actions are monotone in scope: a wider scope never
-    /// invalidates less.
-    #[test]
-    fn acquire_actions_monotone_in_scope(p in proptest::sample::select(ProtocolKind::ALL.to_vec())) {
+/// Acquire actions are monotone in scope: a wider scope never
+/// invalidates less.
+#[test]
+fn acquire_actions_monotone_in_scope() {
+    for p in ProtocolKind::ALL {
         let rank = |a: AcquireAction| match a {
             AcquireAction::None => 0,
             AcquireAction::L1 => 1,
@@ -79,14 +89,16 @@ proptest! {
         let mut prev = 0;
         for s in Scope::ALL {
             let r = rank(p.acquire_action(s));
-            prop_assert!(r >= prev, "{p}: action rank regressed at {s}");
+            assert!(r >= prev, "{p}: action rank regressed at {s}");
             prev = r;
         }
     }
+}
 
-    /// Release domains are monotone in scope.
-    #[test]
-    fn release_domains_monotone_in_scope(p in proptest::sample::select(ProtocolKind::ALL.to_vec())) {
+/// Release domains are monotone in scope.
+#[test]
+fn release_domains_monotone_in_scope() {
+    for p in ProtocolKind::ALL {
         let rank = |d: FenceDomain| match d {
             FenceDomain::None => 0,
             FenceDomain::LocalGpu => 1,
@@ -95,132 +107,154 @@ proptest! {
         let mut prev = 0;
         for s in Scope::ALL {
             let r = rank(p.release_domain(s));
-            prop_assert!(r >= prev, "{p}: domain rank regressed at {s}");
+            assert!(r >= prev, "{p}: domain rank regressed at {s}");
             prev = r;
         }
     }
+}
 
-    /// Hit permission is monotone along the path to the home: if a load
-    /// may hit at a level, it may also hit at every deeper level.
-    #[test]
-    fn hit_permission_monotone_in_depth(
-        p in proptest::sample::select(ProtocolKind::ALL.to_vec()),
-        s in proptest::sample::select(Scope::ALL.to_vec()),
-    ) {
-        let depth = [
-            CacheLevel::L1,
-            CacheLevel::LocalL2NonHome,
-            CacheLevel::GpuHomeL2,
-            CacheLevel::SysHomeL2,
-        ];
-        let mut allowed_before = true;
-        for lvl in depth {
-            let a = p.load_may_hit(lvl, s);
-            // Once disallowed, permission may only return when reaching
-            // the home side; check simple monotonicity: allowed set is a
-            // suffix of the path.
-            if !allowed_before {
-                // deeper levels may become allowed; nothing to check
+/// Hit permission is monotone along the path to the home: if a load
+/// may hit at a level, it may also hit at every deeper level.
+#[test]
+fn hit_permission_monotone_in_depth() {
+    for p in ProtocolKind::ALL {
+        for s in Scope::ALL {
+            let depth = [
+                CacheLevel::L1,
+                CacheLevel::LocalL2NonHome,
+                CacheLevel::GpuHomeL2,
+                CacheLevel::SysHomeL2,
+            ];
+            let mut allowed_before = true;
+            for lvl in depth {
+                let a = p.load_may_hit(lvl, s);
+                // Once disallowed, permission may only return when
+                // reaching the home side; deeper levels may become
+                // allowed again, so there is nothing stronger to check
+                // mid-path.
+                if !allowed_before {
+                    // deeper levels may become allowed; nothing to check
+                }
+                allowed_before = a;
             }
-            allowed_before = a;
+            // The system home always serves everyone.
+            assert!(p.load_may_hit(CacheLevel::SysHomeL2, s));
         }
-        // The system home always serves everyone.
-        prop_assert!(p.load_may_hit(CacheLevel::SysHomeL2, s));
     }
+}
 
-    /// `.cta`-scoped loads may hit anywhere under every protocol.
-    #[test]
-    fn cta_loads_hit_everywhere(p in proptest::sample::select(ProtocolKind::ALL.to_vec())) {
+/// `.cta`-scoped loads may hit anywhere under every protocol.
+#[test]
+fn cta_loads_hit_everywhere() {
+    for p in ProtocolKind::ALL {
         for lvl in [
             CacheLevel::L1,
             CacheLevel::LocalL2NonHome,
             CacheLevel::GpuHomeL2,
             CacheLevel::SysHomeL2,
         ] {
-            prop_assert!(p.load_may_hit(lvl, Scope::Cta), "{p} at {lvl:?}");
+            assert!(p.load_may_hit(lvl, Scope::Cta), "{p} at {lvl:?}");
         }
     }
 }
 
 mod tracefile_props {
-    use super::*;
     use hmg_mem::Addr;
     use hmg_protocol::tracefile::{read_trace, write_trace};
-    use hmg_protocol::{Access, AccessKind, Cta, Kernel, TraceOp, WorkloadTrace};
+    use hmg_protocol::{Access, AccessKind, Cta, Kernel, Scope, TraceOp, WorkloadTrace};
+    use hmg_sim::Rng;
 
-    fn arb_op() -> impl Strategy<Value = TraceOp> {
-        prop_oneof![
-            (any::<u64>(), 0u8..3, 0u8..3).prop_map(|(a, k, s)| {
-                let kind = match k {
+    const CASES: u64 = 64;
+
+    fn pick_scope(r: &mut Rng) -> Scope {
+        match r.gen_range(0, 3) {
+            0 => Scope::Cta,
+            1 => Scope::Gpu,
+            _ => Scope::Sys,
+        }
+    }
+
+    fn arb_op(r: &mut Rng) -> TraceOp {
+        match r.gen_range(0, 6) {
+            0 => {
+                let kind = match r.gen_range(0, 3) {
                     0 => AccessKind::Load,
                     1 => AccessKind::Store,
                     _ => AccessKind::Atomic,
                 };
-                let scope = match s {
-                    0 => Scope::Cta,
-                    1 => Scope::Gpu,
-                    _ => Scope::Sys,
-                };
-                TraceOp::Access(Access::new(Addr(a), kind, scope))
-            }),
-            any::<u32>().prop_map(TraceOp::Delay),
-            (0u8..3).prop_map(|s| TraceOp::Acquire(match s {
-                0 => Scope::Cta,
-                1 => Scope::Gpu,
-                _ => Scope::Sys,
-            })),
-            (0u8..3).prop_map(|s| TraceOp::Release(match s {
-                0 => Scope::Cta,
-                1 => Scope::Gpu,
-                _ => Scope::Sys,
-            })),
-            any::<u32>().prop_map(TraceOp::SetFlag),
-            (any::<u32>(), any::<u32>())
-                .prop_map(|(flag, count)| TraceOp::WaitFlag { flag, count }),
-        ]
+                let scope = pick_scope(r);
+                TraceOp::Access(Access::new(Addr(r.next_u64()), kind, scope))
+            }
+            1 => TraceOp::Delay(r.next_u64() as u32),
+            2 => TraceOp::Acquire(pick_scope(r)),
+            3 => TraceOp::Release(pick_scope(r)),
+            4 => TraceOp::SetFlag(r.next_u64() as u32),
+            _ => TraceOp::WaitFlag {
+                flag: r.next_u64() as u32,
+                count: r.next_u64() as u32,
+            },
+        }
     }
 
-    fn arb_trace() -> impl Strategy<Value = WorkloadTrace> {
-        (
-            "[a-zA-Z0-9_ .-]{0,40}",
-            proptest::collection::vec(
-                proptest::collection::vec(
-                    proptest::collection::vec(arb_op(), 0..30).prop_map(Cta::new),
-                    0..6,
-                )
-                .prop_map(Kernel::new),
-                0..5,
-            ),
-        )
-            .prop_map(|(name, kernels)| WorkloadTrace::new(name, kernels))
+    fn arb_trace(r: &mut Rng) -> WorkloadTrace {
+        const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJ0123456789_ .-";
+        let name_len = r.gen_range(0, 41) as usize;
+        let name: String = (0..name_len)
+            .map(|_| *r.choose(NAME_CHARS) as char)
+            .collect();
+        let n_kernels = r.gen_range(0, 5) as usize;
+        let kernels: Vec<Kernel> = (0..n_kernels)
+            .map(|_| {
+                let n_ctas = r.gen_range(0, 6) as usize;
+                let ctas: Vec<Cta> = (0..n_ctas)
+                    .map(|_| {
+                        let n_ops = r.gen_range(0, 30) as usize;
+                        Cta::new((0..n_ops).map(|_| arb_op(r)).collect())
+                    })
+                    .collect();
+                Kernel::new(ctas)
+            })
+            .collect();
+        WorkloadTrace::new(name, kernels)
     }
 
-    proptest! {
-        /// Serialization round trips exactly for arbitrary traces.
-        #[test]
-        fn tracefile_roundtrip(trace in arb_trace()) {
+    /// Serialization round trips exactly for arbitrary traces.
+    #[test]
+    fn tracefile_roundtrip() {
+        for case in 0..CASES {
+            let mut r = Rng::new(0x2007 + case);
+            let trace = arb_trace(&mut r);
             let mut buf = Vec::new();
             write_trace(&mut buf, &trace).expect("write");
             let back = read_trace(buf.as_slice()).expect("read");
-            prop_assert_eq!(trace, back);
+            assert_eq!(trace, back);
         }
+    }
 
-        /// Arbitrary junk input never panics the reader.
-        #[test]
-        fn tracefile_reader_is_total(junk in proptest::collection::vec(any::<u8>(), 0..400)) {
+    /// Arbitrary junk input never panics the reader.
+    #[test]
+    fn tracefile_reader_is_total() {
+        for case in 0..CASES {
+            let mut r = Rng::new(0x70AD + case);
+            let n = r.gen_range(0, 400) as usize;
+            let junk: Vec<u8> = (0..n).map(|_| r.next_u64() as u8).collect();
             let _ = read_trace(junk.as_slice());
         }
+    }
 
-        /// Single-bit corruption of a valid file either still parses to
-        /// *something* or errors — never panics.
-        #[test]
-        fn tracefile_tolerates_bitflips(trace in arb_trace(), pos_seed in any::<u64>()) {
+    /// Single-bit corruption of a valid file either still parses to
+    /// *something* or errors — never panics.
+    #[test]
+    fn tracefile_tolerates_bitflips() {
+        for case in 0..CASES {
+            let mut r = Rng::new(0xB17F + case);
+            let trace = arb_trace(&mut r);
             let mut buf = Vec::new();
             write_trace(&mut buf, &trace).expect("write");
             if buf.is_empty() {
-                return Ok(());
+                continue;
             }
-            let pos = (pos_seed % buf.len() as u64) as usize;
+            let pos = (r.next_u64() % buf.len() as u64) as usize;
             buf[pos] ^= 0x40;
             let _ = read_trace(buf.as_slice());
         }

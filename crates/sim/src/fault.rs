@@ -1,0 +1,332 @@
+//! Deterministic fault-injection plans.
+//!
+//! A [`FaultPlan`] describes the faults a run should inject. It is
+//! *pure data*: the same plan plus the same engine seed reproduces the
+//! same fault sequence bit-for-bit, because probabilistic faults draw
+//! from the engine's own SplitMix64 stream and event processing order
+//! is deterministic.
+//!
+//! Fault taxonomy (who consumes which knob):
+//!
+//! | fault            | consumed by  | expected outcome                  |
+//! |------------------|--------------|-----------------------------------|
+//! | [`LinkDegrade`]  | interconnect | tolerated — runs slower           |
+//! | [`LinkStall`]    | interconnect | tolerated — runs slower           |
+//! | [`MsgDelay`]     | GPU engine   | tolerated — fences wait it out    |
+//! | [`MsgDuplicate`] | GPU engine   | tolerated — re-delivery idempotent|
+//! | `flag_delay`     | GPU engine   | tolerated — waiters wake later    |
+//! | `drop_store`     | GPU engine   | **detected** — deadlock watchdog  |
+//! | [`ReorderInv`]   | GPU engine   | **detected** — version oracle     |
+//!
+//! The last two are deliberate protocol violations: HMG's correctness
+//! rests on FIFO link ordering and on store/invalidation counters
+//! draining, so breaking either must be *caught*, never silently
+//! survived or hung on.
+
+use crate::error::SimError;
+
+/// Bandwidth degradation of every link during a cycle window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDegrade {
+    /// First cycle (inclusive) of the degraded window.
+    pub from: u64,
+    /// Last cycle (exclusive) of the degraded window.
+    pub until: u64,
+    /// Serialization-time multiplier, `>= 1.0` (2.0 = half bandwidth).
+    pub factor: f64,
+}
+
+/// Extra propagation latency on every link during a cycle window
+/// (models a transient stall / retraining event).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStall {
+    /// First cycle (inclusive) of the stall window.
+    pub from: u64,
+    /// Last cycle (exclusive) of the stall window.
+    pub until: u64,
+    /// Extra cycles added to each send started inside the window.
+    pub extra: u64,
+}
+
+/// Random extra delivery delay on coherence messages (stores and
+/// invalidations). Delayed messages keep their ordering obligations,
+/// so fences simply wait longer — the outcome is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgDelay {
+    /// Per-message probability of being delayed, in `[0, 1]`.
+    pub prob: f64,
+    /// Extra cycles added to a delayed message's delivery.
+    pub extra: u64,
+}
+
+/// Random duplication of coherence messages (stores and
+/// invalidations). Duplicates are flagged so handlers re-apply only
+/// idempotent state (version-max commit, re-invalidation) and skip
+/// counter bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgDuplicate {
+    /// Per-message probability of being duplicated, in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// FIFO-ordering violation: the `nth` store-caused invalidation is
+/// delivered `extra` cycles late *without* holding its pending
+/// counter, so the producer's release fence completes before the
+/// stale copy is removed — exactly the hazard HMG's FIFO assumption
+/// exists to prevent. The version oracle (probe) must catch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReorderInv {
+    /// 1-based index of the invalidation message to reorder.
+    pub nth: u64,
+    /// Extra cycles the invalidation is held back.
+    pub extra: u64,
+}
+
+/// A complete, deterministic fault-injection plan.
+///
+/// `FaultPlan::default()` injects nothing. Plans are parsed from a
+/// compact CLI spec by [`FaultPlan::parse`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the engine-side fault RNG stream (delay/duplicate
+    /// draws). Independent of workload seeds.
+    pub seed: u64,
+    /// Link bandwidth degradation window, if any.
+    pub degrade: Option<LinkDegrade>,
+    /// Link stall window, if any.
+    pub stall: Option<LinkStall>,
+    /// Random message delay, if any.
+    pub delay: Option<MsgDelay>,
+    /// Random message duplication, if any.
+    pub duplicate: Option<MsgDuplicate>,
+    /// Extra cycles added to flag-write propagation (delayed flag), if any.
+    pub flag_delay: Option<u64>,
+    /// 1-based index of a store message to silently drop, if any.
+    pub drop_store: Option<u64>,
+    /// FIFO-violating invalidation reordering, if any.
+    pub reorder_inv: Option<ReorderInv>,
+}
+
+impl FaultPlan {
+    /// `true` if the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        *self == FaultPlan { seed: self.seed, ..FaultPlan::default() }
+    }
+
+    /// `true` if any knob targets the interconnect links.
+    pub fn has_link_faults(&self) -> bool {
+        self.degrade.is_some() || self.stall.is_some()
+    }
+
+    /// Serialization-time multiplier for a link send starting at
+    /// `now` (1.0 outside any degraded window).
+    pub fn link_slowdown(&self, now: u64) -> f64 {
+        match self.degrade {
+            Some(d) if (d.from..d.until).contains(&now) => d.factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Extra link latency for a send starting at `now` (0 outside any
+    /// stall window).
+    pub fn link_stall_extra(&self, now: u64) -> u64 {
+        match self.stall {
+            Some(s) if (s.from..s.until).contains(&now) => s.extra,
+            _ => 0,
+        }
+    }
+
+    /// Validate ranges: probabilities in `[0, 1]`, degrade factor
+    /// `>= 1`, windows non-inverted, counters non-zero.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if let Some(d) = self.degrade {
+            // NaN factors must fail validation, so compare negatively.
+            if d.factor < 1.0 || d.factor.is_nan() || d.from >= d.until {
+                return Err(SimError::config(format!(
+                    "degrade window {}..{} factor {} (need from < until, factor >= 1)",
+                    d.from, d.until, d.factor
+                )));
+            }
+        }
+        if let Some(s) = self.stall {
+            if s.from >= s.until {
+                return Err(SimError::config(format!(
+                    "stall window {}..{} is empty",
+                    s.from, s.until
+                )));
+            }
+        }
+        if let Some(d) = self.delay {
+            if !(0.0..=1.0).contains(&d.prob) {
+                return Err(SimError::config(format!("delay probability {} not in [0,1]", d.prob)));
+            }
+        }
+        if let Some(d) = self.duplicate {
+            if !(0.0..=1.0).contains(&d.prob) {
+                return Err(SimError::config(format!(
+                    "duplicate probability {} not in [0,1]",
+                    d.prob
+                )));
+            }
+        }
+        if self.drop_store == Some(0) {
+            return Err(SimError::config("drop-store index is 1-based; 0 never fires"));
+        }
+        if let Some(r) = self.reorder_inv {
+            if r.nth == 0 {
+                return Err(SimError::config("reorder-inv index is 1-based; 0 never fires"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parse a compact comma-separated fault spec, e.g.
+    ///
+    /// ```text
+    /// degrade=1000..5000/4,stall=2000..2500/300,delay=0.1/200,dup=0.05,
+    /// flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7
+    /// ```
+    ///
+    /// Each clause is `key=value`; unknown keys, malformed numbers and
+    /// out-of-range values are reported with the offending clause.
+    pub fn parse(spec: &str) -> Result<FaultPlan, SimError> {
+        let mut plan = FaultPlan::default();
+        for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            let (key, val) = clause
+                .split_once('=')
+                .ok_or_else(|| bad(clause, "expected key=value"))?;
+            match key.trim() {
+                "seed" => plan.seed = num(clause, val)?,
+                "degrade" => {
+                    let (win, factor) = val
+                        .split_once('/')
+                        .ok_or_else(|| bad(clause, "expected FROM..UNTIL/FACTOR"))?;
+                    let (from, until) = window(clause, win)?;
+                    plan.degrade = Some(LinkDegrade { from, until, factor: float(clause, factor)? });
+                }
+                "stall" => {
+                    let (win, extra) = val
+                        .split_once('/')
+                        .ok_or_else(|| bad(clause, "expected FROM..UNTIL/EXTRA"))?;
+                    let (from, until) = window(clause, win)?;
+                    plan.stall = Some(LinkStall { from, until, extra: num(clause, extra)? });
+                }
+                "delay" => {
+                    let (prob, extra) =
+                        val.split_once('/').ok_or_else(|| bad(clause, "expected PROB/EXTRA"))?;
+                    plan.delay =
+                        Some(MsgDelay { prob: float(clause, prob)?, extra: num(clause, extra)? });
+                }
+                "dup" => plan.duplicate = Some(MsgDuplicate { prob: float(clause, val)? }),
+                "flag-delay" => plan.flag_delay = Some(num(clause, val)?),
+                "drop-store" => plan.drop_store = Some(num(clause, val)?),
+                "reorder-inv" => {
+                    let (nth, extra) =
+                        val.split_once('/').ok_or_else(|| bad(clause, "expected NTH/EXTRA"))?;
+                    plan.reorder_inv =
+                        Some(ReorderInv { nth: num(clause, nth)?, extra: num(clause, extra)? });
+                }
+                other => {
+                    return Err(bad(
+                        clause,
+                        &format!(
+                            "unknown fault `{other}` (known: seed, degrade, stall, delay, dup, \
+                             flag-delay, drop-store, reorder-inv)"
+                        ),
+                    ));
+                }
+            }
+        }
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+fn bad(clause: &str, why: &str) -> SimError {
+    SimError::config(format!("bad fault clause `{clause}`: {why}"))
+}
+
+fn num(clause: &str, s: &str) -> Result<u64, SimError> {
+    s.trim().parse().map_err(|_| bad(clause, &format!("`{s}` is not an unsigned integer")))
+}
+
+fn float(clause: &str, s: &str) -> Result<f64, SimError> {
+    s.trim().parse().map_err(|_| bad(clause, &format!("`{s}` is not a number")))
+}
+
+fn window(clause: &str, s: &str) -> Result<(u64, u64), SimError> {
+    let (a, b) = s.split_once("..").ok_or_else(|| bad(clause, "window must be FROM..UNTIL"))?;
+    Ok((num(clause, a)?, num(clause, b)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_valid() {
+        let p = FaultPlan::default();
+        assert!(p.is_empty());
+        assert!(!p.has_link_faults());
+        p.validate().unwrap();
+        assert_eq!(p.link_slowdown(123), 1.0);
+        assert_eq!(p.link_stall_extra(123), 0);
+    }
+
+    #[test]
+    fn parse_full_spec_roundtrips_fields() {
+        let p = FaultPlan::parse(
+            "degrade=1000..5000/4,stall=2000..2500/300,delay=0.1/200,dup=0.05,\
+             flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7",
+        )
+        .unwrap();
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.degrade, Some(LinkDegrade { from: 1000, until: 5000, factor: 4.0 }));
+        assert_eq!(p.stall, Some(LinkStall { from: 2000, until: 2500, extra: 300 }));
+        assert_eq!(p.delay, Some(MsgDelay { prob: 0.1, extra: 200 }));
+        assert_eq!(p.duplicate, Some(MsgDuplicate { prob: 0.05 }));
+        assert_eq!(p.flag_delay, Some(500));
+        assert_eq!(p.drop_store, Some(3));
+        assert_eq!(p.reorder_inv, Some(ReorderInv { nth: 1, extra: 50000 }));
+        assert!(!p.is_empty());
+        assert!(p.has_link_faults());
+    }
+
+    #[test]
+    fn window_queries_respect_bounds() {
+        let p = FaultPlan::parse("degrade=100..200/2,stall=150..160/40").unwrap();
+        assert_eq!(p.link_slowdown(99), 1.0);
+        assert_eq!(p.link_slowdown(100), 2.0);
+        assert_eq!(p.link_slowdown(199), 2.0);
+        assert_eq!(p.link_slowdown(200), 1.0);
+        assert_eq!(p.link_stall_extra(149), 0);
+        assert_eq!(p.link_stall_extra(155), 40);
+        assert_eq!(p.link_stall_extra(160), 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_out_of_range() {
+        for spec in [
+            "nonsense",
+            "frobnicate=3",
+            "delay=1.5/10",
+            "dup=-0.1",
+            "degrade=5..5/2",
+            "degrade=10..20/0.5",
+            "stall=9..3/5",
+            "drop-store=0",
+            "reorder-inv=0/10",
+            "delay=abc/10",
+            "degrade=1..2",
+        ] {
+            let e = FaultPlan::parse(spec).unwrap_err();
+            assert_eq!(e.kind, crate::error::SimErrorKind::Config, "{spec}: {e}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_parses_to_default() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::default());
+        assert_eq!(FaultPlan::parse(" , ,").unwrap(), FaultPlan::default());
+    }
+}

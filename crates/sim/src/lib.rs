@@ -10,6 +10,12 @@
 //!   experiment is bit-for-bit reproducible from a seed.
 //! * [`stats`] — counters and the small amount of statistics math the
 //!   evaluation needs (means, geometric means, Pearson correlation).
+//! * [`error::SimError`] — typed fatal errors with cycle/agent/address
+//!   context, shared by every layer of the stack.
+//! * [`fault::FaultPlan`] — deterministic fault-injection plans
+//!   consumed by the interconnect and the GPU engine.
+//! * [`watchdog::ProgressWatchdog`] — livelock detection for event
+//!   loops.
 //!
 //! The memory-system model itself lives in the `hmg-mem`, `hmg-protocol`
 //! and `hmg-gpu` crates; they drive this kernel.
@@ -27,11 +33,17 @@
 //! assert!(q.pop().is_none());
 //! ```
 
+pub mod error;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod watchdog;
 
+pub use error::{SimError, SimErrorKind};
 pub use event::EventQueue;
+pub use fault::FaultPlan;
 pub use rng::Rng;
 pub use time::Cycle;
+pub use watchdog::ProgressWatchdog;

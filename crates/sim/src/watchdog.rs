@@ -1,0 +1,75 @@
+//! Livelock watchdog: a progress monitor for discrete-event loops.
+//!
+//! Deadlock in a DES is structural — the event queue drains with work
+//! outstanding — and is detected directly by the engine. *Livelock* is
+//! subtler: events keep flowing (spinning flag polls, retried
+//! requests) but nothing retires. [`ProgressWatchdog`] detects it by
+//! tracking the last cycle at which real progress (a retired load or a
+//! committed store) was reported and flagging when the gap exceeds a
+//! configurable budget.
+
+/// Tracks forward progress against a cycle budget.
+///
+/// With `budget = None` the watchdog is disarmed and never fires —
+/// the default, since legitimate runs may have long memory-bound
+/// stretches and the right budget is workload-dependent.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressWatchdog {
+    budget: Option<u64>,
+    last_progress: u64,
+}
+
+impl ProgressWatchdog {
+    /// A watchdog allowing up to `budget` cycles between retirements.
+    pub fn new(budget: Option<u64>) -> Self {
+        ProgressWatchdog { budget, last_progress: 0 }
+    }
+
+    /// Record that real progress happened at `now`.
+    pub fn note_progress(&mut self, now: u64) {
+        self.last_progress = self.last_progress.max(now);
+    }
+
+    /// Cycle of the most recent recorded progress.
+    pub fn last_progress(&self) -> u64 {
+        self.last_progress
+    }
+
+    /// If armed and `now` is more than the budget past the last
+    /// progress, returns the size of the stalled gap.
+    pub fn stalled(&self, now: u64) -> Option<u64> {
+        let budget = self.budget?;
+        let gap = now.saturating_sub(self.last_progress);
+        (gap > budget).then_some(gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_watchdog_never_fires() {
+        let w = ProgressWatchdog::new(None);
+        assert_eq!(w.stalled(u64::MAX), None);
+    }
+
+    #[test]
+    fn fires_only_past_budget() {
+        let mut w = ProgressWatchdog::new(Some(100));
+        assert_eq!(w.stalled(100), None);
+        assert_eq!(w.stalled(101), Some(101));
+        w.note_progress(50);
+        assert_eq!(w.stalled(150), None);
+        assert_eq!(w.stalled(151), Some(101));
+    }
+
+    #[test]
+    fn progress_is_monotone() {
+        let mut w = ProgressWatchdog::new(Some(10));
+        w.note_progress(90);
+        w.note_progress(40); // out-of-order report must not rewind
+        assert_eq!(w.last_progress(), 90);
+        assert_eq!(w.stalled(95), None);
+    }
+}

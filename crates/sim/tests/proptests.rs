@@ -1,94 +1,125 @@
-//! Property-based tests for the DES kernel: event ordering, RNG
+//! Randomized property tests for the DES kernel: event ordering, RNG
 //! distribution sanity, and statistics identities.
-
-use proptest::prelude::*;
+//!
+//! These were originally written against the `proptest` crate; they now
+//! drive the same properties from the in-repo SplitMix64 [`Rng`] so the
+//! workspace builds with no external dependencies (offline registries).
 
 use hmg_sim::stats::{geomean, mean, pearson};
 use hmg_sim::{Cycle, EventQueue, Rng};
 
-proptest! {
-    /// Pops come out in nondecreasing time order with FIFO ties, for any
-    /// push schedule.
-    #[test]
-    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..300)) {
+const CASES: u64 = 64;
+
+/// Pops come out in nondecreasing time order with FIFO ties, for any
+/// push schedule.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xE0E0 + case);
+        let n = r.gen_range(1, 300) as usize;
+        let times: Vec<u64> = (0..n).map(|_| r.gen_range(0, 1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(Cycle(t), (t, i));
         }
         let mut prev: Option<(u64, usize)> = None;
         while let Some((at, (t, i))) = q.pop() {
-            prop_assert_eq!(at, Cycle(t));
+            assert_eq!(at, Cycle(t));
             if let Some((pt, pi)) = prev {
-                prop_assert!(pt < t || (pt == t && pi < i), "order violated");
+                assert!(pt < t || (pt == t && pi < i), "order violated");
             }
             prev = Some((t, i));
         }
     }
+}
 
-    /// Interleaved push/pop never yields an event earlier than the last
-    /// popped one.
-    #[test]
-    fn event_queue_causality(script in proptest::collection::vec((0u64..100, any::<bool>()), 1..200)) {
+/// Interleaved push/pop never yields an event earlier than the last
+/// popped one.
+#[test]
+fn event_queue_causality() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0xCA5A + case);
+        let steps = r.gen_range(1, 200);
         let mut q = EventQueue::new();
         let mut last = Cycle::ZERO;
-        for &(dt, pop) in &script {
+        for _ in 0..steps {
+            let dt = r.gen_range(0, 100);
+            let pop = r.gen_bool(0.5);
             q.push(last + Cycle(dt), ());
             if pop {
                 if let Some((at, ())) = q.pop() {
-                    prop_assert!(at >= last);
+                    assert!(at >= last);
                     last = at;
                 }
             }
         }
     }
+}
 
-    /// The PRNG's range sampling is always in bounds and deterministic
-    /// per seed.
-    #[test]
-    fn rng_range_and_determinism(seed in any::<u64>(), lo in 0u64..1000, width in 1u64..1000) {
+/// The PRNG's range sampling is always in bounds and deterministic
+/// per seed.
+#[test]
+fn rng_range_and_determinism() {
+    for case in 0..CASES {
+        let mut meta = Rng::new(0x5EED ^ case.wrapping_mul(0x9E37_79B9));
+        let seed = meta.next_u64();
+        let lo = meta.gen_range(0, 1000);
+        let width = meta.gen_range(1, 1000);
         let mut a = Rng::new(seed);
         let mut b = Rng::new(seed);
         for _ in 0..50 {
             let x = a.gen_range(lo, lo + width);
             let y = b.gen_range(lo, lo + width);
-            prop_assert_eq!(x, y);
-            prop_assert!(x >= lo && x < lo + width);
+            assert_eq!(x, y);
+            assert!(x >= lo && x < lo + width);
         }
     }
+}
 
-    /// Zipf samples stay in the domain for any exponent in [0, 2].
-    #[test]
-    fn zipf_in_domain(seed in any::<u64>(), n in 1u64..100_000, s_times_ten in 0u32..20) {
+/// Zipf samples stay in the domain for any exponent in [0, 2].
+#[test]
+fn zipf_in_domain() {
+    for case in 0..CASES {
+        let mut meta = Rng::new(0x21FF + case);
+        let seed = meta.next_u64();
+        let n = meta.gen_range(1, 100_000);
+        let s = meta.gen_range(0, 20) as f64 / 10.0;
         let mut r = Rng::new(seed);
-        let s = s_times_ten as f64 / 10.0;
         for _ in 0..20 {
-            prop_assert!(r.gen_zipf(n, s) < n);
+            assert!(r.gen_zipf(n, s) < n);
         }
     }
+}
 
-    /// Geomean lies between min and max; mean is translation-equivariant.
-    #[test]
-    fn stats_identities(xs in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+/// Geomean lies between min and max; mean is translation-equivariant.
+#[test]
+fn stats_identities() {
+    for case in 0..CASES {
+        let mut r = Rng::new(0x57A7 + case);
+        let n = r.gen_range(1, 50) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| 0.01 + r.gen_f64() * 99.99).collect();
         let g = geomean(&xs);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(0.0f64, f64::max);
-        prop_assert!(g >= lo * 0.999 && g <= hi * 1.001, "g={g} not in [{lo}, {hi}]");
+        assert!(g >= lo * 0.999 && g <= hi * 1.001, "g={g} not in [{lo}, {hi}]");
         let shifted: Vec<f64> = xs.iter().map(|x| x + 5.0).collect();
-        prop_assert!((mean(&shifted) - mean(&xs) - 5.0).abs() < 1e-9);
+        assert!((mean(&shifted) - mean(&xs) - 5.0).abs() < 1e-9);
     }
+}
 
-    /// Pearson correlation is symmetric, bounded, and scale-invariant.
-    #[test]
-    fn pearson_properties(
-        pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..50),
-        scale in 0.1f64..10.0,
-    ) {
-        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+/// Pearson correlation is symmetric, bounded, and scale-invariant.
+#[test]
+fn pearson_properties() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9EA2 + case);
+        let n = rng.gen_range(3, 50) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 200.0 - 100.0).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 200.0 - 100.0).collect();
+        let scale = 0.1 + rng.gen_f64() * 9.9;
         let r = pearson(&xs, &ys);
-        prop_assert!((-1.0001..=1.0001).contains(&r), "r={r}");
-        prop_assert!((pearson(&ys, &xs) - r).abs() < 1e-9, "symmetry");
+        assert!((-1.0001..=1.0001).contains(&r), "r={r}");
+        assert!((pearson(&ys, &xs) - r).abs() < 1e-9, "symmetry");
         let xs_scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
-        prop_assert!((pearson(&xs_scaled, &ys) - r).abs() < 1e-6, "scale invariance");
+        assert!((pearson(&xs_scaled, &ys) - r).abs() < 1e-6, "scale invariance");
     }
 }

@@ -55,12 +55,76 @@ fn every_workload_is_deterministic_under_hmg() {
 }
 
 #[test]
+fn identical_fault_plans_reproduce_identical_runs() {
+    // The probabilistic faults (delay, duplication) draw from a fault
+    // RNG seeded by the plan, in deterministic event order: the same
+    // seed and plan must reproduce the run bit-for-bit.
+    let spec = by_abbrev("bfs").expect("bfs in suite");
+    let trace = spec.generate(Scale::Tiny, 17);
+    let plan = FaultPlan::parse(
+        "delay=0.35/140,dup=0.35,flag-delay=60,degrade=500..40000/2.5,seed=77",
+    )
+    .expect("valid plan");
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
+        let run = || {
+            let mut cfg = EngineConfig::small_test(p);
+            cfg.faults = plan.clone();
+            Engine::try_new(cfg)
+                .expect("valid config")
+                .try_run(&trace)
+                .expect("faulty-but-tolerated run completes")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{p}: same seed + same plan");
+    }
+}
+
+#[test]
+fn fault_seed_changes_faulty_timings() {
+    // CoMD's tiny trace forwards plenty of stores across GPMs, so the
+    // delay fault has messages to pick from.
+    let spec = by_abbrev("CoMD").expect("CoMD in suite");
+    let trace = spec.generate(Scale::Tiny, 17);
+    let run = |seed: u64| {
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.faults = FaultPlan::parse(&format!("delay=0.5/400,seed={seed}")).unwrap();
+        Engine::try_new(cfg).unwrap().try_run(&trace).unwrap()
+    };
+    // Different fault seeds pick different messages to delay; at 50%
+    // probability with a large penalty the total time must move.
+    assert_ne!(
+        run(1).total_cycles,
+        run(2).total_cycles,
+        "fault RNG must be driven by the plan seed"
+    );
+}
+
+#[test]
+fn keep_going_sweeps_are_deterministic() {
+    use hmg::experiments::{fig8, ExpOptions};
+    let opts = ExpOptions {
+        scale: Scale::Tiny,
+        seed: 4,
+        filter: Some(vec!["CoMD".into(), "bfs".into()]),
+        faults: Some(FaultPlan::parse("delay=0.2/90,dup=0.2,seed=5").unwrap()),
+        keep_going: true,
+    };
+    let a = fig8(&opts);
+    let b = fig8(&opts);
+    assert_eq!(a.rows, b.rows);
+    assert_eq!(a.workloads, b.workloads);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
+
+#[test]
 fn experiment_drivers_are_deterministic() {
     use hmg::experiments::{fig8, ExpOptions};
     let opts = ExpOptions {
         scale: Scale::Tiny,
         seed: 3,
         filter: Some(vec!["CoMD".into(), "bfs".into()]),
+        ..ExpOptions::default()
     };
     let a = fig8(&opts);
     let b = fig8(&opts);

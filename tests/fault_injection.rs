@@ -1,0 +1,322 @@
+//! Adversarial fault-injection validation (DESIGN.md "Robustness").
+//!
+//! Every fault class the [`FaultPlan`] can inject must be either
+//! *tolerated* — the litmus outcome is identical to a fault-free run —
+//! or *detected* — the run terminates with a typed diagnostic (deadlock
+//! watchdog) or the version oracle exposes the stale read. No injected
+//! fault may hang the simulator.
+//!
+//! | fault class              | expected outcome                       |
+//! |--------------------------|----------------------------------------|
+//! | link degrade / stall     | tolerated (timing-only)                |
+//! | message delay            | tolerated (FIFO per port preserved)    |
+//! | message duplication      | tolerated (idempotent re-delivery)     |
+//! | flag-propagation delay   | tolerated (waiters just wake later)    |
+//! | dropped store            | detected: structural deadlock + dump   |
+//! | reordered invalidation   | detected: version oracle reads stale   |
+
+use hmg::prelude::*;
+use hmg_mem::Addr;
+use hmg_protocol::{Access, Cta, Kernel, TraceOp, WorkloadTrace};
+
+fn ld(addr: u64) -> TraceOp {
+    TraceOp::Access(Access::load(Addr(addr)))
+}
+
+fn st(addr: u64) -> TraceOp {
+    TraceOp::Access(Access::store(Addr(addr)))
+}
+
+/// One CTA per GPM of the `small_test` 2-GPU x 2-GPM machine.
+fn kernel_per_gpm(mut ops: Vec<Vec<TraceOp>>) -> Kernel {
+    ops.resize(4, Vec::new());
+    Kernel::new(ops.into_iter().map(Cta::new).collect())
+}
+
+/// The Section III-B message-passing pattern with a stale copy warmed
+/// into the consumer's caches: line homed at GPM0, consumer on GPM1
+/// (same GPU as the home), producer on GPM2 (the other GPU, so its
+/// store must be forwarded across the fabric — the path the drop-store
+/// fault targets). Flag 1 orders the consumer's warm read before the
+/// producer's store.
+fn mp_stale_trace() -> WorkloadTrace {
+    let producer = vec![
+        TraceOp::WaitFlag { flag: 1, count: 1 },
+        st(0),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(3),
+    ];
+    let consumer = vec![
+        ld(0), // warm a stale copy before synchronizing
+        TraceOp::Delay(5000), // let the warm load complete and fill the L2
+        TraceOp::SetFlag(1),
+        TraceOp::WaitFlag { flag: 3, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    WorkloadTrace::new(
+        "mp-stale-faults",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            kernel_per_gpm(vec![vec![], consumer, producer, vec![]]), // version 2
+        ],
+    )
+}
+
+fn run_probed_with_faults(
+    p: ProtocolKind,
+    trace: &WorkloadTrace,
+    faults: FaultPlan,
+) -> Result<RunMetrics, SimError> {
+    let mut cfg = EngineConfig::small_test(p);
+    cfg.probe_line = Some(0);
+    cfg.faults = faults;
+    Engine::try_new(cfg)?.try_run(trace)
+}
+
+// ---------------------------------------------------------------------
+// Tolerated faults: litmus outcomes must be identical to fault-free.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tolerated_faults_leave_litmus_outcomes_unchanged() {
+    let trace = mp_stale_trace();
+    let plans: Vec<(&str, FaultPlan)> = vec![
+        ("delay", FaultPlan::parse("delay=1.0/200,seed=7").unwrap()),
+        ("dup", FaultPlan::parse("dup=1.0,seed=7").unwrap()),
+        ("delay+dup", FaultPlan::parse("delay=0.5/120,dup=0.5,seed=11").unwrap()),
+        ("flag-delay", FaultPlan::parse("flag-delay=500").unwrap()),
+        ("degrade", FaultPlan::parse("degrade=0..1000000/8.0").unwrap()),
+        ("stall", FaultPlan::parse("stall=0..1000000/300").unwrap()),
+        (
+            "all-tolerated",
+            FaultPlan::parse(
+                "delay=0.3/90,dup=0.3,flag-delay=250,\
+                 degrade=100..500000/3.5,stall=200..400000/60,seed=42",
+            )
+            .unwrap(),
+        ),
+    ];
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc, ProtocolKind::CarveLike] {
+        let clean = run_probed_with_faults(p, &trace, FaultPlan::default())
+            .expect("fault-free run completes");
+        let want = clean.probe.last().expect("consumer read").1;
+        assert_eq!(want, 2, "{p}: sanity — fault-free consumer sees the store");
+        for (name, plan) in &plans {
+            let m = run_probed_with_faults(p, &trace, plan.clone())
+                .unwrap_or_else(|e| panic!("{p}/{name}: must be tolerated, got {e}"));
+            assert_eq!(
+                m.probe.last().expect("consumer read").1,
+                want,
+                "{p}/{name}: tolerated fault changed the litmus outcome"
+            );
+        }
+    }
+}
+
+#[test]
+fn link_degradation_slows_but_preserves_results() {
+    let trace = mp_stale_trace();
+    let clean = run_probed_with_faults(ProtocolKind::Hmg, &trace, FaultPlan::default()).unwrap();
+    let slow = run_probed_with_faults(
+        ProtocolKind::Hmg,
+        &trace,
+        FaultPlan::parse("degrade=0..10000000/16.0,stall=0..10000000/500").unwrap(),
+    )
+    .unwrap();
+    assert!(
+        slow.total_cycles > clean.total_cycles,
+        "degraded links must cost cycles ({} vs {})",
+        slow.total_cycles.as_u64(),
+        clean.total_cycles.as_u64()
+    );
+    assert_eq!(slow.probe.last().unwrap().1, clean.probe.last().unwrap().1);
+}
+
+// ---------------------------------------------------------------------
+// Detected faults: dropped store => structural deadlock with diagnostic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropped_store_is_detected_as_deadlock_not_hang() {
+    let trace = mp_stale_trace();
+    let plan = FaultPlan::parse("drop-store=1").unwrap();
+    let err = run_probed_with_faults(ProtocolKind::Hmg, &trace, plan)
+        .expect_err("a dropped release-fenced store must deadlock the fence drain");
+    assert_eq!(err.kind, SimErrorKind::Deadlock);
+    assert!(err.cycle.is_some(), "diagnostic must carry the cycle: {err}");
+    assert!(err.agent.is_some(), "diagnostic must name the stuck agent: {err}");
+    let text = err.to_string();
+    assert!(text.contains("deadlocked"), "missing kind in: {text}");
+    assert!(
+        err.dump.is_some(),
+        "diagnostic must include the machine-state dump"
+    );
+    let dump = err.dump.as_deref().unwrap();
+    assert!(
+        dump.contains("pending") || dump.contains("outstanding"),
+        "dump must show per-agent outstanding work:\n{dump}"
+    );
+}
+
+#[test]
+fn dropped_store_is_detected_under_every_hw_protocol() {
+    let trace = mp_stale_trace();
+    for p in [ProtocolKind::Nhcc, ProtocolKind::Hmg, ProtocolKind::CarveLike] {
+        let plan = FaultPlan::parse("drop-store=1").unwrap();
+        let err = run_probed_with_faults(p, &trace, plan)
+            .expect_err("dropped fenced store must be detected");
+        assert_eq!(err.kind, SimErrorKind::Deadlock, "{p}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detected faults: reordered invalidation (FIFO violation) => the
+// version oracle observes the stale read; the run still terminates.
+// ---------------------------------------------------------------------
+
+#[test]
+fn reordered_invalidation_is_exposed_by_the_version_oracle() {
+    // Consumer on GPM1 shares GPU0 with the producer on GPM0 and warms
+    // line 0 into its local L2 slice before synchronizing. HMG's
+    // acquire only flushes the L1, so if the store's invalidation is
+    // reordered past the release fence (not counted, delivered late),
+    // the post-acquire CTA-scope load legally hits the stale local-L2
+    // copy — and the probe records the old version.
+    let producer = vec![
+        TraceOp::WaitFlag { flag: 1, count: 1 },
+        st(0),
+        TraceOp::Release(Scope::Sys),
+        TraceOp::SetFlag(2),
+    ];
+    let consumer = vec![
+        ld(0), // warm version 0 into GPM1's L1+L2
+        TraceOp::Delay(5000), // drain the load so GPM1 registers as sharer
+        TraceOp::SetFlag(1),
+        TraceOp::WaitFlag { flag: 2, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "reorder-inv",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]), // home line 0 at GPM0
+            kernel_per_gpm(vec![producer, consumer, vec![], vec![]]),
+        ],
+    );
+    let clean = run_probed_with_faults(ProtocolKind::Hmg, &trace, FaultPlan::default())
+        .expect("clean run completes");
+    assert_eq!(
+        clean.probe.last().expect("consumer read").1,
+        1,
+        "sanity: without the fault the consumer sees the store"
+    );
+    let plan = FaultPlan::parse("reorder-inv=1/2000000").unwrap();
+    let m = run_probed_with_faults(ProtocolKind::Hmg, &trace, plan)
+        .expect("FIFO violation terminates (detected, not hung)");
+    assert_eq!(
+        m.probe.last().expect("consumer read").1,
+        0,
+        "the reordered invalidation must leave the stale copy visible \
+         (this is precisely the ordering HMG's correctness depends on)"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Watchdog: the livelock budget fires with a typed diagnostic.
+// ---------------------------------------------------------------------
+
+#[test]
+fn livelock_watchdog_fires_on_budget_exhaustion() {
+    let trace = mp_stale_trace();
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    // Launch overhead alone (100 cycles) exceeds this budget, so the
+    // watchdog must trip before the first access retires.
+    cfg.livelock_budget = Some(10);
+    let err = Engine::try_new(cfg)
+        .unwrap()
+        .try_run(&trace)
+        .expect_err("budget of 10 cycles cannot cover kernel launch");
+    assert_eq!(err.kind, SimErrorKind::Livelock);
+    assert!(err.to_string().contains("livelocked"));
+    assert!(err.cycle.is_some());
+}
+
+#[test]
+fn generous_livelock_budget_does_not_misfire() {
+    let trace = mp_stale_trace();
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    cfg.probe_line = Some(0);
+    cfg.livelock_budget = Some(1_000_000);
+    let m = Engine::try_new(cfg).unwrap().try_run(&trace).expect("completes");
+    assert_eq!(m.probe.last().unwrap().1, 2);
+}
+
+// ---------------------------------------------------------------------
+// Determinism: same seed + same plan => bit-identical faulty runs.
+// ---------------------------------------------------------------------
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let trace = mp_stale_trace();
+    let plan = FaultPlan::parse("delay=0.4/150,dup=0.4,seed=123").unwrap();
+    let a = run_probed_with_faults(ProtocolKind::Hmg, &trace, plan.clone()).unwrap();
+    let b = run_probed_with_faults(ProtocolKind::Hmg, &trace, plan).unwrap();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.probe, b.probe);
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation: a keep-going sweep over the whole Table III
+// suite with a deliberately lethal fault completes with a partial
+// report naming the failures.
+// ---------------------------------------------------------------------
+
+#[test]
+fn keep_going_sweep_yields_partial_report_with_failure_table() {
+    use hmg::experiments::{speedup_suite, ExpOptions};
+    use hmg::workloads::Scale;
+    // Dropping the 40th forwarded store deadlocks only the workloads
+    // whose tiny traces forward that many stores — a genuinely partial
+    // outcome: some of the 20 workloads survive, the rest are reported.
+    let opts = ExpOptions {
+        scale: Scale::Tiny,
+        seed: 9,
+        filter: None,
+        faults: Some(FaultPlan::parse("drop-store=40").unwrap()),
+        keep_going: true,
+    };
+    let r = speedup_suite(&opts, &[ProtocolKind::Hmg], |_| {});
+    assert!(
+        !r.failures.is_empty(),
+        "the lethal fault must fail at least one workload"
+    );
+    assert!(
+        !r.workloads.is_empty(),
+        "the report must be partial, not empty: some workloads survive"
+    );
+    assert_eq!(
+        r.workloads.len() + {
+            let mut failed: Vec<&str> =
+                r.failures.iter().map(|f| f.workload.as_str()).collect();
+            failed.dedup();
+            failed.len()
+        },
+        20,
+        "every Table III workload is either reported or failed"
+    );
+    for f in &r.failures {
+        assert_eq!(f.error.kind, SimErrorKind::Deadlock, "{}", f.workload);
+        assert!(
+            f.error.cycle.is_some(),
+            "{}: failure must carry cycle context",
+            f.workload
+        );
+    }
+    // Surviving rows are well-formed speedups.
+    for row in &r.rows {
+        assert_eq!(row.len(), 1);
+        assert!(row[0].is_finite() && row[0] > 0.0);
+    }
+}

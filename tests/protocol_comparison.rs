@@ -9,6 +9,7 @@ fn opts(workloads: &[&str]) -> ExpOptions {
         scale: Scale::Tiny,
         seed: 17,
         filter: Some(workloads.iter().map(|s| s.to_string()).collect()),
+        ..ExpOptions::default()
     }
 }
 

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/coherence_checker-43d29f2765dcf0d5.d: crates/core/../../tests/coherence_checker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcoherence_checker-43d29f2765dcf0d5.rmeta: crates/core/../../tests/coherence_checker.rs Cargo.toml
+
+crates/core/../../tests/coherence_checker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

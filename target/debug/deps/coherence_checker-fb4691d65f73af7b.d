@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/coherence_checker-fb4691d65f73af7b.d: crates/core/../../tests/coherence_checker.rs
+
+/root/repo/target/debug/deps/coherence_checker-fb4691d65f73af7b: crates/core/../../tests/coherence_checker.rs
+
+crates/core/../../tests/coherence_checker.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/components-18c3c4b6f1482429.d: crates/bench/benches/components.rs
+
+/root/repo/target/debug/deps/libcomponents-18c3c4b6f1482429.rmeta: crates/bench/benches/components.rs
+
+crates/bench/benches/components.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/config_table2-40e5031fa42d32af.d: crates/core/../../tests/config_table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconfig_table2-40e5031fa42d32af.rmeta: crates/core/../../tests/config_table2.rs Cargo.toml
+
+crates/core/../../tests/config_table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

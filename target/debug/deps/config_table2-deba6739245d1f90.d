@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/config_table2-deba6739245d1f90.d: crates/core/../../tests/config_table2.rs
+
+/root/repo/target/debug/deps/config_table2-deba6739245d1f90: crates/core/../../tests/config_table2.rs
+
+crates/core/../../tests/config_table2.rs:

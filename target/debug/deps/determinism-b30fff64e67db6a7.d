@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-b30fff64e67db6a7.d: crates/core/../../tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-b30fff64e67db6a7: crates/core/../../tests/determinism.rs
+
+crates/core/../../tests/determinism.rs:

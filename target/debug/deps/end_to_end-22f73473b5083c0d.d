@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-22f73473b5083c0d.d: crates/bench/benches/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-22f73473b5083c0d.rmeta: crates/bench/benches/end_to_end.rs
+
+crates/bench/benches/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-31680d3aa2d0179b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-31680d3aa2d0179b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

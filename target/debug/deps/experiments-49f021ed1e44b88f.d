@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-49f021ed1e44b88f.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-49f021ed1e44b88f: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

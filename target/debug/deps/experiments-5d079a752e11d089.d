@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5d079a752e11d089.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/libexperiments-5d079a752e11d089.rmeta: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

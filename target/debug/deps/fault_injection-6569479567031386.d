@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_injection-6569479567031386.d: crates/core/../../tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-6569479567031386: crates/core/../../tests/fault_injection.rs
+
+crates/core/../../tests/fault_injection.rs:

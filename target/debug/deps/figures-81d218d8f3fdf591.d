@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-81d218d8f3fdf591.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/libfigures-81d218d8f3fdf591.rmeta: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

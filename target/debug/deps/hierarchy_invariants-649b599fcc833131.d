@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hierarchy_invariants-649b599fcc833131.d: crates/core/../../tests/hierarchy_invariants.rs
+
+/root/repo/target/debug/deps/hierarchy_invariants-649b599fcc833131: crates/core/../../tests/hierarchy_invariants.rs
+
+crates/core/../../tests/hierarchy_invariants.rs:

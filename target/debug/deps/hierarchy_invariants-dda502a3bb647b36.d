@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hierarchy_invariants-dda502a3bb647b36.d: crates/core/../../tests/hierarchy_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhierarchy_invariants-dda502a3bb647b36.rmeta: crates/core/../../tests/hierarchy_invariants.rs Cargo.toml
+
+crates/core/../../tests/hierarchy_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmg-250a42fbefabb63f.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg-250a42fbefabb63f.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

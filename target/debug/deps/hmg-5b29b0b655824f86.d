@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg-5b29b0b655824f86.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libhmg-5b29b0b655824f86.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

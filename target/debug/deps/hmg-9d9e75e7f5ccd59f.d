@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg-9d9e75e7f5ccd59f.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libhmg-9d9e75e7f5ccd59f.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

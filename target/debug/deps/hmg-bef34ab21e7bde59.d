@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmg-bef34ab21e7bde59.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libhmg-bef34ab21e7bde59.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/libhmg-bef34ab21e7bde59.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

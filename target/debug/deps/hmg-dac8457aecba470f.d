@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg-dac8457aecba470f.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/debug/deps/hmg-dac8457aecba470f: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

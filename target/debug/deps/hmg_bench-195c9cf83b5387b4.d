@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hmg_bench-195c9cf83b5387b4.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/hmg_bench-195c9cf83b5387b4: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmg_bench-1e7cb9ec75765ec7.d: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_bench-1e7cb9ec75765ec7.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hmg_bench-40df72262e264652.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libhmg_bench-40df72262e264652.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

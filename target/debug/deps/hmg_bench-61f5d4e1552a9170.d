@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/hmg_bench-61f5d4e1552a9170.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libhmg_bench-61f5d4e1552a9170.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmg_bench-8aff4256b9c32c94.d: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_bench-8aff4256b9c32c94.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

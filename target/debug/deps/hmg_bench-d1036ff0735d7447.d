@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_bench-d1036ff0735d7447.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libhmg_bench-d1036ff0735d7447.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/debug/deps/libhmg_bench-d1036ff0735d7447.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

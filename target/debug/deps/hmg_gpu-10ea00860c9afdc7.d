@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmg_gpu-10ea00860c9afdc7.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_gpu-10ea00860c9afdc7.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmg_gpu-20bf284eff4b3224.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/debug/deps/libhmg_gpu-20bf284eff4b3224.rlib: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/debug/deps/libhmg_gpu-20bf284eff4b3224.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:

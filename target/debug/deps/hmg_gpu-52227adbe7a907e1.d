@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_gpu-52227adbe7a907e1.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/debug/deps/libhmg_gpu-52227adbe7a907e1.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:

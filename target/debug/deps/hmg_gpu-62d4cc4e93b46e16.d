@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmg_gpu-62d4cc4e93b46e16.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_gpu-62d4cc4e93b46e16.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_gpu-c4de5897a466d581.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/debug/deps/hmg_gpu-c4de5897a466d581: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:

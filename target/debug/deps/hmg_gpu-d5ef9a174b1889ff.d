@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_gpu-d5ef9a174b1889ff.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/debug/deps/libhmg_gpu-d5ef9a174b1889ff.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmg_interconnect-0422ae81bd29135f.d: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/debug/deps/libhmg_interconnect-0422ae81bd29135f.rlib: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/debug/deps/libhmg_interconnect-0422ae81bd29135f.rmeta: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+crates/interconnect/src/lib.rs:
+crates/interconnect/src/fabric.rs:
+crates/interconnect/src/ids.rs:
+crates/interconnect/src/link.rs:

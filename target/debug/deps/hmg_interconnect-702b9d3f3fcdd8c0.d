@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_interconnect-702b9d3f3fcdd8c0.d: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/debug/deps/hmg_interconnect-702b9d3f3fcdd8c0: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+crates/interconnect/src/lib.rs:
+crates/interconnect/src/fabric.rs:
+crates/interconnect/src/ids.rs:
+crates/interconnect/src/link.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_interconnect-86336be96b9d91f8.d: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/debug/deps/libhmg_interconnect-86336be96b9d91f8.rmeta: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+crates/interconnect/src/lib.rs:
+crates/interconnect/src/fabric.rs:
+crates/interconnect/src/ids.rs:
+crates/interconnect/src/link.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hmg_interconnect-d70b8c90e54fce26.d: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/debug/deps/libhmg_interconnect-d70b8c90e54fce26.rmeta: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+crates/interconnect/src/lib.rs:
+crates/interconnect/src/fabric.rs:
+crates/interconnect/src/ids.rs:
+crates/interconnect/src/link.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hmg_mem-6f095f88d2787e62.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_mem-6f095f88d2787e62.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/page.rs:
+crates/mem/src/version.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmg_mem-b4c8aa75d4fbb0bb.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+/root/repo/target/debug/deps/libhmg_mem-b4c8aa75d4fbb0bb.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/page.rs:
+crates/mem/src/version.rs:

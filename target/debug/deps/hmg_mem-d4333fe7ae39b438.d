@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmg_mem-d4333fe7ae39b438.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+/root/repo/target/debug/deps/hmg_mem-d4333fe7ae39b438: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/page.rs:
+crates/mem/src/version.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hmg_mem-fb14ce4e1febef6c.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+/root/repo/target/debug/deps/libhmg_mem-fb14ce4e1febef6c.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+/root/repo/target/debug/deps/libhmg_mem-fb14ce4e1febef6c.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/page.rs:
+crates/mem/src/version.rs:

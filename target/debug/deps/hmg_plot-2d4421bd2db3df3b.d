@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hmg_plot-2d4421bd2db3df3b.d: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_plot-2d4421bd2db3df3b.rmeta: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs Cargo.toml
+
+crates/plot/src/lib.rs:
+crates/plot/src/style.rs:
+crates/plot/src/svg.rs:
+crates/plot/src/bars.rs:
+crates/plot/src/lines.rs:
+crates/plot/src/scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hmg_plot-5a34064b0e3306dc.d: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_plot-5a34064b0e3306dc.rmeta: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs Cargo.toml
+
+crates/plot/src/lib.rs:
+crates/plot/src/style.rs:
+crates/plot/src/svg.rs:
+crates/plot/src/bars.rs:
+crates/plot/src/lines.rs:
+crates/plot/src/scatter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmg_plot-a7cdea8b303c0ea1.d: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+/root/repo/target/debug/deps/libhmg_plot-a7cdea8b303c0ea1.rlib: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+/root/repo/target/debug/deps/libhmg_plot-a7cdea8b303c0ea1.rmeta: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+crates/plot/src/lib.rs:
+crates/plot/src/style.rs:
+crates/plot/src/svg.rs:
+crates/plot/src/bars.rs:
+crates/plot/src/lines.rs:
+crates/plot/src/scatter.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hmg_plot-b73a7a5f09bad375.d: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+/root/repo/target/debug/deps/libhmg_plot-b73a7a5f09bad375.rmeta: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+crates/plot/src/lib.rs:
+crates/plot/src/style.rs:
+crates/plot/src/svg.rs:
+crates/plot/src/bars.rs:
+crates/plot/src/lines.rs:
+crates/plot/src/scatter.rs:

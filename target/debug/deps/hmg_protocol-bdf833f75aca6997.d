@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hmg_protocol-bdf833f75aca6997.d: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_protocol-bdf833f75aca6997.rmeta: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs Cargo.toml
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/op.rs:
+crates/protocol/src/policy.rs:
+crates/protocol/src/scope.rs:
+crates/protocol/src/table.rs:
+crates/protocol/src/trace.rs:
+crates/protocol/src/tracefile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmg_protocol-dfce8283e8cb59d4.d: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs
+
+/root/repo/target/debug/deps/libhmg_protocol-dfce8283e8cb59d4.rmeta: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/op.rs:
+crates/protocol/src/policy.rs:
+crates/protocol/src/scope.rs:
+crates/protocol/src/table.rs:
+crates/protocol/src/trace.rs:
+crates/protocol/src/tracefile.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hmg_sim-46e9da4083510cf2.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+/root/repo/target/debug/deps/libhmg_sim-46e9da4083510cf2.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/watchdog.rs:

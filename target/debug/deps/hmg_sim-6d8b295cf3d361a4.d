@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/hmg_sim-6d8b295cf3d361a4.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_sim-6d8b295cf3d361a4.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/watchdog.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/hmg_sim-7e4a6c7f58942e0a.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+/root/repo/target/debug/deps/libhmg_sim-7e4a6c7f58942e0a.rlib: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+/root/repo/target/debug/deps/libhmg_sim-7e4a6c7f58942e0a.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/watchdog.rs:

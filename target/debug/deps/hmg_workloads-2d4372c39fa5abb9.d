@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/hmg_workloads-2d4372c39fa5abb9.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libhmg_workloads-2d4372c39fa5abb9.rlib: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libhmg_workloads-2d4372c39fa5abb9.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

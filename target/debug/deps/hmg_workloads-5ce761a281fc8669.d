@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hmg_workloads-5ce761a281fc8669.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhmg_workloads-5ce761a281fc8669.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

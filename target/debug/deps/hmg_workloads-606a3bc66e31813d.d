@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmg_workloads-606a3bc66e31813d.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libhmg_workloads-606a3bc66e31813d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

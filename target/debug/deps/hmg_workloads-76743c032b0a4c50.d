@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hmg_workloads-76743c032b0a4c50.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/debug/deps/libhmg_workloads-76743c032b0a4c50.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/litmus-5b5ffd11bf472453.d: crates/core/../../tests/litmus.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblitmus-5b5ffd11bf472453.rmeta: crates/core/../../tests/litmus.rs Cargo.toml
+
+crates/core/../../tests/litmus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/litmus-898ff8c7140a34bc.d: crates/core/../../tests/litmus.rs
+
+/root/repo/target/debug/deps/litmus-898ff8c7140a34bc: crates/core/../../tests/litmus.rs
+
+crates/core/../../tests/litmus.rs:

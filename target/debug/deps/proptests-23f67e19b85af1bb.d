@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-23f67e19b85af1bb.d: crates/interconnect/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-23f67e19b85af1bb.rmeta: crates/interconnect/tests/proptests.rs Cargo.toml
+
+crates/interconnect/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

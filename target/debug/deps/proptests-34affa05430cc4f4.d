@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-34affa05430cc4f4.d: crates/interconnect/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-34affa05430cc4f4: crates/interconnect/tests/proptests.rs
+
+crates/interconnect/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3a51c2865e823fed.d: crates/sim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3a51c2865e823fed: crates/sim/tests/proptests.rs
+
+crates/sim/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-4d7d2a6e19acb903.d: crates/gpu/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-4d7d2a6e19acb903.rmeta: crates/gpu/tests/proptests.rs Cargo.toml
+
+crates/gpu/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-62a38d3de48c89fd.d: crates/mem/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-62a38d3de48c89fd.rmeta: crates/mem/tests/proptests.rs Cargo.toml
+
+crates/mem/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-6f4aca26d661da3d.d: crates/protocol/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-6f4aca26d661da3d.rmeta: crates/protocol/tests/proptests.rs Cargo.toml
+
+crates/protocol/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-8530360b8c567814.d: crates/plot/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-8530360b8c567814.rmeta: crates/plot/tests/proptests.rs Cargo.toml
+
+crates/plot/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

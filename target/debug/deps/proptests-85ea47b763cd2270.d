@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-85ea47b763cd2270.d: crates/gpu/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-85ea47b763cd2270: crates/gpu/tests/proptests.rs
+
+crates/gpu/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-89b8098b83bf5d0d.d: crates/plot/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-89b8098b83bf5d0d: crates/plot/tests/proptests.rs
+
+crates/plot/tests/proptests.rs:

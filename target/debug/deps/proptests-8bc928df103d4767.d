@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-8bc928df103d4767.d: crates/protocol/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-8bc928df103d4767: crates/protocol/tests/proptests.rs
+
+crates/protocol/tests/proptests.rs:

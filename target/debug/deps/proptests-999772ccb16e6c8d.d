@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-999772ccb16e6c8d.d: crates/mem/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-999772ccb16e6c8d: crates/mem/tests/proptests.rs
+
+crates/mem/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9ec28c44008f142f.d: crates/workloads/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9ec28c44008f142f.rmeta: crates/workloads/tests/proptests.rs Cargo.toml
+
+crates/workloads/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-d2fffa170c24d6f5.d: crates/workloads/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-d2fffa170c24d6f5: crates/workloads/tests/proptests.rs
+
+crates/workloads/tests/proptests.rs:

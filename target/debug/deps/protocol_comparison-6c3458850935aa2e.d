@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_comparison-6c3458850935aa2e.d: crates/core/../../tests/protocol_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_comparison-6c3458850935aa2e.rmeta: crates/core/../../tests/protocol_comparison.rs Cargo.toml
+
+crates/core/../../tests/protocol_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

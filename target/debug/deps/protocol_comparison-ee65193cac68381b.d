@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_comparison-ee65193cac68381b.d: crates/core/../../tests/protocol_comparison.rs
+
+/root/repo/target/debug/deps/protocol_comparison-ee65193cac68381b: crates/core/../../tests/protocol_comparison.rs
+
+crates/core/../../tests/protocol_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_tool-1e44f5dce98f4a5b.d: crates/bench/src/bin/trace_tool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_tool-1e44f5dce98f4a5b.rmeta: crates/bench/src/bin/trace_tool.rs Cargo.toml
+
+crates/bench/src/bin/trace_tool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

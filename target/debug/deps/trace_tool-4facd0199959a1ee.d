@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-4facd0199959a1ee.d: crates/bench/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-4facd0199959a1ee: crates/bench/src/bin/trace_tool.rs
+
+crates/bench/src/bin/trace_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-58bc12bdb444945e.d: crates/bench/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/trace_tool-58bc12bdb444945e: crates/bench/src/bin/trace_tool.rs
+
+crates/bench/src/bin/trace_tool.rs:

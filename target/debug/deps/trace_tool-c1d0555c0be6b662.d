@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_tool-c1d0555c0be6b662.d: crates/bench/src/bin/trace_tool.rs
+
+/root/repo/target/debug/deps/libtrace_tool-c1d0555c0be6b662.rmeta: crates/bench/src/bin/trace_tool.rs
+
+crates/bench/src/bin/trace_tool.rs:

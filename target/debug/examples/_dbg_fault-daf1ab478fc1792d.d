@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_dbg_fault-daf1ab478fc1792d.d: crates/core/../../examples/_dbg_fault.rs
+
+/root/repo/target/debug/examples/_dbg_fault-daf1ab478fc1792d: crates/core/../../examples/_dbg_fault.rs
+
+crates/core/../../examples/_dbg_fault.rs:

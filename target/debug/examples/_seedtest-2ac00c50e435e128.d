@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/_seedtest-2ac00c50e435e128.d: crates/core/../../examples/_seedtest.rs
+
+/root/repo/target/debug/examples/_seedtest-2ac00c50e435e128: crates/core/../../examples/_seedtest.rs
+
+crates/core/../../examples/_seedtest.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph_analytics-2266db40542aa3e9.d: crates/core/../../examples/graph_analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph_analytics-2266db40542aa3e9.rmeta: crates/core/../../examples/graph_analytics.rs Cargo.toml
+
+crates/core/../../examples/graph_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-67acfe0de45dfe48.d: crates/core/../../examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-67acfe0de45dfe48: crates/core/../../examples/graph_analytics.rs
+
+crates/core/../../examples/graph_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-57c7e5bbca608e0e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-57c7e5bbca608e0e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

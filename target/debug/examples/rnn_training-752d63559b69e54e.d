@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/rnn_training-752d63559b69e54e.d: crates/core/../../examples/rnn_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/librnn_training-752d63559b69e54e.rmeta: crates/core/../../examples/rnn_training.rs Cargo.toml
+
+crates/core/../../examples/rnn_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/rnn_training-dece767cc380eebc.d: crates/core/../../examples/rnn_training.rs
+
+/root/repo/target/debug/examples/rnn_training-dece767cc380eebc: crates/core/../../examples/rnn_training.rs
+
+crates/core/../../examples/rnn_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sensitivity_sweep-524defef1e7cc926.d: crates/core/../../examples/sensitivity_sweep.rs
+
+/root/repo/target/debug/examples/sensitivity_sweep-524defef1e7cc926: crates/core/../../examples/sensitivity_sweep.rs
+
+crates/core/../../examples/sensitivity_sweep.rs:

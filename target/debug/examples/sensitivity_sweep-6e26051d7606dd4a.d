@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sensitivity_sweep-6e26051d7606dd4a.d: crates/core/../../examples/sensitivity_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsensitivity_sweep-6e26051d7606dd4a.rmeta: crates/core/../../examples/sensitivity_sweep.rs Cargo.toml
+
+crates/core/../../examples/sensitivity_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

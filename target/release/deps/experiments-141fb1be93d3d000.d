@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-141fb1be93d3d000.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-141fb1be93d3d000: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hmg-5edabb80c2bf5134.d: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/release/deps/libhmg-5edabb80c2bf5134.rlib: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+/root/repo/target/release/deps/libhmg-5edabb80c2bf5134.rmeta: crates/core/src/lib.rs crates/core/src/experiments.rs crates/core/src/report.rs crates/core/src/runner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/experiments.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hmg_bench-d8f5cc12fc7c2a14.d: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libhmg_bench-d8f5cc12fc7c2a14.rlib: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+/root/repo/target/release/deps/libhmg_bench-d8f5cc12fc7c2a14.rmeta: crates/bench/src/lib.rs crates/bench/src/cli.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/cli.rs:

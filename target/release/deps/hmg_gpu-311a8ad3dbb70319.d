@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hmg_gpu-311a8ad3dbb70319.d: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/release/deps/libhmg_gpu-311a8ad3dbb70319.rlib: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+/root/repo/target/release/deps/libhmg_gpu-311a8ad3dbb70319.rmeta: crates/gpu/src/lib.rs crates/gpu/src/config.rs crates/gpu/src/engine.rs crates/gpu/src/metrics.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/config.rs:
+crates/gpu/src/engine.rs:
+crates/gpu/src/metrics.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hmg_interconnect-94ca9a0fd2aa1aa7.d: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/release/deps/libhmg_interconnect-94ca9a0fd2aa1aa7.rlib: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+/root/repo/target/release/deps/libhmg_interconnect-94ca9a0fd2aa1aa7.rmeta: crates/interconnect/src/lib.rs crates/interconnect/src/fabric.rs crates/interconnect/src/ids.rs crates/interconnect/src/link.rs
+
+crates/interconnect/src/lib.rs:
+crates/interconnect/src/fabric.rs:
+crates/interconnect/src/ids.rs:
+crates/interconnect/src/link.rs:

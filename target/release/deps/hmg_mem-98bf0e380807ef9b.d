@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hmg_mem-98bf0e380807ef9b.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+/root/repo/target/release/deps/libhmg_mem-98bf0e380807ef9b.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+/root/repo/target/release/deps/libhmg_mem-98bf0e380807ef9b.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/cache.rs crates/mem/src/directory.rs crates/mem/src/dram.rs crates/mem/src/page.rs crates/mem/src/version.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/directory.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/page.rs:
+crates/mem/src/version.rs:

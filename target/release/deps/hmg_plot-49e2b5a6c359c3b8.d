@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/hmg_plot-49e2b5a6c359c3b8.d: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+/root/repo/target/release/deps/libhmg_plot-49e2b5a6c359c3b8.rlib: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+/root/repo/target/release/deps/libhmg_plot-49e2b5a6c359c3b8.rmeta: crates/plot/src/lib.rs crates/plot/src/style.rs crates/plot/src/svg.rs crates/plot/src/bars.rs crates/plot/src/lines.rs crates/plot/src/scatter.rs
+
+crates/plot/src/lib.rs:
+crates/plot/src/style.rs:
+crates/plot/src/svg.rs:
+crates/plot/src/bars.rs:
+crates/plot/src/lines.rs:
+crates/plot/src/scatter.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hmg_protocol-17bd3c980ec5d331.d: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs
+
+/root/repo/target/release/deps/libhmg_protocol-17bd3c980ec5d331.rlib: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs
+
+/root/repo/target/release/deps/libhmg_protocol-17bd3c980ec5d331.rmeta: crates/protocol/src/lib.rs crates/protocol/src/msg.rs crates/protocol/src/op.rs crates/protocol/src/policy.rs crates/protocol/src/scope.rs crates/protocol/src/table.rs crates/protocol/src/trace.rs crates/protocol/src/tracefile.rs
+
+crates/protocol/src/lib.rs:
+crates/protocol/src/msg.rs:
+crates/protocol/src/op.rs:
+crates/protocol/src/policy.rs:
+crates/protocol/src/scope.rs:
+crates/protocol/src/table.rs:
+crates/protocol/src/trace.rs:
+crates/protocol/src/tracefile.rs:

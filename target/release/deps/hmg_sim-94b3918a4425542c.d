@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/hmg_sim-94b3918a4425542c.d: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+/root/repo/target/release/deps/libhmg_sim-94b3918a4425542c.rlib: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+/root/repo/target/release/deps/libhmg_sim-94b3918a4425542c.rmeta: crates/sim/src/lib.rs crates/sim/src/error.rs crates/sim/src/event.rs crates/sim/src/fault.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs crates/sim/src/watchdog.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/error.rs:
+crates/sim/src/event.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:
+crates/sim/src/watchdog.rs:

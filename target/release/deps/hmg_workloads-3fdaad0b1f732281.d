@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hmg_workloads-3fdaad0b1f732281.d: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libhmg_workloads-3fdaad0b1f732281.rlib: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+/root/repo/target/release/deps/libhmg_workloads-3fdaad0b1f732281.rmeta: crates/workloads/src/lib.rs crates/workloads/src/archetypes.rs crates/workloads/src/gen.rs crates/workloads/src/micro.rs crates/workloads/src/suite.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/archetypes.rs:
+crates/workloads/src/gen.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/suite.rs:

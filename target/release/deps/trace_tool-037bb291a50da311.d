@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_tool-037bb291a50da311.d: crates/bench/src/bin/trace_tool.rs
+
+/root/repo/target/release/deps/trace_tool-037bb291a50da311: crates/bench/src/bin/trace_tool.rs
+
+crates/bench/src/bin/trace_tool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_k-37b9d4bc90025269.d: crates/core/../../examples/_k.rs
+
+/root/repo/target/release/examples/_k-37b9d4bc90025269: crates/core/../../examples/_k.rs
+
+crates/core/../../examples/_k.rs:

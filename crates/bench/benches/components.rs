@@ -32,7 +32,10 @@ fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
         black_box(f());
     }
     let per_iter = start.elapsed().as_secs_f64() / iters as f64;
-    println!("{name:<40} {:>12.3} us/iter  ({iters} iters)", per_iter * 1e6);
+    println!(
+        "{name:<40} {:>12.3} us/iter  ({iters} iters)",
+        per_iter * 1e6
+    );
 }
 
 fn bench_event_queue() {
@@ -72,7 +75,10 @@ fn bench_directory() {
         let mut dir = Directory::new(DirectoryConfig::paper_default(), topo);
         for i in 0..4096u64 {
             let (set, _evicted) = dir.allocate(BlockAddr(i * 13));
-            set.insert(&topo, Sharer::Gpm(hmg::interconnect::GpmId((i % 16) as u16)));
+            set.insert(
+                &topo,
+                Sharer::Gpm(hmg::interconnect::GpmId((i % 16) as u16)),
+            );
         }
         dir.len()
     });

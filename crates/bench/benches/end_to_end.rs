@@ -20,7 +20,10 @@ fn bench<R>(name: &str, samples: u64, mut f: impl FnMut() -> R) {
         black_box(f());
     }
     let per_iter = start.elapsed().as_secs_f64() / samples as f64;
-    println!("{name:<40} {:>12.3} ms/iter  ({samples} iters)", per_iter * 1e3);
+    println!(
+        "{name:<40} {:>12.3} ms/iter  ({samples} iters)",
+        per_iter * 1e3
+    );
 }
 
 fn bench_protocols() {

@@ -76,5 +76,8 @@ fn main() {
     exp::carve_comparison(&sweep_opts)
         .print("Prior work: CARVE-like broadcast coherence vs NHCC/HMG");
 
-    println!("\n[figures regenerated in {:.0}s]", t0.elapsed().as_secs_f64());
+    println!(
+        "\n[figures regenerated in {:.0}s]",
+        t0.elapsed().as_secs_f64()
+    );
 }

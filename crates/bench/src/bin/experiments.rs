@@ -31,7 +31,11 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
         Command::Fig2 => {
             let r = exp::fig2(opts);
             r.print("Fig. 2: motivating multi-GPU comparison");
-            save_svg(svg, "fig2", &r.to_svg("Fig. 2: motivating multi-GPU comparison"));
+            save_svg(
+                svg,
+                "fig2",
+                &r.to_svg("Fig. 2: motivating multi-GPU comparison"),
+            );
         }
         Command::Fig3 => {
             let r = exp::fig3(opts);
@@ -54,7 +58,11 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
                 of_ideal * 100.0
             );
             println!("paper:    HMG vs SW-coherence +26%, vs NHCC +18%, 97% of ideal\n");
-            save_svg(svg, "fig8", &r.to_svg("Fig. 8: five coherence configurations"));
+            save_svg(
+                svg,
+                "fig8",
+                &r.to_svg("Fig. 8: five coherence configurations"),
+            );
         }
         Command::Fig9To11 => {
             let r = exp::fig9_10_11(opts);
@@ -67,7 +75,11 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
         Command::Fig12 => {
             let r = exp::fig12(opts);
             r.print("Fig. 12: inter-GPU bandwidth sensitivity");
-            save_svg(svg, "fig12", &r.to_svg("Fig. 12: inter-GPU bandwidth sensitivity"));
+            save_svg(
+                svg,
+                "fig12",
+                &r.to_svg("Fig. 12: inter-GPU bandwidth sensitivity"),
+            );
         }
         Command::Fig13 => {
             let r = exp::fig13(opts);
@@ -77,7 +89,11 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
         Command::Fig14 => {
             let r = exp::fig14(opts);
             r.print("Fig. 14: directory capacity sensitivity");
-            save_svg(svg, "fig14", &r.to_svg("Fig. 14: directory capacity sensitivity"));
+            save_svg(
+                svg,
+                "fig14",
+                &r.to_svg("Fig. 14: directory capacity sensitivity"),
+            );
         }
         Command::Grain => {
             let r = exp::grain_sweep(opts);
@@ -89,7 +105,11 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
         Command::Carve => {
             let r = exp::carve_comparison(opts);
             r.print("Prior work: CARVE-like broadcast coherence vs NHCC/HMG");
-            save_svg(svg, "carve", &r.to_svg("CARVE-like broadcast coherence vs NHCC/HMG"));
+            save_svg(
+                svg,
+                "carve",
+                &r.to_svg("CARVE-like broadcast coherence vs NHCC/HMG"),
+            );
         }
         Command::Characterize => {
             let list = opts
@@ -126,7 +146,10 @@ fn main() -> ExitCode {
         Ok(parsed) => {
             let t0 = std::time::Instant::now();
             run(parsed.command, &parsed.options, &parsed.svg_dir);
-            eprintln!("[experiments completed in {:.1}s]", t0.elapsed().as_secs_f64());
+            eprintln!(
+                "[experiments completed in {:.1}s]",
+                t0.elapsed().as_secs_f64()
+            );
             ExitCode::SUCCESS
         }
         Err(msg) => {

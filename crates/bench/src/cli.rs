@@ -110,7 +110,7 @@ pub struct ParsedArgs {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
@@ -120,10 +120,18 @@ commands:
 fault injection (DESIGN.md `Robustness & fault injection`):
   --faults SPEC   comma-separated clauses, e.g.
                   degrade=FROM..UNTIL/FACTOR  stall=FROM..UNTIL/EXTRA
-                  delay=PROB/EXTRA  dup=PROB  flag-delay=EXTRA
+                  delay=PROB/EXTRA  dup=PROB  drop=PROB  flag-delay=EXTRA
                   drop-store=N  reorder-inv=NTH/EXTRA  seed=N
   --keep-going    isolate per-workload failures and print a partial
-                  report with a failure table instead of aborting";
+                  report with a failure table instead of aborting
+
+recovery (DESIGN.md \u{a7}7 `Recovery & degradation`):
+  --checkpoint FILE    append per-cell sweep results to FILE as they
+                       finish, so an interrupted sweep can be resumed
+  --resume             with --checkpoint: reuse completed cells from
+                       FILE and re-run only failed or missing ones
+  --livelock-budget N  override the auto-scaled deadlock-watchdog
+                       budget with N cycles (0 disarms the watchdog)";
 
 /// Parses the argument list (without the program name).
 ///
@@ -163,8 +171,21 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                     Some(FaultPlan::parse(v).map_err(|e| format!("bad --faults spec: {e}"))?);
             }
             "--keep-going" => options.keep_going = true,
+            "--checkpoint" => {
+                let v = it.next().ok_or("--checkpoint needs a file path")?;
+                options.checkpoint = Some(std::path::PathBuf::from(v));
+            }
+            "--resume" => options.resume = true,
+            "--livelock-budget" => {
+                let v = it.next().ok_or("--livelock-budget needs a cycle count")?;
+                options.livelock_budget =
+                    Some(v.parse().map_err(|e| format!("bad livelock budget: {e}"))?);
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
+    }
+    if options.resume && options.checkpoint.is_none() {
+        return Err("--resume requires --checkpoint FILE".into());
     }
     Ok(ParsedArgs {
         command,
@@ -235,11 +256,56 @@ mod tests {
     }
 
     #[test]
+    fn parses_checkpoint_resume_and_budget() {
+        let p = parse_args(&s(&[
+            "fig8",
+            "--checkpoint",
+            "sweep.ckpt",
+            "--resume",
+            "--livelock-budget",
+            "250000",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p.options.checkpoint.as_deref(),
+            Some(std::path::Path::new("sweep.ckpt"))
+        );
+        assert!(p.options.resume);
+        assert_eq!(p.options.livelock_budget, Some(250_000));
+        let q = parse_args(&s(&["fig8", "--livelock-budget", "0"])).unwrap();
+        assert_eq!(q.options.livelock_budget, Some(0), "0 disarms the watchdog");
+        assert!(q.options.checkpoint.is_none());
+        assert!(!q.options.resume);
+    }
+
+    #[test]
+    fn resume_requires_a_checkpoint_file() {
+        let err = parse_args(&s(&["fig8", "--resume"])).unwrap_err();
+        assert!(err.contains("--resume requires"), "{err}");
+        assert!(parse_args(&s(&["fig8", "--checkpoint"])).is_err());
+        assert!(parse_args(&s(&["fig8", "--livelock-budget", "lots"])).is_err());
+    }
+
+    #[test]
     fn all_command_names_round_trip() {
         for name in [
-            "fig2", "fig3", "fig7", "fig8", "fig9-11", "fig12", "fig13", "fig14", "grain",
-            "cost", "table3", "single-gpu", "ablate-fence", "ablate-placement",
-            "ablate-writeback", "ablate-downgrade", "all",
+            "fig2",
+            "fig3",
+            "fig7",
+            "fig8",
+            "fig9-11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "grain",
+            "cost",
+            "table3",
+            "single-gpu",
+            "ablate-fence",
+            "ablate-placement",
+            "ablate-writeback",
+            "ablate-downgrade",
+            "all",
         ] {
             assert!(Command::from_name(name).is_some(), "{name}");
         }

@@ -30,6 +30,18 @@ pub struct ExpOptions {
     /// partial result with a failure table instead of aborting the
     /// whole sweep on the first deadlocked workload.
     pub keep_going: bool,
+    /// Checkpoint file for speedup sweeps: every completed cell is
+    /// appended as it finishes, so an interrupted sweep can be resumed.
+    /// `None` disables checkpointing.
+    pub checkpoint: Option<std::path::PathBuf>,
+    /// With a checkpoint file: reuse its completed cells and re-run
+    /// only failed or missing ones. The final report is identical to an
+    /// uninterrupted sweep.
+    pub resume: bool,
+    /// Livelock-watchdog budget override: `None` arms the
+    /// workload-scaled default, `Some(0)` disarms the watchdog, any
+    /// other value is the budget in cycles.
+    pub livelock_budget: Option<u64>,
 }
 
 impl Default for ExpOptions {
@@ -40,6 +52,9 @@ impl Default for ExpOptions {
             filter: None,
             faults: None,
             keep_going: false,
+            checkpoint: None,
+            resume: false,
+            livelock_budget: None,
         }
     }
 }
@@ -118,16 +133,28 @@ impl SpeedupResult {
         t.row(cells);
         println!("{}", t.render());
         if !self.failures.is_empty() {
-            println!("-- {} failed run(s); partial result --", self.failures.len());
+            println!(
+                "-- {} failed run(s); partial result --",
+                self.failures.len()
+            );
             let mut ft = Table::new(vec![
                 "workload".to_string(),
                 "protocol".to_string(),
                 "error".to_string(),
             ]);
             for f in &self.failures {
-                let first_line =
-                    f.error.to_string().lines().next().unwrap_or_default().to_string();
-                ft.row(vec![f.workload.clone(), f.protocol.name().to_string(), first_line]);
+                let first_line = f
+                    .error
+                    .to_string()
+                    .lines()
+                    .next()
+                    .unwrap_or_default()
+                    .to_string();
+                ft.row(vec![
+                    f.workload.clone(),
+                    f.protocol.name().to_string(),
+                    first_line,
+                ]);
             }
             println!("{}", ft.render());
         }
@@ -137,7 +164,12 @@ impl SpeedupResult {
     pub fn to_svg(&self, title: &str) -> String {
         let mut chart = hmg_plot::GroupedBars::new(title)
             .subtitle("speedup over the no-peer-caching baseline")
-            .series(self.protocols.iter().map(|p| p.name().to_string()).collect())
+            .series(
+                self.protocols
+                    .iter()
+                    .map(|p| p.name().to_string())
+                    .collect(),
+            )
             .y_label("speedup")
             .reference_line(1.0)
             .label_last_group();
@@ -171,8 +203,7 @@ pub fn speedup_suite(
     tweak: impl Fn(&mut EngineConfig) + Sync,
 ) -> SpeedupResult {
     let specs = opts.specs();
-    let traces: Vec<WorkloadTrace> =
-        parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+    let traces: Vec<WorkloadTrace> = parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
     // One task per (workload, protocol-or-baseline).
     let mut tasks: Vec<(usize, ProtocolKind)> = Vec::new();
     for w in 0..specs.len() {
@@ -181,13 +212,30 @@ pub fn speedup_suite(
             tasks.push((w, p));
         }
     }
+    // Sweep supervisor: completed cells are checkpointed to disk as
+    // they finish; `--resume` reuses them and re-runs only failed or
+    // missing cells.
+    let identity = sweep_identity(opts, protocols, &specs);
+    let ckpt = crate::runner::open_checkpoint(opts.checkpoint.as_ref(), &identity, opts.resume);
     // Each run is isolated: deadlocks, livelocks and residual panics
     // come back as typed errors instead of tearing the sweep down.
     let cycles: Vec<Result<u64, SimError>> = parallel_map(&tasks, |&(w, p)| {
+        let key = format!("{}/{}", specs[w].abbrev, p.name());
+        if let Some(done) = ckpt.as_ref().and_then(|c| c.lookup(&key)) {
+            return Ok(done);
+        }
         let mut cfg = opts.base_config(p);
         tweak(&mut cfg);
         crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
-        crate::runner::run_isolated(cfg, &traces[w]).map(|m| m.total_cycles.as_u64())
+        crate::runner::arm_watchdog(&mut cfg, &traces[w], opts.livelock_budget);
+        let r = crate::runner::run_isolated(cfg, &traces[w]).map(|m| m.total_cycles.as_u64());
+        if let Some(c) = &ckpt {
+            match &r {
+                Ok(cycles) => c.record_ok(&key, *cycles),
+                Err(e) => c.record_failure(&key, &e.to_string()),
+            }
+        }
+        r
     });
     let per_run = protocols.len() + 1;
     let mut rows = Vec::with_capacity(specs.len());
@@ -198,8 +246,11 @@ pub fn speedup_suite(
         if chunk.iter().any(|c| c.is_err()) {
             for (i, c) in chunk.iter().enumerate() {
                 if let Err(e) = c {
-                    let protocol =
-                        if i == 0 { ProtocolKind::NoPeerCaching } else { protocols[i - 1] };
+                    let protocol = if i == 0 {
+                        ProtocolKind::NoPeerCaching
+                    } else {
+                        protocols[i - 1]
+                    };
                     failures.push(RunFailure {
                         workload: specs[w].abbrev.to_string(),
                         protocol,
@@ -231,6 +282,24 @@ pub fn speedup_suite(
         geomeans,
         failures,
     }
+}
+
+/// The shape of a speedup sweep, pinned into its checkpoint header so
+/// cells from a different sweep are never silently mixed in. (The
+/// per-figure configuration tweak is a closure and cannot be hashed;
+/// distinct figures are still told apart by their protocol and
+/// workload sets, and users should keep one checkpoint file per
+/// figure.)
+fn sweep_identity(opts: &ExpOptions, protocols: &[ProtocolKind], specs: &[WorkloadSpec]) -> String {
+    let protos: Vec<&str> = protocols.iter().map(|p| p.name()).collect();
+    let loads: Vec<&str> = specs.iter().map(|s| s.abbrev).collect();
+    format!(
+        "scale={:?} seed={} protocols={} workloads={}",
+        opts.scale,
+        opts.seed,
+        protos.join(","),
+        loads.join(",")
+    )
 }
 
 /// Fig. 8: all five configurations on the 4-GPU Table II machine.
@@ -312,9 +381,7 @@ pub fn scale_study(opts: &ExpOptions) -> SweepResult {
             (0..protocols.len())
                 .map(|pi| {
                     let speedups: Vec<f64> = (0..specs.len())
-                        .map(|w| {
-                            cycles[w * per_run] as f64 / cycles[w * per_run + 1 + pi] as f64
-                        })
+                        .map(|w| cycles[w * per_run] as f64 / cycles[w * per_run + 1 + pi] as f64)
                         .collect();
                     stats::geomean(&speedups)
                 })
@@ -424,8 +491,7 @@ fn sweep_fixed_baseline(
     protocols: &[ProtocolKind],
 ) -> SweepResult {
     let specs = opts.specs();
-    let traces: Vec<WorkloadTrace> =
-        parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+    let traces: Vec<WorkloadTrace> = parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
 
     // The fixed Table II baseline, once per workload.
     let indices: Vec<usize> = (0..specs.len()).collect();
@@ -448,6 +514,7 @@ fn sweep_fixed_baseline(
         let mut cfg = opts.base_config(p);
         (points[pt].1)(&mut cfg);
         crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
+        crate::runner::arm_watchdog(&mut cfg, &traces[w], opts.livelock_budget);
         Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
     });
 
@@ -477,17 +544,16 @@ fn sweep_fixed_baseline(
 
 /// Fig. 12: sensitivity to inter-GPU bandwidth (100–400 GB/s per link).
 pub fn fig12(opts: &ExpOptions) -> SweepResult {
-    let points: Vec<SweepPoint> =
-        [100.0f64, 200.0, 300.0, 400.0]
-            .into_iter()
-            .map(|bw| {
-                let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
-                    Box::new(move |cfg: &mut EngineConfig| {
-                        cfg.fabric.inter_gpu_gbps = bw;
-                    });
-                (format!("{bw:.0}GB/s"), f)
-            })
-            .collect();
+    let points: Vec<SweepPoint> = [100.0f64, 200.0, 300.0, 400.0]
+        .into_iter()
+        .map(|bw| {
+            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
+                Box::new(move |cfg: &mut EngineConfig| {
+                    cfg.fabric.inter_gpu_gbps = bw;
+                });
+            (format!("{bw:.0}GB/s"), f)
+        })
+        .collect();
     sweep_fixed_baseline(opts, "inter-GPU BW", points, &SWEEP_PROTOCOLS)
 }
 
@@ -568,10 +634,7 @@ impl Fig3Result {
         println!("== Fig. 3: % of inter-GPU loads redundant within the GPU ==");
         let mut t = Table::new(vec!["workload".into(), "redundant".into()]);
         for (w, v) in &self.rows {
-            t.row(vec![
-                w.clone(),
-                v.map(pct).unwrap_or_else(|| "n/a".into()),
-            ]);
+            t.row(vec![w.clone(), v.map(pct).unwrap_or_else(|| "n/a".into())]);
         }
         t.row(vec!["Avg".into(), pct(self.average)]);
         println!("{}", t.render());
@@ -581,12 +644,11 @@ impl Fig3Result {
 impl Fig3Result {
     /// Renders the figure as an SVG bar chart (percent per workload).
     pub fn to_svg(&self) -> String {
-        let mut chart = hmg_plot::GroupedBars::new(
-            "Fig. 3: inter-GPU loads redundant within the GPU",
-        )
-        .subtitle("measured on the no-peer-caching baseline")
-        .series(vec!["redundant share".into()])
-        .y_label("% of inter-GPU loads");
+        let mut chart =
+            hmg_plot::GroupedBars::new("Fig. 3: inter-GPU loads redundant within the GPU")
+                .subtitle("measured on the no-peer-caching baseline")
+                .series(vec!["redundant share".into()])
+                .y_label("% of inter-GPU loads");
         for (w, v) in &self.rows {
             chart = chart.group(w.clone(), vec![v.unwrap_or(0.0) * 100.0]);
         }
@@ -815,7 +877,10 @@ impl InvCostResult {
             for (w, v) in vals {
                 chart = chart.group(w, vec![v]);
             }
-            chart.group("Avg".to_string(), vec![avg]).label_last_group().to_svg()
+            chart
+                .group("Avg".to_string(), vec![avg])
+                .label_last_group()
+                .to_svg()
         };
         let fig9 = mk(
             "Fig. 9: lines invalidated per store",
@@ -897,7 +962,10 @@ pub fn print_storage_cost() {
     let (bits, bytes, frac) = storage_cost();
     println!("== §VII-C: HMG directory hardware cost ==");
     println!("bits per entry:      {bits} (48 tag + 1 state + 6 sharers)");
-    println!("bytes per GPM:       {bytes} ({:.0} KB)", bytes as f64 / 1024.0);
+    println!(
+        "bytes per GPM:       {bytes} ({:.0} KB)",
+        bytes as f64 / 1024.0
+    );
     println!("fraction of L2 data: {}", pct(frac));
 }
 
@@ -1001,8 +1069,7 @@ pub fn print_table3(opts: &ExpOptions) {
         "kernels".into(),
     ]);
     let specs = opts.specs();
-    let traces: Vec<WorkloadTrace> =
-        parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
+    let traces: Vec<WorkloadTrace> = parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
     for (s, tr) in specs.iter().zip(&traces) {
         let fp = if s.paper_footprint_mb >= 1000.0 {
             format!("{:.2} GB", s.paper_footprint_mb / 1024.0)
@@ -1252,6 +1319,41 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.l1_hit_rate));
         }
         assert!(characterize(&opts, "nope").is_none());
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_to_identical_report() {
+        let dir = std::env::temp_dir().join("hmg-exp-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig8.ckpt");
+        let opts = ExpOptions {
+            filter: Some(vec!["bfs".into(), "lstm".into()]),
+            checkpoint: Some(path.clone()),
+            ..tiny()
+        };
+        let full = fig8(&opts);
+
+        // Simulate an interrupted sweep: drop some completed cells from
+        // the checkpoint, then resume. The resumed sweep re-runs only
+        // the missing cells and must reproduce the full report.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().filter(|l| !l.contains("lstm/")).collect();
+        std::fs::write(&path, kept.join("\n") + "\n").unwrap();
+        let resumed = fig8(&ExpOptions {
+            resume: true,
+            ..opts.clone()
+        });
+        assert_eq!(resumed.workloads, full.workloads);
+        assert_eq!(resumed.rows, full.rows, "resumed report must be identical");
+        assert_eq!(resumed.geomeans, full.geomeans);
+
+        // A second resume with the now-complete file reuses every cell.
+        let resumed_again = fig8(&ExpOptions {
+            resume: true,
+            ..opts.clone()
+        });
+        assert_eq!(resumed_again.rows, full.rows);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

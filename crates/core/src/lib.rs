@@ -31,20 +31,20 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-/// Re-export of the DES kernel crate.
-pub use hmg_sim as sim;
+/// Re-export of the GPU timing-model crate.
+pub use hmg_gpu as gpu;
 /// Re-export of the interconnect crate.
 pub use hmg_interconnect as interconnect;
 /// Re-export of the memory-substrate crate.
 pub use hmg_mem as mem;
-/// Re-export of the protocol crate (the paper's contribution).
-pub use hmg_protocol as protocol;
-/// Re-export of the GPU timing-model crate.
-pub use hmg_gpu as gpu;
-/// Re-export of the workload-generator crate.
-pub use hmg_workloads as workloads;
 /// Re-export of the SVG figure-rendering crate.
 pub use hmg_plot as plot;
+/// Re-export of the protocol crate (the paper's contribution).
+pub use hmg_protocol as protocol;
+/// Re-export of the DES kernel crate.
+pub use hmg_sim as sim;
+/// Re-export of the workload-generator crate.
+pub use hmg_workloads as workloads;
 
 /// The types most users need.
 pub mod prelude {

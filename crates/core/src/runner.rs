@@ -2,9 +2,14 @@
 //! scale-appropriate Table II machine and per-experiment overrides.
 
 use hmg_gpu::{Engine, EngineConfig, RunMetrics};
-use hmg_protocol::{ProtocolKind, WorkloadTrace};
+use hmg_protocol::{ProtocolKind, TraceOp, WorkloadTrace};
 use hmg_sim::SimError;
 use hmg_workloads::Scale;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Builds engine configurations matched to an experiment scale and runs
 /// traces through them.
@@ -105,6 +110,194 @@ pub fn run_isolated(cfg: EngineConfig, trace: &WorkloadTrace) -> Result<RunMetri
     }
 }
 
+/// A livelock-watchdog budget scaled to the workload: the sum of every
+/// programmed delay in the trace (a legitimate global quiet period in
+/// the worst case), per-kernel launch and synchronization slack, and a
+/// large fixed margin for queueing. Deliberately generous — the
+/// watchdog exists to turn an *unbounded* hang into a typed diagnostic,
+/// not to police tail latency.
+pub fn auto_livelock_budget(cfg: &EngineConfig, trace: &WorkloadTrace) -> u64 {
+    let total_delays: u64 = trace
+        .kernels
+        .iter()
+        .flat_map(|k| k.ctas.iter())
+        .flat_map(|c| c.ops.iter())
+        .map(|op| match op {
+            TraceOp::Delay(d) => u64::from(*d),
+            _ => 0,
+        })
+        .sum();
+    let per_kernel = cfg.kernel_launch_overhead.as_u64()
+        + cfg.dram_latency.as_u64()
+        + 4 * cfg.flag_latency.as_u64();
+    total_delays + per_kernel * trace.kernels.len().max(1) as u64 + 2_000_000
+}
+
+/// Arms the engine's progress watchdog for a sweep run. `override_budget`
+/// is the CLI knob: `None` arms the workload-scaled default budget,
+/// `Some(0)` disarms the watchdog entirely, and any other value is used
+/// verbatim.
+pub fn arm_watchdog(cfg: &mut EngineConfig, trace: &WorkloadTrace, override_budget: Option<u64>) {
+    cfg.livelock_budget = match override_budget {
+        Some(0) => None,
+        Some(n) => Some(n),
+        None => Some(auto_livelock_budget(cfg, trace)),
+    };
+}
+
+/// Append-only checkpoint of a sweep's per-cell results, enabling
+/// `--resume` to re-run only failed or missing cells after a crash or
+/// interruption.
+///
+/// The on-disk format is a line-oriented text file:
+///
+/// ```text
+/// #hmg-sweep v1 <identity>
+/// <cell key>\tok\t<cycles>
+/// <cell key>\tfailed\t<first error line>
+/// ```
+///
+/// The identity line pins the sweep's shape (figure, scale, seed,
+/// protocol set, workload list); resuming against a file written by a
+/// different sweep is rejected rather than silently mixing results.
+/// Only `ok` cells are reused on resume — failed cells re-run, so a
+/// transient failure (an injected fault, an interrupted process) heals
+/// on the next invocation and the final report is identical to an
+/// uninterrupted sweep.
+#[derive(Debug)]
+pub struct SweepCheckpoint {
+    file: Mutex<File>,
+    done: HashMap<String, u64>,
+}
+
+const CHECKPOINT_MAGIC: &str = "#hmg-sweep v1";
+
+impl SweepCheckpoint {
+    /// Opens (or creates) the checkpoint at `path`.
+    ///
+    /// With `resume` set, an existing file is validated against
+    /// `identity` and its completed cells become reusable; without it,
+    /// any existing file is truncated and the sweep starts fresh.
+    pub fn open(path: &Path, identity: &str, resume: bool) -> Result<Self, SimError> {
+        let mut done = HashMap::new();
+        if resume && path.exists() {
+            let reader = BufReader::new(File::open(path).map_err(|e| {
+                SimError::config(format!("cannot read checkpoint {}: {e}", path.display()))
+            })?);
+            let mut lines = reader.lines();
+            let header = lines
+                .next()
+                .transpose()
+                .map_err(|e| SimError::config(format!("checkpoint read error: {e}")))?
+                .unwrap_or_default();
+            let expected = format!("{CHECKPOINT_MAGIC} {identity}");
+            if header != expected {
+                return Err(SimError::config(format!(
+                    "checkpoint {} belongs to a different sweep\n  file:     {header}\n  expected: {expected}",
+                    path.display()
+                )));
+            }
+            for line in lines {
+                let line =
+                    line.map_err(|e| SimError::config(format!("checkpoint read error: {e}")))?;
+                let mut parts = line.splitn(3, '\t');
+                let (Some(key), Some(status), Some(value)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    continue; // torn tail line from an interrupted run
+                };
+                if status == "ok" {
+                    if let Ok(cycles) = value.parse::<u64>() {
+                        done.insert(key.to_string(), cycles);
+                    }
+                }
+            }
+            // Re-append reusable cells to a fresh file: failed and torn
+            // rows are dropped, so the file shrinks back to truth.
+            let mut file = File::create(path).map_err(|e| {
+                SimError::config(format!("cannot write checkpoint {}: {e}", path.display()))
+            })?;
+            writeln!(file, "{expected}")
+                .and_then(|()| {
+                    let mut keys: Vec<&String> = done.keys().collect();
+                    keys.sort();
+                    for k in keys {
+                        writeln!(file, "{k}\tok\t{}", done[k])?;
+                    }
+                    file.flush()
+                })
+                .map_err(|e| SimError::config(format!("checkpoint write error: {e}")))?;
+            return Ok(SweepCheckpoint {
+                file: Mutex::new(file),
+                done,
+            });
+        }
+        let mut file = File::create(path).map_err(|e| {
+            SimError::config(format!("cannot write checkpoint {}: {e}", path.display()))
+        })?;
+        writeln!(file, "{CHECKPOINT_MAGIC} {identity}")
+            .map_err(|e| SimError::config(format!("checkpoint write error: {e}")))?;
+        Ok(SweepCheckpoint {
+            file: Mutex::new(file),
+            done,
+        })
+    }
+
+    /// The completed cycle count for `key`, if a prior run finished it.
+    pub fn lookup(&self, key: &str) -> Option<u64> {
+        self.done.get(key).copied()
+    }
+
+    /// Number of cells reusable from the prior run.
+    pub fn completed(&self) -> usize {
+        self.done.len()
+    }
+
+    /// Records a successful cell; flushed immediately so a crash loses
+    /// at most the in-flight cells.
+    pub fn record_ok(&self, key: &str, cycles: u64) {
+        self.append(&format!("{}\tok\t{cycles}", sanitize(key)));
+    }
+
+    /// Records a failed cell (kept for the report; re-run on resume).
+    pub fn record_failure(&self, key: &str, error: &str) {
+        let first_line = error.lines().next().unwrap_or("unknown error");
+        self.append(&format!(
+            "{}\tfailed\t{}",
+            sanitize(key),
+            sanitize(first_line)
+        ));
+    }
+
+    fn append(&self, line: &str) {
+        let mut f = self.file.lock().expect("checkpoint poisoned");
+        // Checkpointing is best-effort durability; the sweep's own
+        // result does not depend on the write landing.
+        let _ = writeln!(f, "{line}");
+        let _ = f.flush();
+    }
+}
+
+fn sanitize(s: &str) -> String {
+    s.replace(['\t', '\n', '\r'], " ")
+}
+
+/// Convenience wrapper: opens a checkpoint from optional CLI-style
+/// settings. Returns `None` when no checkpoint path was requested.
+///
+/// # Panics
+///
+/// Panics with the typed error's message if the checkpoint cannot be
+/// opened or belongs to a different sweep — both are configuration
+/// mistakes the user must resolve.
+pub fn open_checkpoint(
+    path: Option<&PathBuf>,
+    identity: &str,
+    resume: bool,
+) -> Option<SweepCheckpoint> {
+    path.map(|p| SweepCheckpoint::open(p, identity, resume).unwrap_or_else(|e| panic!("{e}")))
+}
+
 /// Speedup of `measured` relative to `baseline` execution time.
 ///
 /// # Panics
@@ -134,8 +327,7 @@ pub fn scale_capacities(cfg: &mut EngineConfig, factor: f64) {
         .round()
         .max(1.0) as u32;
     cfg.dir = hmg_mem::DirectoryConfig::new(dir_sets * cfg.dir.ways, cfg.dir.ways);
-    let block_bytes =
-        (cfg.geometry.line_bytes() * cfg.geometry.lines_per_block()) as u64;
+    let block_bytes = (cfg.geometry.line_bytes() * cfg.geometry.lines_per_block()) as u64;
     let page = ((cfg.geometry.page_bytes() as f64 / factor) as u64)
         .next_multiple_of(block_bytes)
         .max(16 * 1024);
@@ -270,6 +462,105 @@ mod tests {
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
         let empty: Vec<u64> = Vec::new();
         assert!(parallel_map(&empty, |&x: &u64| x).is_empty());
+    }
+
+    #[test]
+    fn auto_budget_scales_with_trace_delays() {
+        let cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        let quiet = WorkloadTrace::new("quiet", vec![]);
+        let base = auto_livelock_budget(&cfg, &quiet);
+        let slow = WorkloadTrace::new(
+            "slow",
+            vec![hmg_protocol::Kernel::new(vec![hmg_protocol::Cta::new(
+                vec![TraceOp::Delay(5_000_000)],
+            )])],
+        );
+        assert!(auto_livelock_budget(&cfg, &slow) >= base + 5_000_000);
+    }
+
+    #[test]
+    fn arm_watchdog_override_semantics() {
+        let cfg0 = EngineConfig::small_test(ProtocolKind::Hmg);
+        let trace = WorkloadTrace::new("t", vec![]);
+        let mut cfg = cfg0.clone();
+        arm_watchdog(&mut cfg, &trace, None);
+        assert_eq!(
+            cfg.livelock_budget,
+            Some(auto_livelock_budget(&cfg0, &trace))
+        );
+        arm_watchdog(&mut cfg, &trace, Some(0));
+        assert_eq!(cfg.livelock_budget, None, "zero disarms");
+        arm_watchdog(&mut cfg, &trace, Some(123));
+        assert_eq!(cfg.livelock_budget, Some(123));
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_reuses_ok_cells_only() {
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        {
+            let c = SweepCheckpoint::open(&path, "fig8|tiny|seed=1", false).unwrap();
+            assert_eq!(c.completed(), 0);
+            c.record_ok("bfs/HMG", 12345);
+            c.record_ok("bfs/NHCC", 777);
+            c.record_failure("lstm/HMG", "deadlocked: st_pending\nmachine dump...");
+        }
+        let c = SweepCheckpoint::open(&path, "fig8|tiny|seed=1", true).unwrap();
+        assert_eq!(c.completed(), 2, "failed cells must not be reused");
+        assert_eq!(c.lookup("bfs/HMG"), Some(12345));
+        assert_eq!(c.lookup("bfs/NHCC"), Some(777));
+        assert_eq!(c.lookup("lstm/HMG"), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_foreign_identity() {
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-identity");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        SweepCheckpoint::open(&path, "fig8|tiny|seed=1", false).unwrap();
+        let err = SweepCheckpoint::open(&path, "fig12|tiny|seed=1", true).unwrap_err();
+        assert!(err.to_string().contains("different sweep"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_resume_starts_fresh() {
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-fresh");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        {
+            let c = SweepCheckpoint::open(&path, "id", false).unwrap();
+            c.record_ok("a/HMG", 1);
+        }
+        let c = SweepCheckpoint::open(&path, "id", false).unwrap();
+        assert_eq!(c.completed(), 0, "no --resume means a clean slate");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_survives_torn_tail_line() {
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-torn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        {
+            let c = SweepCheckpoint::open(&path, "id", false).unwrap();
+            c.record_ok("a/HMG", 42);
+        }
+        // Simulate a crash mid-write: a truncated trailing record.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            write!(f, "b/HMG\tok").unwrap();
+        }
+        let c = SweepCheckpoint::open(&path, "id", true).unwrap();
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.lookup("a/HMG"), Some(42));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

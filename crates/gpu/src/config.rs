@@ -104,6 +104,16 @@ pub struct EngineConfig {
     /// many cycles pass without a single retired access. `None`
     /// (default) disarms the watchdog.
     pub livelock_budget: Option<u64>,
+    /// Directory-home flow control: when a remote request reaches a
+    /// directory home whose ingress port has more than this many cycles
+    /// of queued serialization, the home NACKs the request instead of
+    /// accepting it, and the requester re-issues after an exponential
+    /// backoff. `None` (default) disables NACKs — requests queue
+    /// unboundedly, the pre-flow-control behavior.
+    pub home_nack_threshold: Option<u64>,
+    /// Base backoff before a NACKed request is re-issued; doubles per
+    /// consecutive NACK of the same request (capped at `2^6`).
+    pub nack_backoff: Cycle,
 }
 
 impl EngineConfig {
@@ -142,6 +152,8 @@ impl EngineConfig {
             sharer_downgrades: false,
             faults: FaultPlan::default(),
             livelock_budget: None,
+            home_nack_threshold: None,
+            nack_backoff: Cycle(200),
         }
     }
 
@@ -160,6 +172,7 @@ impl EngineConfig {
         c.l2_tag_latency = Cycle(4);
         c.kernel_launch_overhead = Cycle(100);
         c.flag_latency = Cycle(20);
+        c.nack_backoff = Cycle(40);
         c
     }
 
@@ -206,6 +219,12 @@ impl EngineConfig {
                 self.msg.header,
                 self.geometry.line_bytes()
             )));
+        }
+        if self.home_nack_threshold.is_some() && self.nack_backoff == Cycle::ZERO {
+            return Err(SimError::config(
+                "nack_backoff must be positive when NACK flow control is enabled \
+                 (a zero backoff can retry forever within one cycle)",
+            ));
         }
         self.faults.validate()
     }

@@ -25,9 +25,7 @@
 use std::collections::VecDeque;
 
 use hmg_interconnect::{Fabric, GpmId, GpuId, MsgClass};
-use hmg_mem::{
-    BlockAddr, Cache, Directory, Dram, LineAddr, PageMap, Sharer, VersionStore,
-};
+use hmg_mem::{BlockAddr, Cache, Directory, Dram, LineAddr, PageMap, Sharer, VersionStore};
 use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
 use hmg_protocol::{AccessKind, ProtocolKind, Scope, TraceOp, WorkloadTrace};
 use hmg_sim::{Cycle, EventQueue, ProgressWatchdog, Rng, SimError};
@@ -112,6 +110,9 @@ struct MemMsg {
     version: u64,
     /// Issue time, for latency accounting.
     issued_at: Cycle,
+    /// Consecutive NACKs this request has absorbed; scales the
+    /// retry backoff exponentially.
+    attempts: u8,
 }
 
 /// A store (or atomic write-through continuation) in flight.
@@ -173,10 +174,21 @@ struct Fence {
 #[derive(Debug)]
 enum Ev {
     SmResume(SmRef),
-    Req { msg: MemMsg, node: GpmId },
-    Store { msg: StoreMsg, node: GpmId },
-    RespGpuHome { msg: MemMsg, node: GpmId },
-    Resp { msg: MemMsg },
+    Req {
+        msg: MemMsg,
+        node: GpmId,
+    },
+    Store {
+        msg: StoreMsg,
+        node: GpmId,
+    },
+    RespGpuHome {
+        msg: MemMsg,
+        node: GpmId,
+    },
+    Resp {
+        msg: MemMsg,
+    },
     Inv(InvMsg),
     Downgrade {
         block: BlockAddr,
@@ -375,7 +387,13 @@ impl<'t> Sim<'t> {
     }
 
     /// The cache level `node` represents for `line` requested by `req_gpm`.
-    fn level_of(&self, node: GpmId, req_gpm: GpmId, sys_home: GpmId, gpu_home: GpmId) -> CacheLevel {
+    fn level_of(
+        &self,
+        node: GpmId,
+        req_gpm: GpmId,
+        sys_home: GpmId,
+        gpu_home: GpmId,
+    ) -> CacheLevel {
         if node == sys_home {
             CacheLevel::SysHomeL2
         } else if self.cfg.protocol.hierarchical_routing() && node == gpu_home {
@@ -388,7 +406,13 @@ impl<'t> Sim<'t> {
 
     /// The next node a request at `node` forwards to, or `None` when
     /// `node` is the system home (next stop is DRAM).
-    fn next_node(&self, node: GpmId, req_gpm: GpmId, sys_home: GpmId, gpu_home: GpmId) -> Option<GpmId> {
+    fn next_node(
+        &self,
+        node: GpmId,
+        req_gpm: GpmId,
+        sys_home: GpmId,
+        gpu_home: GpmId,
+    ) -> Option<GpmId> {
         if node == sys_home {
             return None;
         }
@@ -473,14 +497,38 @@ impl<'t> Sim<'t> {
                     .max(self.fabric.intra_ingress_utilization(g, elapsed))
             })
             .fold(0.0, f64::max);
+        self.m.state_digest = self.state_digest();
         Ok(std::mem::take(&mut self.m))
+    }
+
+    /// FNV-1a digest of the final committed memory state, over
+    /// `(line, version)` pairs in ascending line order. Recovery paths
+    /// (retransmission, NACK/retry, broadcast fallback) must converge to
+    /// the fault-free digest for the same seed and trace.
+    fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut lines: Vec<(u64, u64)> = self.committed.iter().map(|(l, v)| (l.0, *v)).collect();
+        lines.sort_unstable();
+        let mut h = FNV_OFFSET;
+        for (l, v) in lines {
+            for b in l.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+                h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
     }
 
     // ---------- watchdog diagnostics ----------
 
     /// Human-readable name for an SM, used as error agent context.
     fn agent_name(&self, r: SmRef) -> String {
-        format!("gpu{}/gpm{}/sm{}", self.cfg.topo.gpu_of(r.gpm).0, r.gpm.index(), r.sm)
+        format!(
+            "gpu{}/gpm{}/sm{}",
+            self.cfg.topo.gpu_of(r.gpm).0,
+            r.gpm.index(),
+            r.sm
+        )
     }
 
     /// A multi-line snapshot of everything relevant to a stuck run:
@@ -532,7 +580,12 @@ impl<'t> Sim<'t> {
             let mut waits: Vec<_> = self
                 .flag_waiters
                 .iter()
-                .map(|(f, ws)| (*f, ws.iter().map(|w| self.agent_name(*w)).collect::<Vec<_>>()))
+                .map(|(f, ws)| {
+                    (
+                        *f,
+                        ws.iter().map(|w| self.agent_name(*w)).collect::<Vec<_>>(),
+                    )
+                })
                 .collect();
             waits.sort();
             for (f, ws) in waits {
@@ -548,11 +601,18 @@ impl<'t> Sim<'t> {
             .map(|&(_, line)| line)
             .or(self.cfg.probe_line.map(LineAddr));
         if !self.mshr.is_empty() {
-            let mut entries: Vec<_> =
-                self.mshr.iter().map(|(&(node, line), v)| (node, line, v.len())).collect();
+            let mut entries: Vec<_> = self
+                .mshr
+                .iter()
+                .map(|(&(node, line), v)| (node, line, v.len()))
+                .collect();
             entries.sort();
             for (node, line, waiters) in entries.into_iter().take(8) {
-                let _ = writeln!(dump, "  mshr gpm{node} line {:#x}: {waiters} merged", line.0);
+                let _ = writeln!(
+                    dump,
+                    "  mshr gpm{node} line {:#x}: {waiters} merged",
+                    line.0
+                );
             }
         }
         if let Some(line) = stuck_line {
@@ -880,6 +940,7 @@ impl<'t> Sim<'t> {
             scope,
             version: 0,
             issued_at: t,
+            attempts: 0,
         };
         self.q
             .push(t + self.cfg.l1_latency, Ev::Req { msg, node: r.gpm });
@@ -914,8 +975,7 @@ impl<'t> Sim<'t> {
         // §IV-B write-back option: plain stores coalesce as dirty lines
         // in the local L2; evictions and releases flush them. Scoped
         // stores always write through to their scope home.
-        if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack
-            && scope == Scope::Cta
+        if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack && scope == Scope::Cta
         {
             self.fill_l2(
                 t + self.cfg.l1_latency,
@@ -963,6 +1023,7 @@ impl<'t> Sim<'t> {
             scope,
             version: v,
             issued_at: t,
+            attempts: 0,
         };
         self.q
             .push(t + self.cfg.l1_latency, Ev::Req { msg, node: r.gpm });
@@ -1009,9 +1070,42 @@ impl<'t> Sim<'t> {
         let t_data = now + self.cfg.l2_latency;
         let block = self.cfg.geometry.block_of(msg.line);
 
+        // Flow control: a busy directory home rejects remote requests
+        // outright rather than queueing them unboundedly. This runs
+        // before any state is touched, so a rejected delivery has no
+        // side effects and the retry is a clean re-issue from the
+        // requester (redelivery is idempotent by construction).
+        if let Some(thr) = self.cfg.home_nack_threshold {
+            if node != req_gpm
+                && self.node_is_dir_home(node, sys_home, gpu_home)
+                && self.fabric.intra_backlog(node, now).1 > thr
+            {
+                self.m.nacks += 1;
+                let back = self
+                    .fabric
+                    .send(now, node, req_gpm, self.cfg.msg.nack, MsgClass::Ctrl);
+                let shift = u32::from(msg.attempts.min(6));
+                let backoff = Cycle(self.cfg.nack_backoff.0 << shift);
+                let retry = MemMsg {
+                    attempts: msg.attempts.saturating_add(1),
+                    ..msg
+                };
+                self.q.push(
+                    back + backoff,
+                    Ev::Req {
+                        msg: retry,
+                        node: req_gpm,
+                    },
+                );
+                return;
+            }
+        }
+
         // Fig. 3: the request is about to leave the requester's GPU.
+        // Retries already counted themselves on their first pass.
         if self.cfg.track_peer_redundancy
             && msg.kind == AccessKind::Load
+            && msg.attempts == 0
             && node == req_gpm
             && self.cfg.topo.gpu_of(sys_home) != req_gpu
         {
@@ -1112,8 +1206,10 @@ impl<'t> Sim<'t> {
         // MSHR merge: a load that misses behind an identical outstanding
         // fill at this node rides that fill instead of re-crossing the
         // network. Merging is only legal when this node's cache would be
-        // a valid serving point for the load's scope.
-        let mergeable = msg.kind == AccessKind::Load && may_hit;
+        // a valid serving point for the load's scope. A NACKed retry
+        // must not merge: the entry it would ride may be its own first
+        // attempt, whose fill the home just refused to produce.
+        let mergeable = msg.kind == AccessKind::Load && may_hit && msg.attempts == 0;
         if mergeable {
             let key = (node.0, msg.line);
             if let Some(waiters) = self.mshr.get_mut(&key) {
@@ -1225,10 +1321,7 @@ impl<'t> Sim<'t> {
         if siblings_resident {
             return;
         }
-        let sys_home = match self
-            .pages
-            .peek_home(self.cfg.geometry.page_of_line(line))
-        {
+        let sys_home = match self.pages.peek_home(self.cfg.geometry.page_of_line(line)) {
             Some(h) => h,
             None => return,
         };
@@ -1334,7 +1427,14 @@ impl<'t> Sim<'t> {
         self.continue_store(t, st, node, sys_home, gpu_home);
     }
 
-    fn send_response(&mut self, t: Cycle, msg: MemMsg, server: GpmId, sys_home: GpmId, gpu_home: GpmId) {
+    fn send_response(
+        &mut self,
+        t: Cycle,
+        msg: MemMsg,
+        server: GpmId,
+        sys_home: GpmId,
+        gpu_home: GpmId,
+    ) {
         let req_gpm = msg.sm.gpm;
         let proto = self.cfg.protocol;
         let bytes = match msg.kind {
@@ -1352,10 +1452,14 @@ impl<'t> Sim<'t> {
             && gpu_home != req_gpm
             && msg.kind == AccessKind::Load
         {
-            let arrive = self
-                .fabric
-                .send(t, server, gpu_home, bytes, MsgClass::Data);
-            self.q.push(arrive, Ev::RespGpuHome { msg, node: gpu_home });
+            let arrive = self.fabric.send(t, server, gpu_home, bytes, MsgClass::Data);
+            self.q.push(
+                arrive,
+                Ev::RespGpuHome {
+                    msg,
+                    node: gpu_home,
+                },
+            );
             return;
         }
         let arrive = self.fabric.send(t, server, req_gpm, bytes, MsgClass::Data);
@@ -1410,8 +1514,8 @@ impl<'t> Sim<'t> {
         let lat = now.saturating_sub(msg.issued_at).as_u64();
         self.m.miss_latency_sum += lat;
         self.m.miss_count += 1;
-        let bucket = (64 - lat.max(1).leading_zeros() as usize - 1)
-            .min(self.m.miss_latency_hist.len() - 1);
+        let bucket =
+            (64 - lat.max(1).leading_zeros() as usize - 1).min(self.m.miss_latency_hist.len() - 1);
         self.m.miss_latency_hist[bucket] += 1;
         // Wake the SM.
         let idx = self.sm_index(msg.sm);
@@ -1584,8 +1688,17 @@ impl<'t> Sim<'t> {
         // counter bookkeeping (tolerated: state updates are idempotent).
         if let Some(dup) = self.cfg.faults.duplicate {
             if !msg.duplicate && self.rng.gen_bool(dup.prob) {
-                let copy = StoreMsg { duplicate: true, ..msg };
-                self.q.push(arrive + Cycle(1), Ev::Store { msg: copy, node: next });
+                let copy = StoreMsg {
+                    duplicate: true,
+                    ..msg
+                };
+                self.q.push(
+                    arrive + Cycle(1),
+                    Ev::Store {
+                        msg: copy,
+                        node: next,
+                    },
+                );
             }
         }
         self.q.push(arrive, Ev::Store { msg, node: next });
@@ -1616,13 +1729,76 @@ impl<'t> Sim<'t> {
 
     fn dir_remote_load(&mut self, t: Cycle, node: GpmId, block: BlockAddr, sharer: Sharer) {
         let topo = self.cfg.topo;
-        let evicted = {
+        let cap = self.cfg.dir.max_sharers;
+        let (newly_broadcast, evicted) = {
             let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
-            set.insert(&topo, sharer);
-            evicted
+            let (_, newly_broadcast) = set.insert_capped(&topo, sharer, cap);
+            (newly_broadcast, evicted)
         };
+        if newly_broadcast {
+            self.note_broadcast_fallback(node);
+        }
         if let Some((vblock, sharers)) = evicted {
             self.send_evict_invs(t, node, vblock, sharers);
+        }
+    }
+
+    /// Records one directory entry degrading from precise sharer
+    /// tracking to conservative broadcast mode.
+    fn note_broadcast_fallback(&mut self, node: GpmId) {
+        self.gpms[node.index()].dir.note_broadcast_fallback();
+        self.m.dir_broadcast_fallbacks += 1;
+    }
+
+    /// The conservative target list a broadcast-mode directory entry
+    /// stands for: every sharer `node`'s directory could possibly be
+    /// tracking for `block`. Mirrors [`Engine::dir_sharer_for`]: a
+    /// hierarchical system home tracks its own GPU's modules plus whole
+    /// remote GPUs; a GPU home tracks only its own modules; a flat
+    /// directory tracks every GPM directly.
+    fn broadcast_targets(&self, node: GpmId, block: BlockAddr) -> Vec<Sharer> {
+        let topo = self.cfg.topo;
+        let node_gpu = topo.gpu_of(node);
+        if !self.cfg.protocol.hierarchical_routing() {
+            return topo
+                .all_gpms()
+                .filter(|g| *g != node)
+                .map(Sharer::Gpm)
+                .collect();
+        }
+        let mut targets: Vec<Sharer> = topo
+            .gpms_of(node_gpu)
+            .filter(|g| *g != node)
+            .map(Sharer::Gpm)
+            .collect();
+        // Only the block's system home tracks remote GPUs; a page with a
+        // directory entry has necessarily been homed already.
+        let line = self
+            .cfg
+            .geometry
+            .lines_of_block(block)
+            .next()
+            .expect("blocks contain at least one line");
+        let at_sys_home = self.pages.peek_home(self.cfg.geometry.page_of_line(line)) == Some(node);
+        if at_sys_home {
+            targets.extend(topo.all_gpus().filter(|g| *g != node_gpu).map(Sharer::Gpu));
+        }
+        targets
+    }
+
+    /// Expands a sharer set into invalidation targets, substituting the
+    /// conservative broadcast list when the entry has degraded.
+    fn inv_targets(
+        &mut self,
+        node: GpmId,
+        block: BlockAddr,
+        sharers: &hmg_mem::SharerSet,
+    ) -> Vec<Sharer> {
+        if sharers.is_broadcast() {
+            self.m.broadcast_invs += 1;
+            self.broadcast_targets(node, block)
+        } else {
+            sharers.iter(&self.cfg.topo)
         }
     }
 
@@ -1639,7 +1815,7 @@ impl<'t> Sim<'t> {
         if local {
             // Table I: V + Local St -> inv all sharers, -> I.
             if let Some(sharers) = self.gpms[node.index()].dir.remove(block) {
-                let targets = sharers.iter(&topo);
+                let targets = self.inv_targets(node, block, &sharers);
                 if !targets.is_empty() {
                     self.m.stores_triggering_invs += 1;
                     self.send_invs(t, node, block, &targets, InvCause::Store, origin);
@@ -1648,29 +1824,56 @@ impl<'t> Sim<'t> {
             return;
         }
         // Table I: remote St -> add s, inv other sharers (stay V; allocate
-        // from I).
-        let (others, evicted) = {
+        // from I). A precise entry names the others exactly — even when
+        // this very insert overflows the cap, because the pre-insert set
+        // was still precise. An already-degraded entry falls back to the
+        // conservative broadcast list.
+        let cap = self.cfg.dir.max_sharers;
+        let (others, newly_broadcast, evicted) = {
             let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
-            let others: Vec<Sharer> = set
-                .iter(&topo)
-                .into_iter()
-                .filter(|s| *s != sharer)
-                .collect();
-            set.insert(&topo, sharer);
-            (others, evicted)
+            let others: Option<Vec<Sharer>> = if set.is_broadcast() {
+                None
+            } else {
+                Some(
+                    set.iter(&topo)
+                        .into_iter()
+                        .filter(|s| *s != sharer)
+                        .collect(),
+                )
+            };
+            let (_, newly_broadcast) = set.insert_capped(&topo, sharer, cap);
+            (others, newly_broadcast, evicted)
         };
-        if !others.is_empty() {
+        if newly_broadcast {
+            self.note_broadcast_fallback(node);
+        }
+        let targets: Vec<Sharer> = match others {
+            Some(t) => t,
+            None => {
+                self.m.broadcast_invs += 1;
+                self.broadcast_targets(node, block)
+                    .into_iter()
+                    .filter(|s| *s != sharer)
+                    .collect()
+            }
+        };
+        if !targets.is_empty() {
             self.m.stores_triggering_invs += 1;
-            self.send_invs(t, node, block, &others, InvCause::Store, origin);
+            self.send_invs(t, node, block, &targets, InvCause::Store, origin);
         }
         if let Some((vblock, sharers)) = evicted {
             self.send_evict_invs(t, node, vblock, sharers);
         }
     }
 
-    fn send_evict_invs(&mut self, t: Cycle, node: GpmId, block: BlockAddr, sharers: hmg_mem::SharerSet) {
-        let topo = self.cfg.topo;
-        let targets = sharers.iter(&topo);
+    fn send_evict_invs(
+        &mut self,
+        t: Cycle,
+        node: GpmId,
+        block: BlockAddr,
+        sharers: hmg_mem::SharerSet,
+    ) {
+        let targets = self.inv_targets(node, block, &sharers);
         if !targets.is_empty() {
             self.m.evictions_triggering_invs += 1;
             self.send_invs(t, node, block, &targets, InvCause::Eviction, node);
@@ -1752,7 +1955,13 @@ impl<'t> Sim<'t> {
             // re-invalidation is a no-op (tolerated).
             if let Some(dup) = self.cfg.faults.duplicate {
                 if self.rng.gen_bool(dup.prob) {
-                    self.q.push(arrive + Cycle(1), Ev::Inv(InvMsg { counted: false, ..inv }));
+                    self.q.push(
+                        arrive + Cycle(1),
+                        Ev::Inv(InvMsg {
+                            counted: false,
+                            ..inv
+                        }),
+                    );
                 }
             }
             self.q.push(arrive, Ev::Inv(inv));
@@ -1780,7 +1989,7 @@ impl<'t> Sim<'t> {
         // tracked GPM sharers (the extra Table I transition).
         if inv.from_sys && self.cfg.protocol == ProtocolKind::Hmg {
             if let Some(sharers) = self.gpms[inv.target.index()].dir.remove(inv.block) {
-                let targets = sharers.iter(&topo);
+                let targets = self.inv_targets(inv.target, inv.block, &sharers);
                 if !targets.is_empty() {
                     self.send_invs(now, inv.target, inv.block, &targets, inv.cause, inv.causer);
                 }
@@ -1978,10 +2187,7 @@ mod tests {
     fn overlapping_misses_exploit_memory_level_parallelism() {
         // Without a delay, back-to-back loads of one line all miss and
         // overlap — the engine models MLP rather than serializing.
-        let trace = WorkloadTrace::new(
-            "t",
-            vec![kernel_per_gpm(vec![vec![ld(0), ld(0), ld(0)]])],
-        );
+        let trace = WorkloadTrace::new("t", vec![kernel_per_gpm(vec![vec![ld(0), ld(0), ld(0)]])]);
         let m = run(ProtocolKind::Hmg, &trace);
         assert_eq!(m.loads, 3);
         assert_eq!(m.l1_hits, 0, "fills cannot land before the next issue");
@@ -2079,7 +2285,11 @@ mod tests {
                 kernel_per_gpm(vec![vec![], vec![], vec![ld(0)], vec![]]),
             ],
         );
-        for p in [ProtocolKind::SwNonHier, ProtocolKind::SwHier, ProtocolKind::NoPeerCaching] {
+        for p in [
+            ProtocolKind::SwNonHier,
+            ProtocolKind::SwHier,
+            ProtocolKind::NoPeerCaching,
+        ] {
             let m = run_probed(p, &trace, 0);
             assert_eq!(
                 m.probe.last().unwrap().1,
@@ -2138,11 +2348,7 @@ mod tests {
     fn flags_synchronize_producer_and_consumer() {
         // GPM0 stores then releases and sets a flag; GPM2 waits, acquires
         // and loads: it must observe the store.
-        let producer = vec![
-            st(0),
-            TraceOp::Release(Scope::Sys),
-            TraceOp::SetFlag(7),
-        ];
+        let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(7)];
         let consumer = vec![
             TraceOp::WaitFlag { flag: 7, count: 1 },
             TraceOp::Acquire(Scope::Sys),
@@ -2173,11 +2379,7 @@ mod tests {
     fn gpu_scoped_sync_within_one_gpu() {
         // Producer GPM0 and consumer GPM1 are on the same GPU; .gpu-scoped
         // release/acquire must be sufficient.
-        let producer = vec![
-            st(0),
-            TraceOp::Release(Scope::Gpu),
-            TraceOp::SetFlag(1),
-        ];
+        let producer = vec![st(0), TraceOp::Release(Scope::Gpu), TraceOp::SetFlag(1)];
         let consumer = vec![
             TraceOp::WaitFlag { flag: 1, count: 1 },
             TraceOp::Acquire(Scope::Gpu),
@@ -2258,7 +2460,12 @@ mod tests {
                     vec![st(0), ld(640)],
                     vec![ld(128)],
                 ]),
-                kernel_per_gpm(vec![vec![ld(0)], vec![ld(128)], vec![ld(256)], vec![ld(512)]]),
+                kernel_per_gpm(vec![
+                    vec![ld(0)],
+                    vec![ld(128)],
+                    vec![ld(256)],
+                    vec![ld(512)],
+                ]),
             ],
         );
         let a = Engine::new(EngineConfig::small_test(ProtocolKind::Hmg)).run(&trace);
@@ -2356,11 +2563,7 @@ mod tests {
     fn writeback_preserves_synchronized_visibility() {
         // The mp-with-flags litmus under the write-back policy: the
         // release flush must publish the dirty line before the flag.
-        let producer = vec![
-            st(0),
-            TraceOp::Release(Scope::Sys),
-            TraceOp::SetFlag(4),
-        ];
+        let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(4)];
         let consumer = vec![
             TraceOp::WaitFlag { flag: 4, count: 1 },
             TraceOp::Acquire(Scope::Sys),
@@ -2580,5 +2783,73 @@ mod tests {
         let m = Engine::new(cfg).run(&trace);
         assert!(m.invs_from_evictions > 0, "directory must overflow");
         assert!(m.evictions_triggering_invs > 0);
+    }
+
+    #[test]
+    fn nack_flow_control_rejects_and_recovers() {
+        // Heavy bursts from every GPM onto GPM0-homed lines; with the
+        // threshold at zero, any queued serialization at the home's
+        // ingress port rejects the request.
+        let line_b = 128u64;
+        let homing: Vec<TraceOp> = (0..32u64).map(|i| ld(i * line_b)).collect();
+        let burst: Vec<TraceOp> = (0..32u64).map(|i| ld(i * line_b)).collect();
+        let trace = WorkloadTrace::new(
+            "nack",
+            vec![
+                kernel_per_gpm(vec![homing]),
+                kernel_per_gpm(vec![vec![], burst.clone(), burst.clone(), burst]),
+            ],
+        );
+        let base = run(ProtocolKind::Hmg, &trace);
+        assert_eq!(base.nacks, 0, "flow control is off by default");
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.home_nack_threshold = Some(0);
+        let m = Engine::new(cfg).run(&trace);
+        assert!(m.nacks > 0, "zero threshold must reject bursty requests");
+        assert_eq!(m.loads, base.loads, "every rejected load still retires");
+        assert_eq!(
+            m.state_digest, base.state_digest,
+            "NACK/retry must converge to the same memory state"
+        );
+    }
+
+    #[test]
+    fn sharer_overflow_degrades_to_broadcast_and_stays_coherent() {
+        // Cap the directory at one precise sharer: the second reader of
+        // a GPM0-homed line overflows the entry into broadcast mode.
+        // The writer's invalidation round must then reach *every*
+        // possible sharer, so synchronized readers still see the store.
+        let trace = WorkloadTrace::new(
+            "overflow",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]), // homes at GPM0, version 1
+                kernel_per_gpm(vec![vec![], vec![ld(0)], vec![ld(0)], vec![ld(0)]]),
+                kernel_per_gpm(vec![vec![st(0)]]), // version 2
+                kernel_per_gpm(vec![vec![], vec![ld(0)], vec![ld(0)], vec![ld(0)]]),
+            ],
+        );
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.dir = cfg.dir.with_max_sharers(1);
+        cfg.probe_line = Some(0);
+        let m = Engine::new(cfg).run(&trace);
+        assert!(
+            m.dir_broadcast_fallbacks >= 1,
+            "a one-sharer cap must overflow with three readers"
+        );
+        assert!(m.broadcast_invs >= 1, "degraded entries must broadcast");
+        let final_reads: Vec<u64> = m.probe.iter().rev().take(3).map(|&(_, v)| v).collect();
+        assert_eq!(
+            final_reads,
+            vec![2, 2, 2],
+            "broadcast fallback must invalidate every stale copy"
+        );
+
+        // Uncapped control: same trace, precise tracking, no fallbacks.
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.probe_line = Some(0);
+        let precise = Engine::new(cfg).run(&trace);
+        assert_eq!(precise.dir_broadcast_fallbacks, 0);
+        assert_eq!(precise.broadcast_invs, 0);
+        assert_eq!(m.state_digest, precise.state_digest);
     }
 }

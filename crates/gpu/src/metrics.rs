@@ -55,6 +55,22 @@ pub struct RunMetrics {
     /// Sharer-downgrade messages sent (optional §IV-B mechanism).
     pub downgrades: u64,
 
+    // Recovery and degradation.
+    /// Requests rejected by a busy directory home and re-issued by the
+    /// requester after an exponential backoff (NACK flow control).
+    pub nacks: u64,
+    /// Directory entries that overflowed the sharer cap and degraded
+    /// from precise tracking to conservative broadcast mode.
+    pub dir_broadcast_fallbacks: u64,
+    /// Invalidation rounds that used the conservative broadcast target
+    /// list because the directory entry had degraded.
+    pub broadcast_invs: u64,
+    /// FNV-1a digest of the final committed memory state, over
+    /// `(line, version)` pairs in ascending line order. Two runs that
+    /// converge to the same per-line memory state report the same
+    /// digest, regardless of the faults recovered along the way.
+    pub state_digest: u64,
+
     /// Fabric traffic, by tier and class.
     pub fabric: FabricStats,
     /// Bytes written to / read from DRAM across all partitions.
@@ -110,19 +126,14 @@ impl RunMetrics {
         if self.evictions_triggering_invs == 0 {
             None
         } else {
-            Some(
-                self.lines_invalidated_by_evictions as f64
-                    / self.evictions_triggering_invs as f64,
-            )
+            Some(self.lines_invalidated_by_evictions as f64 / self.evictions_triggering_invs as f64)
         }
     }
 
     /// Total invalidation-message bandwidth in GB/s at `freq_ghz`
     /// (Fig. 11), counting both network tiers.
     pub fn inv_bandwidth_gbps(&self, freq_ghz: f64) -> f64 {
-        let bytes = self
-            .fabric
-            .total_bytes(hmg_interconnect::MsgClass::Inv);
+        let bytes = self.fabric.total_bytes(hmg_interconnect::MsgClass::Inv);
         FabricStats::gbps(bytes, self.total_cycles, freq_ghz)
     }
 

@@ -28,7 +28,11 @@ fn arb_cta(r: &mut Rng) -> Cta {
             }
             6 => {
                 let a = Addr(r.gen_range(0, 512) * 128);
-                let s = if r.gen_bool(0.5) { Scope::Gpu } else { Scope::Sys };
+                let s = if r.gen_bool(0.5) {
+                    Scope::Gpu
+                } else {
+                    Scope::Sys
+                };
                 TraceOp::Access(Access::new(a, AccessKind::Atomic, s))
             }
             7 => TraceOp::Delay(r.gen_range(1, 200) as u32),
@@ -109,7 +113,11 @@ fn sw_protocols_never_invalidate() {
     for case in 0..CASES {
         let mut r = Rng::new(0x5091 + case);
         let trace = arb_trace(&mut r);
-        for p in [ProtocolKind::SwNonHier, ProtocolKind::SwHier, ProtocolKind::Ideal] {
+        for p in [
+            ProtocolKind::SwNonHier,
+            ProtocolKind::SwHier,
+            ProtocolKind::Ideal,
+        ] {
             let m = Engine::new(EngineConfig::small_test(p)).run(&trace);
             assert_eq!(m.invs_from_stores + m.invs_from_evictions, 0, "{}", p);
         }

@@ -1,10 +1,17 @@
 //! The assembled two-tier network: intra-GPU crossbar ports per GPM and
 //! inter-GPU switch ports per GPU, with per-class byte accounting.
 
-use hmg_sim::{Cycle, FaultPlan};
+use std::collections::HashMap;
+
+use hmg_sim::{Cycle, FaultPlan, Rng};
 
 use crate::ids::{GpmId, Topology};
 use crate::link::Link;
+
+/// Seed perturbation for the transport's drop stream, so it is
+/// decorrelated from the engine's fault stream while still being a pure
+/// function of the plan seed (golden-ratio constant, as in SplitMix64).
+const DROP_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
 /// Classification of protocol traffic, used for the bandwidth breakdowns
 /// in the evaluation (Fig. 11 charges only `Inv` bytes).
@@ -98,6 +105,51 @@ impl Default for FabricConfig {
     }
 }
 
+/// Parameters of the reliable-delivery (retransmission) layer.
+///
+/// Every message carries a per-channel sequence number; a lost delivery
+/// attempt is noticed after `timeout` cycles and replayed, with the
+/// timeout doubling on every consecutive loss of the same message
+/// (capped at `2^MAX_BACKOFF_SHIFT`). After `max_retries` losses the
+/// transport stops charging further timeouts and the final attempt is
+/// delivered — the layer guarantees delivery, the cap only bounds the
+/// modeled cost. All of this is deterministic: drops are drawn from a
+/// dedicated SplitMix64 stream seeded by the fault-plan seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportConfig {
+    /// Cycles before a lost attempt is detected and replayed.
+    pub timeout: Cycle,
+    /// Maximum charged retransmissions per message.
+    pub max_retries: u32,
+}
+
+impl TransportConfig {
+    /// Largest exponent used by the exponential backoff (`timeout * 2^6`).
+    pub const MAX_BACKOFF_SHIFT: u32 = 6;
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            timeout: Cycle(500),
+            max_retries: 16,
+        }
+    }
+}
+
+/// Counters of the reliable-delivery layer, for degradation reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages routed through the network (both tiers).
+    pub messages: u64,
+    /// Lost delivery attempts that were replayed.
+    pub retransmissions: u64,
+    /// Messages that lost at least one attempt but were recovered.
+    pub recovered: u64,
+    /// Total cycles of timeout backoff charged to replayed messages.
+    pub retry_cycles: u64,
+}
+
 /// Byte totals observed by the fabric, split by tier and message class.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FabricStats {
@@ -105,6 +157,7 @@ pub struct FabricStats {
     inter_bytes: [u64; 5],
     intra_msgs: [u64; 5],
     inter_msgs: [u64; 5],
+    transport: TransportStats,
 }
 
 impl FabricStats {
@@ -131,6 +184,11 @@ impl FabricStats {
     /// Total bytes of a class over both tiers.
     pub fn total_bytes(&self, class: MsgClass) -> u64 {
         self.intra_bytes(class) + self.inter_bytes(class)
+    }
+
+    /// Reliable-delivery layer counters (retransmissions, backoff cost).
+    pub fn transport(&self) -> TransportStats {
+        self.transport
     }
 
     /// Converts a byte total into GB/s given elapsed cycles and frequency;
@@ -169,16 +227,26 @@ pub struct Fabric {
     inter_egress: Vec<Link>,
     inter_ingress: Vec<Link>,
     stats: FabricStats,
-    /// Injected link faults (bandwidth degradation / stall windows).
-    /// Empty by default; installed via [`Fabric::apply_faults`].
+    /// Injected link faults (bandwidth degradation / stall windows,
+    /// on-wire loss). Empty by default; installed via
+    /// [`Fabric::apply_faults`].
     faults: FaultPlan,
+    /// Reliable-delivery parameters (timeouts, retry cap).
+    transport: TransportConfig,
+    /// Per-channel (src, dst) message sequence numbers; the transport
+    /// tags every routed message so replays are identifiable and
+    /// delivery per channel stays in order.
+    seq: HashMap<(GpmId, GpmId), u64>,
+    /// Drop stream, armed only when the plan injects [`hmg_sim::fault::MsgDrop`].
+    /// `None` means no draws happen at all, so fault-free runs are
+    /// bit-identical to a build without the transport layer.
+    drop_rng: Option<Rng>,
 }
 
 impl Fabric {
     /// Builds the fabric for `topo` with the given tier parameters.
     pub fn new(topo: Topology, config: FabricConfig) -> Self {
-        let intra_bpc =
-            config.bytes_per_cycle(config.intra_gpu_gbps / topo.gpms_per_gpu() as f64);
+        let intra_bpc = config.bytes_per_cycle(config.intra_gpu_gbps / topo.gpms_per_gpu() as f64);
         let inter_bpc = config.bytes_per_cycle(config.inter_gpu_gbps);
         // Propagation latency is split between the egress and ingress hop.
         let intra_half = Cycle(config.intra_latency.0 / 2);
@@ -211,13 +279,48 @@ impl Fabric {
                 .collect(),
             stats: FabricStats::default(),
             faults: FaultPlan::default(),
+            transport: TransportConfig::default(),
+            seq: HashMap::new(),
+            drop_rng: None,
         }
     }
 
-    /// Installs the link-fault portion of `plan` (degrade/stall
-    /// windows). Engine-side faults in the plan are ignored here.
+    /// Installs the link-fault portion of `plan` (degrade/stall windows
+    /// and on-wire loss). Engine-side faults in the plan are ignored
+    /// here. Arming a drop plan seeds the transport's dedicated drop
+    /// stream from the plan seed, so the retransmission schedule is a
+    /// pure function of (plan, traffic).
     pub fn apply_faults(&mut self, plan: &FaultPlan) {
         self.faults = plan.clone();
+        self.drop_rng = plan.drop.map(|_| Rng::new(plan.seed ^ DROP_STREAM_SALT));
+    }
+
+    /// Overrides the reliable-delivery parameters.
+    pub fn set_transport(&mut self, transport: TransportConfig) {
+        self.transport = transport;
+    }
+
+    /// Next sequence number the transport will assign on the `src → dst`
+    /// channel (equals the number of messages routed on it so far).
+    pub fn channel_seq(&self, src: GpmId, dst: GpmId) -> u64 {
+        self.seq.get(&(src, dst)).copied().unwrap_or(0)
+    }
+
+    /// Plays out the loss/retransmission episode for one message:
+    /// returns how many attempts were lost and the total timeout backoff
+    /// charged. Deterministic: draws come from the dedicated drop
+    /// stream, one per delivery attempt, only when a drop plan is armed.
+    fn drop_episode(&mut self) -> (u32, Cycle) {
+        let (Some(d), Some(rng)) = (self.faults.drop, self.drop_rng.as_mut()) else {
+            return (0, Cycle::ZERO);
+        };
+        let mut retries = 0u32;
+        let mut backoff = 0u64;
+        while retries < self.transport.max_retries && rng.gen_bool(d.prob) {
+            backoff += self.transport.timeout.0 << retries.min(TransportConfig::MAX_BACKOFF_SHIFT);
+            retries += 1;
+        }
+        (retries, Cycle(backoff))
     }
 
     /// The topology this fabric was built for.
@@ -249,10 +352,22 @@ impl Fabric {
         // so these faults are tolerated, not protocol-breaking.
         let slow = self.faults.link_slowdown(now.0);
         let extra = Cycle(self.faults.link_stall_extra(now.0));
+        // Reliable delivery: tag the message with its channel sequence
+        // number and play out any on-wire loss at the egress hop. The
+        // replay episode (extra serializations + timeout backoff) holds
+        // the egress port, so everything behind it queues up and the
+        // channel stays FIFO — loss is recovered, never reordered.
+        *self.seq.entry((src, dst)).or_insert(0) += 1;
+        let (retries, backoff) = self.drop_episode();
+        self.stats.transport.messages += 1;
+        self.stats.transport.retransmissions += retries as u64;
+        self.stats.transport.recovered += u64::from(retries > 0);
+        self.stats.transport.retry_cycles += backoff.0;
         if self.topo.same_gpu(src, dst) {
             self.stats.intra_bytes[class.idx()] += bytes as u64;
             self.stats.intra_msgs[class.idx()] += 1;
-            let t1 = self.intra_egress[src.index()].send_degraded(now, bytes, slow, extra);
+            let t1 = self.intra_egress[src.index()]
+                .send_retried(now, bytes, slow, extra, retries, backoff);
             self.intra_ingress[dst.index()].send_degraded(t1, bytes, slow, extra)
         } else {
             self.stats.intra_bytes[class.idx()] += bytes as u64;
@@ -261,7 +376,8 @@ impl Fabric {
             self.stats.inter_msgs[class.idx()] += 1;
             let src_gpu = self.topo.gpu_of(src);
             let dst_gpu = self.topo.gpu_of(dst);
-            let t1 = self.intra_egress[src.index()].send_degraded(now, bytes, slow, extra);
+            let t1 = self.intra_egress[src.index()]
+                .send_retried(now, bytes, slow, extra, retries, backoff);
             let t2 = self.inter_egress[src_gpu.0 as usize].send_degraded(t1, bytes, slow, extra);
             let t3 = self.inter_ingress[dst_gpu.0 as usize].send_degraded(t2, bytes, slow, extra);
             self.intra_ingress[dst.index()].send_degraded(t3, bytes, slow, extra)
@@ -294,8 +410,14 @@ impl Fabric {
     /// link queue.
     pub fn intra_backlog(&self, gpm: GpmId, now: Cycle) -> (u64, u64) {
         (
-            self.intra_egress[gpm.index()].next_free().0.saturating_sub(now.0),
-            self.intra_ingress[gpm.index()].next_free().0.saturating_sub(now.0),
+            self.intra_egress[gpm.index()]
+                .next_free()
+                .0
+                .saturating_sub(now.0),
+            self.intra_ingress[gpm.index()]
+                .next_free()
+                .0
+                .saturating_sub(now.0),
         )
     }
 
@@ -303,8 +425,14 @@ impl Fabric {
     /// queued serialization on (egress, ingress).
     pub fn inter_backlog(&self, gpu: crate::GpuId, now: Cycle) -> (u64, u64) {
         (
-            self.inter_egress[gpu.0 as usize].next_free().0.saturating_sub(now.0),
-            self.inter_ingress[gpu.0 as usize].next_free().0.saturating_sub(now.0),
+            self.inter_egress[gpu.0 as usize]
+                .next_free()
+                .0
+                .saturating_sub(now.0),
+            self.inter_ingress[gpu.0 as usize]
+                .next_free()
+                .0
+                .saturating_sub(now.0),
         )
     }
 }
@@ -331,7 +459,10 @@ mod tests {
     #[test]
     fn same_gpm_is_free() {
         let mut f = small_fabric();
-        assert_eq!(f.send(Cycle(5), GpmId(0), GpmId(0), 128, MsgClass::Data), Cycle(5));
+        assert_eq!(
+            f.send(Cycle(5), GpmId(0), GpmId(0), 128, MsgClass::Data),
+            Cycle(5)
+        );
         assert_eq!(f.stats().total_bytes(MsgClass::Data), 0);
     }
 
@@ -424,6 +555,88 @@ mod tests {
         let c2 = clean.send(Cycle(300), GpmId(0), GpmId(1), 128, MsgClass::Data);
         let f2 = faulty.send(Cycle(300), GpmId(0), GpmId(1), 128, MsgClass::Data);
         assert!(f2 >= c2 && f2 < f + Cycle(200), "c2 {c2:?} f2 {f2:?}");
+    }
+
+    #[test]
+    fn sequence_numbers_count_per_channel() {
+        let mut f = small_fabric();
+        assert_eq!(f.channel_seq(GpmId(0), GpmId(1)), 0);
+        f.send(Cycle(0), GpmId(0), GpmId(1), 64, MsgClass::Request);
+        f.send(Cycle(0), GpmId(0), GpmId(1), 64, MsgClass::Request);
+        f.send(Cycle(0), GpmId(1), GpmId(0), 64, MsgClass::Data);
+        assert_eq!(f.channel_seq(GpmId(0), GpmId(1)), 2);
+        assert_eq!(f.channel_seq(GpmId(1), GpmId(0)), 1);
+        // Same-GPM traffic never touches the network or the transport.
+        f.send(Cycle(0), GpmId(2), GpmId(2), 64, MsgClass::Data);
+        assert_eq!(f.channel_seq(GpmId(2), GpmId(2)), 0);
+        assert_eq!(f.stats().transport().messages, 3);
+    }
+
+    #[test]
+    fn drop_free_runs_do_not_touch_the_drop_stream() {
+        let mut clean = small_fabric();
+        let mut stalled = small_fabric();
+        // A plan without `drop` must leave timing identical even though
+        // the transport layer sits on the path.
+        stalled.apply_faults(&FaultPlan::parse("seed=9").unwrap());
+        for i in 0..20 {
+            assert_eq!(
+                clean.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::Data),
+                stalled.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::Data),
+            );
+        }
+        assert_eq!(clean.stats().transport().retransmissions, 0);
+        assert_eq!(stalled.stats().transport().retransmissions, 0);
+    }
+
+    #[test]
+    fn dropped_messages_are_recovered_deterministically() {
+        let plan = FaultPlan::parse("drop=0.3,seed=42").unwrap();
+        let run = |plan: &FaultPlan| {
+            let mut f = small_fabric();
+            f.apply_faults(plan);
+            let arrivals: Vec<Cycle> = (0..200)
+                .map(|i| f.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::StoreData))
+                .collect();
+            (arrivals, f.stats().transport())
+        };
+        let (a1, t1) = run(&plan);
+        let (a2, t2) = run(&plan);
+        // Same plan -> bit-identical retransmission schedule.
+        assert_eq!(a1, a2);
+        assert_eq!(t1, t2);
+        assert!(
+            t1.retransmissions > 0,
+            "0.3 over 200 messages must drop some"
+        );
+        assert!(t1.recovered > 0 && t1.recovered <= t1.retransmissions);
+        assert!(t1.retry_cycles >= t1.retransmissions * 500);
+        // A different seed reshuffles the schedule.
+        let (a3, _) = run(&FaultPlan::parse("drop=0.3,seed=43").unwrap());
+        assert_ne!(a1, a3);
+        // Every message still arrives, FIFO per channel.
+        let mut prev = Cycle::ZERO;
+        for &a in &a1 {
+            assert!(a >= prev, "recovered channel must stay FIFO");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn drop_recovery_is_slower_than_fault_free() {
+        let mut clean = small_fabric();
+        let mut lossy = small_fabric();
+        lossy.apply_faults(&FaultPlan::parse("drop=0.25,seed=7").unwrap());
+        let mut last_clean = Cycle::ZERO;
+        let mut last_lossy = Cycle::ZERO;
+        for i in 0..100 {
+            last_clean = clean.send(Cycle(i), GpmId(0), GpmId(1), 128, MsgClass::Data);
+            last_lossy = lossy.send(Cycle(i), GpmId(0), GpmId(1), 128, MsgClass::Data);
+        }
+        assert!(
+            last_lossy > last_clean,
+            "lossy {last_lossy} must trail clean {last_clean}"
+        );
     }
 
     #[test]

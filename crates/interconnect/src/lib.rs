@@ -28,6 +28,6 @@ pub mod fabric;
 pub mod ids;
 pub mod link;
 
-pub use fabric::{Fabric, FabricConfig, FabricStats, MsgClass};
+pub use fabric::{Fabric, FabricConfig, FabricStats, MsgClass, TransportConfig, TransportStats};
 pub use ids::{GpmId, GpuId, Topology};
 pub use link::Link;

@@ -32,6 +32,7 @@ pub struct Link {
     next_free: f64,
     bytes_sent: u64,
     messages_sent: u64,
+    retransmissions: u64,
     busy_cycles: f64,
 }
 
@@ -53,6 +54,7 @@ impl Link {
             next_free: 0.0,
             bytes_sent: 0,
             messages_sent: 0,
+            retransmissions: 0,
             busy_cycles: 0.0,
         }
     }
@@ -77,7 +79,10 @@ impl Link {
         slowdown: f64,
         extra_latency: Cycle,
     ) -> Cycle {
-        debug_assert!(slowdown >= 1.0, "slowdown factor must be >= 1, got {slowdown}");
+        debug_assert!(
+            slowdown >= 1.0,
+            "slowdown factor must be >= 1, got {slowdown}"
+        );
         let start = self.next_free.max(now.0 as f64);
         let ser = bytes as f64 / self.bytes_per_cycle * slowdown;
         self.next_free = start + ser;
@@ -85,6 +90,39 @@ impl Link {
         self.messages_sent += 1;
         self.busy_cycles += ser;
         Cycle((start + ser).ceil() as u64) + self.latency + extra_latency
+    }
+
+    /// [`Link::send_degraded`] through the reliable-delivery layer: the
+    /// first `retries` delivery attempts were lost on the wire, so the
+    /// message serializes `retries + 1` times and additionally waits out
+    /// `backoff` cycles of delivery timeouts before the surviving copy
+    /// departs. The whole episode *occupies the port* — the sender's
+    /// replay buffer holds the channel until the message is through
+    /// (go-back-N style) — so later messages queue behind it and FIFO
+    /// delivery order is preserved, which is exactly the property HMG's
+    /// ack-free invalidation scheme needs from a recovered link.
+    pub fn send_retried(
+        &mut self,
+        now: Cycle,
+        bytes: u32,
+        slowdown: f64,
+        extra_latency: Cycle,
+        retries: u32,
+        backoff: Cycle,
+    ) -> Cycle {
+        debug_assert!(
+            slowdown >= 1.0,
+            "slowdown factor must be >= 1, got {slowdown}"
+        );
+        let start = self.next_free.max(now.0 as f64);
+        let ser_once = bytes as f64 / self.bytes_per_cycle * slowdown;
+        let occupancy = ser_once * (retries + 1) as f64 + backoff.0 as f64;
+        self.next_free = start + occupancy;
+        self.bytes_sent += bytes as u64 * (retries + 1) as u64;
+        self.messages_sent += 1;
+        self.retransmissions += retries as u64;
+        self.busy_cycles += ser_once * (retries + 1) as f64;
+        Cycle((start + occupancy).ceil() as u64) + self.latency + extra_latency
     }
 
     /// Earliest time a new message could start serializing.
@@ -100,6 +138,11 @@ impl Link {
     /// Total messages pushed through this port.
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
+    }
+
+    /// Lost delivery attempts replayed by the reliable-delivery layer.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
     }
 
     /// Port utilization over `elapsed` simulated cycles, in `[0, 1]`.
@@ -189,10 +232,40 @@ mod tests {
     }
 
     #[test]
+    fn retried_send_with_zero_retries_matches_plain_send() {
+        let mut a = Link::new(32.0, Cycle(100));
+        let mut b = Link::new(32.0, Cycle(100));
+        assert_eq!(
+            a.send(Cycle(0), 128),
+            b.send_retried(Cycle(0), 128, 1.0, Cycle::ZERO, 0, Cycle::ZERO)
+        );
+        assert_eq!(b.retransmissions(), 0);
+    }
+
+    #[test]
+    fn retried_send_charges_replays_and_backoff() {
+        let mut l = Link::new(32.0, Cycle(10));
+        // 128 B at 32 B/cyc = 4 cycles per attempt; 2 retries + 50 cycles
+        // of timeout backoff = 3*4 + 50 = 62 occupancy, + 10 latency.
+        let a = l.send_retried(Cycle(0), 128, 1.0, Cycle::ZERO, 2, Cycle(50));
+        assert_eq!(a, Cycle(72));
+        assert_eq!(l.retransmissions(), 2);
+        assert_eq!(l.bytes_sent(), 3 * 128);
+        // The replay episode holds the port: the next message queues
+        // behind it, so FIFO order survives the recovery.
+        let b = l.send(Cycle(0), 128);
+        assert_eq!(b, Cycle(76));
+        assert!(b > a - Cycle(10));
+    }
+
+    #[test]
     fn degraded_send_scales_serialization_and_adds_latency() {
         let mut a = Link::new(32.0, Cycle(100));
         let mut b = Link::new(32.0, Cycle(100));
-        assert_eq!(a.send(Cycle(0), 128), b.send_degraded(Cycle(0), 128, 1.0, Cycle::ZERO));
+        assert_eq!(
+            a.send(Cycle(0), 128),
+            b.send_degraded(Cycle(0), 128, 1.0, Cycle::ZERO)
+        );
         // 128 B at 32 B/cyc, 4x slowdown = 16 cycles + 100 + 7 extra.
         assert_eq!(b.send_degraded(Cycle(100), 128, 4.0, Cycle(7)), Cycle(223));
         // FIFO still holds across degraded and normal sends: the next

@@ -79,7 +79,10 @@ impl MemGeometry {
     /// `lines_per_block` is not a power of two, or if a page does not hold
     /// a whole number of lines.
     pub fn new(line_bytes: u32, lines_per_block: u32, page_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(
             lines_per_block.is_power_of_two(),
             "directory granularity must be a power of two"
@@ -207,7 +210,10 @@ mod tests {
     fn lines_of_block_covers_exactly_the_block() {
         let g = MemGeometry::new(128, 4, 1 << 21);
         let lines: Vec<_> = g.lines_of_block(BlockAddr(3)).collect();
-        assert_eq!(lines, vec![LineAddr(12), LineAddr(13), LineAddr(14), LineAddr(15)]);
+        assert_eq!(
+            lines,
+            vec![LineAddr(12), LineAddr(13), LineAddr(14), LineAddr(15)]
+        );
         for l in lines {
             assert_eq!(g.block_of(l), BlockAddr(3));
         }

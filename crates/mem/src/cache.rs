@@ -328,7 +328,7 @@ mod tests {
     #[test]
     fn evicted_line_address_is_reconstructed_correctly() {
         let mut c = cache(8, 2); // 4 sets
-        // Lines 3, 7, 11 map to set 3; fill two ways then force eviction.
+                                 // Lines 3, 7, 11 map to set 3; fill two ways then force eviction.
         c.insert(LineAddr(3), 1);
         c.insert(LineAddr(7), 2);
         let (victim, meta) = c.insert(LineAddr(11), 3).expect("eviction");

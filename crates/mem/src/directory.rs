@@ -34,9 +34,17 @@ impl std::fmt::Display for Sharer {
 
 /// A compact set of [`Sharer`]s: one bit per GPM in the system plus one
 /// bit per GPU. Sized for systems up to 48 GPMs + 16 GPUs.
+///
+/// A set can degrade to *broadcast mode* (see
+/// [`SharerSet::insert_capped`]): precise tracking is abandoned and the
+/// entry conservatively means "anyone may be sharing". Broadcast sets
+/// answer [`SharerSet::contains`] with `true` for every sharer, are
+/// never empty, and enumerate no precise members — the caller must
+/// substitute the full target list when invalidating.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SharerSet {
     bits: u64,
+    broadcast: bool,
 }
 
 impl SharerSet {
@@ -58,43 +66,84 @@ impl SharerSet {
         }
     }
 
-    /// Adds a sharer; returns `true` if it was newly added.
+    /// Adds a sharer; returns `true` if it was newly added. A broadcast
+    /// set already covers everyone, so inserts into it are no-ops.
     pub fn insert(&mut self, topo: &Topology, s: Sharer) -> bool {
+        if self.broadcast {
+            return false;
+        }
         let mask = 1u64 << Self::slot(topo, s);
         let added = self.bits & mask == 0;
         self.bits |= mask;
         added
     }
 
-    /// Removes a sharer; returns `true` if it was present.
+    /// Adds a sharer under a limited-pointer cap (graceful degradation).
+    ///
+    /// With `cap == None` this is exactly [`SharerSet::insert`]. With a
+    /// cap, an insertion that would grow the set past `cap` precise
+    /// sharers instead flips the set into broadcast mode: the precise
+    /// bits are discarded and the block must from now on be invalidated
+    /// by broadcast — correct but slower. Returns `(added,
+    /// newly_broadcast)`; `newly_broadcast` is `true` exactly once per
+    /// degradation so callers can count the fallback rate.
+    pub fn insert_capped(&mut self, topo: &Topology, s: Sharer, cap: Option<u32>) -> (bool, bool) {
+        let Some(cap) = cap else {
+            return (self.insert(topo, s), false);
+        };
+        if self.broadcast || self.contains(topo, s) {
+            return (false, false);
+        }
+        if self.len() >= cap {
+            self.bits = 0;
+            self.broadcast = true;
+            return (false, true);
+        }
+        (self.insert(topo, s), false)
+    }
+
+    /// Whether the set has degraded to broadcast mode.
+    pub fn is_broadcast(&self) -> bool {
+        self.broadcast
+    }
+
+    /// Removes a sharer; returns `true` if it was present. A broadcast
+    /// set cannot un-learn a member: it stays broadcast (conservative).
     pub fn remove(&mut self, topo: &Topology, s: Sharer) -> bool {
+        if self.broadcast {
+            return false;
+        }
         let mask = 1u64 << Self::slot(topo, s);
         let present = self.bits & mask != 0;
         self.bits &= !mask;
         present
     }
 
-    /// Whether `s` is in the set.
+    /// Whether `s` is in the set. Broadcast sets may be sharing with
+    /// anyone, so they answer `true` for every sharer.
     pub fn contains(&self, topo: &Topology, s: Sharer) -> bool {
-        self.bits & (1u64 << Self::slot(topo, s)) != 0
+        self.broadcast || self.bits & (1u64 << Self::slot(topo, s)) != 0
     }
 
-    /// Number of sharers tracked.
+    /// Number of *precisely tracked* sharers (0 in broadcast mode).
     pub fn len(&self) -> u32 {
         self.bits.count_ones()
     }
 
-    /// Whether the set is empty.
+    /// Whether the set tracks nobody. Broadcast sets are never empty.
     pub fn is_empty(&self) -> bool {
-        self.bits == 0
+        self.bits == 0 && !self.broadcast
     }
 
-    /// Removes all sharers.
+    /// Removes all sharers and leaves broadcast mode.
     pub fn clear(&mut self) {
         self.bits = 0;
+        self.broadcast = false;
     }
 
-    /// Enumerates the sharers in the set.
+    /// Enumerates the precisely tracked sharers in the set. Broadcast
+    /// sets enumerate nothing — check [`SharerSet::is_broadcast`] first
+    /// and substitute the full target list.
     pub fn iter(&self, topo: &Topology) -> Vec<Sharer> {
         let mut out = Vec::with_capacity(self.len() as usize);
         for gpm in topo.all_gpms() {
@@ -118,6 +167,11 @@ pub struct DirectoryConfig {
     pub entries: u32,
     /// Ways per set.
     pub ways: u32,
+    /// Limited-pointer cap: the most precise sharers one entry tracks
+    /// before it degrades to broadcast mode. `None` (the default, and
+    /// the paper's configuration) tracks every sharer precisely — the
+    /// full bit-vector always fits.
+    pub max_sharers: Option<u32>,
 }
 
 impl DirectoryConfig {
@@ -145,7 +199,23 @@ impl DirectoryConfig {
                 "entries must divide evenly into ways (entries={entries}, ways={ways})"
             )));
         }
-        Ok(DirectoryConfig { entries, ways })
+        Ok(DirectoryConfig {
+            entries,
+            ways,
+            max_sharers: None,
+        })
+    }
+
+    /// Returns the configuration with a limited-pointer sharer cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero (an entry that can track nobody would
+    /// degrade on its first sharer, which is a misconfiguration).
+    pub fn with_max_sharers(mut self, cap: u32) -> Self {
+        assert!(cap > 0, "sharer cap must be positive");
+        self.max_sharers = Some(cap);
+        self
     }
 
     /// Table II: 12K entries per GPM, 16-way.
@@ -171,6 +241,9 @@ pub struct DirectoryStats {
     pub evicted_sharers: u64,
     /// Entries currently allocated.
     pub allocations: u64,
+    /// Entries that overflowed their limited-pointer cap and degraded
+    /// to broadcast tracking (the graceful-degradation rate).
+    pub broadcast_fallbacks: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -249,20 +322,20 @@ impl Directory {
         let tick = self.tick;
         let idx = self.set_index(block);
         let tag = self.tag(block);
-        self.sets[idx]
-            .iter_mut()
-            .find(|w| w.tag == tag)
-            .map(|w| {
-                w.last_use = tick;
-                &mut w.sharers
-            })
+        self.sets[idx].iter_mut().find(|w| w.tag == tag).map(|w| {
+            w.last_use = tick;
+            &mut w.sharers
+        })
     }
 
     /// Finds or creates the entry for `block`. If the set is full, the
     /// LRU victim is evicted and returned — the caller must send
     /// invalidations to the victim's sharers (Table I, "Replace Dir
     /// Entry").
-    pub fn allocate(&mut self, block: BlockAddr) -> (&mut SharerSet, Option<(BlockAddr, SharerSet)>) {
+    pub fn allocate(
+        &mut self,
+        block: BlockAddr,
+    ) -> (&mut SharerSet, Option<(BlockAddr, SharerSet)>) {
         self.tick += 1;
         let tick = self.tick;
         let sets_count = self.config.sets() as u64;
@@ -340,6 +413,15 @@ impl Directory {
         self.stats
     }
 
+    /// Records one limited-pointer overflow: an entry of this directory
+    /// degraded to broadcast tracking. Called by the engine when
+    /// [`SharerSet::insert_capped`] reports a fresh degradation (the
+    /// engine holds the set borrow at that moment, so the counter bump
+    /// happens through this separate method).
+    pub fn note_broadcast_fallback(&mut self) {
+        self.stats.broadcast_fallbacks += 1;
+    }
+
     /// Storage cost of this directory in bits per entry and total bytes,
     /// reproducing the §VII-C arithmetic: tag bits + 1 state bit +
     /// one sharer bit per trackable sharer (M + N − 2 hierarchically).
@@ -401,7 +483,11 @@ mod tests {
     fn sharer_set_iter_roundtrip() {
         let t = topo();
         let mut s = SharerSet::new();
-        let members = [Sharer::Gpm(GpmId(1)), Sharer::Gpm(GpmId(9)), Sharer::Gpu(GpuId(3))];
+        let members = [
+            Sharer::Gpm(GpmId(1)),
+            Sharer::Gpm(GpmId(9)),
+            Sharer::Gpu(GpuId(3)),
+        ];
         for &m in &members {
             s.insert(&t, m);
         }
@@ -410,6 +496,81 @@ mod tests {
         for m in members {
             assert!(got.contains(&m));
         }
+    }
+
+    #[test]
+    fn capped_insert_degrades_to_broadcast_once() {
+        let t = topo();
+        let mut s = SharerSet::new();
+        let cap = Some(2);
+        assert_eq!(
+            s.insert_capped(&t, Sharer::Gpm(GpmId(1)), cap),
+            (true, false)
+        );
+        assert_eq!(
+            s.insert_capped(&t, Sharer::Gpm(GpmId(2)), cap),
+            (true, false)
+        );
+        // Re-inserting a member never degrades.
+        assert_eq!(
+            s.insert_capped(&t, Sharer::Gpm(GpmId(1)), cap),
+            (false, false)
+        );
+        // The third distinct sharer overflows the cap.
+        assert_eq!(
+            s.insert_capped(&t, Sharer::Gpm(GpmId(3)), cap),
+            (false, true)
+        );
+        assert!(s.is_broadcast());
+        // Degradation is reported exactly once.
+        assert_eq!(
+            s.insert_capped(&t, Sharer::Gpu(GpuId(1)), cap),
+            (false, false)
+        );
+        // Broadcast is conservative: everyone may be sharing, nobody
+        // can be removed, and the set is never empty.
+        assert!(s.contains(&t, Sharer::Gpm(GpmId(9))));
+        assert!(!s.remove(&t, Sharer::Gpm(GpmId(1))));
+        assert!(s.is_broadcast());
+        assert!(!s.is_empty());
+        assert!(s.iter(&t).is_empty(), "no precise members to enumerate");
+        s.clear();
+        assert!(!s.is_broadcast() && s.is_empty());
+    }
+
+    #[test]
+    fn uncapped_insert_never_degrades() {
+        let t = topo();
+        let mut s = SharerSet::new();
+        for gpm in t.all_gpms() {
+            s.insert_capped(&t, Sharer::Gpm(gpm), None);
+        }
+        assert!(!s.is_broadcast());
+        assert_eq!(s.len(), t.num_gpms() as u32);
+    }
+
+    #[test]
+    fn directory_counts_broadcast_fallbacks() {
+        let t = topo();
+        let cfg = DirectoryConfig::new(64, 4).with_max_sharers(1);
+        assert_eq!(cfg.max_sharers, Some(1));
+        let mut d = Directory::new(cfg, t);
+        let cap = cfg.max_sharers;
+        let (set, _) = d.allocate(BlockAddr(5));
+        set.insert_capped(&t, Sharer::Gpm(GpmId(0)), cap);
+        let (_, newly) = set.insert_capped(&t, Sharer::Gpm(GpmId(1)), cap);
+        assert!(newly);
+        d.note_broadcast_fallback();
+        assert_eq!(d.stats().broadcast_fallbacks, 1);
+        // An evicted broadcast entry still reports "had sharers", so
+        // eviction invalidations fire for it.
+        assert!(!d.lookup(BlockAddr(5)).unwrap().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn zero_sharer_cap_rejected() {
+        DirectoryConfig::new(64, 4).with_max_sharers(0);
     }
 
     #[test]

@@ -119,9 +119,23 @@ impl GroupedBars {
         let mut svg = Svg::new(width, height, self.theme.surface);
 
         // Title block.
-        svg.text(margin_l, 24.0, &self.title, self.theme.text_primary, 15.0, Anchor::Start);
+        svg.text(
+            margin_l,
+            24.0,
+            &self.title,
+            self.theme.text_primary,
+            15.0,
+            Anchor::Start,
+        );
         if let Some(sub) = &self.subtitle {
-            svg.text(margin_l, 42.0, sub, self.theme.text_secondary, 11.0, Anchor::Start);
+            svg.text(
+                margin_l,
+                42.0,
+                sub,
+                self.theme.text_secondary,
+                11.0,
+                Anchor::Start,
+            );
         }
         // Legend (only with two or more series).
         if n_series > 1 {
@@ -129,7 +143,14 @@ impl GroupedBars {
             let ly = margin_t - legend_h + 4.0;
             for (i, name) in self.series_names.iter().enumerate() {
                 svg.swatch(x, ly, 10.0, self.theme.series[i % self.theme.series.len()]);
-                svg.text(x + 14.0, ly + 9.0, name, self.theme.text_secondary, 11.0, Anchor::Start);
+                svg.text(
+                    x + 14.0,
+                    ly + 9.0,
+                    name,
+                    self.theme.text_secondary,
+                    11.0,
+                    Anchor::Start,
+                );
                 x += 14.0 + 7.0 * name.len() as f64 + 18.0;
             }
         }
@@ -201,10 +222,24 @@ impl GroupedBars {
         // Reference line over the bars.
         if let Some(r) = self.reference_line {
             let y = y_of(r);
-            svg.line(margin_l, y, margin_l + plot_w, y, self.theme.text_secondary, 1.0);
+            svg.line(
+                margin_l,
+                y,
+                margin_l + plot_w,
+                y,
+                self.theme.text_secondary,
+                1.0,
+            );
         }
         // Baseline axis.
-        svg.line(margin_l, base_y, margin_l + plot_w, base_y, self.theme.text_secondary, 1.0);
+        svg.line(
+            margin_l,
+            base_y,
+            margin_l + plot_w,
+            base_y,
+            self.theme.text_secondary,
+            1.0,
+        );
 
         svg.finish()
     }

@@ -97,16 +97,37 @@ impl LineChart {
         };
 
         let mut svg = Svg::new(width, height, self.theme.surface);
-        svg.text(margin_l, 24.0, &self.title, self.theme.text_primary, 15.0, Anchor::Start);
+        svg.text(
+            margin_l,
+            24.0,
+            &self.title,
+            self.theme.text_primary,
+            15.0,
+            Anchor::Start,
+        );
         if let Some(sub) = &self.subtitle {
-            svg.text(margin_l, 42.0, sub, self.theme.text_secondary, 11.0, Anchor::Start);
+            svg.text(
+                margin_l,
+                42.0,
+                sub,
+                self.theme.text_secondary,
+                11.0,
+                Anchor::Start,
+            );
         }
         if self.series.len() > 1 {
             let mut x = margin_l;
             let ly = margin_t - legend_h + 4.0;
             for (i, (name, _)) in self.series.iter().enumerate() {
                 svg.swatch(x, ly, 10.0, self.theme.series[i % self.theme.series.len()]);
-                svg.text(x + 14.0, ly + 9.0, name, self.theme.text_secondary, 11.0, Anchor::Start);
+                svg.text(
+                    x + 14.0,
+                    ly + 9.0,
+                    name,
+                    self.theme.text_secondary,
+                    11.0,
+                    Anchor::Start,
+                );
                 x += 14.0 + 7.0 * name.len() as f64 + 18.0;
             }
         }

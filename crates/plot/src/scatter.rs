@@ -89,17 +89,45 @@ impl LogLogScatter {
         let y_of = |v: f64| margin_t + plot - pos(v);
 
         let mut svg = Svg::new(width, height, self.theme.surface);
-        svg.text(margin_l, 24.0, &self.title, self.theme.text_primary, 15.0, Anchor::Start);
+        svg.text(
+            margin_l,
+            24.0,
+            &self.title,
+            self.theme.text_primary,
+            15.0,
+            Anchor::Start,
+        );
         if let Some(sub) = &self.subtitle {
-            svg.text(margin_l, 42.0, sub, self.theme.text_secondary, 11.0, Anchor::Start);
+            svg.text(
+                margin_l,
+                42.0,
+                sub,
+                self.theme.text_secondary,
+                11.0,
+                Anchor::Start,
+            );
         }
 
         // Decade gridlines on both axes.
         let mut d = lo;
         while d <= hi + 1e-9 {
             let v = 10f64.powf(d);
-            svg.line(x_of(v), margin_t, x_of(v), margin_t + plot, self.theme.grid, 1.0);
-            svg.line(margin_l, y_of(v), margin_l + plot, y_of(v), self.theme.grid, 1.0);
+            svg.line(
+                x_of(v),
+                margin_t,
+                x_of(v),
+                margin_t + plot,
+                self.theme.grid,
+                1.0,
+            );
+            svg.line(
+                margin_l,
+                y_of(v),
+                margin_l + plot,
+                y_of(v),
+                self.theme.grid,
+                1.0,
+            );
             let tick = format!("1e{d:.0}");
             svg.text(
                 x_of(v),

@@ -34,6 +34,10 @@ pub struct MsgSizes {
     pub inv: u32,
     /// Release fence and its acknowledgment.
     pub fence: u32,
+    /// Negative acknowledgment: a busy home rejects a request and the
+    /// requester retries after a backoff (header only — it carries just
+    /// the address and ids needed to re-issue).
+    pub nack: u32,
 }
 
 impl MsgSizes {
@@ -55,6 +59,7 @@ impl MsgSizes {
             atomic_resp: header + 8,
             inv: header,
             fence: 8,
+            nack: header,
         }
     }
 }
@@ -78,6 +83,7 @@ mod tests {
         assert_eq!(m.store, 144);
         assert_eq!(m.inv, 16);
         assert_eq!(m.fence, 8);
+        assert_eq!(m.nack, 16);
     }
 
     #[test]

@@ -269,10 +269,7 @@ mod tests {
                 p.has_hw_directory(),
                 matches!(p, ProtocolKind::Nhcc | ProtocolKind::Hmg)
             );
-            assert_eq!(
-                p.has_broadcast_classifier(),
-                p == ProtocolKind::CarveLike
-            );
+            assert_eq!(p.has_broadcast_classifier(), p == ProtocolKind::CarveLike);
         }
     }
 

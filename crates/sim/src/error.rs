@@ -169,8 +169,10 @@ mod tests {
     #[test]
     fn kinds_have_distinct_names() {
         use SimErrorKind::*;
-        let names: std::collections::HashSet<_> =
-            [Deadlock, Livelock, Config, Protocol, Trace].iter().map(|k| k.name()).collect();
+        let names: std::collections::HashSet<_> = [Deadlock, Livelock, Config, Protocol, Trace]
+            .iter()
+            .map(|k| k.name())
+            .collect();
         assert_eq!(names.len(), 5);
     }
 }

@@ -8,20 +8,32 @@
 //!
 //! Fault taxonomy (who consumes which knob):
 //!
-//! | fault            | consumed by  | expected outcome                  |
-//! |------------------|--------------|-----------------------------------|
-//! | [`LinkDegrade`]  | interconnect | tolerated — runs slower           |
-//! | [`LinkStall`]    | interconnect | tolerated — runs slower           |
-//! | [`MsgDelay`]     | GPU engine   | tolerated — fences wait it out    |
-//! | [`MsgDuplicate`] | GPU engine   | tolerated — re-delivery idempotent|
-//! | `flag_delay`     | GPU engine   | tolerated — waiters wake later    |
-//! | `drop_store`     | GPU engine   | **detected** — deadlock watchdog  |
-//! | [`ReorderInv`]   | GPU engine   | **detected** — version oracle     |
+//! | fault            | consumed by  | expected outcome                   |
+//! |------------------|--------------|------------------------------------|
+//! | [`LinkDegrade`]  | interconnect | tolerated — runs slower            |
+//! | [`LinkStall`]    | interconnect | tolerated — runs slower            |
+//! | [`MsgDrop`]      | interconnect | **recovered** — retransmission     |
+//! | [`MsgDelay`]     | GPU engine   | tolerated — fences wait it out     |
+//! | [`MsgDuplicate`] | GPU engine   | tolerated — re-delivery idempotent |
+//! | `flag_delay`     | GPU engine   | tolerated — waiters wake later     |
+//! | `drop_store`     | GPU engine   | **detected** — deadlock watchdog   |
+//! | [`ReorderInv`]   | GPU engine   | **detected** — version oracle      |
 //!
-//! The last two are deliberate protocol violations: HMG's correctness
-//! rests on FIFO link ordering and on store/invalidation counters
-//! draining, so breaking either must be *caught*, never silently
-//! survived or hung on.
+//! Three outcome classes matter:
+//!
+//! * *tolerated* faults slow the run down without any protocol help;
+//! * *recovered* faults are masked by an explicit recovery mechanism —
+//!   [`MsgDrop`] loses messages on the wire, and the interconnect's
+//!   reliable-delivery layer (sequence numbers + timeout-driven
+//!   retransmission with deterministic exponential backoff) replays them
+//!   so the run still converges to the fault-free final state;
+//! * *detected* faults are deliberate protocol violations. HMG's
+//!   correctness rests on FIFO link ordering and on store/invalidation
+//!   counters draining, so breaking either must be *caught*, never
+//!   silently survived or hung on: `drop_store` erases a committed
+//!   write above the transport (no retransmission can help) and is
+//!   caught by the deadlock watchdog; [`ReorderInv`] breaks FIFO
+//!   delivery and is caught by the version oracle.
 
 use crate::error::SimError;
 
@@ -69,6 +81,20 @@ pub struct MsgDuplicate {
     pub prob: f64,
 }
 
+/// Random loss of messages on the wire, recovered by the interconnect's
+/// reliable-delivery layer: each lost attempt costs a delivery timeout
+/// plus exponentially backed-off retransmission, so runs finish slower
+/// but converge to the fault-free final memory state. Drop draws come
+/// from a dedicated SplitMix64 stream seeded by the plan seed, making
+/// the retransmission schedule bit-identical across reruns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgDrop {
+    /// Per-delivery-attempt probability of loss, in `[0, 1)`. A
+    /// probability of 1 would make delivery impossible, so it is
+    /// rejected by validation.
+    pub prob: f64,
+}
+
 /// FIFO-ordering violation: the `nth` store-caused invalidation is
 /// delivered `extra` cycles late *without* holding its pending
 /// counter, so the producer's release fence completes before the
@@ -95,6 +121,8 @@ pub struct FaultPlan {
     pub degrade: Option<LinkDegrade>,
     /// Link stall window, if any.
     pub stall: Option<LinkStall>,
+    /// Random on-wire message loss (recovered by retransmission), if any.
+    pub drop: Option<MsgDrop>,
     /// Random message delay, if any.
     pub delay: Option<MsgDelay>,
     /// Random message duplication, if any.
@@ -110,12 +138,16 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// `true` if the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
-        *self == FaultPlan { seed: self.seed, ..FaultPlan::default() }
+        *self
+            == FaultPlan {
+                seed: self.seed,
+                ..FaultPlan::default()
+            }
     }
 
     /// `true` if any knob targets the interconnect links.
     pub fn has_link_faults(&self) -> bool {
-        self.degrade.is_some() || self.stall.is_some()
+        self.degrade.is_some() || self.stall.is_some() || self.drop.is_some()
     }
 
     /// Serialization-time multiplier for a link send starting at
@@ -156,9 +188,22 @@ impl FaultPlan {
                 )));
             }
         }
+        if let Some(d) = self.drop {
+            // prob == 1 can never deliver, so the retransmission layer
+            // would spin forever; reject it up front.
+            if !(0.0..1.0).contains(&d.prob) {
+                return Err(SimError::config(format!(
+                    "drop probability {} not in [0,1) (1.0 is unrecoverable)",
+                    d.prob
+                )));
+            }
+        }
         if let Some(d) = self.delay {
             if !(0.0..=1.0).contains(&d.prob) {
-                return Err(SimError::config(format!("delay probability {} not in [0,1]", d.prob)));
+                return Err(SimError::config(format!(
+                    "delay probability {} not in [0,1]",
+                    d.prob
+                )));
             }
         }
         if let Some(d) = self.duplicate {
@@ -170,11 +215,15 @@ impl FaultPlan {
             }
         }
         if self.drop_store == Some(0) {
-            return Err(SimError::config("drop-store index is 1-based; 0 never fires"));
+            return Err(SimError::config(
+                "drop-store index is 1-based; 0 never fires",
+            ));
         }
         if let Some(r) = self.reorder_inv {
             if r.nth == 0 {
-                return Err(SimError::config("reorder-inv index is 1-based; 0 never fires"));
+                return Err(SimError::config(
+                    "reorder-inv index is 1-based; 0 never fires",
+                ));
             }
         }
         Ok(())
@@ -183,8 +232,8 @@ impl FaultPlan {
     /// Parse a compact comma-separated fault spec, e.g.
     ///
     /// ```text
-    /// degrade=1000..5000/4,stall=2000..2500/300,delay=0.1/200,dup=0.05,
-    /// flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7
+    /// degrade=1000..5000/4,stall=2000..2500/300,drop=0.01,delay=0.1/200,
+    /// dup=0.05,flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7
     /// ```
     ///
     /// Each clause is `key=value`; unknown keys, malformed numbers and
@@ -202,36 +251,59 @@ impl FaultPlan {
                         .split_once('/')
                         .ok_or_else(|| bad(clause, "expected FROM..UNTIL/FACTOR"))?;
                     let (from, until) = window(clause, win)?;
-                    plan.degrade = Some(LinkDegrade { from, until, factor: float(clause, factor)? });
+                    plan.degrade = Some(LinkDegrade {
+                        from,
+                        until,
+                        factor: float(clause, factor)?,
+                    });
                 }
                 "stall" => {
                     let (win, extra) = val
                         .split_once('/')
                         .ok_or_else(|| bad(clause, "expected FROM..UNTIL/EXTRA"))?;
                     let (from, until) = window(clause, win)?;
-                    plan.stall = Some(LinkStall { from, until, extra: num(clause, extra)? });
+                    plan.stall = Some(LinkStall {
+                        from,
+                        until,
+                        extra: num(clause, extra)?,
+                    });
                 }
                 "delay" => {
-                    let (prob, extra) =
-                        val.split_once('/').ok_or_else(|| bad(clause, "expected PROB/EXTRA"))?;
-                    plan.delay =
-                        Some(MsgDelay { prob: float(clause, prob)?, extra: num(clause, extra)? });
+                    let (prob, extra) = val
+                        .split_once('/')
+                        .ok_or_else(|| bad(clause, "expected PROB/EXTRA"))?;
+                    plan.delay = Some(MsgDelay {
+                        prob: float(clause, prob)?,
+                        extra: num(clause, extra)?,
+                    });
                 }
-                "dup" => plan.duplicate = Some(MsgDuplicate { prob: float(clause, val)? }),
+                "drop" => {
+                    plan.drop = Some(MsgDrop {
+                        prob: float(clause, val)?,
+                    })
+                }
+                "dup" => {
+                    plan.duplicate = Some(MsgDuplicate {
+                        prob: float(clause, val)?,
+                    })
+                }
                 "flag-delay" => plan.flag_delay = Some(num(clause, val)?),
                 "drop-store" => plan.drop_store = Some(num(clause, val)?),
                 "reorder-inv" => {
-                    let (nth, extra) =
-                        val.split_once('/').ok_or_else(|| bad(clause, "expected NTH/EXTRA"))?;
-                    plan.reorder_inv =
-                        Some(ReorderInv { nth: num(clause, nth)?, extra: num(clause, extra)? });
+                    let (nth, extra) = val
+                        .split_once('/')
+                        .ok_or_else(|| bad(clause, "expected NTH/EXTRA"))?;
+                    plan.reorder_inv = Some(ReorderInv {
+                        nth: num(clause, nth)?,
+                        extra: num(clause, extra)?,
+                    });
                 }
                 other => {
                     return Err(bad(
                         clause,
                         &format!(
-                            "unknown fault `{other}` (known: seed, degrade, stall, delay, dup, \
-                             flag-delay, drop-store, reorder-inv)"
+                            "unknown fault `{other}` (known: seed, degrade, stall, drop, delay, \
+                             dup, flag-delay, drop-store, reorder-inv)"
                         ),
                     ));
                 }
@@ -247,15 +319,21 @@ fn bad(clause: &str, why: &str) -> SimError {
 }
 
 fn num(clause: &str, s: &str) -> Result<u64, SimError> {
-    s.trim().parse().map_err(|_| bad(clause, &format!("`{s}` is not an unsigned integer")))
+    s.trim()
+        .parse()
+        .map_err(|_| bad(clause, &format!("`{s}` is not an unsigned integer")))
 }
 
 fn float(clause: &str, s: &str) -> Result<f64, SimError> {
-    s.trim().parse().map_err(|_| bad(clause, &format!("`{s}` is not a number")))
+    s.trim()
+        .parse()
+        .map_err(|_| bad(clause, &format!("`{s}` is not a number")))
 }
 
 fn window(clause: &str, s: &str) -> Result<(u64, u64), SimError> {
-    let (a, b) = s.split_once("..").ok_or_else(|| bad(clause, "window must be FROM..UNTIL"))?;
+    let (a, b) = s
+        .split_once("..")
+        .ok_or_else(|| bad(clause, "window must be FROM..UNTIL"))?;
     Ok((num(clause, a)?, num(clause, b)?))
 }
 
@@ -276,18 +354,45 @@ mod tests {
     #[test]
     fn parse_full_spec_roundtrips_fields() {
         let p = FaultPlan::parse(
-            "degrade=1000..5000/4,stall=2000..2500/300,delay=0.1/200,dup=0.05,\
+            "degrade=1000..5000/4,stall=2000..2500/300,drop=0.02,delay=0.1/200,dup=0.05,\
              flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7",
         )
         .unwrap();
         assert_eq!(p.seed, 7);
-        assert_eq!(p.degrade, Some(LinkDegrade { from: 1000, until: 5000, factor: 4.0 }));
-        assert_eq!(p.stall, Some(LinkStall { from: 2000, until: 2500, extra: 300 }));
-        assert_eq!(p.delay, Some(MsgDelay { prob: 0.1, extra: 200 }));
+        assert_eq!(
+            p.degrade,
+            Some(LinkDegrade {
+                from: 1000,
+                until: 5000,
+                factor: 4.0
+            })
+        );
+        assert_eq!(
+            p.stall,
+            Some(LinkStall {
+                from: 2000,
+                until: 2500,
+                extra: 300
+            })
+        );
+        assert_eq!(p.drop, Some(MsgDrop { prob: 0.02 }));
+        assert_eq!(
+            p.delay,
+            Some(MsgDelay {
+                prob: 0.1,
+                extra: 200
+            })
+        );
         assert_eq!(p.duplicate, Some(MsgDuplicate { prob: 0.05 }));
         assert_eq!(p.flag_delay, Some(500));
         assert_eq!(p.drop_store, Some(3));
-        assert_eq!(p.reorder_inv, Some(ReorderInv { nth: 1, extra: 50000 }));
+        assert_eq!(
+            p.reorder_inv,
+            Some(ReorderInv {
+                nth: 1,
+                extra: 50000
+            })
+        );
         assert!(!p.is_empty());
         assert!(p.has_link_faults());
     }
@@ -311,6 +416,8 @@ mod tests {
             "frobnicate=3",
             "delay=1.5/10",
             "dup=-0.1",
+            "drop=1.0",
+            "drop=-0.25",
             "degrade=5..5/2",
             "degrade=10..20/0.5",
             "stall=9..3/5",

@@ -22,7 +22,10 @@ pub struct ProgressWatchdog {
 impl ProgressWatchdog {
     /// A watchdog allowing up to `budget` cycles between retirements.
     pub fn new(budget: Option<u64>) -> Self {
-        ProgressWatchdog { budget, last_progress: 0 }
+        ProgressWatchdog {
+            budget,
+            last_progress: 0,
+        }
     }
 
     /// Record that real progress happened at `now`.

@@ -101,7 +101,10 @@ fn stats_identities() {
         let g = geomean(&xs);
         let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = xs.iter().cloned().fold(0.0f64, f64::max);
-        assert!(g >= lo * 0.999 && g <= hi * 1.001, "g={g} not in [{lo}, {hi}]");
+        assert!(
+            g >= lo * 0.999 && g <= hi * 1.001,
+            "g={g} not in [{lo}, {hi}]"
+        );
         let shifted: Vec<f64> = xs.iter().map(|x| x + 5.0).collect();
         assert!((mean(&shifted) - mean(&xs) - 5.0).abs() < 1e-9);
     }
@@ -120,6 +123,9 @@ fn pearson_properties() {
         assert!((-1.0001..=1.0001).contains(&r), "r={r}");
         assert!((pearson(&ys, &xs) - r).abs() < 1e-9, "symmetry");
         let xs_scaled: Vec<f64> = xs.iter().map(|x| x * scale).collect();
-        assert!((pearson(&xs_scaled, &ys) - r).abs() < 1e-6, "scale invariance");
+        assert!(
+            (pearson(&xs_scaled, &ys) - r).abs() < 1e-6,
+            "scale invariance"
+        );
     }
 }

@@ -176,10 +176,7 @@ pub fn stencil(name: &str, d: Dims, p: StencilParams) -> WorkloadTrace {
             let own = grid.tile(i, d.ctas);
             // Halo first (possibly remote), then the local interior
             // stream overlaps its latency.
-            let mut neighbors = vec![
-                (i + d.ctas - 1) % d.ctas,
-                (i + 1) % d.ctas,
-            ];
+            let mut neighbors = vec![(i + d.ctas - 1) % d.ctas, (i + 1) % d.ctas];
             if p.stride2 > 0 {
                 neighbors.push((i + d.ctas - p.stride2) % d.ctas);
                 neighbors.push((i + p.stride2) % d.ctas);
@@ -305,7 +302,11 @@ pub fn wavefront(name: &str, d: Dims, p: WavefrontParams) -> WorkloadTrace {
     let row_b = space.alloc(row_bytes);
     let mut kernels = Vec::with_capacity(d.kernels as usize);
     for k in 0..d.kernels {
-        let (prev, cur) = if k % 2 == 0 { (row_a, row_b) } else { (row_b, row_a) };
+        let (prev, cur) = if k % 2 == 0 {
+            (row_a, row_b)
+        } else {
+            (row_b, row_a)
+        };
         let displacement = d.ctas / 4 + 1;
         let remote_reads = (p.back_reads as f64 * p.shift_frac) as u64;
         let local_reads = p.back_reads - remote_reads;

@@ -154,7 +154,14 @@ impl CtaBuilder {
     }
 
     /// Appends `n` Zipf-distributed loads over `r` with exponent `s`.
-    pub fn zipf_loads(&mut self, r: Region, n: u64, s: f64, rng: &mut Rng, delay: u32) -> &mut Self {
+    pub fn zipf_loads(
+        &mut self,
+        r: Region,
+        n: u64,
+        s: f64,
+        rng: &mut Rng,
+        delay: u32,
+    ) -> &mut Self {
         for _ in 0..n {
             self.load(r, rng.gen_zipf(r.lines(), s));
             self.delay(delay);

@@ -75,9 +75,7 @@ fn issue_bound(n: u64) -> Micro {
     Micro {
         name: format!("issue-bound-{n}"),
         trace,
-        predict: Box::new(move |m| {
-            m.kernel_launch + 200_000.0 + n as f64 * m.issue_cycles
-        }),
+        predict: Box::new(move |m| m.kernel_launch + 200_000.0 + n as f64 * m.issue_cycles),
     }
 }
 
@@ -91,10 +89,7 @@ fn compute_bound(n: u64, d: u32) -> Micro {
         }
         ctas.push(b.build());
     }
-    let trace = WorkloadTrace::new(
-        format!("compute-bound-{n}x{d}"),
-        vec![Kernel::new(ctas)],
-    );
+    let trace = WorkloadTrace::new(format!("compute-bound-{n}x{d}"), vec![Kernel::new(ctas)]);
     Micro {
         name: format!("compute-bound-{n}x{d}"),
         trace,
@@ -118,10 +113,7 @@ fn dram_bound(lines_per_cta: u64, sms: u64) -> Micro {
         }
     }
     let n = lines_per_cta;
-    let trace = WorkloadTrace::new(
-        format!("dram-bound-{n}x{sms}"),
-        vec![Kernel::new(ctas)],
-    );
+    let trace = WorkloadTrace::new(format!("dram-bound-{n}x{sms}"), vec![Kernel::new(ctas)]);
     Micro {
         name: format!("dram-bound-{n}x{sms}"),
         trace,

@@ -119,26 +119,11 @@ pub enum Category {
 /// Which archetype generates a workload, with its tuned parameters.
 #[derive(Debug, Clone, Copy)]
 enum Arche {
-    Layers {
-        kernels: u32,
-        p: LayersParams,
-    },
-    Stencil {
-        kernels: u32,
-        p: StencilParams,
-    },
-    Graph {
-        kernels: u32,
-        p: GraphParams,
-    },
-    Wavefront {
-        kernels: u32,
-        p: WavefrontParams,
-    },
-    Solver {
-        phases: u32,
-        p: SolverParams,
-    },
+    Layers { kernels: u32, p: LayersParams },
+    Stencil { kernels: u32, p: StencilParams },
+    Graph { kernels: u32, p: GraphParams },
+    Wavefront { kernels: u32, p: WavefrontParams },
+    Solver { phases: u32, p: SolverParams },
 }
 
 /// One Table III benchmark.
@@ -202,7 +187,11 @@ impl WorkloadSpec {
                 let p = StencilParams {
                     interior_reads: scale.amount(p.interior_reads),
                     writes: scale.amount(p.writes),
-                    stride2: if p.stride2 > 0 { (scale.ctas() / 16).max(1) } else { 0 },
+                    stride2: if p.stride2 > 0 {
+                        (scale.ctas() / 16).max(1)
+                    } else {
+                        0
+                    },
                     ..p
                 };
                 stencil(self.abbrev, d, p)
@@ -712,9 +701,7 @@ mod tests {
                             | hmg_protocol::TraceOp::Acquire(Scope::Gpu) => {
                                 has_gpu_scope = true;
                             }
-                            hmg_protocol::TraceOp::Access(acc)
-                                if acc.scope == Scope::Gpu =>
-                            {
+                            hmg_protocol::TraceOp::Access(acc) if acc.scope == Scope::Gpu => {
                                 has_gpu_scope = true;
                             }
                             _ => {}

@@ -37,7 +37,10 @@ fn main() {
             c.track_peer_redundancy = true;
         });
         if let Some(r) = m.peer_redundancy() {
-            println!("inter-GPU load redundancy within a GPU (Fig. 3): {}", pct(r));
+            println!(
+                "inter-GPU load redundancy within a GPU (Fig. 3): {}",
+                pct(r)
+            );
         }
         let base_cycles = m.total_cycles.as_u64();
 
@@ -54,7 +57,9 @@ fn main() {
                 p.name().into(),
                 f2(base_cycles as f64 / m.total_cycles.as_u64() as f64),
                 (m.invs_from_stores + m.invs_from_evictions).to_string(),
-                m.lines_per_store_inv().map(f2).unwrap_or_else(|| "-".into()),
+                m.lines_per_store_inv()
+                    .map(f2)
+                    .unwrap_or_else(|| "-".into()),
                 f2(m.inv_bandwidth_gbps(1.3)),
             ]);
         }

@@ -49,9 +49,17 @@ fn main() {
     );
     // Diagnostic overrides: HMG_INTER_X / HMG_INTRA_X multiply link
     // bandwidths; HMG_LAUNCH overrides kernel launch overhead cycles.
-    let inter_x: f64 = std::env::var("HMG_INTER_X").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let intra_x: f64 = std::env::var("HMG_INTRA_X").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
-    let launch: Option<u64> = std::env::var("HMG_LAUNCH").ok().and_then(|v| v.parse().ok());
+    let inter_x: f64 = std::env::var("HMG_INTER_X")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let intra_x: f64 = std::env::var("HMG_INTRA_X")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let launch: Option<u64> = std::env::var("HMG_LAUNCH")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let interleaved = std::env::var_os("HMG_INTERLEAVED").is_some();
     let scaled = |r: &mut Runner, p: ProtocolKind| {
         r.run_with(&trace, p, |cfg| {

@@ -24,11 +24,13 @@ fn main() {
         _ => Scale::Small,
     };
     let passes = ["RNN_FW", "RNN_DGRAD", "RNN_WGRAD"];
-    println!("RNN training step: {} (scale {scale:?})\n", passes.join(" -> "));
+    println!(
+        "RNN training step: {} (scale {scale:?})\n",
+        passes.join(" -> ")
+    );
 
     let mut runner = Runner::new(scale);
-    let mut total: Vec<(ProtocolKind, u64)> =
-        ProtocolKind::ALL.iter().map(|&p| (p, 0)).collect();
+    let mut total: Vec<(ProtocolKind, u64)> = ProtocolKind::ALL.iter().map(|&p| (p, 0)).collect();
 
     for pass in passes {
         let spec = by_abbrev(pass).expect("RNN pass in suite");
@@ -64,7 +66,11 @@ fn main() {
     }
 
     println!("== whole training step ==");
-    let mut t = Table::new(vec!["protocol".into(), "total cycles".into(), "speedup".into()]);
+    let mut t = Table::new(vec![
+        "protocol".into(),
+        "total cycles".into(),
+        "speedup".into(),
+    ]);
     let base = total[0].1; // NoPeerCaching is first in ProtocolKind::ALL
     for (p, cyc) in &total {
         t.row(vec![

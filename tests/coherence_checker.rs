@@ -192,8 +192,7 @@ fn strict_round_visibility_fixed_producer() {
         let mut cfg = EngineConfig::small_test(p);
         cfg.probe_line = Some(0);
         let m = Engine::new(cfg).run(&trace);
-        let mut per_sm: std::collections::HashMap<u32, Vec<u64>> =
-            std::collections::HashMap::new();
+        let mut per_sm: std::collections::HashMap<u32, Vec<u64>> = std::collections::HashMap::new();
         for &(sm, v) in &m.probe {
             per_sm.entry(sm).or_default().push(v);
         }

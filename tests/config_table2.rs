@@ -43,9 +43,8 @@ fn table_ii_configuration() {
 fn directory_coverage_matches_section_vi() {
     // §VI: 12K entries x 4 lines x 128 B = 6 MB of shareable data per GPM.
     let c = EngineConfig::paper_default(ProtocolKind::Hmg);
-    let coverage = c.dir.entries as u64
-        * c.geometry.lines_per_block() as u64
-        * c.geometry.line_bytes() as u64;
+    let coverage =
+        c.dir.entries as u64 * c.geometry.lines_per_block() as u64 * c.geometry.line_bytes() as u64;
     assert_eq!(coverage, 6 * 1024 * 1024);
 }
 
@@ -54,7 +53,10 @@ fn storage_cost_matches_section_vii_c() {
     let (bits, bytes, frac) = hmg::experiments::storage_cost();
     assert_eq!(bits, 55, "48 tag + 1 state + 6 sharers");
     assert_eq!(bytes, 84_480, "~84 KB per GPM");
-    assert!((frac - 0.027).abs() < 0.002, "2.7% of the L2 slice, got {frac}");
+    assert!(
+        (frac - 0.027).abs() < 0.002,
+        "2.7% of the L2 slice, got {frac}"
+    );
 }
 
 #[test]

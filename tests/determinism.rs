@@ -61,10 +61,9 @@ fn identical_fault_plans_reproduce_identical_runs() {
     // seed and plan must reproduce the run bit-for-bit.
     let spec = by_abbrev("bfs").expect("bfs in suite");
     let trace = spec.generate(Scale::Tiny, 17);
-    let plan = FaultPlan::parse(
-        "delay=0.35/140,dup=0.35,flag-delay=60,degrade=500..40000/2.5,seed=77",
-    )
-    .expect("valid plan");
+    let plan =
+        FaultPlan::parse("delay=0.35/140,dup=0.35,flag-delay=60,degrade=500..40000/2.5,seed=77")
+            .expect("valid plan");
     for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
         let run = || {
             let mut cfg = EngineConfig::small_test(p);
@@ -76,7 +75,11 @@ fn identical_fault_plans_reproduce_identical_runs() {
         };
         let a = run();
         let b = run();
-        assert_eq!(fingerprint(&a), fingerprint(&b), "{p}: same seed + same plan");
+        assert_eq!(
+            fingerprint(&a),
+            fingerprint(&b),
+            "{p}: same seed + same plan"
+        );
     }
 }
 
@@ -109,6 +112,7 @@ fn keep_going_sweeps_are_deterministic() {
         filter: Some(vec!["CoMD".into(), "bfs".into()]),
         faults: Some(FaultPlan::parse("delay=0.2/90,dup=0.2,seed=5").unwrap()),
         keep_going: true,
+        ..ExpOptions::default()
     };
     let a = fig8(&opts);
     let b = fig8(&opts);

@@ -63,7 +63,11 @@ fn software_protocols_send_no_hardware_invalidations() {
 
 #[test]
 fn hardware_protocols_invalidate_on_read_write_sharing() {
-    for p in [ProtocolKind::Nhcc, ProtocolKind::Hmg, ProtocolKind::CarveLike] {
+    for p in [
+        ProtocolKind::Nhcc,
+        ProtocolKind::Hmg,
+        ProtocolKind::CarveLike,
+    ] {
         let m = run(p, "mst");
         assert!(
             m.invs_from_stores > 0,

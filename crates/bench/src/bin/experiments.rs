@@ -25,7 +25,9 @@ fn save_svg(dir: &Option<String>, name: &str, svg: &str) {
     }
 }
 
-fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
+/// Runs one command; `false` means the command itself failed (today
+/// only `check` can: the sweep found a memory-model violation).
+fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>, budget: u64) -> bool {
     match cmd {
         Command::Table3 => exp::print_table3(opts),
         Command::Fig2 => {
@@ -133,11 +135,28 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>) {
         Command::AblateWriteback => exp::ablate_writeback(opts).print(),
         Command::AblateDowngrade => exp::ablate_downgrades(opts).print(),
         Command::All => {
+            let mut ok = true;
             for c in Command::PAPER_ORDER {
-                run(c, opts, svg);
+                ok &= run(c, opts, svg, budget);
             }
+            return ok;
+        }
+        Command::Check => {
+            let cfg = hmg_check::CheckConfig {
+                budget,
+                seed: opts.seed,
+                inject: opts
+                    .faults
+                    .as_ref()
+                    .is_some_and(|f| f.skip_hier_inv_forward),
+                ..hmg_check::CheckConfig::default()
+            };
+            let report = hmg_check::run_check(&cfg);
+            print!("{report}");
+            return report.passed();
         }
     }
+    true
 }
 
 fn main() -> ExitCode {
@@ -145,12 +164,21 @@ fn main() -> ExitCode {
     match parse_args(&args) {
         Ok(parsed) => {
             let t0 = std::time::Instant::now();
-            run(parsed.command, &parsed.options, &parsed.svg_dir);
+            let ok = run(
+                parsed.command,
+                &parsed.options,
+                &parsed.svg_dir,
+                parsed.budget,
+            );
             eprintln!(
                 "[experiments completed in {:.1}s]",
                 t0.elapsed().as_secs_f64()
             );
-            ExitCode::SUCCESS
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(msg) => {
             eprintln!("{msg}");

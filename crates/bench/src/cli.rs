@@ -48,6 +48,9 @@ pub enum Command {
     AblateDowngrade,
     /// Run every experiment in paper order.
     All,
+    /// Bounded litmus enumeration vs the axiomatic memory-model oracle
+    /// (crates/check; see docs/CHECKING.md).
+    Check,
 }
 
 impl Command {
@@ -74,6 +77,7 @@ impl Command {
             "ablate-writeback" => Command::AblateWriteback,
             "ablate-downgrade" => Command::AblateDowngrade,
             "all" => Command::All,
+            "check" => Command::Check,
             _ => return None,
         })
     }
@@ -107,15 +111,26 @@ pub struct ParsedArgs {
     pub options: ExpOptions,
     /// When set, also write the figures as SVG files into this directory.
     pub svg_dir: Option<String>,
+    /// Engine-run budget for the `check` sweep.
+    pub budget: u64,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--budget N]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
   grain cost single-gpu carve scale-study characterize all
   ablate-fence ablate-placement ablate-writeback ablate-downgrade
+  check
+
+coherence checking (docs/CHECKING.md):
+  check           sweep the bounded litmus space against the axiomatic
+                  memory-model oracle; nonzero exit on any violation
+  --budget N      engine-run budget for the sweep (default 2000)
+  --seed N        perturbation-sweep seed (reproduces a failure exactly)
+  --faults skip-hier-fwd   self-test: inject the hierarchical-forward
+                  protocol bug; the sweep is then expected to FAIL
 
 fault injection (DESIGN.md `Robustness & fault injection`):
   --faults SPEC   comma-separated clauses, e.g.
@@ -145,6 +160,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
         Command::from_name(cmd).ok_or_else(|| format!("unknown command `{cmd}`\n{USAGE}"))?;
     let mut options = ExpOptions::default();
     let mut svg_dir = None;
+    let mut budget = 2000u64;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--svg" => svg_dir = Some(it.next().ok_or("--svg needs a directory")?.clone()),
@@ -181,6 +197,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 options.livelock_budget =
                     Some(v.parse().map_err(|e| format!("bad livelock budget: {e}"))?);
             }
+            "--budget" => {
+                let v = it.next().ok_or("--budget needs an engine-run count")?;
+                budget = v.parse().map_err(|e| format!("bad budget: {e}"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -191,6 +211,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
         command,
         options,
         svg_dir,
+        budget,
     })
 }
 
@@ -306,8 +327,26 @@ mod tests {
             "ablate-writeback",
             "ablate-downgrade",
             "all",
+            "check",
         ] {
             assert!(Command::from_name(name).is_some(), "{name}");
         }
+    }
+
+    #[test]
+    fn parses_check_budget() {
+        let p = parse_args(&s(&["check", "--budget", "500", "--seed", "3"])).unwrap();
+        assert_eq!(p.command, Command::Check);
+        assert_eq!(p.budget, 500);
+        assert_eq!(p.options.seed, 3);
+        assert_eq!(parse_args(&s(&["check"])).unwrap().budget, 2000);
+        assert!(parse_args(&s(&["check", "--budget", "many"])).is_err());
+        assert!(parse_args(&s(&["check", "--budget"])).is_err());
+    }
+
+    #[test]
+    fn check_accepts_the_bug_injection_fault() {
+        let p = parse_args(&s(&["check", "--faults", "skip-hier-fwd"])).unwrap();
+        assert!(p.options.faults.expect("parsed").skip_hier_inv_forward);
     }
 }

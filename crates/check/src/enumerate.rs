@@ -1,0 +1,244 @@
+//! Exhaustive, lazy enumeration of the bounded litmus space.
+//!
+//! The space is ordered so the most discriminating programs come first:
+//! cross-GPU placements before intra-GPU ones, writes before reads in
+//! the op alphabet, and small programs before large ones. A budgeted
+//! sweep therefore covers the classic two-thread communication patterns
+//! (MP, coRR, coWW, store buffering) within the first few hundred
+//! canonical classes.
+
+use hmg::prelude::Scope;
+
+use crate::program::{LOp, LThread, Program, MAX_OPS_PER_THREAD};
+
+/// Two-thread placements, cross-GPU first. GPMs 0–1 are GPU 0,
+/// GPMs 2–3 are GPU 1; `gpu_home` hashing makes each pair distinct.
+/// GPM1 leads: the homing kernel pins the system home at GPM0, so a
+/// GPM1 writer's store forward crosses the fabric (and can lose races
+/// the perturbation plans create), while a GPM0 writer commits at its
+/// own node with no window for a remote reader to slip into.
+pub const PLACEMENTS_2: [&[u8]; 6] = [&[1, 2], &[1, 3], &[0, 2], &[0, 3], &[0, 1], &[2, 3]];
+
+/// Three-thread placements (every 3-subset of the 4 GPMs).
+pub const PLACEMENTS_3: [&[u8]; 4] = [&[0, 1, 2], &[0, 1, 3], &[0, 2, 3], &[1, 2, 3]];
+
+/// The op alphabet: writes first so early programs communicate.
+/// Scopes are restricted to the combinations the engine distinguishes
+/// (plain `.cta` data accesses, `.sys` loads that bypass local caching
+/// under software protocols, and scoped atomics/fences).
+pub fn alphabet() -> Vec<LOp> {
+    let mut v = Vec::new();
+    for a in 0..2u8 {
+        v.push(LOp::St(a, Scope::Cta));
+        v.push(LOp::Ld(a, Scope::Cta));
+        v.push(LOp::Ld(a, Scope::Sys));
+        v.push(LOp::Atom(a, Scope::Gpu));
+        v.push(LOp::Atom(a, Scope::Sys));
+    }
+    v.push(LOp::Acq(Scope::Gpu));
+    v.push(LOp::Acq(Scope::Sys));
+    v.push(LOp::Rel(Scope::Gpu));
+    v.push(LOp::Rel(Scope::Sys));
+    v
+}
+
+/// All ways to split `total` ops into `parts` per-thread counts, each
+/// `1..=MAX_OPS_PER_THREAD`, in lexicographic order.
+fn compositions(total: usize, parts: usize) -> Vec<Vec<usize>> {
+    fn rec(total: usize, parts: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if parts == 1 {
+            if (1..=MAX_OPS_PER_THREAD).contains(&total) {
+                acc.push(total);
+                out.push(acc.clone());
+                acc.pop();
+            }
+            return;
+        }
+        for first in 1..=MAX_OPS_PER_THREAD.min(total) {
+            acc.push(first);
+            rec(total - first, parts - 1, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(total, parts, &mut Vec::new(), &mut out);
+    out
+}
+
+/// A shape: which GPMs run threads and how many ops each thread gets.
+#[derive(Debug, Clone)]
+struct Shape {
+    gpms: Vec<u8>,
+    ops_per_thread: Vec<usize>,
+}
+
+fn shapes() -> Vec<Shape> {
+    let mut out = Vec::new();
+    // Small programs first; 2-thread placements before 3-thread ones.
+    for total in 2..=3 * MAX_OPS_PER_THREAD {
+        for placement in PLACEMENTS_2 {
+            for comp in compositions(total, 2) {
+                out.push(Shape {
+                    gpms: placement.to_vec(),
+                    ops_per_thread: comp,
+                });
+            }
+        }
+        for placement in PLACEMENTS_3 {
+            for comp in compositions(total, 3) {
+                out.push(Shape {
+                    gpms: placement.to_vec(),
+                    ops_per_thread: comp,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Lazy iterator over every program in the bounded space, in the
+/// deterministic order described above. The raw space is astronomically
+/// larger than any budget; callers canonicalize, deduplicate, and stop
+/// when their run budget is spent.
+pub struct Enumerator {
+    alphabet: Vec<LOp>,
+    shapes: Vec<Shape>,
+    shape: usize,
+    /// Odometer over the flattened op slots of the current shape;
+    /// `None` means the shape has not started yet.
+    digits: Option<Vec<usize>>,
+}
+
+impl Enumerator {
+    /// An enumerator over the full bounded space.
+    pub fn new() -> Self {
+        Enumerator {
+            alphabet: alphabet(),
+            shapes: shapes(),
+            shape: 0,
+            digits: None,
+        }
+    }
+
+    fn build(&self) -> Program {
+        let shape = &self.shapes[self.shape];
+        let digits = self.digits.as_ref().expect("positioned");
+        let mut threads = Vec::with_capacity(shape.gpms.len());
+        let mut slot = 0;
+        for (i, &gpm) in shape.gpms.iter().enumerate() {
+            let n = shape.ops_per_thread[i];
+            let ops = digits[slot..slot + n]
+                .iter()
+                .map(|&d| self.alphabet[d])
+                .collect();
+            slot += n;
+            threads.push(LThread { gpm, ops });
+        }
+        Program { threads }
+    }
+
+    /// Advances the odometer; `false` when the current shape is done.
+    fn step(&mut self) -> bool {
+        let digits = self.digits.as_mut().expect("positioned");
+        for d in digits.iter_mut().rev() {
+            *d += 1;
+            if *d < self.alphabet.len() {
+                return true;
+            }
+            *d = 0;
+        }
+        false
+    }
+}
+
+impl Default for Enumerator {
+    fn default() -> Self {
+        Enumerator::new()
+    }
+}
+
+impl Iterator for Enumerator {
+    type Item = Program;
+
+    fn next(&mut self) -> Option<Program> {
+        loop {
+            if self.shape >= self.shapes.len() {
+                return None;
+            }
+            match self.digits {
+                None => {
+                    let total: usize = self.shapes[self.shape].ops_per_thread.iter().sum();
+                    self.digits = Some(vec![0; total]);
+                    return Some(self.build());
+                }
+                Some(_) => {
+                    if self.step() {
+                        return Some(self.build());
+                    }
+                    self.digits = None;
+                    self.shape += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn first_program_is_the_cross_gpu_store_pair() {
+        let first = Enumerator::new().next().unwrap();
+        assert_eq!(first.key(), "gpm1: st.cta a | gpm2: st.cta a");
+    }
+
+    #[test]
+    fn early_prefix_contains_the_cross_gpu_mp_shapes() {
+        // The writer/reader pairs that expose a dropped hierarchical
+        // invalidation forward must appear within the first two shapes'
+        // programs (2 x 14 x 14 of them): both cross-GPU readers, so
+        // whichever sits off the hashed GPU home observes the stale copy.
+        let keys: Vec<String> = Enumerator::new().take(392).map(|p| p.key()).collect();
+        assert!(keys.contains(&"gpm1: st.cta a | gpm2: ld.cta a".to_string()));
+        assert!(keys.contains(&"gpm1: st.cta a | gpm3: ld.cta a".to_string()));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic_and_shapes_are_exact() {
+        let a: Vec<String> = Enumerator::new().take(500).map(|p| p.key()).collect();
+        let b: Vec<String> = Enumerator::new().take(500).map(|p| p.key()).collect();
+        assert_eq!(a, b);
+        // First shape: [1,2] with 1+1 ops = 196 programs, then [1,3].
+        let programs: Vec<_> = Enumerator::new().take(197).collect();
+        assert!(programs[..196]
+            .iter()
+            .all(|p| p.threads[0].gpm == 1 && p.threads[1].gpm == 2 && p.total_ops() == 2));
+        assert_eq!(programs[196].threads[1].gpm, 3);
+    }
+
+    #[test]
+    fn canonicalization_collapses_address_renames() {
+        // Within the two-op [1,2] shape, programs over only address `b`
+        // collapse onto their address-`a` twins: strictly fewer classes
+        // than raw programs.
+        let programs: Vec<_> = Enumerator::new().take(196).collect();
+        let classes: HashSet<String> = programs.iter().map(|p| p.canonical().key()).collect();
+        assert!(classes.len() < programs.len());
+        // But distinct placements never collapse.
+        assert!(Enumerator::new()
+            .take(400)
+            .map(|p| p.canonical().key())
+            .any(|k| k.contains("gpm3")));
+    }
+
+    #[test]
+    fn compositions_respect_per_thread_bounds() {
+        assert_eq!(compositions(2, 2), vec![vec![1, 1]]);
+        assert_eq!(compositions(6, 2), vec![vec![3, 3]]);
+        assert_eq!(compositions(7, 2), Vec::<Vec<usize>>::new());
+        assert_eq!(compositions(3, 3), vec![vec![1, 1, 1]]);
+        assert_eq!(compositions(4, 2), vec![vec![1, 3], vec![2, 2], vec![3, 1]]);
+    }
+}

@@ -1,0 +1,351 @@
+//! Execution harness: turns a litmus [`Program`] into engine traces,
+//! runs it through the real timing model under a deterministic
+//! schedule-perturbation sweep, and judges every run with the oracle.
+
+use hmg::mem::Addr;
+use hmg::prelude::*;
+use hmg::protocol::{Access, AccessKind, Cta, Kernel, TraceOp, WorkloadTrace};
+use hmg::runner::run_isolated;
+
+use crate::oracle::{self, Mode, RunCtx, ADDR_LINES};
+use crate::program::{LOp, Program, NUM_GPMS};
+use crate::CheckConfig;
+
+/// Concrete byte address behind each symbolic address: line 0 and
+/// line 4 of the same first-touch page — distinct directory blocks,
+/// one system home.
+pub const ADDR_BYTES: [u64; 2] = [0, 512];
+
+fn access(op: LOp) -> TraceOp {
+    match op {
+        LOp::Ld(a, s) => TraceOp::Access(Access::new(
+            Addr(ADDR_BYTES[a as usize]),
+            AccessKind::Load,
+            s,
+        )),
+        LOp::St(a, s) => TraceOp::Access(Access::new(
+            Addr(ADDR_BYTES[a as usize]),
+            AccessKind::Store,
+            s,
+        )),
+        LOp::Atom(a, s) => TraceOp::Access(Access::atomic(Addr(ADDR_BYTES[a as usize]), s)),
+        LOp::Acq(s) => TraceOp::Acquire(s),
+        LOp::Rel(s) => TraceOp::Release(s),
+    }
+}
+
+/// One CTA per GPM of the `small_test` machine (contiguous CTA
+/// scheduling pins CTA *i* to GPM *i*).
+fn kernel_per_gpm(mut ops: Vec<Vec<TraceOp>>) -> Kernel {
+    ops.resize(NUM_GPMS as usize, Vec::new());
+    Kernel::new(ops.into_iter().map(Cta::new).collect())
+}
+
+/// The full trace for a program under a kernel mapping: a homing
+/// kernel (GPM0 first-touches every used address, pinning the system
+/// home), the program kernels, and a final kernel in which every GPM
+/// reads every used address (the R3 witness).
+pub fn trace_for(p: &Program, mode: Mode) -> WorkloadTrace {
+    let used = p.used_addrs();
+    let homing: Vec<TraceOp> = used
+        .iter()
+        .map(|&a| TraceOp::Access(Access::load(Addr(ADDR_BYTES[a as usize]))))
+        .collect();
+    let readback: Vec<TraceOp> = homing.clone();
+
+    let mut kernels = vec![kernel_per_gpm(vec![homing])];
+    match mode {
+        Mode::Concurrent => {
+            let mut per_gpm = vec![Vec::new(); NUM_GPMS as usize];
+            for t in &p.threads {
+                per_gpm[t.gpm as usize] = t.ops.iter().copied().map(access).collect();
+            }
+            kernels.push(kernel_per_gpm(per_gpm));
+        }
+        Mode::Phased => {
+            // Threads are canonical (ascending GPM); one kernel each.
+            for t in &p.threads {
+                let mut per_gpm = vec![Vec::new(); NUM_GPMS as usize];
+                per_gpm[t.gpm as usize] = t.ops.iter().copied().map(access).collect();
+                kernels.push(kernel_per_gpm(per_gpm));
+            }
+        }
+    }
+    kernels.push(kernel_per_gpm(vec![readback; NUM_GPMS as usize]));
+    WorkloadTrace::new("litmus", kernels)
+}
+
+/// The deterministic schedule-perturbation sweep: the unperturbed
+/// schedule plus delay/duplication plans that reorder message arrival
+/// without breaking any protocol obligation. Each plan gets its own
+/// derived seed so the SplitMix64 streams differ while staying
+/// reproducible from the sweep seed.
+///
+/// Delay magnitudes are sized against the `paper_default` fabric
+/// (90-cycle intra-GPU, 360-cycle inter-GPU hops): the heavy plan must
+/// hold a store forward longer than a full cross-GPU load round trip
+/// (~1000 cycles), or races where a remote reader's fill beats the
+/// store's invalidation can never be scheduled.
+pub fn plans(seed: u64, inject: bool) -> Vec<(String, FaultPlan)> {
+    let specs = [
+        format!("seed={seed}"),
+        format!("delay=0.6/150,seed={}", seed.wrapping_add(1)),
+        format!("delay=0.95/1500,seed={}", seed.wrapping_add(2)),
+        format!("dup=0.4,delay=0.3/500,seed={}", seed.wrapping_add(3)),
+    ];
+    specs
+        .into_iter()
+        .map(|s| {
+            let mut p = FaultPlan::parse(&s).expect("built-in plan parses");
+            p.skip_hier_inv_forward = inject;
+            let label = if inject {
+                format!("{s},skip-hier-fwd")
+            } else {
+                s
+            };
+            (label, p)
+        })
+        .collect()
+}
+
+/// One confirmed `observed ⊄ allowed` disagreement.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The canonical program that produced it.
+    pub program: String,
+    /// A greedily minimized program that still violates, if smaller.
+    pub minimized: Option<String>,
+    /// Protocol under check.
+    pub protocol: ProtocolKind,
+    /// Kernel mapping (`concurrent` / `phased`).
+    pub mode: &'static str,
+    /// The fault-plan spec that reproduces it (with the sweep seed).
+    pub plan: String,
+    /// The probed symbolic address.
+    pub addr: u8,
+    /// The oracle rules violated.
+    pub rules: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "[{}] {} (mode={}, addr={}, faults=\"{}\")",
+            self.protocol,
+            self.program,
+            self.mode,
+            (b'a' + self.addr) as char,
+            self.plan
+        )?;
+        if let Some(m) = &self.minimized {
+            writeln!(f, "  minimized: {m}")?;
+        }
+        for r in &self.rules {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of sweeping one canonical class.
+#[derive(Debug, Default)]
+pub struct ClassResult {
+    /// Engine runs spent.
+    pub runs: u64,
+    /// Probe observations judged by the oracle.
+    pub outcomes: u64,
+    /// Disagreements found.
+    pub violations: Vec<Violation>,
+}
+
+/// Engine runs one class costs under `cfg`.
+pub fn cost_of(p: &Program, cfg: &CheckConfig) -> u64 {
+    (cfg.protocols.len() * Mode::ALL.len() * plans(cfg.seed, cfg.inject).len()) as u64
+        * p.used_addrs().len() as u64
+}
+
+/// Sweeps one canonical class: every protocol x kernel mapping x
+/// perturbation plan x probed address, each judged by the oracle.
+pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
+    let mut out = ClassResult::default();
+    let used = p.used_addrs();
+    let plans = plans(cfg.seed, cfg.inject);
+    for &proto in &cfg.protocols {
+        for mode in Mode::ALL {
+            let trace = trace_for(p, mode);
+            for (spec, plan) in &plans {
+                let fault_free = plan.delay.is_none() && plan.duplicate.is_none();
+                for &a in &used {
+                    let mut ecfg = EngineConfig::small_test(proto);
+                    ecfg.faults = plan.clone();
+                    ecfg.probe_line = Some(ADDR_LINES[a as usize]);
+                    out.runs += 1;
+                    let result = run_isolated(ecfg, &trace);
+                    if let Ok(m) = &result {
+                        out.outcomes += m.probe.len() as u64;
+                    }
+                    let ctx = RunCtx {
+                        program: p,
+                        mode,
+                        addr: a,
+                        fault_free,
+                    };
+                    let rules = oracle::validate(&ctx, &result);
+                    if !rules.is_empty() {
+                        out.violations.push(Violation {
+                            program: p.key(),
+                            minimized: None,
+                            protocol: proto,
+                            mode: mode.name(),
+                            plan: spec.clone(),
+                            addr: a,
+                            rules,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Greedy repro minimization: repeatedly drop one op (or a whole
+/// thread) while the sweep still reports a violation. Bounded by a
+/// candidate-evaluation cap so failures stay cheap to report.
+pub fn minimize(p: &Program, cfg: &CheckConfig, runs: &mut u64) -> Program {
+    const MAX_CANDIDATES: usize = 40;
+    let mut best = p.canonical();
+    let mut evaluated = 0;
+    'shrink: loop {
+        for (ti, t) in best.threads.iter().enumerate() {
+            // Dropping the whole thread is the biggest single step.
+            let mut candidates = Vec::new();
+            if best.threads.len() > 1 {
+                let mut q = best.clone();
+                q.threads.remove(ti);
+                candidates.push(q);
+            }
+            for oi in 0..t.ops.len() {
+                let mut q = best.clone();
+                q.threads[ti].ops.remove(oi);
+                if q.threads[ti].ops.is_empty() {
+                    q.threads.remove(ti);
+                }
+                if q.threads.is_empty() {
+                    continue;
+                }
+                candidates.push(q);
+            }
+            for q in candidates {
+                if evaluated >= MAX_CANDIDATES {
+                    return best;
+                }
+                evaluated += 1;
+                let q = q.canonical();
+                let r = check_program(&q, cfg);
+                *runs += r.runs;
+                if !r.violations.is_empty() {
+                    best = q;
+                    continue 'shrink;
+                }
+            }
+        }
+        return best;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LThread;
+
+    // Writer at GPM1: the homing kernel pins the system home at GPM0,
+    // so the GPM1 store forward crosses the fabric and the delay plans
+    // can let a remote reader's fill win the race.
+    fn mp(reader_gpm: u8) -> Program {
+        Program {
+            threads: vec![
+                LThread {
+                    gpm: 1,
+                    ops: vec![LOp::St(0, Scope::Cta)],
+                },
+                LThread {
+                    gpm: reader_gpm,
+                    ops: vec![LOp::Ld(0, Scope::Cta)],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_shapes_match_the_mode() {
+        let p = mp(2);
+        let c = trace_for(&p, Mode::Concurrent);
+        assert_eq!(c.kernels.len(), 3, "homing + program + readback");
+        let ph = trace_for(&p, Mode::Phased);
+        assert_eq!(ph.kernels.len(), 4, "homing + one per thread + readback");
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_seeded() {
+        let a = plans(7, false);
+        let b = plans(7, false);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0].1, b[0].1);
+        assert!(a[0].1.is_empty(), "first plan is the unperturbed schedule");
+        assert!(a[1].1.delay.is_some());
+        assert!(a[3].1.duplicate.is_some());
+        assert!(plans(7, true).iter().all(|(_, p)| p.skip_hier_inv_forward));
+    }
+
+    #[test]
+    fn clean_protocols_pass_the_message_passing_sweep() {
+        let cfg = CheckConfig::default();
+        for reader in [2u8, 3] {
+            let r = check_program(&mp(reader), &cfg);
+            assert_eq!(r.runs, cost_of(&mp(reader), &cfg));
+            assert!(
+                r.violations.is_empty(),
+                "reader gpm{reader}: {:?}",
+                r.violations
+            );
+        }
+    }
+
+    #[test]
+    fn injected_hierarchical_bug_is_caught_and_minimized() {
+        // Skipping the HMG GPU-home invalidation forward leaves a stale
+        // copy in the remote GPU; one of the two cross-GPU readers sits
+        // off the hashed GPU home and must observe it.
+        let cfg = CheckConfig {
+            inject: true,
+            ..CheckConfig::default()
+        };
+        let mut caught = Vec::new();
+        for reader in [2u8, 3] {
+            let r = check_program(&mp(reader), &cfg);
+            caught.extend(r.violations);
+        }
+        assert!(!caught.is_empty(), "bug must be observable");
+        assert!(caught.iter().all(|v| v.protocol == ProtocolKind::Hmg));
+        let first = &caught[0];
+        assert!(
+            first
+                .rules
+                .iter()
+                .any(|r| r.starts_with("R3") || r.starts_with("R4")),
+            "{first}"
+        );
+        // The two-op program is already minimal: minimization converges.
+        let victim = mp(if caught[0].program.contains("gpm2") {
+            2
+        } else {
+            3
+        });
+        let mut runs = 0;
+        let m = minimize(&victim, &cfg, &mut runs);
+        assert!(m.total_ops() <= victim.total_ops());
+        assert!(runs > 0);
+    }
+}

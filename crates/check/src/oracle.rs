@@ -1,0 +1,501 @@
+//! The axiomatic oracle: an independent executable model of the
+//! paper's scoped, non-multi-copy-atomic memory model (PAPER.md §III),
+//! evaluated against the engine's version probe.
+//!
+//! The engine gives every write to a line a unique, globally ordered
+//! version number (the per-line write serialization the directory
+//! provides, §IV-B), and records the version every load/atomic of the
+//! probed line observes. The oracle derives, per program, the set of
+//! observation vectors the memory model allows and asserts
+//! `observed ⊆ allowed`. It shares **no** state with the engine: rules
+//! are computed from the program text alone, so a protocol bug cannot
+//! corrupt both sides.
+//!
+//! One rule per model invariant (see docs/CHECKING.md for the
+//! cross-reference to the paper):
+//!
+//! * **R1 liveness** — every run completes without a `SimError`.
+//! * **R2 write serialization** — no load observes a version greater
+//!   than the number of writes to the line.
+//! * **R3 kernel-boundary visibility** — the implicit `.sys`
+//!   release/acquire at kernel boundaries makes the final kernel's
+//!   readers agree on one committed version in the allowed range.
+//! * **R4 same-address ordering (phased)** — when threads run in
+//!   separate kernels, loads observe versions within the window their
+//!   phase allows, and each atomic observes exactly its own write's
+//!   version (RMW atomicity at the home node).
+//! * **R5 per-location coherence (coRR, phased, fault-free)** — one
+//!   SM's loads of the line never observe decreasing versions.
+//! * **R6 single committed state** — the final committed memory equals
+//!   the model's prediction (every written line at its last version),
+//!   independent of protocol, schedule perturbation, and probe target.
+//! * **R7 probe completeness** — every load/atomic of the probed line
+//!   is observed exactly once per SM (nothing lost, nothing invented).
+
+use hmg::prelude::{RunMetrics, SimError};
+
+use crate::program::{LOp, Program};
+
+/// How the program's threads are mapped onto kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// All threads in one kernel: true concurrency, weakest oracle.
+    Concurrent,
+    /// One kernel per thread (ascending GPM): kernel boundaries are
+    /// implicit `.sys` synchronization, so the oracle is much sharper.
+    Phased,
+}
+
+impl Mode {
+    /// Both modes, in checking order.
+    pub const ALL: [Mode; 2] = [Mode::Concurrent, Mode::Phased];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Concurrent => "concurrent",
+            Mode::Phased => "phased",
+        }
+    }
+}
+
+/// Everything the oracle needs to judge one engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunCtx<'a> {
+    /// The canonical program that produced the trace.
+    pub program: &'a Program,
+    /// Kernel mapping used.
+    pub mode: Mode,
+    /// The probed address index.
+    pub addr: u8,
+    /// Whether the fault plan perturbed message timing (delay/dup).
+    /// Fault-free runs admit the sharpest rules.
+    pub fault_free: bool,
+}
+
+/// Line index (in `probe_line` units) backing each symbolic address:
+/// line 0 and line 4 are distinct directory blocks of the same page.
+pub const ADDR_LINES: [u64; 2] = [0, 4];
+
+/// Flat SM indices on the `small_test` machine: GPM g's first SM.
+fn sm_of_gpm(gpm: u8) -> u32 {
+    u32::from(gpm) * 2
+}
+
+/// The committed-state digest the model predicts: FNV-1a over
+/// `(line, final version)` in ascending line order, one entry per
+/// *written* line (the engine's documented `state_digest` layout).
+pub fn expected_digest(p: &Program) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lines: Vec<(u64, u64)> = p
+        .used_addrs()
+        .into_iter()
+        .filter_map(|a| {
+            let n = p.writes_to(a);
+            (n > 0).then_some((ADDR_LINES[a as usize], n))
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut h = FNV_OFFSET;
+    for (l, v) in lines {
+        for b in l.to_le_bytes().into_iter().chain(v.to_le_bytes()) {
+            h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+/// Expected probe-record count per flat SM (R7): one homing load at
+/// SM 0, the thread's own loads/atomics of the probed address, and one
+/// final-kernel load per GPM.
+fn expected_counts(ctx: &RunCtx) -> [u64; 8] {
+    let mut e = [0u64; 8];
+    e[0] += 1; // homing kernel, GPM0
+    for t in &ctx.program.threads {
+        e[sm_of_gpm(t.gpm) as usize] += t
+            .ops
+            .iter()
+            .filter(|op| op.observes() && op.addr() == Some(ctx.addr))
+            .count() as u64;
+    }
+    for g in 0..4u8 {
+        e[sm_of_gpm(g) as usize] += 1; // final kernel
+    }
+    e
+}
+
+/// Judges one run. Returns the violated rules (empty = allowed).
+pub fn validate(ctx: &RunCtx, result: &Result<RunMetrics, SimError>) -> Vec<String> {
+    let m = match result {
+        Ok(m) => m,
+        Err(e) => return vec![format!("R1 liveness: run failed: {e}")],
+    };
+    let mut viol = Vec::new();
+    let n_a = ctx.program.writes_to(ctx.addr);
+
+    // R2: write serialization bounds every observation.
+    for &(sm, v) in &m.probe {
+        if v > n_a {
+            viol.push(format!(
+                "R2 write-serialization: sm{sm} observed version {v} of a line written {n_a} times"
+            ));
+        }
+    }
+
+    // R6: the committed state is the model's unique final state.
+    let want = expected_digest(ctx.program);
+    if m.state_digest != want {
+        viol.push(format!(
+            "R6 committed-state: digest {:#018x}, model predicts {want:#018x}",
+            m.state_digest
+        ));
+    }
+
+    // R7: exactly the expected observations, per SM. Structure checks
+    // below rely on this, so stop here if it fails.
+    let expected = expected_counts(ctx);
+    let mut got = [0u64; 8];
+    for &(sm, _) in &m.probe {
+        if sm < 8 {
+            got[sm as usize] += 1;
+        }
+    }
+    if got != expected {
+        viol.push(format!(
+            "R7 probe-completeness: per-SM record counts {got:?}, expected {expected:?}"
+        ));
+        return viol;
+    }
+    if m.probe.first() != Some(&(0, 0)) {
+        viol.push(format!(
+            "R7 probe-completeness: homing load recorded {:?}, expected (0, 0)",
+            m.probe.first()
+        ));
+        return viol;
+    }
+
+    // R3: the final kernel's four readers agree on an allowed version.
+    let finals = &m.probe[m.probe.len() - 4..];
+    let fv = finals[0].1;
+    if finals.iter().any(|&(_, v)| v != fv) {
+        viol.push(format!(
+            "R3 kernel-boundary-visibility: final readers disagree: {finals:?}"
+        ));
+    } else {
+        let (lo, hi) = final_range(ctx, n_a);
+        if !(lo..=hi).contains(&fv) {
+            viol.push(format!(
+                "R3 kernel-boundary-visibility: final version {fv} outside allowed [{lo}, {hi}]"
+            ));
+        }
+    }
+
+    if ctx.mode == Mode::Phased {
+        validate_phased(ctx, m, &mut viol);
+    }
+    viol
+}
+
+/// Allowed range for the final kernel's agreed version.
+fn final_range(ctx: &RunCtx, n_a: u64) -> (u64, u64) {
+    if n_a == 0 {
+        return (0, 0);
+    }
+    match ctx.mode {
+        // Concurrent writers commit in any serialization; the home keeps
+        // the last *arrival*, so any written version may be final.
+        Mode::Concurrent => (1, n_a),
+        Mode::Phased => {
+            // Writes of completed phases are ordered by the kernel
+            // boundary, so only the last writing phase's versions can
+            // be final; fault-free runs deliver in issue order, making
+            // the very last write the unique final version.
+            let floor = last_phase_floor(ctx.program, ctx.addr) + 1;
+            if ctx.fault_free {
+                (n_a, n_a)
+            } else {
+                (floor, n_a)
+            }
+        }
+    }
+}
+
+/// Number of writes to `addr` committed before the last writing phase
+/// starts (0 if no phase writes it).
+fn last_phase_floor(p: &Program, addr: u8) -> u64 {
+    let mut before = 0u64;
+    let mut floor = 0u64;
+    for t in &p.threads {
+        let w = t
+            .ops
+            .iter()
+            .filter(|op| op.writes() && op.addr() == Some(addr))
+            .count() as u64;
+        if w > 0 {
+            floor = before;
+        }
+        before += w;
+    }
+    floor
+}
+
+/// Phased-mode structural rules R4 and R5.
+fn validate_phased(ctx: &RunCtx, m: &RunMetrics, viol: &mut Vec<String>) {
+    let a = ctx.addr;
+    // Per-SM record streams, in completion order.
+    let mut streams: [Vec<u64>; 8] = Default::default();
+    for &(sm, v) in &m.probe {
+        streams[sm as usize].push(v);
+    }
+    // Strip the homing record (first at SM 0) and the final-kernel
+    // record (last at each GPM's first SM); what remains per SM is its
+    // thread's own observations.
+    streams[0].remove(0);
+    for g in 0..4u8 {
+        streams[sm_of_gpm(g) as usize].pop();
+    }
+
+    let mut committed_before = 0u64; // writes to `a` in earlier phases
+    let mut load_floor = 0u64; // version every load of `a` must reach
+    for t in &ctx.program.threads {
+        let stream = &streams[sm_of_gpm(t.gpm) as usize];
+        let mut exact_atomics = Vec::new();
+        let mut w_before = 0u64;
+        let mut has_atomic_on_a = false;
+        for op in &t.ops {
+            if op.addr() != Some(a) {
+                continue;
+            }
+            if let LOp::Atom(..) = op {
+                // RMW atomicity: the atomic is the (w_before+1)-th
+                // write of this phase and observes its own version.
+                exact_atomics.push(committed_before + w_before + 1);
+                has_atomic_on_a = true;
+            }
+            if op.writes() {
+                w_before += 1;
+            }
+        }
+        let w_phase = w_before;
+
+        // R4: atomics match exactly; loads fall inside the phase window.
+        let mut vals = stream.clone();
+        for &x in &exact_atomics {
+            if let Some(pos) = vals.iter().position(|&v| v == x) {
+                vals.remove(pos);
+            } else {
+                viol.push(format!(
+                    "R4 rmw-atomicity: gpm{} atomic must observe version {x}, stream {stream:?}",
+                    t.gpm
+                ));
+            }
+        }
+        let hi = committed_before + w_phase;
+        for &v in &vals {
+            if v < load_floor || v > hi {
+                viol.push(format!(
+                    "R4 same-address-ordering: gpm{} load observed {v} outside [{load_floor}, {hi}]",
+                    t.gpm
+                ));
+            }
+        }
+
+        // R5: coRR — a loads-only stream never goes backwards. Atomics
+        // are excluded (they bypass the L1, so a later L1-hit load may
+        // legally observe an older version than the atomic did), as are
+        // perturbed schedules (delayed store arrival reorders the home).
+        if ctx.fault_free && !has_atomic_on_a {
+            let mut hi_seen = 0u64;
+            for &v in stream {
+                if v < hi_seen {
+                    viol.push(format!(
+                        "R5 per-location-coherence: gpm{} read regressed to {v} after {hi_seen}",
+                        t.gpm
+                    ));
+                }
+                hi_seen = hi_seen.max(v);
+            }
+        }
+
+        if w_phase > 0 {
+            load_floor = committed_before + 1;
+        }
+        committed_before += w_phase;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::LThread;
+    use hmg::prelude::Scope;
+
+    fn mp() -> Program {
+        Program {
+            threads: vec![
+                LThread {
+                    gpm: 0,
+                    ops: vec![LOp::St(0, Scope::Cta)],
+                },
+                LThread {
+                    gpm: 2,
+                    ops: vec![LOp::Ld(0, Scope::Cta)],
+                },
+            ],
+        }
+    }
+
+    fn metrics(probe: Vec<(u32, u64)>, digest: u64) -> RunMetrics {
+        RunMetrics {
+            probe,
+            state_digest: digest,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn allows_both_mp_outcomes_concurrently() {
+        let p = mp();
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Concurrent,
+            addr: 0,
+            fault_free: true,
+        };
+        let digest = expected_digest(&p);
+        for read in [0u64, 1] {
+            let m = metrics(
+                vec![(0, 0), (4, read), (0, 1), (2, 1), (4, 1), (6, 1)],
+                digest,
+            );
+            assert_eq!(validate(&ctx, &Ok(m)), Vec::<String>::new(), "read={read}");
+        }
+    }
+
+    #[test]
+    fn rejects_stale_final_reader() {
+        // The injected-bug signature: one final-kernel reader kept a
+        // stale copy while the others see the committed version.
+        let p = mp();
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Concurrent,
+            addr: 0,
+            fault_free: false,
+        };
+        let m = metrics(
+            vec![(0, 0), (4, 0), (0, 1), (2, 1), (4, 0), (6, 1)],
+            expected_digest(&p),
+        );
+        let v = validate(&ctx, &Ok(m));
+        assert!(v.iter().any(|s| s.starts_with("R3")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_future_versions_and_bad_digest() {
+        let p = mp();
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Concurrent,
+            addr: 0,
+            fault_free: true,
+        };
+        let m = metrics(
+            vec![(0, 0), (4, 2), (0, 1), (2, 1), (4, 1), (6, 1)],
+            expected_digest(&p) ^ 1,
+        );
+        let v = validate(&ctx, &Ok(m));
+        assert!(v.iter().any(|s| s.starts_with("R2")), "{v:?}");
+        assert!(v.iter().any(|s| s.starts_with("R6")), "{v:?}");
+    }
+
+    #[test]
+    fn rejects_missing_observations() {
+        let p = mp();
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Concurrent,
+            addr: 0,
+            fault_free: true,
+        };
+        let m = metrics(
+            vec![(0, 0), (0, 1), (2, 1), (4, 1), (6, 1)],
+            expected_digest(&p),
+        );
+        let v = validate(&ctx, &Ok(m));
+        assert!(v.iter().any(|s| s.starts_with("R7")), "{v:?}");
+    }
+
+    #[test]
+    fn phased_mode_pins_the_reader() {
+        // gpm0 writes in phase 0, gpm2 reads in phase 1: the kernel
+        // boundary forces the read to observe version 1.
+        let p = mp();
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Phased,
+            addr: 0,
+            fault_free: true,
+        };
+        let good = metrics(
+            vec![(0, 0), (4, 1), (0, 1), (2, 1), (4, 1), (6, 1)],
+            expected_digest(&p),
+        );
+        assert_eq!(validate(&ctx, &Ok(good)), Vec::<String>::new());
+        let stale = metrics(
+            vec![(0, 0), (4, 0), (0, 1), (2, 1), (4, 1), (6, 1)],
+            expected_digest(&p),
+        );
+        let v = validate(&ctx, &Ok(stale));
+        assert!(v.iter().any(|s| s.starts_with("R4")), "{v:?}");
+    }
+
+    #[test]
+    fn phased_atomic_is_exact() {
+        let p = Program {
+            threads: vec![
+                LThread {
+                    gpm: 0,
+                    ops: vec![LOp::St(0, Scope::Cta)],
+                },
+                LThread {
+                    gpm: 2,
+                    ops: vec![LOp::Atom(0, Scope::Sys)],
+                },
+            ],
+        };
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Phased,
+            addr: 0,
+            fault_free: true,
+        };
+        let good = metrics(
+            vec![(0, 0), (4, 2), (0, 2), (2, 2), (4, 2), (6, 2)],
+            expected_digest(&p),
+        );
+        assert_eq!(validate(&ctx, &Ok(good)), Vec::<String>::new());
+        // The atomic observing the *other* write's version is a lost RMW.
+        let lost = metrics(
+            vec![(0, 0), (4, 1), (0, 2), (2, 2), (4, 2), (6, 2)],
+            expected_digest(&p),
+        );
+        let v = validate(&ctx, &Ok(lost));
+        assert!(v.iter().any(|s| s.contains("rmw-atomicity")), "{v:?}");
+    }
+
+    #[test]
+    fn r1_catches_engine_errors() {
+        let p = mp();
+        let ctx = RunCtx {
+            program: &p,
+            mode: Mode::Concurrent,
+            addr: 0,
+            fault_free: true,
+        };
+        let v = validate(&ctx, &Err(SimError::protocol("boom")));
+        assert_eq!(v.len(), 1);
+        assert!(v[0].starts_with("R1"), "{v:?}");
+    }
+}

@@ -1,0 +1,254 @@
+//! Litmus programs: tiny straight-line concurrent programs over the
+//! checker's bounded shape, plus canonicalization modulo the symmetries
+//! the machine actually has.
+
+use std::fmt;
+
+use hmg::prelude::Scope;
+
+/// Number of GPMs on the `small_test` machine (2 GPUs x 2 GPMs).
+pub const NUM_GPMS: u8 = 4;
+
+/// Maximum distinct addresses a program may use.
+pub const MAX_ADDRS: u8 = 2;
+
+/// Maximum ops per thread.
+pub const MAX_OPS_PER_THREAD: usize = 3;
+
+/// One litmus operation. Addresses are symbolic indices (`0..MAX_ADDRS`)
+/// mapped to concrete lines by the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LOp {
+    /// A scoped load of address `a`.
+    Ld(u8, Scope),
+    /// A scoped store to address `a`.
+    St(u8, Scope),
+    /// A scoped atomic RMW on address `a` (performed at the scope home).
+    Atom(u8, Scope),
+    /// A scoped acquire fence.
+    Acq(Scope),
+    /// A scoped release fence.
+    Rel(Scope),
+}
+
+impl LOp {
+    /// The address the op touches, if it is a memory access.
+    pub fn addr(self) -> Option<u8> {
+        match self {
+            LOp::Ld(a, _) | LOp::St(a, _) | LOp::Atom(a, _) => Some(a),
+            LOp::Acq(_) | LOp::Rel(_) => None,
+        }
+    }
+
+    /// Whether the op writes memory (stores and atomics bump the
+    /// engine's per-line version counter).
+    pub fn writes(self) -> bool {
+        matches!(self, LOp::St(..) | LOp::Atom(..))
+    }
+
+    /// Whether the op produces a probe record (loads and atomics).
+    pub fn observes(self) -> bool {
+        matches!(self, LOp::Ld(..) | LOp::Atom(..))
+    }
+
+    /// The op with its address substituted through `map`.
+    fn rename(self, map: &[u8; MAX_ADDRS as usize]) -> LOp {
+        match self {
+            LOp::Ld(a, s) => LOp::Ld(map[a as usize], s),
+            LOp::St(a, s) => LOp::St(map[a as usize], s),
+            LOp::Atom(a, s) => LOp::Atom(map[a as usize], s),
+            fence => fence,
+        }
+    }
+}
+
+impl fmt::Display for LOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = |a: u8| (b'a' + a) as char;
+        match self {
+            LOp::Ld(a, s) => write!(f, "ld{s} {}", name(*a)),
+            LOp::St(a, s) => write!(f, "st{s} {}", name(*a)),
+            LOp::Atom(a, s) => write!(f, "atom{s} {}", name(*a)),
+            LOp::Acq(s) => write!(f, "acq{s}"),
+            LOp::Rel(s) => write!(f, "rel{s}"),
+        }
+    }
+}
+
+/// One thread: a GPM placement plus a straight-line op list.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LThread {
+    /// The GPM (0..NUM_GPMS) whose first SM runs the thread. GPMs 0–1
+    /// form GPU 0, GPMs 2–3 form GPU 1.
+    pub gpm: u8,
+    /// Ops in program order.
+    pub ops: Vec<LOp>,
+}
+
+/// A litmus program: 2–3 threads on distinct GPMs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Program {
+    /// The threads, kept sorted by GPM.
+    pub threads: Vec<LThread>,
+}
+
+impl Program {
+    /// Canonical form: threads sorted by GPM and addresses renamed in
+    /// first-appearance order.
+    ///
+    /// These are the only symmetries the machine grants. GPM renaming is
+    /// *not* one: `gpu_home` hashes each block to a specific GPM inside
+    /// the requesting GPU and first-touch homing pins the system home,
+    /// so `[0,2]` and `[0,3]` placements are genuinely different
+    /// experiments.
+    pub fn canonical(&self) -> Program {
+        let mut threads = self.threads.clone();
+        threads.sort_by_key(|t| t.gpm);
+        let mut map = [u8::MAX; MAX_ADDRS as usize];
+        let mut next = 0u8;
+        for t in &threads {
+            for op in &t.ops {
+                if let Some(a) = op.addr() {
+                    if map[a as usize] == u8::MAX {
+                        map[a as usize] = next;
+                        next += 1;
+                    }
+                }
+            }
+        }
+        // Addresses that never appear keep an identity mapping so
+        // `rename` stays total.
+        for (i, m) in map.iter_mut().enumerate() {
+            if *m == u8::MAX {
+                *m = i as u8;
+            }
+        }
+        for t in &mut threads {
+            for op in &mut t.ops {
+                *op = op.rename(&map);
+            }
+        }
+        Program { threads }
+    }
+
+    /// A stable text key for the canonical class (also the display form).
+    pub fn key(&self) -> String {
+        self.to_string()
+    }
+
+    /// Sorted list of the address indices the program uses.
+    pub fn used_addrs(&self) -> Vec<u8> {
+        let mut used: Vec<u8> = (0..MAX_ADDRS)
+            .filter(|&a| {
+                self.threads
+                    .iter()
+                    .any(|t| t.ops.iter().any(|op| op.addr() == Some(a)))
+            })
+            .collect();
+        used.sort_unstable();
+        used
+    }
+
+    /// Number of writes (stores + atomics) to address `a` across all
+    /// threads — the final committed version of the line.
+    pub fn writes_to(&self, a: u8) -> u64 {
+        self.threads
+            .iter()
+            .flat_map(|t| &t.ops)
+            .filter(|op| op.writes() && op.addr() == Some(a))
+            .count() as u64
+    }
+
+    /// Whether any op writes memory (write-free programs are pruned:
+    /// every load trivially observes version 0).
+    pub fn has_write(&self) -> bool {
+        self.threads
+            .iter()
+            .any(|t| t.ops.iter().any(|op| op.writes()))
+    }
+
+    /// Total number of ops.
+    pub fn total_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, t) in self.threads.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "gpm{}:", t.gpm)?;
+            for (j, op) in t.ops.iter().enumerate() {
+                write!(f, "{}{op}", if j == 0 { " " } else { "; " })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prog(threads: Vec<(u8, Vec<LOp>)>) -> Program {
+        Program {
+            threads: threads
+                .into_iter()
+                .map(|(gpm, ops)| LThread { gpm, ops })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn canonical_renames_addresses_by_first_appearance() {
+        // A program that only ever touches address 1 must canonicalize
+        // to the same class as the address-0 version.
+        let p = prog(vec![
+            (0, vec![LOp::St(1, Scope::Cta)]),
+            (2, vec![LOp::Ld(1, Scope::Sys)]),
+        ]);
+        let q = prog(vec![
+            (0, vec![LOp::St(0, Scope::Cta)]),
+            (2, vec![LOp::Ld(0, Scope::Sys)]),
+        ]);
+        assert_eq!(p.canonical().key(), q.canonical().key());
+    }
+
+    #[test]
+    fn canonical_sorts_threads_but_keeps_placement() {
+        let p = prog(vec![
+            (3, vec![LOp::Ld(0, Scope::Cta)]),
+            (0, vec![LOp::St(0, Scope::Cta)]),
+        ]);
+        let c = p.canonical();
+        assert_eq!(c.threads[0].gpm, 0);
+        assert_eq!(c.threads[1].gpm, 3);
+        // Placements are NOT a symmetry: gpm3 stays gpm3.
+        assert!(c.key().contains("gpm3"), "{}", c.key());
+    }
+
+    #[test]
+    fn accessors_count_writes_and_addresses() {
+        let p = prog(vec![
+            (0, vec![LOp::St(0, Scope::Cta), LOp::Atom(1, Scope::Gpu)]),
+            (2, vec![LOp::Ld(1, Scope::Sys), LOp::Rel(Scope::Sys)]),
+        ]);
+        assert_eq!(p.used_addrs(), vec![0, 1]);
+        assert_eq!(p.writes_to(0), 1);
+        assert_eq!(p.writes_to(1), 1);
+        assert!(p.has_write());
+        assert_eq!(p.total_ops(), 4);
+        assert!(!prog(vec![(0, vec![LOp::Ld(0, Scope::Cta)])]).has_write());
+    }
+
+    #[test]
+    fn display_is_readable_and_stable() {
+        let p = prog(vec![
+            (0, vec![LOp::St(0, Scope::Cta), LOp::Rel(Scope::Sys)]),
+            (2, vec![LOp::Acq(Scope::Gpu), LOp::Ld(0, Scope::Cta)]),
+        ]);
+        assert_eq!(p.key(), "gpm0: st.cta a; rel.sys | gpm2: acq.gpu; ld.cta a");
+    }
+}

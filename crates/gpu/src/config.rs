@@ -114,6 +114,12 @@ pub struct EngineConfig {
     /// Base backoff before a NACKed request is re-issued; doubles per
     /// consecutive NACK of the same request (capped at `2^6`).
     pub nack_backoff: Cycle,
+    /// Maximum number of NACK re-issues a single request may attempt.
+    /// When the cap is exhausted the run aborts with a typed
+    /// `Protocol` [`SimError`] naming the starved requester instead of
+    /// retrying (and potentially livelocking) forever. `None` (default)
+    /// keeps the pre-existing unbounded-retry behavior.
+    pub nack_attempt_cap: Option<u8>,
 }
 
 impl EngineConfig {
@@ -154,6 +160,7 @@ impl EngineConfig {
             livelock_budget: None,
             home_nack_threshold: None,
             nack_backoff: Cycle(200),
+            nack_attempt_cap: None,
         }
     }
 
@@ -226,6 +233,12 @@ impl EngineConfig {
                  (a zero backoff can retry forever within one cycle)",
             ));
         }
+        if self.nack_attempt_cap.is_some() && self.home_nack_threshold.is_none() {
+            return Err(SimError::config(
+                "nack_attempt_cap without home_nack_threshold has no effect \
+                 (no home ever NACKs, so no attempt is ever counted)",
+            ));
+        }
         self.faults.validate()
     }
 }
@@ -256,6 +269,15 @@ mod tests {
         for p in ProtocolKind::ALL {
             EngineConfig::small_test(p).validate();
         }
+    }
+
+    #[test]
+    fn validate_rejects_attempt_cap_without_flow_control() {
+        let mut c = EngineConfig::small_test(ProtocolKind::Hmg);
+        c.nack_attempt_cap = Some(4);
+        assert!(c.try_validate().is_err(), "cap needs NACKs to count");
+        c.home_nack_threshold = Some(0);
+        c.try_validate().unwrap();
     }
 
     #[test]

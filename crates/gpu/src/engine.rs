@@ -97,6 +97,13 @@ struct Gpm {
     cta_queue: VecDeque<usize>,
     /// CARVE-like sharing classification for blocks homed here.
     carve: std::collections::HashMap<BlockAddr, CarveClass>,
+    /// Per-block invalidation floor: the newest store version whose
+    /// invalidation this GPM has already processed. A fill carrying an
+    /// older version raced past that invalidation in the fabric and
+    /// must not install stale data — the simulator's stand-in for the
+    /// transient (inv-while-fill-pending) states of a real directory
+    /// protocol.
+    inv_floor: std::collections::HashMap<BlockAddr, u64>,
 }
 
 /// A load or atomic request in flight.
@@ -159,6 +166,10 @@ struct InvMsg {
     /// Arriving at a GPU home from the system home (HMG forwards these).
     from_sys: bool,
     target: GpmId,
+    /// Version of the store that caused this invalidation (0 for
+    /// eviction-caused invs). Raises the target's per-block fill floor
+    /// so an in-flight stale fill cannot land after the invalidation.
+    version: u64,
 }
 
 #[derive(Debug)]
@@ -315,6 +326,7 @@ impl<'t> Sim<'t> {
                 inv_pending_sys: 0,
                 cta_queue: VecDeque::new(),
                 carve: std::collections::HashMap::new(),
+                inv_floor: std::collections::HashMap::new(),
             })
             .collect();
         let sms = (0..cfg.total_sms())
@@ -1081,6 +1093,24 @@ impl<'t> Sim<'t> {
                 && self.fabric.intra_backlog(node, now).1 > thr
             {
                 self.m.nacks += 1;
+                // Attempt cap: a request the home keeps refusing must
+                // surface as a typed error, not retry into a livelock.
+                if let Some(cap) = self.cfg.nack_attempt_cap {
+                    if msg.attempts >= cap {
+                        self.fatal = Some(
+                            SimError::protocol(format!(
+                                "request NACKed {} times by busy directory home gpm{}: \
+                                 attempt cap {cap} exhausted",
+                                u32::from(msg.attempts) + 1,
+                                node.index(),
+                            ))
+                            .at_cycle(now.0)
+                            .with_agent(format!("gpm{}/sm{}", req_gpm.index(), msg.sm.sm))
+                            .with_addr(msg.line.0 * self.cfg.geometry.line_bytes() as u64),
+                        );
+                        return;
+                    }
+                }
                 let back = self
                     .fabric
                     .send(now, node, req_gpm, self.cfg.msg.nack, MsgClass::Ctrl);
@@ -1143,7 +1173,7 @@ impl<'t> Sim<'t> {
                 if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
                     let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
                     let local = req_gpm == node;
-                    self.dir_store(t, node, block, sharer, local, req_gpm);
+                    self.dir_store(t, node, block, sharer, local, req_gpm, msg.version);
                 }
                 self.forward_req(t, msg, node, req_gpm, sys_home, gpu_home);
             }
@@ -1283,6 +1313,23 @@ impl<'t> Sim<'t> {
     /// written back toward their home (§IV-B's data-update message);
     /// clean victims optionally send a sharer downgrade.
     fn fill_l2(&mut self, t: Cycle, node: GpmId, line: LineAddr, meta: L2Line) {
+        // Stale-fill filter: a response that was served before a newer
+        // store's invalidation but delivered after it must not
+        // (re)install the old data. Versions are monotone per line, so
+        // refusing anything below the invalidation floor — or below a
+        // version already resident — is exactly the transient-state
+        // protection a real directory protocol provides.
+        let block = self.cfg.geometry.block_of(line);
+        let floor = self.gpms[node.index()]
+            .inv_floor
+            .get(&block)
+            .copied()
+            .unwrap_or(0);
+        let resident = self.gpms[node.index()].l2.get(line).map(|m| m.version);
+        if meta.version < floor || resident.is_some_and(|v| v > meta.version) {
+            self.m.stale_fills_dropped += 1;
+            return;
+        }
         if let Some((victim_line, victim)) = self.gpms[node.index()].l2.insert(line, meta) {
             self.evicted_l2_line(t, node, victim_line, victim);
         }
@@ -1406,11 +1453,11 @@ impl<'t> Sim<'t> {
         if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
             let sharer = self.dir_sharer_for(node, msg.sm.gpm, sys_home);
             let local = msg.sm.gpm == node;
-            self.dir_store(t, node, block, sharer, local, msg.sm.gpm);
+            self.dir_store(t, node, block, sharer, local, msg.sm.gpm, msg.version);
         }
         // CARVE-like classifier treats atomics as stores too.
         if proto.has_broadcast_classifier() && node == sys_home {
-            self.carve_store(t, node, block, msg.sm.gpm);
+            self.carve_store(t, node, block, msg.sm.gpm, msg.version);
         }
         // Atomics are performed (and cached) at their scope home.
         self.fill_l2(t, node, msg.line, L2Line::clean(msg.version));
@@ -1550,10 +1597,14 @@ impl<'t> Sim<'t> {
         if is_home {
             self.fill_l2(t, node, msg.line, L2Line::clean(msg.version));
         } else if let Some(meta) = self.gpms[node.index()].l2.get_mut(msg.line) {
-            meta.version = msg.version;
-            // An in-flight write-through supersedes local dirtiness.
-            if msg.origin == node {
-                meta.dirty = false;
+            // Version-max: a delayed or duplicated older write-through
+            // must not roll a copy back.
+            if msg.version >= meta.version {
+                meta.version = msg.version;
+                // An in-flight write-through supersedes local dirtiness.
+                if msg.origin == node {
+                    meta.dirty = false;
+                }
             }
         }
 
@@ -1561,14 +1612,14 @@ impl<'t> Sim<'t> {
         if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
             let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
             let local = req_gpm == node;
-            self.dir_store(t, node, block, sharer, local, req_gpm);
+            self.dir_store(t, node, block, sharer, local, req_gpm, msg.version);
         }
 
         // CARVE-like classifier: a store to data any other GPM has
         // touched makes the block read-write shared and broadcasts
         // invalidations to every cache — no sharer list exists.
         if proto.has_broadcast_classifier() && node == sys_home {
-            self.carve_store(t, node, block, req_gpm);
+            self.carve_store(t, node, block, req_gpm, msg.version);
         }
 
         self.continue_store(t, msg, node, sys_home, gpu_home);
@@ -1576,7 +1627,14 @@ impl<'t> Sim<'t> {
 
     /// CARVE-like store handling at the system home: classify, and
     /// broadcast invalidations for shared blocks.
-    fn carve_store(&mut self, t: Cycle, node: GpmId, block: BlockAddr, writer: GpmId) {
+    fn carve_store(
+        &mut self,
+        t: Cycle,
+        node: GpmId,
+        block: BlockAddr,
+        writer: GpmId,
+        version: u64,
+    ) {
         let class = self.gpms[node.index()]
             .carve
             .entry(block)
@@ -1599,7 +1657,7 @@ impl<'t> Sim<'t> {
             .map(Sharer::Gpm)
             .collect();
         self.m.stores_triggering_invs += 1;
-        self.send_invs(t, node, block, &targets, InvCause::Store, writer);
+        self.send_invs(t, node, block, &targets, InvCause::Store, writer, version);
     }
 
     /// Routes a store onward from `node`, maintaining the pending
@@ -1802,6 +1860,7 @@ impl<'t> Sim<'t> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // a directory transition, not a config
     fn dir_store(
         &mut self,
         t: Cycle,
@@ -1810,6 +1869,7 @@ impl<'t> Sim<'t> {
         sharer: Sharer,
         local: bool,
         origin: GpmId,
+        version: u64,
     ) {
         let topo = self.cfg.topo;
         if local {
@@ -1818,7 +1878,7 @@ impl<'t> Sim<'t> {
                 let targets = self.inv_targets(node, block, &sharers);
                 if !targets.is_empty() {
                     self.m.stores_triggering_invs += 1;
-                    self.send_invs(t, node, block, &targets, InvCause::Store, origin);
+                    self.send_invs(t, node, block, &targets, InvCause::Store, origin, version);
                 }
             }
             return;
@@ -1859,7 +1919,7 @@ impl<'t> Sim<'t> {
         };
         if !targets.is_empty() {
             self.m.stores_triggering_invs += 1;
-            self.send_invs(t, node, block, &targets, InvCause::Store, origin);
+            self.send_invs(t, node, block, &targets, InvCause::Store, origin, version);
         }
         if let Some((vblock, sharers)) = evicted {
             self.send_evict_invs(t, node, vblock, sharers);
@@ -1876,10 +1936,11 @@ impl<'t> Sim<'t> {
         let targets = self.inv_targets(node, block, &sharers);
         if !targets.is_empty() {
             self.m.evictions_triggering_invs += 1;
-            self.send_invs(t, node, block, &targets, InvCause::Eviction, node);
+            self.send_invs(t, node, block, &targets, InvCause::Eviction, node, 0);
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // a directory transition, not a config
     fn send_invs(
         &mut self,
         t: Cycle,
@@ -1888,6 +1949,7 @@ impl<'t> Sim<'t> {
         targets: &[Sharer],
         cause: InvCause,
         causer: GpmId,
+        version: u64,
     ) {
         let topo = self.cfg.topo;
         for &s in targets {
@@ -1950,6 +2012,7 @@ impl<'t> Sim<'t> {
                 counted,
                 from_sys,
                 target,
+                version,
             };
             // Fault: duplicated delivery — the copy is uncounted and
             // re-invalidation is a no-op (tolerated).
@@ -1970,6 +2033,16 @@ impl<'t> Sim<'t> {
 
     fn handle_inv(&mut self, now: Cycle, inv: InvMsg) {
         let topo = self.cfg.topo;
+        // Raise the fill floor first: any fill still in flight that was
+        // served before the store this invalidation announces must not
+        // land after it (see `fill_l2`).
+        if inv.version > 0 {
+            let floor = self.gpms[inv.target.index()]
+                .inv_floor
+                .entry(inv.block)
+                .or_insert(0);
+            *floor = (*floor).max(inv.version);
+        }
         // Drop the L2 copies of every line in the block; racy dirty
         // copies are flushed rather than lost.
         let mut removed = 0u64;
@@ -1986,12 +2059,25 @@ impl<'t> Sim<'t> {
             InvCause::Eviction => self.m.lines_invalidated_by_evictions += removed,
         }
         // HMG: a GPU home node forwards system-home invalidations to its
-        // tracked GPM sharers (the extra Table I transition).
-        if inv.from_sys && self.cfg.protocol == ProtocolKind::Hmg {
+        // tracked GPM sharers (the extra Table I transition). The
+        // `skip-hier-fwd` fault plan deliberately omits the forward — the
+        // injected protocol bug the coherence checker must catch.
+        if inv.from_sys
+            && self.cfg.protocol == ProtocolKind::Hmg
+            && !self.cfg.faults.skip_hier_inv_forward
+        {
             if let Some(sharers) = self.gpms[inv.target.index()].dir.remove(inv.block) {
                 let targets = self.inv_targets(inv.target, inv.block, &sharers);
                 if !targets.is_empty() {
-                    self.send_invs(now, inv.target, inv.block, &targets, inv.cause, inv.causer);
+                    self.send_invs(
+                        now,
+                        inv.target,
+                        inv.block,
+                        &targets,
+                        inv.cause,
+                        inv.causer,
+                        inv.version,
+                    );
                 }
             }
         }
@@ -2851,5 +2937,87 @@ mod tests {
         assert_eq!(precise.dir_broadcast_fallbacks, 0);
         assert_eq!(precise.broadcast_invs, 0);
         assert_eq!(m.state_digest, precise.state_digest);
+    }
+
+    #[test]
+    fn nack_attempt_cap_exhaustion_is_a_typed_error() {
+        // Same burst shape as `nack_flow_control_rejects_and_recovers`,
+        // but with a zero attempt cap the very first NACK must abort the
+        // run with a Protocol error instead of retrying (or hanging).
+        let line_b = 128u64;
+        let homing: Vec<TraceOp> = (0..32u64).map(|i| ld(i * line_b)).collect();
+        let burst: Vec<TraceOp> = (0..32u64).map(|i| ld(i * line_b)).collect();
+        let trace = WorkloadTrace::new(
+            "nack-cap",
+            vec![
+                kernel_per_gpm(vec![homing]),
+                kernel_per_gpm(vec![vec![], burst.clone(), burst.clone(), burst]),
+            ],
+        );
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.home_nack_threshold = Some(0);
+        cfg.nack_attempt_cap = Some(0);
+        let err = Engine::try_new(cfg)
+            .unwrap()
+            .try_run(&trace)
+            .expect_err("an exhausted attempt cap must surface, not hang");
+        assert_eq!(err.kind, hmg_sim::SimErrorKind::Protocol, "{err}");
+        assert!(err.message.contains("attempt cap"), "{err}");
+        assert!(err.cycle.is_some(), "errors carry the failing cycle");
+        assert!(err.agent.is_some(), "errors name the starved requester");
+
+        // A generous cap never exhausts: the run recovers exactly like
+        // the uncapped configuration.
+        let base = run(ProtocolKind::Hmg, &trace);
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.home_nack_threshold = Some(0);
+        cfg.nack_attempt_cap = Some(200);
+        let m = Engine::new(cfg).run(&trace);
+        assert!(m.nacks > 0);
+        assert_eq!(m.loads, base.loads);
+        assert_eq!(m.state_digest, base.state_digest);
+    }
+
+    #[test]
+    fn broadcast_mode_stays_sticky_across_sharer_downgrades() {
+        // A degraded (broadcast) directory entry must *stay* degraded
+        // when a tracked sharer later leaves: precise removal on an
+        // imprecise entry would silently re-narrow the target list.
+        // GPM1's clean eviction of the line sends a sharer downgrade to
+        // the home after the entry has already overflowed to broadcast;
+        // the store that follows must still invalidate every possible
+        // sharer, and every synchronized reader must see it.
+        let line_b = 128u64;
+        let evict_gpm1: Vec<TraceOp> = (1..3u64).map(|i| ld(4 * i * line_b)).collect();
+        let trace = WorkloadTrace::new(
+            "sticky-broadcast",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]), // homes at GPM0, version 1
+                kernel_per_gpm(vec![vec![], vec![ld(0)], vec![ld(0)], vec![ld(0)]]),
+                // GPM1 evicts its clean copy -> downgrade to the home.
+                kernel_per_gpm(vec![vec![], evict_gpm1]),
+                kernel_per_gpm(vec![vec![st(0)]]), // version 2, after shrink
+                kernel_per_gpm(vec![vec![], vec![ld(0)], vec![ld(0)], vec![ld(0)]]),
+            ],
+        );
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.dir = cfg.dir.with_max_sharers(1);
+        cfg.sharer_downgrades = true;
+        // A 2-way, 4-set L2 so two colliding fills evict GPM1's copy.
+        cfg.l2 = hmg_mem::CacheConfig::new(8, 2);
+        cfg.probe_line = Some(0);
+        let m = Engine::new(cfg).run(&trace);
+        assert!(m.dir_broadcast_fallbacks >= 1, "entry must degrade first");
+        assert!(m.downgrades >= 1, "the sharer list must shrink afterwards");
+        assert!(
+            m.broadcast_invs >= 1,
+            "the post-shrink store must still use the broadcast list"
+        );
+        let final_reads: Vec<u64> = m.probe.iter().rev().take(3).map(|&(_, v)| v).collect();
+        assert_eq!(
+            final_reads,
+            vec![2, 2, 2],
+            "sticky broadcast must keep every reader coherent"
+        );
     }
 }

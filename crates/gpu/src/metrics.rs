@@ -48,6 +48,10 @@ pub struct RunMetrics {
     pub lines_invalidated_by_evictions: u64,
     /// Cache lines dropped by software bulk invalidations at acquires.
     pub lines_bulk_invalidated: u64,
+    /// L2 fills refused because they carried a version older than an
+    /// already-processed invalidation (or the resident copy) — the
+    /// inv-versus-in-flight-fill race the per-block fill floor closes.
+    pub stale_fills_dropped: u64,
     /// Release fences executed.
     pub fences: u64,
     /// Dirty-line writebacks (write-back policy only).

@@ -53,6 +53,7 @@ impl<E> Ord for Entry<E> {
 /// q.push(Cycle(3), 'z');
 /// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
 /// assert_eq!(order, vec!['z', 'x', 'y']);
+/// assert_eq!(q.events_processed(), 3);
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
@@ -189,6 +190,22 @@ mod tests {
         q.pop();
         assert_eq!(q.len(), 1);
         assert_eq!(q.events_processed(), 1);
+    }
+
+    #[test]
+    fn events_processed_counts_every_pop() {
+        // The checker's schedule-perturbation accounting relies on this
+        // counter being a faithful pop count, never reset by drains.
+        let mut q = EventQueue::new();
+        assert_eq!(q.events_processed(), 0);
+        for i in 0..5 {
+            q.push(Cycle(i), i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.events_processed(), 5);
+        q.push(Cycle(9), 9);
+        q.pop();
+        assert_eq!(q.events_processed(), 6, "counter persists across drains");
     }
 
     #[test]

@@ -133,6 +133,12 @@ pub struct FaultPlan {
     pub drop_store: Option<u64>,
     /// FIFO-violating invalidation reordering, if any.
     pub reorder_inv: Option<ReorderInv>,
+    /// Protocol-bug injection: an HMG GPU home receiving a system-home
+    /// invalidation drops it after invalidating its own slice instead of
+    /// forwarding it to the GPM sharers it tracks (the extra Table I
+    /// transition). Detected class: a stale copy survives inside the
+    /// remote GPU and the coherence checker must observe the stale read.
+    pub skip_hier_inv_forward: bool,
 }
 
 impl FaultPlan {
@@ -236,11 +242,18 @@ impl FaultPlan {
     /// dup=0.05,flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7
     /// ```
     ///
-    /// Each clause is `key=value`; unknown keys, malformed numbers and
-    /// out-of-range values are reported with the offending clause.
+    /// Each clause is `key=value`, except the valueless switch
+    /// `skip-hier-fwd` (HMG protocol-bug injection); unknown keys,
+    /// malformed numbers and out-of-range values are reported with the
+    /// offending clause.
     pub fn parse(spec: &str) -> Result<FaultPlan, SimError> {
         let mut plan = FaultPlan::default();
         for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+            // Valueless switches first; everything else is `key=value`.
+            if clause == "skip-hier-fwd" {
+                plan.skip_hier_inv_forward = true;
+                continue;
+            }
             let (key, val) = clause
                 .split_once('=')
                 .ok_or_else(|| bad(clause, "expected key=value"))?;
@@ -303,7 +316,7 @@ impl FaultPlan {
                         clause,
                         &format!(
                             "unknown fault `{other}` (known: seed, degrade, stall, drop, delay, \
-                             dup, flag-delay, drop-store, reorder-inv)"
+                             dup, flag-delay, drop-store, reorder-inv, skip-hier-fwd)"
                         ),
                     ));
                 }
@@ -395,6 +408,15 @@ mod tests {
         );
         assert!(!p.is_empty());
         assert!(p.has_link_faults());
+    }
+
+    #[test]
+    fn parse_skip_hier_fwd_switch() {
+        let p = FaultPlan::parse("skip-hier-fwd,seed=3").unwrap();
+        assert!(p.skip_hier_inv_forward);
+        assert_eq!(p.seed, 3);
+        assert!(!p.is_empty(), "a bug-injection plan is not empty");
+        assert!(!FaultPlan::parse("seed=3").unwrap().skip_hier_inv_forward);
     }
 
     #[test]

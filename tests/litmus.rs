@@ -327,3 +327,121 @@ fn ideal_runs_but_promises_nothing() {
         assert_eq!(m.probe.last().unwrap().1, 2, "{p}");
     }
 }
+
+/// MP between two GPMs of the *remote* GPU using only `.gpu` scope,
+/// while the line's system home lives on GPU0. Ported from the
+/// `hmg-check` enumerator (its strongest two-thread class): under
+/// HMG's hierarchical protocol the GPU home must order the store and
+/// serve the synchronized read without consulting the system home
+/// (Sections IV-B and V-B); flat and software protocols must reach the
+/// same answer through the system home.
+#[test]
+fn mp_gpu_scope_on_remote_gpu() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Gpu), TraceOp::SetFlag(30)];
+    let consumer = vec![
+        TraceOp::WaitFlag { flag: 30, count: 1 },
+        TraceOp::Acquire(Scope::Gpu),
+        TraceOp::Access(Access::new(Addr(0), AccessKind::Load, Scope::Gpu)),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-remote-gpu",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            // Producer GPM2 and consumer GPM3 share GPU1.
+            kernel_per_gpm(vec![vec![], vec![], producer, consumer]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        assert_eq!(
+            m.probe.last().unwrap().1,
+            2,
+            "{p}: gpu-scope sync on the non-home GPU must publish the store"
+        );
+    }
+}
+
+/// IRIW-style independent reads of independent writes, one thread per
+/// GPM. Scoped GPU models are non-multi-copy-atomic (Section III): the
+/// two readers may legally disagree on the order of the two plain
+/// stores, so the concurrent phase asserts only the per-line version
+/// *range*, while the next kernel (an implicit `.sys` release/acquire
+/// boundary) must show both readers the final version of both lines.
+/// Two probe runs, one per communicated line.
+#[test]
+fn iriw_readers_bounded_then_converge() {
+    let line_a = 0u64;
+    let line_b = 512u64; // line 4: same first-touch page, distinct block
+    let w0 = vec![st(line_a)];
+    let r1 = vec![ld(line_a), ld(line_b)];
+    let w2 = vec![st(line_b)];
+    let r3 = vec![ld(line_b), ld(line_a)];
+    let trace = WorkloadTrace::new(
+        "iriw",
+        vec![
+            kernel_per_gpm(vec![vec![ld(line_a), ld(line_b)]]), // home both at GPM0
+            kernel_per_gpm(vec![w0, r1, w2, r3]),
+            kernel_per_gpm(vec![vec![ld(line_a), ld(line_b)]; 4]),
+        ],
+    );
+    for p in COHERENT {
+        for line in [line_a / 128, line_b / 128] {
+            let m = run_probed(p, &trace, line);
+            // Each line is written exactly once: every observation is
+            // the initial 0 or the store's 1, in any reader order.
+            assert!(
+                m.probe.iter().all(|&(_, v)| v <= 1),
+                "{p}: version out of range on line {line}"
+            );
+            // The final kernel's four reads (last four records) all see
+            // the committed store.
+            let n = m.probe.len();
+            assert!(
+                m.probe[n - 4..].iter().all(|&(_, v)| v == 1),
+                "{p}: a reader missed the store after the kernel boundary"
+            );
+        }
+    }
+}
+
+/// RMW atomicity for `.gpu`-scoped atomics issued from both GPMs of
+/// GPU1 to a line homed at GPM0. Atomics are performed at their scope
+/// home (Section IV-C): each read-modify-write observes exactly the
+/// version it wrote, so six atomics observe the multiset {1..6} — no
+/// lost updates, no duplicated serial numbers — and each SM's own
+/// observations are strictly increasing (its program order).
+#[test]
+fn rmw_gpu_scope_atomics_serialize_without_loss() {
+    let hammer = |_: ()| {
+        vec![
+            TraceOp::Access(Access::atomic(Addr(0), Scope::Gpu)),
+            TraceOp::Access(Access::atomic(Addr(0), Scope::Gpu)),
+            TraceOp::Access(Access::atomic(Addr(0), Scope::Gpu)),
+        ]
+    };
+    let trace = WorkloadTrace::new(
+        "rmw-atomicity",
+        vec![
+            kernel_per_gpm(vec![vec![ld(0)]]), // home the line at GPM0
+            kernel_per_gpm(vec![vec![], vec![], hammer(()), hammer(())]),
+        ],
+    );
+    for p in COHERENT {
+        let m = run_probed(p, &trace, 0);
+        // Skip the homing read; the rest are the atomics' observations.
+        let mut seen: Vec<u64> = m.probe[1..].iter().map(|&(_, v)| v).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 2, 3, 4, 5, 6], "{p}: lost or duplicated RMW");
+        for sm in [4u32, 6] {
+            let mine: Vec<u64> = m.probe[1..]
+                .iter()
+                .filter(|&&(s, _)| s == sm)
+                .map(|&(_, v)| v)
+                .collect();
+            assert!(
+                mine.windows(2).all(|w| w[0] < w[1]),
+                "{p}: sm{sm} observed {mine:?}, not in program order"
+            );
+        }
+    }
+}

@@ -131,3 +131,28 @@ fn whole_suite_runs_at_tiny_scale() {
         }
     }
 }
+
+/// Golden final-memory-state digest, one cell per protocol. The digest
+/// folds every committed `(line, version)` pair, so it pins two things
+/// at once: the exact memory state this workload/seed must produce
+/// (catching silent generator or commit-path drift), and the invariant
+/// that the coherence protocol choice affects *timing only* — every
+/// protocol, including the idealized upper bound, must commit the
+/// identical state.
+#[test]
+fn state_digest_is_golden_and_protocol_independent() {
+    const GOLDEN: u64 = 0xe1d7f3f0ef5b3e4e;
+    let spec = hmg::workloads::suite::table3()
+        .into_iter()
+        .find(|s| s.abbrev == "bfs")
+        .expect("bfs is in Table III");
+    let trace = spec.generate(Scale::Tiny, 17);
+    let mut runner = Runner::new(Scale::Tiny);
+    for p in ProtocolKind::ALL {
+        let m = runner.run(&trace, p);
+        assert_eq!(
+            m.state_digest, GOLDEN,
+            "{p}: committed memory state diverged from the golden digest"
+        );
+    }
+}

@@ -149,6 +149,11 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>, budget: u64) 
                     .faults
                     .as_ref()
                     .is_some_and(|f| f.skip_hier_inv_forward),
+                link_down: opts
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.link_down)
+                    .map(|l| (l.a, l.b, l.at_cycle)),
                 ..hmg_check::CheckConfig::default()
             };
             let report = hmg_check::run_check(&cfg);

@@ -131,12 +131,26 @@ coherence checking (docs/CHECKING.md):
   --seed N        perturbation-sweep seed (reproduces a failure exactly)
   --faults skip-hier-fwd   self-test: inject the hierarchical-forward
                   protocol bug; the sweep is then expected to FAIL
+  --faults link-down=A-B@CYCLE   stamp a mid-litmus permanent link loss
+                  onto every perturbation plan: outcomes must stay
+                  within the oracle's allowed set while traffic detours
 
 fault injection (DESIGN.md `Robustness & fault injection`):
   --faults SPEC   comma-separated clauses, e.g.
                   degrade=FROM..UNTIL/FACTOR  stall=FROM..UNTIL/EXTRA
                   delay=PROB/EXTRA  dup=PROB  drop=PROB  flag-delay=EXTRA
                   drop-store=N  reorder-inv=NTH/EXTRA  seed=N
+
+fail-in-place (DESIGN.md \u{a7}9 `Fail-in-place & reconfiguration`):
+  --faults link-down=A-B@CYCLE    kill the first-tier link between GPMs
+                  A and B (global indices, same GPU) at CYCLE; traffic
+                  detours over the second-tier switch path
+  --faults gpm-offline=G.M@CYCLE  take GPM M of GPU G permanently
+                  offline at CYCLE: its CTAs abort, its pages re-home
+                  onto survivors in degraded no-peer-caching mode
+  --faults gpu-offline=G@CYCLE    take every GPM of GPU G offline
+                  sweeps print per-epoch `[fail-in-place] ...` lines
+                  with the ReconfigStats counters
   --keep-going    isolate per-workload failures and print a partial
                   report with a failure table instead of aborting
 

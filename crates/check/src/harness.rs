@@ -86,7 +86,11 @@ pub fn trace_for(p: &Program, mode: Mode) -> WorkloadTrace {
 /// hold a store forward longer than a full cross-GPU load round trip
 /// (~1000 cycles), or races where a remote reader's fill beats the
 /// store's invalidation can never be scheduled.
-pub fn plans(seed: u64, inject: bool) -> Vec<(String, FaultPlan)> {
+pub fn plans(
+    seed: u64,
+    inject: bool,
+    link_down: Option<(u16, u16, u64)>,
+) -> Vec<(String, FaultPlan)> {
     let specs = [
         format!("seed={seed}"),
         format!("delay=0.6/150,seed={}", seed.wrapping_add(1)),
@@ -98,11 +102,18 @@ pub fn plans(seed: u64, inject: bool) -> Vec<(String, FaultPlan)> {
         .map(|s| {
             let mut p = FaultPlan::parse(&s).expect("built-in plan parses");
             p.skip_hier_inv_forward = inject;
-            let label = if inject {
+            let mut label = if inject {
                 format!("{s},skip-hier-fwd")
             } else {
                 s
             };
+            // Stamp the permanent link loss onto every perturbation
+            // plan: fail-in-place rerouting must preserve the memory
+            // model under every schedule the sweep explores.
+            if let Some((a, b, at_cycle)) = link_down {
+                p.link_down = Some(hmg::sim::LinkDown { a, b, at_cycle });
+                label = format!("{label},link-down={a}-{b}@{at_cycle}");
+            }
             (label, p)
         })
         .collect()
@@ -161,7 +172,8 @@ pub struct ClassResult {
 
 /// Engine runs one class costs under `cfg`.
 pub fn cost_of(p: &Program, cfg: &CheckConfig) -> u64 {
-    (cfg.protocols.len() * Mode::ALL.len() * plans(cfg.seed, cfg.inject).len()) as u64
+    (cfg.protocols.len() * Mode::ALL.len() * plans(cfg.seed, cfg.inject, cfg.link_down).len())
+        as u64
         * p.used_addrs().len() as u64
 }
 
@@ -170,12 +182,17 @@ pub fn cost_of(p: &Program, cfg: &CheckConfig) -> u64 {
 pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
     let mut out = ClassResult::default();
     let used = p.used_addrs();
-    let plans = plans(cfg.seed, cfg.inject);
+    let plans = plans(cfg.seed, cfg.inject, cfg.link_down);
     for &proto in &cfg.protocols {
         for mode in Mode::ALL {
             let trace = trace_for(p, mode);
             for (spec, plan) in &plans {
-                let fault_free = plan.delay.is_none() && plan.duplicate.is_none();
+                // A permanent link loss is conservatively treated like a
+                // delay plan: the second-tier detour changes arrival
+                // order between node pairs, so only the range-based
+                // oracle rules apply (coherence must still hold).
+                let fault_free =
+                    plan.delay.is_none() && plan.duplicate.is_none() && plan.link_down.is_none();
                 for &a in &used {
                     let mut ecfg = EngineConfig::small_test(proto);
                     ecfg.faults = plan.clone();
@@ -289,14 +306,48 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_and_seeded() {
-        let a = plans(7, false);
-        let b = plans(7, false);
+        let a = plans(7, false, None);
+        let b = plans(7, false, None);
         assert_eq!(a.len(), 4);
         assert_eq!(a[0].1, b[0].1);
         assert!(a[0].1.is_empty(), "first plan is the unperturbed schedule");
         assert!(a[1].1.delay.is_some());
         assert!(a[3].1.duplicate.is_some());
-        assert!(plans(7, true).iter().all(|(_, p)| p.skip_hier_inv_forward));
+        assert!(plans(7, true, None)
+            .iter()
+            .all(|(_, p)| p.skip_hier_inv_forward));
+        // A requested link loss is stamped onto every plan and label.
+        for (label, p) in plans(7, false, Some((0, 1, 400))) {
+            assert_eq!(
+                p.link_down,
+                Some(hmg::sim::LinkDown {
+                    a: 0,
+                    b: 1,
+                    at_cycle: 400
+                })
+            );
+            assert!(label.ends_with("link-down=0-1@400"), "{label}");
+        }
+    }
+
+    #[test]
+    fn message_passing_survives_a_mid_litmus_link_loss() {
+        // The MP litmus with the GPM0<->GPM1 first-tier link failing in
+        // the middle of the run: every outcome must stay within the
+        // oracle's allowed set while traffic detours over the second
+        // tier.
+        let cfg = CheckConfig {
+            link_down: Some((0, 1, 400)),
+            ..CheckConfig::default()
+        };
+        for reader in [2u8, 3] {
+            let r = check_program(&mp(reader), &cfg);
+            assert!(
+                r.violations.is_empty(),
+                "reader gpm{reader}: {:?}",
+                r.violations
+            );
+        }
     }
 
     #[test]

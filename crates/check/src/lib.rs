@@ -67,6 +67,11 @@ pub struct CheckConfig {
     pub inject: bool,
     /// Greedily minimize the first violation found.
     pub minimize: bool,
+    /// Kill the first-tier link `(a, b)` at the given cycle in every
+    /// run of the sweep (`--faults link-down=A-B@CYCLE`): the litmus
+    /// outcomes must stay within the memory-model oracle's allowed set
+    /// even while every affected message detours over the second tier.
+    pub link_down: Option<(u16, u16, u64)>,
 }
 
 impl Default for CheckConfig {
@@ -77,6 +82,7 @@ impl Default for CheckConfig {
             protocols: vec![ProtocolKind::Nhcc, ProtocolKind::Hmg],
             inject: false,
             minimize: true,
+            link_down: None,
         }
     }
 }

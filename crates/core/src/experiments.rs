@@ -228,7 +228,19 @@ pub fn speedup_suite(
         tweak(&mut cfg);
         crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
         crate::runner::arm_watchdog(&mut cfg, &traces[w], opts.livelock_budget);
-        let r = crate::runner::run_isolated(cfg, &traces[w]).map(|m| m.total_cycles.as_u64());
+        let r = crate::runner::run_isolated(cfg, &traces[w]).map(|m| {
+            // Per-epoch fail-in-place accounting, greppable from sweep
+            // logs (all-zero on fault-free runs, so print nothing).
+            if m.reconfig.epochs > 0 {
+                println!(
+                    "[fail-in-place] workload={} protocol={} {}",
+                    specs[w].abbrev,
+                    p.name(),
+                    m.reconfig
+                );
+            }
+            m.total_cycles.as_u64()
+        });
         if let Some(c) = &ckpt {
             match &r {
                 Ok(cycles) => c.record_ok(&key, *cycles),

@@ -239,6 +239,47 @@ impl EngineConfig {
                  (no home ever NACKs, so no attempt is ever counted)",
             ));
         }
+        if let Some(l) = &self.faults.link_down {
+            let n = self.topo.num_gpms();
+            if l.a >= n || l.b >= n {
+                return Err(SimError::config(format!(
+                    "link-down endpoints {}-{} out of range (topology has {n} GPMs)",
+                    l.a, l.b
+                )));
+            }
+            if l.a / self.topo.gpms_per_gpu() != l.b / self.topo.gpms_per_gpu() {
+                return Err(SimError::config(format!(
+                    "link-down endpoints {}-{} belong to different GPUs; only \
+                     intra-GPU (first-tier) links can fail over to the second tier",
+                    l.a, l.b
+                )));
+            }
+        }
+        if let Some(g) = &self.faults.gpm_offline {
+            if g.gpu >= self.topo.num_gpus() || g.gpm >= self.topo.gpms_per_gpu() {
+                return Err(SimError::config(format!(
+                    "gpm-offline target {}.{} out of range ({}x{} topology)",
+                    g.gpu,
+                    g.gpm,
+                    self.topo.num_gpus(),
+                    self.topo.gpms_per_gpu()
+                )));
+            }
+        }
+        if let Some(g) = &self.faults.gpu_offline {
+            if g.gpu >= self.topo.num_gpus() {
+                return Err(SimError::config(format!(
+                    "gpu-offline target {} out of range ({} GPUs)",
+                    g.gpu,
+                    self.topo.num_gpus()
+                )));
+            }
+            if self.topo.num_gpus() == 1 {
+                return Err(SimError::config(
+                    "gpu-offline with a single-GPU topology leaves no survivors",
+                ));
+            }
+        }
         self.faults.validate()
     }
 }
@@ -278,6 +319,70 @@ mod tests {
         assert!(c.try_validate().is_err(), "cap needs NACKs to count");
         c.home_nack_threshold = Some(0);
         c.try_validate().unwrap();
+    }
+
+    #[test]
+    fn validate_checks_permanent_faults_against_the_topology() {
+        use hmg_sim::{GpmOffline, GpuOffline, LinkDown};
+        // small_test is a 2x2 topology: GPMs 0..4, GPUs 0..2.
+        let base = EngineConfig::small_test(ProtocolKind::Hmg);
+
+        let mut c = base.clone();
+        c.faults.link_down = Some(LinkDown {
+            a: 0,
+            b: 1,
+            at_cycle: 100,
+        });
+        c.try_validate().unwrap();
+        c.faults.link_down = Some(LinkDown {
+            a: 0,
+            b: 4,
+            at_cycle: 100,
+        });
+        assert!(c.try_validate().is_err(), "endpoint out of range");
+        c.faults.link_down = Some(LinkDown {
+            a: 1,
+            b: 2,
+            at_cycle: 100,
+        });
+        assert!(
+            c.try_validate().is_err(),
+            "cross-GPU link has no first tier"
+        );
+
+        let mut c = base.clone();
+        c.faults.gpm_offline = Some(GpmOffline {
+            gpu: 1,
+            gpm: 1,
+            at_cycle: 50,
+        });
+        c.try_validate().unwrap();
+        c.faults.gpm_offline = Some(GpmOffline {
+            gpu: 2,
+            gpm: 0,
+            at_cycle: 50,
+        });
+        assert!(c.try_validate().is_err(), "gpu index out of range");
+
+        let mut c = base.clone();
+        c.faults.gpu_offline = Some(GpuOffline {
+            gpu: 1,
+            at_cycle: 50,
+        });
+        c.try_validate().unwrap();
+        c.faults.gpu_offline = Some(GpuOffline {
+            gpu: 9,
+            at_cycle: 50,
+        });
+        assert!(c.try_validate().is_err(), "gpu index out of range");
+
+        let mut c = base.clone();
+        c.topo = Topology::new(1, 4);
+        c.faults.gpu_offline = Some(GpuOffline {
+            gpu: 0,
+            at_cycle: 50,
+        });
+        assert!(c.try_validate().is_err(), "no survivors allowed");
     }
 
     #[test]

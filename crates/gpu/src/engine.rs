@@ -210,6 +210,22 @@ enum Ev {
     KernelStart(usize),
 }
 
+/// A permanent fault scheduled for activation at a fixed cycle. Built
+/// from the [`hmg_sim::FaultPlan`] at construction; the main loop
+/// activates each entry at the first event boundary at or past its
+/// cycle, which keeps reconfiguration deterministic.
+#[derive(Debug, Clone)]
+enum PermFault {
+    /// First-tier link failure. The fabric reroutes affected traffic
+    /// over the second tier by itself (see
+    /// [`hmg_interconnect::Liveness`]); the engine only accounts for
+    /// the detection epoch.
+    LinkDown,
+    /// These GPMs go permanently offline together (a single module, or
+    /// every module of a GPU).
+    Offline(Vec<GpmId>),
+}
+
 /// The simulation engine. Construct with a validated [`EngineConfig`],
 /// then call [`Engine::run`] on a trace.
 #[derive(Debug)]
@@ -303,6 +319,15 @@ struct Sim<'t> {
     store_seq: u64,
     /// Store-caused invalidations sent (reorder-inv fault index).
     inv_seq: u64,
+    /// Permanent faults not yet activated, ascending by cycle.
+    perm_faults: Vec<(u64, PermFault)>,
+    /// Index of the next entry of `perm_faults` to activate.
+    perm_next: usize,
+    /// Bitmask of permanently offline GPMs.
+    dead_gpms: u64,
+    /// Whether any offline reconfiguration has run (gates the
+    /// per-address degraded-mode checks off the fault-free fast path).
+    reconfigured: bool,
     /// Livelock detection (armed by `cfg.livelock_budget`).
     watchdog: ProgressWatchdog,
     /// First fatal protocol violation observed inside a handler; the
@@ -340,6 +365,19 @@ impl<'t> Sim<'t> {
             .collect();
         let mut fabric = Fabric::new(topo, cfg.fabric);
         fabric.apply_faults(&cfg.faults);
+        let mut perm_faults: Vec<(u64, PermFault)> = Vec::new();
+        if let Some(l) = &cfg.faults.link_down {
+            perm_faults.push((l.at_cycle, PermFault::LinkDown));
+        }
+        if let Some(g) = &cfg.faults.gpm_offline {
+            let gpm = GpmId(g.gpu * topo.gpms_per_gpu() + g.gpm);
+            perm_faults.push((g.at_cycle, PermFault::Offline(vec![gpm])));
+        }
+        if let Some(g) = &cfg.faults.gpu_offline {
+            let dead: Vec<GpmId> = topo.gpms_of(GpuId(g.gpu)).collect();
+            perm_faults.push((g.at_cycle, PermFault::Offline(dead)));
+        }
+        perm_faults.sort_by_key(|&(at, _)| at);
         Sim {
             cfg,
             trace,
@@ -365,6 +403,10 @@ impl<'t> Sim<'t> {
             rng: Rng::new(cfg.faults.seed),
             store_seq: 0,
             inv_seq: 0,
+            perm_faults,
+            perm_next: 0,
+            dead_gpms: 0,
+            reconfigured: false,
             watchdog: ProgressWatchdog::new(cfg.livelock_budget),
             fatal: None,
             m: RunMetrics::default(),
@@ -396,6 +438,17 @@ impl<'t> Sim<'t> {
     fn gpu_home(&self, gpu: GpuId, line: LineAddr, sys_home: GpmId) -> GpmId {
         let block = self.cfg.geometry.block_of(line);
         self.pages.gpu_home(gpu, block, sys_home)
+    }
+
+    fn gpm_is_dead(&self, g: GpmId) -> bool {
+        self.dead_gpms & (1u64 << g.index()) != 0
+    }
+
+    /// Whether `line` lives on a page whose DRAM partition failed. Such
+    /// lines were re-homed onto a survivor and follow the degraded
+    /// no-peer-caching coherence rules from the reconfiguration on.
+    fn line_degraded(&self, line: LineAddr) -> bool {
+        self.reconfigured && self.pages.is_rehomed(self.cfg.geometry.page_of_line(line))
     }
 
     /// The cache level `node` represents for `line` requested by `req_gpm`.
@@ -444,6 +497,16 @@ impl<'t> Sim<'t> {
         }
         self.q.push(Cycle::ZERO, Ev::KernelStart(0));
         while let Some((now, ev)) = self.q.pop() {
+            // Activate pending permanent faults at the event boundary —
+            // before the watchdog check, so the reconfiguration can
+            // grant itself the detection-window grace.
+            while self.perm_next < self.perm_faults.len()
+                && self.perm_faults[self.perm_next].0 <= now.0
+            {
+                let fault = self.perm_faults[self.perm_next].1.clone();
+                self.perm_next += 1;
+                self.reconfigure(now, fault);
+            }
             if let Some(gap) = self.watchdog.stalled(now.0) {
                 return Err(self.livelock_error(now, gap));
             }
@@ -724,17 +787,25 @@ impl<'t> Sim<'t> {
         self.apply_acquire_everywhere(now);
 
         // Contiguous CTA scheduling: adjacent CTAs share a GPM [5, 13].
-        let num_gpms = self.cfg.topo.num_gpms() as usize;
-        let chunk = n_ctas.div_ceil(num_gpms);
-        for g in 0..num_gpms {
-            self.gpms[g].cta_queue.clear();
-            let lo = (g * chunk).min(n_ctas);
-            let hi = ((g + 1) * chunk).min(n_ctas);
-            self.gpms[g].cta_queue.extend(lo..hi);
+        // Fail-in-place: dead modules get no work; survivors absorb it.
+        let alive: Vec<GpmId> = self
+            .cfg
+            .topo
+            .all_gpms()
+            .filter(|g| !self.gpm_is_dead(*g))
+            .collect();
+        let chunk = n_ctas.div_ceil(alive.len());
+        for g in self.cfg.topo.all_gpms() {
+            self.gpms[g.index()].cta_queue.clear();
+        }
+        for (i, &g) in alive.iter().enumerate() {
+            let lo = (i * chunk).min(n_ctas);
+            let hi = ((i + 1) * chunk).min(n_ctas);
+            self.gpms[g.index()].cta_queue.extend(lo..hi);
         }
 
         let start = now + self.cfg.kernel_launch_overhead;
-        for gpm in self.cfg.topo.all_gpms() {
+        for gpm in alive {
             for sm in 0..self.cfg.sms_per_gpm {
                 let r = SmRef { gpm, sm };
                 let cta = self.gpms[gpm.index()].cta_queue.pop_front();
@@ -783,7 +854,9 @@ impl<'t> Sim<'t> {
         // invalidations before the next dependent kernel.
         if self.cfg.l2_write_policy == crate::config::WritePolicy::WriteBack {
             for gpm in self.cfg.topo.all_gpms() {
-                self.flush_dirty(now, gpm);
+                if !self.gpm_is_dead(gpm) {
+                    self.flush_dirty(now, gpm);
+                }
             }
         }
         self.draining = true;
@@ -794,6 +867,9 @@ impl<'t> Sim<'t> {
             return;
         }
         for gpm in self.cfg.topo.all_gpms() {
+            if self.gpm_is_dead(gpm) {
+                continue;
+            }
             self.kernel_fences_left += 1;
             self.start_fence(now, gpm, Scope::Sys, None);
         }
@@ -1070,7 +1146,12 @@ impl<'t> Sim<'t> {
     // ---------- request path ----------
 
     fn handle_req(&mut self, now: Cycle, msg: MemMsg, node: GpmId) {
+        if self.gpm_is_dead(node) {
+            self.reroute_req(now, msg);
+            return;
+        }
         let proto = self.cfg.protocol;
+        let degraded = self.line_degraded(msg.line);
         let req_gpm = msg.sm.gpm;
         let req_gpu = self.cfg.topo.gpu_of(req_gpm);
         let sys_home = self.sys_home(msg.line, req_gpm);
@@ -1159,7 +1240,9 @@ impl<'t> Sim<'t> {
             let perform_here = match msg.scope {
                 Scope::Cta => node == req_gpm,
                 Scope::Gpu => {
-                    if proto.hierarchical_routing() {
+                    // Degraded lines perform at the (re-homed) system
+                    // home: the GPU home no longer caches them.
+                    if proto.hierarchical_routing() && !degraded {
                         node == gpu_home
                     } else {
                         node == sys_home
@@ -1170,7 +1253,10 @@ impl<'t> Sim<'t> {
             if perform_here {
                 self.perform_atomic(t_data, msg, node, sys_home, gpu_home);
             } else {
-                if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
+                if proto.has_hw_directory()
+                    && !degraded
+                    && self.node_is_dir_home(node, sys_home, gpu_home)
+                {
                     let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
                     let local = req_gpm == node;
                     self.dir_store(t, node, block, sharer, local, req_gpm, msg.version);
@@ -1181,7 +1267,9 @@ impl<'t> Sim<'t> {
         }
 
         // Hardware directory participation for loads (Table I).
+        // Degraded lines never enter a directory: no copy to protect.
         if proto.has_hw_directory()
+            && !degraded
             && self.node_is_dir_home(node, sys_home, gpu_home)
             && req_gpm != node
         {
@@ -1190,7 +1278,7 @@ impl<'t> Sim<'t> {
         }
 
         // CARVE-like classifier: loads widen Private -> ReadOnly.
-        if proto.has_broadcast_classifier() && node == sys_home {
+        if proto.has_broadcast_classifier() && !degraded && node == sys_home {
             let entry = self.gpms[node.index()]
                 .carve
                 .entry(block)
@@ -1202,8 +1290,12 @@ impl<'t> Sim<'t> {
             }
         }
 
-        // Load hit check.
-        let may_hit = proto.load_may_hit(level, msg.scope);
+        // Load hit check (degraded lines obey no-peer-caching rules).
+        let may_hit = if degraded {
+            ProtocolKind::degraded_load_may_hit(level, msg.scope)
+        } else {
+            proto.load_may_hit(level, msg.scope)
+        };
         if may_hit {
             if let Some(&L2Line { version: v, .. }) = self.gpms[node.index()].l2.get(msg.line) {
                 match level {
@@ -1449,18 +1541,23 @@ impl<'t> Sim<'t> {
     ) {
         let proto = self.cfg.protocol;
         let block = self.cfg.geometry.block_of(msg.line);
+        let degraded = self.line_degraded(msg.line);
         // Directory: atomics are stores (Table I).
-        if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
+        if proto.has_hw_directory() && !degraded && self.node_is_dir_home(node, sys_home, gpu_home)
+        {
             let sharer = self.dir_sharer_for(node, msg.sm.gpm, sys_home);
             let local = msg.sm.gpm == node;
             self.dir_store(t, node, block, sharer, local, msg.sm.gpm, msg.version);
         }
         // CARVE-like classifier treats atomics as stores too.
-        if proto.has_broadcast_classifier() && node == sys_home {
+        if proto.has_broadcast_classifier() && !degraded && node == sys_home {
             self.carve_store(t, node, block, msg.sm.gpm, msg.version);
         }
-        // Atomics are performed (and cached) at their scope home.
-        self.fill_l2(t, node, msg.line, L2Line::clean(msg.version));
+        // Atomics are performed (and cached) at their scope home; a
+        // degraded line is only ever cached at its system home.
+        if !degraded || node == sys_home {
+            self.fill_l2(t, node, msg.line, L2Line::clean(msg.version));
+        }
         // Respond to the requester.
         self.send_response(t, msg, node, sys_home, gpu_home);
         // Continue the write-through towards the system home.
@@ -1514,12 +1611,29 @@ impl<'t> Sim<'t> {
     }
 
     fn handle_resp_gpu_home(&mut self, now: Cycle, msg: MemMsg, node: GpmId) {
+        if self.gpm_is_dead(node) {
+            // The GPU home died with the response in flight: forward
+            // straight to the requester (or abort with it).
+            self.m.reconfig.drained_txns += 1;
+            if self.gpm_is_dead(msg.sm.gpm) {
+                self.loads_inflight -= 1;
+                self.maybe_kernel_end(now);
+            } else {
+                self.q.push(now + Cycle(1), Ev::Resp { msg });
+            }
+            return;
+        }
         // Fill the GPU home L2 on the response path (Fig. 6(b)).
         let req_gpm = msg.sm.gpm;
         let req_gpu = self.cfg.topo.gpu_of(req_gpm);
         let sys_home = self.sys_home(msg.line, req_gpm);
         let same_gpu = self.cfg.topo.gpu_of(sys_home) == req_gpu;
-        if self.cfg.protocol.may_fill(CacheLevel::GpuHomeL2, same_gpu) {
+        let fill = if self.line_degraded(msg.line) {
+            ProtocolKind::degraded_may_fill(CacheLevel::GpuHomeL2, same_gpu)
+        } else {
+            self.cfg.protocol.may_fill(CacheLevel::GpuHomeL2, same_gpu)
+        };
+        if fill {
             self.fill_l2(now, node, msg.line, L2Line::clean(msg.version));
         }
         let arrive = self
@@ -1541,17 +1655,35 @@ impl<'t> Sim<'t> {
 
     /// Fills requester-side caches and wakes the issuing SM.
     fn complete_load(&mut self, now: Cycle, msg: MemMsg) {
+        if self.gpm_is_dead(msg.sm.gpm) {
+            // The requesting SM died while its miss was in flight; the
+            // in-flight slot drains without waking anyone.
+            self.loads_inflight -= 1;
+            self.maybe_kernel_end(now);
+            return;
+        }
         let req_gpm = msg.sm.gpm;
         let req_gpu = self.cfg.topo.gpu_of(req_gpm);
         let sys_home = self.sys_home(msg.line, req_gpm);
         let same_gpu = self.cfg.topo.gpu_of(sys_home) == req_gpu;
         let proto = self.cfg.protocol;
+        let degraded = self.line_degraded(msg.line);
         // Fill requester-side caches with the version served.
         if msg.kind == AccessKind::Load {
-            if req_gpm != sys_home && proto.may_fill(CacheLevel::LocalL2NonHome, same_gpu) {
+            let fill_l2 = if degraded {
+                ProtocolKind::degraded_may_fill(CacheLevel::LocalL2NonHome, same_gpu)
+            } else {
+                proto.may_fill(CacheLevel::LocalL2NonHome, same_gpu)
+            };
+            if req_gpm != sys_home && fill_l2 {
                 self.fill_l2(now, req_gpm, msg.line, L2Line::clean(msg.version));
             }
-            if proto.may_fill(CacheLevel::L1, same_gpu) {
+            let fill_l1 = if degraded {
+                ProtocolKind::degraded_may_fill(CacheLevel::L1, same_gpu)
+            } else {
+                proto.may_fill(CacheLevel::L1, same_gpu)
+            };
+            if fill_l1 {
                 let idx = self.sm_index(msg.sm);
                 self.sms[idx].l1.insert(msg.line, msg.version);
             }
@@ -1578,17 +1710,44 @@ impl<'t> Sim<'t> {
     // ---------- store path ----------
 
     fn handle_store(&mut self, now: Cycle, msg: StoreMsg, node: GpmId) {
+        if self.gpm_is_dead(node) {
+            // The write-through was heading to a node that died. Hand
+            // it straight to the (re-homed, alive) system home so no
+            // committed data is lost.
+            self.m.reconfig.drained_txns += 1;
+            let toucher = if self.gpm_is_dead(msg.origin) {
+                self.cfg
+                    .topo
+                    .all_gpms()
+                    .find(|g| !self.gpm_is_dead(*g))
+                    .expect("reconfiguration keeps at least one survivor")
+            } else {
+                msg.origin
+            };
+            let sys_home = self.sys_home(msg.line, toucher);
+            self.q.push(
+                now + Cycle(1),
+                Ev::Store {
+                    msg,
+                    node: sys_home,
+                },
+            );
+            return;
+        }
         let req_gpm = msg.origin;
         let req_gpu = self.cfg.topo.gpu_of(req_gpm);
         let sys_home = self.sys_home(msg.line, req_gpm);
         let gpu_home = self.gpu_home(req_gpu, msg.line, sys_home);
         let block = self.cfg.geometry.block_of(msg.line);
         let proto = self.cfg.protocol;
+        let degraded = self.line_degraded(msg.line);
 
         // §IV-B "Remote Stores": stores that arrive at a home L2 are
         // *cached* (write-allocate) and written through; elsewhere they
-        // only update an existing copy.
-        let is_home = node == sys_home || (proto.hierarchical_routing() && node == gpu_home);
+        // only update an existing copy. A degraded line is only cached
+        // at its system home.
+        let is_home =
+            node == sys_home || (proto.hierarchical_routing() && node == gpu_home && !degraded);
         let t = if is_home {
             now + self.cfg.l2_latency
         } else {
@@ -1608,8 +1767,10 @@ impl<'t> Sim<'t> {
             }
         }
 
-        // Directory transitions at home nodes.
-        if proto.has_hw_directory() && self.node_is_dir_home(node, sys_home, gpu_home) {
+        // Directory transitions at home nodes (degraded lines have no
+        // cached peers to invalidate).
+        if proto.has_hw_directory() && !degraded && self.node_is_dir_home(node, sys_home, gpu_home)
+        {
             let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
             let local = req_gpm == node;
             self.dir_store(t, node, block, sharer, local, req_gpm, msg.version);
@@ -1618,7 +1779,7 @@ impl<'t> Sim<'t> {
         // CARVE-like classifier: a store to data any other GPM has
         // touched makes the block read-write shared and broadcasts
         // invalidations to every cache — no sharer list exists.
-        if proto.has_broadcast_classifier() && node == sys_home {
+        if proto.has_broadcast_classifier() && !degraded && node == sys_home {
             self.carve_store(t, node, block, req_gpm, msg.version);
         }
 
@@ -1681,10 +1842,14 @@ impl<'t> Sim<'t> {
         if !msg.gpu_ordered && node == gpu_order_point {
             msg.gpu_ordered = true;
             // Duplicates re-apply idempotent state only; the original
-            // delivery owns every counter decrement.
+            // delivery owns every counter decrement. A dead origin's
+            // counters were voided at reconfiguration — never touched
+            // again.
             if !msg.duplicate {
-                let g = &mut self.gpms[msg.origin.index()];
-                g.st_pending_gpu -= 1;
+                if !self.gpm_is_dead(msg.origin) {
+                    let g = &mut self.gpms[msg.origin.index()];
+                    g.st_pending_gpu -= 1;
+                }
                 self.check_fences(t);
             }
         }
@@ -1698,11 +1863,13 @@ impl<'t> Sim<'t> {
             let bytes = self.cfg.geometry.line_bytes();
             self.gpms[node.index()].dram.write(t, bytes);
             if !msg.duplicate {
-                if !msg.gpu_ordered {
-                    msg.gpu_ordered = true;
-                    self.gpms[msg.origin.index()].st_pending_gpu -= 1;
+                if !self.gpm_is_dead(msg.origin) {
+                    if !msg.gpu_ordered {
+                        msg.gpu_ordered = true;
+                        self.gpms[msg.origin.index()].st_pending_gpu -= 1;
+                    }
+                    self.gpms[msg.origin.index()].st_pending_sys -= 1;
                 }
-                self.gpms[msg.origin.index()].st_pending_sys -= 1;
                 self.check_fences(t);
                 self.watchdog.note_progress(t.0);
             }
@@ -1961,10 +2128,12 @@ impl<'t> Sim<'t> {
                     (gh, true)
                 }
             };
-            if target == node {
+            if target == node || self.gpm_is_dead(target) {
                 continue;
             }
-            let mut counted = cause == InvCause::Store;
+            // A dead causer's pending counters were voided; its
+            // still-in-flight stores send uncounted invalidations.
+            let mut counted = cause == InvCause::Store && !self.gpm_is_dead(causer);
             let mut reorder_extra = Cycle::ZERO;
             if counted {
                 self.inv_seq += 1;
@@ -2033,6 +2202,22 @@ impl<'t> Sim<'t> {
 
     fn handle_inv(&mut self, now: Cycle, inv: InvMsg) {
         let topo = self.cfg.topo;
+        if self.gpm_is_dead(inv.target) {
+            // The target died with the invalidation in flight: nothing
+            // to invalidate, but a counted message must still release
+            // its (surviving) causer's pending counters or the
+            // causer's release fence wedges.
+            if inv.counted && !self.gpm_is_dead(inv.causer) {
+                let same_gpu = topo.gpu_of(inv.target) == topo.gpu_of(inv.causer);
+                let gc = &mut self.gpms[inv.causer.index()];
+                gc.inv_pending_sys -= 1;
+                if same_gpu {
+                    gc.inv_pending_gpu -= 1;
+                }
+                self.check_fences(now);
+            }
+            return;
+        }
         // Raise the fill floor first: any fill still in flight that was
         // served before the store this invalidation announces must not
         // land after it (see `fill_l2`).
@@ -2081,7 +2266,7 @@ impl<'t> Sim<'t> {
                 }
             }
         }
-        if inv.counted {
+        if inv.counted && !self.gpm_is_dead(inv.causer) {
             let same_gpu = topo.gpu_of(inv.target) == topo.gpu_of(inv.causer);
             let gc = &mut self.gpms[inv.causer.index()];
             gc.inv_pending_sys -= 1;
@@ -2115,15 +2300,18 @@ impl<'t> Sim<'t> {
             return;
         }
         let domain = self.cfg.protocol.release_domain(scope);
+        // Dead modules neither hold copies nor ack: fence around them.
+        let dead = self.dead_gpms;
+        let alive_peer = |g: &GpmId| *g != gpm && dead & (1u64 << g.index()) == 0;
         let targets: Vec<GpmId> = match domain {
             FenceDomain::None => Vec::new(),
             FenceDomain::LocalGpu => self
                 .cfg
                 .topo
                 .gpms_of(self.cfg.topo.gpu_of(gpm))
-                .filter(|g| *g != gpm)
+                .filter(alive_peer)
                 .collect(),
-            FenceDomain::AllGpms => self.cfg.topo.all_gpms().filter(|g| *g != gpm).collect(),
+            FenceDomain::AllGpms => self.cfg.topo.all_gpms().filter(alive_peer).collect(),
         };
         let id = self.fences.len();
         self.fences.push(Fence {
@@ -2209,6 +2397,277 @@ impl<'t> Sim<'t> {
                 }
             }
         }
+    }
+
+    // ---------- fail-in-place reconfiguration ----------
+
+    /// Enters a reconfiguration epoch for one permanent fault. Failure
+    /// detection is modeled as the reliable transport's full escalated
+    /// retry window ([`hmg_interconnect::TransportConfig::escalation_cycles`]):
+    /// the epoch charges it as downtime and grants the livelock
+    /// watchdog the same grace so the detection window is never
+    /// misread as a stall.
+    fn reconfigure(&mut self, now: Cycle, fault: PermFault) {
+        self.m.reconfig.epochs += 1;
+        let detect = self.fabric.transport_config().escalation_cycles();
+        self.m.reconfig.downtime_cycles += detect;
+        self.watchdog.suspend(now.0, detect);
+        match fault {
+            // The fabric reroutes around the dead link at send time
+            // (second-tier path); nothing to drain engine-side.
+            PermFault::LinkDown => {}
+            PermFault::Offline(dead) => self.take_offline(now, &dead),
+        }
+    }
+
+    /// Takes a set of GPMs permanently offline: aborts their CTAs
+    /// (salvaging flag publications so surviving waiters don't wedge),
+    /// drains transactions parked at the dead nodes, re-homes pages
+    /// whose DRAM partition died, and conservatively rebuilds the
+    /// directory state the dead modules were tracking.
+    fn take_offline(&mut self, now: Cycle, dead: &[GpmId]) {
+        let topo = self.cfg.topo;
+        for &d in dead {
+            self.dead_gpms |= 1u64 << d.index();
+            self.fabric.mark_gpm_down(d);
+        }
+        self.reconfigured = true;
+        if (0..topo.num_gpms()).all(|i| self.dead_gpms & (1u64 << i) != 0) {
+            self.fatal = Some(
+                SimError::config("every GPM is offline; no survivors to reconfigure onto")
+                    .at_cycle(now.0),
+            );
+            return;
+        }
+
+        // Quiesce: abort the dead modules' CTAs. Queued CTAs never
+        // started (salvage from op 0); running CTAs salvage from their
+        // current pc.
+        let in_kernel = !self.finished && !self.trace.kernels.is_empty();
+        for &d in dead {
+            let queued: Vec<usize> = self.gpms[d.index()].cta_queue.drain(..).collect();
+            for cta in queued {
+                if in_kernel {
+                    self.abort_cta(now, cta, 0);
+                }
+            }
+            for sm in 0..self.cfg.sms_per_gpm {
+                let idx = self.sm_index(SmRef { gpm: d, sm });
+                let s = &mut self.sms[idx];
+                let cta = s.cta.take();
+                let pc = s.pc;
+                s.pc = 0;
+                s.outstanding = 0;
+                s.state = SmState::Idle;
+                s.l1.invalidate_all();
+                if let Some(c) = cta {
+                    if in_kernel {
+                        self.abort_cta(now, c, pc);
+                    }
+                }
+            }
+            let g = &mut self.gpms[d.index()];
+            // No survivor fences on the dead module's stores: its
+            // pending counters are voided, and in-flight deliveries
+            // that would decrement them are skipped (see the
+            // `gpm_is_dead(origin)` guards in the store/inv paths).
+            g.st_pending_gpu = 0;
+            g.st_pending_sys = 0;
+            g.inv_pending_gpu = 0;
+            g.inv_pending_sys = 0;
+            g.carve.clear();
+            g.inv_floor.clear();
+            // Dirty lines on a dead module are lost, not flushed.
+            g.l2.invalidate_all();
+        }
+
+        // Drain transactions merged behind fills at the dead nodes:
+        // dead requesters abort, surviving requesters re-issue against
+        // the reconfigured homes. The attempt bump keeps the re-issue
+        // out of MSHR merges (the entry it would ride is gone).
+        let mut keys: Vec<(u16, LineAddr)> = self
+            .mshr
+            .keys()
+            .filter(|&&(n, _)| self.dead_gpms & (1u64 << n) != 0)
+            .copied()
+            .collect();
+        keys.sort_unstable_by_key(|&(n, l)| (n, l.0));
+        for key in keys {
+            for w in self.mshr.remove(&key).into_iter().flatten() {
+                if self.gpm_is_dead(w.sm.gpm) {
+                    self.loads_inflight -= 1;
+                } else {
+                    self.m.reconfig.drained_txns += 1;
+                    let retry = MemMsg {
+                        attempts: w.attempts.saturating_add(1),
+                        ..w
+                    };
+                    self.q.push(
+                        now + Cycle(1),
+                        Ev::Req {
+                            msg: retry,
+                            node: retry.sm.gpm,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Re-home pages whose DRAM partition died; they drop into the
+        // degraded no-peer-caching mode from here on. (Interleaved
+        // placement re-homes lazily inside the page map, so the counts
+        // stay zero there while `is_rehomed` still answers correctly.)
+        let rehomed = self.pages.take_offline(dead);
+        self.m.reconfig.rehomed_pages += rehomed.len() as u64;
+        self.m.reconfig.degraded_pages += rehomed.len() as u64;
+
+        // Rebuild directory state. The dead directories' sharer lists
+        // are unrecoverable, so every block they tracked is
+        // conservatively scrubbed from all surviving caches; blocks
+        // that stay directory-tracked are re-created at their surviving
+        // tracker as sticky-broadcast entries (the conservative mode
+        // the sharer-cap overflow path already exercises).
+        for &d in dead {
+            let resident = self.gpms[d.index()].dir.resident_blocks();
+            for (block, _sharers) in resident {
+                self.m.reconfig.rehomed_blocks += 1;
+                self.gpms[d.index()].dir.remove(block);
+                for g in topo.all_gpms() {
+                    if self.gpm_is_dead(g) {
+                        continue;
+                    }
+                    let mut removed = 0u64;
+                    let mut dirty: Vec<(LineAddr, L2Line)> = Vec::new();
+                    for line in self.cfg.geometry.lines_of_block(block) {
+                        if let Some(meta) = self.gpms[g.index()].l2.invalidate(line) {
+                            removed += 1;
+                            if meta.dirty {
+                                dirty.push((line, meta));
+                            }
+                        }
+                    }
+                    self.m.reconfig.scrubbed_lines += removed;
+                    for (line, meta) in dirty {
+                        self.evicted_l2_line(now, g, line, meta);
+                    }
+                }
+                let line = self
+                    .cfg
+                    .geometry
+                    .lines_of_block(block)
+                    .next()
+                    .expect("blocks contain at least one line");
+                let page = self.cfg.geometry.page_of_line(line);
+                if self.line_degraded(line) {
+                    // Degraded lines leave directory coherence entirely.
+                    continue;
+                }
+                let Some(sys) = self.pages.peek_home(page) else {
+                    continue;
+                };
+                let tracker = if topo.gpu_of(d) == topo.gpu_of(sys) {
+                    sys
+                } else {
+                    self.pages.gpu_home(topo.gpu_of(d), block, sys)
+                };
+                if self.gpm_is_dead(tracker) {
+                    continue;
+                }
+                let (newly, evicted) = {
+                    let (set, evicted) = self.gpms[tracker.index()].dir.allocate(block);
+                    let newly = !set.is_broadcast();
+                    set.force_broadcast();
+                    (newly, evicted)
+                };
+                if newly {
+                    self.note_broadcast_fallback(tracker);
+                }
+                if let Some((vb, vs)) = evicted {
+                    self.send_evict_invs(now, tracker, vb, vs);
+                }
+            }
+        }
+
+        // Purge dead sharers from every surviving directory.
+        let dead_gpus: Vec<GpuId> = topo
+            .all_gpus()
+            .filter(|&gpu| topo.gpms_of(gpu).all(|g| self.gpm_is_dead(g)))
+            .collect();
+        for g in topo.all_gpms() {
+            if self.gpm_is_dead(g) {
+                continue;
+            }
+            for &d in dead {
+                self.gpms[g.index()].dir.purge_sharer(Sharer::Gpm(d));
+            }
+            for &gpu in &dead_gpus {
+                self.gpms[g.index()].dir.purge_sharer(Sharer::Gpu(gpu));
+            }
+        }
+
+        // Fences ordered against the dead modules can complete now, and
+        // the kernel may have lost its last unfinished CTA.
+        self.check_fences(now);
+        self.maybe_kernel_end(now);
+    }
+
+    /// Aborts one CTA of a dead GPM. Its remaining `SetFlag` ops are
+    /// salvaged — published immediately — so surviving `WaitFlag`
+    /// consumers do not deadlock on a producer that no longer exists.
+    fn abort_cta(&mut self, now: Cycle, cta: usize, pc: usize) {
+        self.m.reconfig.aborted_ctas += 1;
+        self.ctas_unfinished -= 1;
+        let ops = &self.trace.kernels[self.kernel].ctas[cta].ops;
+        let flags: Vec<u32> = ops[pc.min(ops.len())..]
+            .iter()
+            .filter_map(|op| match op {
+                TraceOp::SetFlag(f) => Some(*f),
+                _ => None,
+            })
+            .collect();
+        for f in flags {
+            self.salvage_set_flag(now, f);
+        }
+    }
+
+    /// Publishes a salvaged flag increment, waking waiters exactly like
+    /// the normal `SetFlag` path.
+    fn salvage_set_flag(&mut self, now: Cycle, f: u32) {
+        *self.flags.entry(f).or_insert(0) += 1;
+        if let Some(waiters) = self.flag_waiters.remove(&f) {
+            let wake = now + self.cfg.flag_latency;
+            for w in waiters {
+                let wi = self.sm_index(w);
+                if self.sms[wi].state == SmState::FlagWait(f) {
+                    self.sms[wi].state = SmState::Runnable;
+                    self.q.push(wake, Ev::SmResume(w));
+                }
+            }
+        }
+    }
+
+    /// Re-issues (or aborts) a request that was delivered to a dead
+    /// node. Surviving requesters retry from their own GPM, where the
+    /// home lookups recompute against the reconfigured page map.
+    fn reroute_req(&mut self, now: Cycle, msg: MemMsg) {
+        self.m.reconfig.drained_txns += 1;
+        if self.gpm_is_dead(msg.sm.gpm) {
+            // Requester and server both died: the transaction aborts.
+            self.loads_inflight -= 1;
+            self.maybe_kernel_end(now);
+            return;
+        }
+        let retry = MemMsg {
+            attempts: msg.attempts.saturating_add(1),
+            ..msg
+        };
+        self.q.push(
+            now + Cycle(1),
+            Ev::Req {
+                msg: retry,
+                node: retry.sm.gpm,
+            },
+        );
     }
 }
 
@@ -3019,5 +3478,127 @@ mod tests {
             vec![2, 2, 2],
             "sticky broadcast must keep every reader coherent"
         );
+    }
+
+    #[test]
+    fn gpm_offline_mid_kernel_aborts_ctas_and_completes() {
+        // GPM3 (GPU1.GPM1) dies mid-kernel with the livelock watchdog
+        // armed: its CTA is aborted, the epoch grace keeps the watchdog
+        // quiet through the detection window, and the run completes.
+        let far = 6u64 << 20; // fresh 2 MB page, first-touched by GPM3
+        let trace = WorkloadTrace::new(
+            "gpm-off",
+            vec![
+                // Kernel 0 homes `far` at GPM3 (sole first toucher);
+                // kernel 1 has GPM2 cache a copy, so the dead module's
+                // directory has something to rebuild.
+                kernel_per_gpm(vec![vec![st(0)], vec![], vec![], vec![ld(far)]]),
+                kernel_per_gpm(vec![
+                    vec![TraceOp::Delay(40_000), st(0)],
+                    vec![ld(0)],
+                    vec![ld(far)],
+                    vec![ld(far), TraceOp::Delay(40_000), ld(far)],
+                ]),
+            ],
+        );
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.livelock_budget = Some(50_000);
+        cfg.faults.gpm_offline = Some(hmg_sim::GpmOffline {
+            gpu: 1,
+            gpm: 1,
+            at_cycle: 20_000,
+        });
+        let m = Engine::try_new(cfg)
+            .unwrap()
+            .try_run(&trace)
+            .expect("the survivors must finish without tripping the watchdog");
+        assert_eq!(m.reconfig.epochs, 1);
+        assert!(m.reconfig.aborted_ctas >= 1, "GPM3's CTA dies mid-delay");
+        assert!(m.reconfig.downtime_cycles > 0, "detection window charged");
+        assert!(
+            m.reconfig.rehomed_pages >= 1,
+            "the page first-touched by GPM3 must re-home"
+        );
+        assert!(m.total_cycles.0 > 20_000, "the run outlives the fault");
+    }
+
+    #[test]
+    fn gpu_offline_preserves_memory_homed_on_survivors() {
+        // GPU1 dies mid-run. Everything it homed re-homes onto GPU0 in
+        // degraded mode; because the dead GPU only ever *loaded*, the
+        // final committed memory state must be byte-identical to the
+        // fault-free run of the same trace.
+        let far = 4u64 << 20; // page first-touched (homed) by GPM2 / GPU1
+        let trace = WorkloadTrace::new(
+            "gpu-off",
+            vec![
+                kernel_per_gpm(vec![
+                    vec![st(0), st(128)],
+                    vec![],
+                    vec![ld(far), ld(far + 128)],
+                    vec![ld(0)],
+                ]),
+                kernel_per_gpm(vec![
+                    vec![TraceOp::Delay(60_000), st(0), st(far)],
+                    vec![ld(0)],
+                    vec![ld(far), TraceOp::Delay(60_000), ld(far)],
+                    vec![ld(0), TraceOp::Delay(60_000), ld(0)],
+                ]),
+                // Started after the fault: CTAs redistribute over GPU0,
+                // and the degraded page is still readable and writable.
+                kernel_per_gpm(vec![
+                    vec![st(far)],
+                    vec![ld(far)],
+                    vec![ld(0)],
+                    vec![ld(far)],
+                ]),
+            ],
+        );
+        let fault_free = run(ProtocolKind::Hmg, &trace);
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.faults.gpu_offline = Some(hmg_sim::GpuOffline {
+            gpu: 1,
+            at_cycle: 30_000,
+        });
+        let m = Engine::new(cfg).run(&trace);
+        assert_eq!(m.reconfig.epochs, 1);
+        assert!(m.reconfig.rehomed_pages >= 1);
+        assert!(m.reconfig.degraded_pages >= 1, "re-homed pages degrade");
+        assert!(m.reconfig.rehomed_blocks >= 1, "GPM2 tracked `far` blocks");
+        assert_eq!(
+            m.state_digest, fault_free.state_digest,
+            "a dead GPU that only loaded must not change committed memory"
+        );
+    }
+
+    #[test]
+    fn link_down_reroutes_over_second_tier_with_identical_memory_state() {
+        // The GPM0<->GPM1 first-tier link dies before any traffic flows:
+        // every request between them detours over the second-tier switch
+        // path. Slower, but the memory state is exactly the fault-free
+        // one.
+        let trace = WorkloadTrace::new(
+            "link-down",
+            vec![
+                kernel_per_gpm(vec![vec![st(0)]]), // homes line 0 at GPM0
+                kernel_per_gpm(vec![vec![], vec![ld(0), ld(0)], vec![], vec![st(0)]]),
+            ],
+        );
+        let fault_free = run(ProtocolKind::Hmg, &trace);
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.faults.link_down = Some(hmg_sim::LinkDown {
+            a: 0,
+            b: 1,
+            at_cycle: 0,
+        });
+        let m = Engine::new(cfg).run(&trace);
+        assert_eq!(m.reconfig.epochs, 1, "the link loss opens one epoch");
+        assert!(
+            m.fabric.transport().reroutes > 0,
+            "GPM1<->GPM0 traffic must detour over the second tier"
+        );
+        assert_eq!(m.state_digest, fault_free.state_digest);
+        assert_eq!(m.loads, fault_free.loads);
+        assert_eq!(m.stores, fault_free.stores);
     }
 }

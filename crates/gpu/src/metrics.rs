@@ -2,7 +2,7 @@
 //! figure in the evaluation.
 
 use hmg_interconnect::FabricStats;
-use hmg_sim::Cycle;
+use hmg_sim::{Cycle, ReconfigStats};
 
 /// Everything one run reports.
 #[derive(Debug, Clone, Default)]
@@ -69,6 +69,10 @@ pub struct RunMetrics {
     /// Invalidation rounds that used the conservative broadcast target
     /// list because the directory entry had degraded.
     pub broadcast_invs: u64,
+    /// Fail-in-place reconfiguration accounting (permanent faults:
+    /// link-down, gpm-offline, gpu-offline). All-zero on fault-free
+    /// runs.
+    pub reconfig: ReconfigStats,
     /// FNV-1a digest of the final committed memory state, over
     /// `(line, version)` pairs in ascending line order. Two runs that
     /// converge to the same per-line memory state report the same

@@ -7,6 +7,7 @@ use hmg_sim::{Cycle, FaultPlan, Rng};
 
 use crate::ids::{GpmId, Topology};
 use crate::link::Link;
+use crate::routing::{Liveness, RouteKind};
 
 /// Seed perturbation for the transport's drop stream, so it is
 /// decorrelated from the engine's fault stream while still being a pure
@@ -121,11 +122,26 @@ pub struct TransportConfig {
     pub timeout: Cycle,
     /// Maximum charged retransmissions per message.
     pub max_retries: u32,
+    /// Retransmissions exhausted before a delivery-timeout escalation
+    /// declares the destination *permanently* failed and hands the
+    /// problem to the engine's fail-in-place reconfiguration. The
+    /// charged detection downtime is the sum of the backed-off timeouts
+    /// ([`TransportConfig::escalation_cycles`]).
+    pub fail_escalation_attempts: u32,
 }
 
 impl TransportConfig {
     /// Largest exponent used by the exponential backoff (`timeout * 2^6`).
     pub const MAX_BACKOFF_SHIFT: u32 = 6;
+
+    /// Modeled cost of declaring a component dead: the delivery-timeout
+    /// escalation of `fail_escalation_attempts` unacknowledged
+    /// retransmissions, each backed off like a lost attempt.
+    pub fn escalation_cycles(&self) -> u64 {
+        (0..self.fail_escalation_attempts)
+            .map(|i| self.timeout.0 << i.min(Self::MAX_BACKOFF_SHIFT))
+            .sum()
+    }
 }
 
 impl Default for TransportConfig {
@@ -133,6 +149,7 @@ impl Default for TransportConfig {
         TransportConfig {
             timeout: Cycle(500),
             max_retries: 16,
+            fail_escalation_attempts: 4,
         }
     }
 }
@@ -148,6 +165,9 @@ pub struct TransportStats {
     pub recovered: u64,
     /// Total cycles of timeout backoff charged to replayed messages.
     pub retry_cycles: u64,
+    /// Messages routed around a permanently down direct link via the
+    /// second-tier switch path (fail-in-place reconfiguration).
+    pub reroutes: u64,
 }
 
 /// Byte totals observed by the fabric, split by tier and message class.
@@ -241,6 +261,10 @@ pub struct Fabric {
     /// `None` means no draws happen at all, so fault-free runs are
     /// bit-identical to a build without the transport layer.
     drop_rng: Option<Rng>,
+    /// Which components are alive and which direct link (if any) is
+    /// permanently down; consulted by `send` for alternate-path routing
+    /// and shared with the engine's reconfiguration logic.
+    liveness: Liveness,
 }
 
 impl Fabric {
@@ -282,6 +306,7 @@ impl Fabric {
             transport: TransportConfig::default(),
             seq: HashMap::new(),
             drop_rng: None,
+            liveness: Liveness::new(topo),
         }
     }
 
@@ -293,11 +318,34 @@ impl Fabric {
     pub fn apply_faults(&mut self, plan: &FaultPlan) {
         self.faults = plan.clone();
         self.drop_rng = plan.drop.map(|_| Rng::new(plan.seed ^ DROP_STREAM_SALT));
+        if let Some(l) = plan.link_down {
+            self.liveness
+                .mark_link_down(GpmId(l.a), GpmId(l.b), l.at_cycle);
+        }
     }
 
     /// Overrides the reliable-delivery parameters.
     pub fn set_transport(&mut self, transport: TransportConfig) {
         self.transport = transport;
+    }
+
+    /// The reliable-delivery parameters in effect.
+    pub fn transport_config(&self) -> TransportConfig {
+        self.transport
+    }
+
+    /// The liveness/routing map (read-only; mutate through
+    /// [`Fabric::mark_gpm_down`] and [`Fabric::apply_faults`]).
+    pub fn liveness(&self) -> &Liveness {
+        &self.liveness
+    }
+
+    /// Marks one GPM permanently offline. Called by the engine when a
+    /// reconfiguration epoch activates a `gpm-offline`/`gpu-offline`
+    /// fault; the engine stops routing to dead GPMs, so the fabric only
+    /// records the fact for liveness queries and diagnostics.
+    pub fn mark_gpm_down(&mut self, gpm: GpmId) {
+        self.liveness.mark_gpm_down(gpm);
     }
 
     /// Next sequence number the transport will assign on the `src → dst`
@@ -368,7 +416,26 @@ impl Fabric {
             self.stats.intra_msgs[class.idx()] += 1;
             let t1 = self.intra_egress[src.index()]
                 .send_retried(now, bytes, slow, extra, retries, backoff);
-            self.intra_ingress[dst.index()].send_degraded(t1, bytes, slow, extra)
+            match self.liveness.route(src, dst, now.0) {
+                RouteKind::Direct => {
+                    self.intra_ingress[dst.index()].send_degraded(t1, bytes, slow, extra)
+                }
+                RouteKind::SecondTier => {
+                    // Fail-in-place: the direct first-tier link is gone,
+                    // so hop up through the GPU's second-tier switch
+                    // port and back down. Strictly longer than the
+                    // direct path and serialized behind everything
+                    // already queued on the shared ports, so the
+                    // src → dst channel stays FIFO across the failure.
+                    self.stats.transport.reroutes += 1;
+                    self.stats.inter_bytes[class.idx()] += bytes as u64;
+                    self.stats.inter_msgs[class.idx()] += 1;
+                    let gpu = self.topo.gpu_of(src).0 as usize;
+                    let t2 = self.inter_egress[gpu].send_degraded(t1, bytes, slow, extra);
+                    let t3 = self.inter_ingress[gpu].send_degraded(t2, bytes, slow, extra);
+                    self.intra_ingress[dst.index()].send_degraded(t3, bytes, slow, extra)
+                }
+            }
         } else {
             self.stats.intra_bytes[class.idx()] += bytes as u64;
             self.stats.intra_msgs[class.idx()] += 1;
@@ -454,6 +521,62 @@ mod tests {
                 inter_latency: Cycle(50),
             },
         )
+    }
+
+    #[test]
+    fn escalation_cycles_sum_backed_off_timeouts() {
+        let t = TransportConfig::default();
+        // 4 attempts at 500 cycles: 500 + 1000 + 2000 + 4000.
+        assert_eq!(t.escalation_cycles(), 7500);
+        let none = TransportConfig {
+            fail_escalation_attempts: 0,
+            ..t
+        };
+        assert_eq!(none.escalation_cycles(), 0);
+    }
+
+    #[test]
+    fn link_down_reroutes_second_tier_from_its_cycle() {
+        let mut f = small_fabric();
+        let plan = FaultPlan::parse("link-down=0-1@1000").unwrap();
+        f.apply_faults(&plan);
+        // Before the failure the direct path is in use: latency is the
+        // intra hop plus serialization.
+        let direct = f.send(Cycle(0), GpmId(0), GpmId(1), 64, MsgClass::Data);
+        assert_eq!(f.stats().transport().reroutes, 0);
+        // After the failure the same send takes the second-tier path:
+        // strictly slower, counted, and charged on the inter ports.
+        let inter_before = f.stats().inter_bytes(MsgClass::Data);
+        let rerouted = f.send(Cycle(5000), GpmId(0), GpmId(1), 64, MsgClass::Data);
+        assert_eq!(f.stats().transport().reroutes, 1);
+        assert!(
+            rerouted.0 - 5000 > direct.0,
+            "alternate path must be slower: {rerouted:?} vs {direct:?}"
+        );
+        assert_eq!(f.stats().inter_bytes(MsgClass::Data), inter_before + 64);
+        // The unrelated same-GPU pair still routes directly.
+        f.send(Cycle(5000), GpmId(2), GpmId(3), 64, MsgClass::Data);
+        assert_eq!(f.stats().transport().reroutes, 1);
+    }
+
+    #[test]
+    fn rerouted_channel_stays_fifo_across_the_failure() {
+        let mut f = small_fabric();
+        f.apply_faults(&FaultPlan::parse("link-down=0-1@100").unwrap());
+        // A message offered just before the failure and one just after:
+        // the later (rerouted) one must still arrive later.
+        let before = f.send(Cycle(99), GpmId(0), GpmId(1), 64, MsgClass::Data);
+        let after = f.send(Cycle(100), GpmId(0), GpmId(1), 64, MsgClass::Data);
+        assert!(after > before, "{after:?} vs {before:?}");
+    }
+
+    #[test]
+    fn liveness_map_reflects_marked_deaths() {
+        let mut f = small_fabric();
+        assert!(f.liveness().gpm_alive(GpmId(1)));
+        f.mark_gpm_down(GpmId(1));
+        assert!(!f.liveness().gpm_alive(GpmId(1)));
+        assert!(f.liveness().gpu_alive(GpuId(0)), "GPM0 survives");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`link`] — a single bandwidth/latency-modeled port.
 //! * [`fabric`] — the assembled network: routing, per-tier and per-class
 //!   byte accounting (needed for the Fig. 11 invalidation-bandwidth data).
+//! * [`routing`] — liveness map and alternate-path selection for
+//!   fail-in-place reconfiguration around permanent failures.
 //!
 //! # Example
 //!
@@ -27,7 +29,9 @@
 pub mod fabric;
 pub mod ids;
 pub mod link;
+pub mod routing;
 
 pub use fabric::{Fabric, FabricConfig, FabricStats, MsgClass, TransportConfig, TransportStats};
 pub use ids::{GpmId, GpuId, Topology};
 pub use link::Link;
+pub use routing::{Liveness, RouteKind};

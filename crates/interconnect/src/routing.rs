@@ -1,0 +1,154 @@
+//! Liveness map and alternate-path selection for fail-in-place
+//! reconfiguration.
+//!
+//! The fabric of Section II is a two-tier switch network: every GPM has
+//! a port on its GPU's crossbar (first tier) and every GPU a port on
+//! the inter-GPU switch (second tier). When the *direct* first-tier
+//! path between two GPMs dies, an alternate path still exists — up
+//! through the GPU-level switch port and back down — strictly longer
+//! but FIFO-preserving. When a GPM (or a whole GPU) dies there is no
+//! alternate path to it; the engine must stop routing to it and re-home
+//! the state it owned. [`Liveness`] is the shared source of truth for
+//! both decisions.
+
+use crate::ids::{GpmId, GpuId, Topology};
+
+/// Which path a message takes between two GPMs of the same GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// The direct first-tier crossbar path.
+    Direct,
+    /// The fallback through the GPU's second-tier switch port (a down
+    /// direct link is being routed around).
+    SecondTier,
+}
+
+/// Tracks which components are alive, and from what cycle a direct
+/// link is down. All queries are pure; mutation happens only through
+/// the `mark_*` methods, so the map is deterministic given the fault
+/// plan.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    topo: Topology,
+    /// Bit *i* set = global GPM *i* is offline.
+    down_gpms: u64,
+    /// A permanently down direct intra-GPU link, with its death cycle.
+    down_link: Option<(GpmId, GpmId, u64)>,
+}
+
+impl Liveness {
+    /// Everything alive.
+    pub fn new(topo: Topology) -> Self {
+        Liveness {
+            topo,
+            down_gpms: 0,
+            down_link: None,
+        }
+    }
+
+    /// The topology this map covers.
+    pub fn topology(&self) -> Topology {
+        self.topo
+    }
+
+    /// Marks one GPM permanently offline.
+    pub fn mark_gpm_down(&mut self, gpm: GpmId) {
+        assert!(gpm.0 < self.topo.num_gpms(), "{gpm} out of range");
+        self.down_gpms |= 1u64 << gpm.index();
+    }
+
+    /// Marks the direct link between `a` and `b` (same GPU) permanently
+    /// down from `at_cycle` on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoints are equal or belong to different GPUs —
+    /// only first-tier links have a second-tier alternate path.
+    pub fn mark_link_down(&mut self, a: GpmId, b: GpmId, at_cycle: u64) {
+        assert_ne!(a, b, "link endpoints must differ");
+        assert!(
+            self.topo.same_gpu(a, b),
+            "link-down models a first-tier (intra-GPU) link: {a} and {b} are on different GPUs"
+        );
+        self.down_link = Some((a, b, at_cycle));
+    }
+
+    /// Whether `gpm` is alive.
+    pub fn gpm_alive(&self, gpm: GpmId) -> bool {
+        self.down_gpms & (1u64 << gpm.index()) == 0
+    }
+
+    /// Whether any GPM of `gpu` is alive.
+    pub fn gpu_alive(&self, gpu: GpuId) -> bool {
+        self.topo.gpms_of(gpu).any(|g| self.gpm_alive(g))
+    }
+
+    /// Whether any component is currently marked down.
+    pub fn any_down(&self) -> bool {
+        self.down_gpms != 0 || self.down_link.is_some()
+    }
+
+    /// The alive GPMs of the whole system, in index order.
+    pub fn alive_gpms(&self) -> Vec<GpmId> {
+        self.topo
+            .all_gpms()
+            .filter(|&g| self.gpm_alive(g))
+            .collect()
+    }
+
+    /// Route selection between two GPMs of the same GPU at `now`:
+    /// second tier exactly when the direct link between them is down.
+    pub fn route(&self, src: GpmId, dst: GpmId, now: u64) -> RouteKind {
+        match self.down_link {
+            Some((a, b, at)) if now >= at && ((src, dst) == (a, b) || (src, dst) == (b, a)) => {
+                RouteKind::SecondTier
+            }
+            _ => RouteKind::Direct,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_alive_by_default() {
+        let l = Liveness::new(Topology::new(2, 2));
+        assert!(!l.any_down());
+        assert!(l.gpm_alive(GpmId(3)));
+        assert!(l.gpu_alive(GpuId(1)));
+        assert_eq!(l.alive_gpms().len(), 4);
+        assert_eq!(l.route(GpmId(0), GpmId(1), 0), RouteKind::Direct);
+    }
+
+    #[test]
+    fn gpm_death_is_tracked_and_gpu_death_is_derived() {
+        let mut l = Liveness::new(Topology::new(2, 2));
+        l.mark_gpm_down(GpmId(2));
+        assert!(!l.gpm_alive(GpmId(2)));
+        assert!(l.gpu_alive(GpuId(1)), "GPM3 still alive");
+        l.mark_gpm_down(GpmId(3));
+        assert!(!l.gpu_alive(GpuId(1)));
+        assert_eq!(l.alive_gpms(), vec![GpmId(0), GpmId(1)]);
+        assert!(l.any_down());
+    }
+
+    #[test]
+    fn down_link_selects_second_tier_from_its_cycle_both_directions() {
+        let mut l = Liveness::new(Topology::new(2, 2));
+        l.mark_link_down(GpmId(0), GpmId(1), 100);
+        assert_eq!(l.route(GpmId(0), GpmId(1), 99), RouteKind::Direct);
+        assert_eq!(l.route(GpmId(0), GpmId(1), 100), RouteKind::SecondTier);
+        assert_eq!(l.route(GpmId(1), GpmId(0), 5000), RouteKind::SecondTier);
+        // Unrelated pairs keep the direct path.
+        assert_eq!(l.route(GpmId(2), GpmId(3), 5000), RouteKind::Direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "different GPUs")]
+    fn cross_gpu_link_down_rejected() {
+        let mut l = Liveness::new(Topology::new(2, 2));
+        l.mark_link_down(GpmId(0), GpmId(2), 0);
+    }
+}

@@ -141,6 +141,15 @@ impl SharerSet {
         self.broadcast = false;
     }
 
+    /// Forces the set into broadcast mode, discarding precise bits.
+    /// Used by fail-in-place re-homing: a re-homed entry's precise
+    /// sharer list died with its directory, so the rebuilt entry must
+    /// conservatively mean "anyone may be sharing".
+    pub fn force_broadcast(&mut self) {
+        self.bits = 0;
+        self.broadcast = true;
+    }
+
     /// Enumerates the precisely tracked sharers in the set. Broadcast
     /// sets enumerate nothing — check [`SharerSet::is_broadcast`] first
     /// and substitute the full target list.
@@ -413,6 +422,40 @@ impl Directory {
         self.stats
     }
 
+    /// Enumerates every resident entry as `(block, sharers)`, in
+    /// deterministic set/way order. Used by the fail-in-place
+    /// reconfiguration to walk a dead GPM's directory and re-home its
+    /// entries onto survivors.
+    pub fn resident_blocks(&self) -> Vec<(BlockAddr, SharerSet)> {
+        let sets_count = self.config.sets() as u64;
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, set)| {
+                set.iter()
+                    .map(move |w| (BlockAddr(w.tag * sets_count + idx as u64), w.sharers))
+            })
+            .collect()
+    }
+
+    /// Removes `sharer` from every resident entry (a dead component
+    /// must not be sent invalidations); returns how many entries
+    /// tracked it. Broadcast entries are untouched — they stay
+    /// conservative and the engine's target-list substitution skips
+    /// dead nodes.
+    pub fn purge_sharer(&mut self, sharer: Sharer) -> u64 {
+        let topo = self.topo;
+        let mut purged = 0;
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                if way.sharers.remove(&topo, sharer) {
+                    purged += 1;
+                }
+            }
+        }
+        purged
+    }
+
     /// Records one limited-pointer overflow: an entry of this directory
     /// degraded to broadcast tracking. Called by the engine when
     /// [`SharerSet::insert_capped`] reports a fresh degradation (the
@@ -628,6 +671,47 @@ mod tests {
         assert_eq!(sharers.len(), 2);
         assert!(d.lookup(BlockAddr(7)).is_none());
         assert!(d.remove(BlockAddr(7)).is_none());
+    }
+
+    #[test]
+    fn resident_blocks_roundtrip_and_purge() {
+        let t = topo();
+        let mut d = Directory::new(DirectoryConfig::new(64, 4), t);
+        {
+            let (set, _) = d.allocate(BlockAddr(3));
+            set.insert(&t, Sharer::Gpm(GpmId(5)));
+            set.insert(&t, Sharer::Gpu(GpuId(2)));
+        }
+        {
+            let (set, _) = d.allocate(BlockAddr(67)); // same set as 3
+            set.insert(&t, Sharer::Gpm(GpmId(5)));
+        }
+        let mut blocks: Vec<BlockAddr> = d.resident_blocks().into_iter().map(|(b, _)| b).collect();
+        blocks.sort();
+        assert_eq!(blocks, vec![BlockAddr(3), BlockAddr(67)]);
+        assert_eq!(d.purge_sharer(Sharer::Gpm(GpmId(5))), 2);
+        assert_eq!(d.purge_sharer(Sharer::Gpm(GpmId(5))), 0, "idempotent");
+        assert!(d
+            .lookup(BlockAddr(3))
+            .unwrap()
+            .contains(&t, Sharer::Gpu(GpuId(2))));
+        assert!(d.lookup(BlockAddr(67)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn force_broadcast_is_sticky_and_conservative() {
+        let t = topo();
+        let mut s = SharerSet::new();
+        s.insert(&t, Sharer::Gpm(GpmId(1)));
+        s.force_broadcast();
+        assert!(s.is_broadcast());
+        assert!(s.contains(&t, Sharer::Gpm(GpmId(9))));
+        assert!(s.iter(&t).is_empty(), "no precise members");
+        // Purging from a broadcast entry is a no-op (stays conservative).
+        let mut d = Directory::new(DirectoryConfig::new(4, 1), t);
+        d.allocate(BlockAddr(0)).0.force_broadcast();
+        assert_eq!(d.purge_sharer(Sharer::Gpm(GpmId(1))), 0);
+        assert!(d.lookup(BlockAddr(0)).unwrap().is_broadcast());
     }
 
     #[test]

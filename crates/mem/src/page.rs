@@ -7,12 +7,17 @@
 //! *GPU home* GPM per directory block via a hash (Section V-A); within
 //! the owning GPU the GPU home coincides with the system home (Fig. 6).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use hmg_interconnect::{GpmId, GpuId, Topology};
 use hmg_sim::rng::hash64;
 
 use crate::addr::{BlockAddr, PageId};
+
+/// Salt decorrelating the re-homing hash from the placement hash, so a
+/// page that interleaved placement sent to a now-dead GPM does not
+/// systematically land on the same survivor.
+const REHOME_SALT: u64 = 0xD1B5_4A32_D192_ED03;
 
 /// Placement policy for the system home of each page.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -46,6 +51,13 @@ pub struct PageMap {
     topo: Topology,
     placement: PagePlacement,
     homes: HashMap<PageId, GpmId>,
+    /// Bit *i* set = global GPM *i* is permanently offline: it can no
+    /// longer home pages, and pages it homed have been re-hashed onto
+    /// the survivors.
+    offline: u64,
+    /// Pages whose home died and were re-homed — these serve in
+    /// degraded no-peer-caching mode (their DRAM partition is gone).
+    rehomed: HashSet<PageId>,
 }
 
 impl PageMap {
@@ -55,6 +67,8 @@ impl PageMap {
             topo,
             placement,
             homes: HashMap::new(),
+            offline: 0,
+            rehomed: HashSet::new(),
         }
     }
 
@@ -63,16 +77,50 @@ impl PageMap {
         self.placement
     }
 
+    /// Whether `gpm` has been taken permanently offline.
+    pub fn is_offline(&self, gpm: GpmId) -> bool {
+        self.offline & (1u64 << gpm.index()) != 0
+    }
+
+    /// Deterministic re-home of `page` over the surviving GPMs: a
+    /// salted re-hash over the alive list in index order, so every node
+    /// computes the same answer with no coordination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every GPM is offline.
+    fn rehome_target(&self, page: PageId) -> GpmId {
+        let alive: Vec<GpmId> = self
+            .topo
+            .all_gpms()
+            .filter(|&g| !self.is_offline(g))
+            .collect();
+        assert!(!alive.is_empty(), "no surviving GPM to re-home onto");
+        alive[(hash64(page.0 ^ REHOME_SALT) % alive.len() as u64) as usize]
+    }
+
+    /// The interleaved home of `page`: the placement hash, re-hashed
+    /// over the survivors when it lands on a dead GPM.
+    fn interleaved_home(&self, page: PageId) -> GpmId {
+        let n = self.topo.num_gpms() as u64;
+        let base = GpmId((hash64(page.0) % n) as u16);
+        if self.is_offline(base) {
+            self.rehome_target(page)
+        } else {
+            base
+        }
+    }
+
     /// Returns the system home GPM of `page`, assigning it on first use
     /// according to the placement policy (`toucher` is the GPM issuing
-    /// the access).
+    /// the access). Never returns an offline GPM: first touches come
+    /// from live GPMs, assigned homes are re-hashed by
+    /// [`PageMap::take_offline`], and the interleaved hash skips the
+    /// dead.
     pub fn home_of(&mut self, page: PageId, toucher: GpmId) -> GpmId {
         match self.placement {
             PagePlacement::FirstTouch => *self.homes.entry(page).or_insert(toucher),
-            PagePlacement::Interleaved => {
-                let n = self.topo.num_gpms() as u64;
-                GpmId((hash64(page.0) % n) as u16)
-            }
+            PagePlacement::Interleaved => self.interleaved_home(page),
         }
     }
 
@@ -81,10 +129,7 @@ impl PageMap {
     pub fn peek_home(&self, page: PageId) -> Option<GpmId> {
         match self.placement {
             PagePlacement::FirstTouch => self.homes.get(&page).copied(),
-            PagePlacement::Interleaved => {
-                let n = self.topo.num_gpms() as u64;
-                Some(GpmId((hash64(page.0) % n) as u16))
-            }
+            PagePlacement::Interleaved => Some(self.interleaved_home(page)),
         }
     }
 
@@ -93,17 +138,75 @@ impl PageMap {
         self.homes.len()
     }
 
+    /// Takes GPMs permanently offline and re-homes every assigned page
+    /// they owned: a deterministic salted re-hash over the surviving
+    /// GPMs in index order. Returns the re-homed pages, sorted — these
+    /// are the pages whose DRAM partition died, and they serve in
+    /// degraded no-peer-caching mode from now on.
+    ///
+    /// Under interleaved placement assignment is implicit, so nothing
+    /// is eagerly moved (and the returned list is empty): the placement
+    /// hash itself skips dead GPMs, and [`PageMap::is_rehomed`] answers
+    /// per query.
+    pub fn take_offline(&mut self, dead: &[GpmId]) -> Vec<PageId> {
+        for &g in dead {
+            assert!(g.0 < self.topo.num_gpms(), "{g} out of range");
+            self.offline |= 1u64 << g.index();
+        }
+        let mut moved: Vec<PageId> = self
+            .homes
+            .iter()
+            .filter(|(_, &home)| self.is_offline(home))
+            .map(|(&page, _)| page)
+            .collect();
+        moved.sort_unstable();
+        for &page in &moved {
+            let target = self.rehome_target(page);
+            self.homes.insert(page, target);
+            self.rehomed.insert(page);
+        }
+        moved
+    }
+
+    /// Whether `page`'s original home died: its data now lives on a
+    /// survivor and is served in degraded no-peer-caching mode.
+    pub fn is_rehomed(&self, page: PageId) -> bool {
+        if self.offline == 0 {
+            return false;
+        }
+        match self.placement {
+            PagePlacement::FirstTouch => self.rehomed.contains(&page),
+            PagePlacement::Interleaved => {
+                let n = self.topo.num_gpms() as u64;
+                self.is_offline(GpmId((hash64(page.0) % n) as u16))
+            }
+        }
+    }
+
     /// HMG's *GPU home* for directory block `block` within `gpu`, given
     /// the block's system home `sys_home`. Within the owning GPU the GPU
     /// home is the system home itself; elsewhere it is a hash across the
-    /// GPU's modules.
+    /// GPU's modules — skipping dead modules by re-hashing over the
+    /// GPU's survivors (falling back to `sys_home` if the whole GPU is
+    /// dead, in which case nothing routes through it anyway).
     pub fn gpu_home(&self, gpu: GpuId, block: BlockAddr, sys_home: GpmId) -> GpmId {
         if self.topo.gpu_of(sys_home) == gpu {
-            sys_home
-        } else {
-            let local = (hash64(block.0) % self.topo.gpms_per_gpu() as u64) as u16;
-            self.topo.gpm(gpu, local)
+            return sys_home;
         }
+        let local = (hash64(block.0) % self.topo.gpms_per_gpu() as u64) as u16;
+        let base = self.topo.gpm(gpu, local);
+        if !self.is_offline(base) {
+            return base;
+        }
+        let alive: Vec<GpmId> = self
+            .topo
+            .gpms_of(gpu)
+            .filter(|&g| !self.is_offline(g))
+            .collect();
+        if alive.is_empty() {
+            return sys_home;
+        }
+        alive[(hash64(block.0 ^ REHOME_SALT) % alive.len() as u64) as usize]
     }
 }
 
@@ -154,6 +257,74 @@ mod tests {
             assert_eq!(topo.gpu_of(gh), GpuId(3));
             assert_eq!(pm.gpu_home(GpuId(3), BlockAddr(b), sys_home), gh);
         }
+    }
+
+    #[test]
+    fn take_offline_rehomes_deterministically_onto_survivors() {
+        let topo = Topology::new(2, 2);
+        let mut a = PageMap::new(topo, PagePlacement::FirstTouch);
+        let mut b = PageMap::new(topo, PagePlacement::FirstTouch);
+        for pm in [&mut a, &mut b] {
+            for p in 0..32u64 {
+                pm.home_of(PageId(p), GpmId((p % 4) as u16));
+            }
+        }
+        let moved_a = a.take_offline(&[GpmId(2), GpmId(3)]);
+        let moved_b = b.take_offline(&[GpmId(2), GpmId(3)]);
+        assert_eq!(moved_a, moved_b, "re-home set is deterministic");
+        assert_eq!(moved_a.len(), 16, "pages homed at GPM2/3");
+        for &p in &moved_a {
+            let home = a.peek_home(p).unwrap();
+            assert!(home == GpmId(0) || home == GpmId(1), "survivor only");
+            assert_eq!(b.peek_home(p), Some(home), "same target everywhere");
+            assert!(a.is_rehomed(p));
+        }
+        // Surviving pages keep their home and are not degraded.
+        for p in 0..32u64 {
+            if !moved_a.contains(&PageId(p)) {
+                assert!(!a.is_rehomed(PageId(p)));
+                assert_eq!(a.peek_home(PageId(p)), Some(GpmId((p % 4) as u16)));
+            }
+        }
+        assert!(a.is_offline(GpmId(2)) && !a.is_offline(GpmId(1)));
+    }
+
+    #[test]
+    fn interleaved_homes_skip_dead_gpms_lazily() {
+        let topo = Topology::new(2, 2);
+        let mut pm = PageMap::new(topo, PagePlacement::Interleaved);
+        let moved = pm.take_offline(&[GpmId(0)]);
+        assert!(moved.is_empty(), "interleaved re-homes lazily");
+        let mut rehomed = 0;
+        for p in 0..64u64 {
+            let h = pm.home_of(PageId(p), GpmId(1));
+            assert_ne!(h, GpmId(0), "dead GPM must not home pages");
+            assert_eq!(pm.peek_home(PageId(p)), Some(h));
+            if pm.is_rehomed(PageId(p)) {
+                rehomed += 1;
+            }
+        }
+        assert!(rehomed > 0, "some pages hashed to the dead GPM");
+    }
+
+    #[test]
+    fn gpu_home_avoids_dead_modules() {
+        let topo = Topology::new(2, 2);
+        let mut pm = PageMap::new(topo, PagePlacement::FirstTouch);
+        pm.take_offline(&[GpmId(2)]); // GPU1 loses its first module
+        let sys_home = GpmId(0); // GPU0
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..64u64 {
+            let gh = pm.gpu_home(GpuId(1), BlockAddr(b), sys_home);
+            assert_ne!(gh, GpmId(2), "dead module must not be a GPU home");
+            assert_eq!(topo.gpu_of(gh), GpuId(1));
+            seen.insert(gh);
+        }
+        assert_eq!(seen, std::collections::HashSet::from([GpmId(3)]));
+        // A fully dead GPU degenerates to the system home (nothing
+        // routes through it).
+        pm.take_offline(&[GpmId(3)]);
+        assert_eq!(pm.gpu_home(GpuId(1), BlockAddr(7), sys_home), sys_home);
     }
 
     #[test]

@@ -240,6 +240,28 @@ impl ProtocolKind {
             }
         }
     }
+
+    /// The per-address fallback configuration fail-in-place
+    /// reconfiguration drops an address into when its DRAM partition
+    /// dies: the paper's no-peer-caching baseline. No peer copy of a
+    /// degraded address is ever cached, so no coherence state needs to
+    /// be maintained for it — correct data, honestly worse bandwidth.
+    pub const DEGRADED: ProtocolKind = ProtocolKind::NoPeerCaching;
+
+    /// [`ProtocolKind::load_may_hit`] under degraded (fail-in-place)
+    /// mode, regardless of the protocol the rest of the run uses: only
+    /// the (re-homed) system home may serve the address, except for
+    /// CTA-scoped private reuse which was already coherence-free.
+    pub fn degraded_load_may_hit(level: CacheLevel, scope: Scope) -> bool {
+        Self::DEGRADED.load_may_hit(level, scope)
+    }
+
+    /// [`ProtocolKind::may_fill`] under degraded (fail-in-place) mode:
+    /// peer caches never fill a degraded address, so no stale copy can
+    /// form after the conservative broadcast scrub.
+    pub fn degraded_may_fill(level: CacheLevel, same_gpu_as_sys_home: bool) -> bool {
+        Self::DEGRADED.may_fill(level, same_gpu_as_sys_home)
+    }
 }
 
 impl fmt::Display for ProtocolKind {
@@ -251,6 +273,49 @@ impl fmt::Display for ProtocolKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn degraded_mode_is_the_no_peer_caching_baseline() {
+        // Degraded addresses follow the baseline's rules no matter what
+        // protocol the rest of the run uses.
+        for level in [
+            CacheLevel::L1,
+            CacheLevel::LocalL2NonHome,
+            CacheLevel::GpuHomeL2,
+            CacheLevel::SysHomeL2,
+        ] {
+            for scope in [Scope::Cta, Scope::Gpu, Scope::Sys] {
+                assert_eq!(
+                    ProtocolKind::degraded_load_may_hit(level, scope),
+                    ProtocolKind::NoPeerCaching.load_may_hit(level, scope)
+                );
+            }
+            for same in [false, true] {
+                assert_eq!(
+                    ProtocolKind::degraded_may_fill(level, same),
+                    ProtocolKind::NoPeerCaching.may_fill(level, same)
+                );
+            }
+        }
+        // The rules that matter: peers never fill, only the system home
+        // serves system-scoped loads.
+        assert!(!ProtocolKind::degraded_may_fill(
+            CacheLevel::LocalL2NonHome,
+            false
+        ));
+        assert!(ProtocolKind::degraded_may_fill(
+            CacheLevel::SysHomeL2,
+            false
+        ));
+        assert!(!ProtocolKind::degraded_load_may_hit(
+            CacheLevel::GpuHomeL2,
+            Scope::Sys
+        ));
+        assert!(ProtocolKind::degraded_load_may_hit(
+            CacheLevel::SysHomeL2,
+            Scope::Sys
+        ));
+    }
 
     #[test]
     fn routing_classification() {

@@ -18,8 +18,11 @@
 //! | `flag_delay`     | GPU engine   | tolerated — waiters wake later     |
 //! | `drop_store`     | GPU engine   | **detected** — deadlock watchdog   |
 //! | [`ReorderInv`]   | GPU engine   | **detected** — version oracle      |
+//! | [`LinkDown`]     | interconnect | **reconfigured** — alternate path  |
+//! | [`GpmOffline`]   | both         | **reconfigured** — fail-in-place   |
+//! | [`GpuOffline`]   | both         | **reconfigured** — fail-in-place   |
 //!
-//! Three outcome classes matter:
+//! Four outcome classes matter:
 //!
 //! * *tolerated* faults slow the run down without any protocol help;
 //! * *recovered* faults are masked by an explicit recovery mechanism —
@@ -33,7 +36,18 @@
 //!   silently survived or hung on: `drop_store` erases a committed
 //!   write above the transport (no retransmission can help) and is
 //!   caught by the deadlock watchdog; [`ReorderInv`] breaks FIFO
-//!   delivery and is caught by the version oracle.
+//!   delivery and is caught by the version oracle;
+//! * *reconfigured* faults are **permanent**: the component never comes
+//!   back, so no amount of retransmission can recover it. The engine
+//!   answers with an epoch-based fail-in-place reconfiguration — quiesce
+//!   and drain in-flight transactions against the failed component,
+//!   re-route fabric traffic around a down link via the second-tier
+//!   switch path, re-home directory state off dead GPMs (deterministic
+//!   re-hash over the survivors, sharer lists conservatively rebuilt by
+//!   broadcast invalidation), and drop addresses whose DRAM partition
+//!   died into a per-address degraded no-peer-caching mode. The run
+//!   completes with correct data and honestly worse bandwidth;
+//!   [`crate::stats::ReconfigStats`] reports the cost.
 
 use crate::error::SimError;
 
@@ -108,6 +122,48 @@ pub struct ReorderInv {
     pub extra: u64,
 }
 
+/// Permanent failure of the direct intra-GPU link between two GPMs of
+/// the same GPU. From `at_cycle` on, traffic between the pair is
+/// re-routed over the second-tier (inter-GPU switch) path: strictly
+/// longer, so per-channel FIFO delivery is preserved and the run
+/// converges to the fault-free final state — reconfigured, never lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkDown {
+    /// Global index of one endpoint GPM.
+    pub a: u16,
+    /// Global index of the other endpoint GPM (same GPU as `a`).
+    pub b: u16,
+    /// First cycle at which the link is gone (permanent).
+    pub at_cycle: u64,
+}
+
+/// Permanent failure of one GPU module: its SMs, L2 slice, directory
+/// slice and DRAM partition all go away at `at_cycle`. The engine runs
+/// an epoch-based reconfiguration: abort the module's CTAs, drain
+/// in-flight transactions against it, re-home pages and directory state
+/// onto the survivors, and serve the re-homed addresses in degraded
+/// no-peer-caching mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpmOffline {
+    /// GPU index.
+    pub gpu: u16,
+    /// Local GPM index within `gpu`.
+    pub gpm: u16,
+    /// First cycle at which the module is gone (permanent).
+    pub at_cycle: u64,
+}
+
+/// Permanent failure of a whole GPU (all of its GPMs at once); the
+/// reconfiguration is identical to [`GpmOffline`] applied to every
+/// module of the GPU in one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuOffline {
+    /// GPU index.
+    pub gpu: u16,
+    /// First cycle at which the GPU is gone (permanent).
+    pub at_cycle: u64,
+}
+
 /// A complete, deterministic fault-injection plan.
 ///
 /// `FaultPlan::default()` injects nothing. Plans are parsed from a
@@ -139,21 +195,63 @@ pub struct FaultPlan {
     /// transition). Detected class: a stale copy survives inside the
     /// remote GPU and the coherence checker must observe the stale read.
     pub skip_hier_inv_forward: bool,
+    /// Permanent intra-GPU link failure (re-routed second tier), if any.
+    pub link_down: Option<LinkDown>,
+    /// Permanent GPM failure (fail-in-place reconfiguration), if any.
+    pub gpm_offline: Option<GpmOffline>,
+    /// Permanent whole-GPU failure (fail-in-place reconfiguration), if any.
+    pub gpu_offline: Option<GpuOffline>,
 }
 
 impl FaultPlan {
     /// `true` if the plan injects nothing at all.
+    ///
+    /// The exhaustive destructuring is deliberate: adding a knob to
+    /// [`FaultPlan`] without deciding its emptiness contribution fails
+    /// to compile here, instead of the old struct-literal comparison
+    /// silently going stale.
     pub fn is_empty(&self) -> bool {
-        *self
-            == FaultPlan {
-                seed: self.seed,
-                ..FaultPlan::default()
-            }
+        let FaultPlan {
+            seed: _,
+            degrade,
+            stall,
+            drop,
+            delay,
+            duplicate,
+            flag_delay,
+            drop_store,
+            reorder_inv,
+            skip_hier_inv_forward,
+            link_down,
+            gpm_offline,
+            gpu_offline,
+        } = self;
+        degrade.is_none()
+            && stall.is_none()
+            && drop.is_none()
+            && delay.is_none()
+            && duplicate.is_none()
+            && flag_delay.is_none()
+            && drop_store.is_none()
+            && reorder_inv.is_none()
+            && !skip_hier_inv_forward
+            && link_down.is_none()
+            && gpm_offline.is_none()
+            && gpu_offline.is_none()
     }
 
-    /// `true` if any knob targets the interconnect links.
+    /// `true` if any knob targets the interconnect links (a permanent
+    /// link failure included: the fabric consumes it).
     pub fn has_link_faults(&self) -> bool {
-        self.degrade.is_some() || self.stall.is_some() || self.drop.is_some()
+        self.degrade.is_some()
+            || self.stall.is_some()
+            || self.drop.is_some()
+            || self.link_down.is_some()
+    }
+
+    /// `true` if the plan injects any *permanent* (fail-in-place) fault.
+    pub fn has_permanent_faults(&self) -> bool {
+        self.link_down.is_some() || self.gpm_offline.is_some() || self.gpu_offline.is_some()
     }
 
     /// Serialization-time multiplier for a link send starting at
@@ -232,6 +330,16 @@ impl FaultPlan {
                 ));
             }
         }
+        if let Some(l) = self.link_down {
+            // Same-GPU membership needs the topology, so the engine
+            // configuration checks it; the self-loop is rejected here.
+            if l.a == l.b {
+                return Err(SimError::config(format!(
+                    "link-down endpoints must differ (got {}-{})",
+                    l.a, l.b
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -239,7 +347,8 @@ impl FaultPlan {
     ///
     /// ```text
     /// degrade=1000..5000/4,stall=2000..2500/300,drop=0.01,delay=0.1/200,
-    /// dup=0.05,flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7
+    /// dup=0.05,flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7,
+    /// link-down=0-1@5000,gpm-offline=1.0@7500,gpu-offline=2@9000
     /// ```
     ///
     /// Each clause is `key=value`, except the valueless switch
@@ -311,12 +420,48 @@ impl FaultPlan {
                         extra: num(clause, extra)?,
                     });
                 }
+                "link-down" => {
+                    let (pair, at) = val
+                        .split_once('@')
+                        .ok_or_else(|| bad(clause, "expected A-B@CYCLE"))?;
+                    let (a, b) = pair
+                        .split_once('-')
+                        .ok_or_else(|| bad(clause, "endpoints must be A-B"))?;
+                    plan.link_down = Some(LinkDown {
+                        a: num(clause, a)? as u16,
+                        b: num(clause, b)? as u16,
+                        at_cycle: num(clause, at)?,
+                    });
+                }
+                "gpm-offline" => {
+                    let (loc, at) = val
+                        .split_once('@')
+                        .ok_or_else(|| bad(clause, "expected GPU.GPM@CYCLE"))?;
+                    let (gpu, gpm) = loc
+                        .split_once('.')
+                        .ok_or_else(|| bad(clause, "location must be GPU.GPM"))?;
+                    plan.gpm_offline = Some(GpmOffline {
+                        gpu: num(clause, gpu)? as u16,
+                        gpm: num(clause, gpm)? as u16,
+                        at_cycle: num(clause, at)?,
+                    });
+                }
+                "gpu-offline" => {
+                    let (gpu, at) = val
+                        .split_once('@')
+                        .ok_or_else(|| bad(clause, "expected GPU@CYCLE"))?;
+                    plan.gpu_offline = Some(GpuOffline {
+                        gpu: num(clause, gpu)? as u16,
+                        at_cycle: num(clause, at)?,
+                    });
+                }
                 other => {
                     return Err(bad(
                         clause,
                         &format!(
                             "unknown fault `{other}` (known: seed, degrade, stall, drop, delay, \
-                             dup, flag-delay, drop-store, reorder-inv, skip-hier-fwd)"
+                             dup, flag-delay, drop-store, reorder-inv, skip-hier-fwd, link-down, \
+                             gpm-offline, gpu-offline)"
                         ),
                     ));
                 }
@@ -431,6 +576,169 @@ mod tests {
         assert_eq!(p.link_stall_extra(160), 0);
     }
 
+    /// Satellite guard: every single knob must flip `is_empty()` on its
+    /// own, so a future field added to [`FaultPlan`] (which already
+    /// fails compilation in `is_empty`'s destructuring) also gets
+    /// exercised here.
+    #[test]
+    fn every_knob_alone_makes_the_plan_non_empty() {
+        let knobs: Vec<(&str, FaultPlan)> = vec![
+            (
+                "degrade",
+                FaultPlan {
+                    degrade: Some(LinkDegrade {
+                        from: 0,
+                        until: 1,
+                        factor: 2.0,
+                    }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "stall",
+                FaultPlan {
+                    stall: Some(LinkStall {
+                        from: 0,
+                        until: 1,
+                        extra: 5,
+                    }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "drop",
+                FaultPlan {
+                    drop: Some(MsgDrop { prob: 0.1 }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "delay",
+                FaultPlan {
+                    delay: Some(MsgDelay {
+                        prob: 0.1,
+                        extra: 10,
+                    }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "dup",
+                FaultPlan {
+                    duplicate: Some(MsgDuplicate { prob: 0.1 }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "flag-delay",
+                FaultPlan {
+                    flag_delay: Some(10),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "drop-store",
+                FaultPlan {
+                    drop_store: Some(1),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "reorder-inv",
+                FaultPlan {
+                    reorder_inv: Some(ReorderInv { nth: 1, extra: 10 }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "skip-hier-fwd",
+                FaultPlan {
+                    skip_hier_inv_forward: true,
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "link-down",
+                FaultPlan {
+                    link_down: Some(LinkDown {
+                        a: 0,
+                        b: 1,
+                        at_cycle: 0,
+                    }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "gpm-offline",
+                FaultPlan {
+                    gpm_offline: Some(GpmOffline {
+                        gpu: 0,
+                        gpm: 1,
+                        at_cycle: 0,
+                    }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "gpu-offline",
+                FaultPlan {
+                    gpu_offline: Some(GpuOffline {
+                        gpu: 1,
+                        at_cycle: 0,
+                    }),
+                    ..FaultPlan::default()
+                },
+            ),
+        ];
+        for (name, plan) in knobs {
+            assert!(
+                !plan.is_empty(),
+                "knob `{name}` must make the plan non-empty"
+            );
+            plan.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+        // A non-default seed alone still counts as empty: it only seeds
+        // streams nothing draws from.
+        assert!(FaultPlan {
+            seed: 9,
+            ..FaultPlan::default()
+        }
+        .is_empty());
+    }
+
+    #[test]
+    fn parse_permanent_faults() {
+        let p =
+            FaultPlan::parse("link-down=0-1@5000,gpm-offline=1.0@7500,gpu-offline=2@9000").unwrap();
+        assert_eq!(
+            p.link_down,
+            Some(LinkDown {
+                a: 0,
+                b: 1,
+                at_cycle: 5000
+            })
+        );
+        assert_eq!(
+            p.gpm_offline,
+            Some(GpmOffline {
+                gpu: 1,
+                gpm: 0,
+                at_cycle: 7500
+            })
+        );
+        assert_eq!(
+            p.gpu_offline,
+            Some(GpuOffline {
+                gpu: 2,
+                at_cycle: 9000
+            })
+        );
+        assert!(!p.is_empty());
+        assert!(p.has_permanent_faults());
+        assert!(p.has_link_faults(), "a down link is a link fault");
+        assert!(!FaultPlan::default().has_permanent_faults());
+    }
+
     #[test]
     fn parse_rejects_malformed_and_out_of_range() {
         for spec in [
@@ -447,6 +755,13 @@ mod tests {
             "reorder-inv=0/10",
             "delay=abc/10",
             "degrade=1..2",
+            "link-down=0-0@100",
+            "link-down=0-1",
+            "link-down=3@100",
+            "gpm-offline=1@100",
+            "gpm-offline=1.0",
+            "gpu-offline=abc@5",
+            "gpu-offline=1",
         ] {
             let e = FaultPlan::parse(spec).unwrap_err();
             assert_eq!(e.kind, crate::error::SimErrorKind::Config, "{spec}: {e}");

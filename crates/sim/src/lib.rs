@@ -43,7 +43,8 @@ pub mod watchdog;
 
 pub use error::{SimError, SimErrorKind};
 pub use event::EventQueue;
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, GpmOffline, GpuOffline, LinkDown};
 pub use rng::Rng;
+pub use stats::ReconfigStats;
 pub use time::Cycle;
 pub use watchdog::ProgressWatchdog;

@@ -165,6 +165,65 @@ pub fn mean_abs_rel_err(measured: &[f64], reference: &[f64]) -> f64 {
     total / measured.len() as f64
 }
 
+/// Cost accounting for fail-in-place reconfiguration epochs (permanent
+/// faults: [`crate::fault::LinkDown`], [`crate::fault::GpmOffline`],
+/// [`crate::fault::GpuOffline`]).
+///
+/// Every field is a pure function of (plan, trace, seed): the
+/// reconfiguration protocol is deterministic, so two runs of the same
+/// plan must report bit-identical stats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReconfigStats {
+    /// Reconfiguration epochs entered (one per activated permanent fault).
+    pub epochs: u64,
+    /// In-flight transactions against a failed component that were
+    /// drained at delivery: dropped (dead endpoint) or re-issued toward
+    /// the re-homed destination.
+    pub drained_txns: u64,
+    /// Directory entries that lived on a failed GPM and were re-homed
+    /// onto survivors with conservatively rebuilt (broadcast) sharers.
+    pub rehomed_blocks: u64,
+    /// Pages whose system home was re-hashed onto a surviving GPM.
+    pub rehomed_pages: u64,
+    /// Pages serving in degraded no-peer-caching mode (their DRAM
+    /// partition failed).
+    pub degraded_pages: u64,
+    /// Modeled failure-detection downtime: the delivery-timeout
+    /// escalation the reliable transport charges before declaring a
+    /// component dead (`fail_escalation_attempts` backed-off timeouts).
+    pub downtime_cycles: u64,
+    /// CTAs aborted because their GPM went offline.
+    pub aborted_ctas: u64,
+    /// Stale peer copies scrubbed by the conservative broadcast
+    /// invalidation rebuild.
+    pub scrubbed_lines: u64,
+}
+
+impl ReconfigStats {
+    /// `true` if no reconfiguration happened.
+    pub fn is_zero(&self) -> bool {
+        *self == ReconfigStats::default()
+    }
+}
+
+impl fmt::Display for ReconfigStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reconfig_epochs={} drained_txns={} rehomed_blocks={} rehomed_pages={} \
+             degraded_pages={} downtime_cycles={} aborted_ctas={} scrubbed_lines={}",
+            self.epochs,
+            self.drained_txns,
+            self.rehomed_blocks,
+            self.rehomed_pages,
+            self.degraded_pages,
+            self.downtime_cycles,
+            self.aborted_ctas,
+            self.scrubbed_lines
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

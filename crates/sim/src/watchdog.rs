@@ -17,6 +17,9 @@
 pub struct ProgressWatchdog {
     budget: Option<u64>,
     last_progress: u64,
+    /// End of the current grace window (quiesce epoch): progress gaps
+    /// are measured from here while it is in the future.
+    grace_until: u64,
 }
 
 impl ProgressWatchdog {
@@ -25,6 +28,7 @@ impl ProgressWatchdog {
         ProgressWatchdog {
             budget,
             last_progress: 0,
+            grace_until: 0,
         }
     }
 
@@ -38,11 +42,25 @@ impl ProgressWatchdog {
         self.last_progress
     }
 
+    /// Open a grace window: treat the watchdog as satisfied until
+    /// `now + cycles`, without claiming real progress happened. Used by
+    /// the engine's quiesce epochs — a fail-in-place reconfiguration
+    /// legitimately retires nothing while drained transactions are
+    /// re-issued and must not read as a livelock. Windows never shrink:
+    /// a second `suspend` ending earlier is a no-op. Disarmed watchdogs
+    /// (`budget = None`, the `--livelock-budget 0` CLI semantics) stay
+    /// disarmed; the grace window is simply irrelevant to them.
+    pub fn suspend(&mut self, now: u64, cycles: u64) {
+        self.grace_until = self.grace_until.max(now.saturating_add(cycles));
+    }
+
     /// If armed and `now` is more than the budget past the last
-    /// progress, returns the size of the stalled gap.
+    /// progress (or past the current grace window, whichever ends
+    /// later), returns the size of the stalled gap.
     pub fn stalled(&self, now: u64) -> Option<u64> {
         let budget = self.budget?;
-        let gap = now.saturating_sub(self.last_progress);
+        let base = self.last_progress.max(self.grace_until);
+        let gap = now.saturating_sub(base);
         (gap > budget).then_some(gap)
     }
 }
@@ -65,6 +83,31 @@ mod tests {
         w.note_progress(50);
         assert_eq!(w.stalled(150), None);
         assert_eq!(w.stalled(151), Some(101));
+    }
+
+    #[test]
+    fn suspend_opens_a_grace_window() {
+        let mut w = ProgressWatchdog::new(Some(100));
+        w.note_progress(50);
+        // A quiesce epoch at cycle 60 suspends for 500 cycles: the
+        // watchdog must hold its fire until 560 + budget.
+        w.suspend(60, 500);
+        assert_eq!(w.stalled(660), None);
+        assert_eq!(w.stalled(661), Some(101));
+        // Real progress after the window resumes normal accounting.
+        w.note_progress(700);
+        assert_eq!(w.stalled(800), None);
+        assert_eq!(w.stalled(801), Some(101));
+        // Windows never shrink.
+        w.suspend(0, 1);
+        assert_eq!(w.stalled(801), Some(101));
+    }
+
+    #[test]
+    fn suspended_disarmed_watchdog_stays_disarmed() {
+        let mut w = ProgressWatchdog::new(None);
+        w.suspend(10, 10);
+        assert_eq!(w.stalled(u64::MAX), None);
     }
 
     #[test]

@@ -135,3 +135,56 @@ fn experiment_drivers_are_deterministic() {
     assert_eq!(a.rows, b.rows);
     assert_eq!(a.geomeans, b.geomeans);
 }
+
+#[test]
+fn gpm_offline_reconfiguration_is_deterministic() {
+    // A permanent mid-run GPM loss triggers the full reconfiguration
+    // path — CTA aborts, page re-homing, directory rebuild, conservative
+    // scrub. All of it must be a pure function of (trace, plan): two
+    // runs agree on the final memory digest and on every ReconfigStats
+    // counter, bit for bit.
+    let spec = by_abbrev("CoMD").expect("CoMD in suite");
+    let trace = spec.generate(Scale::Tiny, 17);
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
+        let run = || {
+            let mut cfg = EngineConfig::small_test(p);
+            cfg.faults = FaultPlan::parse("gpm-offline=1.1@1000").expect("valid plan");
+            Engine::try_new(cfg)
+                .expect("valid config")
+                .try_run(&trace)
+                .expect("the survivors complete the run")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{p}");
+        assert_eq!(a.state_digest, b.state_digest, "{p}: memory state");
+        assert_eq!(a.reconfig, b.reconfig, "{p}: reconfiguration counters");
+        assert_eq!(a.reconfig.epochs, 1, "{p}: the fault must activate");
+    }
+}
+
+#[test]
+fn faulty_sweeps_resume_deterministically_from_a_checkpoint() {
+    // `--faults gpm-offline=... --checkpoint F` then `--resume`: the
+    // resumed sweep reuses completed cells and must reproduce the fresh
+    // sweep's numbers exactly.
+    use hmg::experiments::{fig8, ExpOptions};
+    let ckpt = std::env::temp_dir().join(format!("hmg-fip-ckpt-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&ckpt);
+    let mk = |checkpoint: Option<std::path::PathBuf>, resume: bool| ExpOptions {
+        scale: Scale::Tiny,
+        seed: 4,
+        filter: Some(vec!["CoMD".into(), "bfs".into()]),
+        faults: Some(FaultPlan::parse("gpm-offline=0.1@1000").unwrap()),
+        checkpoint,
+        resume,
+        ..ExpOptions::default()
+    };
+    let fresh = fig8(&mk(None, false));
+    let first = fig8(&mk(Some(ckpt.clone()), false));
+    let resumed = fig8(&mk(Some(ckpt.clone()), true));
+    let _ = std::fs::remove_file(&ckpt);
+    assert_eq!(fresh.rows, first.rows);
+    assert_eq!(first.rows, resumed.rows, "resume must not change results");
+    assert_eq!(first.geomeans, resumed.geomeans);
+}

@@ -467,3 +467,120 @@ fn keep_going_sweep_yields_partial_report_with_failure_table() {
         assert!(row[0].is_finite() && row[0] > 0.0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Fail-in-place (DESIGN.md §9): permanent link/GPM/GPU failures are
+// survived by epoch-based reconfiguration. Link losses are *tolerated*
+// (second-tier detour, identical final state); component losses are
+// *degraded* (CTAs abort, pages re-home, survivors finish with every
+// store committed).
+// ---------------------------------------------------------------------
+
+#[test]
+fn permanent_link_loss_detours_and_preserves_the_litmus_outcome() {
+    // The consumer (GPM1) talks to the home (GPM0) over the first-tier
+    // link that dies mid-run: every message detours over the
+    // second-tier switch path and the MP litmus outcome is unchanged.
+    let trace = mp_stale_trace();
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
+        let clean = run_probed_with_faults(p, &trace, FaultPlan::default()).unwrap();
+        let m = run_probed_with_faults(p, &trace, FaultPlan::parse("link-down=0-1@500").unwrap())
+            .unwrap_or_else(|e| panic!("{p}: a link loss must be tolerated, got {e}"));
+        assert_eq!(m.reconfig.epochs, 1, "{p}: the loss opens one epoch");
+        assert!(m.reconfig.downtime_cycles > 0, "{p}: detection is charged");
+        assert!(
+            m.fabric.transport().reroutes > 0,
+            "{p}: traffic must detour over the second tier"
+        );
+        assert_eq!(
+            m.probe.last().unwrap().1,
+            clean.probe.last().unwrap().1,
+            "{p}: the detour must not change the litmus outcome"
+        );
+        assert_eq!(m.state_digest, clean.state_digest, "{p}: memory state");
+    }
+}
+
+#[test]
+fn gpu_offline_mid_run_completes_with_survivor_memory_intact() {
+    // The ISSUE acceptance run: GPU1 dies mid-run with the deadlock
+    // watchdog armed. The run must complete (no hang, no watchdog
+    // abort), report a reconfiguration epoch with re-homed state and
+    // non-zero downtime, and — because the dead GPU only ever loaded —
+    // the final committed memory must be byte-identical to the
+    // fault-free run.
+    let far = 4u64 << 20; // 2 MB page first-touched (homed) by GPM2/GPU1
+    let trace = WorkloadTrace::new(
+        "gpu-off-acceptance",
+        vec![
+            kernel_per_gpm(vec![
+                vec![st(0), st(128)],
+                vec![],
+                vec![ld(far), ld(far + 128)],
+                vec![ld(0)],
+            ]),
+            kernel_per_gpm(vec![
+                vec![TraceOp::Delay(60_000), st(0), st(far)],
+                vec![ld(0)],
+                vec![ld(far), TraceOp::Delay(60_000), ld(far)],
+                vec![ld(0), TraceOp::Delay(60_000), ld(0)],
+            ]),
+            // Started after the loss: CTAs redistribute over GPU0 and
+            // the degraded page stays readable and writable.
+            kernel_per_gpm(vec![
+                vec![st(far)],
+                vec![ld(far)],
+                vec![ld(0)],
+                vec![ld(far)],
+            ]),
+        ],
+    );
+    let run = |faults: FaultPlan| {
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.livelock_budget = Some(100_000);
+        cfg.faults = faults;
+        Engine::try_new(cfg).unwrap().try_run(&trace)
+    };
+    let clean = run(FaultPlan::default()).expect("fault-free run completes");
+    let m = run(FaultPlan::parse("gpu-offline=1@30000").unwrap())
+        .expect("survivors must finish without deadlock or watchdog abort");
+    assert_eq!(m.reconfig.epochs, 1);
+    assert!(m.reconfig.rehomed_pages >= 1, "GPU1's page must re-home");
+    assert!(m.reconfig.rehomed_blocks >= 1, "GPM2 tracked `far` blocks");
+    assert!(m.reconfig.degraded_pages >= 1, "re-homed pages degrade");
+    assert!(m.reconfig.downtime_cycles > 0, "detection window charged");
+    assert_eq!(
+        m.state_digest, clean.state_digest,
+        "a dead GPU that only loaded must not change committed memory"
+    );
+}
+
+#[test]
+fn gpm_offline_mid_delay_aborts_the_cta_without_hanging() {
+    // GPM3 dies while its CTA sits in a long delay. With the watchdog
+    // armed the run must neither hang nor abort: the CTA is aborted,
+    // the kernel's remaining CTAs finish, and flags the dead CTA would
+    // have set are salvaged so no waiter sleeps forever.
+    let trace = WorkloadTrace::new(
+        "gpm-off-abort",
+        vec![kernel_per_gpm(vec![
+            vec![TraceOp::WaitFlag { flag: 9, count: 1 }, ld(0)],
+            vec![ld(0)],
+            vec![ld(0)],
+            vec![TraceOp::Delay(50_000), TraceOp::SetFlag(9)],
+        ])],
+    );
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    cfg.livelock_budget = Some(80_000);
+    cfg.faults = FaultPlan::parse("gpm-offline=1.1@10000").unwrap();
+    let m = Engine::try_new(cfg)
+        .unwrap()
+        .try_run(&trace)
+        .expect("the abort must salvage flag 9 so GPM0's waiter wakes");
+    assert_eq!(m.reconfig.epochs, 1);
+    assert!(m.reconfig.aborted_ctas >= 1, "GPM3's CTA dies mid-delay");
+    assert!(
+        m.total_cycles.as_u64() >= 10_000,
+        "the run outlives the loss"
+    );
+}

@@ -445,3 +445,44 @@ fn rmw_gpu_scope_atomics_serialize_without_loss() {
         }
     }
 }
+
+/// MP across the GPM0<->GPM1 first-tier link while that link dies
+/// mid-litmus — the fail-in-place class graduated from the
+/// `experiments check --faults link-down=0-1@400` sweep (DESIGN.md §9).
+/// The producer's store, its invalidations, and the consumer's reload
+/// all detour over the second-tier switch path; release/acquire
+/// visibility must hold exactly as on the healthy fabric.
+#[test]
+fn mp_fail_in_place_across_a_dead_first_tier_link() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Gpu), TraceOp::SetFlag(5)];
+    let consumer = vec![
+        ld(0), // warm a copy so the store must invalidate across the dead link
+        TraceOp::WaitFlag { flag: 5, count: 1 },
+        TraceOp::Acquire(Scope::Gpu),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-link-down",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            // Producer at the home GPM0, consumer on GPM1: every
+            // coherence message between them crosses the dead link.
+            kernel_per_gpm(vec![producer, consumer, vec![], vec![]]),
+        ],
+    );
+    for p in COHERENT {
+        let mut cfg = EngineConfig::small_test(p);
+        cfg.probe_line = Some(0);
+        cfg.faults = FaultPlan::parse("link-down=0-1@400").expect("valid plan");
+        let m = Engine::try_new(cfg)
+            .expect("valid config")
+            .try_run(&trace)
+            .unwrap_or_else(|e| panic!("{p}: a dead link must be survived, got {e}"));
+        assert_eq!(
+            m.probe.last().expect("consumer read").1,
+            2,
+            "{p}: the consumer must observe the producer's store over the detour"
+        );
+        assert_eq!(m.reconfig.epochs, 1, "{p}: the link loss opens an epoch");
+    }
+}

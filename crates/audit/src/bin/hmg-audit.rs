@@ -1,0 +1,70 @@
+//! `hmg-audit` — static protocol verifier and source-hygiene linter.
+//!
+//! Usage:
+//!
+//! ```text
+//! hmg-audit [--root DIR] [--inject CLASS]
+//! ```
+//!
+//! Exits 0 when the audit is clean, 1 when it found violations (each
+//! printed as `file:line: [rule] message`), 2 on usage errors.
+//! `--inject` seeds one known violation class (self-test mode; CI runs
+//! these with inverted exit expectations): `incomplete-row`,
+//! `waitsfor-cycle`, `entropy`, `unordered-map`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hmg_audit::{run_audit, AuditOptions, Inject};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hmg-audit [--root DIR] [--inject CLASS]\n       CLASS: {}",
+        Inject::NAMES.join(" | ")
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut inject = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage(),
+            },
+            "--inject" => match args.next().as_deref().and_then(Inject::parse) {
+                Some(class) => inject = Some(class),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if !root.join("crates").is_dir() {
+        eprintln!(
+            "hmg-audit: {} does not look like the workspace root (no crates/ directory); \
+             pass --root",
+            root.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let report = run_audit(&AuditOptions { root, inject });
+    for f in &report.findings {
+        println!("{f}");
+    }
+    println!("{}", report.summary());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

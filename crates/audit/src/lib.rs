@@ -1,0 +1,220 @@
+//! `hmg-audit`: static verification of the HMG/NHCC protocol stack and
+//! a determinism/panic-hygiene lint pass.
+//!
+//! Three engines, all static (no simulation):
+//!
+//! * [`protocol_graph`] — proves the Table I transition function
+//!   complete, deterministic, variant-contained, and conservative, and
+//!   that everything it can emit has a declared consumer.
+//! * [`waitsfor`] — builds the virtual-channel waits-for graph from
+//!   `protocol/msg.rs` and the engine/transport blocking behaviors and
+//!   proves its unbounded part acyclic (deadlock freedom).
+//! * [`lint`] — lexical source-hygiene rules: deterministic iteration,
+//!   no smuggled entropy, no panics on hot paths, stats registration.
+//!
+//! Each engine supports **seeded violations** ([`Inject`]) so the audit
+//! can prove it actually detects what it claims to detect: CI runs the
+//! clean audit (must exit 0) and one injected run per violation class
+//! (must exit 1 with a `file:line` diagnostic).
+//!
+//! The runtime complement lives in `hmg_protocol::conformance`: the
+//! engine replays every directory transition against the same static
+//! table this crate verifies, and reports per-row coverage in
+//! `RunMetrics::table`.
+
+pub mod findings;
+pub mod lint;
+pub mod protocol_graph;
+pub mod waitsfor;
+
+use std::path::{Path, PathBuf};
+
+pub use findings::Finding;
+use hmg_protocol::{DirEvent, DirState};
+
+/// A seeded violation class for the audit's self-test mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Inject {
+    /// Forget one transition-table cell (`(Valid, Replace)` under NHCC).
+    IncompleteRow,
+    /// Add ack-style invalidation edges, closing a waits-for cycle.
+    WaitsForCycle,
+    /// Smuggle a `SystemTime::now()` into a simulator-state crate.
+    Entropy,
+    /// Smuggle an iteration-order-sensitive `HashMap` into sim state.
+    UnorderedMap,
+}
+
+impl Inject {
+    /// CLI names of every violation class.
+    pub const NAMES: &'static [&'static str] = &[
+        "incomplete-row",
+        "waitsfor-cycle",
+        "entropy",
+        "unordered-map",
+    ];
+
+    /// All classes, matching [`Self::NAMES`] order.
+    pub const ALL: [Inject; 4] = [
+        Inject::IncompleteRow,
+        Inject::WaitsForCycle,
+        Inject::Entropy,
+        Inject::UnorderedMap,
+    ];
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Inject> {
+        Self::NAMES
+            .iter()
+            .position(|&n| n == s)
+            .map(|i| Self::ALL[i])
+    }
+
+    /// The rule id the injection must trip.
+    pub fn expected_rule(self) -> &'static str {
+        match self {
+            Inject::IncompleteRow => "incomplete-row",
+            Inject::WaitsForCycle => "waitsfor-cycle",
+            Inject::Entropy => "entropy",
+            Inject::UnorderedMap => "unordered-map",
+        }
+    }
+}
+
+/// What to audit and how.
+#[derive(Debug, Clone)]
+pub struct AuditOptions {
+    /// Workspace root (the directory holding `crates/`).
+    pub root: PathBuf,
+    /// Optional seeded violation for self-testing the audit.
+    pub inject: Option<Inject>,
+}
+
+/// The outcome of one audit run.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Every violation found, in engine order.
+    pub findings: Vec<Finding>,
+    /// Transition-table cells checked (state x event x variant).
+    pub cells_checked: usize,
+    /// Waits-for edges checked.
+    pub edges_checked: usize,
+    /// Source files linted.
+    pub files_scanned: usize,
+}
+
+impl AuditReport {
+    /// `true` when the audit found nothing.
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "hmg-audit: {} table cells, {} waits-for edges, {} source files -> {} finding(s)",
+            self.cells_checked,
+            self.edges_checked,
+            self.files_scanned,
+            self.findings.len()
+        )
+    }
+}
+
+/// Runs the full audit.
+pub fn run_audit(opts: &AuditOptions) -> AuditReport {
+    let root: &Path = &opts.root;
+    let mut findings = Vec::new();
+
+    // Protocol-graph verification.
+    let mut spec = protocol_graph::TableSpec::from_code();
+    if opts.inject == Some(Inject::IncompleteRow) {
+        spec = spec.with_cell_undefined(DirState::Valid, DirEvent::Replace, false);
+    }
+    let cells_checked = spec.num_cells();
+    findings.extend(protocol_graph::verify(root, &spec));
+
+    // Waits-for deadlock analysis.
+    let mut model = waitsfor::ChannelModel::from_code();
+    if opts.inject == Some(Inject::WaitsForCycle) {
+        model = model.with_ack_style_invalidation();
+    }
+    let edges_checked = model.edges().len();
+    findings.extend(waitsfor::verify(root, &model));
+
+    // Source-hygiene lints.
+    let extra = match opts.inject {
+        Some(Inject::Entropy) => vec![lint::synthetic_entropy_file()],
+        Some(Inject::UnorderedMap) => vec![lint::synthetic_unordered_map_file()],
+        _ => Vec::new(),
+    };
+    let (lint_findings, files_scanned) = lint::run(root, &extra);
+    findings.extend(lint_findings);
+
+    AuditReport {
+        findings,
+        cells_checked,
+        edges_checked,
+        files_scanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn clean_audit_passes() {
+        let report = run_audit(&AuditOptions {
+            root: root(),
+            inject: None,
+        });
+        assert!(report.passed(), "{:#?}", report.findings);
+        assert_eq!(report.cells_checked, 24);
+        assert!(report.edges_checked >= 10);
+        assert!(report.files_scanned > 20);
+    }
+
+    #[test]
+    fn every_seeded_violation_class_is_caught_with_a_location() {
+        for inject in Inject::ALL {
+            let report = run_audit(&AuditOptions {
+                root: root(),
+                inject: Some(inject),
+            });
+            assert!(!report.passed(), "{inject:?} was not detected");
+            let hit = report
+                .findings
+                .iter()
+                .find(|f| f.rule == inject.expected_rule())
+                .unwrap_or_else(|| panic!("{inject:?}: no {} finding", inject.expected_rule()));
+            assert!(hit.line >= 1);
+            assert!(
+                !hit.file.as_os_str().is_empty(),
+                "{inject:?} finding lacks a file"
+            );
+            // The diagnostic renders as file:line so it is jumpable.
+            let shown = hit.to_string();
+            assert!(
+                shown.contains(&format!(":{}: [", hit.line)),
+                "{inject:?}: {shown}"
+            );
+        }
+    }
+
+    #[test]
+    fn inject_names_round_trip() {
+        for (i, name) in Inject::NAMES.iter().enumerate() {
+            assert_eq!(Inject::parse(name), Some(Inject::ALL[i]));
+        }
+        assert_eq!(Inject::parse("no-such-class"), None);
+    }
+}

@@ -1,0 +1,305 @@
+//! Static verification of the NHCC/HMG transition table.
+//!
+//! Consumes `hmg_protocol::try_transition` — the single declarative
+//! source of Table I — and proves, with no simulation:
+//!
+//! * **Completeness**: every `(DirState, DirEvent)` cell is defined for
+//!   both the NHCC and HMG variants, except exactly the cells the paper
+//!   declares N/A (`(Invalid, Replace)`, and the whole `Invalidation`
+//!   column under flat NHCC).
+//! * **Determinism**: each cell maps to exactly one `Outcome` (the table
+//!   is a pure function; re-evaluation must agree).
+//! * **Variant containment**: HMG differs from NHCC only in the
+//!   `Invalidation` column (§V-A: "adds the single extra transition").
+//! * **Conservation**: no outcome both records the sender as a sharer
+//!   and invalidates it; sharer-count deltas are bounded (at most +1 per
+//!   transition, and every invalidating outcome that keeps no sharers
+//!   deallocates); two-stable-state structure (no outcome can park an
+//!   entry in a transient state — `Outcome` has no wait capability).
+//! * **Declared consumers**: every message class an outcome can emit
+//!   (only `Inv` — the table is ack-free) has a declared consumer in the
+//!   engine.
+
+use std::path::Path;
+
+use hmg_protocol::{try_transition, DirEvent, DirState, Outcome};
+
+use crate::findings::{locate, Finding};
+
+/// Source anchor for table-level findings.
+const TABLE_RS: &str = "crates/protocol/src/table.rs";
+
+/// The declarative view of Table I: every `(state, event, hmg)` cell and
+/// whether the paper declares it N/A.
+#[derive(Debug, Clone)]
+pub struct TableSpec {
+    cells: Vec<(DirState, DirEvent, bool, Option<Outcome>)>,
+}
+
+/// Whether the paper's Table I declares the cell undefined: an absent
+/// entry cannot be evicted, and flat NHCC homes never receive
+/// hierarchical invalidations.
+pub fn declared_na(state: DirState, event: DirEvent, hmg: bool) -> bool {
+    (state, event) == (DirState::Invalid, DirEvent::Replace)
+        || (event == DirEvent::Invalidation && !hmg)
+}
+
+impl TableSpec {
+    /// Builds the spec by evaluating the in-tree transition function
+    /// over its whole domain.
+    pub fn from_code() -> Self {
+        let mut cells = Vec::new();
+        for hmg in [false, true] {
+            for state in DirState::ALL {
+                for event in DirEvent::ALL {
+                    cells.push((state, event, hmg, try_transition(state, event, hmg)));
+                }
+            }
+        }
+        TableSpec { cells }
+    }
+
+    /// Number of `(state, event, variant)` cells in the spec.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Self-test injection: forget the outcome of one cell, simulating
+    /// an incomplete table row. The verifier must report it.
+    pub fn with_cell_undefined(mut self, state: DirState, event: DirEvent, hmg: bool) -> Self {
+        for c in &mut self.cells {
+            if (c.0, c.1, c.2) == (state, event, hmg) {
+                c.3 = None;
+            }
+        }
+        self
+    }
+
+    fn get(&self, state: DirState, event: DirEvent, hmg: bool) -> Option<Outcome> {
+        self.cells
+            .iter()
+            .find(|c| (c.0, c.1, c.2) == (state, event, hmg))
+            .and_then(|c| c.3)
+    }
+}
+
+/// Message classes a Table I outcome can emit, with their declared
+/// consumers. The table is ack-free: invalidations are the only
+/// protocol-visible emission, consumed by the engine's invalidation
+/// handler (which never generates a reply).
+const EMITTED_CONSUMERS: &[(&str, &str, &str)] =
+    &[("Inv", "crates/gpu/src/engine.rs", "fn handle_inv")];
+
+/// Runs every static table check; returns the violations found.
+pub fn verify(root: &Path, spec: &TableSpec) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let anchor = locate(root, Path::new(TABLE_RS), "pub fn try_transition");
+
+    // Completeness: defined XOR declared-N/A, per variant.
+    for &(state, event, hmg, cell) in &spec.cells {
+        let variant = if hmg { "HMG" } else { "NHCC" };
+        match (cell, declared_na(state, event, hmg)) {
+            (None, false) => out.push(Finding::new(
+                "incomplete-row",
+                TABLE_RS,
+                anchor,
+                format!(
+                    "({state:?}, {event:?}) has no outcome under {variant} and is not a \
+                     declared-N/A cell — the directory would take an unspecified action"
+                ),
+            )),
+            (Some(_), true) => out.push(Finding::new(
+                "incomplete-row",
+                TABLE_RS,
+                anchor,
+                format!(
+                    "({state:?}, {event:?}) is declared N/A under {variant} but the code \
+                     defines an outcome for it"
+                ),
+            )),
+            _ => {}
+        }
+    }
+
+    // Determinism: the function is pure — re-evaluating the live code
+    // must reproduce the captured spec wherever the spec was not
+    // deliberately perturbed by an injection.
+    for &(state, event, hmg, cell) in &spec.cells {
+        if let (Some(a), Some(b)) = (cell, try_transition(state, event, hmg)) {
+            if a != b {
+                out.push(Finding::new(
+                    "incomplete-row",
+                    TABLE_RS,
+                    anchor,
+                    format!(
+                        "({state:?}, {event:?}) maps to two different outcomes: {a:?} vs {b:?}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Variant containment: outside the Invalidation column NHCC and HMG
+    // must be the same protocol.
+    for state in DirState::ALL {
+        for event in DirEvent::ALL {
+            if event == DirEvent::Invalidation {
+                continue;
+            }
+            let (n, h) = (spec.get(state, event, false), spec.get(state, event, true));
+            if n != h {
+                out.push(Finding::new(
+                    "incomplete-row",
+                    TABLE_RS,
+                    anchor,
+                    format!(
+                        "({state:?}, {event:?}) differs between NHCC ({n:?}) and HMG ({h:?}) — \
+                         HMG may only add the Invalidation column"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Conservation.
+    for &(state, event, hmg, cell) in &spec.cells {
+        let Some(o) = cell else { continue };
+        let cell_name = format!("({state:?}, {event:?}, hmg={hmg})");
+        if o.add_sharer && o.inv_all_sharers {
+            out.push(Finding::new(
+                "conservation",
+                TABLE_RS,
+                anchor,
+                format!(
+                    "{cell_name}: adds the sender as a sharer and invalidates all sharers — \
+                         the new sharer would be invalidated in the same transition"
+                ),
+            ));
+        }
+        if o.inv_all_sharers && o.inv_other_sharers {
+            out.push(Finding::new(
+                "conservation",
+                TABLE_RS,
+                anchor,
+                format!("{cell_name}: requests both all-sharer and other-sharer invalidation"),
+            ));
+        }
+        if o.add_sharer && o.next != DirState::Valid {
+            out.push(Finding::new(
+                "conservation",
+                TABLE_RS,
+                anchor,
+                format!(
+                    "{cell_name}: records a sharer but leaves the entry {:?} — the sharer \
+                         list of an absent entry is meaningless",
+                    o.next
+                ),
+            ));
+        }
+        if o.inv_all_sharers && o.next != DirState::Invalid {
+            out.push(Finding::new(
+                "conservation",
+                TABLE_RS,
+                anchor,
+                format!(
+                    "{cell_name}: invalidates every sharer yet keeps the entry Valid — a \
+                         Valid entry with a forcibly emptied sharer list protects nothing"
+                ),
+            ));
+        }
+        if o.next == DirState::Invalid && o.add_sharer {
+            out.push(Finding::new(
+                "conservation",
+                TABLE_RS,
+                anchor,
+                format!("{cell_name}: deallocates while adding a sharer"),
+            ));
+        }
+    }
+
+    // Declared consumers for everything the table can emit. The Outcome
+    // type structurally bounds emissions to invalidations (no ack, no
+    // data, no transient-state message exists to emit).
+    let emits_inv = spec.cells.iter().any(|c| {
+        c.3.is_some_and(|o| o.inv_all_sharers || o.inv_other_sharers)
+    });
+    if emits_inv {
+        for &(class, file, symbol) in EMITTED_CONSUMERS {
+            let line = locate(root, Path::new(file), symbol);
+            if !root.join(file).exists() || !file_contains(root, file, symbol) {
+                out.push(Finding::new(
+                    "undeclared-consumer",
+                    file,
+                    line,
+                    format!(
+                        "the table emits {class} messages but the declared consumer `{symbol}` \
+                         was not found in {file}"
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+fn file_contains(root: &Path, file: &str, needle: &str) -> bool {
+    std::fs::read_to_string(root.join(file))
+        .map(|t| t.contains(needle))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root() -> std::path::PathBuf {
+        // crates/audit -> workspace root
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+            .to_path_buf()
+    }
+
+    #[test]
+    fn clean_table_verifies() {
+        let findings = verify(&root(), &TableSpec::from_code());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn spec_covers_both_variants_of_every_cell() {
+        assert_eq!(TableSpec::from_code().num_cells(), 24);
+    }
+
+    #[test]
+    fn injected_incomplete_row_is_reported_with_location() {
+        let spec =
+            TableSpec::from_code().with_cell_undefined(DirState::Valid, DirEvent::Replace, false);
+        let findings = verify(&root(), &spec);
+        assert!(
+            findings.iter().any(|f| f.rule == "incomplete-row"
+                && f.file == Path::new(TABLE_RS)
+                && f.line > 1
+                && f.msg.contains("Replace")),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn na_cells_are_exactly_the_papers() {
+        let mut na = 0;
+        for hmg in [false, true] {
+            for s in DirState::ALL {
+                for e in DirEvent::ALL {
+                    if declared_na(s, e, hmg) {
+                        na += 1;
+                    }
+                }
+            }
+        }
+        // (I, Replace) x 2 variants + Invalidation column (2 states) under NHCC.
+        assert_eq!(na, 4);
+    }
+}

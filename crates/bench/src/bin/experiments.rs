@@ -9,7 +9,7 @@
 use std::process::ExitCode;
 
 use hmg::experiments as exp;
-use hmg_bench::{parse_args, Command};
+use hmg_bench::{parse_args, Command, ParsedArgs};
 
 /// Writes `svg` into `dir/name.svg` when SVG output was requested.
 fn save_svg(dir: &Option<String>, name: &str, svg: &str) {
@@ -25,9 +25,10 @@ fn save_svg(dir: &Option<String>, name: &str, svg: &str) {
     }
 }
 
-/// Runs one command; `false` means the command itself failed (today
-/// only `check` can: the sweep found a memory-model violation).
-fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>, budget: u64) -> bool {
+/// Runs one command; `false` means the command itself failed (`check`
+/// found a memory-model violation, or `audit` found a static one).
+fn run(cmd: Command, p: &ParsedArgs) -> bool {
+    let (opts, svg, budget) = (&p.options, &p.svg_dir, p.budget);
     match cmd {
         Command::Table3 => exp::print_table3(opts),
         Command::Fig2 => {
@@ -137,7 +138,7 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>, budget: u64) 
         Command::All => {
             let mut ok = true;
             for c in Command::PAPER_ORDER {
-                ok &= run(c, opts, svg, budget);
+                ok &= run(c, p);
             }
             return ok;
         }
@@ -160,6 +161,17 @@ fn run(cmd: Command, opts: &exp::ExpOptions, svg: &Option<String>, budget: u64) 
             print!("{report}");
             return report.passed();
         }
+        Command::Audit => {
+            let report = hmg_audit::run_audit(&hmg_audit::AuditOptions {
+                root: std::path::PathBuf::from(&p.audit_root),
+                inject: p.inject,
+            });
+            for f in &report.findings {
+                println!("{f}");
+            }
+            println!("{}", report.summary());
+            return report.passed();
+        }
     }
     true
 }
@@ -168,13 +180,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
         Ok(parsed) => {
+            // audit:allow(entropy): wall-clock progress reporting only;
+            // never feeds simulated state.
             let t0 = std::time::Instant::now();
-            let ok = run(
-                parsed.command,
-                &parsed.options,
-                &parsed.svg_dir,
-                parsed.budget,
-            );
+            let ok = run(parsed.command, &parsed);
             eprintln!(
                 "[experiments completed in {:.1}s]",
                 t0.elapsed().as_secs_f64()

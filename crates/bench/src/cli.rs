@@ -51,6 +51,9 @@ pub enum Command {
     /// Bounded litmus enumeration vs the axiomatic memory-model oracle
     /// (crates/check; see docs/CHECKING.md).
     Check,
+    /// Static protocol verifier + source-hygiene lints (crates/audit;
+    /// see docs/STATIC_ANALYSIS.md).
+    Audit,
 }
 
 impl Command {
@@ -78,6 +81,7 @@ impl Command {
             "ablate-downgrade" => Command::AblateDowngrade,
             "all" => Command::All,
             "check" => Command::Check,
+            "audit" => Command::Audit,
             _ => return None,
         })
     }
@@ -113,16 +117,30 @@ pub struct ParsedArgs {
     pub svg_dir: Option<String>,
     /// Engine-run budget for the `check` sweep.
     pub budget: u64,
+    /// Seeded violation class for the `audit` self-test mode.
+    pub inject: Option<hmg_audit::Inject>,
+    /// Workspace root for the `audit` command (defaults to `.`).
+    pub audit_root: String,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--budget N]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--budget N] [--inject CLASS] [--root DIR]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
   grain cost single-gpu carve scale-study characterize all
   ablate-fence ablate-placement ablate-writeback ablate-downgrade
-  check
+  check audit
+
+static analysis (docs/STATIC_ANALYSIS.md):
+  audit           static protocol verifier (table completeness,
+                  conservation, waits-for deadlock freedom) plus the
+                  determinism/panic-hygiene lints; nonzero exit on any
+                  finding
+  --inject CLASS  seed one known violation class to prove the audit
+                  detects it: incomplete-row | waitsfor-cycle |
+                  entropy | unordered-map
+  --root DIR      workspace root to audit (default: current directory)
 
 coherence checking (docs/CHECKING.md):
   check           sweep the bounded litmus space against the axiomatic
@@ -175,6 +193,8 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
     let mut options = ExpOptions::default();
     let mut svg_dir = None;
     let mut budget = 2000u64;
+    let mut inject = None;
+    let mut audit_root = String::from(".");
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--svg" => svg_dir = Some(it.next().ok_or("--svg needs a directory")?.clone()),
@@ -215,6 +235,16 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 let v = it.next().ok_or("--budget needs an engine-run count")?;
                 budget = v.parse().map_err(|e| format!("bad budget: {e}"))?;
             }
+            "--inject" => {
+                let v = it.next().ok_or("--inject needs a violation class")?;
+                inject = Some(hmg_audit::Inject::parse(v).ok_or_else(|| {
+                    format!(
+                        "unknown violation class `{v}` (expected one of: {})",
+                        hmg_audit::Inject::NAMES.join(", ")
+                    )
+                })?);
+            }
+            "--root" => audit_root = it.next().ok_or("--root needs a directory")?.clone(),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -226,6 +256,8 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
         options,
         svg_dir,
         budget,
+        inject,
+        audit_root,
     })
 }
 
@@ -342,6 +374,7 @@ mod tests {
             "ablate-downgrade",
             "all",
             "check",
+            "audit",
         ] {
             assert!(Command::from_name(name).is_some(), "{name}");
         }
@@ -356,6 +389,19 @@ mod tests {
         assert_eq!(parse_args(&s(&["check"])).unwrap().budget, 2000);
         assert!(parse_args(&s(&["check", "--budget", "many"])).is_err());
         assert!(parse_args(&s(&["check", "--budget"])).is_err());
+    }
+
+    #[test]
+    fn parses_audit_inject_and_root() {
+        let p = parse_args(&s(&["audit", "--inject", "waitsfor-cycle", "--root", "/x"])).unwrap();
+        assert_eq!(p.command, Command::Audit);
+        assert_eq!(p.inject, Some(hmg_audit::Inject::WaitsForCycle));
+        assert_eq!(p.audit_root, "/x");
+        let q = parse_args(&s(&["audit"])).unwrap();
+        assert!(q.inject.is_none());
+        assert_eq!(q.audit_root, ".");
+        assert!(parse_args(&s(&["audit", "--inject", "nope"])).is_err());
+        assert!(parse_args(&s(&["audit", "--inject"])).is_err());
     }
 
     #[test]

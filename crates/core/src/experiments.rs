@@ -785,6 +785,8 @@ pub fn fig7_with(suite: Vec<Micro>) -> Fig7Result {
         num_gpms: cfg.topo.num_gpms() as f64,
         num_gpus: cfg.topo.num_gpus() as f64,
     };
+    // audit:allow(entropy): wall-clock runtime measurement (Fig. 7);
+    // never feeds simulated state.
     let start = std::time::Instant::now();
     let results: Vec<(String, f64, f64, u64)> = parallel_map(&suite, |m| {
         let sim = Engine::new(EngineConfig::paper_default(ProtocolKind::Hmg)).run(&m.trace);

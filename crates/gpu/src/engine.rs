@@ -27,7 +27,9 @@ use std::collections::VecDeque;
 use hmg_interconnect::{Fabric, GpmId, GpuId, MsgClass};
 use hmg_mem::{BlockAddr, Cache, Directory, Dram, LineAddr, PageMap, Sharer, VersionStore};
 use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
-use hmg_protocol::{AccessKind, ProtocolKind, Scope, TraceOp, WorkloadTrace};
+use hmg_protocol::{
+    AccessKind, DirEvent, DirState, Observed, ProtocolKind, Scope, TraceOp, WorkloadTrace,
+};
 use hmg_sim::{Cycle, EventQueue, ProgressWatchdog, Rng, SimError};
 
 use crate::config::EngineConfig;
@@ -96,14 +98,14 @@ struct Gpm {
     /// CTA work queue for the current kernel.
     cta_queue: VecDeque<usize>,
     /// CARVE-like sharing classification for blocks homed here.
-    carve: std::collections::HashMap<BlockAddr, CarveClass>,
+    carve: std::collections::BTreeMap<BlockAddr, CarveClass>,
     /// Per-block invalidation floor: the newest store version whose
     /// invalidation this GPM has already processed. A fill carrying an
     /// older version raced past that invalidation in the fabric and
     /// must not install stale data — the simulator's stand-in for the
     /// transient (inv-while-fill-pending) states of a real directory
     /// protocol.
-    inv_floor: std::collections::HashMap<BlockAddr, u64>,
+    inv_floor: std::collections::BTreeMap<BlockAddr, u64>,
 }
 
 /// A load or atomic request in flight.
@@ -241,6 +243,7 @@ impl Engine {
     /// Panics if the configuration is internally inconsistent
     /// (see [`EngineConfig::validate`]).
     pub fn new(cfg: EngineConfig) -> Self {
+        // audit:allow(panic-path): documented panicking wrapper over try_new.
         Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -265,6 +268,7 @@ impl Engine {
     /// diagnostic. Use [`Engine::try_run`] to capture the error
     /// instead.
     pub fn run(&self, trace: &WorkloadTrace) -> RunMetrics {
+        // audit:allow(panic-path): documented panicking wrapper over try_run.
         self.try_run(trace).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -297,15 +301,15 @@ struct Sim<'t> {
     /// change; completed entries are swap-removed so the scan stays
     /// proportional to fences actually in flight).
     active_fences: Vec<usize>,
-    flags: std::collections::HashMap<u32, u32>,
-    flag_waiters: std::collections::HashMap<u32, Vec<SmRef>>,
+    flags: std::collections::BTreeMap<u32, u32>,
+    flag_waiters: std::collections::BTreeMap<u32, Vec<SmRef>>,
     /// MSHR-style miss coalescing: requests merged behind an outstanding
     /// fill of the same line at the same node. Keyed by (node, line).
-    mshr: std::collections::HashMap<(u16, LineAddr), Vec<MemMsg>>,
+    mshr: std::collections::BTreeMap<(u16, LineAddr), Vec<MemMsg>>,
     /// Line -> bitmask of GPMs that have loaded it (Fig. 3 tracking).
-    touch_map: std::collections::HashMap<LineAddr, u64>,
+    touch_map: std::collections::BTreeMap<LineAddr, u64>,
     /// Line -> latest version committed at its system home.
-    committed: std::collections::HashMap<LineAddr, u64>,
+    committed: std::collections::BTreeMap<LineAddr, u64>,
     kernel: usize,
     ctas_unfinished: u64,
     loads_inflight: u64,
@@ -350,8 +354,8 @@ impl<'t> Sim<'t> {
                 inv_pending_gpu: 0,
                 inv_pending_sys: 0,
                 cta_queue: VecDeque::new(),
-                carve: std::collections::HashMap::new(),
-                inv_floor: std::collections::HashMap::new(),
+                carve: std::collections::BTreeMap::new(),
+                inv_floor: std::collections::BTreeMap::new(),
             })
             .collect();
         let sms = (0..cfg.total_sms())
@@ -389,11 +393,11 @@ impl<'t> Sim<'t> {
             sms,
             fences: Vec::new(),
             active_fences: Vec::new(),
-            flags: std::collections::HashMap::new(),
-            flag_waiters: std::collections::HashMap::new(),
-            mshr: std::collections::HashMap::new(),
-            touch_map: std::collections::HashMap::new(),
-            committed: std::collections::HashMap::new(),
+            flags: std::collections::BTreeMap::new(),
+            flag_waiters: std::collections::BTreeMap::new(),
+            mshr: std::collections::BTreeMap::new(),
+            touch_map: std::collections::BTreeMap::new(),
+            committed: std::collections::BTreeMap::new(),
             kernel: 0,
             ctas_unfinished: 0,
             loads_inflight: 0,
@@ -1268,13 +1272,17 @@ impl<'t> Sim<'t> {
 
         // Hardware directory participation for loads (Table I).
         // Degraded lines never enter a directory: no copy to protect.
-        if proto.has_hw_directory()
-            && !degraded
-            && self.node_is_dir_home(node, sys_home, gpu_home)
-            && req_gpm != node
+        if proto.has_hw_directory() && !degraded && self.node_is_dir_home(node, sys_home, gpu_home)
         {
-            let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
-            self.dir_remote_load(t, node, block, sharer);
+            if req_gpm != node {
+                let sharer = self.dir_sharer_for(node, req_gpm, sys_home);
+                self.dir_remote_load(t, node, block, sharer);
+            } else {
+                // Table I: a local load leaves the entry untouched in
+                // either state.
+                let state = self.gpms[node.index()].dir.state_of(block);
+                self.conform(state, DirEvent::LocalLoad, Observed::quiet(state));
+            }
         }
 
         // CARVE-like classifier: loads widen Private -> ReadOnly.
@@ -1720,6 +1728,9 @@ impl<'t> Sim<'t> {
                     .topo
                     .all_gpms()
                     .find(|g| !self.gpm_is_dead(*g))
+                    // audit:allow(panic-path): infallible — epoch
+                    // reconfiguration refuses plans that kill every GPM,
+                    // so at least one survivor always exists.
                     .expect("reconfiguration keeps at least one survivor")
             } else {
                 msg.origin
@@ -1955,11 +1966,22 @@ impl<'t> Sim<'t> {
     fn dir_remote_load(&mut self, t: Cycle, node: GpmId, block: BlockAddr, sharer: Sharer) {
         let topo = self.cfg.topo;
         let cap = self.cfg.dir.max_sharers;
-        let (newly_broadcast, evicted) = {
+        let prev = self.gpms[node.index()].dir.state_of(block);
+        let (obs, newly_broadcast, evicted) = {
             let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
+            let prior = (!set.is_broadcast()).then(|| set.len());
+            let sender_was = set.contains(&topo, sharer);
             let (_, newly_broadcast) = set.insert_capped(&topo, sharer, cap);
-            (newly_broadcast, evicted)
+            let obs = Observed {
+                next: DirState::Valid,
+                added_sharer: true,
+                prior_sharers: prior,
+                sender_was_sharer: sender_was,
+                invalidated: Some(0),
+            };
+            (obs, newly_broadcast, evicted)
         };
+        self.conform(prev, DirEvent::RemoteLoad, obs);
         if newly_broadcast {
             self.note_broadcast_fallback(node);
         }
@@ -1998,12 +2020,7 @@ impl<'t> Sim<'t> {
             .collect();
         // Only the block's system home tracks remote GPUs; a page with a
         // directory entry has necessarily been homed already.
-        let line = self
-            .cfg
-            .geometry
-            .lines_of_block(block)
-            .next()
-            .expect("blocks contain at least one line");
+        let line = self.cfg.geometry.first_line_of_block(block);
         let at_sys_home = self.pages.peek_home(self.cfg.geometry.page_of_line(line)) == Some(node);
         if at_sys_home {
             targets.extend(topo.all_gpus().filter(|g| *g != node_gpu).map(Sharer::Gpu));
@@ -2041,11 +2058,34 @@ impl<'t> Sim<'t> {
         let topo = self.cfg.topo;
         if local {
             // Table I: V + Local St -> inv all sharers, -> I.
-            if let Some(sharers) = self.gpms[node.index()].dir.remove(block) {
-                let targets = self.inv_targets(node, block, &sharers);
-                if !targets.is_empty() {
-                    self.m.stores_triggering_invs += 1;
-                    self.send_invs(t, node, block, &targets, InvCause::Store, origin, version);
+            match self.gpms[node.index()].dir.remove(block) {
+                Some(sharers) => {
+                    let prior = (!sharers.is_broadcast()).then(|| sharers.len());
+                    let targets = self.inv_targets(node, block, &sharers);
+                    let invalidated = prior.map(|_| targets.len() as u32);
+                    self.conform(
+                        DirState::Valid,
+                        DirEvent::LocalStore,
+                        Observed {
+                            next: DirState::Invalid,
+                            added_sharer: false,
+                            prior_sharers: prior,
+                            sender_was_sharer: false,
+                            invalidated,
+                        },
+                    );
+                    if !targets.is_empty() {
+                        self.m.stores_triggering_invs += 1;
+                        self.send_invs(t, node, block, &targets, InvCause::Store, origin, version);
+                    }
+                }
+                None => {
+                    // I + Local St is a no-op.
+                    self.conform(
+                        DirState::Invalid,
+                        DirEvent::LocalStore,
+                        Observed::quiet(DirState::Invalid),
+                    );
                 }
             }
             return;
@@ -2056,8 +2096,11 @@ impl<'t> Sim<'t> {
         // was still precise. An already-degraded entry falls back to the
         // conservative broadcast list.
         let cap = self.cfg.dir.max_sharers;
-        let (others, newly_broadcast, evicted) = {
+        let prev = self.gpms[node.index()].dir.state_of(block);
+        let (others, prior, sender_was, newly_broadcast, evicted) = {
             let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
+            let prior = (!set.is_broadcast()).then(|| set.len());
+            let sender_was = set.contains(&topo, sharer);
             let others: Option<Vec<Sharer>> = if set.is_broadcast() {
                 None
             } else {
@@ -2069,8 +2112,19 @@ impl<'t> Sim<'t> {
                 )
             };
             let (_, newly_broadcast) = set.insert_capped(&topo, sharer, cap);
-            (others, newly_broadcast, evicted)
+            (others, prior, sender_was, newly_broadcast, evicted)
         };
+        self.conform(
+            prev,
+            DirEvent::RemoteStore,
+            Observed {
+                next: DirState::Valid,
+                added_sharer: true,
+                prior_sharers: prior,
+                sender_was_sharer: sender_was,
+                invalidated: others.as_ref().map(|o| o.len() as u32),
+            },
+        );
         if newly_broadcast {
             self.note_broadcast_fallback(node);
         }
@@ -2100,10 +2154,35 @@ impl<'t> Sim<'t> {
         block: BlockAddr,
         sharers: hmg_mem::SharerSet,
     ) {
+        // Table I: V + Replace Dir Entry -> inv all sharers, -> I.
+        let prior = (!sharers.is_broadcast()).then(|| sharers.len());
         let targets = self.inv_targets(node, block, &sharers);
+        self.conform(
+            DirState::Valid,
+            DirEvent::Replace,
+            Observed {
+                next: DirState::Invalid,
+                added_sharer: false,
+                prior_sharers: prior,
+                sender_was_sharer: false,
+                invalidated: prior.map(|_| targets.len() as u32),
+            },
+        );
         if !targets.is_empty() {
             self.m.evictions_triggering_invs += 1;
             self.send_invs(t, node, block, &targets, InvCause::Eviction, node, 0);
+        }
+    }
+
+    /// Records one executed directory transition into the run's
+    /// conformance tracker ([`RunMetrics::table`]) and debug-asserts
+    /// that its observed effect matches the static Table I. Release
+    /// builds count the mismatch instead of aborting.
+    fn conform(&mut self, state: DirState, event: DirEvent, obs: Observed) {
+        let hmg = self.cfg.protocol == ProtocolKind::Hmg;
+        if let Err(why) = self.m.table.observe(state, event, hmg, obs) {
+            debug_assert!(false, "directory conformance violation: {why}");
+            let _ = why;
         }
     }
 
@@ -2251,17 +2330,39 @@ impl<'t> Sim<'t> {
             && self.cfg.protocol == ProtocolKind::Hmg
             && !self.cfg.faults.skip_hier_inv_forward
         {
-            if let Some(sharers) = self.gpms[inv.target.index()].dir.remove(inv.block) {
-                let targets = self.inv_targets(inv.target, inv.block, &sharers);
-                if !targets.is_empty() {
-                    self.send_invs(
-                        now,
-                        inv.target,
-                        inv.block,
-                        &targets,
-                        inv.cause,
-                        inv.causer,
-                        inv.version,
+            match self.gpms[inv.target.index()].dir.remove(inv.block) {
+                Some(sharers) => {
+                    let prior = (!sharers.is_broadcast()).then(|| sharers.len());
+                    let targets = self.inv_targets(inv.target, inv.block, &sharers);
+                    self.conform(
+                        DirState::Valid,
+                        DirEvent::Invalidation,
+                        Observed {
+                            next: DirState::Invalid,
+                            added_sharer: false,
+                            prior_sharers: prior,
+                            sender_was_sharer: false,
+                            invalidated: prior.map(|_| targets.len() as u32),
+                        },
+                    );
+                    if !targets.is_empty() {
+                        self.send_invs(
+                            now,
+                            inv.target,
+                            inv.block,
+                            &targets,
+                            inv.cause,
+                            inv.causer,
+                            inv.version,
+                        );
+                    }
+                }
+                None => {
+                    // I + Invalidation: nothing tracked below, -> I.
+                    self.conform(
+                        DirState::Invalid,
+                        DirEvent::Invalidation,
+                        Observed::quiet(DirState::Invalid),
                     );
                 }
             }
@@ -2551,12 +2652,7 @@ impl<'t> Sim<'t> {
                         self.evicted_l2_line(now, g, line, meta);
                     }
                 }
-                let line = self
-                    .cfg
-                    .geometry
-                    .lines_of_block(block)
-                    .next()
-                    .expect("blocks contain at least one line");
+                let line = self.cfg.geometry.first_line_of_block(block);
                 let page = self.cfg.geometry.page_of_line(line);
                 if self.line_degraded(line) {
                     // Degraded lines leave directory coherence entirely.

@@ -2,6 +2,7 @@
 //! figure in the evaluation.
 
 use hmg_interconnect::FabricStats;
+use hmg_protocol::TableConformance;
 use hmg_sim::{Cycle, ReconfigStats};
 
 /// Everything one run reports.
@@ -73,6 +74,12 @@ pub struct RunMetrics {
     /// link-down, gpm-offline, gpu-offline). All-zero on fault-free
     /// runs.
     pub reconfig: ReconfigStats,
+    /// Runtime conformance of executed directory transitions against
+    /// the static Table I (`hmg_protocol::table`): per-row coverage,
+    /// transitions checked, and mismatches. A nonzero mismatch count
+    /// means the engine drifted from the table; debug builds assert
+    /// instead.
+    pub table: TableConformance,
     /// FNV-1a digest of the final committed memory state, over
     /// `(line, version)` pairs in ascending line order. Two runs that
     /// converge to the same per-line memory state report the same

@@ -1,7 +1,7 @@
 //! The assembled two-tier network: intra-GPU crossbar ports per GPM and
 //! inter-GPU switch ports per GPU, with per-class byte accounting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hmg_sim::{Cycle, FaultPlan, Rng};
 
@@ -256,7 +256,7 @@ pub struct Fabric {
     /// Per-channel (src, dst) message sequence numbers; the transport
     /// tags every routed message so replays are identifiable and
     /// delivery per channel stays in order.
-    seq: HashMap<(GpmId, GpmId), u64>,
+    seq: BTreeMap<(GpmId, GpmId), u64>,
     /// Drop stream, armed only when the plan injects [`hmg_sim::fault::MsgDrop`].
     /// `None` means no draws happen at all, so fault-free runs are
     /// bit-identical to a build without the transport layer.
@@ -304,7 +304,7 @@ impl Fabric {
             stats: FabricStats::default(),
             faults: FaultPlan::default(),
             transport: TransportConfig::default(),
-            seq: HashMap::new(),
+            seq: BTreeMap::new(),
             drop_rng: None,
             liveness: Liveness::new(topo),
         }

@@ -6,7 +6,8 @@
 //! These are the passive structures the coherence protocols (crate
 //! `hmg-protocol`) and the GPU model (crate `hmg-gpu`) are built from:
 //!
-//! * [`addr`] — byte addresses, cache lines, directory blocks, pages.
+//! * [`addr`] — byte addresses, cache lines, directory blocks, pages
+//!   (defined in `hmg-sim` and re-exported here for compatibility).
 //! * [`cache`] — a set-associative LRU cache with per-line metadata.
 //! * [`directory`] — the NHCC/HMG coherence directory: set-associative,
 //!   coarse-grained (each entry covers several lines), hierarchical
@@ -17,7 +18,8 @@
 //! * [`version`] — the authoritative per-line version store used by the
 //!   functional coherence checker.
 
-pub mod addr;
+pub use hmg_sim::addr;
+
 pub mod cache;
 pub mod directory;
 pub mod dram;

@@ -7,7 +7,7 @@
 //! *GPU home* GPM per directory block via a hash (Section V-A); within
 //! the owning GPU the GPU home coincides with the system home (Fig. 6).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use hmg_interconnect::{GpmId, GpuId, Topology};
 use hmg_sim::rng::hash64;
@@ -50,14 +50,14 @@ pub enum PagePlacement {
 pub struct PageMap {
     topo: Topology,
     placement: PagePlacement,
-    homes: HashMap<PageId, GpmId>,
+    homes: BTreeMap<PageId, GpmId>,
     /// Bit *i* set = global GPM *i* is permanently offline: it can no
     /// longer home pages, and pages it homed have been re-hashed onto
     /// the survivors.
     offline: u64,
     /// Pages whose home died and were re-homed — these serve in
     /// degraded no-peer-caching mode (their DRAM partition is gone).
-    rehomed: HashSet<PageId>,
+    rehomed: BTreeSet<PageId>,
 }
 
 impl PageMap {
@@ -66,9 +66,9 @@ impl PageMap {
         PageMap {
             topo,
             placement,
-            homes: HashMap::new(),
+            homes: BTreeMap::new(),
             offline: 0,
-            rehomed: HashSet::new(),
+            rehomed: BTreeSet::new(),
         }
     }
 

@@ -7,7 +7,7 @@
 //! that synchronized readers never observe a version older than the one
 //! the synchronization guarantees.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::addr::LineAddr;
 
@@ -28,7 +28,7 @@ use crate::addr::LineAddr;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct VersionStore {
-    versions: HashMap<LineAddr, u64>,
+    versions: BTreeMap<LineAddr, u64>,
     stores_committed: u64,
 }
 

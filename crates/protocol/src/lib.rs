@@ -11,12 +11,15 @@
 //! * [`msg`] — protocol message types and their on-wire sizes.
 //! * [`table`] — the NHCC/HMG coherence-directory transition table
 //!   (Table I) as a pure function, exhaustively unit-tested per cell.
+//! * [`conformance`] — runtime conformance/coverage tracking that checks
+//!   every directory transition the engine executes against the table.
 //! * [`policy`] — the six evaluated coherence configurations and their
 //!   caching / invalidation / routing rules (Section VI).
 //! * [`trace`] — the trace format the workload generators produce and
 //!   the GPU engine replays.
 //! * [`tracefile`] — on-disk (de)serialization of traces.
 
+pub mod conformance;
 pub mod msg;
 pub mod op;
 pub mod policy;
@@ -25,9 +28,12 @@ pub mod table;
 pub mod trace;
 pub mod tracefile;
 
+pub use conformance::{Observed, TableConformance};
 pub use msg::MsgSizes;
 pub use op::{Access, AccessKind};
 pub use policy::{AcquireAction, ProtocolKind};
 pub use scope::Scope;
-pub use table::{transition, DirEvent, DirState, Outcome};
+pub use table::{
+    row_index, row_of, transition, try_transition, DirEvent, DirState, Outcome, NUM_ROWS,
+};
 pub use trace::{Cta, Kernel, TraceOp, WorkloadTrace};

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use hmg_mem::Addr;
+use hmg_sim::Addr;
 
 use crate::scope::Scope;
 
@@ -51,7 +51,7 @@ impl fmt::Display for AccessKind {
 ///
 /// ```
 /// use hmg_protocol::{Access, AccessKind, Scope};
-/// use hmg_mem::Addr;
+/// use hmg_sim::Addr;
 ///
 /// let a = Access::load(Addr(0x1000));
 /// assert_eq!(a.kind, AccessKind::Load);

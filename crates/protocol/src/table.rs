@@ -15,12 +15,25 @@
 
 /// Stable directory states. Valid corresponds to the entry being present
 /// in the set-associative directory; Invalid to its absence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DirState {
     /// No sharers tracked.
     Invalid,
     /// Entry present; sharer list is meaningful.
     Valid,
+}
+
+impl DirState {
+    /// Every stable state, in table-row order.
+    pub const ALL: [DirState; 2] = [DirState::Invalid, DirState::Valid];
+
+    /// One-letter label used by coverage reports ("I" / "V").
+    pub fn letter(self) -> &'static str {
+        match self {
+            DirState::Invalid => "I",
+            DirState::Valid => "V",
+        }
+    }
 }
 
 /// Events a directory entry can observe. "Local" means issued by the GPM
@@ -42,6 +55,47 @@ pub enum DirEvent {
     Invalidation,
 }
 
+impl DirEvent {
+    /// Every event, in table-column order.
+    pub const ALL: [DirEvent; 6] = [
+        DirEvent::LocalLoad,
+        DirEvent::LocalStore,
+        DirEvent::RemoteLoad,
+        DirEvent::RemoteStore,
+        DirEvent::Replace,
+        DirEvent::Invalidation,
+    ];
+
+    /// Column label used by coverage reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DirEvent::LocalLoad => "LocalLoad",
+            DirEvent::LocalStore => "LocalStore",
+            DirEvent::RemoteLoad => "RemoteLoad",
+            DirEvent::RemoteStore => "RemoteStore",
+            DirEvent::Replace => "Replace",
+            DirEvent::Invalidation => "Invalidation",
+        }
+    }
+}
+
+/// Number of cells in the `DirState` × `DirEvent` table domain.
+pub const NUM_ROWS: usize = DirState::ALL.len() * DirEvent::ALL.len();
+
+/// Dense index of a `(state, event)` cell, for coverage arrays.
+pub fn row_index(state: DirState, event: DirEvent) -> usize {
+    let s = state as usize;
+    let e = event as usize;
+    s * DirEvent::ALL.len() + e
+}
+
+/// Inverse of [`row_index`].
+pub fn row_of(index: usize) -> (DirState, DirEvent) {
+    let s = DirState::ALL[index / DirEvent::ALL.len()];
+    let e = DirEvent::ALL[index % DirEvent::ALL.len()];
+    (s, e)
+}
+
 /// What the controller must do in response to a directory event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Outcome {
@@ -56,7 +110,9 @@ pub struct Outcome {
 }
 
 impl Outcome {
-    const fn quiet(next: DirState) -> Self {
+    /// An outcome that moves to `next` without recording a sharer or
+    /// sending any invalidation.
+    pub const fn quiet(next: DirState) -> Self {
         Outcome {
             next,
             add_sharer: false,
@@ -91,55 +147,70 @@ impl Outcome {
 /// assert!(o.inv_all_sharers);
 /// ```
 pub fn transition(state: DirState, event: DirEvent, hmg: bool) -> Outcome {
+    match try_transition(state, event, hmg) {
+        Some(o) => o,
+        None => match (state, event) {
+            (DirState::Invalid, DirEvent::Replace) => {
+                panic!("cannot replace an Invalid directory entry")
+            }
+            _ => panic!("only HMG GPU home nodes receive invalidations"),
+        },
+    }
+}
+
+/// Total version of [`transition`] over the full `DirState` × `DirEvent`
+/// domain: `None` marks the cells Table I leaves undefined —
+/// `(Invalid, Replace)` under either variant, and the whole
+/// `Invalidation` column under flat NHCC (`hmg == false`).
+///
+/// This is the single source of truth for the table; both the runtime
+/// engine (via [`transition`]) and the static verifier in `crates/audit`
+/// consume it, so a table edit is automatically re-proved complete,
+/// conservative, and ack-free on the next `hmg-audit` run.
+pub fn try_transition(state: DirState, event: DirEvent, hmg: bool) -> Option<Outcome> {
     use DirEvent::*;
     use DirState::*;
     match (state, event) {
-        (Invalid, LocalLoad) | (Invalid, LocalStore) => Outcome::quiet(Invalid),
-        (Invalid, RemoteLoad) | (Invalid, RemoteStore) => Outcome {
+        (Invalid, LocalLoad) | (Invalid, LocalStore) => Some(Outcome::quiet(Invalid)),
+        (Invalid, RemoteLoad) | (Invalid, RemoteStore) => Some(Outcome {
             next: Valid,
             add_sharer: true,
             inv_all_sharers: false,
             inv_other_sharers: false,
-        },
-        (Invalid, Replace) => panic!("cannot replace an Invalid directory entry"),
-        (Invalid, Invalidation) => {
-            assert!(hmg, "only HMG GPU home nodes receive invalidations");
-            Outcome::quiet(Invalid)
-        }
-        (Valid, LocalLoad) => Outcome::quiet(Valid),
-        (Valid, LocalStore) => Outcome {
+        }),
+        (Invalid, Replace) => None,
+        (Invalid, Invalidation) => hmg.then_some(Outcome::quiet(Invalid)),
+        (Valid, LocalLoad) => Some(Outcome::quiet(Valid)),
+        (Valid, LocalStore) => Some(Outcome {
             next: Invalid,
             add_sharer: false,
             inv_all_sharers: true,
             inv_other_sharers: false,
-        },
-        (Valid, RemoteLoad) => Outcome {
+        }),
+        (Valid, RemoteLoad) => Some(Outcome {
             next: Valid,
             add_sharer: true,
             inv_all_sharers: false,
             inv_other_sharers: false,
-        },
-        (Valid, RemoteStore) => Outcome {
+        }),
+        (Valid, RemoteStore) => Some(Outcome {
             next: Valid,
             add_sharer: true,
             inv_all_sharers: false,
             inv_other_sharers: true,
-        },
-        (Valid, Replace) => Outcome {
+        }),
+        (Valid, Replace) => Some(Outcome {
             next: Invalid,
             add_sharer: false,
             inv_all_sharers: true,
             inv_other_sharers: false,
-        },
-        (Valid, Invalidation) => {
-            assert!(hmg, "only HMG GPU home nodes receive invalidations");
-            Outcome {
-                next: Invalid,
-                add_sharer: false,
-                inv_all_sharers: true, // "forward inv to all sharers"
-                inv_other_sharers: false,
-            }
-        }
+        }),
+        (Valid, Invalidation) => hmg.then_some(Outcome {
+            next: Invalid,
+            add_sharer: false,
+            inv_all_sharers: true, // "forward inv to all sharers"
+            inv_other_sharers: false,
+        }),
     }
 }
 
@@ -260,6 +331,37 @@ mod tests {
             transition(Valid, Replace, false),
             transition(Valid, Replace, true)
         );
+    }
+
+    #[test]
+    fn try_transition_is_none_exactly_on_the_undefined_cells() {
+        for hmg in [false, true] {
+            for state in DirState::ALL {
+                for event in DirEvent::ALL {
+                    let expect_na =
+                        (state, event) == (Invalid, Replace) || (event == Invalidation && !hmg);
+                    assert_eq!(
+                        try_transition(state, event, hmg).is_none(),
+                        expect_na,
+                        "{state:?}/{event:?} hmg={hmg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_index_round_trips_and_is_dense() {
+        let mut seen = [false; NUM_ROWS];
+        for state in DirState::ALL {
+            for event in DirEvent::ALL {
+                let i = row_index(state, event);
+                assert!(!seen[i], "duplicate index {i}");
+                seen[i] = true;
+                assert_eq!(row_of(i), (state, event));
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -93,7 +93,7 @@ impl Kernel {
 ///
 /// ```
 /// use hmg_protocol::{WorkloadTrace, Kernel, Cta, TraceOp, Access};
-/// use hmg_mem::Addr;
+/// use hmg_sim::Addr;
 ///
 /// let cta = Cta::new(vec![TraceOp::Access(Access::load(Addr(0)))]);
 /// let trace = WorkloadTrace::new("demo", vec![Kernel::new(vec![cta])]);
@@ -153,7 +153,7 @@ impl WorkloadTrace {
 mod tests {
     use super::*;
     use crate::op::AccessKind;
-    use hmg_mem::Addr;
+    use hmg_sim::Addr;
 
     fn access(addr: u64) -> TraceOp {
         TraceOp::Access(Access::load(Addr(addr)))

@@ -18,7 +18,7 @@
 
 use std::io::{self, Read, Write};
 
-use hmg_mem::Addr;
+use hmg_sim::Addr;
 
 use crate::op::{Access, AccessKind};
 use crate::scope::Scope;

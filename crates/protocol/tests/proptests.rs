@@ -159,9 +159,9 @@ fn cta_loads_hit_everywhere() {
 }
 
 mod tracefile_props {
-    use hmg_mem::Addr;
     use hmg_protocol::tracefile::{read_trace, write_trace};
     use hmg_protocol::{Access, AccessKind, Cta, Kernel, Scope, TraceOp, WorkloadTrace};
+    use hmg_sim::Addr;
     use hmg_sim::Rng;
 
     const CASES: u64 = 64;

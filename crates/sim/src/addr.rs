@@ -56,7 +56,7 @@ impl fmt::Display for PageId {
 /// # Example
 ///
 /// ```
-/// use hmg_mem::{MemGeometry, Addr};
+/// use hmg_sim::{MemGeometry, Addr};
 ///
 /// let g = MemGeometry::paper_default(); // 128 B lines, 2 MB pages, 4 lines/block
 /// let a = Addr(2 * 1024 * 1024 + 640);
@@ -153,6 +153,14 @@ impl MemGeometry {
     #[inline]
     pub fn line_base(&self, line: LineAddr) -> Addr {
         Addr(line.0 * self.line_bytes as u64)
+    }
+
+    /// The first cache line covered by directory block `b`. Total: every
+    /// block covers at least one line (`lines_per_block >= 1`), so unlike
+    /// `lines_of_block(b).next()` no `Option` is involved.
+    #[inline]
+    pub fn first_line_of_block(&self, b: BlockAddr) -> LineAddr {
+        LineAddr(b.0 * self.lines_per_block as u64)
     }
 
     /// Iterates the cache lines covered by directory block `b`.

@@ -4,6 +4,8 @@
 //!
 //! This crate contains the domain-independent pieces of the simulator:
 //!
+//! * [`addr`] — byte addresses and the cache-line / directory-block /
+//!   page granularities, shared by every layer above.
 //! * [`Cycle`] — the simulated clock, a newtype over `u64`.
 //! * [`EventQueue`] — a deterministic time-ordered event queue.
 //! * [`rng::Rng`] — a self-contained SplitMix64 PRNG so that every
@@ -33,6 +35,7 @@
 //! assert!(q.pop().is_none());
 //! ```
 
+pub mod addr;
 pub mod error;
 pub mod event;
 pub mod fault;
@@ -41,6 +44,7 @@ pub mod stats;
 pub mod time;
 pub mod watchdog;
 
+pub use addr::{Addr, BlockAddr, LineAddr, MemGeometry, PageId};
 pub use error::{SimError, SimErrorKind};
 pub use event::EventQueue;
 pub use fault::{FaultPlan, GpmOffline, GpuOffline, LinkDown};

@@ -31,6 +31,25 @@ fn identical_seeds_reproduce_identical_runs() {
 }
 
 #[test]
+fn state_digest_is_seed_stable_across_protocols() {
+    // Guards the ordered-map conversions in sim state (engine MSHRs,
+    // carve/flag/touch maps, fabric sequence numbers, page homes): a
+    // same-seed re-run must reproduce the committed-memory digest and
+    // the per-row directory-transition coverage bit for bit, and no
+    // executed transition may contradict the static Table I.
+    let spec = by_abbrev("CoMD").expect("CoMD in suite");
+    let trace = spec.generate(Scale::Tiny, 23);
+    let mut r = Runner::new(Scale::Tiny);
+    for p in ProtocolKind::ALL {
+        let a = r.run(&trace, p);
+        let b = r.run(&trace, p);
+        assert_eq!(a.state_digest, b.state_digest, "{p}: memory state");
+        assert_eq!(a.table, b.table, "{p}: transition coverage");
+        assert_eq!(a.table.mismatches, 0, "{p}: table conformance");
+    }
+}
+
+#[test]
 fn different_seeds_differ() {
     let spec = by_abbrev("bfs").expect("bfs in suite");
     let t1 = spec.generate(Scale::Tiny, 1);

@@ -48,7 +48,7 @@ fn main() {
 
     exp::print_table3(&opts);
 
-    let f8 = exp::fig8(&opts);
+    let f8 = exp::fig8(&opts).expect("fig8");
     f8.print("Fig. 8: five coherence configurations on the 4-GPU machine");
     let (vs_sw, vs_nhcc, of_ideal) = exp::headline(&f8);
     println!(
@@ -59,21 +59,40 @@ fn main() {
     );
     println!("headline (paper):    HMG vs SW +26%, vs NHCC +18%, 97% of ideal\n");
 
-    exp::fig2(&opts).print("Fig. 2: motivating subset");
+    exp::fig2(&opts)
+        .expect("fig2")
+        .print("Fig. 2: motivating subset");
     exp::fig3(&opts).print();
     exp::fig7().print();
     println!("paper Fig. 7: r = 0.99, mean abs err = 0.13\n");
     exp::fig9_10_11(&opts).print();
-    exp::fig12(&sweep_opts).print("Fig. 12: inter-GPU bandwidth sweep");
-    exp::fig13(&sweep_opts).print("Fig. 13: L2 capacity sweep");
-    exp::fig14(&sweep_opts).print("Fig. 14: directory capacity sweep");
-    exp::grain_sweep(&sweep_opts).print("§VII-B: directory granularity sweep");
+    exp::fig12(&sweep_opts)
+        .expect("fig12")
+        .print("Fig. 12: inter-GPU bandwidth sweep");
+    exp::fig13(&sweep_opts)
+        .expect("fig13")
+        .print("Fig. 13: L2 capacity sweep");
+    exp::fig14(&sweep_opts)
+        .expect("fig14")
+        .print("Fig. 14: directory capacity sweep");
+    exp::grain_sweep(&sweep_opts)
+        .expect("grain sweep")
+        .print("§VII-B: directory granularity sweep");
     exp::print_storage_cost();
-    exp::ablate_fences(&sweep_opts).print();
-    exp::ablate_placement(&sweep_opts).print();
-    exp::ablate_writeback(&sweep_opts).print();
-    exp::ablate_downgrades(&sweep_opts).print();
+    exp::ablate_fences(&sweep_opts)
+        .expect("fence ablation")
+        .print();
+    exp::ablate_placement(&sweep_opts)
+        .expect("placement ablation")
+        .print();
+    exp::ablate_writeback(&sweep_opts)
+        .expect("writeback ablation")
+        .print();
+    exp::ablate_downgrades(&sweep_opts)
+        .expect("downgrade ablation")
+        .print();
     exp::carve_comparison(&sweep_opts)
+        .expect("carve comparison")
         .print("Prior work: CARVE-like broadcast coherence vs NHCC/HMG");
 
     println!(

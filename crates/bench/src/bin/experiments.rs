@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! experiments fig8 --scale small
-//! experiments all --scale small
+//! experiments all --scale small --jobs 8
 //! experiments fig12 --workloads bfs,lstm --scale tiny
 //! ```
+//!
+//! The binary doubles as its own sweep worker: the hidden
+//! `__run-cell` mode (spawned by the supervisor under
+//! `--isolation process`) executes exactly one sweep cell and reports
+//! the outcome on stdout.
 
 use std::process::ExitCode;
 
 use hmg::experiments as exp;
+use hmg::prelude::SimError;
 use hmg_bench::{parse_args, Command, ParsedArgs};
 
 /// Writes `svg` into `dir/name.svg` when SVG output was requested.
@@ -25,14 +31,28 @@ fn save_svg(dir: &Option<String>, name: &str, svg: &str) {
     }
 }
 
-/// Runs one command; `false` means the command itself failed (`check`
-/// found a memory-model violation, or `audit` found a static one).
+/// Unwraps a sweep result, reporting a hard failure to stderr.
+fn or_report<T>(r: Result<T, SimError>) -> Option<T> {
+    match r {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("[sweep failed] {e}");
+            None
+        }
+    }
+}
+
+/// Runs one command; `false` means the command itself failed (a sweep
+/// stopped on a hard failure, `check` found a memory-model violation,
+/// or `audit` found a static one).
 fn run(cmd: Command, p: &ParsedArgs) -> bool {
     let (opts, svg, budget) = (&p.options, &p.svg_dir, p.budget);
     match cmd {
         Command::Table3 => exp::print_table3(opts),
         Command::Fig2 => {
-            let r = exp::fig2(opts);
+            let Some(r) = or_report(exp::fig2(opts)) else {
+                return false;
+            };
             r.print("Fig. 2: motivating multi-GPU comparison");
             save_svg(
                 svg,
@@ -51,7 +71,9 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             save_svg(svg, "fig7", &r.to_svg());
         }
         Command::Fig8 => {
-            let r = exp::fig8(opts);
+            let Some(r) = or_report(exp::fig8(opts)) else {
+                return false;
+            };
             r.print("Fig. 8: 4-GPU x 4-GPM, five coherence configurations");
             let (vs_sw, vs_nhcc, of_ideal) = exp::headline(&r);
             println!(
@@ -76,7 +98,9 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             save_svg(svg, "fig11", &f11);
         }
         Command::Fig12 => {
-            let r = exp::fig12(opts);
+            let Some(r) = or_report(exp::fig12(opts)) else {
+                return false;
+            };
             r.print("Fig. 12: inter-GPU bandwidth sensitivity");
             save_svg(
                 svg,
@@ -85,12 +109,16 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             );
         }
         Command::Fig13 => {
-            let r = exp::fig13(opts);
+            let Some(r) = or_report(exp::fig13(opts)) else {
+                return false;
+            };
             r.print("Fig. 13: L2 capacity sensitivity");
             save_svg(svg, "fig13", &r.to_svg("Fig. 13: L2 capacity sensitivity"));
         }
         Command::Fig14 => {
-            let r = exp::fig14(opts);
+            let Some(r) = or_report(exp::fig14(opts)) else {
+                return false;
+            };
             r.print("Fig. 14: directory capacity sensitivity");
             save_svg(
                 svg,
@@ -99,14 +127,23 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             );
         }
         Command::Grain => {
-            let r = exp::grain_sweep(opts);
+            let Some(r) = or_report(exp::grain_sweep(opts)) else {
+                return false;
+            };
             r.print("§VII-B: directory granularity sweep");
             save_svg(svg, "grain", &r.to_svg("Directory granularity sweep"));
         }
         Command::Cost => exp::print_storage_cost(),
-        Command::SingleGpu => exp::single_gpu(opts).print("§VII-A: single-GPU (1x4 GPM) check"),
+        Command::SingleGpu => {
+            let Some(r) = or_report(exp::single_gpu(opts)) else {
+                return false;
+            };
+            r.print("§VII-A: single-GPU (1x4 GPM) check");
+        }
         Command::Carve => {
-            let r = exp::carve_comparison(opts);
+            let Some(r) = or_report(exp::carve_comparison(opts)) else {
+                return false;
+            };
             r.print("Prior work: CARVE-like broadcast coherence vs NHCC/HMG");
             save_svg(
                 svg,
@@ -127,18 +164,46 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             }
         }
         Command::ScaleStudy => {
-            let r = exp::scale_study(opts);
+            let Some(r) = or_report(exp::scale_study(opts)) else {
+                return false;
+            };
             r.print("§VII-D: scaling to larger systems");
             save_svg(svg, "scale-study", &r.to_svg("Scaling to larger systems"));
         }
-        Command::AblateFence => exp::ablate_fences(opts).print(),
-        Command::AblatePlacement => exp::ablate_placement(opts).print(),
-        Command::AblateWriteback => exp::ablate_writeback(opts).print(),
-        Command::AblateDowngrade => exp::ablate_downgrades(opts).print(),
+        Command::AblateFence => match or_report(exp::ablate_fences(opts)) {
+            Some(r) => r.print(),
+            None => return false,
+        },
+        Command::AblatePlacement => match or_report(exp::ablate_placement(opts)) {
+            Some(r) => r.print(),
+            None => return false,
+        },
+        Command::AblateWriteback => match or_report(exp::ablate_writeback(opts)) {
+            Some(r) => r.print(),
+            None => return false,
+        },
+        Command::AblateDowngrade => match or_report(exp::ablate_downgrades(opts)) {
+            Some(r) => r.print(),
+            None => return false,
+        },
         Command::All => {
+            // Perf trajectory (ROADMAP item 1): tally every supervised
+            // sweep of the full paper run and leave a machine-readable
+            // baseline next to the figures.
+            hmg::supervisor::take_tally();
+            // audit:allow(entropy): wall-clock benchmarking only; never
+            // feeds simulated state.
+            let t0 = std::time::Instant::now();
             let mut ok = true;
             for c in Command::PAPER_ORDER {
                 ok &= run(c, p);
+            }
+            let tally = hmg::supervisor::take_tally();
+            let jobs = opts.supervisor_config().resolved_jobs(usize::MAX);
+            let json = tally.to_json(jobs, t0.elapsed().as_secs_f64());
+            match std::fs::write("BENCH_sweep.json", &json) {
+                Ok(()) => eprintln!("[wrote BENCH_sweep.json] {json}"),
+                Err(e) => eprintln!("cannot write BENCH_sweep.json: {e}"),
             }
             return ok;
         }
@@ -146,6 +211,7 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             let cfg = hmg_check::CheckConfig {
                 budget,
                 seed: opts.seed,
+                jobs: opts.jobs,
                 inject: opts
                     .faults
                     .as_ref()
@@ -178,6 +244,15 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Hidden supervisor worker mode: run exactly one sweep cell and
+    // exit. Must dispatch before normal parsing — the flag set is
+    // private to the supervisor, not part of the CLI surface.
+    if args.first().map(String::as_str) == Some("__run-cell") {
+        return match u8::try_from(exp::cell_main(&args[1..])) {
+            Ok(code) => ExitCode::from(code),
+            Err(_) => ExitCode::FAILURE,
+        };
+    }
     match parse_args(&args) {
         Ok(parsed) => {
             // audit:allow(entropy): wall-clock progress reporting only;

@@ -3,6 +3,7 @@
 
 use hmg::experiments::ExpOptions;
 use hmg::prelude::FaultPlan;
+use hmg::supervisor::Isolation;
 use hmg::workloads::Scale;
 
 /// Which experiment to run.
@@ -124,7 +125,7 @@ pub struct ParsedArgs {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--budget N] [--inject CLASS] [--root DIR]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--budget N] [--inject CLASS] [--root DIR]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
@@ -172,6 +173,20 @@ fail-in-place (DESIGN.md \u{a7}9 `Fail-in-place & reconfiguration`):
   --keep-going    isolate per-workload failures and print a partial
                   report with a failure table instead of aborting
 
+sweep supervisor (DESIGN.md \u{a7}11 `Supervised sweeps`):
+  --jobs N             worker slots for sweep cells (default: one per
+                       core, capped at the cell count)
+  --cell-timeout SECS  wall-clock budget per cell attempt; an overdue
+                       child is killed and reported as `timeout`
+  --retries N          re-run a crashed/timed-out cell up to N times
+                       with exponential backoff before quarantining it
+                       (default 2; typed simulation errors never retry)
+  --isolation MODE     process (default): each cell re-execs the binary
+                       via the hidden __run-cell mode so a crash or
+                       hang cannot take the sweep down; thread: run
+                       cells in-process (faster startup, panic-safe
+                       only — a hung cell cannot be killed)
+
 recovery (DESIGN.md \u{a7}7 `Recovery & degradation`):
   --checkpoint FILE    append per-cell sweep results to FILE as they
                        finish, so an interrupted sweep can be resumed
@@ -190,7 +205,13 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
     let cmd = it.next().ok_or_else(|| USAGE.to_string())?;
     let command =
         Command::from_name(cmd).ok_or_else(|| format!("unknown command `{cmd}`\n{USAGE}"))?;
-    let mut options = ExpOptions::default();
+    // Library callers default to thread isolation (their process is not
+    // the `experiments` binary, so re-exec would be wrong); the CLI *is*
+    // that binary, so it defaults to full process isolation.
+    let mut options = ExpOptions {
+        isolation: Isolation::Process,
+        ..ExpOptions::default()
+    };
     let mut svg_dir = None;
     let mut budget = 2000u64;
     let mut inject = None;
@@ -230,6 +251,24 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 let v = it.next().ok_or("--livelock-budget needs a cycle count")?;
                 options.livelock_budget =
                     Some(v.parse().map_err(|e| format!("bad livelock budget: {e}"))?);
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a worker count")?;
+                options.jobs = v.parse().map_err(|e| format!("bad job count: {e}"))?;
+            }
+            "--cell-timeout" => {
+                let v = it.next().ok_or("--cell-timeout needs a seconds value")?;
+                options.cell_timeout_secs =
+                    Some(v.parse().map_err(|e| format!("bad cell timeout: {e}"))?);
+            }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a retry count")?;
+                options.retries = v.parse().map_err(|e| format!("bad retry count: {e}"))?;
+            }
+            "--isolation" => {
+                let v = it.next().ok_or("--isolation needs process|thread")?;
+                options.isolation = Isolation::parse(v)
+                    .ok_or_else(|| format!("unknown isolation mode `{v}` (process|thread)"))?;
             }
             "--budget" => {
                 let v = it.next().ok_or("--budget needs an engine-run count")?;
@@ -351,6 +390,37 @@ mod tests {
         assert!(err.contains("--resume requires"), "{err}");
         assert!(parse_args(&s(&["fig8", "--checkpoint"])).is_err());
         assert!(parse_args(&s(&["fig8", "--livelock-budget", "lots"])).is_err());
+    }
+
+    #[test]
+    fn parses_supervisor_flags() {
+        let p = parse_args(&s(&[
+            "fig8",
+            "--jobs",
+            "4",
+            "--cell-timeout",
+            "30",
+            "--retries",
+            "1",
+            "--isolation",
+            "thread",
+        ]))
+        .unwrap();
+        assert_eq!(p.options.jobs, 4);
+        assert_eq!(p.options.cell_timeout_secs, Some(30));
+        assert_eq!(p.options.retries, 1);
+        assert_eq!(p.options.isolation, Isolation::Thread);
+        let q = parse_args(&s(&["fig8"])).unwrap();
+        assert_eq!(q.options.jobs, 0, "0 = one worker per core");
+        assert_eq!(q.options.cell_timeout_secs, None);
+        assert_eq!(
+            q.options.isolation,
+            Isolation::Process,
+            "the CLI defaults to full process isolation"
+        );
+        assert!(parse_args(&s(&["fig8", "--jobs", "many"])).is_err());
+        assert!(parse_args(&s(&["fig8", "--cell-timeout"])).is_err());
+        assert!(parse_args(&s(&["fig8", "--isolation", "vm"])).is_err());
     }
 
     #[test]

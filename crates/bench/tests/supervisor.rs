@@ -1,0 +1,241 @@
+//! End-to-end supervisor tests against the real `experiments` binary:
+//! crash isolation, timeout-kill, quarantine, exit-code semantics, and
+//! `--resume` digest equality — the ISSUE acceptance criterion.
+//!
+//! The crashing and hanging cells are injected with the documented env
+//! knobs (`HMG_CELL_CRASH` / `HMG_CELL_HANG`), scoped to each spawned
+//! child so concurrently running tests never see them.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_experiments");
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hmg-supervisor-{}-{name}", std::process::id()))
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The checksummed `ok` rows of a checkpoint file, order-insensitive.
+/// Each row embeds the cell key, its cycle count, and its
+/// `state_digest`, so set equality *is* result equality.
+fn ok_rows(path: &Path) -> BTreeSet<String> {
+    std::fs::read_to_string(path)
+        .expect("checkpoint file readable")
+        .lines()
+        .filter(|l| l.contains("\tok\t"))
+        .map(str::to_string)
+        .collect()
+}
+
+/// A two-workload fig8 sweep (12 cells) under full process isolation.
+fn sweep(ckpt: &Path, resume: bool, knobs: bool) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "fig8",
+        "--scale",
+        "tiny",
+        "--seed",
+        "4",
+        "--workloads",
+        "bfs,lstm",
+        "--keep-going",
+        "--jobs",
+        "4",
+        "--retries",
+        "1",
+        "--cell-timeout",
+        "5",
+        "--checkpoint",
+    ])
+    .arg(ckpt);
+    if resume {
+        cmd.arg("--resume");
+    }
+    if knobs {
+        // lstm/hmg crashes on every attempt; bfs/ideal hangs until the
+        // supervisor's timeout kills it.
+        cmd.env("HMG_CELL_CRASH", "lstm/hmg");
+        cmd.env("HMG_CELL_HANG", "bfs/ideal");
+    } else {
+        cmd.env_remove("HMG_CELL_CRASH");
+        cmd.env_remove("HMG_CELL_HANG");
+    }
+    cmd.output().expect("experiments binary runs")
+}
+
+/// ISSUE acceptance criterion: a sweep containing one crashing cell and
+/// one hung cell completes on all remaining cells and reports both;
+/// `--resume` re-runs only the two bad cells and reproduces
+/// `state_digest`-identical results for the rest.
+#[test]
+fn crashed_and_hung_cells_are_reported_then_resume_heals() {
+    let ckpt = tmp("accept.ckpt");
+    let fresh = tmp("accept-fresh.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&fresh);
+
+    // Faulty sweep: 10 of 12 cells complete, the bad two are retried,
+    // quarantined, and named in the failure table; --keep-going keeps
+    // the exit code green.
+    let faulty = sweep(&ckpt, false, true);
+    let (out, err) = (stdout(&faulty), stderr(&faulty));
+    assert!(
+        faulty.status.success(),
+        "--keep-going must exit 0:\n{out}\n{err}"
+    );
+    assert!(
+        out.contains("crashed=1") && out.contains("timeout=1") && out.contains("quarantined=2"),
+        "summary must count the crash and the timeout:\n{out}"
+    );
+    assert!(
+        out.contains("cell crashed:"),
+        "failure table must name the crashed cell:\n{out}"
+    );
+    assert!(
+        out.contains("cell timed out:"),
+        "failure table must name the hung cell:\n{out}"
+    );
+    assert_eq!(ok_rows(&ckpt).len(), 10, "the other 10 cells completed");
+
+    // Resume without the knobs: only the two bad cells re-run.
+    let healed = sweep(&ckpt, true, false);
+    let out = stdout(&healed);
+    assert!(healed.status.success(), "healed resume exits 0:\n{out}");
+    assert!(
+        out.contains("reused=10"),
+        "resume must reuse the 10 completed cells:\n{out}"
+    );
+    assert!(
+        out.contains("crashed=0") && out.contains("timeout=0"),
+        "no failures remain after the knobs are lifted:\n{out}"
+    );
+
+    // An uninterrupted sweep must produce the identical checkpoint
+    // rows: same keys, same cycles, same state digests.
+    let uninterrupted = sweep(&fresh, false, false);
+    assert!(uninterrupted.status.success());
+    assert_eq!(
+        ok_rows(&ckpt),
+        ok_rows(&fresh),
+        "resumed results must be state_digest-identical to an uninterrupted run"
+    );
+
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&fresh);
+}
+
+#[test]
+fn hard_failure_without_keep_going_exits_nonzero() {
+    let out = Command::new(BIN)
+        .args([
+            "fig8",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4",
+            "--workloads",
+            "bfs",
+            "--jobs",
+            "2",
+            "--retries",
+            "0",
+        ])
+        .env("HMG_CELL_CRASH", "bfs/hmg")
+        .env_remove("HMG_CELL_HANG")
+        .output()
+        .expect("experiments binary runs");
+    assert!(
+        !out.status.success(),
+        "a quarantined cell without --keep-going must fail the run"
+    );
+    assert!(
+        stderr(&out).contains("[sweep failed]"),
+        "the hard failure is reported:\n{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn thread_isolation_shares_the_cli_surface() {
+    let out = Command::new(BIN)
+        .args([
+            "fig8",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4",
+            "--workloads",
+            "lstm",
+            "--isolation",
+            "thread",
+            "--jobs",
+            "2",
+        ])
+        .env_remove("HMG_CELL_CRASH")
+        .env_remove("HMG_CELL_HANG")
+        .output()
+        .expect("experiments binary runs");
+    let text = stdout(&out);
+    assert!(out.status.success(), "{text}\n{}", stderr(&out));
+    assert!(
+        text.contains("[sweep]") && text.contains("jobs=2"),
+        "the supervisor summary reports the in-process pool:\n{text}"
+    );
+}
+
+/// The hidden worker mode runs one cell and reports the outcome marker
+/// (success on stdout; parse errors with the dedicated fault exit).
+#[test]
+fn run_cell_mode_emits_the_outcome_marker() {
+    let out = Command::new(BIN)
+        .args([
+            "__run-cell",
+            "--key",
+            "smoke/hmg",
+            "--workload",
+            "bfs",
+            "--protocol",
+            "hmg",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4",
+        ])
+        .env_remove("HMG_CELL_CRASH")
+        .env_remove("HMG_CELL_HANG")
+        .output()
+        .expect("experiments binary runs");
+    let text = stdout(&out);
+    assert!(out.status.success(), "{text}\n{}", stderr(&out));
+    assert!(
+        text.lines()
+            .last()
+            .unwrap_or("")
+            .starts_with("__hmg_cell_v1 ok cycles="),
+        "the cell marker is the last stdout line:\n{text}"
+    );
+
+    let bad = Command::new(BIN)
+        .args(["__run-cell", "--workload", "no-such-workload"])
+        .output()
+        .expect("experiments binary runs");
+    assert_eq!(
+        bad.status.code(),
+        Some(2),
+        "a faulted cell exits with CELL_FAULT_EXIT"
+    );
+    assert!(
+        stdout(&bad).contains("__hmg_cell_v1 err"),
+        "the error marker is reported:\n{}",
+        stdout(&bad)
+    );
+}

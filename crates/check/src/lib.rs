@@ -45,7 +45,7 @@ use std::collections::HashSet;
 use std::fmt;
 
 use hmg::prelude::ProtocolKind;
-use hmg::runner::parallel_map;
+use hmg::supervisor::{self, Attempt, CellStatus, Isolation, SupervisorConfig};
 
 use enumerate::Enumerator;
 use harness::{check_program, cost_of, minimize, Violation};
@@ -72,6 +72,8 @@ pub struct CheckConfig {
     /// outcomes must stay within the memory-model oracle's allowed set
     /// even while every affected message detours over the second tier.
     pub link_down: Option<(u16, u16, u64)>,
+    /// Worker threads for the class sweep (0 = one per core).
+    pub jobs: usize,
 }
 
 impl Default for CheckConfig {
@@ -83,6 +85,7 @@ impl Default for CheckConfig {
             inject: false,
             minimize: true,
             link_down: None,
+            jobs: 0,
         }
     }
 }
@@ -105,12 +108,15 @@ pub struct CheckReport {
     /// Whether the bounded space was fully covered before the budget
     /// ran out.
     pub exhausted: bool,
+    /// Canonical class keys whose checker panicked (supervisor-caught);
+    /// a crashed class is *unchecked*, so it fails the sweep.
+    pub crashed_classes: Vec<String>,
 }
 
 impl CheckReport {
-    /// `true` when the sweep found no disagreement.
+    /// `true` when the sweep found no disagreement and no class crashed.
     pub fn passed(&self) -> bool {
-        self.violations.is_empty()
+        self.violations.is_empty() && self.crashed_classes.is_empty()
     }
 }
 
@@ -137,6 +143,12 @@ impl fmt::Display for CheckReport {
         }
         if self.violations.len() > SHOWN {
             writeln!(f, "  ... and {} more", self.violations.len() - SHOWN)?;
+        }
+        if !self.crashed_classes.is_empty() {
+            writeln!(f, "  crashed classes     : {}", self.crashed_classes.len())?;
+            for c in &self.crashed_classes {
+                writeln!(f, "    {c}")?;
+            }
         }
         Ok(())
     }
@@ -171,11 +183,47 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
     }
     report.classes_checked = batch.len() as u64;
 
-    let results = parallel_map(&batch, |p| check_program(p, cfg));
-    for r in results {
-        report.runs += r.runs;
-        report.outcomes_checked += r.outcomes;
-        report.violations.extend(r.violations);
+    // Classes sweep under the supervisor (thread isolation: litmus
+    // cells are tiny, process re-exec would dominate). A panicking
+    // class is quarantined and reported instead of aborting the sweep.
+    let sup = SupervisorConfig {
+        jobs: cfg.jobs,
+        cell_timeout: None,
+        retries: 0,
+        isolation: Isolation::Thread,
+        keep_going: true,
+    };
+    let sweep = supervisor::supervise(
+        &batch,
+        |p: &Program| p.key(),
+        &sup,
+        |p, _attempt| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_program(p, cfg)
+        })) {
+            Ok(r) => Attempt::Ok(r),
+            Err(payload) => {
+                Attempt::Crashed(supervisor::panic_message(payload.as_ref()).to_string())
+            }
+        },
+    );
+    for cell in sweep.cells {
+        match cell.status {
+            CellStatus::Ok => {
+                if let Some(r) = cell.outcome {
+                    report.runs += r.runs;
+                    report.outcomes_checked += r.outcomes;
+                    report.violations.extend(r.violations);
+                }
+            }
+            CellStatus::Crashed(m) => report.crashed_classes.push(format!("{}: {m}", cell.key)),
+            // retries=0 + keep_going: failed/timeout/skipped cannot
+            // occur in thread mode, but route them the same way.
+            CellStatus::Failed(e) => report.crashed_classes.push(format!("{}: {e}", cell.key)),
+            CellStatus::Timeout(m) => report.crashed_classes.push(format!("{}: {m}", cell.key)),
+            CellStatus::Skipped => report
+                .crashed_classes
+                .push(format!("{}: skipped", cell.key)),
+        }
     }
 
     if cfg.minimize {

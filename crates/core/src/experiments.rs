@@ -8,11 +8,12 @@ use hmg_gpu::{Engine, EngineConfig, RunMetrics};
 use hmg_protocol::{ProtocolKind, WorkloadTrace};
 use hmg_sim::{stats, FaultPlan, SimError};
 use hmg_workloads::micro::{correlation_suite, MachineParams, Micro};
-use hmg_workloads::suite::table3;
+use hmg_workloads::suite::{by_abbrev, table3};
 use hmg_workloads::{Scale, WorkloadSpec};
 
 use crate::report::{f2, f3, pct, Table};
-use crate::runner::parallel_map;
+use crate::runner::{parallel_map, SweepCheckpoint};
+use crate::supervisor::{self, Attempt, CellCommand, CellStatus, Isolation, SupervisorConfig};
 
 /// Options shared by all experiments.
 #[derive(Debug, Clone)]
@@ -42,6 +43,20 @@ pub struct ExpOptions {
     /// workload-scaled default, `Some(0)` disarms the watchdog, any
     /// other value is the budget in cycles.
     pub livelock_budget: Option<u64>,
+    /// Supervised-sweep worker pool size (0 = all cores).
+    pub jobs: usize,
+    /// Per-cell wall-clock budget in seconds for process-isolated
+    /// cells; a cell exceeding it is killed and reported as `timeout`.
+    /// `None` disables the budget. Ignored under thread isolation
+    /// (threads cannot be killed).
+    pub cell_timeout_secs: Option<u64>,
+    /// Retry cap for transient cell failures (crash/timeout): after
+    /// this many re-attempts the cell is quarantined.
+    pub retries: u32,
+    /// Cell isolation mode: `Process` re-executes the experiments
+    /// binary per cell (crash/hang-proof), `Thread` runs cells
+    /// in-process (panic-safe only).
+    pub isolation: Isolation,
 }
 
 impl Default for ExpOptions {
@@ -55,6 +70,10 @@ impl Default for ExpOptions {
             checkpoint: None,
             resume: false,
             livelock_budget: None,
+            jobs: 0,
+            cell_timeout_secs: None,
+            retries: 2,
+            isolation: Isolation::Thread,
         }
     }
 }
@@ -71,6 +90,19 @@ impl ExpOptions {
             .collect()
     }
 
+    /// The supervisor configuration these options select.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            jobs: self.jobs,
+            cell_timeout: self.cell_timeout_secs.map(std::time::Duration::from_secs),
+            retries: self.retries,
+            isolation: self.isolation,
+            keep_going: self.keep_going,
+        }
+    }
+
+    /// The engine configuration these options select for in-process
+    /// (non-supervised) drivers like Figs. 3 and 7.
     fn base_config(&self, protocol: ProtocolKind) -> EngineConfig {
         let mut cfg = match self.scale {
             Scale::Tiny => EngineConfig::small_test(protocol),
@@ -81,6 +113,471 @@ impl ExpOptions {
         }
         cfg
     }
+
+    /// Builds the cell context for one (workload, protocol) run.
+    fn cell(&self, key: String, workload: &str, protocol: ProtocolKind, tweak: &str) -> CellCtx {
+        CellCtx {
+            key,
+            workload: workload.to_string(),
+            protocol,
+            tweak: tweak.to_string(),
+            scale: self.scale,
+            seed: self.seed,
+            faults: self.faults.clone(),
+            livelock_budget: self.livelock_budget,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sweep cells: serializable units of work the supervisor can re-exec
+// in a child process (`experiments __run-cell ...`) or run in-process.
+// ---------------------------------------------------------------------
+
+/// Applies a serialized configuration tweak to `cfg`.
+///
+/// Tweaks are `+`-separated clauses, so a figure's configuration can
+/// cross the process boundary to a `__run-cell` child:
+///
+/// | clause              | effect                                       |
+/// |---------------------|----------------------------------------------|
+/// | `bw=G`              | inter-GPU bandwidth in GB/s (Fig. 12)        |
+/// | `l2mb=M`            | L2 capacity per GPU in MB (Fig. 13)          |
+/// | `dirk=K`            | directory entries per GPM in K (Fig. 14)     |
+/// | `grain=G`           | lines per directory entry, fixed coverage    |
+/// | `gpus=N`            | N-GPU topology, 4 GPMs each                  |
+/// | `zero-cost-fences`  | free release fences (ablation)               |
+/// | `write-policy=wt/wb`| L2 write policy (ablation)                   |
+/// | `downgrades=on/off` | sharer-downgrade messages (ablation)         |
+/// | `placement=ft/il`   | first-touch / interleaved pages (ablation)   |
+pub fn apply_tweak(spec: &str, cfg: &mut EngineConfig) -> Result<(), SimError> {
+    for clause in spec.split('+').filter(|c| !c.is_empty()) {
+        let (key, value) = match clause.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (clause, None),
+        };
+        let bad = || SimError::config(format!("bad tweak clause `{clause}`"));
+        match (key, value) {
+            ("bw", Some(v)) => cfg.fabric.inter_gpu_gbps = v.parse().map_err(|_| bad())?,
+            ("l2mb", Some(v)) => {
+                let mb: u64 = v.parse().map_err(|_| bad())?;
+                let lines_per_gpm = mb * 1024 * 1024 / 4 / cfg.geometry.line_bytes() as u64;
+                cfg.l2 = hmg_mem::CacheConfig::new(lines_per_gpm as u32, 16);
+            }
+            ("dirk", Some(v)) => {
+                let k: u32 = v.parse().map_err(|_| bad())?;
+                cfg.dir = hmg_mem::DirectoryConfig::new(k * 1024, 16);
+            }
+            ("grain", Some(v)) => {
+                let g: u32 = v
+                    .parse()
+                    .ok()
+                    .filter(|&g| g >= 1 && u32::is_power_of_two(g))
+                    .ok_or_else(bad)?;
+                let coverage_lines = cfg.dir.entries as u64 * 4; // Table II coverage
+                let entries = (coverage_lines / g as u64) as u32;
+                cfg.geometry = hmg_mem::MemGeometry::new(
+                    cfg.geometry.line_bytes(),
+                    g,
+                    cfg.geometry.page_bytes(),
+                );
+                cfg.dir = hmg_mem::DirectoryConfig::new(entries.max(16) / 16 * 16, 16);
+            }
+            ("gpus", Some(v)) => {
+                let n: u16 = v.parse().map_err(|_| bad())?;
+                cfg.topo = hmg_interconnect::Topology::new(n, 4);
+            }
+            ("zero-cost-fences", None) => cfg.zero_cost_fences = true,
+            ("write-policy", Some("wt")) => {
+                cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteThrough;
+            }
+            ("write-policy", Some("wb")) => cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteBack,
+            ("downgrades", Some("on")) => cfg.sharer_downgrades = true,
+            ("downgrades", Some("off")) => cfg.sharer_downgrades = false,
+            ("placement", Some("ft")) => cfg.placement = hmg_mem::PagePlacement::FirstTouch,
+            ("placement", Some("il")) => cfg.placement = hmg_mem::PagePlacement::Interleaved,
+            _ => return Err(bad()),
+        }
+    }
+    Ok(())
+}
+
+/// Everything needed to run one sweep cell, small enough to serialize
+/// across the `__run-cell` process boundary.
+#[derive(Debug, Clone)]
+pub struct CellCtx {
+    /// Unique cell key within the sweep (`workload/protocol`, or
+    /// `point/workload/protocol` for sensitivity sweeps).
+    pub key: String,
+    /// Workload abbreviation (Table III).
+    pub workload: String,
+    /// Protocol configuration to run.
+    pub protocol: ProtocolKind,
+    /// Serialized configuration tweak (see [`apply_tweak`]).
+    pub tweak: String,
+    /// Experiment scale.
+    pub scale: Scale,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Fault-injection plan, if any.
+    pub faults: Option<FaultPlan>,
+    /// Livelock-watchdog budget override.
+    pub livelock_budget: Option<u64>,
+}
+
+/// The result of one completed sweep cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellOutcome {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Committed-memory state digest ([`RunMetrics::state_digest`]).
+    pub digest: u64,
+    /// DES events executed (throughput accounting).
+    pub events: u64,
+}
+
+/// Runs one sweep cell from scratch: trace generation, configuration,
+/// watchdog arming, isolated execution. This is the single code path
+/// shared by thread-isolated cells and `__run-cell` children, so both
+/// isolation modes produce bit-identical results.
+pub fn run_cell(ctx: &CellCtx) -> Result<CellOutcome, SimError> {
+    let spec = by_abbrev(&ctx.workload)
+        .ok_or_else(|| SimError::config(format!("unknown workload `{}`", ctx.workload)))?;
+    let trace = spec.generate(ctx.scale, ctx.seed);
+    let mut cfg = match ctx.scale {
+        Scale::Tiny => EngineConfig::small_test(ctx.protocol),
+        Scale::Small | Scale::Full => EngineConfig::paper_default(ctx.protocol),
+    };
+    if let Some(f) = &ctx.faults {
+        cfg.faults = f.clone();
+    }
+    apply_tweak(&ctx.tweak, &mut cfg)?;
+    crate::runner::scale_capacities(&mut cfg, spec.capacity_factor(ctx.scale));
+    crate::runner::arm_watchdog(&mut cfg, &trace, ctx.livelock_budget);
+    let m = crate::runner::run_isolated(cfg, &trace)?;
+    // Per-epoch fail-in-place accounting, greppable from sweep logs
+    // (all-zero on fault-free runs, so print nothing).
+    if m.reconfig.epochs > 0 {
+        println!(
+            "[fail-in-place] workload={} protocol={} {}",
+            ctx.workload,
+            ctx.protocol.name(),
+            m.reconfig
+        );
+    }
+    Ok(CellOutcome {
+        cycles: m.total_cycles.as_u64(),
+        digest: m.state_digest,
+        events: m.events,
+    })
+}
+
+fn first_line(s: &str) -> &str {
+    s.lines().next().unwrap_or("unknown error")
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+/// Entry point of the hidden `__run-cell` mode the `experiments`
+/// binary dispatches before normal argument parsing. Parses the cell
+/// spec from `args`, runs the cell, and reports the outcome as the
+/// final stdout line (`__hmg_cell_v1 ok ...` on success, `__hmg_cell_v1
+/// err ...` with exit code 2 on a typed simulation error). Any other
+/// exit — a panic, a kill — is classified by the parent as a crash.
+pub fn cell_main(args: &[String]) -> i32 {
+    let (ctx, attempt) = match parse_cell_args(args) {
+        Ok(v) => v,
+        Err(e) => {
+            println!(
+                "{} err {}",
+                supervisor::CELL_MARKER,
+                first_line(&e.to_string())
+            );
+            return supervisor::CELL_FAULT_EXIT;
+        }
+    };
+    supervisor::apply_test_knobs(&ctx.key, attempt);
+    match run_cell(&ctx) {
+        Ok(out) => {
+            println!(
+                "{} ok cycles={} digest={:016x} events={}",
+                supervisor::CELL_MARKER,
+                out.cycles,
+                out.digest,
+                out.events
+            );
+            0
+        }
+        Err(e) => {
+            println!(
+                "{} err {}",
+                supervisor::CELL_MARKER,
+                first_line(&e.to_string())
+            );
+            supervisor::CELL_FAULT_EXIT
+        }
+    }
+}
+
+fn parse_cell_args(args: &[String]) -> Result<(CellCtx, u32), SimError> {
+    let mut ctx = CellCtx {
+        key: String::new(),
+        workload: String::new(),
+        protocol: ProtocolKind::Hmg,
+        tweak: String::new(),
+        scale: Scale::Tiny,
+        seed: 0,
+        faults: None,
+        livelock_budget: None,
+    };
+    let mut attempt = 1u32;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| SimError::config(format!("{flag} needs a value")))?;
+        let bad = || SimError::config(format!("bad {flag} value `{value}`"));
+        match flag {
+            "--key" => ctx.key = value.clone(),
+            "--workload" => ctx.workload = value.clone(),
+            "--protocol" => ctx.protocol = ProtocolKind::from_name(value).ok_or_else(bad)?,
+            "--tweak" => ctx.tweak = value.clone(),
+            "--scale" => ctx.scale = parse_scale(value).ok_or_else(bad)?,
+            "--seed" => ctx.seed = value.parse().map_err(|_| bad())?,
+            "--attempt" => attempt = value.parse().map_err(|_| bad())?,
+            "--faults" => ctx.faults = Some(FaultPlan::parse(value)?),
+            "--livelock-budget" => ctx.livelock_budget = Some(value.parse().map_err(|_| bad())?),
+            other => return Err(SimError::config(format!("unknown cell flag `{other}`"))),
+        }
+        i += 2;
+    }
+    if ctx.workload.is_empty() {
+        return Err(SimError::config(
+            "__run-cell requires --workload".to_string(),
+        ));
+    }
+    if ctx.key.is_empty() {
+        ctx.key = format!("{}/{}", ctx.workload, ctx.protocol.name());
+    }
+    Ok((ctx, attempt))
+}
+
+/// Builds the `__run-cell` re-exec command for `ctx`.
+fn cell_command(ctx: &CellCtx, attempt: u32) -> Result<CellCommand, SimError> {
+    let exe = std::env::current_exe()
+        .map_err(|e| SimError::config(format!("cannot locate the experiments binary: {e}")))?;
+    let mut args: Vec<String> = vec![
+        "__run-cell".into(),
+        "--key".into(),
+        ctx.key.clone(),
+        "--workload".into(),
+        ctx.workload.clone(),
+        "--protocol".into(),
+        ctx.protocol.name().to_string(),
+        "--tweak".into(),
+        ctx.tweak.clone(),
+        "--scale".into(),
+        scale_name(ctx.scale).to_string(),
+        "--seed".into(),
+        ctx.seed.to_string(),
+        "--attempt".into(),
+        attempt.to_string(),
+    ];
+    if let Some(f) = &ctx.faults {
+        args.push("--faults".into());
+        args.push(f.to_spec());
+    }
+    if let Some(b) = ctx.livelock_budget {
+        args.push("--livelock-budget".into());
+        args.push(b.to_string());
+    }
+    Ok(CellCommand { exe, args })
+}
+
+/// Parses the `__hmg_cell_v1 ok` marker payload a child printed.
+fn parse_cell_payload(payload: &str) -> Option<CellOutcome> {
+    let (mut cycles, mut digest, mut events) = (None, None, None);
+    for tok in payload.split_whitespace() {
+        let (k, v) = tok.split_once('=')?;
+        match k {
+            "cycles" => cycles = Some(v.parse().ok()?),
+            "digest" => digest = Some(u64::from_str_radix(v, 16).ok()?),
+            "events" => events = Some(v.parse().ok()?),
+            _ => return None,
+        }
+    }
+    Some(CellOutcome {
+        cycles: cycles?,
+        digest: digest?,
+        events: events?,
+    })
+}
+
+/// One attempt of a cell in-process: panics (from the injection knob or
+/// residual engine bugs outside [`crate::runner::run_isolated`]) are
+/// caught and classified as crashes so the supervisor can retry.
+fn thread_attempt(cell: &CellCtx, attempt_no: u32) -> Attempt<CellOutcome> {
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        supervisor::apply_test_knobs(&cell.key, attempt_no);
+        run_cell(cell)
+    }));
+    match r {
+        Ok(Ok(out)) => Attempt::Ok(out),
+        Ok(Err(e)) => Attempt::Fault(e),
+        Err(payload) => Attempt::Crashed(format!(
+            "cell panicked: {}",
+            supervisor::panic_message(payload.as_ref())
+        )),
+    }
+}
+
+/// One attempt of a cell in a child process via `__run-cell` re-exec.
+fn process_cell_attempt(
+    cell: &CellCtx,
+    attempt_no: u32,
+    sup: &SupervisorConfig,
+) -> Attempt<CellOutcome> {
+    let cmd = match cell_command(cell, attempt_no) {
+        Ok(cmd) => cmd,
+        Err(e) => return Attempt::Fault(e),
+    };
+    match supervisor::process_attempt(&cmd, sup.cell_timeout) {
+        Attempt::Ok(payload) => match parse_cell_payload(&payload) {
+            Some(out) => Attempt::Ok(out),
+            None => Attempt::Crashed(format!("unparseable cell marker payload `{payload}`")),
+        },
+        Attempt::Fault(e) => Attempt::Fault(e),
+        Attempt::Crashed(m) => Attempt::Crashed(m),
+        Attempt::Timeout(m) => Attempt::Timeout(m),
+    }
+}
+
+/// Per-cell merged outcome of a supervised sweep.
+enum CellResult {
+    /// The cell completed (this run, or reused from the checkpoint).
+    Done { outcome: CellOutcome },
+    /// The cell failed: a typed error, a quarantined crash, or a
+    /// timeout-kill.
+    Failed(SimError),
+    /// The cell was drained unrun after a hard failure stopped the
+    /// sweep (no `--keep-going`).
+    Skipped,
+}
+
+/// Runs `cells` through the supervisor: checkpointed cells are reused,
+/// the rest execute under the configured isolation with retry/backoff
+/// and timeout-kill, completed cells are checkpointed as they finish,
+/// and results merge back in input order.
+fn run_cells(
+    opts: &ExpOptions,
+    cells: &[CellCtx],
+    ckpt: Option<&SweepCheckpoint>,
+) -> Vec<CellResult> {
+    let mut merged: Vec<Option<CellResult>> = cells
+        .iter()
+        .map(|c| {
+            ckpt.and_then(|k| k.lookup(&c.key))
+                .map(|rec| CellResult::Done {
+                    outcome: CellOutcome {
+                        cycles: rec.cycles,
+                        digest: rec.digest,
+                        events: 0,
+                    },
+                })
+        })
+        .collect();
+    let reused = merged.iter().filter(|m| m.is_some()).count();
+    let pending: Vec<CellCtx> = cells
+        .iter()
+        .zip(&merged)
+        .filter(|(_, m)| m.is_none())
+        .map(|(c, _)| c.clone())
+        .collect();
+    let sup = opts.supervisor_config();
+    let report = supervisor::supervise(
+        &pending,
+        |c: &CellCtx| c.key.clone(),
+        &sup,
+        |cell, attempt_no| {
+            let a = match sup.isolation {
+                Isolation::Thread => thread_attempt(cell, attempt_no),
+                Isolation::Process => process_cell_attempt(cell, attempt_no, &sup),
+            };
+            // Record final outcomes immediately, so an interrupt loses
+            // at most the in-flight cells. Crashes/timeouts may still
+            // be retried; they are recorded post-merge instead.
+            match &a {
+                Attempt::Ok(out) => {
+                    supervisor::tally_events(out.events);
+                    if let Some(k) = ckpt {
+                        k.record_ok(&cell.key, out.cycles, out.digest);
+                    }
+                }
+                Attempt::Fault(e) => {
+                    if let Some(k) = ckpt {
+                        k.record_failure(&cell.key, &e.to_string());
+                    }
+                }
+                Attempt::Crashed(_) | Attempt::Timeout(_) => {}
+            }
+            a
+        },
+    );
+    println!(
+        "{}",
+        report.summary_line(reused, ckpt.map_or(0, |c| c.stale_rows()))
+    );
+    let mut live = report.cells.into_iter();
+    for slot in merged.iter_mut() {
+        if slot.is_some() {
+            continue;
+        }
+        let Some(cr) = live.next() else { break };
+        *slot = Some(match cr.status {
+            CellStatus::Ok => match cr.outcome {
+                Some(outcome) => CellResult::Done { outcome },
+                None => CellResult::Failed(SimError::protocol(
+                    "cell reported ok without an outcome".to_string(),
+                )),
+            },
+            CellStatus::Failed(e) => CellResult::Failed(e),
+            CellStatus::Crashed(m) => {
+                let e = SimError::protocol(format!("cell crashed: {m}"));
+                if let Some(k) = ckpt {
+                    k.record_failure(&cr.key, &e.to_string());
+                }
+                CellResult::Failed(e)
+            }
+            CellStatus::Timeout(m) => {
+                let e = SimError::protocol(format!("cell timed out: {m}"));
+                if let Some(k) = ckpt {
+                    k.record_failure(&cr.key, &e.to_string());
+                }
+                CellResult::Failed(e)
+            }
+            CellStatus::Skipped => CellResult::Skipped,
+        });
+    }
+    merged
+        .into_iter()
+        .map(|m| m.unwrap_or(CellResult::Skipped))
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -195,133 +692,123 @@ impl SpeedupResult {
     }
 }
 
-/// Runs the suite under `protocols` (plus the baseline) with `tweak`
-/// applied to every configuration; returns speedups over the baseline.
+/// Runs the suite under `protocols` (plus the baseline) with the
+/// serialized `tweak` applied to every configuration; returns speedups
+/// over the baseline.
+///
+/// Every (workload, protocol) cell runs under the sweep supervisor:
+/// process- or thread-isolated, retried with backoff on transient
+/// failure, timeout-killed when over budget, and checkpointed as it
+/// finishes so `--resume` reuses completed cells. Without
+/// `keep_going`, the first hard failure drains the sweep and comes
+/// back as `Err`; with it, failures land in the result's failure
+/// table.
 pub fn speedup_suite(
     opts: &ExpOptions,
     protocols: &[ProtocolKind],
-    tweak: impl Fn(&mut EngineConfig) + Sync,
-) -> SpeedupResult {
+    tweak: &str,
+) -> Result<SpeedupResult, SimError> {
     let specs = opts.specs();
-    let traces: Vec<WorkloadTrace> = parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
-    // One task per (workload, protocol-or-baseline).
-    let mut tasks: Vec<(usize, ProtocolKind)> = Vec::new();
-    for w in 0..specs.len() {
-        tasks.push((w, ProtocolKind::NoPeerCaching));
-        for &p in protocols {
-            tasks.push((w, p));
+    // Sweep supervisor: completed cells are checkpointed to disk as
+    // they finish; `--resume` reuses them and re-runs only failed,
+    // stale, or missing cells.
+    let identity = sweep_identity(opts, protocols, &specs, tweak);
+    let ckpt = crate::runner::open_checkpoint(opts.checkpoint.as_ref(), &identity, opts.resume)?;
+    // One cell per (workload, protocol-or-baseline).
+    let mut cells: Vec<CellCtx> = Vec::new();
+    for spec in &specs {
+        for p in std::iter::once(ProtocolKind::NoPeerCaching).chain(protocols.iter().copied()) {
+            let key = format!("{}/{}", spec.abbrev, p.name());
+            cells.push(opts.cell(key, spec.abbrev, p, tweak));
         }
     }
-    // Sweep supervisor: completed cells are checkpointed to disk as
-    // they finish; `--resume` reuses them and re-runs only failed or
-    // missing cells.
-    let identity = sweep_identity(opts, protocols, &specs);
-    let ckpt = crate::runner::open_checkpoint(opts.checkpoint.as_ref(), &identity, opts.resume);
-    // Each run is isolated: deadlocks, livelocks and residual panics
-    // come back as typed errors instead of tearing the sweep down.
-    let cycles: Vec<Result<u64, SimError>> = parallel_map(&tasks, |&(w, p)| {
-        let key = format!("{}/{}", specs[w].abbrev, p.name());
-        if let Some(done) = ckpt.as_ref().and_then(|c| c.lookup(&key)) {
-            return Ok(done);
-        }
-        let mut cfg = opts.base_config(p);
-        tweak(&mut cfg);
-        crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
-        crate::runner::arm_watchdog(&mut cfg, &traces[w], opts.livelock_budget);
-        let r = crate::runner::run_isolated(cfg, &traces[w]).map(|m| {
-            // Per-epoch fail-in-place accounting, greppable from sweep
-            // logs (all-zero on fault-free runs, so print nothing).
-            if m.reconfig.epochs > 0 {
-                println!(
-                    "[fail-in-place] workload={} protocol={} {}",
-                    specs[w].abbrev,
-                    p.name(),
-                    m.reconfig
-                );
-            }
-            m.total_cycles.as_u64()
-        });
-        if let Some(c) = &ckpt {
-            match &r {
-                Ok(cycles) => c.record_ok(&key, *cycles),
-                Err(e) => c.record_failure(&key, &e.to_string()),
-            }
-        }
-        r
-    });
+    let results = run_cells(opts, &cells, ckpt.as_ref());
     let per_run = protocols.len() + 1;
     let mut rows = Vec::with_capacity(specs.len());
     let mut workloads = Vec::with_capacity(specs.len());
     let mut failures = Vec::new();
-    for w in 0..specs.len() {
-        let chunk = &cycles[w * per_run..(w + 1) * per_run];
-        if chunk.iter().any(|c| c.is_err()) {
-            for (i, c) in chunk.iter().enumerate() {
-                if let Err(e) = c {
-                    let protocol = if i == 0 {
-                        ProtocolKind::NoPeerCaching
-                    } else {
-                        protocols[i - 1]
-                    };
-                    failures.push(RunFailure {
-                        workload: specs[w].abbrev.to_string(),
-                        protocol,
-                        error: e.clone(),
-                    });
-                }
-            }
+    for (w, spec) in specs.iter().enumerate() {
+        let chunk = &results[w * per_run..(w + 1) * per_run];
+        if chunk.iter().all(|c| matches!(c, CellResult::Done { .. })) {
+            let cycles_of = |c: &CellResult| match c {
+                CellResult::Done { outcome, .. } => outcome.cycles,
+                _ => 1,
+            };
+            let base = cycles_of(&chunk[0]) as f64;
+            let row: Vec<f64> = (0..protocols.len())
+                .map(|p| base / cycles_of(&chunk[1 + p]) as f64)
+                .collect();
+            rows.push(row);
+            workloads.push(spec.abbrev.to_string());
             continue;
         }
-        let base = chunk[0].as_ref().copied().unwrap_or_default() as f64;
-        let row: Vec<f64> = (0..protocols.len())
-            .map(|p| base / chunk[1 + p].as_ref().copied().unwrap_or(1) as f64)
-            .collect();
-        rows.push(row);
-        workloads.push(specs[w].abbrev.to_string());
+        for (i, c) in chunk.iter().enumerate() {
+            if let CellResult::Failed(e) = c {
+                let protocol = if i == 0 {
+                    ProtocolKind::NoPeerCaching
+                } else {
+                    protocols[i - 1]
+                };
+                failures.push(RunFailure {
+                    workload: spec.abbrev.to_string(),
+                    protocol,
+                    error: e.clone(),
+                });
+            }
+        }
     }
     if !opts.keep_going {
         if let Some(f) = failures.first() {
-            panic!("{}", f.error);
+            return Err(f.error.clone());
         }
     }
     let geomeans: Vec<f64> = (0..protocols.len())
         .map(|p| stats::geomean(&rows.iter().map(|r| r[p]).collect::<Vec<_>>()))
         .collect();
-    SpeedupResult {
+    Ok(SpeedupResult {
         protocols: protocols.to_vec(),
         workloads,
         rows,
         geomeans,
         failures,
-    }
+    })
 }
 
 /// The shape of a speedup sweep, pinned into its checkpoint header so
-/// cells from a different sweep are never silently mixed in. (The
-/// per-figure configuration tweak is a closure and cannot be hashed;
-/// distinct figures are still told apart by their protocol and
-/// workload sets, and users should keep one checkpoint file per
-/// figure.)
-fn sweep_identity(opts: &ExpOptions, protocols: &[ProtocolKind], specs: &[WorkloadSpec]) -> String {
+/// cells from a different sweep are never silently mixed in. The
+/// serialized tweak and fault plan are part of the identity, so the
+/// same protocol/workload sets under different configurations or
+/// fault schedules are still told apart.
+fn sweep_identity(
+    opts: &ExpOptions,
+    protocols: &[ProtocolKind],
+    specs: &[WorkloadSpec],
+    tweak: &str,
+) -> String {
     let protos: Vec<&str> = protocols.iter().map(|p| p.name()).collect();
     let loads: Vec<&str> = specs.iter().map(|s| s.abbrev).collect();
     format!(
-        "scale={:?} seed={} protocols={} workloads={}",
+        "scale={:?} seed={} protocols={} workloads={} tweak={} faults={}",
         opts.scale,
         opts.seed,
         protos.join(","),
-        loads.join(",")
+        loads.join(","),
+        tweak,
+        opts.faults
+            .as_ref()
+            .map(FaultPlan::to_spec)
+            .unwrap_or_default(),
     )
 }
 
 /// Fig. 8: all five configurations on the 4-GPU Table II machine.
-pub fn fig8(opts: &ExpOptions) -> SpeedupResult {
-    speedup_suite(opts, &ProtocolKind::FIG8, |_| {})
+pub fn fig8(opts: &ExpOptions) -> Result<SpeedupResult, SimError> {
+    speedup_suite(opts, &ProtocolKind::FIG8, "")
 }
 
 /// Fig. 2: the motivating subset (non-hierarchical SW, non-hierarchical
 /// HW, idealized caching).
-pub fn fig2(opts: &ExpOptions) -> SpeedupResult {
+pub fn fig2(opts: &ExpOptions) -> Result<SpeedupResult, SimError> {
     speedup_suite(
         opts,
         &[
@@ -329,14 +816,14 @@ pub fn fig2(opts: &ExpOptions) -> SpeedupResult {
             ProtocolKind::Nhcc,
             ProtocolKind::Ideal,
         ],
-        |_| {},
+        "",
     )
 }
 
 /// Prior-work comparison: the CARVE-like broadcast-filtered protocol
 /// [14] against NHCC and HMG (Section II-A's motivation for precise,
 /// hierarchical sharer tracking).
-pub fn carve_comparison(opts: &ExpOptions) -> SpeedupResult {
+pub fn carve_comparison(opts: &ExpOptions) -> Result<SpeedupResult, SimError> {
     speedup_suite(
         opts,
         &[
@@ -345,7 +832,7 @@ pub fn carve_comparison(opts: &ExpOptions) -> SpeedupResult {
             ProtocolKind::Hmg,
             ProtocolKind::Ideal,
         ],
-        |_| {},
+        "",
     )
 }
 
@@ -353,59 +840,59 @@ pub fn carve_comparison(opts: &ExpOptions) -> SpeedupResult {
 /// 2 to 8 GPUs (4 GPMs each). Directory capacity per GPM is held at the
 /// Table II value; the paper argues HMG has headroom here (Fig. 14
 /// showed a 50% smaller directory still performs).
-pub fn scale_study(opts: &ExpOptions) -> SweepResult {
+pub fn scale_study(opts: &ExpOptions) -> Result<SweepResult, SimError> {
     // Persistent-kernel grids are sized for the 4-GPU machine; smaller
     // topologies cannot make them resident.
     let opts = &exclude_persistent_kernels(opts);
     let points: Vec<SweepPoint> = [2u16, 4, 8]
         .into_iter()
-        .map(|gpus| {
-            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
-                Box::new(move |cfg: &mut EngineConfig| {
-                    cfg.topo = hmg_interconnect::Topology::new(gpus, 4);
-                });
-            (format!("{gpus} GPUs"), f)
-        })
+        .map(|gpus| (format!("{gpus} GPUs"), format!("gpus={gpus}")))
         .collect();
     // Per-point normalization here (a bigger machine changes the
     // baseline too); the interesting output is HMG's gap at each size.
     let specs = opts.specs();
     let protocols = SWEEP_PROTOCOLS;
-    let geomeans = points
-        .iter()
-        .map(|(_, tweak)| {
-            let traces: Vec<WorkloadTrace> =
-                parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
-            let mut tasks: Vec<(usize, ProtocolKind)> = Vec::new();
-            for w in 0..specs.len() {
-                tasks.push((w, ProtocolKind::NoPeerCaching));
-                for &p in &protocols {
-                    tasks.push((w, p));
-                }
+    let per_run = protocols.len() + 1;
+    let mut cells: Vec<CellCtx> = Vec::new();
+    for (label, tweak) in &points {
+        for spec in &specs {
+            for p in std::iter::once(ProtocolKind::NoPeerCaching).chain(protocols) {
+                let key = format!("{label}/{}/{}", spec.abbrev, p.name());
+                cells.push(opts.cell(key, spec.abbrev, p, tweak));
             }
-            let cycles: Vec<u64> = parallel_map(&tasks, |&(w, p)| {
-                let mut cfg = opts.base_config(p);
-                tweak(&mut cfg);
-                crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
-                Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
-            });
-            let per_run = protocols.len() + 1;
+        }
+    }
+    let results = run_cells(opts, &cells, None);
+    let (failures, first_error) = sweep_failures(&cells, &results);
+    if !opts.keep_going {
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+    }
+    let per_point = specs.len() * per_run;
+    let geomeans: Vec<Vec<f64>> = (0..points.len())
+        .map(|pt| {
             (0..protocols.len())
                 .map(|pi| {
                     let speedups: Vec<f64> = (0..specs.len())
-                        .map(|w| cycles[w * per_run] as f64 / cycles[w * per_run + 1 + pi] as f64)
+                        .filter_map(|w| {
+                            let base = done_cycles(&results[pt * per_point + w * per_run])?;
+                            let c = done_cycles(&results[pt * per_point + w * per_run + 1 + pi])?;
+                            Some(base as f64 / c as f64)
+                        })
                         .collect();
                     stats::geomean(&speedups)
                 })
                 .collect()
         })
         .collect();
-    SweepResult {
+    Ok(SweepResult {
         parameter: "system size",
         points: points.into_iter().map(|(l, _)| l).collect(),
         protocols: protocols.to_vec(),
         geomeans,
-    }
+        failures,
+    })
 }
 
 /// §VII-A single-GPU check: on one GPU, protocols should be close.
@@ -413,11 +900,42 @@ pub fn scale_study(opts: &ExpOptions) -> SweepResult {
 /// Persistent-kernel workloads are excluded: their resident grids are
 /// sized for the full Table II machine and cannot co-schedule on one
 /// GPU (see `WorkloadSpec::uses_persistent_kernel`).
-pub fn single_gpu(opts: &ExpOptions) -> SpeedupResult {
+pub fn single_gpu(opts: &ExpOptions) -> Result<SpeedupResult, SimError> {
     let opts = exclude_persistent_kernels(opts);
-    speedup_suite(&opts, &ProtocolKind::FIG8, |cfg| {
-        cfg.topo = hmg_interconnect::Topology::new(1, 4);
-    })
+    speedup_suite(&opts, &ProtocolKind::FIG8, "gpus=1")
+}
+
+/// The completed cycle count of a merged cell, if it completed.
+fn done_cycles(r: &CellResult) -> Option<u64> {
+    match r {
+        CellResult::Done { outcome, .. } => Some(outcome.cycles),
+        _ => None,
+    }
+}
+
+/// Collects the failure table of a supervised sweep (keyed by cell,
+/// since sensitivity sweeps run each workload at several points) and
+/// the first failure in input order.
+fn sweep_failures(
+    cells: &[CellCtx],
+    results: &[CellResult],
+) -> (Vec<RunFailure>, Option<SimError>) {
+    let mut failures = Vec::new();
+    for (cell, r) in cells.iter().zip(results) {
+        if let CellResult::Failed(e) = r {
+            failures.push(RunFailure {
+                workload: cell
+                    .key
+                    .strip_suffix(&format!("/{}", cell.protocol.name()))
+                    .unwrap_or(&cell.key)
+                    .to_string(),
+                protocol: cell.protocol,
+                error: e.clone(),
+            });
+        }
+    }
+    let first = failures.first().map(|f| f.error.clone());
+    (failures, first)
 }
 
 /// Drops persistent-kernel workloads from the selection (they require
@@ -444,8 +962,12 @@ pub struct SweepResult {
     pub points: Vec<String>,
     /// Protocols, in column order.
     pub protocols: Vec<ProtocolKind>,
-    /// `geomeans[point][protocol]`.
+    /// `geomeans[point][protocol]`, over the workloads whose cells all
+    /// completed.
     pub geomeans: Vec<Vec<f64>>,
+    /// Cells that failed under `--keep-going` (empty otherwise); the
+    /// `workload` field carries the `point/workload` cell prefix.
+    pub failures: Vec<RunFailure>,
 }
 
 impl SweepResult {
@@ -461,6 +983,27 @@ impl SweepResult {
             t.row(cells);
         }
         println!("{}", t.render());
+        if !self.failures.is_empty() {
+            println!(
+                "-- {} failed cell(s); partial result --",
+                self.failures.len()
+            );
+            let mut ft = Table::new(vec!["cell".to_string(), "error".to_string()]);
+            for f in &self.failures {
+                let first_line = f
+                    .error
+                    .to_string()
+                    .lines()
+                    .next()
+                    .unwrap_or_default()
+                    .to_string();
+                ft.row(vec![
+                    format!("{}/{}", f.workload, f.protocol.name()),
+                    first_line,
+                ]);
+            }
+            println!("{}", ft.render());
+        }
     }
 }
 
@@ -479,9 +1022,9 @@ impl SweepResult {
     }
 }
 
-/// One sweep point: its axis label and the configuration tweak it
-/// applies.
-pub type SweepPoint = (String, Box<dyn Fn(&mut EngineConfig) + Sync>);
+/// One sweep point: its axis label and the serialized configuration
+/// tweak it applies (see [`apply_tweak`]).
+pub type SweepPoint = (String, String);
 
 /// The four configurations the sensitivity figures plot.
 const SWEEP_PROTOCOLS: [ProtocolKind; 4] = [
@@ -495,50 +1038,50 @@ const SWEEP_PROTOCOLS: [ProtocolKind; 4] = [
 /// normalized: the no-peer-caching baseline is measured **once, on the
 /// Table II configuration**, and every sweep point's protocols are
 /// compared against it ("baseline is no caching with configurations of
-/// Table II").
+/// Table II"). All cells — baseline and points — run under the sweep
+/// supervisor.
 fn sweep_fixed_baseline(
     opts: &ExpOptions,
     parameter: &'static str,
     points: Vec<SweepPoint>,
     protocols: &[ProtocolKind],
-) -> SweepResult {
+) -> Result<SweepResult, SimError> {
     let specs = opts.specs();
-    let traces: Vec<WorkloadTrace> = parallel_map(&specs, |s| s.generate(opts.scale, opts.seed));
-
-    // The fixed Table II baseline, once per workload.
-    let indices: Vec<usize> = (0..specs.len()).collect();
-    let baseline: Vec<u64> = parallel_map(&indices, |&w| {
-        let mut cfg = opts.base_config(ProtocolKind::NoPeerCaching);
-        crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
-        Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
-    });
-
-    // Every (point, workload, protocol) run.
-    let mut tasks: Vec<(usize, usize, ProtocolKind)> = Vec::new();
-    for pt in 0..points.len() {
-        for w in 0..specs.len() {
+    // The fixed Table II baseline once per workload, then every
+    // (point, workload, protocol) cell.
+    let mut cells: Vec<CellCtx> = Vec::new();
+    for spec in &specs {
+        let p = ProtocolKind::NoPeerCaching;
+        let key = format!("table2/{}/{}", spec.abbrev, p.name());
+        cells.push(opts.cell(key, spec.abbrev, p, ""));
+    }
+    for (label, tweak) in &points {
+        for spec in &specs {
             for &p in protocols {
-                tasks.push((pt, w, p));
+                let key = format!("{label}/{}/{}", spec.abbrev, p.name());
+                cells.push(opts.cell(key, spec.abbrev, p, tweak));
             }
         }
     }
-    let cycles: Vec<u64> = parallel_map(&tasks, |&(pt, w, p)| {
-        let mut cfg = opts.base_config(p);
-        (points[pt].1)(&mut cfg);
-        crate::runner::scale_capacities(&mut cfg, specs[w].capacity_factor(opts.scale));
-        crate::runner::arm_watchdog(&mut cfg, &traces[w], opts.livelock_budget);
-        Engine::new(cfg).run(&traces[w]).total_cycles.as_u64()
-    });
-
+    let results = run_cells(opts, &cells, None);
+    let (failures, first_error) = sweep_failures(&cells, &results);
+    if !opts.keep_going {
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+    }
     let per_point = specs.len() * protocols.len();
     let geomeans: Vec<Vec<f64>> = (0..points.len())
         .map(|pt| {
             (0..protocols.len())
                 .map(|pi| {
                     let speedups: Vec<f64> = (0..specs.len())
-                        .map(|w| {
-                            let c = cycles[pt * per_point + w * protocols.len() + pi];
-                            baseline[w] as f64 / c as f64
+                        .filter_map(|w| {
+                            let base = done_cycles(&results[w])?;
+                            let c = done_cycles(
+                                &results[specs.len() + pt * per_point + w * protocols.len() + pi],
+                            )?;
+                            Some(base as f64 / c as f64)
                         })
                         .collect();
                     stats::geomean(&speedups)
@@ -546,58 +1089,39 @@ fn sweep_fixed_baseline(
                 .collect()
         })
         .collect();
-    SweepResult {
+    Ok(SweepResult {
         parameter,
         points: points.into_iter().map(|(l, _)| l).collect(),
         protocols: protocols.to_vec(),
         geomeans,
-    }
+        failures,
+    })
 }
 
 /// Fig. 12: sensitivity to inter-GPU bandwidth (100–400 GB/s per link).
-pub fn fig12(opts: &ExpOptions) -> SweepResult {
+pub fn fig12(opts: &ExpOptions) -> Result<SweepResult, SimError> {
     let points: Vec<SweepPoint> = [100.0f64, 200.0, 300.0, 400.0]
         .into_iter()
-        .map(|bw| {
-            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
-                Box::new(move |cfg: &mut EngineConfig| {
-                    cfg.fabric.inter_gpu_gbps = bw;
-                });
-            (format!("{bw:.0}GB/s"), f)
-        })
+        .map(|bw| (format!("{bw:.0}GB/s"), format!("bw={bw}")))
         .collect();
     sweep_fixed_baseline(opts, "inter-GPU BW", points, &SWEEP_PROTOCOLS)
 }
 
 /// Fig. 13: sensitivity to L2 capacity (6/12/24 MB per GPU).
-pub fn fig13(opts: &ExpOptions) -> SweepResult {
+pub fn fig13(opts: &ExpOptions) -> Result<SweepResult, SimError> {
     let points: Vec<SweepPoint> = [6u32, 12, 24]
         .into_iter()
-        .map(|mb| {
-            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
-                Box::new(move |cfg: &mut EngineConfig| {
-                    let lines_per_gpm =
-                        mb as u64 * 1024 * 1024 / 4 / cfg.geometry.line_bytes() as u64;
-                    cfg.l2 = hmg_mem::CacheConfig::new(lines_per_gpm as u32, 16);
-                });
-            (format!("{mb}MB/GPU"), f)
-        })
+        .map(|mb| (format!("{mb}MB/GPU"), format!("l2mb={mb}")))
         .collect();
     sweep_fixed_baseline(opts, "L2 per GPU", points, &SWEEP_PROTOCOLS)
 }
 
 /// Fig. 14: sensitivity to coherence directory capacity
 /// (3K/6K/12K entries per GPM).
-pub fn fig14(opts: &ExpOptions) -> SweepResult {
+pub fn fig14(opts: &ExpOptions) -> Result<SweepResult, SimError> {
     let points: Vec<SweepPoint> = [3u32, 6, 12]
         .into_iter()
-        .map(|k| {
-            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
-                Box::new(move |cfg: &mut EngineConfig| {
-                    cfg.dir = hmg_mem::DirectoryConfig::new(k * 1024, 16);
-                });
-            (format!("{k}K/GPM"), f)
-        })
+        .map(|k| (format!("{k}K/GPM"), format!("dirk={k}")))
         .collect();
     sweep_fixed_baseline(opts, "dir entries", points, &SWEEP_PROTOCOLS)
 }
@@ -605,23 +1129,10 @@ pub fn fig14(opts: &ExpOptions) -> SweepResult {
 /// §VII-B (not pictured): directory tracking granularity at constant
 /// coverage — `lines_per_entry` in {1, 2, 4, 8} with the entry count
 /// adjusted so total covered bytes stay fixed.
-pub fn grain_sweep(opts: &ExpOptions) -> SweepResult {
+pub fn grain_sweep(opts: &ExpOptions) -> Result<SweepResult, SimError> {
     let points: Vec<SweepPoint> = [1u32, 2, 4, 8]
         .into_iter()
-        .map(|g| {
-            let f: Box<dyn Fn(&mut EngineConfig) + Sync> =
-                Box::new(move |cfg: &mut EngineConfig| {
-                    let coverage_lines = cfg.dir.entries as u64 * 4; // Table II coverage
-                    let entries = (coverage_lines / g as u64) as u32;
-                    cfg.geometry = hmg_mem::MemGeometry::new(
-                        cfg.geometry.line_bytes(),
-                        g,
-                        cfg.geometry.page_bytes(),
-                    );
-                    cfg.dir = hmg_mem::DirectoryConfig::new(entries.max(16) / 16 * 16, 16);
-                });
-            (format!("{g}x128B"), f)
-        })
+        .map(|g| (format!("{g}x128B"), format!("grain={g}")))
         .collect();
     sweep_fixed_baseline(opts, "lines/entry", points, &[ProtocolKind::Hmg])
 }
@@ -1006,70 +1517,56 @@ impl AblationResult {
 
 /// Ablation: HMG with real (acked, drained) release fences vs
 /// zero-cost fences.
-pub fn ablate_fences(opts: &ExpOptions) -> AblationResult {
-    let real = speedup_suite(opts, &[ProtocolKind::Hmg], |_| {});
-    let free = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.zero_cost_fences = true;
-    });
-    AblationResult {
+pub fn ablate_fences(opts: &ExpOptions) -> Result<AblationResult, SimError> {
+    let real = speedup_suite(opts, &[ProtocolKind::Hmg], "")?;
+    let free = speedup_suite(opts, &[ProtocolKind::Hmg], "zero-cost-fences")?;
+    Ok(AblationResult {
         name: "release fence cost (HMG)",
         variants: vec![
             ("acked fences (paper)".into(), real.geomeans[0]),
             ("zero-cost fences".into(), free.geomeans[0]),
         ],
-    }
+    })
 }
 
 /// Ablation: §IV-B's write-back option vs the evaluated write-through
 /// configuration, under HMG.
-pub fn ablate_writeback(opts: &ExpOptions) -> AblationResult {
-    let wt = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteThrough;
-    });
-    let wb = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteBack;
-    });
-    AblationResult {
+pub fn ablate_writeback(opts: &ExpOptions) -> Result<AblationResult, SimError> {
+    let wt = speedup_suite(opts, &[ProtocolKind::Hmg], "write-policy=wt")?;
+    let wb = speedup_suite(opts, &[ProtocolKind::Hmg], "write-policy=wb")?;
+    Ok(AblationResult {
         name: "L2 write policy (HMG)",
         variants: vec![
             ("write-through (paper)".into(), wt.geomeans[0]),
             ("write-back (§IV-B option)".into(), wb.geomeans[0]),
         ],
-    }
+    })
 }
 
 /// Ablation: §IV-B's optional sharer-downgrade messages, under HMG.
-pub fn ablate_downgrades(opts: &ExpOptions) -> AblationResult {
-    let without = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.sharer_downgrades = false;
-    });
-    let with = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.sharer_downgrades = true;
-    });
-    AblationResult {
+pub fn ablate_downgrades(opts: &ExpOptions) -> Result<AblationResult, SimError> {
+    let without = speedup_suite(opts, &[ProtocolKind::Hmg], "downgrades=off")?;
+    let with = speedup_suite(opts, &[ProtocolKind::Hmg], "downgrades=on")?;
+    Ok(AblationResult {
         name: "sharer downgrades (HMG)",
         variants: vec![
             ("silent clean evictions (paper)".into(), without.geomeans[0]),
             ("downgrade messages".into(), with.geomeans[0]),
         ],
-    }
+    })
 }
 
 /// Ablation: first-touch vs interleaved page placement under HMG.
-pub fn ablate_placement(opts: &ExpOptions) -> AblationResult {
-    let ft = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.placement = hmg_mem::PagePlacement::FirstTouch;
-    });
-    let il = speedup_suite(opts, &[ProtocolKind::Hmg], |cfg| {
-        cfg.placement = hmg_mem::PagePlacement::Interleaved;
-    });
-    AblationResult {
+pub fn ablate_placement(opts: &ExpOptions) -> Result<AblationResult, SimError> {
+    let ft = speedup_suite(opts, &[ProtocolKind::Hmg], "placement=ft")?;
+    let il = speedup_suite(opts, &[ProtocolKind::Hmg], "placement=il")?;
+    Ok(AblationResult {
         name: "page placement (HMG)",
         variants: vec![
             ("first-touch (paper)".into(), ft.geomeans[0]),
             ("interleaved".into(), il.geomeans[0]),
         ],
-    }
+    })
 }
 
 /// Prints Table III (the workload inventory) with generated-trace sizes.
@@ -1229,7 +1726,7 @@ mod tests {
 
     #[test]
     fn fig8_runs_on_tiny_subset() {
-        let r = fig8(&tiny());
+        let r = fig8(&tiny()).expect("fig8");
         assert_eq!(r.workloads.len(), 3);
         assert_eq!(r.protocols.len(), 5);
         for row in &r.rows {
@@ -1242,7 +1739,7 @@ mod tests {
 
     #[test]
     fn fig2_is_a_subset_of_protocols() {
-        let r = fig2(&tiny());
+        let r = fig2(&tiny()).expect("fig2");
         assert_eq!(r.protocols.len(), 3);
     }
 
@@ -1263,7 +1760,7 @@ mod tests {
 
     #[test]
     fn headline_computes_ratios() {
-        let r = fig8(&tiny());
+        let r = fig8(&tiny()).expect("fig8");
         let (vs_sw, vs_nhcc, of_ideal) = headline(&r);
         assert!(vs_sw > -0.9 && vs_nhcc > -0.9);
         assert!(of_ideal > 0.1 && of_ideal <= 1.5);
@@ -1277,10 +1774,10 @@ mod tests {
             filter: Some(vec!["bfs".into()]),
             ..tiny()
         };
-        let plain = speedup_suite(&opts, &[ProtocolKind::Hmg], |_| {});
+        let plain = speedup_suite(&opts, &[ProtocolKind::Hmg], "").expect("plain suite");
         // The 200 GB/s point of fig12 leaves the machine at its default
         // bandwidth, so it must reproduce the plain suite's speedup.
-        let sweep = fig12(&opts);
+        let sweep = fig12(&opts).expect("fig12");
         let identity = sweep
             .points
             .iter()
@@ -1310,7 +1807,7 @@ mod tests {
                 filter: Some(vec!["bfs".into(), "RNN_FW".into()]),
                 ..ExpOptions::default()
             };
-            let r = fig8(&opts);
+            let r = fig8(&opts).expect("fig8");
             let hmg = r.geomean_of(ProtocolKind::Hmg);
             let sw = r.geomean_of(ProtocolKind::SwNonHier);
             assert!(
@@ -1345,7 +1842,7 @@ mod tests {
             checkpoint: Some(path.clone()),
             ..tiny()
         };
-        let full = fig8(&opts);
+        let full = fig8(&opts).expect("full sweep");
 
         // Simulate an interrupted sweep: drop some completed cells from
         // the checkpoint, then resume. The resumed sweep re-runs only
@@ -1356,7 +1853,8 @@ mod tests {
         let resumed = fig8(&ExpOptions {
             resume: true,
             ..opts.clone()
-        });
+        })
+        .expect("resumed sweep");
         assert_eq!(resumed.workloads, full.workloads);
         assert_eq!(resumed.rows, full.rows, "resumed report must be identical");
         assert_eq!(resumed.geomeans, full.geomeans);
@@ -1365,7 +1863,8 @@ mod tests {
         let resumed_again = fig8(&ExpOptions {
             resume: true,
             ..opts.clone()
-        });
+        })
+        .expect("second resume");
         assert_eq!(resumed_again.rows, full.rows);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1376,9 +1875,62 @@ mod tests {
             filter: Some(vec!["bfs".into()]),
             ..tiny()
         };
-        let s = fig12(&opts);
+        let s = fig12(&opts).expect("fig12");
         assert_eq!(s.points.len(), 4);
         assert_eq!(s.geomeans.len(), 4);
         assert_eq!(s.geomeans[0].len(), 4);
+    }
+
+    #[test]
+    fn apply_tweak_parses_every_clause() {
+        let mut cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+        apply_tweak(
+            "bw=150+l2mb=12+dirk=6+grain=4+gpus=2+zero-cost-fences\
+             +write-policy=wb+downgrades=off+placement=il",
+            &mut cfg,
+        )
+        .expect("valid tweak spec");
+        assert!((cfg.fabric.inter_gpu_gbps - 150.0).abs() < 1e-9);
+        assert_eq!(cfg.geometry.lines_per_block(), 4);
+        assert_eq!(cfg.topo.num_gpus(), 2);
+        assert!(cfg.zero_cost_fences);
+        assert_eq!(cfg.l2_write_policy, hmg_gpu::WritePolicy::WriteBack);
+        assert!(!cfg.sharer_downgrades);
+        assert_eq!(cfg.placement, hmg_mem::PagePlacement::Interleaved);
+    }
+
+    #[test]
+    fn apply_tweak_rejects_garbage() {
+        let mut cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
+        assert!(apply_tweak("bw=fast", &mut cfg).is_err());
+        assert!(apply_tweak("grain=0", &mut cfg).is_err());
+        assert!(apply_tweak("grain=3", &mut cfg).is_err());
+        assert!(apply_tweak("warp-speed", &mut cfg).is_err());
+        assert!(apply_tweak("", &mut cfg).is_ok(), "empty spec is a no-op");
+    }
+
+    #[test]
+    fn cell_command_round_trips_through_cell_args() {
+        let opts = tiny();
+        let ctx = opts.cell("fig12/bfs/hmg".into(), "bfs", ProtocolKind::Hmg, "bw=100");
+        let cmd = cell_command(&ctx, 1).expect("command");
+        let (parsed, attempt) = parse_cell_args(&cmd.args[1..]).expect("parse back");
+        assert_eq!(attempt, 1);
+        assert_eq!(parsed.key, ctx.key);
+        assert_eq!(parsed.workload, ctx.workload);
+        assert_eq!(parsed.protocol, ctx.protocol);
+        assert_eq!(parsed.tweak, ctx.tweak);
+        assert_eq!(parsed.scale, ctx.scale);
+        assert_eq!(parsed.seed, ctx.seed);
+    }
+
+    #[test]
+    fn cell_payload_round_trips() {
+        let line = "ok cycles=1234 digest=00ff00ff00ff00ff events=99";
+        let out = parse_cell_payload(line.strip_prefix("ok ").unwrap()).expect("payload");
+        assert_eq!(out.cycles, 1234);
+        assert_eq!(out.digest, 0x00ff00ff00ff00ff);
+        assert_eq!(out.events, 99);
+        assert!(parse_cell_payload("cycles=x digest=y events=z").is_none());
     }
 }

@@ -30,6 +30,7 @@
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod supervisor;
 
 /// Re-export of the GPU timing-model crate.
 pub use hmg_gpu as gpu;

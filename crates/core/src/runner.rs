@@ -145,32 +145,61 @@ pub fn arm_watchdog(cfg: &mut EngineConfig, trace: &WorkloadTrace, override_budg
     };
 }
 
+/// A completed cell reusable from a checkpoint: its cycle count and the
+/// committed-memory `state_digest` the supervisor verifies on resume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellRecord {
+    /// Total simulated cycles of the completed run.
+    pub cycles: u64,
+    /// `RunMetrics::state_digest` of the completed run.
+    pub digest: u64,
+}
+
+/// 64-bit FNV-1a over `bytes` — the std-only per-row checksum of the
+/// v2 checkpoint format.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Append-only checkpoint of a sweep's per-cell results, enabling
 /// `--resume` to re-run only failed or missing cells after a crash or
 /// interruption.
 ///
-/// The on-disk format is a line-oriented text file:
+/// The on-disk format (v2) is a line-oriented text file where every
+/// row carries an FNV-1a checksum of its payload, so torn or corrupt
+/// rows are detected rather than silently parsed:
 ///
 /// ```text
-/// #hmg-sweep v1 <identity>
-/// <cell key>\tok\t<cycles>
-/// <cell key>\tfailed\t<first error line>
+/// #hmg-sweep v2 <identity>
+/// <fnv1a64 hex16>\t<cell key>\tok\t<cycles>\t<state_digest hex16>
+/// <fnv1a64 hex16>\t<cell key>\tfailed\t<first error line>
 /// ```
 ///
 /// The identity line pins the sweep's shape (figure, scale, seed,
-/// protocol set, workload list); resuming against a file written by a
-/// different sweep is rejected rather than silently mixing results.
-/// Only `ok` cells are reused on resume — failed cells re-run, so a
-/// transient failure (an injected fault, an interrupted process) heals
-/// on the next invocation and the final report is identical to an
-/// uninterrupted sweep.
+/// protocol set, workload list, fault plan); resuming against a file
+/// written by a different sweep is rejected rather than silently
+/// mixing results. Only `ok` cells are reused on resume — failed
+/// cells re-run, so a transient failure (an injected fault, a killed
+/// cell process) heals on the next invocation and the final report is
+/// identical to an uninterrupted sweep. If the file holds two `ok`
+/// rows for the same key with conflicting results, both are dropped
+/// and the cell re-runs (counted as `stale`). On resume the compacted
+/// file is written to `<path>.tmp` and renamed over the original, so
+/// an interrupt mid-rewrite can no longer lose completed cells.
 #[derive(Debug)]
 pub struct SweepCheckpoint {
     file: Mutex<File>,
-    done: HashMap<String, u64>,
+    done: HashMap<String, CellRecord>,
+    corrupt_rows: usize,
+    stale_rows: usize,
 }
 
-const CHECKPOINT_MAGIC: &str = "#hmg-sweep v1";
+const CHECKPOINT_MAGIC: &str = "#hmg-sweep v2";
 
 impl SweepCheckpoint {
     /// Opens (or creates) the checkpoint at `path`.
@@ -179,72 +208,101 @@ impl SweepCheckpoint {
     /// `identity` and its completed cells become reusable; without it,
     /// any existing file is truncated and the sweep starts fresh.
     pub fn open(path: &Path, identity: &str, resume: bool) -> Result<Self, SimError> {
-        let mut done = HashMap::new();
-        if resume && path.exists() {
-            let reader = BufReader::new(File::open(path).map_err(|e| {
-                SimError::config(format!("cannot read checkpoint {}: {e}", path.display()))
-            })?);
-            let mut lines = reader.lines();
-            let header = lines
-                .next()
-                .transpose()
-                .map_err(|e| SimError::config(format!("checkpoint read error: {e}")))?
-                .unwrap_or_default();
-            let expected = format!("{CHECKPOINT_MAGIC} {identity}");
-            if header != expected {
-                return Err(SimError::config(format!(
-                    "checkpoint {} belongs to a different sweep\n  file:     {header}\n  expected: {expected}",
-                    path.display()
-                )));
-            }
-            for line in lines {
-                let line =
-                    line.map_err(|e| SimError::config(format!("checkpoint read error: {e}")))?;
-                let mut parts = line.splitn(3, '\t');
-                let (Some(key), Some(status), Some(value)) =
-                    (parts.next(), parts.next(), parts.next())
-                else {
-                    continue; // torn tail line from an interrupted run
-                };
-                if status == "ok" {
-                    if let Ok(cycles) = value.parse::<u64>() {
-                        done.insert(key.to_string(), cycles);
-                    }
-                }
-            }
-            // Re-append reusable cells to a fresh file: failed and torn
-            // rows are dropped, so the file shrinks back to truth.
+        let expected = format!("{CHECKPOINT_MAGIC} {identity}");
+        if !(resume && path.exists()) {
             let mut file = File::create(path).map_err(|e| {
                 SimError::config(format!("cannot write checkpoint {}: {e}", path.display()))
             })?;
             writeln!(file, "{expected}")
-                .and_then(|()| {
-                    let mut keys: Vec<&String> = done.keys().collect();
-                    keys.sort();
-                    for k in keys {
-                        writeln!(file, "{k}\tok\t{}", done[k])?;
-                    }
-                    file.flush()
-                })
                 .map_err(|e| SimError::config(format!("checkpoint write error: {e}")))?;
             return Ok(SweepCheckpoint {
                 file: Mutex::new(file),
-                done,
+                done: HashMap::new(),
+                corrupt_rows: 0,
+                stale_rows: 0,
             });
         }
-        let mut file = File::create(path).map_err(|e| {
-            SimError::config(format!("cannot write checkpoint {}: {e}", path.display()))
+
+        let reader = BufReader::new(File::open(path).map_err(|e| {
+            SimError::config(format!("cannot read checkpoint {}: {e}", path.display()))
+        })?);
+        let mut lines = reader.lines();
+        let header = lines
+            .next()
+            .transpose()
+            .map_err(|e| SimError::config(format!("checkpoint read error: {e}")))?
+            .unwrap_or_default();
+        if header != expected {
+            return Err(SimError::config(format!(
+                "checkpoint {} belongs to a different sweep\n  file:     {header}\n  expected: {expected}",
+                path.display()
+            )));
+        }
+        let mut done: HashMap<String, CellRecord> = HashMap::new();
+        // Keys whose rows disagreed with each other: every copy is
+        // suspect, so none may be reused.
+        let mut poisoned: Vec<String> = Vec::new();
+        let mut corrupt_rows = 0usize;
+        let mut stale_rows = 0usize;
+        for line in lines {
+            let line = line.map_err(|e| SimError::config(format!("checkpoint read error: {e}")))?;
+            let Some(record) = parse_row(&line) else {
+                corrupt_rows += 1; // torn/corrupt row from a crashed run
+                continue;
+            };
+            let (key, cell) = match record {
+                (key, Some(cell)) => (key, cell),
+                (_, None) => continue, // failed cell: re-run on resume
+            };
+            if poisoned.iter().any(|k| k == &key) {
+                continue;
+            }
+            match done.get(&key) {
+                Some(prev) if *prev != cell => {
+                    // Two completed rows disagree on the result: the
+                    // sweep's inputs changed under the checkpoint.
+                    // Trust neither; the cell re-runs.
+                    done.remove(&key);
+                    poisoned.push(key);
+                    stale_rows += 1;
+                }
+                _ => {
+                    done.insert(key, cell);
+                }
+            }
+        }
+        // Compact reusable cells into a fresh file, atomically: write
+        // to `<path>.tmp` and rename over the original, so a crash
+        // mid-rewrite leaves the old (still valid) file in place. The
+        // handle keeps pointing at the renamed inode, so subsequent
+        // appends land in the live file.
+        let tmp = checkpoint_tmp_path(path);
+        let mut file = File::create(&tmp).map_err(|e| {
+            SimError::config(format!("cannot write checkpoint {}: {e}", tmp.display()))
         })?;
-        writeln!(file, "{CHECKPOINT_MAGIC} {identity}")
+        writeln!(file, "{expected}")
+            .and_then(|()| {
+                let mut keys: Vec<&String> = done.keys().collect();
+                keys.sort();
+                for k in keys {
+                    writeln!(file, "{}", ok_row(k, done[k]))?;
+                }
+                file.flush()
+            })
             .map_err(|e| SimError::config(format!("checkpoint write error: {e}")))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            SimError::config(format!("cannot replace checkpoint {}: {e}", path.display()))
+        })?;
         Ok(SweepCheckpoint {
             file: Mutex::new(file),
             done,
+            corrupt_rows,
+            stale_rows,
         })
     }
 
-    /// The completed cycle count for `key`, if a prior run finished it.
-    pub fn lookup(&self, key: &str) -> Option<u64> {
+    /// The completed result for `key`, if a prior run finished it.
+    pub fn lookup(&self, key: &str) -> Option<CellRecord> {
         self.done.get(key).copied()
     }
 
@@ -253,28 +311,80 @@ impl SweepCheckpoint {
         self.done.len()
     }
 
+    /// Torn or checksum-invalid rows dropped while resuming.
+    pub fn corrupt_rows(&self) -> usize {
+        self.corrupt_rows
+    }
+
+    /// Cells dropped on resume because duplicate rows disagreed on the
+    /// result (the sweep changed under the checkpoint); they re-run.
+    pub fn stale_rows(&self) -> usize {
+        self.stale_rows
+    }
+
     /// Records a successful cell; flushed immediately so a crash loses
     /// at most the in-flight cells.
-    pub fn record_ok(&self, key: &str, cycles: u64) {
-        self.append(&format!("{}\tok\t{cycles}", sanitize(key)));
+    pub fn record_ok(&self, key: &str, cycles: u64, digest: u64) {
+        self.append(&ok_row(&sanitize(key), CellRecord { cycles, digest }));
     }
 
     /// Records a failed cell (kept for the report; re-run on resume).
     pub fn record_failure(&self, key: &str, error: &str) {
         let first_line = error.lines().next().unwrap_or("unknown error");
-        self.append(&format!(
-            "{}\tfailed\t{}",
-            sanitize(key),
-            sanitize(first_line)
-        ));
+        let payload = format!("{}\tfailed\t{}", sanitize(key), sanitize(first_line));
+        self.append(&checksummed(&payload));
     }
 
     fn append(&self, line: &str) {
-        let mut f = self.file.lock().expect("checkpoint poisoned");
+        // A panic cannot unwind while this lock is held (formatting
+        // happened before acquisition), so poisoning is unreachable;
+        // recover instead of double-panicking and aborting the sweep.
+        let mut f = self.file.lock().unwrap_or_else(|p| p.into_inner());
         // Checkpointing is best-effort durability; the sweep's own
         // result does not depend on the write landing.
         let _ = writeln!(f, "{line}");
         let _ = f.flush();
+    }
+}
+
+/// The sibling tempfile a resume compaction writes before renaming
+/// over the checkpoint (same directory, so the rename stays atomic).
+pub fn checkpoint_tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Formats a checksummed `ok` row for `key`.
+fn ok_row(key: &str, cell: CellRecord) -> String {
+    let payload = format!("{key}\tok\t{}\t{:016x}", cell.cycles, cell.digest);
+    checksummed(&payload)
+}
+
+/// Prefixes `payload` with its FNV-1a checksum.
+fn checksummed(payload: &str) -> String {
+    format!("{:016x}\t{payload}", fnv1a64(payload.as_bytes()))
+}
+
+/// Parses one checkpoint row. Returns `None` for torn or corrupt rows,
+/// `Some((key, Some(record)))` for verified `ok` rows, and
+/// `Some((key, None))` for verified `failed` rows.
+fn parse_row(line: &str) -> Option<(String, Option<CellRecord>)> {
+    let (sum, payload) = line.split_once('\t')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    if sum != fnv1a64(payload.as_bytes()) {
+        return None;
+    }
+    let mut parts = payload.splitn(4, '\t');
+    let key = parts.next()?;
+    match parts.next()? {
+        "ok" => {
+            let cycles = parts.next()?.parse::<u64>().ok()?;
+            let digest = u64::from_str_radix(parts.next()?, 16).ok()?;
+            Some((key.to_string(), Some(CellRecord { cycles, digest })))
+        }
+        "failed" => Some((key.to_string(), None)),
+        _ => None,
     }
 }
 
@@ -283,19 +393,17 @@ fn sanitize(s: &str) -> String {
 }
 
 /// Convenience wrapper: opens a checkpoint from optional CLI-style
-/// settings. Returns `None` when no checkpoint path was requested.
-///
-/// # Panics
-///
-/// Panics with the typed error's message if the checkpoint cannot be
-/// opened or belongs to a different sweep — both are configuration
-/// mistakes the user must resolve.
+/// settings. Returns `Ok(None)` when no checkpoint path was requested,
+/// and the typed error if the checkpoint cannot be opened or belongs
+/// to a different sweep — both are configuration mistakes the user
+/// must resolve.
 pub fn open_checkpoint(
     path: Option<&PathBuf>,
     identity: &str,
     resume: bool,
-) -> Option<SweepCheckpoint> {
-    path.map(|p| SweepCheckpoint::open(p, identity, resume).unwrap_or_else(|e| panic!("{e}")))
+) -> Result<Option<SweepCheckpoint>, SimError> {
+    path.map(|p| SweepCheckpoint::open(p, identity, resume))
+        .transpose()
 }
 
 /// Speedup of `measured` relative to `baseline` execution time.
@@ -363,7 +471,12 @@ where
         .unwrap_or(4)
         .min(n);
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    // Each worker catches panics from `f` and stores them in the slot,
+    // so the mutex is never poisoned mid-panic and a single failing
+    // item cannot abort the process via a double panic. The first
+    // panicking slot (in input order) is re-raised exactly once below.
+    let results: Mutex<Vec<Option<std::thread::Result<R>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| loop {
@@ -371,17 +484,20 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(&items[i]);
-                results.lock().expect("poisoned")[i] = Some(r);
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&items[i])));
+                results.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(r);
             });
         }
     });
-    results
-        .into_inner()
-        .expect("poisoned")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    let slots = results.into_inner().unwrap_or_else(|p| p.into_inner());
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        match slot.expect("every claimed slot is filled before the scope ends") {
+            Ok(r) => out.push(r),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -502,15 +618,29 @@ mod tests {
         {
             let c = SweepCheckpoint::open(&path, "fig8|tiny|seed=1", false).unwrap();
             assert_eq!(c.completed(), 0);
-            c.record_ok("bfs/HMG", 12345);
-            c.record_ok("bfs/NHCC", 777);
+            c.record_ok("bfs/HMG", 12345, 0xdead_beef);
+            c.record_ok("bfs/NHCC", 777, 0xcafe);
             c.record_failure("lstm/HMG", "deadlocked: st_pending\nmachine dump...");
         }
         let c = SweepCheckpoint::open(&path, "fig8|tiny|seed=1", true).unwrap();
         assert_eq!(c.completed(), 2, "failed cells must not be reused");
-        assert_eq!(c.lookup("bfs/HMG"), Some(12345));
-        assert_eq!(c.lookup("bfs/NHCC"), Some(777));
+        assert_eq!(
+            c.lookup("bfs/HMG"),
+            Some(CellRecord {
+                cycles: 12345,
+                digest: 0xdead_beef
+            })
+        );
+        assert_eq!(
+            c.lookup("bfs/NHCC"),
+            Some(CellRecord {
+                cycles: 777,
+                digest: 0xcafe
+            })
+        );
         assert_eq!(c.lookup("lstm/HMG"), None);
+        assert_eq!(c.corrupt_rows(), 0);
+        assert_eq!(c.stale_rows(), 0);
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -532,7 +662,7 @@ mod tests {
         let path = dir.join("sweep.ckpt");
         {
             let c = SweepCheckpoint::open(&path, "id", false).unwrap();
-            c.record_ok("a/HMG", 1);
+            c.record_ok("a/HMG", 1, 2);
         }
         let c = SweepCheckpoint::open(&path, "id", false).unwrap();
         assert_eq!(c.completed(), 0, "no --resume means a clean slate");
@@ -546,21 +676,142 @@ mod tests {
         let path = dir.join("sweep.ckpt");
         {
             let c = SweepCheckpoint::open(&path, "id", false).unwrap();
-            c.record_ok("a/HMG", 42);
+            c.record_ok("a/HMG", 42, 7);
         }
-        // Simulate a crash mid-write: a truncated trailing record.
+        // Simulate a crash mid-write: a truncated trailing record whose
+        // checksum no longer matches the partial payload.
         {
             use std::io::Write as _;
             let mut f = std::fs::OpenOptions::new()
                 .append(true)
                 .open(&path)
                 .unwrap();
-            write!(f, "b/HMG\tok").unwrap();
+            write!(f, "0123456789abcdef\tb/HMG\tok").unwrap();
         }
         let c = SweepCheckpoint::open(&path, "id", true).unwrap();
         assert_eq!(c.completed(), 1);
-        assert_eq!(c.lookup("a/HMG"), Some(42));
+        assert_eq!(c.lookup("a/HMG").map(|r| r.cycles), Some(42));
+        assert_eq!(c.corrupt_rows(), 1, "the torn row must be counted");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_rows_and_keeps_valid_ones() {
+        // Fuzz the v2 parser: bit-flipped checksums, truncated payloads,
+        // missing fields, non-hex digests, raw v1-style rows, and binary
+        // garbage must all be dropped without losing the valid rows.
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-fuzz");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        {
+            let c = SweepCheckpoint::open(&path, "id", false).unwrap();
+            c.record_ok("good/HMG", 100, 0xabc);
+            c.record_ok("also-good/NHCC", 200, 0xdef);
+        }
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            // A valid row with one checksum hex digit flipped.
+            let row = format!("{:016x}\tflip/HMG\tok\t1\t{:016x}", 0u64, 5u64);
+            writeln!(f, "{row}").unwrap();
+            writeln!(f, "not-hex\tx/HMG\tok\t1\t0000000000000005").unwrap();
+            writeln!(f, "v1-style/HMG\tok\t123").unwrap();
+            writeln!(f, "{}", checksummed("short/HMG\tok")).unwrap();
+            writeln!(f, "{}", checksummed("bad-digest/HMG\tok\t5\tzzzz")).unwrap();
+            writeln!(f, "{}", checksummed("weird/HMG\tmaybe\t5")).unwrap();
+            writeln!(f, "\u{1}\u{2}\u{3}garbage").unwrap();
+        }
+        let c = SweepCheckpoint::open(&path, "id", true).unwrap();
+        assert_eq!(c.completed(), 2, "only checksum-verified rows survive");
+        assert_eq!(c.lookup("good/HMG").map(|r| r.cycles), Some(100));
+        assert_eq!(c.lookup("also-good/NHCC").map(|r| r.cycles), Some(200));
+        assert_eq!(c.lookup("flip/HMG"), None);
+        assert_eq!(c.corrupt_rows(), 7);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_drops_conflicting_duplicates_as_stale() {
+        // Two verified `ok` rows for the same key with different digests
+        // mean the sweep's inputs changed under the checkpoint: neither
+        // copy can be trusted, the cell re-runs, and the conflict is
+        // counted as stale.
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-stale");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        {
+            let c = SweepCheckpoint::open(&path, "id", false).unwrap();
+            c.record_ok("a/HMG", 10, 111);
+            c.record_ok("b/HMG", 20, 222);
+            c.record_ok("a/HMG", 10, 999); // conflicting digest
+            c.record_ok("a/HMG", 10, 111); // must not resurrect the key
+        }
+        let c = SweepCheckpoint::open(&path, "id", true).unwrap();
+        assert_eq!(c.lookup("a/HMG"), None, "conflicting cell re-runs");
+        assert_eq!(c.lookup("b/HMG").map(|r| r.digest), Some(222));
+        assert_eq!(c.completed(), 1);
+        assert_eq!(c.stale_rows(), 1);
+        // Re-recording after the conflict heals the checkpoint.
+        c.record_ok("a/HMG", 10, 111);
+        drop(c);
+        let c = SweepCheckpoint::open(&path, "id", true).unwrap();
+        assert_eq!(c.lookup("a/HMG").map(|r| r.digest), Some(111));
+        assert_eq!(c.stale_rows(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_resume_compacts_atomically_via_tempfile() {
+        let dir = std::env::temp_dir().join("hmg-ckpt-test-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.ckpt");
+        {
+            let c = SweepCheckpoint::open(&path, "id", false).unwrap();
+            c.record_ok("a/HMG", 1, 2);
+            c.record_failure("b/HMG", "boom");
+        }
+        // A stale tempfile from an interrupted compaction must not
+        // confuse a later resume.
+        std::fs::write(checkpoint_tmp_path(&path), "leftover junk").unwrap();
+        let c = SweepCheckpoint::open(&path, "id", true).unwrap();
+        assert_eq!(c.completed(), 1);
+        // Appends after the rename must land in the live file, not a
+        // dangling tempfile.
+        c.record_ok("c/HMG", 3, 4);
+        drop(c);
+        assert!(
+            !checkpoint_tmp_path(&path).exists(),
+            "tempfile must be renamed away"
+        );
+        let c = SweepCheckpoint::open(&path, "id", true).unwrap();
+        assert_eq!(c.completed(), 2);
+        assert_eq!(c.lookup("c/HMG").map(|r| r.cycles), Some(3));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parallel_map_propagates_worker_panic_once() {
+        // A panicking item must re-raise the panic exactly once (no
+        // poisoned-mutex double panic, which would abort the process),
+        // and the panic chosen is the first in input order.
+        let items: Vec<u64> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(&items, |&x| {
+                if x % 10 == 3 {
+                    panic!("item {x} failed");
+                }
+                x
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(msg, "item 3 failed", "first panic in input order wins");
     }
 
     #[test]

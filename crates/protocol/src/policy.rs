@@ -115,6 +115,13 @@ impl ProtocolKind {
         }
     }
 
+    /// Inverse of [`ProtocolKind::name`]: resolves a short machine
+    /// name back to the configuration, e.g. when a sweep cell crosses a
+    /// process boundary as command-line arguments.
+    pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::ALL.into_iter().find(|p| p.name() == name)
+    }
+
     /// The label the paper's figures use.
     pub fn label(self) -> &'static str {
         match self {
@@ -479,5 +486,13 @@ mod tests {
             assert!(!p.label().is_empty());
             assert_eq!(p.to_string(), p.name());
         }
+    }
+
+    #[test]
+    fn from_name_inverts_name() {
+        for p in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_name(p.name()), Some(p));
+        }
+        assert_eq!(ProtocolKind::from_name("mesi"), None);
     }
 }

@@ -470,6 +470,54 @@ impl FaultPlan {
         plan.validate()?;
         Ok(plan)
     }
+
+    /// Inverse of [`FaultPlan::parse`]: serializes the plan back to the
+    /// compact comma-separated spec, so a plan can cross a process
+    /// boundary (e.g. a supervised sweep cell re-executed in a child).
+    /// `FaultPlan::parse(&plan.to_spec())` reproduces the plan exactly.
+    pub fn to_spec(&self) -> String {
+        let mut clauses: Vec<String> = Vec::new();
+        if self.seed != 0 {
+            clauses.push(format!("seed={}", self.seed));
+        }
+        if let Some(d) = self.degrade {
+            clauses.push(format!("degrade={}..{}/{}", d.from, d.until, d.factor));
+        }
+        if let Some(s) = self.stall {
+            clauses.push(format!("stall={}..{}/{}", s.from, s.until, s.extra));
+        }
+        if let Some(d) = self.drop {
+            clauses.push(format!("drop={}", d.prob));
+        }
+        if let Some(d) = self.delay {
+            clauses.push(format!("delay={}/{}", d.prob, d.extra));
+        }
+        if let Some(d) = self.duplicate {
+            clauses.push(format!("dup={}", d.prob));
+        }
+        if let Some(n) = self.flag_delay {
+            clauses.push(format!("flag-delay={n}"));
+        }
+        if let Some(n) = self.drop_store {
+            clauses.push(format!("drop-store={n}"));
+        }
+        if let Some(r) = self.reorder_inv {
+            clauses.push(format!("reorder-inv={}/{}", r.nth, r.extra));
+        }
+        if self.skip_hier_inv_forward {
+            clauses.push("skip-hier-fwd".into());
+        }
+        if let Some(l) = self.link_down {
+            clauses.push(format!("link-down={}-{}@{}", l.a, l.b, l.at_cycle));
+        }
+        if let Some(g) = self.gpm_offline {
+            clauses.push(format!("gpm-offline={}.{}@{}", g.gpu, g.gpm, g.at_cycle));
+        }
+        if let Some(g) = self.gpu_offline {
+            clauses.push(format!("gpu-offline={}@{}", g.gpu, g.at_cycle));
+        }
+        clauses.join(",")
+    }
 }
 
 fn bad(clause: &str, why: &str) -> SimError {
@@ -765,6 +813,22 @@ mod tests {
         ] {
             let e = FaultPlan::parse(spec).unwrap_err();
             assert_eq!(e.kind, crate::error::SimErrorKind::Config, "{spec}: {e}");
+        }
+    }
+
+    #[test]
+    fn to_spec_round_trips_through_parse() {
+        for spec in [
+            "",
+            "seed=7",
+            "degrade=1000..5000/4,stall=2000..2500/300,drop=0.02,delay=0.1/200,dup=0.05,\
+             flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7",
+            "skip-hier-fwd,seed=3",
+            "link-down=0-1@5000,gpm-offline=1.0@7500,gpu-offline=2@9000",
+        ] {
+            let plan = FaultPlan::parse(spec).unwrap();
+            let reparsed = FaultPlan::parse(&plan.to_spec()).unwrap();
+            assert_eq!(reparsed, plan, "spec `{spec}` must round-trip");
         }
     }
 

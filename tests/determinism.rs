@@ -133,8 +133,8 @@ fn keep_going_sweeps_are_deterministic() {
         keep_going: true,
         ..ExpOptions::default()
     };
-    let a = fig8(&opts);
-    let b = fig8(&opts);
+    let a = fig8(&opts).expect("keep-going sweep yields a partial report");
+    let b = fig8(&opts).expect("keep-going sweep yields a partial report");
     assert_eq!(a.rows, b.rows);
     assert_eq!(a.workloads, b.workloads);
     assert_eq!(a.failures.len(), b.failures.len());
@@ -149,8 +149,8 @@ fn experiment_drivers_are_deterministic() {
         filter: Some(vec!["CoMD".into(), "bfs".into()]),
         ..ExpOptions::default()
     };
-    let a = fig8(&opts);
-    let b = fig8(&opts);
+    let a = fig8(&opts).expect("fig8");
+    let b = fig8(&opts).expect("fig8");
     assert_eq!(a.rows, b.rows);
     assert_eq!(a.geomeans, b.geomeans);
 }
@@ -199,9 +199,9 @@ fn faulty_sweeps_resume_deterministically_from_a_checkpoint() {
         resume,
         ..ExpOptions::default()
     };
-    let fresh = fig8(&mk(None, false));
-    let first = fig8(&mk(Some(ckpt.clone()), false));
-    let resumed = fig8(&mk(Some(ckpt.clone()), true));
+    let fresh = fig8(&mk(None, false)).expect("fresh sweep");
+    let first = fig8(&mk(Some(ckpt.clone()), false)).expect("checkpointed sweep");
+    let resumed = fig8(&mk(Some(ckpt.clone()), true)).expect("resumed sweep");
     let _ = std::fs::remove_file(&ckpt);
     assert_eq!(fresh.rows, first.rows);
     assert_eq!(first.rows, resumed.rows, "resume must not change results");

@@ -435,7 +435,7 @@ fn keep_going_sweep_yields_partial_report_with_failure_table() {
         keep_going: true,
         ..ExpOptions::default()
     };
-    let r = speedup_suite(&opts, &[ProtocolKind::Hmg], |_| {});
+    let r = speedup_suite(&opts, &[ProtocolKind::Hmg], "").expect("keep-going sweep");
     assert!(
         !r.failures.is_empty(),
         "the lethal fault must fail at least one workload"

@@ -15,7 +15,7 @@ fn opts(workloads: &[&str]) -> ExpOptions {
 
 #[test]
 fn fig8_structure_and_orderings() {
-    let r = fig8(&opts(&["RNN_FW", "bfs", "CoMD", "lstm"]));
+    let r = fig8(&opts(&["RNN_FW", "bfs", "CoMD", "lstm"])).expect("fig8");
     assert_eq!(r.workloads.len(), 4);
     assert_eq!(r.protocols.len(), 5);
     // All speedups within sane bounds.
@@ -92,7 +92,7 @@ fn hmg_coalesces_broadcasts_that_flat_tracking_cannot() {
 
 #[test]
 fn hw_coherence_beats_sw_on_fine_grained_sharing() {
-    let r = fig8(&opts(&["bfs"]));
+    let r = fig8(&opts(&["bfs"])).expect("fig8");
     let hmg = r.geomean_of(ProtocolKind::Hmg);
     let sw = r.geomean_of(ProtocolKind::SwNonHier);
     assert!(
@@ -103,7 +103,7 @@ fn hw_coherence_beats_sw_on_fine_grained_sharing() {
 
 #[test]
 fn fig2_is_the_motivating_subset() {
-    let r = fig2(&opts(&["bfs", "CoMD"]));
+    let r = fig2(&opts(&["bfs", "CoMD"])).expect("fig2");
     assert_eq!(
         r.protocols,
         vec![

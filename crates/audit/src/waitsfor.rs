@@ -130,6 +130,22 @@ impl ChannelModel {
                 symbol: "max_retries",
             });
         }
+        // A checksum-failed delivery (flip-msg corruption) is charged
+        // like a lost one and replays through the same machinery: same
+        // loop, same cap. Modeled as its own edge so corruption-recovery
+        // traffic is explicitly accounted as bounded instead of riding
+        // on the loss edge's evidence.
+        for class in MsgClass::ALL {
+            edges.push(DepEdge {
+                from: class,
+                to: class,
+                bounded: true,
+                why: "checksum-mismatch retransmission — a corrupt delivery replays like a \
+                      lost one, capped by the same per-message retry budget",
+                file: "crates/interconnect/src/fabric.rs",
+                symbol: "checksums",
+            });
+        }
         ChannelModel { edges }
     }
 
@@ -353,6 +369,25 @@ mod tests {
         assert!(cycle.msg.contains("StoreData"), "{}", cycle.msg);
         assert!(cycle.msg.contains("Inv"), "{}", cycle.msg);
         assert!(cycle.line > 1, "should anchor to a real source line");
+    }
+
+    #[test]
+    fn checksum_retransmits_are_bounded_self_edges() {
+        // Corruption-recovery traffic (flip-msg + checksum mismatch)
+        // must never read as a deadlock risk: every channel carries a
+        // bounded self-edge anchored to the fabric's checksum logic,
+        // and the unbounded subgraph stays acyclic with them present.
+        let m = ChannelModel::from_code();
+        for &class in &MsgClass::ALL {
+            assert!(
+                m.edges().iter().any(|e| e.from == class
+                    && e.to == class
+                    && e.bounded
+                    && e.symbol == "checksums"),
+                "{class:?} lacks a bounded checksum-retransmit edge"
+            );
+        }
+        assert!(find_unbounded_cycle(&m).is_none());
     }
 
     #[test]

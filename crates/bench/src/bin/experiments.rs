@@ -221,6 +221,21 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
                     .as_ref()
                     .and_then(|f| f.link_down)
                     .map(|l| (l.a, l.b, l.at_cycle)),
+                flip_msg: opts
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.flip_msg)
+                    .map(|m| m.prob),
+                flip_line: opts
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.flip_line)
+                    .map(|m| m.prob),
+                flip_dir: opts
+                    .faults
+                    .as_ref()
+                    .and_then(|f| f.flip_dir)
+                    .map(|m| m.prob),
                 ..hmg_check::CheckConfig::default()
             };
             let report = hmg_check::run_check(&cfg);

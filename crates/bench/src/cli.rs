@@ -153,12 +153,28 @@ coherence checking (docs/CHECKING.md):
   --faults link-down=A-B@CYCLE   stamp a mid-litmus permanent link loss
                   onto every perturbation plan: outcomes must stay
                   within the oracle's allowed set while traffic detours
+  --faults flip-msg=P,flip-line=P,flip-dir=P   stamp soft-error
+                  injection onto every perturbation plan; any silently
+                  consumed flip fails the sweep as INTEGRITY
 
 fault injection (DESIGN.md `Robustness & fault injection`):
   --faults SPEC   comma-separated clauses, e.g.
                   degrade=FROM..UNTIL/FACTOR  stall=FROM..UNTIL/EXTRA
                   delay=PROB/EXTRA  dup=PROB  drop=PROB  flag-delay=EXTRA
                   drop-store=N  reorder-inv=NTH/EXTRA  seed=N
+
+data integrity (DESIGN.md \u{a7}12 `Data integrity`):
+  --faults flip-msg=PROB   corrupt an in-flight message per hop with
+                  PROB; checksums detect and charge a retransmission
+  --faults flip-line=PROB  per scrub period, flip a resident L2 line
+                  per GPM with PROB; ECC corrects or invalidates
+                  (clean lines refetch, dirty lines poison + CTA abort)
+  --faults flip-dir=PROB   per scrub period, corrupt a directory entry
+                  per GPM with PROB; SEC-DED corrects or rebuilds the
+                  entry in conservative sticky-broadcast mode
+                  sweeps print `[integrity] ...` lines with the
+                  IntegrityStats counters; silent_corruptions stays 0
+                  whenever checksums and ECC are enabled
 
 fail-in-place (DESIGN.md \u{a7}9 `Fail-in-place & reconfiguration`):
   --faults link-down=A-B@CYCLE    kill the first-tier link between GPMs

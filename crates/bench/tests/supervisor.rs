@@ -133,6 +133,79 @@ fn crashed_and_hung_cells_are_reported_then_resume_heals() {
     let _ = std::fs::remove_file(&fresh);
 }
 
+/// A corruption sweep (soft-error flip faults armed through the same
+/// `--faults` plumbing, serialized to worker processes via `to_spec`)
+/// behaves like any other faulty sweep: a crash-interrupted run resumes
+/// to checkpoint rows identical to an uninterrupted one, and no cell
+/// reports silent corruption.
+#[test]
+fn corruption_sweeps_resume_digest_identical() {
+    let flips = "flip-msg=0.02,flip-line=0.4,flip-dir=0.4,seed=9";
+    let run = |ckpt: &Path, resume: bool, crash: bool| {
+        let mut cmd = Command::new(BIN);
+        cmd.args([
+            "fig8",
+            "--scale",
+            "tiny",
+            "--seed",
+            "4",
+            "--workloads",
+            "bfs,lstm",
+            "--keep-going",
+            "--jobs",
+            "4",
+            "--faults",
+            flips,
+            "--checkpoint",
+        ])
+        .arg(ckpt);
+        if resume {
+            cmd.arg("--resume");
+        }
+        if crash {
+            cmd.env("HMG_CELL_CRASH", "lstm/hmg");
+        } else {
+            cmd.env_remove("HMG_CELL_CRASH");
+        }
+        cmd.env_remove("HMG_CELL_HANG");
+        cmd.output().expect("experiments binary runs")
+    };
+
+    let ckpt = tmp("flips.ckpt");
+    let fresh = tmp("flips-fresh.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&fresh);
+
+    let interrupted = run(&ckpt, false, true);
+    let out = stdout(&interrupted);
+    assert!(interrupted.status.success(), "--keep-going exits 0:\n{out}");
+    assert_eq!(ok_rows(&ckpt).len(), 11, "11 of 12 cells completed");
+
+    let healed = run(&ckpt, true, false);
+    let out = stdout(&healed);
+    assert!(healed.status.success(), "healed resume exits 0:\n{out}");
+    assert!(
+        out.contains("reused=11"),
+        "resume must reuse the completed cells:\n{out}"
+    );
+
+    let uninterrupted = run(&fresh, false, false);
+    let out = stdout(&uninterrupted);
+    assert!(uninterrupted.status.success(), "{out}");
+    assert_eq!(
+        ok_rows(&ckpt),
+        ok_rows(&fresh),
+        "resumed corruption sweep must match an uninterrupted one"
+    );
+    assert!(
+        !out.contains("silently"),
+        "no cell may report silent corruption:\n{out}"
+    );
+
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&fresh);
+}
+
 #[test]
 fn hard_failure_without_keep_going_exits_nonzero() {
     let out = Command::new(BIN)

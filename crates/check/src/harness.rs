@@ -90,6 +90,7 @@ pub fn plans(
     seed: u64,
     inject: bool,
     link_down: Option<(u16, u16, u64)>,
+    flips: [Option<f64>; 3],
 ) -> Vec<(String, FaultPlan)> {
     let specs = [
         format!("seed={seed}"),
@@ -113,6 +114,21 @@ pub fn plans(
             if let Some((a, b, at_cycle)) = link_down {
                 p.link_down = Some(hmg::sim::LinkDown { a, b, at_cycle });
                 label = format!("{label},link-down={a}-{b}@{at_cycle}");
+            }
+            // Stamp soft-error injection onto every plan the same way:
+            // detection and recovery must keep every schedule the sweep
+            // explores inside the memory-model oracle's allowed set.
+            if let Some(prob) = flips[0] {
+                p.flip_msg = Some(hmg::sim::MsgFlip { prob });
+                label = format!("{label},flip-msg={prob}");
+            }
+            if let Some(prob) = flips[1] {
+                p.flip_line = Some(hmg::sim::LineFlip { prob });
+                label = format!("{label},flip-line={prob}");
+            }
+            if let Some(prob) = flips[2] {
+                p.flip_dir = Some(hmg::sim::DirFlip { prob });
+                label = format!("{label},flip-dir={prob}");
             }
             (label, p)
         })
@@ -166,14 +182,25 @@ pub struct ClassResult {
     pub runs: u64,
     /// Probe observations judged by the oracle.
     pub outcomes: u64,
+    /// Soft errors injected across the class's runs (messages, lines,
+    /// directory entries).
+    pub flips: u64,
+    /// Injected flips consumed without detection — must stay zero
+    /// whenever checksums and ECC are enabled.
+    pub silent: u64,
     /// Disagreements found.
     pub violations: Vec<Violation>,
 }
 
+fn flips_of(cfg: &CheckConfig) -> [Option<f64>; 3] {
+    [cfg.flip_msg, cfg.flip_line, cfg.flip_dir]
+}
+
 /// Engine runs one class costs under `cfg`.
 pub fn cost_of(p: &Program, cfg: &CheckConfig) -> u64 {
-    (cfg.protocols.len() * Mode::ALL.len() * plans(cfg.seed, cfg.inject, cfg.link_down).len())
-        as u64
+    (cfg.protocols.len()
+        * Mode::ALL.len()
+        * plans(cfg.seed, cfg.inject, cfg.link_down, flips_of(cfg)).len()) as u64
         * p.used_addrs().len() as u64
 }
 
@@ -182,7 +209,7 @@ pub fn cost_of(p: &Program, cfg: &CheckConfig) -> u64 {
 pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
     let mut out = ClassResult::default();
     let used = p.used_addrs();
-    let plans = plans(cfg.seed, cfg.inject, cfg.link_down);
+    let plans = plans(cfg.seed, cfg.inject, cfg.link_down, flips_of(cfg));
     for &proto in &cfg.protocols {
         for mode in Mode::ALL {
             let trace = trace_for(p, mode);
@@ -190,9 +217,14 @@ pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
                 // A permanent link loss is conservatively treated like a
                 // delay plan: the second-tier detour changes arrival
                 // order between node pairs, so only the range-based
-                // oracle rules apply (coherence must still hold).
-                let fault_free =
-                    plan.delay.is_none() && plan.duplicate.is_none() && plan.link_down.is_none();
+                // oracle rules apply (coherence must still hold). Soft
+                // errors likewise: recovery (retransmit, refetch,
+                // directory rebuild) perturbs timing but must never
+                // change which outcomes are allowed.
+                let fault_free = plan.delay.is_none()
+                    && plan.duplicate.is_none()
+                    && plan.link_down.is_none()
+                    && !plan.has_flip_faults();
                 for &a in &used {
                     let mut ecfg = EngineConfig::small_test(proto);
                     ecfg.faults = plan.clone();
@@ -201,6 +233,23 @@ pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
                     let result = run_isolated(ecfg, &trace);
                     if let Ok(m) = &result {
                         out.outcomes += m.probe.len() as u64;
+                        out.flips += m.integrity.flips();
+                        out.silent += m.integrity.silent_corruptions;
+                        if m.integrity.silent_corruptions > 0 {
+                            out.violations.push(Violation {
+                                program: p.key(),
+                                minimized: None,
+                                protocol: proto,
+                                mode: mode.name(),
+                                plan: spec.clone(),
+                                addr: a,
+                                rules: vec![format!(
+                                    "INTEGRITY: {} injected flip(s) consumed silently \
+                                     (checksums/ECC failed to detect)",
+                                    m.integrity.silent_corruptions
+                                )],
+                            });
+                        }
                     }
                     let ctx = RunCtx {
                         program: p,
@@ -306,18 +355,25 @@ mod tests {
 
     #[test]
     fn plans_are_deterministic_and_seeded() {
-        let a = plans(7, false, None);
-        let b = plans(7, false, None);
+        let a = plans(7, false, None, [None; 3]);
+        let b = plans(7, false, None, [None; 3]);
         assert_eq!(a.len(), 4);
         assert_eq!(a[0].1, b[0].1);
         assert!(a[0].1.is_empty(), "first plan is the unperturbed schedule");
         assert!(a[1].1.delay.is_some());
         assert!(a[3].1.duplicate.is_some());
-        assert!(plans(7, true, None)
+        assert!(plans(7, true, None, [None; 3])
             .iter()
             .all(|(_, p)| p.skip_hier_inv_forward));
+        // Requested soft errors are stamped onto every plan and label.
+        for (label, p) in plans(7, false, None, [Some(0.1), None, Some(0.5)]) {
+            assert_eq!(p.flip_msg.map(|f| f.prob), Some(0.1));
+            assert_eq!(p.flip_line, None);
+            assert_eq!(p.flip_dir.map(|f| f.prob), Some(0.5));
+            assert!(label.ends_with("flip-msg=0.1,flip-dir=0.5"), "{label}");
+        }
         // A requested link loss is stamped onto every plan and label.
-        for (label, p) in plans(7, false, Some((0, 1, 400))) {
+        for (label, p) in plans(7, false, Some((0, 1, 400)), [None; 3]) {
             assert_eq!(
                 p.link_down,
                 Some(hmg::sim::LinkDown {
@@ -362,6 +418,32 @@ mod tests {
                 r.violations
             );
         }
+    }
+
+    #[test]
+    fn message_passing_survives_a_soft_error_storm() {
+        // Aggressive corruption on all three surfaces at once: every
+        // flip must be detected and recovered (retransmit, ECC, refetch,
+        // or rebuild) without ever leaving the oracle's allowed set —
+        // and without a single silent corruption.
+        let cfg = CheckConfig {
+            flip_msg: Some(0.05),
+            flip_line: Some(0.4),
+            flip_dir: Some(0.4),
+            ..CheckConfig::default()
+        };
+        let mut flips = 0;
+        for reader in [2u8, 3] {
+            let r = check_program(&mp(reader), &cfg);
+            assert!(
+                r.violations.is_empty(),
+                "reader gpm{reader}: {:?}",
+                r.violations
+            );
+            assert_eq!(r.silent, 0, "reader gpm{reader}");
+            flips += r.flips;
+        }
+        assert!(flips > 0, "the storm must actually inject soft errors");
     }
 
     #[test]

@@ -72,6 +72,18 @@ pub struct CheckConfig {
     /// outcomes must stay within the memory-model oracle's allowed set
     /// even while every affected message detours over the second tier.
     pub link_down: Option<(u16, u16, u64)>,
+    /// Per-hop in-flight message corruption probability armed on every
+    /// plan of the sweep (`--faults flip-msg=PROB`). Checksum detection
+    /// and retransmission must keep every outcome within the oracle's
+    /// allowed set; any silently consumed flip fails the sweep.
+    pub flip_msg: Option<f64>,
+    /// Per-scrub-period resident-L2-line corruption probability
+    /// (`--faults flip-line=PROB`), recovered through ECC.
+    pub flip_line: Option<f64>,
+    /// Per-scrub-period directory-entry corruption probability
+    /// (`--faults flip-dir=PROB`), recovered through ECC or a
+    /// sticky-broadcast rebuild.
+    pub flip_dir: Option<f64>,
     /// Worker threads for the class sweep (0 = one per core).
     pub jobs: usize,
 }
@@ -85,6 +97,9 @@ impl Default for CheckConfig {
             inject: false,
             minimize: true,
             link_down: None,
+            flip_msg: None,
+            flip_line: None,
+            flip_dir: None,
             jobs: 0,
         }
     }
@@ -103,6 +118,11 @@ pub struct CheckReport {
     pub runs: u64,
     /// Probe observations judged by the oracle.
     pub outcomes_checked: u64,
+    /// Soft errors injected across the sweep (flip-msg/line/dir).
+    pub flips_injected: u64,
+    /// Injected flips consumed without detection; nonzero fails the
+    /// sweep (each one is also reported as an INTEGRITY violation).
+    pub silent_corruptions: u64,
     /// Confirmed `observed ⊄ allowed` disagreements.
     pub violations: Vec<Violation>,
     /// Whether the bounded space was fully covered before the budget
@@ -131,6 +151,13 @@ impl fmt::Display for CheckReport {
         )?;
         writeln!(f, "  engine runs         : {}", self.runs)?;
         writeln!(f, "  outcomes checked    : {}", self.outcomes_checked)?;
+        if self.flips_injected > 0 || self.silent_corruptions > 0 {
+            writeln!(
+                f,
+                "  soft errors         : {} injected, {} silent",
+                self.flips_injected, self.silent_corruptions
+            )?;
+        }
         writeln!(
             f,
             "  space exhausted     : {}",
@@ -212,6 +239,8 @@ pub fn run_check(cfg: &CheckConfig) -> CheckReport {
                 if let Some(r) = cell.outcome {
                     report.runs += r.runs;
                     report.outcomes_checked += r.outcomes;
+                    report.flips_injected += r.flips;
+                    report.silent_corruptions += r.silent;
                     report.violations.extend(r.violations);
                 }
             }

@@ -150,6 +150,10 @@ impl ExpOptions {
 /// | `write-policy=wt/wb`| L2 write policy (ablation)                   |
 /// | `downgrades=on/off` | sharer-downgrade messages (ablation)         |
 /// | `placement=ft/il`   | first-touch / interleaved pages (ablation)   |
+/// | `ecc=off/parity/secded` | cache/directory error coding (integrity) |
+/// | `checksums=on/off`  | per-message checksum verification            |
+/// | `scrub=N`           | background scrubber period in cycles         |
+/// | `double-bit=F`      | SEC-DED uncorrectable-flip fraction in [0,1] |
 pub fn apply_tweak(spec: &str, cfg: &mut EngineConfig) -> Result<(), SimError> {
     for clause in spec.split('+').filter(|c| !c.is_empty()) {
         let (key, value) = match clause.split_once('=') {
@@ -196,6 +200,21 @@ pub fn apply_tweak(spec: &str, cfg: &mut EngineConfig) -> Result<(), SimError> {
             ("downgrades", Some("off")) => cfg.sharer_downgrades = false,
             ("placement", Some("ft")) => cfg.placement = hmg_mem::PagePlacement::FirstTouch,
             ("placement", Some("il")) => cfg.placement = hmg_mem::PagePlacement::Interleaved,
+            ("ecc", Some("off")) => cfg.ecc = hmg_gpu::EccMode::None,
+            ("ecc", Some("parity")) => cfg.ecc = hmg_gpu::EccMode::Parity,
+            ("ecc", Some("secded")) => cfg.ecc = hmg_gpu::EccMode::SecDed,
+            ("checksums", Some("on")) => cfg.checksums = true,
+            ("checksums", Some("off")) => cfg.checksums = false,
+            ("scrub", Some(v)) => {
+                cfg.scrub_interval = hmg_sim::Cycle(v.parse().map_err(|_| bad())?);
+            }
+            ("double-bit", Some(v)) => {
+                let f: f64 = v.parse().map_err(|_| bad())?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(bad());
+                }
+                cfg.ecc_double_bit_fraction = f;
+            }
             _ => return Err(bad()),
         }
     }
@@ -263,6 +282,15 @@ pub fn run_cell(ctx: &CellCtx) -> Result<CellOutcome, SimError> {
             ctx.workload,
             ctx.protocol.name(),
             m.reconfig
+        );
+    }
+    // Soft-error accounting, same contract: silent on fault-free runs.
+    if !m.integrity.is_zero() {
+        println!(
+            "[integrity] workload={} protocol={} {}",
+            ctx.workload,
+            ctx.protocol.name(),
+            m.integrity
         );
     }
     Ok(CellOutcome {
@@ -1886,7 +1914,8 @@ mod tests {
         let mut cfg = EngineConfig::paper_default(ProtocolKind::Hmg);
         apply_tweak(
             "bw=150+l2mb=12+dirk=6+grain=4+gpus=2+zero-cost-fences\
-             +write-policy=wb+downgrades=off+placement=il",
+             +write-policy=wb+downgrades=off+placement=il\
+             +ecc=parity+checksums=off+scrub=250+double-bit=0.5",
             &mut cfg,
         )
         .expect("valid tweak spec");
@@ -1897,6 +1926,15 @@ mod tests {
         assert_eq!(cfg.l2_write_policy, hmg_gpu::WritePolicy::WriteBack);
         assert!(!cfg.sharer_downgrades);
         assert_eq!(cfg.placement, hmg_mem::PagePlacement::Interleaved);
+        assert_eq!(cfg.ecc, hmg_gpu::EccMode::Parity);
+        assert!(!cfg.checksums);
+        assert_eq!(cfg.scrub_interval, hmg_sim::Cycle(250));
+        assert!((cfg.ecc_double_bit_fraction - 0.5).abs() < 1e-9);
+        apply_tweak("ecc=off", &mut cfg).expect("ecc off");
+        assert_eq!(cfg.ecc, hmg_gpu::EccMode::None);
+        apply_tweak("ecc=secded+checksums=on", &mut cfg).expect("secded");
+        assert_eq!(cfg.ecc, hmg_gpu::EccMode::SecDed);
+        assert!(cfg.checksums);
     }
 
     #[test]
@@ -1906,6 +1944,10 @@ mod tests {
         assert!(apply_tweak("grain=0", &mut cfg).is_err());
         assert!(apply_tweak("grain=3", &mut cfg).is_err());
         assert!(apply_tweak("warp-speed", &mut cfg).is_err());
+        assert!(apply_tweak("ecc=hamming", &mut cfg).is_err());
+        assert!(apply_tweak("checksums=maybe", &mut cfg).is_err());
+        assert!(apply_tweak("scrub=soon", &mut cfg).is_err());
+        assert!(apply_tweak("double-bit=1.5", &mut cfg).is_err());
         assert!(apply_tweak("", &mut cfg).is_ok(), "empty spec is a no-op");
     }
 

@@ -24,6 +24,28 @@ pub enum WritePolicy {
     WriteBack,
 }
 
+/// Error-detection/correction code protecting L2 lines and directory
+/// entries against soft errors (the `flip-line` / `flip-dir` fault
+/// classes).
+///
+/// Real GPUs ship SEC-DED ECC on SRAM arrays; `Parity` and `None`
+/// exist to quantify what the protection buys (the adversarial proof
+/// that without it, corruption is silent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EccMode {
+    /// No protection: every flip corrupts state silently.
+    None,
+    /// Parity: every flip is detected but none are correctable.
+    /// Detected-uncorrectable lines are handled like SEC-DED
+    /// double-bit errors (refetch clean data, poison dirty data).
+    Parity,
+    /// Single-error-correct, double-error-detect (the default):
+    /// single-bit flips are corrected in place, double-bit flips are
+    /// detected-uncorrectable.
+    #[default]
+    SecDed,
+}
+
 /// Full configuration of one simulated system.
 ///
 /// Construct via [`EngineConfig::paper_default`] (the Table II machine)
@@ -120,6 +142,25 @@ pub struct EngineConfig {
     /// retrying (and potentially livelocking) forever. `None` (default)
     /// keeps the pre-existing unbounded-retry behavior.
     pub nack_attempt_cap: Option<u8>,
+    /// ECC scheme protecting L2 lines and directory entries against
+    /// `flip-line`/`flip-dir` soft errors. Default [`EccMode::SecDed`].
+    pub ecc: EccMode,
+    /// Fraction of injected line/directory flips that hit two bits of
+    /// the same codeword (uncorrectable under SEC-DED). Real soft-error
+    /// data puts this well under 10%; the default 0.25 exercises both
+    /// paths, and tests pin it to 0.0 (all correctable) or 1.0 (all
+    /// uncorrectable) for exact accounting.
+    pub ecc_double_bit_fraction: f64,
+    /// End-to-end message checksums on the fabric: corrupted deliveries
+    /// (`flip-msg`) are detected at the receiver and replayed. Disabled
+    /// only for the adversarial ablation — corruption then lands
+    /// silently.
+    pub checksums: bool,
+    /// Period of the background scrubber that sweeps L2 lines and
+    /// directory entries for latent flips. The scrubber is armed only
+    /// when the fault plan injects `flip-line`/`flip-dir`, so
+    /// fault-free runs never pay for it.
+    pub scrub_interval: Cycle,
 }
 
 impl EngineConfig {
@@ -161,6 +202,10 @@ impl EngineConfig {
             home_nack_threshold: None,
             nack_backoff: Cycle(200),
             nack_attempt_cap: None,
+            ecc: EccMode::SecDed,
+            ecc_double_bit_fraction: 0.25,
+            checksums: true,
+            scrub_interval: Cycle(5000),
         }
     }
 
@@ -180,6 +225,7 @@ impl EngineConfig {
         c.kernel_launch_overhead = Cycle(100);
         c.flag_latency = Cycle(20);
         c.nack_backoff = Cycle(40);
+        c.scrub_interval = Cycle(500);
         c
     }
 
@@ -280,6 +326,20 @@ impl EngineConfig {
                     "gpu-offline with a single-GPU topology leaves no survivors",
                 ));
             }
+        }
+        if !(0.0..=1.0).contains(&self.ecc_double_bit_fraction) {
+            return Err(SimError::config(format!(
+                "ecc_double_bit_fraction {} not in [0,1]",
+                self.ecc_double_bit_fraction
+            )));
+        }
+        if (self.faults.flip_line.is_some() || self.faults.flip_dir.is_some())
+            && self.scrub_interval == Cycle::ZERO
+        {
+            return Err(SimError::config(
+                "scrub_interval must be positive when flip faults are armed \
+                 (a zero period would reschedule the scrubber every cycle)",
+            ));
         }
         self.faults.validate()
     }
@@ -384,6 +444,24 @@ mod tests {
             at_cycle: 50,
         });
         assert!(c.try_validate().is_err(), "no survivors allowed");
+    }
+
+    #[test]
+    fn validate_checks_integrity_knobs() {
+        let mut c = EngineConfig::small_test(ProtocolKind::Hmg);
+        assert_eq!(c.ecc, EccMode::SecDed);
+        assert!(c.checksums);
+        c.ecc_double_bit_fraction = 1.5;
+        assert!(c.try_validate().is_err(), "fraction out of range");
+        c.ecc_double_bit_fraction = 1.0;
+        c.try_validate().unwrap();
+        // A zero scrub period is fine until flips are armed.
+        c.scrub_interval = Cycle::ZERO;
+        c.try_validate().unwrap();
+        c.faults = FaultPlan::parse("flip-line=0.1").unwrap();
+        assert!(c.try_validate().is_err(), "flips need a scrub period");
+        c.scrub_interval = Cycle(500);
+        c.try_validate().unwrap();
     }
 
     #[test]

@@ -32,8 +32,26 @@ use hmg_protocol::{
 };
 use hmg_sim::{Cycle, EventQueue, ProgressWatchdog, Rng, SimError};
 
-use crate::config::EngineConfig;
+use crate::config::{EccMode, EngineConfig};
 use crate::metrics::RunMetrics;
+
+/// Salt for the engine's dedicated soft-error stream, so line/directory
+/// flip draws never perturb the message-fault stream (`faults.seed`)
+/// or the fabric's drop/flip streams.
+const SCRUB_STREAM_SALT: u64 = 0x94D0_49BB_1331_11EB;
+
+/// Severity of a latent soft error planted on a resident L2 line, as
+/// the configured [`EccMode`] will classify it when the line is next
+/// read (by an access or by the scrubber).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlipSeverity {
+    /// Single-bit under SEC-DED: corrected in place when detected.
+    Correctable,
+    /// Double-bit under SEC-DED, or any flip under parity: detected
+    /// but not correctable. Clean lines are dropped and refetched;
+    /// dirty lines poison their consumer.
+    Uncorrectable,
+}
 
 /// One L2 line's metadata: the data version it holds and, under the
 /// write-back policy, whether it is dirty (newer than its home).
@@ -122,6 +140,11 @@ struct MemMsg {
     /// Consecutive NACKs this request has absorbed; scales the
     /// retry backoff exponentially.
     attempts: u8,
+    /// The response carries poisoned data: an uncorrectable ECC error
+    /// hit the only copy (a dirty line). The consumer must not use the
+    /// value — `complete_load` aborts the consuming CTA instead of
+    /// filling caches (detected-and-contained, never silent).
+    poisoned: bool,
 }
 
 /// A store (or atomic write-through continuation) in flight.
@@ -210,6 +233,11 @@ enum Ev {
     },
     FenceAcks(usize),
     KernelStart(usize),
+    /// Periodic background scrubber tick: retires latent line flips
+    /// (detect-and-recover) and plants this tick's injected soft
+    /// errors. Scheduled only when the plan injects
+    /// `flip-line`/`flip-dir`.
+    Scrub,
 }
 
 /// A permanent fault scheduled for activation at a fixed cycle. Built
@@ -319,6 +347,16 @@ struct Sim<'t> {
     /// Fault-injection RNG stream, seeded from the plan. Event
     /// processing order is deterministic, so draws are too.
     rng: Rng,
+    /// Dedicated stream for soft-error injection (line/directory
+    /// flips). Armed only when the plan injects them, so flip-free
+    /// runs draw nothing and timing is untouched.
+    flip_rng: Option<Rng>,
+    /// Latent soft errors planted on resident L2 lines, keyed by
+    /// `(GPM index, line)`. An entry is retired exactly once — by an
+    /// access (ECC check before serving), a fill overwrite (refetch),
+    /// or a scrubber sweep — so the [`hmg_sim::IntegrityStats`]
+    /// conservation equation balances.
+    line_faults: std::collections::BTreeMap<(u16, LineAddr), FlipSeverity>,
     /// Store messages sent over the fabric (drop-store fault index).
     store_seq: u64,
     /// Store-caused invalidations sent (reorder-inv fault index).
@@ -369,6 +407,7 @@ impl<'t> Sim<'t> {
             .collect();
         let mut fabric = Fabric::new(topo, cfg.fabric);
         fabric.apply_faults(&cfg.faults);
+        fabric.set_checksums(cfg.checksums);
         let mut perm_faults: Vec<(u64, PermFault)> = Vec::new();
         if let Some(l) = &cfg.faults.link_down {
             perm_faults.push((l.at_cycle, PermFault::LinkDown));
@@ -405,6 +444,9 @@ impl<'t> Sim<'t> {
             draining: false,
             finished: false,
             rng: Rng::new(cfg.faults.seed),
+            flip_rng: (cfg.faults.flip_line.is_some() || cfg.faults.flip_dir.is_some())
+                .then(|| Rng::new(cfg.faults.seed ^ SCRUB_STREAM_SALT)),
+            line_faults: std::collections::BTreeMap::new(),
             store_seq: 0,
             inv_seq: 0,
             perm_faults,
@@ -500,6 +542,9 @@ impl<'t> Sim<'t> {
             return Ok(std::mem::take(&mut self.m));
         }
         self.q.push(Cycle::ZERO, Ev::KernelStart(0));
+        if self.flip_rng.is_some() {
+            self.q.push(self.cfg.scrub_interval, Ev::Scrub);
+        }
         while let Some((now, ev)) = self.q.pop() {
             // Activate pending permanent faults at the event boundary —
             // before the watchdog check, so the reconfiguration can
@@ -533,6 +578,7 @@ impl<'t> Sim<'t> {
                 }
                 Ev::FenceAcks(id) => self.handle_fence_acks(now, id),
                 Ev::KernelStart(k) => self.kernel_start(now, k),
+                Ev::Scrub => self.handle_scrub(now),
             }
             if let Some(e) = self.fatal.take() {
                 return Err(e);
@@ -550,6 +596,15 @@ impl<'t> Sim<'t> {
             // invalidations; nothing may be left in flight at the end.
             self.assert_drained();
         }
+        // Retire any latent flips the scrubber had not reached, then
+        // fold in the fabric's checksum layer, so the IntegrityStats
+        // conservation equation balances exactly: every injected flip
+        // lands in exactly one recovery/containment bucket.
+        self.scrub_sweep();
+        let transport = self.fabric.stats().transport();
+        self.m.integrity.flips_msg = transport.flips_injected;
+        self.m.integrity.checksum_retransmits = transport.checksum_retransmits;
+        self.m.integrity.silent_corruptions += transport.silent_flips;
         self.m.total_cycles = self.q.now();
         self.m.events = self.q.events_processed();
         self.m.fabric = *self.fabric.stats();
@@ -1033,6 +1088,7 @@ impl<'t> Sim<'t> {
             version: 0,
             issued_at: t,
             attempts: 0,
+            poisoned: false,
         };
         self.q
             .push(t + self.cfg.l1_latency, Ev::Req { msg, node: r.gpm });
@@ -1116,6 +1172,7 @@ impl<'t> Sim<'t> {
             version: v,
             issued_at: t,
             attempts: 0,
+            poisoned: false,
         };
         self.q
             .push(t + self.cfg.l1_latency, Ev::Req { msg, node: r.gpm });
@@ -1305,16 +1362,44 @@ impl<'t> Sim<'t> {
             proto.load_may_hit(level, msg.scope)
         };
         if may_hit {
-            if let Some(&L2Line { version: v, .. }) = self.gpms[node.index()].l2.get(msg.line) {
-                match level {
-                    CacheLevel::SysHomeL2 => self.m.sys_home_hits += 1,
-                    CacheLevel::GpuHomeL2 => self.m.gpu_home_hits += 1,
-                    _ => self.m.local_l2_hits += 1,
+            if let Some(&L2Line { version: v, dirty }) = self.gpms[node.index()].l2.get(msg.line) {
+                // ECC check: a latent flip on the resident copy is
+                // detected (and handled) before the data is served.
+                match self.take_line_fault(node, msg.line) {
+                    Some(FlipSeverity::Uncorrectable) => {
+                        // The copy is unusable and dropped. Clean: fall
+                        // through to the miss path, which refetches the
+                        // line from its home. Dirty: the only copy of
+                        // the data is gone — serve a poisoned response
+                        // that aborts the consuming CTA instead of
+                        // handing out a corrupt value.
+                        self.gpms[node.index()].l2.invalidate(msg.line);
+                        if dirty {
+                            self.m.integrity.poisoned += 1;
+                            let mut served = msg;
+                            served.version = v;
+                            served.poisoned = true;
+                            self.send_response(t_data, served, node, sys_home, gpu_home);
+                            return;
+                        }
+                        self.m.integrity.refetched_lines += 1;
+                    }
+                    fault => {
+                        if fault.is_some() {
+                            // Single-bit flip: corrected in place.
+                            self.m.integrity.corrected += 1;
+                        }
+                        match level {
+                            CacheLevel::SysHomeL2 => self.m.sys_home_hits += 1,
+                            CacheLevel::GpuHomeL2 => self.m.gpu_home_hits += 1,
+                            _ => self.m.local_l2_hits += 1,
+                        }
+                        let mut served = msg;
+                        served.version = v;
+                        self.send_response(t_data, served, node, sys_home, gpu_home);
+                        return;
+                    }
                 }
-                let mut served = msg;
-                served.version = v;
-                self.send_response(t_data, served, node, sys_home, gpu_home);
-                return;
             }
         }
 
@@ -1355,15 +1440,25 @@ impl<'t> Sim<'t> {
     /// Waiters from this GPM complete in place (recursively draining
     /// their own merge chains); waiters forwarded from other GPMs (merged
     /// at a GPU home) are sent their own responses.
-    fn drain_mshr(&mut self, now: Cycle, node: GpmId, line: LineAddr, version: u64) {
+    fn drain_mshr(
+        &mut self,
+        now: Cycle,
+        node: GpmId,
+        line: LineAddr,
+        version: u64,
+        poisoned: bool,
+    ) {
         let Some(waiters) = self.mshr.remove(&(node.0, line)) else {
             return;
         };
         for mut w in waiters {
             w.version = version;
+            // Poison propagates to every consumer merged behind the
+            // fill: each aborts rather than using the corrupt value.
+            w.poisoned = poisoned;
             if w.sm.gpm == node {
                 self.complete_load(now, w);
-                self.drain_mshr(now, node, line, version);
+                self.drain_mshr(now, node, line, version, poisoned);
             } else {
                 let arrive =
                     self.fabric
@@ -1429,6 +1524,11 @@ impl<'t> Sim<'t> {
         if meta.version < floor || resident.is_some_and(|v| v > meta.version) {
             self.m.stale_fills_dropped += 1;
             return;
+        }
+        // A fill overwrites the whole line: any latent flip on the old
+        // copy is gone — the data was effectively refetched.
+        if !self.line_faults.is_empty() && self.line_faults.remove(&(node.0, line)).is_some() {
+            self.m.integrity.refetched_lines += 1;
         }
         if let Some((victim_line, victim)) = self.gpms[node.index()].l2.insert(line, meta) {
             self.evicted_l2_line(t, node, victim_line, victim);
@@ -1641,7 +1741,7 @@ impl<'t> Sim<'t> {
         } else {
             self.cfg.protocol.may_fill(CacheLevel::GpuHomeL2, same_gpu)
         };
-        if fill {
+        if fill && !msg.poisoned {
             self.fill_l2(now, node, msg.line, L2Line::clean(msg.version));
         }
         let arrive = self
@@ -1650,14 +1750,14 @@ impl<'t> Sim<'t> {
         self.q.push(arrive, Ev::Resp { msg });
         // Serve the other GPMs merged behind this fill at the GPU home.
         if msg.kind == AccessKind::Load {
-            self.drain_mshr(now, node, msg.line, msg.version);
+            self.drain_mshr(now, node, msg.line, msg.version, msg.poisoned);
         }
     }
 
     fn handle_resp(&mut self, now: Cycle, msg: MemMsg) {
         self.complete_load(now, msg);
         if msg.kind == AccessKind::Load {
-            self.drain_mshr(now, msg.sm.gpm, msg.line, msg.version);
+            self.drain_mshr(now, msg.sm.gpm, msg.line, msg.version, msg.poisoned);
         }
     }
 
@@ -1668,6 +1768,17 @@ impl<'t> Sim<'t> {
             // in-flight slot drains without waking anyone.
             self.loads_inflight -= 1;
             self.maybe_kernel_end(now);
+            return;
+        }
+        if msg.poisoned {
+            // The served data was uncorrectably corrupt: no caches fill,
+            // no latency is credited — the consuming CTA aborts instead
+            // of running on poison.
+            self.watchdog.note_progress(now.0);
+            let idx = self.sm_index(msg.sm);
+            self.sms[idx].outstanding -= 1;
+            self.loads_inflight -= 1;
+            self.abort_poisoned_cta(now, msg.sm);
             return;
         }
         let req_gpm = msg.sm.gpm;
@@ -2764,6 +2875,242 @@ impl<'t> Sim<'t> {
                 node: retry.sm.gpm,
             },
         );
+    }
+
+    // ---------- soft errors: injection, scrubbing, poison ----------
+
+    /// Consumes the latent fault planted on `(node, line)`, if any. The
+    /// fast path keeps the per-access overhead at one branch when no
+    /// flip faults are armed.
+    fn take_line_fault(&mut self, node: GpmId, line: LineAddr) -> Option<FlipSeverity> {
+        if self.line_faults.is_empty() {
+            return None;
+        }
+        self.line_faults.remove(&(node.0, line))
+    }
+
+    /// One scrubber period: resolve last period's latent faults, then
+    /// draw this period's flips.
+    fn handle_scrub(&mut self, now: Cycle) {
+        self.scrub_sweep();
+        self.plant_flips(now);
+        // Reschedule only while the run is still making progress: an
+        // otherwise-drained queue must stay drained so the queue-empty
+        // deadlock check keeps firing.
+        if !self.finished && !self.q.is_empty() {
+            self.q.push(now + self.cfg.scrub_interval, Ev::Scrub);
+        }
+    }
+
+    /// The background scrubber pass: resolves every outstanding latent
+    /// fault against the line's current residency. Correctable faults
+    /// are repaired in place; uncorrectable faults invalidate the copy —
+    /// clean (or departed) lines refetch on their next miss, while a
+    /// dirty copy was the only one and is unrecoverable poison.
+    fn scrub_sweep(&mut self) {
+        if self.line_faults.is_empty() {
+            return;
+        }
+        let entries: Vec<((u16, LineAddr), FlipSeverity)> =
+            self.line_faults.iter().map(|(&k, &v)| (k, v)).collect();
+        self.line_faults.clear();
+        for ((gpm, line), sev) in entries {
+            self.m.integrity.scrubbed += 1;
+            let node = GpmId(gpm);
+            match sev {
+                FlipSeverity::Correctable => {
+                    if self.gpms[node.index()].l2.get(line).is_some() {
+                        self.m.integrity.corrected += 1;
+                    } else {
+                        // The line left the cache before the scrubber
+                        // reached it; the flip died with the stale copy.
+                        self.m.integrity.refetched_lines += 1;
+                    }
+                }
+                FlipSeverity::Uncorrectable => {
+                    match self.gpms[node.index()].l2.invalidate(line) {
+                        Some(meta) if meta.dirty => {
+                            // The only copy of committed-but-unflushed
+                            // data was corrupt: contained, not consumed.
+                            self.m.integrity.poisoned += 1;
+                        }
+                        _ => self.m.integrity.refetched_lines += 1,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Draws this scrub period's soft errors from the dedicated flip
+    /// stream. Line flips plant latent faults resolved at the next
+    /// access, overwrite, or sweep; directory flips resolve immediately
+    /// (the entry is probed in place at detection).
+    fn plant_flips(&mut self, now: Cycle) {
+        let line_prob = self.cfg.faults.flip_line.map(|f| f.prob);
+        let dir_prob = self.cfg.faults.flip_dir.map(|f| f.prob);
+        let frac = self.cfg.ecc_double_bit_fraction;
+        for node in self.cfg.topo.all_gpms() {
+            if self.gpm_is_dead(node) {
+                continue;
+            }
+            if let Some(p) = line_prob {
+                let hit = match self.flip_rng.as_mut() {
+                    Some(r) => r.gen_bool(p),
+                    None => false,
+                };
+                let len = self.gpms[node.index()].l2.len();
+                if hit && len > 0 {
+                    let n = match self.flip_rng.as_mut() {
+                        Some(r) => r.gen_range(0, len as u64) as usize,
+                        None => 0,
+                    };
+                    let picked = self.gpms[node.index()].l2.nth_resident(n).map(|(l, _)| l);
+                    if let Some(line) = picked {
+                        self.m.integrity.flips_line += 1;
+                        match self.cfg.ecc {
+                            EccMode::None => {
+                                // No detection: the resident copy is
+                                // silently wrong from here on.
+                                if let Some(meta) = self.gpms[node.index()].l2.get_mut(line) {
+                                    meta.version ^= 1 << 40;
+                                }
+                                self.m.integrity.silent_corruptions += 1;
+                            }
+                            EccMode::Parity => {
+                                self.line_faults
+                                    .insert((node.0, line), FlipSeverity::Uncorrectable);
+                            }
+                            EccMode::SecDed => {
+                                let double = match self.flip_rng.as_mut() {
+                                    Some(r) => r.gen_bool(frac),
+                                    None => false,
+                                };
+                                let sev = if double {
+                                    FlipSeverity::Uncorrectable
+                                } else {
+                                    FlipSeverity::Correctable
+                                };
+                                self.line_faults.insert((node.0, line), sev);
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(p) = dir_prob {
+                let hit = match self.flip_rng.as_mut() {
+                    Some(r) => r.gen_bool(p),
+                    None => false,
+                };
+                let len = self.gpms[node.index()].dir.len();
+                if hit && len > 0 {
+                    let n = match self.flip_rng.as_mut() {
+                        Some(r) => r.gen_range(0, len as u64) as usize,
+                        None => 0,
+                    };
+                    if let Some(block) = self.gpms[node.index()].dir.nth_resident_block(n) {
+                        self.m.integrity.flips_dir += 1;
+                        match self.cfg.ecc {
+                            EccMode::None => {
+                                // An undetected sharer-bit flip: the
+                                // directory silently forgets sharers and
+                                // later invalidation rounds under-send.
+                                if let Some(set) = self.gpms[node.index()].dir.lookup_mut(block) {
+                                    set.clear();
+                                }
+                                self.m.integrity.silent_corruptions += 1;
+                            }
+                            EccMode::Parity => self.rebuild_dir_entry(now, node, block),
+                            EccMode::SecDed => {
+                                let double = match self.flip_rng.as_mut() {
+                                    Some(r) => r.gen_bool(frac),
+                                    None => false,
+                                };
+                                if double {
+                                    self.rebuild_dir_entry(now, node, block);
+                                } else {
+                                    self.m.integrity.corrected += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recovers an uncorrectably corrupt directory entry. The sharer
+    /// list is unrecoverable, so every survivor's copies of the block's
+    /// lines are scrubbed (dirty ones flush first) and the entry is
+    /// re-created in conservative sticky-broadcast mode — the same
+    /// degraded state the sharer-cap overflow path already exercises.
+    fn rebuild_dir_entry(&mut self, now: Cycle, home: GpmId, block: BlockAddr) {
+        self.m.integrity.rebuilt_dir_entries += 1;
+        for g in self.cfg.topo.all_gpms() {
+            if g == home || self.gpm_is_dead(g) {
+                continue;
+            }
+            let mut dirty: Vec<(LineAddr, L2Line)> = Vec::new();
+            for line in self.cfg.geometry.lines_of_block(block) {
+                if let Some(meta) = self.gpms[g.index()].l2.invalidate(line) {
+                    self.m.integrity.scrubbed += 1;
+                    if meta.dirty {
+                        dirty.push((line, meta));
+                    }
+                }
+            }
+            for (line, meta) in dirty {
+                self.evicted_l2_line(now, g, line, meta);
+            }
+        }
+        let newly = {
+            let Some(set) = self.gpms[home.index()].dir.lookup_mut(block) else {
+                return;
+            };
+            let newly = !set.is_broadcast();
+            set.force_broadcast();
+            newly
+        };
+        if newly {
+            self.note_broadcast_fallback(home);
+        }
+    }
+
+    /// Aborts the CTA running on `r` after it consumed a poisoned
+    /// response. Mirrors the fail-in-place `abort_cta`: remaining
+    /// `SetFlag` ops are salvaged so surviving waiters don't deadlock,
+    /// and the SM picks up the next queued CTA. A no-op if the CTA
+    /// already aborted through another poisoned response merged behind
+    /// the same fill.
+    fn abort_poisoned_cta(&mut self, now: Cycle, r: SmRef) {
+        let idx = self.sm_index(r);
+        let Some(cta) = self.sms[idx].cta.take() else {
+            return;
+        };
+        let pc = self.sms[idx].pc;
+        self.m.integrity.aborted_ctas += 1;
+        self.ctas_unfinished -= 1;
+        let ops = &self.trace.kernels[self.kernel].ctas[cta].ops;
+        let flags: Vec<u32> = ops[pc.min(ops.len())..]
+            .iter()
+            .filter_map(|op| match op {
+                TraceOp::SetFlag(f) => Some(*f),
+                _ => None,
+            })
+            .collect();
+        for f in flags {
+            self.salvage_set_flag(now, f);
+        }
+        let next = self.gpms[r.gpm.index()].cta_queue.pop_front();
+        let s = &mut self.sms[idx];
+        s.cta = next;
+        s.pc = 0;
+        if next.is_some() {
+            s.state = SmState::Runnable;
+            self.q.push(now, Ev::SmResume(r));
+        } else {
+            s.state = SmState::Idle;
+        }
+        self.maybe_kernel_end(now);
     }
 }
 

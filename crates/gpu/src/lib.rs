@@ -33,6 +33,6 @@ pub mod config;
 pub mod engine;
 pub mod metrics;
 
-pub use config::{EngineConfig, WritePolicy};
+pub use config::{EccMode, EngineConfig, WritePolicy};
 pub use engine::Engine;
 pub use metrics::RunMetrics;

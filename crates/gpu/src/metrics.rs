@@ -3,7 +3,7 @@
 
 use hmg_interconnect::FabricStats;
 use hmg_protocol::TableConformance;
-use hmg_sim::{Cycle, ReconfigStats};
+use hmg_sim::{Cycle, IntegrityStats, ReconfigStats};
 
 /// Everything one run reports.
 #[derive(Debug, Clone, Default)]
@@ -74,6 +74,12 @@ pub struct RunMetrics {
     /// link-down, gpm-offline, gpu-offline). All-zero on fault-free
     /// runs.
     pub reconfig: ReconfigStats,
+    /// Soft-error accounting (flip-msg/flip-line/flip-dir injection,
+    /// checksum/ECC detection and recovery). All-zero on fault-free
+    /// runs; `silent_corruptions` must stay zero whenever checksums and
+    /// ECC are enabled — every injected flip is either recovered or
+    /// contained (poison + CTA abort), never consumed silently.
+    pub integrity: IntegrityStats,
     /// Runtime conformance of executed directory transitions against
     /// the static Table I (`hmg_protocol::table`): per-row coverage,
     /// transitions checked, and mismatches. A nonzero mismatch count

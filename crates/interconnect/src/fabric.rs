@@ -14,6 +14,11 @@ use crate::routing::{Liveness, RouteKind};
 /// function of the plan seed (golden-ratio constant, as in SplitMix64).
 const DROP_STREAM_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
+/// Seed perturbation for the transport's wire-corruption stream
+/// ([`hmg_sim::fault::MsgFlip`]), decorrelated from both the engine
+/// stream and the drop stream (SplitMix64 finalizer constant).
+const FLIP_STREAM_SALT: u64 = 0xBF58_476D_1CE4_E5B9;
+
 /// Classification of protocol traffic, used for the bandwidth breakdowns
 /// in the evaluation (Fig. 11 charges only `Inv` bytes).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,6 +133,13 @@ pub struct TransportConfig {
     /// charged detection downtime is the sum of the backed-off timeouts
     /// ([`TransportConfig::escalation_cycles`]).
     pub fail_escalation_attempts: u32,
+    /// Per-message checksum verification at delivery (on by default).
+    /// A corrupt delivery ([`hmg_sim::fault::MsgFlip`]) is detected at
+    /// the receiver and charged like a lost delivery — replayed through
+    /// the same timeout/backoff path. Disabling this lets corrupt
+    /// messages through *silently*; the engine surfaces them in
+    /// `IntegrityStats::silent_corruptions`.
+    pub checksums: bool,
 }
 
 impl TransportConfig {
@@ -150,6 +162,7 @@ impl Default for TransportConfig {
             timeout: Cycle(500),
             max_retries: 16,
             fail_escalation_attempts: 4,
+            checksums: true,
         }
     }
 }
@@ -168,6 +181,15 @@ pub struct TransportStats {
     /// Messages routed around a permanently down direct link via the
     /// second-tier switch path (fail-in-place reconfiguration).
     pub reroutes: u64,
+    /// Wire corruptions injected by a `flip-msg` plan (delivery
+    /// attempts whose payload/header bits were flipped in flight).
+    pub flips_injected: u64,
+    /// Corrupt deliveries caught by the per-message checksum and
+    /// replayed like a lost delivery.
+    pub checksum_retransmits: u64,
+    /// Corrupt deliveries that sailed through because checksum
+    /// verification was disabled — silent wrong data on the wire.
+    pub silent_flips: u64,
 }
 
 /// Byte totals observed by the fabric, split by tier and message class.
@@ -261,6 +283,10 @@ pub struct Fabric {
     /// `None` means no draws happen at all, so fault-free runs are
     /// bit-identical to a build without the transport layer.
     drop_rng: Option<Rng>,
+    /// Wire-corruption stream, armed only when the plan injects
+    /// [`hmg_sim::fault::MsgFlip`]; same no-draw guarantee as the drop
+    /// stream when unarmed.
+    flip_rng: Option<Rng>,
     /// Which components are alive and which direct link (if any) is
     /// permanently down; consulted by `send` for alternate-path routing
     /// and shared with the engine's reconfiguration logic.
@@ -306,6 +332,7 @@ impl Fabric {
             transport: TransportConfig::default(),
             seq: BTreeMap::new(),
             drop_rng: None,
+            flip_rng: None,
             liveness: Liveness::new(topo),
         }
     }
@@ -318,6 +345,9 @@ impl Fabric {
     pub fn apply_faults(&mut self, plan: &FaultPlan) {
         self.faults = plan.clone();
         self.drop_rng = plan.drop.map(|_| Rng::new(plan.seed ^ DROP_STREAM_SALT));
+        self.flip_rng = plan
+            .flip_msg
+            .map(|_| Rng::new(plan.seed ^ FLIP_STREAM_SALT));
         if let Some(l) = plan.link_down {
             self.liveness
                 .mark_link_down(GpmId(l.a), GpmId(l.b), l.at_cycle);
@@ -327,6 +357,13 @@ impl Fabric {
     /// Overrides the reliable-delivery parameters.
     pub fn set_transport(&mut self, transport: TransportConfig) {
         self.transport = transport;
+    }
+
+    /// Enables or disables per-message checksum verification. With
+    /// checksums off, injected in-flight flips deliver corrupt payloads
+    /// silently instead of triggering retransmission.
+    pub fn set_checksums(&mut self, on: bool) {
+        self.transport.checksums = on;
     }
 
     /// The reliable-delivery parameters in effect.
@@ -371,6 +408,38 @@ impl Fabric {
         (retries, Cycle(backoff))
     }
 
+    /// Plays out the wire-corruption episode for one message: each
+    /// delivery attempt flips with the plan probability. With checksums
+    /// on, a corrupt attempt is detected at the receiver and charged
+    /// like a lost delivery (replay + timeout backoff), the
+    /// retransmission itself subject to further corruption; with
+    /// checksums off the corruption is counted as silent and delivered.
+    /// Returns the extra retransmissions and backoff to charge.
+    /// Deterministic: draws come from the dedicated flip stream, armed
+    /// only when the plan injects `flip-msg`.
+    fn flip_episode(&mut self) -> (u32, Cycle) {
+        let (Some(m), Some(rng)) = (self.faults.flip_msg, self.flip_rng.as_mut()) else {
+            return (0, Cycle::ZERO);
+        };
+        if !self.transport.checksums {
+            // One draw for the single (unverified) delivery attempt.
+            if rng.gen_bool(m.prob) {
+                self.stats.transport.flips_injected += 1;
+                self.stats.transport.silent_flips += 1;
+            }
+            return (0, Cycle::ZERO);
+        }
+        let mut retries = 0u32;
+        let mut backoff = 0u64;
+        while retries < self.transport.max_retries && rng.gen_bool(m.prob) {
+            self.stats.transport.flips_injected += 1;
+            self.stats.transport.checksum_retransmits += 1;
+            backoff += self.transport.timeout.0 << retries.min(TransportConfig::MAX_BACKOFF_SHIFT);
+            retries += 1;
+        }
+        (retries, Cycle(backoff))
+    }
+
     /// The topology this fabric was built for.
     pub fn topology(&self) -> Topology {
         self.topo
@@ -406,7 +475,12 @@ impl Fabric {
         // the egress port, so everything behind it queues up and the
         // channel stays FIFO — loss is recovered, never reordered.
         *self.seq.entry((src, dst)).or_insert(0) += 1;
-        let (retries, backoff) = self.drop_episode();
+        let (drop_retries, drop_backoff) = self.drop_episode();
+        // Checksum-detected corruptions replay through the same retry
+        // machinery as losses; the episodes compose additively.
+        let (flip_retries, flip_backoff) = self.flip_episode();
+        let retries = drop_retries + flip_retries;
+        let backoff = drop_backoff + flip_backoff;
         self.stats.transport.messages += 1;
         self.stats.transport.retransmissions += retries as u64;
         self.stats.transport.recovered += u64::from(retries > 0);
@@ -743,6 +817,96 @@ mod tests {
             assert!(a >= prev, "recovered channel must stay FIFO");
             prev = a;
         }
+    }
+
+    #[test]
+    fn flip_free_runs_do_not_touch_the_flip_stream() {
+        let mut clean = small_fabric();
+        let mut seeded = small_fabric();
+        // A plan without `flip-msg` must leave timing identical even
+        // though the checksum layer sits on the path.
+        seeded.apply_faults(&FaultPlan::parse("seed=11").unwrap());
+        for i in 0..20 {
+            assert_eq!(
+                clean.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::Data),
+                seeded.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::Data),
+            );
+        }
+        assert_eq!(seeded.stats().transport().flips_injected, 0);
+        assert_eq!(seeded.stats().transport().checksum_retransmits, 0);
+        assert_eq!(seeded.stats().transport().silent_flips, 0);
+    }
+
+    #[test]
+    fn flipped_messages_are_recovered_deterministically() {
+        let plan = FaultPlan::parse("flip-msg=0.3,seed=42").unwrap();
+        let run = |plan: &FaultPlan| {
+            let mut f = small_fabric();
+            f.apply_faults(plan);
+            let arrivals: Vec<Cycle> = (0..200)
+                .map(|i| f.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::StoreData))
+                .collect();
+            (arrivals, f.stats().transport())
+        };
+        let (a1, t1) = run(&plan);
+        let (a2, t2) = run(&plan);
+        // Same plan -> bit-identical retransmission schedule.
+        assert_eq!(a1, a2);
+        assert_eq!(t1, t2);
+        assert!(t1.flips_injected > 0, "0.3 over 200 messages must flip");
+        // Every corruption is detected and replayed, never delivered.
+        assert_eq!(t1.checksum_retransmits, t1.flips_injected);
+        assert_eq!(t1.silent_flips, 0);
+        assert_eq!(t1.retransmissions, t1.checksum_retransmits);
+        assert!(t1.retry_cycles >= t1.checksum_retransmits * 500);
+        // A different seed reshuffles the schedule.
+        let (a3, _) = run(&FaultPlan::parse("flip-msg=0.3,seed=43").unwrap());
+        assert_ne!(a1, a3);
+        // Every message still arrives, FIFO per channel.
+        let mut prev = Cycle::ZERO;
+        for &a in &a1 {
+            assert!(a >= prev, "recovered channel must stay FIFO");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn checksums_off_delivers_flips_silently() {
+        let mut f = small_fabric();
+        f.transport.checksums = false;
+        f.apply_faults(&FaultPlan::parse("flip-msg=0.5,seed=3").unwrap());
+        let mut clean = small_fabric();
+        for i in 0..100 {
+            // Without checksums there is nothing to detect: timing is
+            // identical to the fault-free fabric...
+            assert_eq!(
+                f.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::Data),
+                clean.send(Cycle(i), GpmId(0), GpmId(2), 128, MsgClass::Data),
+            );
+        }
+        let t = f.stats().transport();
+        // ...but the corruption went through undetected.
+        assert!(t.flips_injected > 0);
+        assert_eq!(t.silent_flips, t.flips_injected);
+        assert_eq!(t.checksum_retransmits, 0);
+        assert_eq!(t.retransmissions, 0);
+    }
+
+    #[test]
+    fn flip_recovery_is_slower_than_fault_free() {
+        let mut clean = small_fabric();
+        let mut noisy = small_fabric();
+        noisy.apply_faults(&FaultPlan::parse("flip-msg=0.25,seed=7").unwrap());
+        let mut last_clean = Cycle::ZERO;
+        let mut last_noisy = Cycle::ZERO;
+        for i in 0..100 {
+            last_clean = clean.send(Cycle(i), GpmId(0), GpmId(1), 128, MsgClass::Data);
+            last_noisy = noisy.send(Cycle(i), GpmId(0), GpmId(1), 128, MsgClass::Data);
+        }
+        assert!(
+            last_noisy > last_clean,
+            "noisy {last_noisy} must trail clean {last_clean}"
+        );
     }
 
     #[test]

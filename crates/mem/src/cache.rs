@@ -269,6 +269,14 @@ impl<M> Cache<M> {
         self.evictions
     }
 
+    /// The `n`th resident `(line, meta)` pair in iteration order, or
+    /// `None` when fewer than `n + 1` lines are resident. The order is
+    /// unspecified but deterministic for a given insertion history —
+    /// fault injection uses this to pick a victim line reproducibly.
+    pub fn nth_resident(&self, n: usize) -> Option<(LineAddr, &M)> {
+        self.iter().nth(n)
+    }
+
     /// Iterates over resident `(line, meta)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> {
         let sets_count = self.config.sets() as u64;
@@ -379,6 +387,19 @@ mod tests {
         let mut seen: Vec<LineAddr> = c.iter().map(|(l, _)| l).collect();
         seen.sort();
         assert_eq!(seen, vec![LineAddr(0), LineAddr(5), LineAddr(10)]);
+    }
+
+    #[test]
+    fn nth_resident_is_deterministic_and_bounded() {
+        let mut c = cache(8, 2);
+        for i in 0..3 {
+            c.insert(LineAddr(i), i as u32);
+        }
+        let all: Vec<_> = (0..3).map(|n| c.nth_resident(n).map(|(l, _)| l)).collect();
+        let again: Vec<_> = (0..3).map(|n| c.nth_resident(n).map(|(l, _)| l)).collect();
+        assert_eq!(all, again, "same history -> same order");
+        assert!(all.iter().all(Option::is_some));
+        assert_eq!(c.nth_resident(3), None, "past the end");
     }
 
     #[test]

@@ -467,6 +467,21 @@ impl Directory {
             .collect()
     }
 
+    /// The `n`th resident entry in deterministic set/way order, or
+    /// `None` when fewer than `n + 1` entries are resident. Fault
+    /// injection uses this to pick a victim entry reproducibly.
+    pub fn nth_resident_block(&self, n: usize) -> Option<BlockAddr> {
+        let sets_count = self.config.sets() as u64;
+        self.sets
+            .iter()
+            .enumerate()
+            .flat_map(|(idx, set)| {
+                set.iter()
+                    .map(move |w| BlockAddr(w.tag * sets_count + idx as u64))
+            })
+            .nth(n)
+    }
+
     /// Removes `sharer` from every resident entry (a dead component
     /// must not be sent invalidations); returns how many entries
     /// tracked it. Broadcast entries are untouched — they stay
@@ -741,6 +756,20 @@ mod tests {
         d.allocate(BlockAddr(0)).0.force_broadcast();
         assert_eq!(d.purge_sharer(Sharer::Gpm(GpmId(1))), 0);
         assert!(d.lookup(BlockAddr(0)).unwrap().is_broadcast());
+    }
+
+    #[test]
+    fn nth_resident_block_matches_resident_blocks_order() {
+        let t = topo();
+        let mut d = Directory::new(DirectoryConfig::new(64, 4), t);
+        for b in [3u64, 67, 12] {
+            d.allocate(BlockAddr(b));
+        }
+        let listed: Vec<BlockAddr> = d.resident_blocks().into_iter().map(|(b, _)| b).collect();
+        for (n, &b) in listed.iter().enumerate() {
+            assert_eq!(d.nth_resident_block(n), Some(b));
+        }
+        assert_eq!(d.nth_resident_block(listed.len()), None);
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub struct MsgSizes {
 }
 
 impl MsgSizes {
+    /// Bytes of the 16 B header reserved for the end-to-end message
+    /// checksum (a CRC over header and payload, verified at the
+    /// receiver before the message is acted on). The checksum lives
+    /// *inside* the header rather than extending it, so enabling or
+    /// disabling integrity protection never changes on-wire sizes or
+    /// serialization timing — only whether a corrupted delivery is
+    /// detected (and replayed) or consumed silently.
+    pub const CHECKSUM_BYTES: u32 = 4;
+
     /// Sizes for 128-byte cache lines: 16 B headers, full-line store
     /// payloads, 16 B invalidations, 8 B fences/acks.
     pub fn paper_default() -> Self {
@@ -97,5 +106,13 @@ mod tests {
     fn inv_much_smaller_than_data() {
         let m = MsgSizes::paper_default();
         assert!(m.inv * 4 < m.load_resp);
+    }
+
+    #[test]
+    fn checksum_fits_inside_the_header() {
+        // The checksum must never grow the header: integrity on/off
+        // must be timing-neutral on the wire.
+        let m = MsgSizes::paper_default();
+        assert!(MsgSizes::CHECKSUM_BYTES < m.header);
     }
 }

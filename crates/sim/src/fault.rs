@@ -21,6 +21,9 @@
 //! | [`LinkDown`]     | interconnect | **reconfigured** — alternate path  |
 //! | [`GpmOffline`]   | both         | **reconfigured** — fail-in-place   |
 //! | [`GpuOffline`]   | both         | **reconfigured** — fail-in-place   |
+//! | [`MsgFlip`]      | interconnect | **recovered** — checksum + resend  |
+//! | [`LineFlip`]     | GPU engine   | **recovered/contained** — ECC      |
+//! | [`DirFlip`]      | GPU engine   | **recovered** — entry rebuild      |
 //!
 //! Four outcome classes matter:
 //!
@@ -164,6 +167,48 @@ pub struct GpuOffline {
     pub at_cycle: u64,
 }
 
+/// Soft-error corruption of in-flight messages: each delivery attempt
+/// flips payload/header bits with probability `prob`. With link
+/// checksums enabled (the default) a corrupt delivery is detected at
+/// the receiver and charged like a lost delivery — one retransmission
+/// through the reliable-transport layer, drawn from a dedicated
+/// SplitMix64 stream so fault-free runs stay bit-identical. With
+/// checksums disabled the corruption is *silent* and counted in
+/// `IntegrityStats::silent_corruptions`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MsgFlip {
+    /// Per-delivery-attempt corruption probability, in `[0, 1)`. A
+    /// probability of 1 would corrupt every retransmission too, making
+    /// delivery impossible, so it is rejected by validation.
+    pub prob: f64,
+}
+
+/// Soft-error corruption of resident L2 cache lines: at every scrub
+/// tick, each GPM's L2 slice takes a flip with probability `prob` in a
+/// uniformly chosen resident line. The configured ECC mode decides the
+/// outcome — corrected in place (SEC-DED, single-bit), detected and
+/// invalidated-then-refetched (clean uncorrectable), poisoned and
+/// contained by CTA abort (dirty uncorrectable), or silent wrong data
+/// when ECC is off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFlip {
+    /// Per-scrub-tick, per-GPM flip probability, in `[0, 1]`.
+    pub prob: f64,
+}
+
+/// Soft-error corruption of directory entries (sharer/state/version
+/// fields): at every scrub tick, each GPM's directory slice takes a
+/// flip with probability `prob` in a uniformly chosen resident entry.
+/// Correctable flips are fixed by ECC; uncorrectable ones force an
+/// entry rebuild through the sticky-broadcast + survivor-L2-scrub path
+/// (the fail-in-place machinery); with ECC off the sharer list is
+/// silently lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirFlip {
+    /// Per-scrub-tick, per-GPM flip probability, in `[0, 1]`.
+    pub prob: f64,
+}
+
 /// A complete, deterministic fault-injection plan.
 ///
 /// `FaultPlan::default()` injects nothing. Plans are parsed from a
@@ -201,6 +246,12 @@ pub struct FaultPlan {
     pub gpm_offline: Option<GpmOffline>,
     /// Permanent whole-GPU failure (fail-in-place reconfiguration), if any.
     pub gpu_offline: Option<GpuOffline>,
+    /// In-flight message corruption (checksum-detected), if any.
+    pub flip_msg: Option<MsgFlip>,
+    /// Resident L2 line corruption (ECC-detected), if any.
+    pub flip_line: Option<LineFlip>,
+    /// Directory entry corruption (ECC-detected, rebuild), if any.
+    pub flip_dir: Option<DirFlip>,
 }
 
 impl FaultPlan {
@@ -225,6 +276,9 @@ impl FaultPlan {
             link_down,
             gpm_offline,
             gpu_offline,
+            flip_msg,
+            flip_line,
+            flip_dir,
         } = self;
         degrade.is_none()
             && stall.is_none()
@@ -238,6 +292,9 @@ impl FaultPlan {
             && link_down.is_none()
             && gpm_offline.is_none()
             && gpu_offline.is_none()
+            && flip_msg.is_none()
+            && flip_line.is_none()
+            && flip_dir.is_none()
     }
 
     /// `true` if any knob targets the interconnect links (a permanent
@@ -252,6 +309,14 @@ impl FaultPlan {
     /// `true` if the plan injects any *permanent* (fail-in-place) fault.
     pub fn has_permanent_faults(&self) -> bool {
         self.link_down.is_some() || self.gpm_offline.is_some() || self.gpu_offline.is_some()
+    }
+
+    /// `true` if the plan injects any soft-error corruption (bit flips
+    /// in messages, L2 lines, or directory entries). The engine arms
+    /// the background scrubber only when this holds, so fault-free runs
+    /// never pay for it.
+    pub fn has_flip_faults(&self) -> bool {
+        self.flip_msg.is_some() || self.flip_line.is_some() || self.flip_dir.is_some()
     }
 
     /// Serialization-time multiplier for a link send starting at
@@ -337,6 +402,32 @@ impl FaultPlan {
                 return Err(SimError::config(format!(
                     "link-down endpoints must differ (got {}-{})",
                     l.a, l.b
+                )));
+            }
+        }
+        if let Some(m) = self.flip_msg {
+            // prob == 1 corrupts every retransmission too, so the
+            // checksum-retry layer could never deliver; reject it.
+            if !(0.0..1.0).contains(&m.prob) {
+                return Err(SimError::config(format!(
+                    "flip-msg probability {} not in [0,1) (1.0 is unrecoverable)",
+                    m.prob
+                )));
+            }
+        }
+        if let Some(l) = self.flip_line {
+            if !(0.0..=1.0).contains(&l.prob) {
+                return Err(SimError::config(format!(
+                    "flip-line probability {} not in [0,1]",
+                    l.prob
+                )));
+            }
+        }
+        if let Some(d) = self.flip_dir {
+            if !(0.0..=1.0).contains(&d.prob) {
+                return Err(SimError::config(format!(
+                    "flip-dir probability {} not in [0,1]",
+                    d.prob
                 )));
             }
         }
@@ -455,13 +546,28 @@ impl FaultPlan {
                         at_cycle: num(clause, at)?,
                     });
                 }
+                "flip-msg" => {
+                    plan.flip_msg = Some(MsgFlip {
+                        prob: float(clause, val)?,
+                    })
+                }
+                "flip-line" => {
+                    plan.flip_line = Some(LineFlip {
+                        prob: float(clause, val)?,
+                    })
+                }
+                "flip-dir" => {
+                    plan.flip_dir = Some(DirFlip {
+                        prob: float(clause, val)?,
+                    })
+                }
                 other => {
                     return Err(bad(
                         clause,
                         &format!(
                             "unknown fault `{other}` (known: seed, degrade, stall, drop, delay, \
                              dup, flag-delay, drop-store, reorder-inv, skip-hier-fwd, link-down, \
-                             gpm-offline, gpu-offline)"
+                             gpm-offline, gpu-offline, flip-msg, flip-line, flip-dir)"
                         ),
                     ));
                 }
@@ -515,6 +621,15 @@ impl FaultPlan {
         }
         if let Some(g) = self.gpu_offline {
             clauses.push(format!("gpu-offline={}@{}", g.gpu, g.at_cycle));
+        }
+        if let Some(m) = self.flip_msg {
+            clauses.push(format!("flip-msg={}", m.prob));
+        }
+        if let Some(l) = self.flip_line {
+            clauses.push(format!("flip-line={}", l.prob));
+        }
+        if let Some(d) = self.flip_dir {
+            clauses.push(format!("flip-dir={}", d.prob));
         }
         clauses.join(",")
     }
@@ -737,6 +852,27 @@ mod tests {
                     ..FaultPlan::default()
                 },
             ),
+            (
+                "flip-msg",
+                FaultPlan {
+                    flip_msg: Some(MsgFlip { prob: 0.1 }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "flip-line",
+                FaultPlan {
+                    flip_line: Some(LineFlip { prob: 0.1 }),
+                    ..FaultPlan::default()
+                },
+            ),
+            (
+                "flip-dir",
+                FaultPlan {
+                    flip_dir: Some(DirFlip { prob: 0.1 }),
+                    ..FaultPlan::default()
+                },
+            ),
         ];
         for (name, plan) in knobs {
             assert!(
@@ -810,10 +946,44 @@ mod tests {
             "gpm-offline=1.0",
             "gpu-offline=abc@5",
             "gpu-offline=1",
+            "flip-msg=1.0",
+            "flip-msg=-0.1",
+            "flip-msg=abc",
+            "flip-line=1.5",
+            "flip-line=-0.01",
+            "flip-dir=2",
+            "flip-dir=",
+            "flip-line=0.1 trailing",
         ] {
             let e = FaultPlan::parse(spec).unwrap_err();
             assert_eq!(e.kind, crate::error::SimErrorKind::Config, "{spec}: {e}");
+            // Parser hardening: the diagnostic names the offending
+            // token (the clause itself or its fault-class key).
+            let key = spec.split(['=', ',']).next().unwrap_or(spec);
+            assert!(
+                e.to_string().contains(key.trim_end_matches("-offline")),
+                "{spec}: `{e}` should cite `{key}`"
+            );
         }
+    }
+
+    /// Exhaustive parse/`to_spec` round trip: one spec exercising every
+    /// fault class at once (permanent faults and the flip family ride in
+    /// separate specs because they are mutually sensible, not exclusive).
+    #[test]
+    fn every_fault_class_round_trips_through_to_spec() {
+        let spec = "seed=11,degrade=10..20/2,stall=30..40/5,drop=0.01,delay=0.2/100,dup=0.02,\
+                    flag-delay=50,drop-store=2,reorder-inv=3/400,skip-hier-fwd,\
+                    link-down=0-1@500,gpm-offline=1.0@600,gpu-offline=1@700,\
+                    flip-msg=0.03,flip-line=0.25,flip-dir=0.125";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.flip_msg, Some(MsgFlip { prob: 0.03 }));
+        assert_eq!(plan.flip_line, Some(LineFlip { prob: 0.25 }));
+        assert_eq!(plan.flip_dir, Some(DirFlip { prob: 0.125 }));
+        assert!(plan.has_flip_faults());
+        let reparsed = FaultPlan::parse(&plan.to_spec()).unwrap();
+        assert_eq!(reparsed, plan);
+        assert!(!FaultPlan::default().has_flip_faults());
     }
 
     #[test]
@@ -825,6 +995,7 @@ mod tests {
              flag-delay=500,drop-store=3,reorder-inv=1/50000,seed=7",
             "skip-hier-fwd,seed=3",
             "link-down=0-1@5000,gpm-offline=1.0@7500,gpu-offline=2@9000",
+            "flip-msg=0.02,flip-line=0.1,flip-dir=0.05,seed=4",
         ] {
             let plan = FaultPlan::parse(spec).unwrap();
             let reparsed = FaultPlan::parse(&plan.to_spec()).unwrap();

@@ -47,8 +47,8 @@ pub mod watchdog;
 pub use addr::{Addr, BlockAddr, LineAddr, MemGeometry, PageId};
 pub use error::{SimError, SimErrorKind};
 pub use event::EventQueue;
-pub use fault::{FaultPlan, GpmOffline, GpuOffline, LinkDown};
+pub use fault::{DirFlip, FaultPlan, GpmOffline, GpuOffline, LineFlip, LinkDown, MsgFlip};
 pub use rng::Rng;
-pub use stats::ReconfigStats;
+pub use stats::{IntegrityStats, ReconfigStats};
 pub use time::Cycle;
 pub use watchdog::ProgressWatchdog;

@@ -123,6 +123,43 @@ fn fault_seed_changes_faulty_timings() {
 }
 
 #[test]
+fn soft_error_sweeps_are_seed_stable() {
+    // Corruption injection (flip-msg / flip-line / flip-dir) draws from
+    // the same salted fault-RNG streams as the other probabilistic
+    // faults: a same-seed re-run must reproduce the run — including
+    // every IntegrityStats counter and the committed-memory digest —
+    // bit for bit. And with double-bit faults disabled every flip is
+    // correctable in place, so the digest must also equal the
+    // fault-free run's: recovery leaves no trace in memory state.
+    let spec = by_abbrev("CoMD").expect("CoMD in suite");
+    let trace = spec.generate(Scale::Tiny, 17);
+    let plan = FaultPlan::parse("flip-msg=0.05,flip-line=0.6,flip-dir=0.6,seed=21").expect("plan");
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
+        let run = |faults: FaultPlan| {
+            let mut cfg = EngineConfig::small_test(p);
+            cfg.ecc_double_bit_fraction = 0.0;
+            cfg.faults = faults;
+            Engine::try_new(cfg)
+                .expect("valid config")
+                .try_run(&trace)
+                .expect("corruption is recovered, not fatal")
+        };
+        let clean = run(FaultPlan::default());
+        let a = run(plan.clone());
+        let b = run(plan.clone());
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{p}: same seed + plan");
+        assert_eq!(a.integrity, b.integrity, "{p}: integrity counters");
+        assert_eq!(a.state_digest, b.state_digest, "{p}: memory state");
+        assert!(a.integrity.flips() > 0, "{p}: the plan must inject");
+        assert_eq!(a.integrity.silent_corruptions, 0, "{p}: nothing silent");
+        assert_eq!(
+            a.state_digest, clean.state_digest,
+            "{p}: correctable-only recovery must not perturb memory"
+        );
+    }
+}
+
+#[test]
 fn keep_going_sweeps_are_deterministic() {
     use hmg::experiments::{fig8, ExpOptions};
     let opts = ExpOptions {

@@ -15,6 +15,11 @@
 //! | message drop             | recovered: transport retransmission    |
 //! | dropped store            | detected: structural deadlock + dump   |
 //! | reordered invalidation   | detected: version oracle reads stale   |
+//! | in-flight message flip   | recovered: checksum + retransmission   |
+//! | resident L2-line flip    | recovered: ECC correct/refetch, or     |
+//! |                          | contained: poison + CTA abort (dirty)  |
+//! | directory-entry flip     | recovered: ECC correct or rebuild as   |
+//! |                          | sticky-broadcast                       |
 
 use hmg::prelude::*;
 use hmg_mem::Addr;
@@ -552,6 +557,157 @@ fn gpu_offline_mid_run_completes_with_survivor_memory_intact() {
     assert_eq!(
         m.state_digest, clean.state_digest,
         "a dead GPU that only loaded must not change committed memory"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Data integrity (DESIGN.md §12): soft errors on all three surfaces are
+// detected and recovered or contained — never consumed silently — and
+// the IntegrityStats books balance: every injected flip retires through
+// exactly one of retransmit / correct / refetch / rebuild / poison.
+// ---------------------------------------------------------------------
+
+#[test]
+fn soft_error_conservation_every_flip_is_accounted() {
+    let trace = mp_stale_trace();
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
+        let m = run_probed_with_faults(
+            p,
+            &trace,
+            FaultPlan::parse("flip-msg=0.05,flip-line=0.8,flip-dir=0.8,seed=17").unwrap(),
+        )
+        .unwrap_or_else(|e| panic!("{p}: the storm must be survived, got {e}"));
+        assert!(m.integrity.flips() > 0, "{p}: the storm must inject");
+        assert_eq!(m.integrity.silent_corruptions, 0, "{p}: {}", m.integrity);
+        assert_eq!(
+            m.integrity.flips(),
+            m.integrity.accounted(),
+            "{p}: conservation violated: {}",
+            m.integrity
+        );
+        // The litmus outcome survives the storm.
+        assert_eq!(m.probe.last().expect("consumer read").1, 2, "{p}");
+    }
+}
+
+#[test]
+fn soft_error_recovery_is_deterministic() {
+    let trace = mp_stale_trace();
+    let plan = FaultPlan::parse("flip-msg=0.05,flip-line=0.6,flip-dir=0.6,seed=33").unwrap();
+    let a = run_probed_with_faults(ProtocolKind::Hmg, &trace, plan.clone()).unwrap();
+    let b = run_probed_with_faults(ProtocolKind::Hmg, &trace, plan).unwrap();
+    assert!(a.integrity.flips() > 0, "plan must exercise injection");
+    assert_eq!(a.integrity, b.integrity, "same seed => same recovery");
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.probe, b.probe);
+    assert_eq!(a.state_digest, b.state_digest);
+}
+
+#[test]
+fn checksums_off_message_flips_go_silent() {
+    // The adversarial control: with checksum verification disabled the
+    // same flip stream is consumed without detection — proving the
+    // checksums are what detects it, not an accident of the protocol.
+    let trace = mp_stale_trace();
+    let plan = FaultPlan::parse("flip-msg=0.1,seed=17").unwrap();
+    let detected =
+        run_probed_with_faults(ProtocolKind::Hmg, &trace, plan.clone()).expect("recovered run");
+    assert!(detected.integrity.flips_msg > 0);
+    assert!(detected.integrity.checksum_retransmits > 0);
+    assert_eq!(detected.integrity.silent_corruptions, 0);
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    cfg.probe_line = Some(0);
+    cfg.checksums = false;
+    cfg.faults = plan;
+    let silent = Engine::try_new(cfg).unwrap().try_run(&trace).unwrap();
+    assert!(
+        silent.integrity.silent_corruptions > 0,
+        "without checksums the flips must be consumed silently: {}",
+        silent.integrity
+    );
+    assert_eq!(silent.integrity.checksum_retransmits, 0);
+}
+
+#[test]
+fn ecc_off_line_flips_corrupt_observably() {
+    // The ISSUE acceptance control: ECC disabled, one resident-line
+    // flip between the consumer's warm fill and its re-read. The
+    // corrupted copy is served as-is — the probe records a version with
+    // the flipped bit — and the run self-reports the silent corruption.
+    let consumer = vec![
+        ld(0), // warm version 1 into GPM1's L2
+        TraceOp::Delay(600),
+        TraceOp::Acquire(Scope::Cta), // drop the L1 copy, keep the L2 copy
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "ecc-off",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            kernel_per_gpm(vec![vec![], consumer, vec![], vec![]]),
+        ],
+    );
+    let clean = run_probed_with_faults(ProtocolKind::Hmg, &trace, FaultPlan::default()).unwrap();
+    assert_eq!(clean.probe.last().unwrap().1, 1, "sanity: clean re-read");
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    cfg.probe_line = Some(0);
+    cfg.ecc = hmg_gpu::EccMode::None;
+    cfg.faults = FaultPlan::parse("flip-line=1.0,seed=3").unwrap();
+    let m = Engine::try_new(cfg).unwrap().try_run(&trace).unwrap();
+    assert!(m.integrity.silent_corruptions > 0, "{}", m.integrity);
+    let observed = m.probe.last().expect("consumer re-read").1;
+    assert_ne!(
+        observed, 1,
+        "without ECC the corrupted copy must be served as-is"
+    );
+    // With ECC at its default (SEC-DED), the identical flip stream is
+    // fully recovered and the probe matches the clean run.
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    cfg.probe_line = Some(0);
+    cfg.faults = FaultPlan::parse("flip-line=1.0,seed=3").unwrap();
+    let recovered = Engine::try_new(cfg).unwrap().try_run(&trace).unwrap();
+    assert_eq!(recovered.integrity.silent_corruptions, 0);
+    assert_eq!(
+        recovered.probe, clean.probe,
+        "ECC must make flips invisible"
+    );
+}
+
+#[test]
+fn uncorrectable_dirty_line_poisons_and_aborts_the_cta() {
+    // Write-back keeps the only copy of the store in the local L2; an
+    // uncorrectable flip there is unrecoverable. Serving it must poison
+    // the response and abort the consuming CTA — never hand out the
+    // corrupt value — while flags the CTA would have set are salvaged.
+    let victim = vec![
+        st(0), // dirty in GPM0's L2 under write-back
+        TraceOp::Delay(450),
+        ld(0),                // consumes the poisoned copy
+        TraceOp::Delay(5000), // keep the CTA alive until the response lands
+        TraceOp::SetFlag(7),
+    ];
+    let waiter = vec![TraceOp::WaitFlag { flag: 7, count: 1 }];
+    let trace = WorkloadTrace::new(
+        "wb-poison",
+        vec![kernel_per_gpm(vec![victim, vec![], waiter, vec![]])],
+    );
+    let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+    cfg.l2_write_policy = hmg_gpu::WritePolicy::WriteBack;
+    cfg.ecc_double_bit_fraction = 1.0; // every flip is uncorrectable
+    cfg.livelock_budget = Some(200_000);
+    cfg.faults = FaultPlan::parse("flip-line=1.0,seed=11").unwrap();
+    let m = Engine::try_new(cfg)
+        .unwrap()
+        .try_run(&trace)
+        .expect("poison must abort the CTA, not hang the waiter");
+    assert!(m.integrity.poisoned >= 1, "{}", m.integrity);
+    assert!(m.integrity.aborted_ctas >= 1, "{}", m.integrity);
+    assert_eq!(m.integrity.silent_corruptions, 0);
+    assert_eq!(
+        m.integrity.flips(),
+        m.integrity.accounted(),
+        "conservation: {}",
+        m.integrity
     );
 }
 

@@ -486,3 +486,107 @@ fn mp_fail_in_place_across_a_dead_first_tier_link() {
         assert_eq!(m.reconfig.epochs, 1, "{p}: the link loss opens an epoch");
     }
 }
+
+/// MP across GPUs under a continuous storm of *correctable* soft errors
+/// (SEC-DED with a zero double-bit fraction): every resident-line flip
+/// is corrected in place by ECC, so the litmus outcome, the probe
+/// history, and the final committed memory are bit-identical to the
+/// fault-free run — and not one flip goes silent (DESIGN.md §12).
+#[test]
+fn mp_correctable_line_flips_are_invisible() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Sys), TraceOp::SetFlag(3)];
+    let consumer = vec![
+        ld(0), // warm a stale copy the flips can land on
+        TraceOp::Delay(2500),
+        TraceOp::WaitFlag { flag: 3, count: 1 },
+        TraceOp::Acquire(Scope::Sys),
+        ld(0),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-flip-correctable",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            kernel_per_gpm(vec![producer, vec![], consumer, vec![]]), // version 2
+        ],
+    );
+    for p in COHERENT {
+        let clean = run_probed(p, &trace, 0);
+        let mut cfg = EngineConfig::small_test(p);
+        cfg.probe_line = Some(0);
+        cfg.ecc_double_bit_fraction = 0.0; // every flip is single-bit
+        cfg.faults = FaultPlan::parse("flip-line=1.0,seed=13").expect("valid plan");
+        let m = Engine::try_new(cfg)
+            .expect("valid config")
+            .try_run(&trace)
+            .unwrap_or_else(|e| panic!("{p}: correctable flips must be survived, got {e}"));
+        assert!(m.integrity.flips_line > 0, "{p}: the storm must inject");
+        assert!(m.integrity.corrected > 0, "{p}: ECC must correct in place");
+        assert_eq!(m.integrity.silent_corruptions, 0, "{p}");
+        assert_eq!(
+            m.integrity.flips(),
+            m.integrity.accounted(),
+            "{p}: every flip must be accounted: {}",
+            m.integrity
+        );
+        assert_eq!(m.probe, clean.probe, "{p}: correction must be invisible");
+        assert_eq!(m.state_digest, clean.state_digest, "{p}: memory state");
+    }
+}
+
+/// MP between the GPMs of the remote GPU while *uncorrectable*
+/// directory-entry corruption hammers every home: each hit discards the
+/// unrecoverable sharer list, scrubs the survivors' copies, and
+/// re-creates the entry in conservative sticky-broadcast mode. The
+/// litmus outcome must survive every rebuild with zero silent
+/// corruptions (DESIGN.md §12).
+#[test]
+fn mp_uncorrectable_dir_flips_recover_via_rebuild() {
+    let producer = vec![st(0), TraceOp::Release(Scope::Gpu), TraceOp::SetFlag(30)];
+    let consumer = vec![
+        ld(0), // register as a sharer the corrupt entry forgets
+        TraceOp::Delay(2500),
+        TraceOp::WaitFlag { flag: 30, count: 1 },
+        TraceOp::Acquire(Scope::Gpu),
+        TraceOp::Access(Access::new(Addr(0), AccessKind::Load, Scope::Gpu)),
+    ];
+    let trace = WorkloadTrace::new(
+        "mp-flip-dir",
+        vec![
+            kernel_per_gpm(vec![vec![st(0)]]), // version 1, homed at GPM0
+            // Producer GPM2 and consumer GPM3 share GPU1.
+            kernel_per_gpm(vec![vec![], vec![], producer, consumer]),
+        ],
+    );
+    // Directory-backed protocols only: the software baselines keep no
+    // directory state a flip could corrupt.
+    for p in [ProtocolKind::Hmg, ProtocolKind::Nhcc] {
+        let clean = run_probed(p, &trace, 0);
+        let mut cfg = EngineConfig::small_test(p);
+        cfg.probe_line = Some(0);
+        cfg.ecc_double_bit_fraction = 1.0; // every flip is uncorrectable
+        cfg.faults = FaultPlan::parse("flip-dir=1.0,seed=29").expect("valid plan");
+        let m = Engine::try_new(cfg)
+            .expect("valid config")
+            .try_run(&trace)
+            .unwrap_or_else(|e| panic!("{p}: dir corruption must be survived, got {e}"));
+        assert!(m.integrity.flips_dir > 0, "{p}: the storm must inject");
+        assert!(
+            m.integrity.rebuilt_dir_entries > 0,
+            "{p}: uncorrectable entries must rebuild: {}",
+            m.integrity
+        );
+        assert_eq!(m.integrity.silent_corruptions, 0, "{p}");
+        assert_eq!(
+            m.integrity.flips(),
+            m.integrity.accounted(),
+            "{p}: every flip must be accounted: {}",
+            m.integrity
+        );
+        assert_eq!(
+            m.probe.last().expect("consumer read").1,
+            2,
+            "{p}: the consumer must observe the store through every rebuild"
+        );
+        assert_eq!(m.state_digest, clean.state_digest, "{p}: memory state");
+    }
+}

@@ -10,7 +10,8 @@
 //!   `protocol/msg.rs` and the engine/transport blocking behaviors and
 //!   proves its unbounded part acyclic (deadlock freedom).
 //! * [`lint`] — lexical source-hygiene rules: deterministic iteration,
-//!   no smuggled entropy, no panics on hot paths, stats registration.
+//!   no smuggled entropy, no panics on hot paths, stats registration,
+//!   no tree-based collections back on the rewritten DES hot path.
 //!
 //! Each engine supports **seeded violations** ([`Inject`]) so the audit
 //! can prove it actually detects what it claims to detect: CI runs the
@@ -43,6 +44,8 @@ pub enum Inject {
     Entropy,
     /// Smuggle an iteration-order-sensitive `HashMap` into sim state.
     UnorderedMap,
+    /// Smuggle a tree-based collection back into a DES hot-path file.
+    HotPathStruct,
 }
 
 impl Inject {
@@ -52,14 +55,16 @@ impl Inject {
         "waitsfor-cycle",
         "entropy",
         "unordered-map",
+        "hot-path-struct",
     ];
 
     /// All classes, matching [`Self::NAMES`] order.
-    pub const ALL: [Inject; 4] = [
+    pub const ALL: [Inject; 5] = [
         Inject::IncompleteRow,
         Inject::WaitsForCycle,
         Inject::Entropy,
         Inject::UnorderedMap,
+        Inject::HotPathStruct,
     ];
 
     /// Parses a CLI name.
@@ -77,6 +82,7 @@ impl Inject {
             Inject::WaitsForCycle => "waitsfor-cycle",
             Inject::Entropy => "entropy",
             Inject::UnorderedMap => "unordered-map",
+            Inject::HotPathStruct => "hot-path-struct",
         }
     }
 }
@@ -146,6 +152,7 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
     let extra = match opts.inject {
         Some(Inject::Entropy) => vec![lint::synthetic_entropy_file()],
         Some(Inject::UnorderedMap) => vec![lint::synthetic_unordered_map_file()],
+        Some(Inject::HotPathStruct) => vec![lint::synthetic_hot_path_file()],
         _ => Vec::new(),
     };
     let (lint_findings, files_scanned) = lint::run(root, &extra);

@@ -3,7 +3,7 @@
 //! Scans the workspace's crate sources with a small lexical pass that
 //! blanks comments and string literals (so tokens inside docs or
 //! messages never fire) and skips `#[cfg(test)]` modules and `tests/`
-//! integration files. Four rules:
+//! integration files. Five rules:
 //!
 //! * `unordered-map` — no iteration-order-sensitive `HashMap`/`HashSet`
 //!   in simulator-state crates (sim, gpu, mem, interconnect, protocol).
@@ -21,6 +21,12 @@
 //! * `stats-registration` — every public counter field of a `*Stats`
 //!   struct in `sim/src/stats.rs` must be printed by that struct's
 //!   `Display` impl, so no counter silently vanishes from reports.
+//! * `hot-path-struct` — no `BinaryHeap`/`BTreeMap`/`BTreeSet` in the
+//!   files the DES hot-path rewrite moved onto calendar-bucket and
+//!   flat-array structures (see DESIGN.md). Tree-based std collections
+//!   cost a pointer chase per probe and must not creep back into those
+//!   files; the retained reference oracle carries an explicit
+//!   `audit:allow(hot-path-struct)` justification.
 //!
 //! Suppression grammar: `// audit:allow(<rule-id>): <justification>` on
 //! the same line as the flagged token or in the contiguous comment block
@@ -37,6 +43,25 @@ const SIM_STATE_CRATES: &[&str] = &["sim", "gpu", "mem", "interconnect", "protoc
 /// The one file allowed to touch OS entropy (it defines the seeded
 /// deterministic stream everything else must use).
 const ENTROPY_WHITELIST: &[&str] = &["crates/sim/src/rng.rs"];
+
+/// Files the DES hot-path rewrite moved onto calendar-bucket / flat
+/// structures; tree-based std collections must not creep back in. The
+/// `__audit_selftest` entry routes the seeded self-test's synthetic
+/// file through the rule without touching the real tree.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/sim/src/event.rs",
+    "crates/sim/src/collect.rs",
+    "crates/gpu/src/engine.rs",
+    "crates/interconnect/src/fabric.rs",
+    "crates/mem/src/cache.rs",
+    "crates/mem/src/page.rs",
+    "crates/mem/src/version.rs",
+    "crates/sim/src/__audit_selftest_hotpath.rs",
+];
+
+/// Tree-based std collections that trade a pointer chase per probe for
+/// ordering the hot path does not need.
+const HOT_PATH_TOKENS: &[&str] = &["BinaryHeap", "BTreeMap", "BTreeSet"];
 
 /// Tokens that read wall-clock time or OS entropy.
 const ENTROPY_TOKENS: &[&str] = &[
@@ -104,6 +129,7 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
     let krate = crate_of(rel);
     let sim_state = SIM_STATE_CRATES.contains(&krate);
     let entropy_ok = ENTROPY_WHITELIST.contains(&rel);
+    let hot_path = HOT_PATH_FILES.contains(&rel);
 
     let raw: Vec<&str> = text.lines().collect();
     let stripped_text = strip_comments_and_strings(text);
@@ -157,6 +183,26 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
                         format!(
                             "`{tok}` on a simulator hot path — return a typed SimError instead, \
                              or justify with `// audit:allow(panic-path): <why infallible>`"
+                        ),
+                    ));
+                }
+            }
+        }
+
+        if hot_path {
+            for tok in HOT_PATH_TOKENS {
+                if contains_word(line, tok)
+                    && !allowed(&raw, i, "hot-path-struct", rel, lineno, out)
+                {
+                    out.push(Finding::new(
+                        "hot-path-struct",
+                        rel,
+                        lineno,
+                        format!(
+                            "`{tok}` in a DES hot-path file — these files were rewritten onto \
+                             calendar-bucket / flat-array structures; a tree pays a pointer \
+                             chase per probe. Use the flat replacements, or justify with \
+                             `// audit:allow(hot-path-struct): <why this is off the hot path>`"
                         ),
                     ));
                 }
@@ -567,6 +613,16 @@ pub fn synthetic_unordered_map_file() -> SyntheticFile {
     }
 }
 
+/// Synthetic file for the `hot-path-struct` seeded-violation self-test.
+pub fn synthetic_hot_path_file() -> SyntheticFile {
+    SyntheticFile {
+        path: "crates/sim/src/__audit_selftest_hotpath.rs",
+        text: "use std::collections::BTreeMap;\n\n\
+               pub struct Calendar {\n    pub pending: BTreeMap<u64, u32>,\n}\n"
+            .to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,6 +666,39 @@ mod tests {
         assert_eq!(hits.len(), 2, "import + field: {findings:?}");
         assert_eq!(hits[0].line, 1);
         assert_eq!(hits[1].line, 4);
+    }
+
+    #[test]
+    fn injected_hot_path_struct_is_reported_with_location() {
+        let (findings, _) = run(&root(), &[synthetic_hot_path_file()]);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "hot-path-struct")
+            .collect();
+        assert_eq!(hits.len(), 2, "import + field: {findings:?}");
+        assert_eq!(hits[0].line, 1);
+        assert_eq!(hits[1].line, 4);
+        assert!(hits[0]
+            .file
+            .to_string_lossy()
+            .contains("__audit_selftest_hotpath"));
+    }
+
+    #[test]
+    fn hot_path_rule_is_scoped_to_the_designated_files() {
+        // The same BTreeMap outside the designated file list is not a
+        // hot-path violation (ordered trees are fine in cold code).
+        let syn = SyntheticFile {
+            path: "crates/plot/src/__audit_selftest_coldpath.rs",
+            text: "use std::collections::BTreeMap;\n\
+                   pub type Series = BTreeMap<u64, f64>;\n"
+                .to_string(),
+        };
+        let (findings, _) = run(&root(), &[syn]);
+        assert!(
+            findings.iter().all(|f| f.rule != "hot-path-struct"),
+            "{findings:?}"
+        );
     }
 
     #[test]

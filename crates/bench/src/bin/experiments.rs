@@ -253,6 +253,33 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
             println!("{}", report.summary());
             return report.passed();
         }
+        Command::Bench => {
+            let report = match hmg::bench::run_bench(opts, p.bench_quick) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("bench failed: {e}");
+                    return false;
+                }
+            };
+            report.print();
+            match std::fs::write(&p.bench_out, report.to_json()) {
+                Ok(()) => println!("wrote {}", p.bench_out),
+                Err(e) => {
+                    eprintln!("cannot write {}: {e}", p.bench_out);
+                    return false;
+                }
+            }
+            if let Some(base) = &p.bench_baseline {
+                match hmg::bench::regression_gate(&report, std::path::Path::new(base)) {
+                    Ok(msg) => println!("{msg}"),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
     }
     true
 }

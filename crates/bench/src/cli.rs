@@ -55,6 +55,9 @@ pub enum Command {
     /// Static protocol verifier + source-hygiene lints (crates/audit;
     /// see docs/STATIC_ANALYSIS.md).
     Audit,
+    /// Hot-path benchmark harness writing `BENCH_hotpath.json`
+    /// (DESIGN.md §13).
+    Bench,
 }
 
 impl Command {
@@ -83,6 +86,7 @@ impl Command {
             "all" => Command::All,
             "check" => Command::Check,
             "audit" => Command::Audit,
+            "bench" => Command::Bench,
             _ => return None,
         })
     }
@@ -122,16 +126,32 @@ pub struct ParsedArgs {
     pub inject: Option<hmg_audit::Inject>,
     /// Workspace root for the `audit` command (defaults to `.`).
     pub audit_root: String,
+    /// Run the reduced `bench` matrix (CI smoke mode).
+    pub bench_quick: bool,
+    /// Output path for `BENCH_hotpath.json` (defaults to the CWD).
+    pub bench_out: String,
+    /// Baseline `BENCH_hotpath.json` the `bench` command gates against.
+    pub bench_baseline: Option<String>,
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--budget N] [--inject CLASS] [--root DIR]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--budget N] [--inject CLASS] [--root DIR] [--quick] [--out FILE] [--baseline FILE]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
   grain cost single-gpu carve scale-study characterize all
   ablate-fence ablate-placement ablate-writeback ablate-downgrade
-  check audit
+  check audit bench
+
+benchmarking (DESIGN.md \u{a7}13 `Performance`):
+  bench           time the Fig. 8 cells single-threaded, in-process,
+                  and write schema-versioned BENCH_hotpath.json
+                  (events/sec, cycles/sec, wall time, peak RSS, and the
+                  state digest per protocol config)
+  --quick         reduced matrix for CI smoke runs
+  --out FILE      where to write BENCH_hotpath.json (default: CWD)
+  --baseline FILE compare total events/sec against a prior
+                  BENCH_hotpath.json; exit nonzero on a >20% regression
 
 static analysis (docs/STATIC_ANALYSIS.md):
   audit           static protocol verifier (table completeness,
@@ -232,6 +252,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
     let mut budget = 2000u64;
     let mut inject = None;
     let mut audit_root = String::from(".");
+    let mut bench_quick = false;
+    let mut bench_out = String::from("BENCH_hotpath.json");
+    let mut bench_baseline = None;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--svg" => svg_dir = Some(it.next().ok_or("--svg needs a directory")?.clone()),
@@ -300,6 +323,11 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 })?);
             }
             "--root" => audit_root = it.next().ok_or("--root needs a directory")?.clone(),
+            "--quick" => bench_quick = true,
+            "--out" => bench_out = it.next().ok_or("--out needs a file path")?.clone(),
+            "--baseline" => {
+                bench_baseline = Some(it.next().ok_or("--baseline needs a file path")?.clone())
+            }
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
     }
@@ -313,6 +341,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
         budget,
         inject,
         audit_root,
+        bench_quick,
+        bench_out,
+        bench_baseline,
     })
 }
 
@@ -461,9 +492,33 @@ mod tests {
             "all",
             "check",
             "audit",
+            "bench",
         ] {
             assert!(Command::from_name(name).is_some(), "{name}");
         }
+    }
+
+    #[test]
+    fn parses_bench_flags() {
+        let p = parse_args(&s(&[
+            "bench",
+            "--quick",
+            "--out",
+            "/tmp/b.json",
+            "--baseline",
+            "ci/bench_baseline.json",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, Command::Bench);
+        assert!(p.bench_quick);
+        assert_eq!(p.bench_out, "/tmp/b.json");
+        assert_eq!(p.bench_baseline.as_deref(), Some("ci/bench_baseline.json"));
+        let q = parse_args(&s(&["bench"])).unwrap();
+        assert!(!q.bench_quick);
+        assert_eq!(q.bench_out, "BENCH_hotpath.json");
+        assert!(q.bench_baseline.is_none());
+        assert!(parse_args(&s(&["bench", "--out"])).is_err());
+        assert!(parse_args(&s(&["bench", "--baseline"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,429 @@
+//! The `experiments bench` hot-path benchmark harness.
+//!
+//! Runs the Fig. 8 cells single-threaded and in-process — no
+//! supervisor, no worker pool — so the numbers isolate the DES hot
+//! paths (event queue, engine state maps, fabric) from sweep
+//! orchestration. Emits a schema-versioned `BENCH_hotpath.json` with
+//! events/sec, cycles/sec, wall time, and peak RSS per protocol
+//! configuration, giving this and every later PR a measured perf
+//! trajectory (ROADMAP item 1).
+//!
+//! Every cell also reports its [`RunMetrics::state_digest`], the
+//! behavioral oracle of the hot-path rewrite: a bench run whose digests
+//! differ from the seed tree's is *wrong*, not just slow.
+//!
+//! All stable fields (workload, protocol, events, cycles, digest) are
+//! deterministic for a given seed; only the timing-derived fields
+//! (`wall_s`, `*_per_sec`, `peak_rss_kb`) vary between reruns. The
+//! bench smoke test relies on that split.
+//!
+//! [`RunMetrics::state_digest`]: hmg_gpu::RunMetrics::state_digest
+
+use std::path::Path;
+
+use hmg_protocol::ProtocolKind;
+use hmg_sim::SimError;
+use hmg_workloads::suite::by_abbrev;
+use hmg_workloads::Scale;
+
+use crate::experiments::ExpOptions;
+use crate::report::Table;
+
+/// Schema tag of `BENCH_hotpath.json`; bump when the shape changes.
+pub const SCHEMA: &str = "hmg-bench-hotpath-v1";
+
+/// Allowed throughput regression against a checked-in baseline before
+/// the gate fails (20%, per the CI `bench-smoke` contract).
+pub const REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// The Fig. 8 workloads the full bench times, in figure order.
+const BENCH_WORKLOADS: [&str; 4] = ["RNN_FW", "bfs", "CoMD", "lstm"];
+
+/// The reduced `--quick` matrix: two workloads with distinct sharing
+/// patterns under the baseline, both hardware protocols' extremes.
+const QUICK_WORKLOADS: [&str; 2] = ["bfs", "CoMD"];
+const QUICK_PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::NoPeerCaching,
+    ProtocolKind::Nhcc,
+    ProtocolKind::Hmg,
+    ProtocolKind::Ideal,
+];
+
+/// One timed (workload, protocol) cell.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Workload abbreviation (Table III).
+    pub workload: String,
+    /// Protocol configuration timed.
+    pub protocol: ProtocolKind,
+    /// DES events executed.
+    pub events: u64,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Committed-memory state digest — the behavioral oracle.
+    pub digest: u64,
+    /// Wall-clock seconds of the engine run (trace generation and
+    /// configuration are excluded: this times the DES, not the setup).
+    pub wall_s: f64,
+    /// Peak resident set size in KB observed by the end of this cell
+    /// (`VmHWM`; process-wide high-water mark, 0 where unsupported).
+    pub peak_rss_kb: u64,
+}
+
+impl BenchCell {
+    /// DES events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_s.max(1e-9)
+    }
+
+    /// Simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// The full bench result, serializable as `BENCH_hotpath.json`.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// `--quick` reduced matrix?
+    pub quick: bool,
+    /// Scale the cells ran at.
+    pub scale: Scale,
+    /// Workload-generation seed.
+    pub seed: u64,
+    /// Every timed cell, in (workload, protocol) order.
+    pub cells: Vec<BenchCell>,
+}
+
+impl BenchReport {
+    /// Total DES events across all cells.
+    pub fn total_events(&self) -> u64 {
+        self.cells.iter().map(|c| c.events).sum()
+    }
+
+    /// Total simulated cycles across all cells.
+    pub fn total_cycles(&self) -> u64 {
+        self.cells.iter().map(|c| c.cycles).sum()
+    }
+
+    /// Total engine wall time across all cells.
+    pub fn total_wall_s(&self) -> f64 {
+        self.cells.iter().map(|c| c.wall_s).sum()
+    }
+
+    /// Aggregate DES events per second — the headline hot-path number
+    /// and the quantity the CI regression gate compares.
+    pub fn total_events_per_sec(&self) -> f64 {
+        self.total_events() as f64 / self.total_wall_s().max(1e-9)
+    }
+
+    /// Peak RSS over the whole bench (the last cell's high-water mark).
+    pub fn peak_rss_kb(&self) -> u64 {
+        self.cells.iter().map(|c| c.peak_rss_kb).max().unwrap_or(0)
+    }
+
+    /// Renders the report as the `BENCH_hotpath.json` document. One
+    /// field per line; the timing-derived fields (`wall_s`,
+    /// `events_per_sec`, `cycles_per_sec`, `peak_rss_kb`, and the
+    /// `total_*` aggregates of those) are the only lines that differ
+    /// between same-seed reruns.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        s.push_str(&format!(
+            "  \"mode\": \"{}\",\n",
+            if self.quick { "quick" } else { "full" }
+        ));
+        s.push_str(&format!("  \"scale\": \"{}\",\n", scale_name(self.scale)));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"workload\": \"{}\",\n", c.workload));
+            s.push_str(&format!("      \"protocol\": \"{}\",\n", c.protocol.name()));
+            s.push_str(&format!("      \"events\": {},\n", c.events));
+            s.push_str(&format!("      \"cycles\": {},\n", c.cycles));
+            s.push_str(&format!("      \"digest\": \"{:016x}\",\n", c.digest));
+            s.push_str(&format!("      \"wall_s\": {:.6},\n", c.wall_s));
+            s.push_str(&format!(
+                "      \"events_per_sec\": {:.0},\n",
+                c.events_per_sec()
+            ));
+            s.push_str(&format!(
+                "      \"cycles_per_sec\": {:.0},\n",
+                c.cycles_per_sec()
+            ));
+            s.push_str(&format!("      \"peak_rss_kb\": {}\n", c.peak_rss_kb));
+            s.push_str(if i + 1 == self.cells.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"total_events\": {},\n", self.total_events()));
+        s.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles()));
+        s.push_str(&format!(
+            "  \"total_wall_s\": {:.6},\n",
+            self.total_wall_s()
+        ));
+        s.push_str(&format!(
+            "  \"total_events_per_sec\": {:.0},\n",
+            self.total_events_per_sec()
+        ));
+        s.push_str(&format!("  \"peak_rss_kb\": {}\n", self.peak_rss_kb()));
+        s.push_str("}\n");
+        s
+    }
+
+    /// Renders the report as a table.
+    pub fn print(&self) {
+        println!(
+            "== Hot-path bench ({}, scale {}, seed {}) ==",
+            if self.quick { "quick" } else { "full" },
+            scale_name(self.scale),
+            self.seed
+        );
+        let mut t = Table::new(vec![
+            "cell".into(),
+            "events".into(),
+            "cycles".into(),
+            "wall s".into(),
+            "Mev/s".into(),
+            "digest".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                format!("{}/{}", c.workload, c.protocol.name()),
+                c.events.to_string(),
+                c.cycles.to_string(),
+                format!("{:.3}", c.wall_s),
+                format!("{:.2}", c.events_per_sec() / 1e6),
+                format!("{:016x}", c.digest),
+            ]);
+        }
+        println!("{}", t.render());
+        println!(
+            "total: {} events in {:.3}s = {:.2}M events/s, peak RSS {} KB",
+            self.total_events(),
+            self.total_wall_s(),
+            self.total_events_per_sec() / 1e6,
+            self.peak_rss_kb()
+        );
+    }
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Peak resident set size (`VmHWM`) of this process in KB, or 0 where
+/// `/proc/self/status` is unavailable (non-Linux hosts).
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// Runs the bench matrix single-threaded and returns the report.
+///
+/// `opts` supplies scale, seed, and an optional workload filter;
+/// `quick` selects the reduced matrix the CI smoke job runs.
+///
+/// # Errors
+///
+/// Returns the first cell's typed [`SimError`] — a bench with a failing
+/// cell has no meaningful throughput number.
+pub fn run_bench(opts: &ExpOptions, quick: bool) -> Result<BenchReport, SimError> {
+    let workloads: Vec<String> = match &opts.filter {
+        Some(list) => list.clone(),
+        None if quick => QUICK_WORKLOADS.iter().map(|s| s.to_string()).collect(),
+        None => BENCH_WORKLOADS.iter().map(|s| s.to_string()).collect(),
+    };
+    let protocols: &[ProtocolKind] = if quick {
+        &QUICK_PROTOCOLS
+    } else {
+        &ProtocolKind::ALL
+    };
+    let mut cells = Vec::with_capacity(workloads.len() * protocols.len());
+    for workload in &workloads {
+        let spec = by_abbrev(workload)
+            .ok_or_else(|| SimError::config(format!("unknown workload `{workload}`")))?;
+        // Trace generation is untimed setup: the bench measures the DES.
+        let trace = spec.generate(opts.scale, opts.seed);
+        for &protocol in protocols {
+            let mut cfg = match opts.scale {
+                Scale::Tiny => hmg_gpu::EngineConfig::small_test(protocol),
+                Scale::Small | Scale::Full => hmg_gpu::EngineConfig::paper_default(protocol),
+            };
+            if let Some(f) = &opts.faults {
+                cfg.faults = f.clone();
+            }
+            crate::runner::scale_capacities(&mut cfg, spec.capacity_factor(opts.scale));
+            crate::runner::arm_watchdog(&mut cfg, &trace, opts.livelock_budget);
+            // audit:allow(entropy): wall-clock benchmarking only; never
+            // feeds simulated state.
+            let start = std::time::Instant::now();
+            let m = crate::runner::run_isolated(cfg, &trace)?;
+            let wall_s = start.elapsed().as_secs_f64();
+            cells.push(BenchCell {
+                workload: workload.clone(),
+                protocol,
+                events: m.events,
+                cycles: m.total_cycles.as_u64(),
+                digest: m.state_digest,
+                wall_s,
+                peak_rss_kb: peak_rss_kb(),
+            });
+        }
+    }
+    Ok(BenchReport {
+        quick,
+        scale: opts.scale,
+        seed: opts.seed,
+        cells,
+    })
+}
+
+/// Extracts `"total_events_per_sec"` from a `BENCH_hotpath.json`
+/// document (used to compare against a checked-in baseline).
+pub fn parse_total_events_per_sec(json: &str) -> Option<f64> {
+    for line in json.lines() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("\"total_events_per_sec\":") {
+            return rest.trim().trim_end_matches(',').parse().ok();
+        }
+    }
+    None
+}
+
+/// Compares `report` against the checked-in baseline at `path`.
+///
+/// # Errors
+///
+/// Returns a description of the failure when the baseline is
+/// missing/unparseable or throughput regressed more than
+/// [`REGRESSION_TOLERANCE`] below it.
+pub fn regression_gate(report: &BenchReport, path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let baseline = parse_total_events_per_sec(&text)
+        .ok_or_else(|| format!("no total_events_per_sec in baseline {}", path.display()))?;
+    let current = report.total_events_per_sec();
+    let floor = baseline * (1.0 - REGRESSION_TOLERANCE);
+    if current < floor {
+        return Err(format!(
+            "hot-path throughput regressed: {current:.0} events/s < {floor:.0} \
+             (baseline {baseline:.0} - {:.0}% tolerance)",
+            REGRESSION_TOLERANCE * 100.0
+        ));
+    }
+    Ok(format!(
+        "bench gate ok: {current:.0} events/s vs baseline {baseline:.0} \
+         ({:+.1}%)",
+        (current / baseline - 1.0) * 100.0
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_quick_report() -> BenchReport {
+        let opts = ExpOptions {
+            scale: Scale::Tiny,
+            seed: 17,
+            filter: Some(vec!["bfs".into()]),
+            ..ExpOptions::default()
+        };
+        run_bench(&opts, true).expect("bench runs clean")
+    }
+
+    #[test]
+    fn bench_reports_positive_throughput_and_digests() {
+        let r = tiny_quick_report();
+        assert_eq!(r.cells.len(), QUICK_PROTOCOLS.len());
+        for c in &r.cells {
+            assert!(c.events > 0, "{}/{}", c.workload, c.protocol.name());
+            assert!(c.cycles > 0);
+            assert!(c.wall_s > 0.0);
+            assert!(c.events_per_sec() > 0.0);
+        }
+        // Digest is protocol-independent — the oracle the rewrite is
+        // validated against must agree across every config.
+        let d0 = r.cells[0].digest;
+        assert!(r.cells.iter().all(|c| c.digest == d0));
+        assert!(r.total_events_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_is_schema_versioned_and_round_trips_the_gate_number() {
+        let r = tiny_quick_report();
+        let json = r.to_json();
+        assert!(json.contains(&format!("\"schema\": \"{SCHEMA}\"")));
+        assert!(json.contains("\"mode\": \"quick\""));
+        let parsed = parse_total_events_per_sec(&json).expect("gate number present");
+        assert!((parsed - r.total_events_per_sec()).abs() <= 1.0);
+    }
+
+    #[test]
+    fn stable_fields_are_deterministic_across_reruns() {
+        let (a, b) = (tiny_quick_report(), tiny_quick_report());
+        let strip = |j: &str| -> String {
+            j.lines()
+                .filter(|l| {
+                    let t = l.trim();
+                    !(t.starts_with("\"wall_s\"")
+                        || t.starts_with("\"events_per_sec\"")
+                        || t.starts_with("\"cycles_per_sec\"")
+                        || t.starts_with("\"peak_rss_kb\"")
+                        || t.starts_with("\"total_wall_s\"")
+                        || t.starts_with("\"total_events_per_sec\""))
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&a.to_json()), strip(&b.to_json()));
+    }
+
+    #[test]
+    fn regression_gate_passes_and_fails_correctly() {
+        let r = tiny_quick_report();
+        let dir = std::env::temp_dir().join("hmg-bench-gate-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+
+        // Baseline == current run: the gate passes.
+        std::fs::write(&path, r.to_json()).unwrap();
+        regression_gate(&r, &path).expect("identical baseline passes");
+
+        // Baseline far above current: the gate fails.
+        let inflated = format!(
+            "{{\n  \"total_events_per_sec\": {:.0}\n}}\n",
+            r.total_events_per_sec() * 10.0
+        );
+        std::fs::write(&path, inflated).unwrap();
+        let err = regression_gate(&r, &path).expect_err("10x baseline fails");
+        assert!(err.contains("regressed"), "{err}");
+
+        // Missing baseline: a loud error, not a silent pass.
+        assert!(regression_gate(&r, &dir.join("nope.json")).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

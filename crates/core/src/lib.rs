@@ -27,6 +27,7 @@
 //! assert!(hmg.total_cycles <= base.total_cycles);
 //! ```
 
+pub mod bench;
 pub mod experiments;
 pub mod report;
 pub mod runner;

@@ -30,6 +30,7 @@ use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
 use hmg_protocol::{
     AccessKind, DirEvent, DirState, Observed, ProtocolKind, Scope, TraceOp, WorkloadTrace,
 };
+use hmg_sim::collect::{FlatMap, VecPool};
 use hmg_sim::{Cycle, EventQueue, ProgressWatchdog, Rng, SimError};
 
 use crate::config::{EccMode, EngineConfig};
@@ -55,7 +56,7 @@ enum FlipSeverity {
 
 /// One L2 line's metadata: the data version it holds and, under the
 /// write-back policy, whether it is dirty (newer than its home).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 struct L2Line {
     version: u64,
     dirty: bool,
@@ -116,14 +117,14 @@ struct Gpm {
     /// CTA work queue for the current kernel.
     cta_queue: VecDeque<usize>,
     /// CARVE-like sharing classification for blocks homed here.
-    carve: std::collections::BTreeMap<BlockAddr, CarveClass>,
+    carve: FlatMap<BlockAddr, CarveClass>,
     /// Per-block invalidation floor: the newest store version whose
     /// invalidation this GPM has already processed. A fill carrying an
     /// older version raced past that invalidation in the fabric and
     /// must not install stale data — the simulator's stand-in for the
     /// transient (inv-while-fill-pending) states of a real directory
     /// protocol.
-    inv_floor: std::collections::BTreeMap<BlockAddr, u64>,
+    inv_floor: FlatMap<BlockAddr, u64>,
 }
 
 /// A load or atomic request in flight.
@@ -329,15 +330,20 @@ struct Sim<'t> {
     /// change; completed entries are swap-removed so the scan stays
     /// proportional to fences actually in flight).
     active_fences: Vec<usize>,
-    flags: std::collections::BTreeMap<u32, u32>,
-    flag_waiters: std::collections::BTreeMap<u32, Vec<SmRef>>,
+    flags: FlatMap<u32, u32>,
+    flag_waiters: FlatMap<u32, Vec<SmRef>>,
     /// MSHR-style miss coalescing: requests merged behind an outstanding
     /// fill of the same line at the same node. Keyed by (node, line).
-    mshr: std::collections::BTreeMap<(u16, LineAddr), Vec<MemMsg>>,
+    mshr: FlatMap<(u16, LineAddr), Vec<MemMsg>>,
     /// Line -> bitmask of GPMs that have loaded it (Fig. 3 tracking).
-    touch_map: std::collections::BTreeMap<LineAddr, u64>,
+    touch_map: FlatMap<LineAddr, u64>,
     /// Line -> latest version committed at its system home.
-    committed: std::collections::BTreeMap<LineAddr, u64>,
+    committed: FlatMap<LineAddr, u64>,
+    /// Freelists recycling MSHR-waiter and flag-waiter vectors, so the
+    /// merge/wake hot paths reuse allocations instead of hitting the
+    /// allocator once per transaction.
+    msg_pool: VecPool<MemMsg>,
+    waiter_pool: VecPool<SmRef>,
     kernel: usize,
     ctas_unfinished: u64,
     loads_inflight: u64,
@@ -356,7 +362,7 @@ struct Sim<'t> {
     /// access (ECC check before serving), a fill overwrite (refetch),
     /// or a scrubber sweep — so the [`hmg_sim::IntegrityStats`]
     /// conservation equation balances.
-    line_faults: std::collections::BTreeMap<(u16, LineAddr), FlipSeverity>,
+    line_faults: FlatMap<(u16, LineAddr), FlipSeverity>,
     /// Store messages sent over the fabric (drop-store fault index).
     store_seq: u64,
     /// Store-caused invalidations sent (reorder-inv fault index).
@@ -392,8 +398,8 @@ impl<'t> Sim<'t> {
                 inv_pending_gpu: 0,
                 inv_pending_sys: 0,
                 cta_queue: VecDeque::new(),
-                carve: std::collections::BTreeMap::new(),
-                inv_floor: std::collections::BTreeMap::new(),
+                carve: FlatMap::new(),
+                inv_floor: FlatMap::new(),
             })
             .collect();
         let sms = (0..cfg.total_sms())
@@ -432,11 +438,13 @@ impl<'t> Sim<'t> {
             sms,
             fences: Vec::new(),
             active_fences: Vec::new(),
-            flags: std::collections::BTreeMap::new(),
-            flag_waiters: std::collections::BTreeMap::new(),
-            mshr: std::collections::BTreeMap::new(),
-            touch_map: std::collections::BTreeMap::new(),
-            committed: std::collections::BTreeMap::new(),
+            flags: FlatMap::new(),
+            flag_waiters: FlatMap::new(),
+            mshr: FlatMap::new(),
+            touch_map: FlatMap::new(),
+            committed: FlatMap::new(),
+            msg_pool: VecPool::new(),
+            waiter_pool: VecPool::new(),
             kernel: 0,
             ctas_unfinished: 0,
             loads_inflight: 0,
@@ -446,7 +454,7 @@ impl<'t> Sim<'t> {
             rng: Rng::new(cfg.faults.seed),
             flip_rng: (cfg.faults.flip_line.is_some() || cfg.faults.flip_dir.is_some())
                 .then(|| Rng::new(cfg.faults.seed ^ SCRUB_STREAM_SALT)),
-            line_faults: std::collections::BTreeMap::new(),
+            line_faults: FlatMap::new(),
             store_seq: 0,
             inv_seq: 0,
             perm_faults,
@@ -951,6 +959,12 @@ impl<'t> Sim<'t> {
         if self.sms[idx].state != SmState::Runnable {
             return;
         }
+        // The trace outlives `self`'s borrow, so the current CTA's op
+        // slice can be cached across batch iterations instead of
+        // re-walking kernel -> CTA -> ops for every issued op.
+        let trace: &'t WorkloadTrace = self.trace;
+        let mut cached_key = (usize::MAX, usize::MAX);
+        let mut ops: &'t [TraceOp] = &[];
         for _ in 0..ISSUE_BATCH {
             let (kernel, cta, pc) = {
                 let s = &self.sms[idx];
@@ -963,7 +977,10 @@ impl<'t> Sim<'t> {
                     }
                 }
             };
-            let ops = &self.trace.kernels[kernel].ctas[cta].ops;
+            if cached_key != (kernel, cta) {
+                ops = &trace.kernels[kernel].ctas[cta].ops;
+                cached_key = (kernel, cta);
+            }
             if pc >= ops.len() {
                 // CTA complete; grab the next one from the GPM queue.
                 self.ctas_unfinished -= 1;
@@ -1024,20 +1041,21 @@ impl<'t> Sim<'t> {
                 }
                 TraceOp::SetFlag(f) => {
                     self.sms[idx].pc += 1;
-                    *self.flags.entry(f).or_insert(0) += 1;
-                    if let Some(waiters) = self.flag_waiters.remove(&f) {
+                    *self.flags.or_insert(f, 0) += 1;
+                    if let Some(mut waiters) = self.flag_waiters.remove(&f) {
                         // Fault: delayed flag propagation. Waiters wake
                         // later but the ordering guarantees are intact,
                         // so outcomes are unchanged (tolerated).
                         let extra = Cycle(self.cfg.faults.flag_delay.unwrap_or(0));
                         let wake = t + self.cfg.flag_latency + extra;
-                        for w in waiters {
+                        for w in waiters.drain(..) {
                             let wi = self.sm_index(w);
                             if self.sms[wi].state == SmState::FlagWait(f) {
                                 self.sms[wi].state = SmState::Runnable;
                                 self.q.push(wake, Ev::SmResume(w));
                             }
                         }
+                        self.waiter_pool.give(waiters);
                     }
                     t += Cycle(self.cfg.issue_cycles as u64);
                 }
@@ -1047,7 +1065,10 @@ impl<'t> Sim<'t> {
                         t += Cycle(self.cfg.issue_cycles as u64);
                     } else {
                         self.sms[idx].state = SmState::FlagWait(flag);
-                        self.flag_waiters.entry(flag).or_default().push(r);
+                        let pool = &mut self.waiter_pool;
+                        self.flag_waiters
+                            .or_insert_with(flag, || pool.take())
+                            .push(r);
                         return;
                     }
                 }
@@ -1098,7 +1119,7 @@ impl<'t> Sim<'t> {
     /// Fig. 3 bookkeeping: remember which GPMs touched each line.
     fn record_touch(&mut self, r: SmRef, line: LineAddr) {
         if self.cfg.track_peer_redundancy {
-            let mask = self.touch_map.entry(line).or_insert(0);
+            let mask = self.touch_map.or_insert(line, 0);
             *mask |= 1u64 << r.gpm.index();
         }
     }
@@ -1346,8 +1367,7 @@ impl<'t> Sim<'t> {
         if proto.has_broadcast_classifier() && !degraded && node == sys_home {
             let entry = self.gpms[node.index()]
                 .carve
-                .entry(block)
-                .or_insert(CarveClass::Private(req_gpm));
+                .or_insert(block, CarveClass::Private(req_gpm));
             if let CarveClass::Private(owner) = *entry {
                 if owner != req_gpm {
                     *entry = CarveClass::ReadOnly;
@@ -1431,7 +1451,8 @@ impl<'t> Sim<'t> {
                 waiters.push(msg);
                 return;
             }
-            self.mshr.insert(key, Vec::new());
+            let buf = self.msg_pool.take();
+            self.mshr.insert(key, buf);
         }
         self.forward_req(t, msg, node, req_gpm, sys_home, gpu_home);
     }
@@ -1448,10 +1469,10 @@ impl<'t> Sim<'t> {
         version: u64,
         poisoned: bool,
     ) {
-        let Some(waiters) = self.mshr.remove(&(node.0, line)) else {
+        let Some(mut waiters) = self.mshr.remove(&(node.0, line)) else {
             return;
         };
-        for mut w in waiters {
+        for mut w in waiters.drain(..) {
             w.version = version;
             // Poison propagates to every consumer merged behind the
             // fill: each aborts rather than using the corrupt value.
@@ -1466,6 +1487,7 @@ impl<'t> Sim<'t> {
                 self.q.push(arrive, Ev::Resp { msg: w });
             }
         }
+        self.msg_pool.give(waiters);
     }
 
     fn forward_req(
@@ -1920,8 +1942,7 @@ impl<'t> Sim<'t> {
     ) {
         let class = self.gpms[node.index()]
             .carve
-            .entry(block)
-            .or_insert(CarveClass::Private(writer));
+            .or_insert(block, CarveClass::Private(writer));
         let shared = match *class {
             CarveClass::Private(owner) if owner == writer => false,
             CarveClass::Private(_) | CarveClass::ReadOnly | CarveClass::ReadWrite => {
@@ -1978,7 +1999,7 @@ impl<'t> Sim<'t> {
         if node == sys_home {
             // Commit: update the authoritative home version, write DRAM.
             // The version-max rule makes duplicate commits no-ops.
-            let cur = self.committed.entry(msg.line).or_insert(0);
+            let cur = self.committed.or_insert(msg.line, 0);
             if msg.version > *cur {
                 *cur = msg.version;
             }
@@ -2414,8 +2435,7 @@ impl<'t> Sim<'t> {
         if inv.version > 0 {
             let floor = self.gpms[inv.target.index()]
                 .inv_floor
-                .entry(inv.block)
-                .or_insert(0);
+                .or_insert(inv.block, 0);
             *floor = (*floor).max(inv.version);
         }
         // Drop the L2 copies of every line in the block; racy dirty
@@ -2840,16 +2860,17 @@ impl<'t> Sim<'t> {
     /// Publishes a salvaged flag increment, waking waiters exactly like
     /// the normal `SetFlag` path.
     fn salvage_set_flag(&mut self, now: Cycle, f: u32) {
-        *self.flags.entry(f).or_insert(0) += 1;
-        if let Some(waiters) = self.flag_waiters.remove(&f) {
+        *self.flags.or_insert(f, 0) += 1;
+        if let Some(mut waiters) = self.flag_waiters.remove(&f) {
             let wake = now + self.cfg.flag_latency;
-            for w in waiters {
+            for w in waiters.drain(..) {
                 let wi = self.sm_index(w);
                 if self.sms[wi].state == SmState::FlagWait(f) {
                     self.sms[wi].state = SmState::Runnable;
                     self.q.push(wake, Ev::SmResume(w));
                 }
             }
+            self.waiter_pool.give(waiters);
         }
     }
 
@@ -2911,8 +2932,12 @@ impl<'t> Sim<'t> {
         if self.line_faults.is_empty() {
             return;
         }
-        let entries: Vec<((u16, LineAddr), FlipSeverity)> =
+        let mut entries: Vec<((u16, LineAddr), FlipSeverity)> =
             self.line_faults.iter().map(|(&k, &v)| (k, v)).collect();
+        // The flat map iterates in storage order; restore the ordered
+        // map's key order so the sweep's observable side effects
+        // (invalidations, poison, counters) land identically.
+        entries.sort_unstable_by_key(|&((g, l), _)| (g, l.0));
         self.line_faults.clear();
         for ((gpm, line), sev) in entries {
             self.m.integrity.scrubbed += 1;

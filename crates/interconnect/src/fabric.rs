@@ -1,8 +1,6 @@
 //! The assembled two-tier network: intra-GPU crossbar ports per GPM and
 //! inter-GPU switch ports per GPU, with per-class byte accounting.
 
-use std::collections::BTreeMap;
-
 use hmg_sim::{Cycle, FaultPlan, Rng};
 
 use crate::ids::{GpmId, Topology};
@@ -277,8 +275,9 @@ pub struct Fabric {
     transport: TransportConfig,
     /// Per-channel (src, dst) message sequence numbers; the transport
     /// tags every routed message so replays are identifiable and
-    /// delivery per channel stays in order.
-    seq: BTreeMap<(GpmId, GpmId), u64>,
+    /// delivery per channel stays in order. Dense: GPM ids are compact
+    /// indices, so channel (src, dst) lives at `src * num_gpms + dst`.
+    seq: Vec<u64>,
     /// Drop stream, armed only when the plan injects [`hmg_sim::fault::MsgDrop`].
     /// `None` means no draws happen at all, so fault-free runs are
     /// bit-identical to a build without the transport layer.
@@ -330,7 +329,7 @@ impl Fabric {
             stats: FabricStats::default(),
             faults: FaultPlan::default(),
             transport: TransportConfig::default(),
-            seq: BTreeMap::new(),
+            seq: vec![0; topo.num_gpms() as usize * topo.num_gpms() as usize],
             drop_rng: None,
             flip_rng: None,
             liveness: Liveness::new(topo),
@@ -388,7 +387,13 @@ impl Fabric {
     /// Next sequence number the transport will assign on the `src → dst`
     /// channel (equals the number of messages routed on it so far).
     pub fn channel_seq(&self, src: GpmId, dst: GpmId) -> u64 {
-        self.seq.get(&(src, dst)).copied().unwrap_or(0)
+        self.seq[self.chan(src, dst)]
+    }
+
+    /// Dense index of the `src -> dst` transport channel.
+    #[inline]
+    fn chan(&self, src: GpmId, dst: GpmId) -> usize {
+        src.index() * self.topo.num_gpms() as usize + dst.index()
     }
 
     /// Plays out the loss/retransmission episode for one message:
@@ -474,7 +479,8 @@ impl Fabric {
         // replay episode (extra serializations + timeout backoff) holds
         // the egress port, so everything behind it queues up and the
         // channel stays FIFO — loss is recovered, never reordered.
-        *self.seq.entry((src, dst)).or_insert(0) += 1;
+        let chan = self.chan(src, dst);
+        self.seq[chan] += 1;
         let (drop_retries, drop_backoff) = self.drop_episode();
         // Checksum-detected corruptions replay through the same retry
         // machinery as losses; the episodes compose additively.

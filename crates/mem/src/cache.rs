@@ -8,6 +8,7 @@
 use hmg_sim::SimError;
 
 use crate::addr::LineAddr;
+use crate::fastdiv::SetSplit;
 
 /// Shape of one cache: total capacity in lines and associativity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,18 +57,26 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone)]
-struct Way<M> {
-    tag: u64,
-    last_use: u64,
-    meta: M,
-}
-
 /// A set-associative, LRU-replacement cache mapping [`LineAddr`]s to
 /// per-line metadata `M`.
 ///
 /// The cache stores no data payloads — the simulator tracks line
 /// *versions* (for the coherence checker) and timing, not values.
+///
+/// Storage is struct-of-arrays: tags, recency ticks, and metadata live
+/// in three flat slabs indexed `set * ways + way`, with a per-set
+/// occupancy count. A probe scans only the contiguous tag lane of one
+/// set (one cache line for typical associativities), and the bulk
+/// invalidation that software coherence performs at every acquire is a
+/// clear of the occupancy array rather than a walk over per-set heap
+/// allocations. `M: Default` fills the slabs' never-yet-occupied slots.
+///
+/// Within a set, slots behave exactly like a `Vec` of ways: inserts
+/// append, [`Cache::invalidate`] swap-removes, and
+/// [`Cache::invalidate_where`] compacts in order — so iteration order
+/// (which fault injection and the digest oracle observe) is a pure
+/// function of the operation history, unchanged from the boxed-`Vec`
+/// representation this replaced.
 ///
 /// # Example
 ///
@@ -84,19 +93,33 @@ struct Way<M> {
 #[derive(Debug, Clone)]
 pub struct Cache<M> {
     config: CacheConfig,
-    sets: Vec<Vec<Way<M>>>,
+    /// Tag lane, indexed `set * ways + way`; only `lens[set]` slots of
+    /// each set's span are live.
+    tags: Box<[u64]>,
+    /// LRU recency tick per slot, parallel to `tags`.
+    last_use: Box<[u64]>,
+    /// Per-line metadata per slot, parallel to `tags`.
+    metas: Box<[M]>,
+    /// Occupied ways per set.
+    lens: Box<[u32]>,
+    /// Strength-reduced `(tag, set)` splitter for the set count.
+    split: SetSplit,
     tick: u64,
     insertions: u64,
     evictions: u64,
 }
 
-impl<M> Cache<M> {
+impl<M: Default> Cache<M> {
     /// Creates an empty cache of the given shape.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        let cap = config.lines as usize;
         Cache {
             config,
-            sets,
+            tags: vec![0; cap].into_boxed_slice(),
+            last_use: vec![0; cap].into_boxed_slice(),
+            metas: (0..cap).map(|_| M::default()).collect(),
+            lens: vec![0; config.sets() as usize].into_boxed_slice(),
+            split: SetSplit::new(config.sets()),
             tick: 0,
             insertions: 0,
             evictions: 0,
@@ -108,54 +131,50 @@ impl<M> Cache<M> {
         self.config
     }
 
+    /// Splits a line address into `(tag, set index)` — one
+    /// strength-reduced divide instead of a hardware div + mod.
     #[inline]
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.0 % self.config.sets() as u64) as usize
+    fn locate(&self, line: LineAddr) -> (u64, usize) {
+        let (tag, set) = self.split.split(line.0);
+        (tag, set as usize)
     }
 
+    /// Position of `line`'s slot within its set span, if resident.
     #[inline]
-    fn tag(&self, line: LineAddr) -> u64 {
-        line.0 / self.config.sets() as u64
+    fn find(&self, base: usize, len: usize, tag: u64) -> Option<usize> {
+        self.tags[base..base + len].iter().position(|&t| t == tag)
     }
 
     /// Looks up `line` without updating recency. Returns the metadata if
     /// present.
     pub fn peek(&self, line: LineAddr) -> Option<&M> {
-        let set = &self.sets[self.set_index(line)];
-        let tag = self.tag(line);
-        set.iter().find(|w| w.tag == tag).map(|w| &w.meta)
+        let (tag, idx) = self.locate(line);
+        let base = idx * self.config.ways as usize;
+        let len = self.lens[idx] as usize;
+        let pos = self.find(base, len, tag)?;
+        Some(&self.metas[base + pos])
     }
 
     /// Looks up `line`, updating LRU recency on a hit.
     pub fn get(&mut self, line: LineAddr) -> Option<&M> {
         self.tick += 1;
-        let tick = self.tick;
-        let idx = self.set_index(line);
-        let tag = self.tag(line);
-        let set = &mut self.sets[idx];
-        for w in set.iter_mut() {
-            if w.tag == tag {
-                w.last_use = tick;
-                return Some(&w.meta);
-            }
-        }
-        None
+        let (tag, idx) = self.locate(line);
+        let base = idx * self.config.ways as usize;
+        let len = self.lens[idx] as usize;
+        let pos = self.find(base, len, tag)?;
+        self.last_use[base + pos] = self.tick;
+        Some(&self.metas[base + pos])
     }
 
     /// Mutable lookup, updating LRU recency on a hit.
     pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut M> {
         self.tick += 1;
-        let tick = self.tick;
-        let idx = self.set_index(line);
-        let tag = self.tag(line);
-        let set = &mut self.sets[idx];
-        for w in set.iter_mut() {
-            if w.tag == tag {
-                w.last_use = tick;
-                return Some(&mut w.meta);
-            }
-        }
-        None
+        let (tag, idx) = self.locate(line);
+        let base = idx * self.config.ways as usize;
+        let len = self.lens[idx] as usize;
+        let pos = self.find(base, len, tag)?;
+        self.last_use[base + pos] = self.tick;
+        Some(&mut self.metas[base + pos])
     }
 
     /// Inserts (or overwrites) `line` with `meta`. Returns the evicted
@@ -165,81 +184,98 @@ impl<M> Cache<M> {
         let tick = self.tick;
         let sets_count = self.config.sets() as u64;
         let ways = self.config.ways as usize;
-        let idx = self.set_index(line);
-        let tag = self.tag(line);
-        let set = &mut self.sets[idx];
-        for w in set.iter_mut() {
-            if w.tag == tag {
-                w.meta = meta;
-                w.last_use = tick;
+        let (tag, idx) = self.locate(line);
+        let base = idx * ways;
+        let len = self.lens[idx] as usize;
+        // One pass finds both a tag hit and (if none) the LRU victim.
+        // Recency ticks are globally unique, so the first minimum is
+        // unambiguous and matches the previous representation exactly.
+        let mut victim_i = 0;
+        let mut victim_use = u64::MAX;
+        for i in 0..len {
+            if self.tags[base + i] == tag {
+                self.metas[base + i] = meta;
+                self.last_use[base + i] = tick;
                 return None;
+            }
+            if self.last_use[base + i] < victim_use {
+                victim_use = self.last_use[base + i];
+                victim_i = i;
             }
         }
         self.insertions += 1;
-        if set.len() < ways {
-            set.push(Way {
-                tag,
-                last_use: tick,
-                meta,
-            });
+        if len < ways {
+            self.tags[base + len] = tag;
+            self.last_use[base + len] = tick;
+            self.metas[base + len] = meta;
+            self.lens[idx] += 1;
             return None;
         }
-        // Evict the LRU way. The set is full here (len == ways >= 1),
-        // so the minimum always exists; the fallback only placates the
-        // type system without a panic path.
-        let victim_i = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_use)
-            .map(|(i, _)| i)
-            .unwrap_or(0);
-        let victim = std::mem::replace(
-            &mut set[victim_i],
-            Way {
-                tag,
-                last_use: tick,
-                meta,
-            },
-        );
+        // Evict the LRU way found above (the set is full here, so the
+        // scan visited at least one way).
+        let victim_tag = self.tags[base + victim_i];
+        self.tags[base + victim_i] = tag;
+        self.last_use[base + victim_i] = tick;
+        let victim_meta = std::mem::replace(&mut self.metas[base + victim_i], meta);
         self.evictions += 1;
-        let victim_line = LineAddr(victim.tag * sets_count + idx as u64);
-        Some((victim_line, victim.meta))
+        let victim_line = LineAddr(victim_tag * sets_count + idx as u64);
+        Some((victim_line, victim_meta))
     }
 
     /// Removes `line` if present, returning its metadata.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<M> {
-        let idx = self.set_index(line);
-        let tag = self.tag(line);
-        let set = &mut self.sets[idx];
-        let pos = set.iter().position(|w| w.tag == tag)?;
-        Some(set.swap_remove(pos).meta)
+        let (tag, idx) = self.locate(line);
+        let base = idx * self.config.ways as usize;
+        let len = self.lens[idx] as usize;
+        let pos = self.find(base, len, tag)?;
+        // Swap-remove: the last live slot fills the hole, matching the
+        // `Vec::swap_remove` order the digest oracle was frozen on.
+        let last = len - 1;
+        self.tags[base + pos] = self.tags[base + last];
+        self.last_use[base + pos] = self.last_use[base + last];
+        self.metas.swap(base + pos, base + last);
+        self.lens[idx] = last as u32;
+        Some(std::mem::take(&mut self.metas[base + last]))
     }
 
     /// Removes every line — the bulk invalidation software coherence
     /// performs at acquire operations. Returns the number removed.
+    ///
+    /// With flat storage this is a sum-and-clear over the per-set
+    /// occupancy counts; no per-set allocation is visited. Stale
+    /// metadata stays in the slab until its slot is refilled, which is
+    /// unobservable through the API.
     pub fn invalidate_all(&mut self) -> u64 {
-        let mut n = 0;
-        for set in &mut self.sets {
-            n += set.len() as u64;
-            set.clear();
-        }
+        let n = self.lens.iter().map(|&l| u64::from(l)).sum();
+        self.lens.fill(0);
         n
     }
 
     /// Removes every line for which `pred` holds; returns how many.
     pub fn invalidate_where<F: FnMut(LineAddr, &M) -> bool>(&mut self, mut pred: F) -> u64 {
         let sets_count = self.config.sets() as u64;
+        let ways = self.config.ways as usize;
         let mut n = 0;
-        for (idx, set) in self.sets.iter_mut().enumerate() {
-            set.retain(|w| {
-                let line = LineAddr(w.tag * sets_count + idx as u64);
-                if pred(line, &w.meta) {
+        for idx in 0..self.lens.len() {
+            let base = idx * ways;
+            let len = self.lens[idx] as usize;
+            // In-order compaction — identical survivor order to
+            // `Vec::retain`.
+            let mut keep = 0;
+            for i in 0..len {
+                let line = LineAddr(self.tags[base + i] * sets_count + idx as u64);
+                if pred(line, &self.metas[base + i]) {
                     n += 1;
-                    false
                 } else {
-                    true
+                    if keep != i {
+                        self.tags[base + keep] = self.tags[base + i];
+                        self.last_use[base + keep] = self.last_use[base + i];
+                        self.metas.swap(base + keep, base + i);
+                    }
+                    keep += 1;
                 }
-            });
+            }
+            self.lens[idx] = keep as u32;
         }
         n
     }
@@ -251,7 +287,7 @@ impl<M> Cache<M> {
 
     /// Number of resident lines.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.lens.iter().map(|&l| l as usize).sum()
     }
 
     /// Whether the cache holds no lines.
@@ -280,9 +316,15 @@ impl<M> Cache<M> {
     /// Iterates over resident `(line, meta)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &M)> {
         let sets_count = self.config.sets() as u64;
-        self.sets.iter().enumerate().flat_map(move |(idx, set)| {
-            set.iter()
-                .map(move |w| (LineAddr(w.tag * sets_count + idx as u64), &w.meta))
+        let ways = self.config.ways as usize;
+        self.lens.iter().enumerate().flat_map(move |(idx, &len)| {
+            let base = idx * ways;
+            (base..base + len as usize).map(move |slot| {
+                (
+                    LineAddr(self.tags[slot] * sets_count + idx as u64),
+                    &self.metas[slot],
+                )
+            })
         })
     }
 }

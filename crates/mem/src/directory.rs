@@ -287,6 +287,8 @@ pub struct Directory {
     config: DirectoryConfig,
     topo: Topology,
     sets: Vec<Vec<DirWay>>,
+    /// Strength-reduced `(tag, set)` splitter for the set count.
+    split: crate::fastdiv::SetSplit,
     tick: u64,
     stats: DirectoryStats,
 }
@@ -298,6 +300,7 @@ impl Directory {
             config,
             topo,
             sets: (0..config.sets()).map(|_| Vec::new()).collect(),
+            split: crate::fastdiv::SetSplit::new(config.sets()),
             tick: 0,
             stats: DirectoryStats::default(),
         }
@@ -310,12 +313,12 @@ impl Directory {
 
     #[inline]
     fn set_index(&self, block: BlockAddr) -> usize {
-        (block.0 % self.config.sets() as u64) as usize
+        self.split.split(block.0).1 as usize
     }
 
     #[inline]
     fn tag(&self, block: BlockAddr) -> u64 {
-        block.0 / self.config.sets() as u64
+        self.split.split(block.0).0
     }
 
     /// Looks up `block` without touching recency.

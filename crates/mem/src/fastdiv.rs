@@ -1,0 +1,145 @@
+//! Strength-reduced division for set indexing.
+//!
+//! Table II geometries give non-power-of-two set counts (e.g. 1536
+//! sets per 3 MB L2 slice), so every cache and directory probe splits
+//! a line address into `(tag, set) = (addr / sets, addr % sets)`. A
+//! hardware 64-bit divide costs tens of cycles and sits on the hot
+//! path of every probe; this module replaces it with two multiplies.
+//!
+//! The fast path is Lemire's exact divide/remainder-by-multiplication
+//! ("Faster remainder by direct computation", Lemire–Kaser–Kurz,
+//! 2019): for a divisor `d` in `[2, 2^32)` and numerator `n < 2^32`,
+//! with `magic = floor(2^64 / d) + 1`,
+//!
+//! * `n / d == (magic * n) >> 64`, and
+//! * `n % d == ((magic.wrapping_mul(n) as u128) * d) >> 64`
+//!
+//! hold exactly. Line addresses above `2^32` (possible in principle,
+//! never seen in the shipped traces) fall back to the hardware divide,
+//! so the split is exact for every `u64` — the unit tests sweep the
+//! real Table II set counts and the boundary region to prove it.
+
+/// Precomputed divisor state for splitting a line address into
+/// `(tag, set)` without a hardware divide on the common path.
+///
+/// # Example
+///
+/// ```
+/// use hmg_mem::fastdiv::SetSplit;
+///
+/// let s = SetSplit::new(1536); // a 3 MB, 16-way L2 slice
+/// assert_eq!(s.split(100_000), (100_000 / 1536, (100_000 % 1536) as u32));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SetSplit {
+    sets: u32,
+    magic: u64,
+}
+
+impl SetSplit {
+    /// Prepares a splitter for `sets` sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero.
+    pub fn new(sets: u32) -> Self {
+        assert!(sets > 0, "set count must be positive");
+        // `floor(2^64 / 1) + 1` overflows u64; `split` special-cases
+        // sets == 1 before ever touching the magic, so 0 is fine.
+        let magic = if sets == 1 {
+            0
+        } else {
+            (u64::MAX / u64::from(sets)) + 1
+        };
+        SetSplit { sets, magic }
+    }
+
+    /// The divisor this splitter was built for.
+    #[inline]
+    pub fn sets(&self) -> u32 {
+        self.sets
+    }
+
+    /// Exact `(n / sets, n % sets)` for any `n`.
+    #[inline]
+    pub fn split(&self, n: u64) -> (u64, u32) {
+        if self.sets == 1 {
+            return (n, 0);
+        }
+        if n < (1 << 32) {
+            let q = ((u128::from(self.magic) * u128::from(n)) >> 64) as u64;
+            let frac = self.magic.wrapping_mul(n);
+            let r = ((u128::from(frac) * u128::from(self.sets)) >> 64) as u32;
+            (q, r)
+        } else {
+            let d = u64::from(self.sets);
+            (n / d, (n % d) as u32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The set counts every shipped geometry actually uses (Table II
+    /// L1/L2/directory shapes, the small-test shapes, and the unit-test
+    /// corner shapes), plus awkward divisors.
+    const REAL_SET_COUNTS: &[u32] = &[1, 2, 3, 4, 8, 12, 32, 64, 128, 256, 750, 1536, 4095];
+
+    #[test]
+    fn matches_hardware_division_on_dense_sweep() {
+        for &d in REAL_SET_COUNTS {
+            let s = SetSplit::new(d);
+            for n in 0..20_000u64 {
+                assert_eq!(
+                    s.split(n),
+                    (n / u64::from(d), (n % u64::from(d)) as u32),
+                    "n={n} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_hardware_division_near_the_fast_path_boundary() {
+        for &d in REAL_SET_COUNTS {
+            let s = SetSplit::new(d);
+            for delta in 0..4096u64 {
+                for n in [(1u64 << 32) - 1 - delta, (1u64 << 32) + delta] {
+                    assert_eq!(
+                        s.split(n),
+                        (n / u64::from(d), (n % u64::from(d)) as u32),
+                        "n={n} d={d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_hardware_division_on_seeded_random_u64s() {
+        // xorshift64* over the whole u64 range exercises the fallback.
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..200_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let n = x.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            for &d in REAL_SET_COUNTS {
+                let s = SetSplit::new(d);
+                assert_eq!(
+                    s.split(n),
+                    (n / u64::from(d), (n % u64::from(d)) as u32),
+                    "n={n} d={d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sets_rejected() {
+        SetSplit::new(0);
+    }
+}

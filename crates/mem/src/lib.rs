@@ -23,6 +23,7 @@ pub use hmg_sim::addr;
 pub mod cache;
 pub mod directory;
 pub mod dram;
+pub mod fastdiv;
 pub mod page;
 pub mod version;
 

@@ -7,9 +7,8 @@
 //! *GPU home* GPM per directory block via a hash (Section V-A); within
 //! the owning GPU the GPU home coincides with the system home (Fig. 6).
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use hmg_interconnect::{GpmId, GpuId, Topology};
+use hmg_sim::collect::{FlatMap, FlatSet};
 use hmg_sim::rng::hash64;
 
 use crate::addr::{BlockAddr, PageId};
@@ -50,14 +49,16 @@ pub enum PagePlacement {
 pub struct PageMap {
     topo: Topology,
     placement: PagePlacement,
-    homes: BTreeMap<PageId, GpmId>,
+    /// Strength-reduced modulo by `gpms_per_gpu` for GPU-home hashing.
+    gpu_split: crate::fastdiv::SetSplit,
+    homes: FlatMap<PageId, GpmId>,
     /// Bit *i* set = global GPM *i* is permanently offline: it can no
     /// longer home pages, and pages it homed have been re-hashed onto
     /// the survivors.
     offline: u64,
     /// Pages whose home died and were re-homed — these serve in
     /// degraded no-peer-caching mode (their DRAM partition is gone).
-    rehomed: BTreeSet<PageId>,
+    rehomed: FlatSet<PageId>,
 }
 
 impl PageMap {
@@ -66,9 +67,10 @@ impl PageMap {
         PageMap {
             topo,
             placement,
-            homes: BTreeMap::new(),
+            gpu_split: crate::fastdiv::SetSplit::new(u32::from(topo.gpms_per_gpu())),
+            homes: FlatMap::new(),
             offline: 0,
-            rehomed: BTreeSet::new(),
+            rehomed: FlatSet::new(),
         }
     }
 
@@ -119,7 +121,7 @@ impl PageMap {
     /// dead.
     pub fn home_of(&mut self, page: PageId, toucher: GpmId) -> GpmId {
         match self.placement {
-            PagePlacement::FirstTouch => *self.homes.entry(page).or_insert(toucher),
+            PagePlacement::FirstTouch => *self.homes.or_insert(page, toucher),
             PagePlacement::Interleaved => self.interleaved_home(page),
         }
     }
@@ -193,7 +195,7 @@ impl PageMap {
         if self.topo.gpu_of(sys_home) == gpu {
             return sys_home;
         }
-        let local = (hash64(block.0) % self.topo.gpms_per_gpu() as u64) as u16;
+        let local = self.gpu_split.split(hash64(block.0)).1 as u16;
         let base = self.topo.gpm(gpu, local);
         if !self.is_offline(base) {
             return base;

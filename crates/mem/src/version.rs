@@ -7,7 +7,7 @@
 //! that synchronized readers never observe a version older than the one
 //! the synchronization guarantees.
 
-use std::collections::BTreeMap;
+use hmg_sim::collect::FlatMap;
 
 use crate::addr::LineAddr;
 
@@ -28,7 +28,7 @@ use crate::addr::LineAddr;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct VersionStore {
-    versions: BTreeMap<LineAddr, u64>,
+    versions: FlatMap<LineAddr, u64>,
     stores_committed: u64,
 }
 
@@ -46,7 +46,7 @@ impl VersionStore {
     /// Commits a store to `line`, returning the new version.
     pub fn bump(&mut self, line: LineAddr) -> u64 {
         self.stores_committed += 1;
-        let v = self.versions.entry(line).or_insert(0);
+        let v = self.versions.or_insert(line, 0);
         *v += 1;
         *v
     }

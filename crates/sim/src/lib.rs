@@ -7,7 +7,10 @@
 //! * [`addr`] — byte addresses and the cache-line / directory-block /
 //!   page granularities, shared by every layer above.
 //! * [`Cycle`] — the simulated clock, a newtype over `u64`.
-//! * [`EventQueue`] — a deterministic time-ordered event queue.
+//! * [`EventQueue`] — a deterministic time-ordered calendar event
+//!   queue (with [`ReferenceEventQueue`] as its differential oracle).
+//! * [`collect`] — flat deterministic hot-path collections
+//!   ([`collect::FlatMap`], [`collect::FlatSet`], [`collect::VecPool`]).
 //! * [`rng::Rng`] — a self-contained SplitMix64 PRNG so that every
 //!   experiment is bit-for-bit reproducible from a seed.
 //! * [`stats`] — counters and the small amount of statistics math the
@@ -36,6 +39,7 @@
 //! ```
 
 pub mod addr;
+pub mod collect;
 pub mod error;
 pub mod event;
 pub mod fault;
@@ -46,7 +50,7 @@ pub mod watchdog;
 
 pub use addr::{Addr, BlockAddr, LineAddr, MemGeometry, PageId};
 pub use error::{SimError, SimErrorKind};
-pub use event::EventQueue;
+pub use event::{EventQueue, ReferenceEventQueue};
 pub use fault::{DirFlip, FaultPlan, GpmOffline, GpuOffline, LineFlip, LinkDown, MsgFlip};
 pub use rng::Rng;
 pub use stats::{IntegrityStats, ReconfigStats};

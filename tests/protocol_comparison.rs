@@ -132,6 +132,65 @@ fn whole_suite_runs_at_tiny_scale() {
     }
 }
 
+/// Pre-refactor golden `(state_digest, total_cycles)` for every
+/// protocol configuration on the Fig. 8 tiny cells, recorded from the
+/// seed tree **before** the DES hot-path rewrite (calendar event queue,
+/// flat-map state, dense fabric sequence table) landed. The digest pins
+/// the committed memory state; the cycle count pins the full event
+/// schedule, so even an ordering drift that happens to converge to the
+/// same memory state fails loudly here.
+#[test]
+fn fig8_cells_match_pre_refactor_goldens() {
+    use hmg::experiments::{run_cell, CellCtx};
+    // Cycle counts in `ProtocolKind::ALL` order: no-peer-caching,
+    // sw-nonhier, nhcc, sw-hier, hmg, carve-like, ideal.
+    const GOLDEN: [(&str, u64, [u64; 7]); 4] = [
+        (
+            "RNN_FW",
+            0x68d06f1939e60da5,
+            [7185, 7185, 7188, 7737, 7665, 7172, 7668],
+        ),
+        (
+            "bfs",
+            0xe1d7f3f0ef5b3e4e,
+            [7011, 7011, 5877, 7554, 6060, 5472, 5954],
+        ),
+        (
+            "CoMD",
+            0x072e02bf5e2a01a5,
+            [7209, 7209, 7051, 7764, 7435, 6990, 6362],
+        ),
+        (
+            "lstm",
+            0x68d06f1939e60da5,
+            [7284, 7284, 7287, 7839, 8469, 7232, 7735],
+        ),
+    ];
+    for (workload, digest, cycles) in GOLDEN {
+        for (&p, &golden_cycles) in ProtocolKind::ALL.iter().zip(&cycles) {
+            let ctx = CellCtx {
+                key: format!("{workload}/{}", p.name()),
+                workload: workload.to_string(),
+                protocol: p,
+                tweak: String::new(),
+                scale: Scale::Tiny,
+                seed: 17,
+                faults: None,
+                livelock_budget: None,
+            };
+            let out = run_cell(&ctx).expect("golden cell runs clean");
+            assert_eq!(
+                out.digest, digest,
+                "{workload}/{p}: committed state diverged from the pre-refactor golden"
+            );
+            assert_eq!(
+                out.cycles, golden_cycles,
+                "{workload}/{p}: event schedule drifted from the pre-refactor golden"
+            );
+        }
+    }
+}
+
 /// Golden final-memory-state digest, one cell per protocol. The digest
 /// folds every committed `(line, version)` pair, so it pins two things
 /// at once: the exact memory state this workload/seed must produce

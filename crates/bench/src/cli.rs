@@ -135,7 +135,7 @@ pub struct ParsedArgs {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--budget N] [--inject CLASS] [--root DIR] [--quick] [--out FILE] [--baseline FILE]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--snapshot-dir DIR] [--snapshot-interval N] [--budget N] [--inject CLASS] [--root DIR] [--quick] [--out FILE] [--baseline FILE]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
@@ -223,6 +223,16 @@ sweep supervisor (DESIGN.md \u{a7}11 `Supervised sweeps`):
                        cells in-process (faster startup, panic-safe
                        only — a hung cell cannot be killed)
 
+preemptible cells (DESIGN.md \u{a7}14 `Preemptible cells`):
+  --snapshot-dir DIR   per-cell crash-consistent snapshot stores: each
+                       cell periodically captures its complete live
+                       simulation state, and a crashed/killed/timed-out
+                       cell's retry resumes mid-run from the latest
+                       valid snapshot instead of re-simulating from
+                       cycle zero (bit-identical results either way)
+  --snapshot-interval N  cycles between periodic captures (default
+                       100000; 0 = resume-only)
+
 recovery (DESIGN.md \u{a7}7 `Recovery & degradation`):
   --checkpoint FILE    append per-cell sweep results to FILE as they
                        finish, so an interrupted sweep can be resumed
@@ -308,6 +318,16 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 let v = it.next().ok_or("--isolation needs process|thread")?;
                 options.isolation = Isolation::parse(v)
                     .ok_or_else(|| format!("unknown isolation mode `{v}` (process|thread)"))?;
+            }
+            "--snapshot-dir" => {
+                let v = it.next().ok_or("--snapshot-dir needs a directory")?;
+                options.snapshot_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--snapshot-interval" => {
+                let v = it.next().ok_or("--snapshot-interval needs a cycle count")?;
+                options.snapshot_interval = v
+                    .parse()
+                    .map_err(|e| format!("bad snapshot interval: {e}"))?;
             }
             "--budget" => {
                 let v = it.next().ok_or("--budget needs an engine-run count")?;
@@ -468,6 +488,31 @@ mod tests {
         assert!(parse_args(&s(&["fig8", "--jobs", "many"])).is_err());
         assert!(parse_args(&s(&["fig8", "--cell-timeout"])).is_err());
         assert!(parse_args(&s(&["fig8", "--isolation", "vm"])).is_err());
+    }
+
+    #[test]
+    fn parses_snapshot_flags() {
+        let p = parse_args(&s(&[
+            "fig8",
+            "--snapshot-dir",
+            "/tmp/snaps",
+            "--snapshot-interval",
+            "1234",
+        ]))
+        .unwrap();
+        assert_eq!(
+            p.options.snapshot_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/snaps"))
+        );
+        assert_eq!(p.options.snapshot_interval, 1234);
+        let q = parse_args(&s(&["fig8"])).unwrap();
+        assert_eq!(q.options.snapshot_dir, None, "snapshots are opt-in");
+        assert_eq!(
+            q.options.snapshot_interval,
+            hmg::experiments::DEFAULT_SNAPSHOT_INTERVAL
+        );
+        assert!(parse_args(&s(&["fig8", "--snapshot-dir"])).is_err());
+        assert!(parse_args(&s(&["fig8", "--snapshot-interval", "often"])).is_err());
     }
 
     #[test]

@@ -33,6 +33,11 @@ const TIMING_FIELDS: &[&str] = &[
     "\"peak_rss_kb\"",
     "\"total_wall_s\"",
     "\"total_events_per_sec\"",
+    "\"off_wall_s\"",
+    "\"on_wall_s\"",
+    "\"off_events_per_sec\"",
+    "\"on_events_per_sec\"",
+    "\"overhead_pct\"",
 ];
 
 /// Strips the timing lines, keeping only the deterministic fields.
@@ -84,8 +89,9 @@ fn quick_bench_writes_a_schema_versioned_report() {
         .expect("total_events_per_sec parses back out of the report");
     assert!(eps > 0.0, "non-positive throughput: {eps}");
 
-    // The quick matrix: 2 workloads x 4 protocols.
-    assert_eq!(json.matches("\"workload\"").count(), 8, "{json}");
+    // The quick matrix: 2 workloads x 4 protocols, plus the snapshot
+    // overhead block's own workload field.
+    assert_eq!(json.matches("\"workload\"").count(), 9, "{json}");
     // The console summary advertises where the report went.
     let stdout = String::from_utf8_lossy(&run.stdout);
     assert!(stdout.contains("wrote"), "{stdout}");

@@ -57,7 +57,25 @@ pub struct ExpOptions {
     /// binary per cell (crash/hang-proof), `Thread` runs cells
     /// in-process (panic-safe only).
     pub isolation: Isolation,
+    /// Directory for per-cell crash-consistent snapshot stores. When
+    /// set, every cell periodically captures its complete simulation
+    /// state there, and a crashed/killed/timed-out cell's retry resumes
+    /// from the latest valid snapshot instead of re-simulating from
+    /// cycle zero. `None` disables snapshotting.
+    pub snapshot_dir: Option<std::path::PathBuf>,
+    /// Cycles between periodic snapshot captures when `snapshot_dir` is
+    /// set (0 = resume-only: no periodic capture, but a retry still
+    /// resumes from whatever an earlier attempt left behind).
+    pub snapshot_interval: u64,
 }
+
+/// Default cycles between periodic snapshot captures. A capture costs
+/// roughly serialize + write of the full live state (~10-15 MB at
+/// small scale), so the default trades a few percent of throughput for
+/// losing at most ~100k cycles of progress to a preemption; lower it
+/// for expensive cells on flaky hosts, raise it (or pass 0 for
+/// resume-only) when capture overhead matters more than lost work.
+pub const DEFAULT_SNAPSHOT_INTERVAL: u64 = 100_000;
 
 impl Default for ExpOptions {
     fn default() -> Self {
@@ -74,6 +92,8 @@ impl Default for ExpOptions {
             cell_timeout_secs: None,
             retries: 2,
             isolation: Isolation::Thread,
+            snapshot_dir: None,
+            snapshot_interval: DEFAULT_SNAPSHOT_INTERVAL,
         }
     }
 }
@@ -116,6 +136,10 @@ impl ExpOptions {
 
     /// Builds the cell context for one (workload, protocol) run.
     fn cell(&self, key: String, workload: &str, protocol: ProtocolKind, tweak: &str) -> CellCtx {
+        let snapshot_path = self
+            .snapshot_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.snap", key.replace(['/', ' '], "_"))));
         CellCtx {
             key,
             workload: workload.to_string(),
@@ -125,6 +149,8 @@ impl ExpOptions {
             seed: self.seed,
             faults: self.faults.clone(),
             livelock_budget: self.livelock_budget,
+            snapshot_path,
+            snapshot_interval: self.snapshot_interval,
         }
     }
 }
@@ -242,6 +268,11 @@ pub struct CellCtx {
     pub faults: Option<FaultPlan>,
     /// Livelock-watchdog budget override.
     pub livelock_budget: Option<u64>,
+    /// Base path of this cell's double-buffered snapshot store (`None`
+    /// disables snapshotting).
+    pub snapshot_path: Option<std::path::PathBuf>,
+    /// Cycles between periodic snapshot captures (0 = resume-only).
+    pub snapshot_interval: u64,
 }
 
 /// The result of one completed sweep cell.
@@ -253,6 +284,9 @@ pub struct CellOutcome {
     pub digest: u64,
     /// DES events executed (throughput accounting).
     pub events: u64,
+    /// Cycle this cell resumed from (a snapshot left by an interrupted
+    /// earlier attempt), or `None` for a cold start.
+    pub resumed_from: Option<u64>,
 }
 
 /// Runs one sweep cell from scratch: trace generation, configuration,
@@ -260,6 +294,44 @@ pub struct CellOutcome {
 /// shared by thread-isolated cells and `__run-cell` children, so both
 /// isolation modes produce bit-identical results.
 pub fn run_cell(ctx: &CellCtx) -> Result<CellOutcome, SimError> {
+    run_cell_attempt(ctx, 1, false)
+}
+
+/// Stable identity hash of everything that defines a cell's result,
+/// stamped into its snapshot headers so a snapshot from a different
+/// cell — or the same cell under different semantics — is refused as
+/// stale rather than silently resumed.
+fn snapshot_identity(ctx: &CellCtx) -> u64 {
+    let faults = ctx
+        .faults
+        .as_ref()
+        .map(FaultPlan::to_spec)
+        .unwrap_or_default();
+    let id = format!(
+        "{}|{}|{}|{}|{}|{}|{}|{:?}",
+        ctx.key,
+        ctx.workload,
+        ctx.protocol.name(),
+        ctx.tweak,
+        scale_name(ctx.scale),
+        ctx.seed,
+        faults,
+        ctx.livelock_budget,
+    );
+    crate::runner::fnv1a64(id.as_bytes())
+}
+
+/// [`run_cell`] with the supervisor context it cannot see: the attempt
+/// number and whether this is a `__run-cell` child process. The
+/// [`supervisor::ENV_SNAPSHOT_KILL`] preemption knob only arms on the
+/// first attempt of a process-isolated cell — later attempts must
+/// resume and finish, and an in-process abort would take the whole
+/// sweep down.
+fn run_cell_attempt(
+    ctx: &CellCtx,
+    attempt: u32,
+    process_child: bool,
+) -> Result<CellOutcome, SimError> {
     let spec = by_abbrev(&ctx.workload)
         .ok_or_else(|| SimError::config(format!("unknown workload `{}`", ctx.workload)))?;
     let trace = spec.generate(ctx.scale, ctx.seed);
@@ -273,7 +345,35 @@ pub fn run_cell(ctx: &CellCtx) -> Result<CellOutcome, SimError> {
     apply_tweak(&ctx.tweak, &mut cfg)?;
     crate::runner::scale_capacities(&mut cfg, spec.capacity_factor(ctx.scale));
     crate::runner::arm_watchdog(&mut cfg, &trace, ctx.livelock_budget);
-    let m = crate::runner::run_isolated(cfg, &trace)?;
+    let (m, resumed_from) = match &ctx.snapshot_path {
+        None => (crate::runner::run_isolated(cfg, &trace)?, None),
+        Some(path) => {
+            // Best-effort: a missing store directory degrades to
+            // cold-start-plus-write-errors, never a failed cell.
+            if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let mut policy = hmg_gpu::SnapshotPolicy::periodic(
+                path.clone(),
+                snapshot_identity(ctx),
+                ctx.snapshot_interval,
+            );
+            if process_child && attempt == 1 {
+                policy.kill_at = supervisor::snapshot_kill_cycle(&ctx.key);
+            }
+            let (m, rep) = crate::runner::run_preemptible(cfg, &trace, &policy)?;
+            // Greppable snapshot accounting, mirroring the
+            // `[fail-in-place]`/`[integrity]` contract: silent on
+            // snapshot-free cold runs.
+            for (p, e) in &rep.rejected {
+                println!("[snapshot] cell {} refused {}: {e}", ctx.key, p.display());
+            }
+            if let Some(c) = rep.resumed_from {
+                println!("[snapshot] cell {} resumed from cycle {c}", ctx.key);
+            }
+            (m, rep.resumed_from)
+        }
+    };
     // Per-epoch fail-in-place accounting, greppable from sweep logs
     // (all-zero on fault-free runs, so print nothing).
     if m.reconfig.epochs > 0 {
@@ -297,6 +397,7 @@ pub fn run_cell(ctx: &CellCtx) -> Result<CellOutcome, SimError> {
         cycles: m.total_cycles.as_u64(),
         digest: m.state_digest,
         events: m.events,
+        resumed_from,
     })
 }
 
@@ -340,14 +441,19 @@ pub fn cell_main(args: &[String]) -> i32 {
         }
     };
     supervisor::apply_test_knobs(&ctx.key, attempt);
-    match run_cell(&ctx) {
+    match run_cell_attempt(&ctx, attempt, true) {
         Ok(out) => {
+            let resumed = out
+                .resumed_from
+                .map(|c| format!(" resumed={c}"))
+                .unwrap_or_default();
             println!(
-                "{} ok cycles={} digest={:016x} events={}",
+                "{} ok cycles={} digest={:016x} events={}{}",
                 supervisor::CELL_MARKER,
                 out.cycles,
                 out.digest,
-                out.events
+                out.events,
+                resumed
             );
             0
         }
@@ -372,6 +478,8 @@ fn parse_cell_args(args: &[String]) -> Result<(CellCtx, u32), SimError> {
         seed: 0,
         faults: None,
         livelock_budget: None,
+        snapshot_path: None,
+        snapshot_interval: 0,
     };
     let mut attempt = 1u32;
     let mut i = 0;
@@ -391,6 +499,8 @@ fn parse_cell_args(args: &[String]) -> Result<(CellCtx, u32), SimError> {
             "--attempt" => attempt = value.parse().map_err(|_| bad())?,
             "--faults" => ctx.faults = Some(FaultPlan::parse(value)?),
             "--livelock-budget" => ctx.livelock_budget = Some(value.parse().map_err(|_| bad())?),
+            "--snapshot-path" => ctx.snapshot_path = Some(std::path::PathBuf::from(value)),
+            "--snapshot-interval" => ctx.snapshot_interval = value.parse().map_err(|_| bad())?,
             other => return Err(SimError::config(format!("unknown cell flag `{other}`"))),
         }
         i += 2;
@@ -435,18 +545,26 @@ fn cell_command(ctx: &CellCtx, attempt: u32) -> Result<CellCommand, SimError> {
         args.push("--livelock-budget".into());
         args.push(b.to_string());
     }
+    if let Some(p) = &ctx.snapshot_path {
+        args.push("--snapshot-path".into());
+        args.push(p.display().to_string());
+        args.push("--snapshot-interval".into());
+        args.push(ctx.snapshot_interval.to_string());
+    }
     Ok(CellCommand { exe, args })
 }
 
 /// Parses the `__hmg_cell_v1 ok` marker payload a child printed.
 fn parse_cell_payload(payload: &str) -> Option<CellOutcome> {
     let (mut cycles, mut digest, mut events) = (None, None, None);
+    let mut resumed_from = None;
     for tok in payload.split_whitespace() {
         let (k, v) = tok.split_once('=')?;
         match k {
             "cycles" => cycles = Some(v.parse().ok()?),
             "digest" => digest = Some(u64::from_str_radix(v, 16).ok()?),
             "events" => events = Some(v.parse().ok()?),
+            "resumed" => resumed_from = Some(v.parse().ok()?),
             _ => return None,
         }
     }
@@ -454,6 +572,7 @@ fn parse_cell_payload(payload: &str) -> Option<CellOutcome> {
         cycles: cycles?,
         digest: digest?,
         events: events?,
+        resumed_from,
     })
 }
 
@@ -463,7 +582,7 @@ fn parse_cell_payload(payload: &str) -> Option<CellOutcome> {
 fn thread_attempt(cell: &CellCtx, attempt_no: u32) -> Attempt<CellOutcome> {
     let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         supervisor::apply_test_knobs(&cell.key, attempt_no);
-        run_cell(cell)
+        run_cell_attempt(cell, attempt_no, false)
     }));
     match r {
         Ok(Ok(out)) => Attempt::Ok(out),
@@ -526,6 +645,7 @@ fn run_cells(
                         cycles: rec.cycles,
                         digest: rec.digest,
                         events: 0,
+                        resumed_from: None,
                     },
                 })
         })
@@ -538,6 +658,7 @@ fn run_cells(
         .map(|(c, _)| c.clone())
         .collect();
     let sup = opts.supervisor_config();
+    let resumed_cells = std::sync::atomic::AtomicU64::new(0);
     let report = supervisor::supervise(
         &pending,
         |c: &CellCtx| c.key.clone(),
@@ -553,6 +674,9 @@ fn run_cells(
             match &a {
                 Attempt::Ok(out) => {
                     supervisor::tally_events(out.events);
+                    if out.resumed_from.is_some() {
+                        resumed_cells.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
                     if let Some(k) = ckpt {
                         k.record_ok(&cell.key, out.cycles, out.digest);
                     }
@@ -571,6 +695,10 @@ fn run_cells(
         "{}",
         report.summary_line(reused, ckpt.map_or(0, |c| c.stale_rows()))
     );
+    let resumed = resumed_cells.load(std::sync::atomic::Ordering::Relaxed);
+    if resumed > 0 {
+        println!("[snapshot] resumed_cells={resumed}");
+    }
     let mut live = report.cells.into_iter();
     for slot in merged.iter_mut() {
         if slot.is_some() {

@@ -1,7 +1,7 @@
 //! Runs workload traces through engine configurations, with the
 //! scale-appropriate Table II machine and per-experiment overrides.
 
-use hmg_gpu::{Engine, EngineConfig, RunMetrics};
+use hmg_gpu::{Engine, EngineConfig, RunMetrics, SnapshotPolicy, SnapshotReport};
 use hmg_protocol::{ProtocolKind, TraceOp, WorkloadTrace};
 use hmg_sim::SimError;
 use hmg_workloads::Scale;
@@ -96,6 +96,31 @@ impl Runner {
 pub fn run_isolated(cfg: EngineConfig, trace: &WorkloadTrace) -> Result<RunMetrics, SimError> {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         Engine::try_new(cfg)?.try_run(trace)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("engine panicked (non-string payload)");
+            Err(SimError::protocol(format!("engine panicked: {msg}")))
+        }
+    }
+}
+
+/// [`run_isolated`] for preemptible cells: resumes from the most
+/// recent valid snapshot in `policy.path` (if any), captures new
+/// snapshots as the policy directs, and contains residual panics the
+/// same way. A resumed run is bit-identical to an uninterrupted one.
+pub fn run_preemptible(
+    cfg: EngineConfig,
+    trace: &WorkloadTrace,
+    policy: &SnapshotPolicy,
+) -> Result<(RunMetrics, SnapshotReport), SimError> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::try_new(cfg)?.try_run_preemptible(trace, policy)
     }));
     match result {
         Ok(r) => r,

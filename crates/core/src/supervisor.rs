@@ -553,6 +553,28 @@ pub const ENV_CELL_CRASH: &str = "HMG_CELL_CRASH";
 /// killed).
 pub const ENV_CELL_HANG: &str = "HMG_CELL_HANG";
 
+/// Environment knob: `HMG_SNAPSHOT_KILL_AT=<key-substring>@<cycle>`
+/// makes the *first* attempt of a matching snapshot-armed cell abort
+/// its process — no unwinding, no destructors, a faithful SIGKILL
+/// stand-in — at the first event boundary at or past `<cycle>`, after
+/// any snapshot due at that boundary has been written. Later attempts
+/// run unkilled, so the supervisor's retry exercises the resume path.
+/// Only meaningful under process isolation (an in-process abort would
+/// take the whole sweep down).
+pub const ENV_SNAPSHOT_KILL: &str = "HMG_SNAPSHOT_KILL_AT";
+
+/// Parses [`ENV_SNAPSHOT_KILL`] for `key`: the abort cycle, if the
+/// knob is set and matches.
+pub fn snapshot_kill_cycle(key: &str) -> Option<u64> {
+    let spec = std::env::var(ENV_SNAPSHOT_KILL).ok()?;
+    let (pat, cycle) = spec.rsplit_once('@')?;
+    if !pat.is_empty() && key.contains(pat) {
+        cycle.parse().ok()
+    } else {
+        None
+    }
+}
+
 /// Best-effort stringification of a caught panic payload, for turning
 /// an in-process (thread-isolated) panic into a `Crashed` message.
 pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {

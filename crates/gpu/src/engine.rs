@@ -31,7 +31,10 @@ use hmg_protocol::{
     AccessKind, DirEvent, DirState, Observed, ProtocolKind, Scope, TraceOp, WorkloadTrace,
 };
 use hmg_sim::collect::{FlatMap, VecPool};
-use hmg_sim::{Cycle, EventQueue, ProgressWatchdog, Rng, SimError};
+use hmg_sim::{
+    Cycle, EventQueue, ProgressWatchdog, Rng, SimError, SnapError, SnapReader, SnapWriter,
+    Snapshot, SnapshotRead, SnapshotStore, SnapshotWrite,
+};
 
 use crate::config::{EccMode, EngineConfig};
 use crate::metrics::RunMetrics;
@@ -381,6 +384,16 @@ struct Sim<'t> {
     /// First fatal protocol violation observed inside a handler; the
     /// main loop aborts with it at the next event boundary.
     fatal: Option<SimError>,
+    /// Whether this run continues from a restored snapshot (skips the
+    /// initial event seeding — the restored queue already carries it).
+    resumed: bool,
+    /// Next cycle at which the snapshot machinery has work to do
+    /// (`u64::MAX` when disarmed). The run loop pays exactly one u64
+    /// compare per event for it; everything else lives behind
+    /// [`Sim::snapshot_tick`].
+    snap_next: u64,
+    /// Snapshot policy state, boxed off the hot path.
+    snap: Option<Box<SnapCtl>>,
     m: RunMetrics,
 }
 
@@ -463,6 +476,9 @@ impl<'t> Sim<'t> {
             reconfigured: false,
             watchdog: ProgressWatchdog::new(cfg.livelock_budget),
             fatal: None,
+            resumed: false,
+            snap_next: u64::MAX,
+            snap: None,
             m: RunMetrics::default(),
         }
     }
@@ -549,9 +565,11 @@ impl<'t> Sim<'t> {
             self.m.total_cycles = Cycle::ZERO;
             return Ok(std::mem::take(&mut self.m));
         }
-        self.q.push(Cycle::ZERO, Ev::KernelStart(0));
-        if self.flip_rng.is_some() {
-            self.q.push(self.cfg.scrub_interval, Ev::Scrub);
+        if !self.resumed {
+            self.q.push(Cycle::ZERO, Ev::KernelStart(0));
+            if self.flip_rng.is_some() {
+                self.q.push(self.cfg.scrub_interval, Ev::Scrub);
+            }
         }
         while let Some((now, ev)) = self.q.pop() {
             // Activate pending permanent faults at the event boundary —
@@ -593,6 +611,13 @@ impl<'t> Sim<'t> {
             }
             if self.finished {
                 break;
+            }
+            // Snapshot machinery: one u64 compare on the hot path; the
+            // cold tick handles periodic/one-shot captures and the
+            // test-only kill hook. Placed after the fatal/finished
+            // checks so terminal states are never captured.
+            if now.0 >= self.snap_next {
+                self.snapshot_tick(now);
             }
         }
         if !self.finished {
@@ -3139,6 +3164,868 @@ impl<'t> Sim<'t> {
     }
 }
 
+// ---------- snapshot / restore ----------
+//
+// A snapshot captures the complete deterministic state of a `Sim` at an
+// event boundary: the event queue (with its far list), the fabric (link
+// clocks, sequence numbers, fault RNG streams, liveness epochs), all
+// memory-system state (caches, directories, DRAM ports, page homes,
+// committed versions, latent soft errors), scheduler state (fences,
+// flags, MSHRs, CTA queues), every RNG stream, the fault-plan cursor,
+// and the accumulated `RunMetrics`. The borrowed `cfg`/`trace` and the
+// allocation pools are rebuilt, not serialized; `fatal` and `finished`
+// are structurally `None`/`false` at every snapshot point because the
+// run-loop hook sits after both checks.
+//
+// Restore is refusal-based: any shape that disagrees with the live
+// configuration (wrong cache geometry, out-of-range GPM/SM/CTA/fence
+// index, mis-armed RNG stream) yields a typed `SnapError` and leaves
+// the caller free to fall back to an older snapshot or a cold start.
+
+impl SnapshotWrite for FlipSeverity {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            FlipSeverity::Correctable => 0,
+            FlipSeverity::Uncorrectable => 1,
+        });
+    }
+}
+
+impl SnapshotRead for FlipSeverity {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(FlipSeverity::Correctable),
+            1 => Ok(FlipSeverity::Uncorrectable),
+            b => Err(SnapError::Malformed(format!("flip-severity tag {b}"))),
+        }
+    }
+}
+
+impl SnapshotWrite for L2Line {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        w.put_u64(self.version);
+        self.dirty.write_snap(w);
+    }
+}
+
+impl SnapshotRead for L2Line {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(L2Line {
+            version: r.get_u64()?,
+            dirty: bool::read_snap(r)?,
+        })
+    }
+}
+
+impl SnapshotWrite for SmRef {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.gpm.write_snap(w);
+        w.put_u16(self.sm);
+    }
+}
+
+impl SnapshotRead for SmRef {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(SmRef {
+            gpm: GpmId::read_snap(r)?,
+            sm: r.get_u16()?,
+        })
+    }
+}
+
+impl SnapshotWrite for SmState {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        match self {
+            SmState::Runnable => w.put_u8(0),
+            SmState::StalledMem => w.put_u8(1),
+            SmState::FenceWait => w.put_u8(2),
+            SmState::FlagWait(f) => {
+                w.put_u8(3);
+                w.put_u32(*f);
+            }
+            SmState::Idle => w.put_u8(4),
+        }
+    }
+}
+
+impl SnapshotRead for SmState {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(SmState::Runnable),
+            1 => Ok(SmState::StalledMem),
+            2 => Ok(SmState::FenceWait),
+            3 => Ok(SmState::FlagWait(r.get_u32()?)),
+            4 => Ok(SmState::Idle),
+            b => Err(SnapError::Malformed(format!("sm-state tag {b}"))),
+        }
+    }
+}
+
+impl SnapshotWrite for Sm {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.l1.write_snap(w);
+        self.cta.write_snap(w);
+        self.pc.write_snap(w);
+        w.put_u32(self.outstanding);
+        self.state.write_snap(w);
+    }
+}
+
+impl SnapshotRead for Sm {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Sm {
+            l1: Cache::read_snap(r)?,
+            cta: Option::read_snap(r)?,
+            pc: usize::read_snap(r)?,
+            outstanding: r.get_u32()?,
+            state: SmState::read_snap(r)?,
+        })
+    }
+}
+
+impl SnapshotWrite for CarveClass {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        match self {
+            CarveClass::Private(g) => {
+                w.put_u8(0);
+                g.write_snap(w);
+            }
+            CarveClass::ReadOnly => w.put_u8(1),
+            CarveClass::ReadWrite => w.put_u8(2),
+        }
+    }
+}
+
+impl SnapshotRead for CarveClass {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(CarveClass::Private(GpmId::read_snap(r)?)),
+            1 => Ok(CarveClass::ReadOnly),
+            2 => Ok(CarveClass::ReadWrite),
+            b => Err(SnapError::Malformed(format!("carve-class tag {b}"))),
+        }
+    }
+}
+
+impl SnapshotWrite for Gpm {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.l2.write_snap(w);
+        self.dir.write_snap(w);
+        self.dram.write_snap(w);
+        w.put_u64(self.st_pending_gpu);
+        w.put_u64(self.st_pending_sys);
+        w.put_u64(self.inv_pending_gpu);
+        w.put_u64(self.inv_pending_sys);
+        self.cta_queue.write_snap(w);
+        self.carve.write_snap(w);
+        self.inv_floor.write_snap(w);
+    }
+}
+
+impl SnapshotRead for Gpm {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Gpm {
+            l2: Cache::read_snap(r)?,
+            dir: Directory::read_snap(r)?,
+            dram: Dram::read_snap(r)?,
+            st_pending_gpu: r.get_u64()?,
+            st_pending_sys: r.get_u64()?,
+            inv_pending_gpu: r.get_u64()?,
+            inv_pending_sys: r.get_u64()?,
+            cta_queue: VecDeque::read_snap(r)?,
+            carve: FlatMap::read_snap(r)?,
+            inv_floor: FlatMap::read_snap(r)?,
+        })
+    }
+}
+
+impl SnapshotWrite for MemMsg {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.sm.write_snap(w);
+        self.line.write_snap(w);
+        self.kind.write_snap(w);
+        self.scope.write_snap(w);
+        w.put_u64(self.version);
+        self.issued_at.write_snap(w);
+        w.put_u8(self.attempts);
+        self.poisoned.write_snap(w);
+    }
+}
+
+impl SnapshotRead for MemMsg {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(MemMsg {
+            sm: SmRef::read_snap(r)?,
+            line: LineAddr::read_snap(r)?,
+            kind: AccessKind::read_snap(r)?,
+            scope: Scope::read_snap(r)?,
+            version: r.get_u64()?,
+            issued_at: Cycle::read_snap(r)?,
+            attempts: r.get_u8()?,
+            poisoned: bool::read_snap(r)?,
+        })
+    }
+}
+
+impl SnapshotWrite for StoreMsg {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.origin.write_snap(w);
+        self.line.write_snap(w);
+        w.put_u64(self.version);
+        self.gpu_ordered.write_snap(w);
+        self.duplicate.write_snap(w);
+    }
+}
+
+impl SnapshotRead for StoreMsg {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(StoreMsg {
+            origin: GpmId::read_snap(r)?,
+            line: LineAddr::read_snap(r)?,
+            version: r.get_u64()?,
+            gpu_ordered: bool::read_snap(r)?,
+            duplicate: bool::read_snap(r)?,
+        })
+    }
+}
+
+impl SnapshotWrite for InvCause {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        w.put_u8(match self {
+            InvCause::Store => 0,
+            InvCause::Eviction => 1,
+        });
+    }
+}
+
+impl SnapshotRead for InvCause {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(InvCause::Store),
+            1 => Ok(InvCause::Eviction),
+            b => Err(SnapError::Malformed(format!("inv-cause tag {b}"))),
+        }
+    }
+}
+
+impl SnapshotWrite for InvMsg {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.block.write_snap(w);
+        self.cause.write_snap(w);
+        self.causer.write_snap(w);
+        self.counted.write_snap(w);
+        self.from_sys.write_snap(w);
+        self.target.write_snap(w);
+        w.put_u64(self.version);
+    }
+}
+
+impl SnapshotRead for InvMsg {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(InvMsg {
+            block: BlockAddr::read_snap(r)?,
+            cause: InvCause::read_snap(r)?,
+            causer: GpmId::read_snap(r)?,
+            counted: bool::read_snap(r)?,
+            from_sys: bool::read_snap(r)?,
+            target: GpmId::read_snap(r)?,
+            version: r.get_u64()?,
+        })
+    }
+}
+
+impl SnapshotWrite for Fence {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        self.gpm.write_snap(w);
+        self.scope.write_snap(w);
+        self.sm.write_snap(w);
+        self.acks_done.write_snap(w);
+        self.completed.write_snap(w);
+    }
+}
+
+impl SnapshotRead for Fence {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Fence {
+            gpm: GpmId::read_snap(r)?,
+            scope: Scope::read_snap(r)?,
+            sm: Option::read_snap(r)?,
+            acks_done: bool::read_snap(r)?,
+            completed: bool::read_snap(r)?,
+        })
+    }
+}
+
+impl SnapshotWrite for Ev {
+    fn write_snap(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::SmResume(r) => {
+                w.put_u8(0);
+                r.write_snap(w);
+            }
+            Ev::Req { msg, node } => {
+                w.put_u8(1);
+                msg.write_snap(w);
+                node.write_snap(w);
+            }
+            Ev::Store { msg, node } => {
+                w.put_u8(2);
+                msg.write_snap(w);
+                node.write_snap(w);
+            }
+            Ev::RespGpuHome { msg, node } => {
+                w.put_u8(3);
+                msg.write_snap(w);
+                node.write_snap(w);
+            }
+            Ev::Resp { msg } => {
+                w.put_u8(4);
+                msg.write_snap(w);
+            }
+            Ev::Inv(inv) => {
+                w.put_u8(5);
+                inv.write_snap(w);
+            }
+            Ev::Downgrade {
+                block,
+                target,
+                evictor,
+            } => {
+                w.put_u8(6);
+                block.write_snap(w);
+                target.write_snap(w);
+                evictor.write_snap(w);
+            }
+            Ev::FenceAcks(id) => {
+                w.put_u8(7);
+                id.write_snap(w);
+            }
+            Ev::KernelStart(k) => {
+                w.put_u8(8);
+                k.write_snap(w);
+            }
+            Ev::Scrub => w.put_u8(9),
+        }
+    }
+}
+
+impl SnapshotRead for Ev {
+    fn read_snap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Ev::SmResume(SmRef::read_snap(r)?)),
+            1 => Ok(Ev::Req {
+                msg: MemMsg::read_snap(r)?,
+                node: GpmId::read_snap(r)?,
+            }),
+            2 => Ok(Ev::Store {
+                msg: StoreMsg::read_snap(r)?,
+                node: GpmId::read_snap(r)?,
+            }),
+            3 => Ok(Ev::RespGpuHome {
+                msg: MemMsg::read_snap(r)?,
+                node: GpmId::read_snap(r)?,
+            }),
+            4 => Ok(Ev::Resp {
+                msg: MemMsg::read_snap(r)?,
+            }),
+            5 => Ok(Ev::Inv(InvMsg::read_snap(r)?)),
+            6 => Ok(Ev::Downgrade {
+                block: BlockAddr::read_snap(r)?,
+                target: GpmId::read_snap(r)?,
+                evictor: GpmId::read_snap(r)?,
+            }),
+            7 => Ok(Ev::FenceAcks(usize::read_snap(r)?)),
+            8 => Ok(Ev::KernelStart(usize::read_snap(r)?)),
+            9 => Ok(Ev::Scrub),
+            b => Err(SnapError::Malformed(format!("event tag {b}"))),
+        }
+    }
+}
+
+/// How a preemptible run captures and resumes snapshots.
+///
+/// Passed to [`Engine::try_run_preemptible`]. The store at `path` keeps
+/// the last two snapshots double-buffered (`<path>.a` / `<path>.b`);
+/// `identity` must be a stable hash of everything that defines the
+/// cell (workload, protocol, scale, seed, fault plan) so a snapshot
+/// from a different cell is refused rather than silently resumed.
+#[derive(Debug, Clone)]
+pub struct SnapshotPolicy {
+    /// Base path of the double-buffered snapshot store.
+    pub path: std::path::PathBuf,
+    /// Identity hash of the producing cell; snapshots whose header
+    /// carries a different identity are refused as stale.
+    pub identity: u64,
+    /// Cycles between periodic snapshots (0 disables periodic capture).
+    pub interval: u64,
+    /// Extra one-shot capture points: a snapshot is taken at the first
+    /// event boundary at or past each cycle. Used by the kill-matrix
+    /// tests to pin captures at arbitrary mid-run points.
+    pub snap_at: Vec<u64>,
+    /// Test hook: abort the process (no unwinding, no cleanup) at the
+    /// first event boundary at or past this cycle, after any snapshot
+    /// due at that boundary has been written. Simulates preemption.
+    pub kill_at: Option<u64>,
+}
+
+impl SnapshotPolicy {
+    /// Periodic capture every `interval` cycles into `path`.
+    pub fn periodic(path: impl Into<std::path::PathBuf>, identity: u64, interval: u64) -> Self {
+        SnapshotPolicy {
+            path: path.into(),
+            identity,
+            interval,
+            snap_at: Vec::new(),
+            kill_at: None,
+        }
+    }
+}
+
+/// What the snapshot machinery did during one preemptible run.
+#[derive(Debug, Default)]
+pub struct SnapshotReport {
+    /// Cycle of the snapshot the run resumed from, or `None` for a
+    /// cold start.
+    pub resumed_from: Option<u64>,
+    /// Snapshots written during this run.
+    pub written: u64,
+    /// Snapshot writes that failed (the run continues regardless; a
+    /// snapshot is an optimization, never a correctness dependency).
+    pub write_errors: u64,
+    /// Candidate snapshots refused during resume, newest first, with
+    /// the typed reason for each refusal.
+    pub rejected: Vec<(std::path::PathBuf, SnapError)>,
+}
+
+/// Cold-path snapshot state, boxed off the `Sim` hot path.
+struct SnapCtl {
+    store: SnapshotStore,
+    identity: u64,
+    interval: u64,
+    /// Next periodic capture cycle (`u64::MAX` when periodic capture
+    /// is off).
+    periodic_next: u64,
+    /// One-shot capture cycles, ascending.
+    snap_at: Vec<u64>,
+    at_idx: usize,
+    kill_at: Option<u64>,
+    written: u64,
+    write_errors: u64,
+}
+
+impl SnapCtl {
+    /// Earliest cycle at which the tick has any work.
+    fn next_trigger(&self) -> u64 {
+        let mut n = self.periodic_next;
+        if let Some(&a) = self.snap_at.get(self.at_idx) {
+            n = n.min(a);
+        }
+        if let Some(k) = self.kill_at {
+            n = n.min(k);
+        }
+        n
+    }
+}
+
+impl Engine {
+    /// Like [`Engine::try_run`], but resumes from the most recent valid
+    /// snapshot in `policy.path` (if any) and captures new snapshots as
+    /// the policy directs.
+    ///
+    /// Resume walks a fallback ladder: candidate snapshots are tried
+    /// newest-first, and any refusal — truncation, checksum mismatch,
+    /// version or identity mismatch, or a shape that disagrees with
+    /// this engine's configuration — drops to the next rung, ending at
+    /// a cold start from cycle zero. Refusals are reported, never
+    /// panicked on. A resumed run is bit-identical to an uninterrupted
+    /// one: same `state_digest`, same `RunMetrics`.
+    pub fn try_run_preemptible(
+        &self,
+        trace: &WorkloadTrace,
+        policy: &SnapshotPolicy,
+    ) -> Result<(RunMetrics, SnapshotReport), SimError> {
+        let store = SnapshotStore::new(&policy.path);
+        let mut report = SnapshotReport::default();
+        // Every existing slot is a candidate; files whose header does
+        // not even probe (bad magic, wrong version, truncated header)
+        // sort last and surface their typed refusal through the load
+        // below rather than vanishing silently.
+        let mut cands: Vec<(u64, std::path::PathBuf)> = store
+            .slots()
+            .into_iter()
+            .filter(|p| p.exists())
+            .map(|p| (Snapshot::probe(&p).map_or(0, |(_, cycle)| cycle), p))
+            .collect();
+        cands.sort_by_key(|c| std::cmp::Reverse(c.0));
+        let mut sim = Sim::new(&self.cfg, trace);
+        for (cycle, path) in cands {
+            let attempt = Snapshot::load(&path, Some(policy.identity)).and_then(|s| {
+                let mut cand = Sim::new(&self.cfg, trace);
+                cand.restore_snapshot(&s)?;
+                Ok(cand)
+            });
+            match attempt {
+                Ok(restored) => {
+                    report.resumed_from = Some(cycle);
+                    sim = restored;
+                    break;
+                }
+                Err(e) => report.rejected.push((path, e)),
+            }
+        }
+        sim.arm_snapshots(store, policy);
+        let run = sim.run();
+        if let Some(ctl) = sim.snap.take() {
+            report.written = ctl.written;
+            report.write_errors = ctl.write_errors;
+        }
+        run.map(|m| (m, report))
+    }
+}
+
+impl<'t> Sim<'t> {
+    /// Installs the snapshot policy on a (possibly restored) sim.
+    fn arm_snapshots(&mut self, store: SnapshotStore, policy: &SnapshotPolicy) {
+        let mut snap_at = policy.snap_at.clone();
+        snap_at.sort_unstable();
+        snap_at.dedup();
+        let base = self.q.now().0;
+        // Capture points at or before the resume cycle were already
+        // taken by the interrupted attempt.
+        let at_idx = snap_at.partition_point(|&c| c <= base);
+        let ctl = SnapCtl {
+            store,
+            identity: policy.identity,
+            interval: policy.interval,
+            periodic_next: if policy.interval == 0 {
+                u64::MAX
+            } else {
+                base.saturating_add(policy.interval)
+            },
+            snap_at,
+            at_idx,
+            kill_at: policy.kill_at,
+            written: 0,
+            write_errors: 0,
+        };
+        self.snap_next = ctl.next_trigger();
+        self.snap = Some(Box::new(ctl));
+    }
+
+    /// Cold half of the snapshot hook: takes due captures, honors the
+    /// test-only kill hook, and re-arms `snap_next`.
+    #[inline(never)]
+    fn snapshot_tick(&mut self, now: Cycle) {
+        let Some(mut ctl) = self.snap.take() else {
+            self.snap_next = u64::MAX;
+            return;
+        };
+        let mut due = false;
+        if now.0 >= ctl.periodic_next {
+            due = true;
+            ctl.periodic_next = now.0.saturating_add(ctl.interval.max(1));
+        }
+        while ctl.at_idx < ctl.snap_at.len() && ctl.snap_at[ctl.at_idx] <= now.0 {
+            due = true;
+            ctl.at_idx += 1;
+        }
+        if due {
+            let snap = self.write_snapshot(ctl.identity);
+            match ctl.store.save(&snap) {
+                Ok(_) => ctl.written += 1,
+                // A failed write never aborts the run: the store still
+                // holds the previous snapshot, and losing a capture
+                // only costs resume granularity.
+                Err(_) => ctl.write_errors += 1,
+            }
+        }
+        if ctl.kill_at.is_some_and(|k| now.0 >= k) {
+            // Simulated preemption: no unwinding, no destructors, no
+            // flushing — exactly what SIGKILL leaves behind.
+            std::process::abort();
+        }
+        self.snap_next = ctl.next_trigger();
+        self.snap = Some(ctl);
+    }
+
+    /// Serializes the complete simulation state at the current event
+    /// boundary. Read-only: taking a snapshot must not perturb the run,
+    /// or resumed and uninterrupted runs would diverge.
+    fn write_snapshot(&self, identity: u64) -> Snapshot {
+        let now = self.q.now();
+        let mut snap = Snapshot::new(identity, now.0);
+
+        let mut w = SnapWriter::new();
+        self.q.write_snap(&mut w);
+        snap.add_section("queue", w);
+
+        let mut w = SnapWriter::new();
+        self.fabric.write_snap(&mut w);
+        snap.add_section("fabric", w);
+
+        let mut w = SnapWriter::new();
+        self.pages.write_snap(&mut w);
+        self.versions.write_snap(&mut w);
+        self.committed.write_snap(&mut w);
+        self.touch_map.write_snap(&mut w);
+        self.line_faults.write_snap(&mut w);
+        snap.add_section("memory", w);
+
+        let mut w = SnapWriter::new();
+        self.gpms.write_snap(&mut w);
+        snap.add_section("gpms", w);
+
+        let mut w = SnapWriter::new();
+        self.sms.write_snap(&mut w);
+        snap.add_section("sms", w);
+
+        let mut w = SnapWriter::new();
+        self.fences.write_snap(&mut w);
+        self.active_fences.write_snap(&mut w);
+        self.flags.write_snap(&mut w);
+        self.flag_waiters.write_snap(&mut w);
+        self.mshr.write_snap(&mut w);
+        self.kernel.write_snap(&mut w);
+        w.put_u64(self.ctas_unfinished);
+        w.put_u64(self.loads_inflight);
+        w.put_u32(self.kernel_fences_left);
+        self.draining.write_snap(&mut w);
+        self.rng.write_snap(&mut w);
+        self.flip_rng.write_snap(&mut w);
+        w.put_u64(self.store_seq);
+        w.put_u64(self.inv_seq);
+        self.perm_next.write_snap(&mut w);
+        w.put_u64(self.dead_gpms);
+        self.reconfigured.write_snap(&mut w);
+        self.watchdog.write_snap(&mut w);
+        snap.add_section("sched", w);
+
+        let mut w = SnapWriter::new();
+        self.m.write_snap(&mut w);
+        snap.add_section("metrics", w);
+
+        snap
+    }
+
+    /// Refuses a section with trailing bytes (a length-smuggling or
+    /// layout-drift symptom the per-field reads cannot see).
+    fn check_exhausted(r: &SnapReader<'_>, name: &str) -> Result<(), SnapError> {
+        if r.is_exhausted() {
+            Ok(())
+        } else {
+            Err(SnapError::Malformed(format!(
+                "section '{name}' has {} trailing bytes",
+                r.remaining()
+            )))
+        }
+    }
+
+    /// Overwrites this freshly constructed sim's state from `snap`.
+    ///
+    /// On any refusal the sim is in an unspecified partial state and
+    /// must be discarded; [`Engine::try_run_preemptible`] constructs a
+    /// fresh `Sim` per ladder rung for exactly that reason.
+    fn restore_snapshot(&mut self, snap: &Snapshot) -> Result<(), SnapError> {
+        let mut r = snap.section("queue")?;
+        let q: EventQueue<Ev> = EventQueue::read_snap(&mut r)?;
+        Self::check_exhausted(&r, "queue")?;
+        if q.now().0 != snap.cycle {
+            return Err(SnapError::Malformed(format!(
+                "header cycle {} disagrees with queue position {}",
+                snap.cycle,
+                q.now()
+            )));
+        }
+        self.q = q;
+
+        let mut r = snap.section("fabric")?;
+        self.fabric.restore_snap_state(&mut r)?;
+        Self::check_exhausted(&r, "fabric")?;
+
+        let mut r = snap.section("memory")?;
+        self.pages = PageMap::read_snap(&mut r)?;
+        self.versions = VersionStore::read_snap(&mut r)?;
+        self.committed = FlatMap::read_snap(&mut r)?;
+        self.touch_map = FlatMap::read_snap(&mut r)?;
+        self.line_faults = FlatMap::read_snap(&mut r)?;
+        Self::check_exhausted(&r, "memory")?;
+
+        let mut r = snap.section("gpms")?;
+        self.gpms = Vec::read_snap(&mut r)?;
+        Self::check_exhausted(&r, "gpms")?;
+
+        let mut r = snap.section("sms")?;
+        self.sms = Vec::read_snap(&mut r)?;
+        Self::check_exhausted(&r, "sms")?;
+
+        let mut r = snap.section("sched")?;
+        self.fences = Vec::read_snap(&mut r)?;
+        self.active_fences = Vec::read_snap(&mut r)?;
+        self.flags = FlatMap::read_snap(&mut r)?;
+        self.flag_waiters = FlatMap::read_snap(&mut r)?;
+        self.mshr = FlatMap::read_snap(&mut r)?;
+        self.kernel = usize::read_snap(&mut r)?;
+        self.ctas_unfinished = r.get_u64()?;
+        self.loads_inflight = r.get_u64()?;
+        self.kernel_fences_left = r.get_u32()?;
+        self.draining = bool::read_snap(&mut r)?;
+        self.rng = Rng::read_snap(&mut r)?;
+        self.flip_rng = Option::read_snap(&mut r)?;
+        self.store_seq = r.get_u64()?;
+        self.inv_seq = r.get_u64()?;
+        self.perm_next = usize::read_snap(&mut r)?;
+        self.dead_gpms = r.get_u64()?;
+        self.reconfigured = bool::read_snap(&mut r)?;
+        self.watchdog = ProgressWatchdog::read_snap(&mut r)?;
+        Self::check_exhausted(&r, "sched")?;
+
+        let mut r = snap.section("metrics")?;
+        self.m = RunMetrics::read_snap(&mut r)?;
+        Self::check_exhausted(&r, "metrics")?;
+
+        self.validate_restored()?;
+        self.resumed = true;
+        Ok(())
+    }
+
+    /// Cross-field validation of restored state against the live
+    /// configuration and trace: everything the engine later uses as an
+    /// unchecked index must be proven in range here, so a refused
+    /// snapshot can never become a panic mid-run.
+    fn validate_restored(&self) -> Result<(), SnapError> {
+        let bad = |what: String| Err(SnapError::Malformed(what));
+        let topo = self.cfg.topo;
+        let n_gpms = topo.num_gpms() as usize;
+        let sms_per_gpm = self.cfg.sms_per_gpm;
+        if self.gpms.len() != n_gpms {
+            return bad(format!(
+                "{} GPMs in snapshot, topology has {n_gpms}",
+                self.gpms.len()
+            ));
+        }
+        if self.sms.len() != self.cfg.total_sms() as usize {
+            return bad(format!(
+                "{} SMs in snapshot, configuration has {}",
+                self.sms.len(),
+                self.cfg.total_sms()
+            ));
+        }
+        for (i, g) in self.gpms.iter().enumerate() {
+            if g.l2.config() != self.cfg.l2 {
+                return bad(format!("gpm{i} L2 geometry differs from configuration"));
+            }
+            if g.dir.config() != self.cfg.dir {
+                return bad(format!(
+                    "gpm{i} directory geometry differs from configuration"
+                ));
+            }
+        }
+        for (i, s) in self.sms.iter().enumerate() {
+            if s.l1.config() != self.cfg.l1 {
+                return bad(format!("sm{i} L1 geometry differs from configuration"));
+            }
+        }
+        if self.kernel >= self.trace.num_kernels() {
+            return bad(format!(
+                "kernel index {} out of range ({} kernels)",
+                self.kernel,
+                self.trace.num_kernels()
+            ));
+        }
+        let n_ctas = self.trace.kernels[self.kernel].num_ctas();
+        for (i, s) in self.sms.iter().enumerate() {
+            if let Some(c) = s.cta {
+                if c >= n_ctas {
+                    return bad(format!("sm{i} runs CTA {c}, kernel has {n_ctas}"));
+                }
+            }
+        }
+        let sm_ok = |r: SmRef| r.gpm.index() < n_gpms && r.sm < sms_per_gpm;
+        for (i, g) in self.gpms.iter().enumerate() {
+            for &c in &g.cta_queue {
+                if c >= n_ctas {
+                    return bad(format!("gpm{i} queues CTA {c}, kernel has {n_ctas}"));
+                }
+            }
+        }
+        for f in &self.fences {
+            if f.gpm.index() >= n_gpms || f.sm.is_some_and(|r| !sm_ok(r)) {
+                return bad("fence names an out-of-range GPM or SM".into());
+            }
+        }
+        for &i in &self.active_fences {
+            if i >= self.fences.len() {
+                return bad(format!(
+                    "active fence {i} out of range ({} fences)",
+                    self.fences.len()
+                ));
+            }
+        }
+        for (&(node, _), waiters) in self.mshr.iter() {
+            if node as usize >= n_gpms || waiters.iter().any(|m| !sm_ok(m.sm)) {
+                return bad("MSHR entry names an out-of-range GPM or SM".into());
+            }
+        }
+        for (_, waiters) in self.flag_waiters.iter() {
+            if waiters.iter().any(|&r| !sm_ok(r)) {
+                return bad("flag waiter names an out-of-range SM".into());
+            }
+        }
+        for (&(node, _), _) in self.line_faults.iter() {
+            if node as usize >= n_gpms {
+                return bad(format!("latent fault on out-of-range gpm{node}"));
+            }
+        }
+        if self.perm_next > self.perm_faults.len() {
+            return bad(format!(
+                "fault cursor {} past plan length {}",
+                self.perm_next,
+                self.perm_faults.len()
+            ));
+        }
+        if n_gpms < 64 && self.dead_gpms >> n_gpms != 0 {
+            return bad(format!(
+                "dead-GPM mask {:#x} exceeds topology of {n_gpms}",
+                self.dead_gpms
+            ));
+        }
+        let flips_armed = self.cfg.faults.flip_line.is_some() || self.cfg.faults.flip_dir.is_some();
+        if self.flip_rng.is_some() != flips_armed {
+            return bad("soft-error stream arming disagrees with the fault plan".into());
+        }
+        let fences_len = self.fences.len();
+        let num_kernels = self.trace.num_kernels();
+        let mut ev_err: Option<String> = None;
+        self.q.for_each_pending(|_, e| {
+            if ev_err.is_some() {
+                return;
+            }
+            let ok = match e {
+                Ev::SmResume(r) => sm_ok(*r),
+                Ev::Req { msg, node } | Ev::RespGpuHome { msg, node } => {
+                    sm_ok(msg.sm) && node.index() < n_gpms
+                }
+                Ev::Resp { msg } => sm_ok(msg.sm),
+                Ev::Store { msg, node } => msg.origin.index() < n_gpms && node.index() < n_gpms,
+                Ev::Inv(inv) => inv.causer.index() < n_gpms && inv.target.index() < n_gpms,
+                Ev::Downgrade {
+                    target, evictor, ..
+                } => target.index() < n_gpms && evictor.index() < n_gpms,
+                Ev::FenceAcks(id) => *id < fences_len,
+                Ev::KernelStart(k) => *k < num_kernels,
+                Ev::Scrub => true,
+            };
+            if !ok {
+                ev_err = Some("pending event references out-of-range state".to_string());
+            }
+        });
+        if let Some(e) = ev_err {
+            return bad(e);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -4068,5 +4955,334 @@ mod tests {
         assert_eq!(m.state_digest, fault_free.state_digest);
         assert_eq!(m.loads, fault_free.loads);
         assert_eq!(m.stores, fault_free.stores);
+    }
+
+    // -----------------------------------------------------------------
+    // Preemptible cells: snapshot/restore (DESIGN.md §14)
+    // -----------------------------------------------------------------
+
+    /// Fresh per-test snapshot store base path under the system tmpdir.
+    fn snap_store(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("hmg-snap-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let base = dir.join(format!("{name}.snap"));
+        for slot in SnapshotStore::new(&base).slots() {
+            let _ = std::fs::remove_file(&slot);
+        }
+        base
+    }
+
+    /// A pseudo-random mixed load/store trace with enough work that
+    /// mid-run snapshots capture non-trivial in-flight state: shared
+    /// lines across GPMs, stores forcing invalidations, delays opening
+    /// quiet windows.
+    fn busy_trace(kernels: usize, ops_per_cta: usize) -> WorkloadTrace {
+        let mut rng = Rng::new(0xC0FFEE);
+        let mut ks = Vec::new();
+        for _ in 0..kernels {
+            let mut ctas = Vec::new();
+            for _ in 0..4 {
+                let mut v = Vec::with_capacity(ops_per_cta);
+                for _ in 0..ops_per_cta {
+                    let addr = rng.gen_range(0, 64) * 16;
+                    v.push(if rng.gen_bool(0.3) {
+                        st(addr)
+                    } else {
+                        ld(addr)
+                    });
+                    if rng.gen_bool(0.1) {
+                        v.push(TraceOp::Delay(rng.gen_range(1, 300) as u32));
+                    }
+                }
+                ctas.push(v);
+            }
+            ks.push(kernel_per_gpm(ctas));
+        }
+        WorkloadTrace::new("snap-busy", ks)
+    }
+
+    /// The flip-line + link-down plan the kill-matrix acceptance
+    /// criterion runs under.
+    fn kill_matrix_faults() -> hmg_sim::FaultPlan {
+        hmg_sim::FaultPlan::parse("flip-line=0.5,link-down=0-1@400,seed=9")
+            .expect("fault spec parses")
+    }
+
+    /// Full-metrics equality via the Debug rendering: every counter,
+    /// histogram bucket, and digest must agree, not just the headline
+    /// digest.
+    fn assert_metrics_identical(a: &RunMetrics, b: &RunMetrics, what: &str) {
+        assert_eq!(a.state_digest, b.state_digest, "{what}: state_digest");
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{what}: full RunMetrics"
+        );
+    }
+
+    #[test]
+    fn preemptible_cold_run_matches_plain_run() {
+        let trace = busy_trace(2, 30);
+        let cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        let plain = Engine::new(cfg.clone()).try_run(&trace).unwrap();
+        let policy = SnapshotPolicy::periodic(snap_store("cold"), 1, 0);
+        let (m, rep) = Engine::new(cfg)
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert_eq!(rep.resumed_from, None);
+        assert_eq!(rep.written, 0, "interval 0 captures nothing");
+        assert!(rep.rejected.is_empty());
+        assert_metrics_identical(&plain, &m, "cold preemptible run");
+    }
+
+    /// The kill matrix: for every Fig. 8 protocol, with and without the
+    /// flip-line + link-down fault plan, interrupt the run at several
+    /// mid-run points and prove the resumed run is bit-identical —
+    /// same `state_digest`, same full `RunMetrics` — to the
+    /// uninterrupted one. Capturing a snapshot must also never perturb
+    /// the capturing run itself.
+    #[test]
+    fn kill_matrix_resume_is_bit_identical() {
+        let trace = busy_trace(2, 30);
+        for protocol in ProtocolKind::FIG8 {
+            for faulty in [false, true] {
+                let mut cfg = EngineConfig::small_test(protocol);
+                if faulty {
+                    cfg.faults = kill_matrix_faults();
+                }
+                let reference = Engine::new(cfg.clone()).try_run(&trace).unwrap();
+                let total = reference.total_cycles.as_u64();
+                assert!(total > 1000, "busy trace must run long enough");
+                // Hmg gets the full 3-point matrix; the other protocols
+                // one midpoint each (the mechanism is protocol-generic,
+                // the state captured is not).
+                let points: &[u64] = if protocol == ProtocolKind::Hmg {
+                    &[1, 2, 3]
+                } else {
+                    &[2]
+                };
+                for frac in points {
+                    let cut = total * frac / 4;
+                    let name = format!(
+                        "km-{}-{}-{frac}",
+                        protocol.name(),
+                        if faulty { "faulty" } else { "clean" }
+                    );
+                    let base = snap_store(&name);
+                    let mut policy = SnapshotPolicy::periodic(base, 77, 0);
+                    policy.snap_at = vec![cut];
+                    let (first, rep) = Engine::new(cfg.clone())
+                        .try_run_preemptible(&trace, &policy)
+                        .unwrap();
+                    assert_eq!(rep.resumed_from, None, "{name}: cold start");
+                    assert_eq!(rep.written, 1, "{name}: one capture at the cut");
+                    assert_eq!(rep.write_errors, 0, "{name}");
+                    assert_metrics_identical(
+                        &reference,
+                        &first,
+                        &format!("{name}: capture must not perturb the run"),
+                    );
+                    policy.snap_at.clear();
+                    let (resumed, rep) = Engine::new(cfg.clone())
+                        .try_run_preemptible(&trace, &policy)
+                        .unwrap();
+                    let from = rep
+                        .resumed_from
+                        .expect("the second run resumes from the capture");
+                    assert!(from >= cut, "{name}: resumed at {from}, cut {cut}");
+                    assert!(from < total, "{name}: resumed mid-run");
+                    assert_metrics_identical(&reference, &resumed, &format!("{name}: resumed run"));
+                }
+            }
+        }
+    }
+
+    /// Periodic captures at snapshot boundaries plus a one-shot capture
+    /// mid-interval: resuming from the newest snapshot (whichever slot
+    /// holds it) reproduces the uninterrupted run exactly.
+    #[test]
+    fn periodic_and_mid_interval_captures_resume_identical() {
+        let trace = busy_trace(2, 30);
+        let cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        let reference = Engine::new(cfg.clone()).try_run(&trace).unwrap();
+        let total = reference.total_cycles.as_u64();
+        let interval = total / 5;
+        let base = snap_store("periodic");
+        let mut policy = SnapshotPolicy::periodic(base, 9, interval);
+        // One extra capture off the periodic grid.
+        policy.snap_at = vec![interval * 2 + interval / 2];
+        let (first, rep) = Engine::new(cfg.clone())
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert!(rep.written >= 3, "several captures: {rep:?}");
+        assert_metrics_identical(&reference, &first, "capturing run");
+        policy.snap_at.clear();
+        let (resumed, rep) = Engine::new(cfg)
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert!(rep.resumed_from.is_some(), "{rep:?}");
+        assert_metrics_identical(&reference, &resumed, "resumed run");
+    }
+
+    /// Seeds a store with exactly one valid snapshot of the busy Hmg
+    /// trace and returns (path-with-the-snapshot, reference metrics,
+    /// config, trace, policy used).
+    fn seeded_store(
+        name: &str,
+    ) -> (
+        std::path::PathBuf,
+        RunMetrics,
+        EngineConfig,
+        WorkloadTrace,
+        SnapshotPolicy,
+    ) {
+        let trace = busy_trace(2, 30);
+        let cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        let reference = Engine::new(cfg.clone()).try_run(&trace).unwrap();
+        let base = snap_store(name);
+        let mut policy = SnapshotPolicy::periodic(base.clone(), 41, 0);
+        policy.snap_at = vec![reference.total_cycles.as_u64() / 2];
+        let (_, rep) = Engine::new(cfg.clone())
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert_eq!(rep.written, 1);
+        policy.snap_at.clear();
+        let slot = SnapshotStore::new(&base)
+            .slots()
+            .into_iter()
+            .find(|p| p.exists())
+            .expect("one slot holds the capture");
+        (slot, reference, cfg, trace, policy)
+    }
+
+    /// Every adversarial corruption — truncation, a flipped byte, a
+    /// version-mismatched header, a stale identity — is refused with a
+    /// typed error and the run falls back to a cold start that still
+    /// produces the uninterrupted result. No panic, no silent
+    /// acceptance.
+    #[test]
+    fn corrupted_snapshots_are_refused_and_fall_back_to_scratch() {
+        let (slot, reference, cfg, trace, policy) = seeded_store("adversary");
+        let pristine = std::fs::read(&slot).expect("snapshot readable");
+
+        type Corruption = (&'static str, Vec<u8>, fn(&SnapError) -> bool);
+        let cases: Vec<Corruption> = vec![
+            ("truncated", pristine[..pristine.len() / 2].to_vec(), |e| {
+                matches!(e, SnapError::UnexpectedEof { .. } | SnapError::Malformed(_))
+            }),
+            (
+                "flipped byte",
+                {
+                    let mut b = pristine.clone();
+                    let mid = b.len() / 2;
+                    b[mid] ^= 0x40;
+                    b
+                },
+                |e| matches!(e, SnapError::Checksum { .. } | SnapError::Malformed(_)),
+            ),
+            (
+                "version mismatch",
+                {
+                    let mut b = pristine.clone();
+                    b[8] ^= 0x01; // version u32 follows the 8-byte magic
+                    b
+                },
+                |e| matches!(e, SnapError::Version { .. }),
+            ),
+        ];
+        for (what, bytes, expected) in cases {
+            std::fs::write(&slot, &bytes).unwrap();
+            let (m, rep) = Engine::new(cfg.clone())
+                .try_run_preemptible(&trace, &policy)
+                .unwrap();
+            assert_eq!(rep.resumed_from, None, "{what}: must not resume");
+            assert_eq!(rep.rejected.len(), 1, "{what}: refusal recorded");
+            assert!(
+                expected(&rep.rejected[0].1),
+                "{what}: got {:?}",
+                rep.rejected[0].1
+            );
+            assert_metrics_identical(&reference, &m, what);
+        }
+
+        // Stale identity: the file is pristine but belongs to another
+        // cell. Version-mismatch bytes restored first.
+        std::fs::write(&slot, &pristine).unwrap();
+        let mut stale = policy.clone();
+        stale.identity = policy.identity ^ 0xDEAD;
+        let (m, rep) = Engine::new(cfg.clone())
+            .try_run_preemptible(&trace, &stale)
+            .unwrap();
+        assert_eq!(rep.resumed_from, None, "stale identity must not resume");
+        assert!(
+            matches!(rep.rejected[0].1, SnapError::Identity { .. }),
+            "got {:?}",
+            rep.rejected[0].1
+        );
+        assert_metrics_identical(&reference, &m, "stale identity");
+    }
+
+    /// A snapshot from the same cell identity but a *differently shaped*
+    /// engine (larger L2) is refused by restore validation rather than
+    /// grafted onto the wrong machine.
+    #[test]
+    fn config_shape_mismatch_is_refused() {
+        let (_slot, _reference, _cfg, trace, policy) = seeded_store("shape");
+        let mut other = EngineConfig::small_test(ProtocolKind::Hmg);
+        other.l2 = hmg_mem::CacheConfig::new(512, 8);
+        let (_, rep) = Engine::new(other)
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert_eq!(rep.resumed_from, None, "shape mismatch must not resume");
+        assert_eq!(rep.rejected.len(), 1);
+        assert!(
+            matches!(rep.rejected[0].1, SnapError::Malformed(_)),
+            "got {:?}",
+            rep.rejected[0].1
+        );
+    }
+
+    /// Double-buffering: a longer periodic run keeps only the last two
+    /// captures, and corrupting the newest slot falls back to the
+    /// older one (not to scratch) — the fallback ladder's middle rung.
+    #[test]
+    fn fallback_ladder_uses_the_older_slot() {
+        let trace = busy_trace(2, 30);
+        let cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        let reference = Engine::new(cfg.clone()).try_run(&trace).unwrap();
+        let total = reference.total_cycles.as_u64();
+        let base = snap_store("ladder");
+        let mut policy = SnapshotPolicy::periodic(base.clone(), 8, 0);
+        policy.snap_at = vec![total / 4, total / 2];
+        let (_, rep) = Engine::new(cfg.clone())
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert_eq!(rep.written, 2, "both slots populated");
+        policy.snap_at.clear();
+
+        // Identify newest/oldest by probing the headers.
+        let slots = SnapshotStore::new(&base).slots();
+        let mut probed: Vec<(u64, std::path::PathBuf)> = slots
+            .iter()
+            .filter_map(|p| Snapshot::probe(p).map(|(_, c)| (c, p.clone())))
+            .collect();
+        probed.sort_by_key(|(c, _)| *c);
+        assert_eq!(probed.len(), 2);
+        let (older_cycle, newest) = (probed[0].0, probed[1].1.clone());
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let (m, rep) = Engine::new(cfg)
+            .try_run_preemptible(&trace, &policy)
+            .unwrap();
+        assert_eq!(rep.rejected.len(), 1, "newest slot refused");
+        assert_eq!(
+            rep.resumed_from,
+            Some(older_cycle),
+            "resume falls back to the older slot"
+        );
+        assert_metrics_identical(&reference, &m, "older-slot resume");
     }
 }

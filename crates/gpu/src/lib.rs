@@ -34,5 +34,5 @@ pub mod engine;
 pub mod metrics;
 
 pub use config::{EccMode, EngineConfig, WritePolicy};
-pub use engine::Engine;
+pub use engine::{Engine, SnapshotPolicy, SnapshotReport};
 pub use metrics::RunMetrics;

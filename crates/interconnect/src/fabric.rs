@@ -584,6 +584,133 @@ impl Fabric {
     }
 }
 
+impl hmg_sim::SnapshotWrite for TransportStats {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        for v in [
+            self.messages,
+            self.retransmissions,
+            self.recovered,
+            self.retry_cycles,
+            self.reroutes,
+            self.flips_injected,
+            self.checksum_retransmits,
+            self.silent_flips,
+        ] {
+            w.put_u64(v);
+        }
+    }
+}
+
+impl hmg_sim::SnapshotRead for TransportStats {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        Ok(TransportStats {
+            messages: r.get_u64()?,
+            retransmissions: r.get_u64()?,
+            recovered: r.get_u64()?,
+            retry_cycles: r.get_u64()?,
+            reroutes: r.get_u64()?,
+            flips_injected: r.get_u64()?,
+            checksum_retransmits: r.get_u64()?,
+            silent_flips: r.get_u64()?,
+        })
+    }
+}
+
+impl hmg_sim::SnapshotWrite for FabricStats {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        self.intra_bytes.write_snap(w);
+        self.inter_bytes.write_snap(w);
+        self.intra_msgs.write_snap(w);
+        self.inter_msgs.write_snap(w);
+        self.transport.write_snap(w);
+    }
+}
+
+impl hmg_sim::SnapshotRead for FabricStats {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        Ok(FabricStats {
+            intra_bytes: <[u64; 5]>::read_snap(r)?,
+            inter_bytes: <[u64; 5]>::read_snap(r)?,
+            intra_msgs: <[u64; 5]>::read_snap(r)?,
+            inter_msgs: <[u64; 5]>::read_snap(r)?,
+            transport: TransportStats::read_snap(r)?,
+        })
+    }
+}
+
+// The fabric's snapshot covers only state that traffic mutates: the
+// four port groups, traffic stats, per-channel sequence numbers, the
+// two armed fault streams, and the liveness map. Configuration (topo,
+// tier parameters, fault plan, transport knobs) is rebuilt by the
+// owning engine from the run configuration before `restore_snap_state`
+// is called, which lets the restore path validate shape mismatches as
+// stale-identity-style corruption instead of trusting the file.
+impl hmg_sim::SnapshotWrite for Fabric {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        self.intra_egress.write_snap(w);
+        self.intra_ingress.write_snap(w);
+        self.inter_egress.write_snap(w);
+        self.inter_ingress.write_snap(w);
+        self.stats.write_snap(w);
+        self.seq.write_snap(w);
+        self.drop_rng.write_snap(w);
+        self.flip_rng.write_snap(w);
+        self.liveness.write_snap(w);
+    }
+}
+
+impl Fabric {
+    /// Restores the traffic-mutable state serialized by this fabric's
+    /// `SnapshotWrite` into a freshly constructed fabric of the same
+    /// topology and configuration. Refuses (typed, no panic) snapshots
+    /// whose port counts or channel table don't match this fabric.
+    pub fn restore_snap_state(
+        &mut self,
+        r: &mut hmg_sim::SnapReader<'_>,
+    ) -> Result<(), hmg_sim::SnapError> {
+        use hmg_sim::SnapshotRead;
+        let intra_egress: Vec<Link> = Vec::read_snap(r)?;
+        let intra_ingress: Vec<Link> = Vec::read_snap(r)?;
+        let inter_egress: Vec<Link> = Vec::read_snap(r)?;
+        let inter_ingress: Vec<Link> = Vec::read_snap(r)?;
+        let stats = FabricStats::read_snap(r)?;
+        let seq: Vec<u64> = Vec::read_snap(r)?;
+        let drop_rng: Option<Rng> = Option::read_snap(r)?;
+        let flip_rng: Option<Rng> = Option::read_snap(r)?;
+        let liveness = Liveness::read_snap(r)?;
+        let gpms = self.topo.num_gpms() as usize;
+        let gpus = self.topo.num_gpus() as usize;
+        if intra_egress.len() != gpms
+            || intra_ingress.len() != gpms
+            || inter_egress.len() != gpus
+            || inter_ingress.len() != gpus
+            || seq.len() != gpms * gpms
+            || liveness.topology() != self.topo
+        {
+            return Err(hmg_sim::SnapError::Malformed(
+                "fabric snapshot shape does not match this topology".into(),
+            ));
+        }
+        if drop_rng.is_some() != self.drop_rng.is_some()
+            || flip_rng.is_some() != self.flip_rng.is_some()
+        {
+            return Err(hmg_sim::SnapError::Malformed(
+                "fabric snapshot fault streams do not match the armed plan".into(),
+            ));
+        }
+        self.intra_egress = intra_egress;
+        self.intra_ingress = intra_ingress;
+        self.inter_egress = inter_egress;
+        self.inter_ingress = inter_ingress;
+        self.stats = stats;
+        self.seq = seq;
+        self.drop_rng = drop_rng;
+        self.flip_rng = flip_rng;
+        self.liveness = liveness;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -930,6 +1057,66 @@ mod tests {
             last_lossy > last_clean,
             "lossy {last_lossy} must trail clean {last_clean}"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_timing_bit_identically() {
+        use hmg_sim::{SnapReader, SnapWriter, SnapshotWrite as _};
+        let plan = FaultPlan::parse("drop=0.2,flip-msg=0.1,link-down=0-1@50,seed=21").unwrap();
+        let mut a = small_fabric();
+        a.apply_faults(&plan);
+        let mut b = small_fabric();
+        b.apply_faults(&plan);
+        // Warm both up identically, snapshot A, restore into a *fresh*
+        // fabric, then drive the pair onward: every arrival and every
+        // stat must stay bit-identical.
+        for i in 0..120u64 {
+            let (s, d) = (GpmId((i % 4) as u16), GpmId(((i + 1) % 4) as u16));
+            assert_eq!(
+                a.send(Cycle(i), s, d, 96, MsgClass::Data),
+                b.send(Cycle(i), s, d, 96, MsgClass::Data)
+            );
+        }
+        let mut w = SnapWriter::new();
+        a.write_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut c = small_fabric();
+        c.apply_faults(&plan);
+        c.restore_snap_state(&mut SnapReader::new(&bytes)).unwrap();
+        for i in 120..240u64 {
+            let (s, d) = (GpmId((i % 4) as u16), GpmId(((i + 3) % 4) as u16));
+            assert_eq!(
+                b.send(Cycle(i), s, d, 128, MsgClass::StoreData),
+                c.send(Cycle(i), s, d, 128, MsgClass::StoreData)
+            );
+        }
+        assert_eq!(*b.stats(), *c.stats());
+        assert_eq!(
+            b.channel_seq(GpmId(0), GpmId(1)),
+            c.channel_seq(GpmId(0), GpmId(1))
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_refuses_wrong_topology() {
+        use hmg_sim::{SnapError, SnapReader, SnapWriter, SnapshotWrite as _};
+        let mut a = small_fabric(); // 2x2
+        a.send(Cycle(0), GpmId(0), GpmId(1), 64, MsgClass::Data);
+        let mut w = SnapWriter::new();
+        a.write_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut other = Fabric::new(Topology::new(4, 4), FabricConfig::paper_default());
+        assert!(matches!(
+            other.restore_snap_state(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
+        // Mismatched armed fault streams are refused too.
+        let mut lossy = small_fabric();
+        lossy.apply_faults(&FaultPlan::parse("drop=0.5,seed=1").unwrap());
+        assert!(matches!(
+            lossy.restore_snap_state(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -149,6 +149,47 @@ impl Topology {
     }
 }
 
+impl hmg_sim::SnapshotWrite for GpuId {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_u16(self.0);
+    }
+}
+impl hmg_sim::SnapshotRead for GpuId {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        Ok(GpuId(r.get_u16()?))
+    }
+}
+
+impl hmg_sim::SnapshotWrite for GpmId {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_u16(self.0);
+    }
+}
+impl hmg_sim::SnapshotRead for GpmId {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        Ok(GpmId(r.get_u16()?))
+    }
+}
+
+impl hmg_sim::SnapshotWrite for Topology {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_u16(self.num_gpus);
+        w.put_u16(self.gpms_per_gpu);
+    }
+}
+impl hmg_sim::SnapshotRead for Topology {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        let num_gpus = r.get_u16()?;
+        let gpms_per_gpu = r.get_u16()?;
+        if num_gpus == 0 || gpms_per_gpu == 0 {
+            return Err(hmg_sim::SnapError::Malformed(format!(
+                "empty topology {num_gpus}x{gpms_per_gpu}"
+            )));
+        }
+        Ok(Topology::new(num_gpus, gpms_per_gpu))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -165,6 +165,42 @@ impl Link {
     }
 }
 
+// The raw f64 port state (`next_free`, `busy_cycles`) round-trips as
+// exact bit patterns: the public `next_free()` accessor is ceil-rounded
+// and would lose the fractional serialization position that makes
+// resumed timing bit-identical.
+impl hmg_sim::SnapshotWrite for Link {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_f64(self.bytes_per_cycle);
+        w.put_u64(self.latency.0);
+        w.put_f64(self.next_free);
+        w.put_u64(self.bytes_sent);
+        w.put_u64(self.messages_sent);
+        w.put_u64(self.retransmissions);
+        w.put_f64(self.busy_cycles);
+    }
+}
+
+impl hmg_sim::SnapshotRead for Link {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        let bytes_per_cycle = r.get_f64()?;
+        if bytes_per_cycle <= 0.0 || bytes_per_cycle.is_nan() {
+            return Err(hmg_sim::SnapError::Malformed(format!(
+                "link bandwidth {bytes_per_cycle} not positive"
+            )));
+        }
+        Ok(Link {
+            bytes_per_cycle,
+            latency: Cycle(r.get_u64()?),
+            next_free: r.get_f64()?,
+            bytes_sent: r.get_u64()?,
+            messages_sent: r.get_u64()?,
+            retransmissions: r.get_u64()?,
+            busy_cycles: r.get_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,39 @@ impl Liveness {
     }
 }
 
+impl hmg_sim::SnapshotWrite for Liveness {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        self.topo.write_snap(w);
+        w.put_u64(self.down_gpms);
+        self.down_link.write_snap(w);
+    }
+}
+
+impl hmg_sim::SnapshotRead for Liveness {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        let topo = Topology::read_snap(r)?;
+        let down_gpms = r.get_u64()?;
+        let down_link: Option<(GpmId, GpmId, u64)> = Option::read_snap(r)?;
+        if down_gpms >> topo.num_gpms().min(63) != 0 {
+            return Err(hmg_sim::SnapError::Malformed(
+                "down-GPM mask exceeds topology".into(),
+            ));
+        }
+        if let Some((a, b, _)) = down_link {
+            if a == b || a.0 >= topo.num_gpms() || b.0 >= topo.num_gpms() || !topo.same_gpu(a, b) {
+                return Err(hmg_sim::SnapError::Malformed(format!(
+                    "down link {a}-{b} invalid for topology"
+                )));
+            }
+        }
+        Ok(Liveness {
+            topo,
+            down_gpms,
+            down_link,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -526,6 +526,115 @@ impl Directory {
     }
 }
 
+impl hmg_sim::SnapshotWrite for SharerSet {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_u64(self.bits);
+        w.put_u8(u8::from(self.broadcast));
+    }
+}
+
+impl hmg_sim::SnapshotRead for SharerSet {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        let bits = r.get_u64()?;
+        let broadcast = match r.get_u8()? {
+            0 => false,
+            1 => true,
+            b => {
+                return Err(hmg_sim::SnapError::Malformed(format!(
+                    "sharer-set broadcast flag {b}"
+                )))
+            }
+        };
+        if broadcast && bits != 0 {
+            return Err(hmg_sim::SnapError::Malformed(
+                "broadcast sharer set with precise bits".into(),
+            ));
+        }
+        Ok(SharerSet { bits, broadcast })
+    }
+}
+
+impl hmg_sim::SnapshotWrite for DirectoryStats {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_u64(self.evictions);
+        w.put_u64(self.evictions_with_sharers);
+        w.put_u64(self.evicted_sharers);
+        w.put_u64(self.allocations);
+        w.put_u64(self.broadcast_fallbacks);
+    }
+}
+
+impl hmg_sim::SnapshotRead for DirectoryStats {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        Ok(DirectoryStats {
+            evictions: r.get_u64()?,
+            evictions_with_sharers: r.get_u64()?,
+            evicted_sharers: r.get_u64()?,
+            allocations: r.get_u64()?,
+            broadcast_fallbacks: r.get_u64()?,
+        })
+    }
+}
+
+impl hmg_sim::SnapshotWrite for Directory {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        w.put_u32(self.config.entries);
+        w.put_u32(self.config.ways);
+        self.config.max_sharers.write_snap(w);
+        self.topo.write_snap(w);
+        w.put_u64(self.tick);
+        self.stats.write_snap(w);
+        for set in &self.sets {
+            w.put_u32(set.len() as u32);
+            for way in set {
+                w.put_u64(way.tag);
+                w.put_u64(way.last_use);
+                way.sharers.write_snap(w);
+            }
+        }
+    }
+}
+
+impl hmg_sim::SnapshotRead for Directory {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        let entries = r.get_u32()?;
+        let ways = r.get_u32()?;
+        let max_sharers = Option::<u32>::read_snap(r)?;
+        let mut config = DirectoryConfig::try_new(entries, ways)
+            .map_err(|e| hmg_sim::SnapError::Malformed(e.to_string()))?;
+        if let Some(cap) = max_sharers {
+            if cap == 0 {
+                return Err(hmg_sim::SnapError::Malformed(
+                    "zero directory sharer cap".into(),
+                ));
+            }
+            config = config.with_max_sharers(cap);
+        }
+        let topo = hmg_interconnect::Topology::read_snap(r)?;
+        let mut dir = Directory::new(config, topo);
+        dir.tick = r.get_u64()?;
+        dir.stats = DirectoryStats::read_snap(r)?;
+        for idx in 0..config.sets() as usize {
+            let len = r.get_u32()?;
+            if len > config.ways {
+                return Err(hmg_sim::SnapError::Malformed(format!(
+                    "directory set {idx} claims {len} ways of {}",
+                    config.ways
+                )));
+            }
+            let set = &mut dir.sets[idx];
+            for _ in 0..len {
+                set.push(DirWay {
+                    tag: r.get_u64()?,
+                    last_use: r.get_u64()?,
+                    sharers: SharerSet::read_snap(r)?,
+                });
+            }
+        }
+        Ok(dir)
+    }
+}
+
 /// Result of [`Directory::storage_cost`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StorageCost {
@@ -799,6 +908,63 @@ mod tests {
         // 2.7% of a 3 MB L2 slice.
         let frac = cost.total_bytes as f64 / (3.0 * 1024.0 * 1024.0);
         assert!((frac - 0.027).abs() < 0.001, "frac={frac}");
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_entries_sharers_and_lru() {
+        use hmg_sim::{SnapReader, SnapWriter, SnapshotRead, SnapshotWrite};
+        let t = topo();
+        let mut d = Directory::new(DirectoryConfig::new(8, 2).with_max_sharers(3), t);
+        {
+            let (set, _) = d.allocate(BlockAddr(3));
+            set.insert(&t, Sharer::Gpm(GpmId(5)));
+            set.insert(&t, Sharer::Gpu(GpuId(2)));
+        }
+        d.allocate(BlockAddr(7)).0.force_broadcast();
+        d.allocate(BlockAddr(11));
+        d.lookup_mut(BlockAddr(3)); // perturb recency
+        let mut w = SnapWriter::new();
+        d.write_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut back = Directory::read_snap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.config(), d.config());
+        assert_eq!(back.stats(), d.stats());
+        assert_eq!(back.resident_blocks(), d.resident_blocks());
+        assert!(back.lookup(BlockAddr(7)).unwrap().is_broadcast());
+        // Same future behavior: identical LRU victim on the next conflict.
+        let (_, ev_orig) = d.allocate(BlockAddr(103));
+        let (_, ev_back) = back.allocate(BlockAddr(103));
+        assert_eq!(ev_orig.map(|e| e.0), ev_back.map(|e| e.0));
+    }
+
+    #[test]
+    fn snapshot_refuses_broadcast_set_with_precise_bits_and_overfull_sets() {
+        use hmg_sim::{SnapError, SnapReader, SnapWriter, SnapshotRead};
+        let mut w = SnapWriter::new();
+        w.put_u64(0b101); // precise bits...
+        w.put_u8(1); // ...and broadcast: impossible
+        assert!(matches!(
+            SharerSet::read_snap(&mut SnapReader::new(&w.into_bytes())),
+            Err(SnapError::Malformed(_))
+        ));
+
+        let mut w = SnapWriter::new();
+        w.put_u32(4); // entries
+        w.put_u32(2); // ways
+        w.put_u8(0); // no sharer cap
+        w.put_u16(2); // topology 2x2
+        w.put_u16(2);
+        w.put_u64(0); // tick
+        for _ in 0..5 {
+            w.put_u64(0); // stats
+        }
+        w.put_u32(3); // set 0 claims 3 ways of 2
+        assert!(matches!(
+            Directory::read_snap(&mut SnapReader::new(&w.into_bytes())),
+            Err(SnapError::Malformed(_))
+        ));
     }
 
     #[test]

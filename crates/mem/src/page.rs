@@ -212,6 +212,57 @@ impl PageMap {
     }
 }
 
+impl hmg_sim::SnapshotWrite for PageMap {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        self.topo.write_snap(w);
+        w.put_u8(match self.placement {
+            PagePlacement::FirstTouch => 0,
+            PagePlacement::Interleaved => 1,
+        });
+        self.homes.write_snap(w);
+        w.put_u64(self.offline);
+        self.rehomed.write_snap(w);
+    }
+}
+
+impl hmg_sim::SnapshotRead for PageMap {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        let topo = Topology::read_snap(r)?;
+        let placement = match r.get_u8()? {
+            0 => PagePlacement::FirstTouch,
+            1 => PagePlacement::Interleaved,
+            b => {
+                return Err(hmg_sim::SnapError::Malformed(format!(
+                    "page placement tag {b}"
+                )))
+            }
+        };
+        let homes: FlatMap<PageId, GpmId> = FlatMap::read_snap(r)?;
+        let offline = r.get_u64()?;
+        let rehomed = FlatSet::read_snap(r)?;
+        if offline >> topo.num_gpms().min(63) != 0 {
+            return Err(hmg_sim::SnapError::Malformed(
+                "offline-GPM mask exceeds topology".into(),
+            ));
+        }
+        for (_, &home) in homes.iter() {
+            if home.0 >= topo.num_gpms() {
+                return Err(hmg_sim::SnapError::Malformed(format!(
+                    "page home {home} out of range"
+                )));
+            }
+        }
+        Ok(PageMap {
+            topo,
+            placement,
+            gpu_split: crate::fastdiv::SetSplit::new(u32::from(topo.gpms_per_gpu())),
+            homes,
+            offline,
+            rehomed,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +378,72 @@ mod tests {
         // routes through it).
         pm.take_offline(&[GpmId(3)]);
         assert_eq!(pm.gpu_home(GpuId(1), BlockAddr(7), sys_home), sys_home);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_homes_and_degradation() {
+        use hmg_sim::{SnapReader, SnapWriter, SnapshotRead, SnapshotWrite};
+        let topo = Topology::new(2, 2);
+        let mut pm = PageMap::new(topo, PagePlacement::FirstTouch);
+        for p in 0..32u64 {
+            pm.home_of(PageId(p), GpmId((p % 4) as u16));
+        }
+        pm.take_offline(&[GpmId(2)]);
+        let mut w = SnapWriter::new();
+        pm.write_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut back = PageMap::read_snap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.placement(), pm.placement());
+        assert_eq!(back.assigned_pages(), pm.assigned_pages());
+        assert!(back.is_offline(GpmId(2)));
+        for p in 0..32u64 {
+            assert_eq!(back.peek_home(PageId(p)), pm.peek_home(PageId(p)));
+            assert_eq!(back.is_rehomed(PageId(p)), pm.is_rehomed(PageId(p)));
+        }
+        // Same future behavior: first touches and GPU homes agree.
+        assert_eq!(
+            back.home_of(PageId(99), GpmId(1)),
+            pm.home_of(PageId(99), GpmId(1))
+        );
+        for b in 0..16u64 {
+            assert_eq!(
+                back.gpu_home(GpuId(1), BlockAddr(b), GpmId(0)),
+                pm.gpu_home(GpuId(1), BlockAddr(b), GpmId(0))
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_refuses_out_of_range_homes_and_masks() {
+        use hmg_sim::{SnapError, SnapReader, SnapWriter, SnapshotRead, SnapshotWrite};
+        let topo = Topology::new(2, 2);
+        // Home GPM index 9 does not exist in a 2x2 system.
+        let mut w = SnapWriter::new();
+        topo.write_snap(&mut w);
+        w.put_u8(0);
+        w.put_u64(1); // one home entry
+        w.put_u64(5); // PageId(5)
+        w.put_u16(9); // GpmId(9): out of range
+        w.put_u64(0); // offline mask
+        w.put_u64(0); // empty rehomed set
+        assert!(matches!(
+            PageMap::read_snap(&mut SnapReader::new(&w.into_bytes())),
+            Err(SnapError::Malformed(_))
+        ));
+
+        // Offline mask naming GPM 60 in a 4-GPM system.
+        let mut w = SnapWriter::new();
+        topo.write_snap(&mut w);
+        w.put_u8(0);
+        w.put_u64(0); // no homes
+        w.put_u64(1u64 << 60);
+        w.put_u64(0);
+        assert!(matches!(
+            PageMap::read_snap(&mut SnapReader::new(&w.into_bytes())),
+            Err(SnapError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -62,6 +62,22 @@ impl VersionStore {
     }
 }
 
+impl hmg_sim::SnapshotWrite for VersionStore {
+    fn write_snap(&self, w: &mut hmg_sim::SnapWriter) {
+        self.versions.write_snap(w);
+        w.put_u64(self.stores_committed);
+    }
+}
+
+impl hmg_sim::SnapshotRead for VersionStore {
+    fn read_snap(r: &mut hmg_sim::SnapReader<'_>) -> Result<Self, hmg_sim::SnapError> {
+        Ok(VersionStore {
+            versions: FlatMap::read_snap(r)?,
+            stores_committed: r.get_u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,5 +105,27 @@ mod tests {
         assert_eq!(vs.current(LineAddr(3)), 0);
         assert_eq!(vs.stores_committed(), 3);
         assert_eq!(vs.lines_written(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        use hmg_sim::{SnapReader, SnapWriter, SnapshotRead, SnapshotWrite};
+        let mut vs = VersionStore::new();
+        for l in 0..10u64 {
+            for _ in 0..=l {
+                vs.bump(LineAddr(l));
+            }
+        }
+        let mut w = SnapWriter::new();
+        vs.write_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let back = VersionStore::read_snap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(back.stores_committed(), vs.stores_committed());
+        assert_eq!(back.lines_written(), vs.lines_written());
+        for l in 0..10u64 {
+            assert_eq!(back.current(LineAddr(l)), vs.current(LineAddr(l)));
+        }
     }
 }

@@ -275,6 +275,43 @@ impl<E> EventQueue<E> {
         self.scan(start, RING_SLOTS).or_else(|| self.scan(0, start))
     }
 
+    /// Visits every pending event without disturbing the queue: ring
+    /// events in nondecreasing time order (same-cycle events in FIFO
+    /// order), then far-future events in push order. This is exactly
+    /// the order [`EventQueue`] snapshots serialize, chosen so that
+    /// re-`push`ing the visited sequence into a fresh queue positioned
+    /// at [`EventQueue::now`] rebuilds an observably identical queue.
+    pub fn for_each_pending(&self, mut f: impl FnMut(Cycle, &E)) {
+        let start = self.win_base.0 as usize & RING_MASK;
+        let mut seen = 0usize;
+        let mut s = start;
+        while seen < self.ring_len {
+            let b = if self.slots[s].0 != NIL {
+                s
+            } else {
+                self.next_occupied(s)
+                    // audit:allow(panic-path): seen < ring_len, so an
+                    // occupied bucket exists and its bit is set.
+                    .expect("ring_len > seen implies an occupied bucket")
+            };
+            let dist = (b.wrapping_sub(start) & RING_MASK) as u64;
+            let at = Cycle(self.win_base.0 + dist);
+            let mut n = self.slots[b].0;
+            while n != NIL {
+                let node = &self.nodes[n as usize];
+                // audit:allow(panic-path): chained nodes are live; the
+                // payload is only taken when the node is unlinked.
+                f(at, node.payload.as_ref().expect("occupied chain node"));
+                seen += 1;
+                n = node.next;
+            }
+            s = (b + 1) & RING_MASK;
+        }
+        for (at, e) in &self.far {
+            f(*at, e);
+        }
+    }
+
     /// First occupied bucket in `[lo, hi)`, via the two-level bitmap.
     fn scan(&self, lo: usize, hi: usize) -> Option<usize> {
         if lo >= hi {
@@ -313,6 +350,79 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
+    }
+}
+
+// Snapshots serialize the queue as (now, popped, ring events in
+// time-then-FIFO order, far events in push order). Restoring re-pushes
+// that sequence into a fresh queue positioned at `now`: ring buckets
+// refill in the same FIFO chain order, the far list rebuilds verbatim
+// (including `far_min`), and slab/free-list layout — the only thing
+// that differs — is unobservable through the queue API. This is valid
+// because snapshots are only taken at event boundaries, where
+// `now == win_base` and every far event lies at or beyond
+// `win_base + RING_SLOTS` (see `migrate_far`).
+impl<E: crate::snap::SnapshotWrite> crate::snap::SnapshotWrite for EventQueue<E> {
+    fn write_snap(&self, w: &mut crate::snap::SnapWriter) {
+        assert!(
+            self.now == self.win_base,
+            "snapshot outside an event boundary"
+        );
+        w.put_u64(self.now.0);
+        w.put_u64(self.popped);
+        w.put_u64(self.ring_len as u64);
+        let mut ring = 0usize;
+        self.for_each_pending(|at, e| {
+            if ring < self.ring_len {
+                w.put_u64(at.0);
+                e.write_snap(w);
+            }
+            ring += 1;
+        });
+        w.put_u64(self.far.len() as u64);
+        let mut idx = 0usize;
+        self.for_each_pending(|at, e| {
+            if idx >= self.ring_len {
+                w.put_u64(at.0);
+                e.write_snap(w);
+            }
+            idx += 1;
+        });
+    }
+}
+
+impl<E: crate::snap::SnapshotRead> crate::snap::SnapshotRead for EventQueue<E> {
+    fn read_snap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        use crate::snap::SnapError;
+        let now = Cycle(r.get_u64()?);
+        let popped = r.get_u64()?;
+        let mut q = EventQueue::new();
+        q.now = now;
+        q.win_base = now;
+        q.popped = popped;
+        let ring = r.get_len(9)?;
+        let mut prev = now;
+        for _ in 0..ring {
+            let at = Cycle(r.get_u64()?);
+            if at < prev || at.0 - now.0 >= RING_SLOTS as u64 {
+                return Err(SnapError::Malformed(format!(
+                    "ring event at {at} outside window of {now}"
+                )));
+            }
+            prev = at;
+            q.push(at, E::read_snap(r)?);
+        }
+        let far = r.get_len(9)?;
+        for _ in 0..far {
+            let at = Cycle(r.get_u64()?);
+            if at.0.saturating_sub(now.0) < RING_SLOTS as u64 {
+                return Err(SnapError::Malformed(format!(
+                    "far event at {at} inside window of {now}"
+                )));
+            }
+            q.push(at, E::read_snap(r)?);
+        }
+        Ok(q)
     }
 }
 
@@ -571,6 +681,92 @@ mod tests {
             }
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pop_order_and_counters() {
+        use crate::snap::{SnapReader, SnapWriter, SnapshotRead, SnapshotWrite};
+        let mut q = EventQueue::new();
+        let mut x = 0x9e37_79b9u64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for i in 0..3_000u64 {
+            let now = q.now();
+            let delta = match rng() % 6 {
+                0 => 0,
+                1 => 0, // stack same-cycle FIFO chains
+                2 => 90,
+                3 => 360,
+                4 => rng() % 500,
+                _ => RING_SLOTS as u64 + rng() % 10_000,
+            };
+            q.push(now + Cycle(delta), i);
+            if rng() % 3 == 0 {
+                q.pop();
+            }
+        }
+        let mut w = SnapWriter::new();
+        q.write_snap(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut q2 = EventQueue::<u64>::read_snap(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(q2.now(), q.now());
+        assert_eq!(q2.len(), q.len());
+        assert_eq!(q2.events_processed(), q.events_processed());
+        loop {
+            let (a, b) = (q.pop(), q2.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert_eq!(q2.events_processed(), q.events_processed());
+    }
+
+    #[test]
+    fn snapshot_refuses_events_outside_their_region() {
+        use crate::snap::{SnapError, SnapReader, SnapWriter, SnapshotRead};
+        // A "far" event inside the ring window is impossible at an
+        // event boundary and must be refused, not silently re-routed.
+        let mut w = SnapWriter::new();
+        w.put_u64(100); // now
+        w.put_u64(0); // popped
+        w.put_u64(0); // ring count
+        w.put_u64(1); // far count
+        w.put_u64(150); // within the window: malformed
+        w.put_u64(7);
+        let bytes = w.into_bytes();
+        assert!(matches!(
+            EventQueue::<u64>::read_snap(&mut SnapReader::new(&bytes)),
+            Err(SnapError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn for_each_pending_visits_in_serialization_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle(5), "b");
+        q.push(Cycle(5), "c");
+        q.push(Cycle(1), "a");
+        q.push(Cycle(RING_SLOTS as u64 + 9), "far2");
+        q.push(Cycle(RING_SLOTS as u64 + 2), "far1");
+        let mut seen = Vec::new();
+        q.for_each_pending(|at, e| seen.push((at, *e)));
+        assert_eq!(
+            seen,
+            vec![
+                (Cycle(1), "a"),
+                (Cycle(5), "b"),
+                (Cycle(5), "c"),
+                (Cycle(RING_SLOTS as u64 + 9), "far2"),
+                (Cycle(RING_SLOTS as u64 + 2), "far1"),
+            ]
+        );
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod error;
 pub mod event;
 pub mod fault;
 pub mod rng;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod watchdog;
@@ -53,6 +54,9 @@ pub use error::{SimError, SimErrorKind};
 pub use event::{EventQueue, ReferenceEventQueue};
 pub use fault::{DirFlip, FaultPlan, GpmOffline, GpuOffline, LineFlip, LinkDown, MsgFlip};
 pub use rng::Rng;
+pub use snap::{
+    SnapError, SnapReader, SnapWriter, Snapshot, SnapshotRead, SnapshotStore, SnapshotWrite,
+};
 pub use stats::{IntegrityStats, ReconfigStats};
 pub use time::Cycle;
 pub use watchdog::ProgressWatchdog;

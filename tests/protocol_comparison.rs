@@ -177,6 +177,8 @@ fn fig8_cells_match_pre_refactor_goldens() {
                 seed: 17,
                 faults: None,
                 livelock_budget: None,
+                snapshot_path: None,
+                snapshot_interval: 0,
             };
             let out = run_cell(&ctx).expect("golden cell runs clean");
             assert_eq!(

@@ -3,31 +3,44 @@
 //! Usage:
 //!
 //! ```text
-//! hmg-audit [--root DIR] [--inject CLASS]
+//! hmg-audit [--root DIR] [--inject CLASS] [--model] [--depth N] [--protocol VARIANT]
 //! ```
 //!
 //! Exits 0 when the audit is clean, 1 when it found violations (each
 //! printed as `file:line: [rule] message`), 2 on usage errors.
 //! `--inject` seeds one known violation class (self-test mode; CI runs
 //! these with inverted exit expectations): `incomplete-row`,
-//! `waitsfor-cycle`, `entropy`, `unordered-map`.
+//! `waitsfor-cycle`, `entropy`, `unordered-map`, `hot-path-struct`,
+//! `dir-match`, `spec-drop-forward`.
+//!
+//! `--model` additionally runs the explicit-state model checker over
+//! the guarded-action spec variants, printing one greppable `[model]`
+//! line per variant (and counterexample traces on violation).
+//! `--depth N` bounds the BFS (default: exhaustive); `--protocol`
+//! restricts to one variant (`nhcc`, `hmg`, `nhcc-phase`, `hmg-phase`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hmg_audit::{run_audit, AuditOptions, Inject};
+use hmg_protocol::SpecVariant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: hmg-audit [--root DIR] [--inject CLASS]\n       CLASS: {}",
-        Inject::NAMES.join(" | ")
+        "usage: hmg-audit [--root DIR] [--inject CLASS] [--model] [--depth N] \
+         [--protocol VARIANT]\n       CLASS: {}\n       VARIANT: {}",
+        Inject::NAMES.join(" | "),
+        SpecVariant::ALL.map(|v| v.name()).join(" | ")
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
-    let mut inject = None;
+    let mut opts_inject = None;
+    let mut model = false;
+    let mut model_depth = None;
+    let mut protocol = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,7 +50,16 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--inject" => match args.next().as_deref().and_then(Inject::parse) {
-                Some(class) => inject = Some(class),
+                Some(class) => opts_inject = Some(class),
+                None => return usage(),
+            },
+            "--model" => model = true,
+            "--depth" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => model_depth = Some(n),
+                None => return usage(),
+            },
+            "--protocol" => match args.next().as_deref().and_then(SpecVariant::from_name) {
+                Some(v) => protocol = Some(v),
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -57,7 +79,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let report = run_audit(&AuditOptions { root, inject });
+    let report = run_audit(&AuditOptions {
+        inject: opts_inject,
+        model,
+        model_depth,
+        protocol,
+        ..AuditOptions::new(root)
+    });
+    for run in &report.model_runs {
+        println!("{}", run.report());
+    }
     for f in &report.findings {
         println!("{f}");
     }

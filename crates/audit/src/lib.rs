@@ -1,7 +1,7 @@
 //! `hmg-audit`: static verification of the HMG/NHCC protocol stack and
 //! a determinism/panic-hygiene lint pass.
 //!
-//! Three engines, all static (no simulation):
+//! Four engines, all static (no simulation):
 //!
 //! * [`protocol_graph`] — proves the Table I transition function
 //!   complete, deterministic, variant-contained, and conservative, and
@@ -9,9 +9,17 @@
 //! * [`waitsfor`] — builds the virtual-channel waits-for graph from
 //!   `protocol/msg.rs` and the engine/transport blocking behaviors and
 //!   proves its unbounded part acyclic (deadlock freedom).
+//! * [`model`] — a Murphi-style explicit-state model checker that walks
+//!   every configuration a small abstract multi-GPU system can reach
+//!   under the guarded-action rows of `hmg_protocol::spec` and proves
+//!   single-writer safety, sharer conservation, no stuck states, and
+//!   waits-for acyclicity per protocol variant, with shortest
+//!   counterexample traces on violation. Opt-in via
+//!   [`AuditOptions::model`] (it is exhaustive but not free).
 //! * [`lint`] — lexical source-hygiene rules: deterministic iteration,
 //!   no smuggled entropy, no panics on hot paths, stats registration,
-//!   no tree-based collections back on the rewritten DES hot path.
+//!   no tree-based collections back on the rewritten DES hot path, no
+//!   shadow DirState/DirEvent transition tables outside the spec.
 //!
 //! Each engine supports **seeded violations** ([`Inject`]) so the audit
 //! can prove it actually detects what it claims to detect: CI runs the
@@ -25,13 +33,14 @@
 
 pub mod findings;
 pub mod lint;
+pub mod model;
 pub mod protocol_graph;
 pub mod waitsfor;
 
 use std::path::{Path, PathBuf};
 
 pub use findings::Finding;
-use hmg_protocol::{DirEvent, DirState};
+use hmg_protocol::{DirEvent, DirState, ProtocolSpec, SpecVariant};
 
 /// A seeded violation class for the audit's self-test mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +55,14 @@ pub enum Inject {
     UnorderedMap,
     /// Smuggle a tree-based collection back into a DES hot-path file.
     HotPathStruct,
+    /// Smuggle a hand-rolled DirState/DirEvent match (a shadow
+    /// transition table) into engine territory.
+    DirMatch,
+    /// Drop the `ForwardInv` action from the HMG `(Valid, Invalidation)`
+    /// spec row — a protocol bug only the model checker can see: the
+    /// table stays complete and deterministic, but a remote sharer's
+    /// copy is never invalidated.
+    SpecDropForward,
 }
 
 impl Inject {
@@ -56,15 +73,19 @@ impl Inject {
         "entropy",
         "unordered-map",
         "hot-path-struct",
+        "dir-match",
+        "spec-drop-forward",
     ];
 
     /// All classes, matching [`Self::NAMES`] order.
-    pub const ALL: [Inject; 5] = [
+    pub const ALL: [Inject; 7] = [
         Inject::IncompleteRow,
         Inject::WaitsForCycle,
         Inject::Entropy,
         Inject::UnorderedMap,
         Inject::HotPathStruct,
+        Inject::DirMatch,
+        Inject::SpecDropForward,
     ];
 
     /// Parses a CLI name.
@@ -83,6 +104,8 @@ impl Inject {
             Inject::Entropy => "entropy",
             Inject::UnorderedMap => "unordered-map",
             Inject::HotPathStruct => "hot-path-struct",
+            Inject::DirMatch => "dir-match",
+            Inject::SpecDropForward => "model-violation",
         }
     }
 }
@@ -94,6 +117,30 @@ pub struct AuditOptions {
     pub root: PathBuf,
     /// Optional seeded violation for self-testing the audit.
     pub inject: Option<Inject>,
+    /// Run the explicit-state model checker over the spec variants.
+    /// Off by default: it is exhaustive (thousands of configurations
+    /// per variant) and the lexical/graph engines cover every commit.
+    pub model: bool,
+    /// BFS depth bound for the model checker; `None` explores the full
+    /// reachable space (the invariants are then *proved*, not sampled).
+    pub model_depth: Option<u32>,
+    /// Restrict the model checker to one spec variant (by
+    /// [`SpecVariant`] name); `None` checks all four.
+    pub protocol: Option<SpecVariant>,
+}
+
+impl AuditOptions {
+    /// The default audit over `root`: all static engines, no model
+    /// checking, no seeded violation.
+    pub fn new(root: PathBuf) -> AuditOptions {
+        AuditOptions {
+            root,
+            inject: None,
+            model: false,
+            model_depth: None,
+            protocol: None,
+        }
+    }
 }
 
 /// The outcome of one audit run.
@@ -107,6 +154,9 @@ pub struct AuditReport {
     pub edges_checked: usize,
     /// Source files linted.
     pub files_scanned: usize,
+    /// Per-variant model-checking results (empty unless the model
+    /// checker ran); their `[model]` reports belong in the audit output.
+    pub model_runs: Vec<model::ModelRun>,
 }
 
 impl AuditReport {
@@ -117,11 +167,20 @@ impl AuditReport {
 
     /// Human-readable summary line.
     pub fn summary(&self) -> String {
+        let model = if self.model_runs.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", {} model states",
+                self.model_runs.iter().map(|r| r.reachable).sum::<u64>()
+            )
+        };
         format!(
-            "hmg-audit: {} table cells, {} waits-for edges, {} source files -> {} finding(s)",
+            "hmg-audit: {} table cells, {} waits-for edges, {} source files{} -> {} finding(s)",
             self.cells_checked,
             self.edges_checked,
             self.files_scanned,
+            model,
             self.findings.len()
         )
     }
@@ -153,16 +212,55 @@ pub fn run_audit(opts: &AuditOptions) -> AuditReport {
         Some(Inject::Entropy) => vec![lint::synthetic_entropy_file()],
         Some(Inject::UnorderedMap) => vec![lint::synthetic_unordered_map_file()],
         Some(Inject::HotPathStruct) => vec![lint::synthetic_hot_path_file()],
+        Some(Inject::DirMatch) => vec![lint::synthetic_dir_match_file()],
         _ => Vec::new(),
     };
     let (lint_findings, files_scanned) = lint::run(root, &extra);
     findings.extend(lint_findings);
+
+    // Explicit-state model checking: opt-in, or forced by the
+    // spec-drop-forward injection (the one bug class only reachability
+    // can see — the broken spec is still complete and deterministic).
+    let mut model_runs = Vec::new();
+    if opts.model || opts.inject == Some(Inject::SpecDropForward) {
+        if opts.inject == Some(Inject::SpecDropForward) {
+            // The forward matters only under HMG, so the injection pins
+            // the hierarchical variant regardless of `--protocol`.
+            let broken = ProtocolSpec::for_variant(SpecVariant::Hmg).with_forward_dropped();
+            model_runs.push(model::check_variant(broken, opts.model_depth));
+        } else {
+            model_runs = model::check_all(opts.protocol, opts.model_depth);
+        }
+        for run in &model_runs {
+            for v in &run.violations {
+                // Anchor at the spec's Invalidation rows: that is where
+                // a protocol-semantics fix lands.
+                let spec_rs = Path::new("crates/protocol/src/spec.rs");
+                let line = findings::locate(root, spec_rs, "static ROWS");
+                findings.push(Finding::new(
+                    "model-violation",
+                    spec_rs,
+                    line,
+                    format!(
+                        "[{}] {} invariant violated under variant `{}`: {} \
+                         (counterexample trace in the [model] report, {} steps)",
+                        run.variant.name(),
+                        v.invariant,
+                        run.variant.name(),
+                        v.detail,
+                        v.trace.len()
+                    ),
+                ));
+            }
+        }
+    }
 
     AuditReport {
         findings,
         cells_checked,
         edges_checked,
         files_scanned,
+        model_runs,
     }
 }
 
@@ -180,22 +278,47 @@ mod tests {
 
     #[test]
     fn clean_audit_passes() {
-        let report = run_audit(&AuditOptions {
-            root: root(),
-            inject: None,
-        });
+        let report = run_audit(&AuditOptions::new(root()));
         assert!(report.passed(), "{:#?}", report.findings);
         assert_eq!(report.cells_checked, 24);
         assert!(report.edges_checked >= 10);
         assert!(report.files_scanned > 20);
+        assert!(report.model_runs.is_empty(), "model is opt-in");
+    }
+
+    #[test]
+    fn clean_audit_with_model_proves_every_variant() {
+        let report = run_audit(&AuditOptions {
+            model: true,
+            ..AuditOptions::new(root())
+        });
+        assert!(report.passed(), "{:#?}", report.findings);
+        assert_eq!(report.model_runs.len(), SpecVariant::ALL.len());
+        for run in &report.model_runs {
+            assert!(run.passed() && !run.truncated, "{}", run.report());
+        }
+        assert!(report.summary().contains("model states"));
+    }
+
+    #[test]
+    fn model_protocol_filter_checks_one_variant() {
+        let report = run_audit(&AuditOptions {
+            model: true,
+            protocol: Some(SpecVariant::HmgPhase),
+            model_depth: Some(4),
+            ..AuditOptions::new(root())
+        });
+        assert_eq!(report.model_runs.len(), 1);
+        assert_eq!(report.model_runs[0].variant, SpecVariant::HmgPhase);
+        assert!(report.model_runs[0].truncated);
     }
 
     #[test]
     fn every_seeded_violation_class_is_caught_with_a_location() {
         for inject in Inject::ALL {
             let report = run_audit(&AuditOptions {
-                root: root(),
                 inject: Some(inject),
+                ..AuditOptions::new(root())
             });
             assert!(!report.passed(), "{inject:?} was not detected");
             let hit = report

@@ -3,7 +3,7 @@
 //! Scans the workspace's crate sources with a small lexical pass that
 //! blanks comments and string literals (so tokens inside docs or
 //! messages never fire) and skips `#[cfg(test)]` modules and `tests/`
-//! integration files. Five rules:
+//! integration files. Six rules:
 //!
 //! * `unordered-map` — no iteration-order-sensitive `HashMap`/`HashSet`
 //!   in simulator-state crates (sim, gpu, mem, interconnect, protocol).
@@ -27,6 +27,12 @@
 //!   cost a pointer chase per probe and must not creep back into those
 //!   files; the retained reference oracle carries an explicit
 //!   `audit:allow(hot-path-struct)` justification.
+//! * `dir-match` — no `match` arms on `DirState::` / `DirEvent::`
+//!   patterns outside the guarded-action spec, its compiled table view,
+//!   and the model checker. Since PR 10 the spec rows are the single
+//!   source of truth for protocol decisions; a hand-rolled match in the
+//!   engine or oracle is a shadow transition table that can silently
+//!   drift from the proved one.
 //!
 //! Suppression grammar: `// audit:allow(<rule-id>): <justification>` on
 //! the same line as the flagged token or in the contiguous comment block
@@ -62,6 +68,16 @@ const HOT_PATH_FILES: &[&str] = &[
 /// Tree-based std collections that trade a pointer chase per probe for
 /// ordering the hot path does not need.
 const HOT_PATH_TOKENS: &[&str] = &["BinaryHeap", "BTreeMap", "BTreeSet"];
+
+/// The only files allowed to pattern-match on `DirState`/`DirEvent`:
+/// the guarded-action spec (the source of truth), the legacy table view
+/// it compiles to, and the model checker that walks its rows. Anywhere
+/// else, such a match is a shadow transition table.
+const DIR_MATCH_ALLOWLIST: &[&str] = &[
+    "crates/protocol/src/spec.rs",
+    "crates/protocol/src/table.rs",
+    "crates/audit/src/model.rs",
+];
 
 /// Tokens that read wall-clock time or OS entropy.
 const ENTROPY_TOKENS: &[&str] = &[
@@ -130,6 +146,7 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
     let sim_state = SIM_STATE_CRATES.contains(&krate);
     let entropy_ok = ENTROPY_WHITELIST.contains(&rel);
     let hot_path = HOT_PATH_FILES.contains(&rel);
+    let dir_match_ok = DIR_MATCH_ALLOWLIST.contains(&rel);
 
     let raw: Vec<&str> = text.lines().collect();
     let stripped_text = strip_comments_and_strings(text);
@@ -186,6 +203,28 @@ fn lint_file(rel: &str, text: &str, out: &mut Vec<Finding>) {
                         ),
                     ));
                 }
+            }
+        }
+
+        if !dir_match_ok {
+            // A `DirState::X =>` / `DirEvent::X =>` arm is protocol
+            // decision logic living outside the spec. (Expression uses
+            // — passing a variant to the spec API — carry no `=>`.)
+            let is_arm = ["DirState::", "DirEvent::"]
+                .iter()
+                .any(|tok| line.find(tok).is_some_and(|pos| line[pos..].contains("=>")));
+            if is_arm && !allowed(&raw, i, "dir-match", rel, lineno, out) {
+                out.push(Finding::new(
+                    "dir-match",
+                    rel,
+                    lineno,
+                    "`match` arm on DirState/DirEvent outside the guarded-action spec — \
+                     protocol decisions must come from hmg_protocol::spec rows (the table \
+                     the audit proves), not a hand-rolled shadow table. Call \
+                     `ProtocolSpec::row`/`try_transition`, or justify with \
+                     `// audit:allow(dir-match): <why this is not transition logic>`"
+                        .to_string(),
+                ));
             }
         }
 
@@ -613,6 +652,20 @@ pub fn synthetic_unordered_map_file() -> SyntheticFile {
     }
 }
 
+/// Synthetic file for the `dir-match` seeded-violation self-test: a
+/// hand-rolled shadow of the transition table in engine territory.
+pub fn synthetic_dir_match_file() -> SyntheticFile {
+    SyntheticFile {
+        path: "crates/gpu/src/__audit_selftest_dirmatch.rs",
+        text: "use hmg_protocol::{DirEvent, DirState};\n\n\
+               pub fn shadow_transition(s: DirState, e: DirEvent) -> DirState {\n    \
+               match (s, e) {\n        \
+               (DirState::Invalid, DirEvent::RemoteLoad) => DirState::Valid,\n        \
+               _ => s,\n    }\n}\n"
+            .to_string(),
+    }
+}
+
 /// Synthetic file for the `hot-path-struct` seeded-violation self-test.
 pub fn synthetic_hot_path_file() -> SyntheticFile {
     SyntheticFile {
@@ -682,6 +735,40 @@ mod tests {
             .file
             .to_string_lossy()
             .contains("__audit_selftest_hotpath"));
+    }
+
+    #[test]
+    fn injected_dir_match_is_reported_with_location() {
+        let (findings, _) = run(&root(), &[synthetic_dir_match_file()]);
+        let hits: Vec<_> = findings.iter().filter(|f| f.rule == "dir-match").collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert_eq!(hits[0].line, 5, "the shadow arm is on line 5");
+        assert!(hits[0]
+            .file
+            .to_string_lossy()
+            .contains("__audit_selftest_dirmatch"));
+    }
+
+    #[test]
+    fn dir_match_rule_spares_the_spec_and_expression_uses() {
+        // The same arm inside the spec itself is the source of truth,
+        // not a shadow; and expression-position variants never fire.
+        let in_spec = SyntheticFile {
+            path: "crates/protocol/src/spec.rs",
+            text: "fn f(s: DirState) -> &'static str {\n    \
+                   match s {\n        DirState::Invalid => \"I\",\n        \
+                   DirState::Valid => \"V\",\n    }\n}\n"
+                .to_string(),
+        };
+        let expr_use = SyntheticFile {
+            path: "crates/gpu/src/__audit_selftest_dirmatch_expr.rs",
+            text: "pub fn g() {\n    let _ = hmg_protocol::DirEvent::RemoteLoad;\n}\n".to_string(),
+        };
+        let (findings, _) = run(&root(), &[in_spec, expr_use]);
+        assert!(
+            findings.iter().all(|f| f.rule != "dir-match"),
+            "{findings:?}"
+        );
     }
 
     #[test]

@@ -14,7 +14,8 @@
 use std::process::ExitCode;
 
 use hmg::experiments as exp;
-use hmg::prelude::SimError;
+use hmg::prelude::{ProtocolKind, SimError};
+use hmg::protocol::Arbitration;
 use hmg_bench::{parse_args, Command, ParsedArgs};
 
 /// Writes `svg` into `dir/name.svg` when SVG output was requested.
@@ -212,6 +213,18 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
                 budget,
                 seed: opts.seed,
                 jobs: opts.jobs,
+                protocols: match p.protocol {
+                    Some(v) if v.hmg() => vec![ProtocolKind::Hmg],
+                    Some(_) => vec![ProtocolKind::Nhcc],
+                    None => vec![ProtocolKind::Nhcc, ProtocolKind::Hmg],
+                },
+                // A `-phase` variant arms threshold-0 flow control so the
+                // HomeBusy guarded rows face the oracle; the plain
+                // variants keep the default unguarded sweep.
+                arbitration: p
+                    .protocol
+                    .map(|v| v.arbitration())
+                    .filter(|&a| a == Arbitration::PhasePriority),
                 inject: opts
                     .faults
                     .as_ref()
@@ -244,9 +257,15 @@ fn run(cmd: Command, p: &ParsedArgs) -> bool {
         }
         Command::Audit => {
             let report = hmg_audit::run_audit(&hmg_audit::AuditOptions {
-                root: std::path::PathBuf::from(&p.audit_root),
                 inject: p.inject,
+                model: p.model,
+                model_depth: p.model_depth,
+                protocol: p.protocol,
+                ..hmg_audit::AuditOptions::new(std::path::PathBuf::from(&p.audit_root))
             });
+            for run in &report.model_runs {
+                println!("{}", run.report());
+            }
             for f in &report.findings {
                 println!("{f}");
             }

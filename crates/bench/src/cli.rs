@@ -3,6 +3,7 @@
 
 use hmg::experiments::ExpOptions;
 use hmg::prelude::FaultPlan;
+use hmg::protocol::SpecVariant;
 use hmg::supervisor::Isolation;
 use hmg::workloads::Scale;
 
@@ -126,6 +127,13 @@ pub struct ParsedArgs {
     pub inject: Option<hmg_audit::Inject>,
     /// Workspace root for the `audit` command (defaults to `.`).
     pub audit_root: String,
+    /// Run the explicit-state model checker as part of `audit`.
+    pub model: bool,
+    /// BFS depth bound for `--model` (`None` = exhaustive).
+    pub model_depth: Option<u32>,
+    /// Spec variant selector: restricts `audit --model` to one variant
+    /// and picks the arbitration discipline for `check`.
+    pub protocol: Option<SpecVariant>,
     /// Run the reduced `bench` matrix (CI smoke mode).
     pub bench_quick: bool,
     /// Output path for `BENCH_hotpath.json` (defaults to the CWD).
@@ -135,7 +143,7 @@ pub struct ParsedArgs {
 }
 
 /// Usage text.
-pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--snapshot-dir DIR] [--snapshot-interval N] [--budget N] [--inject CLASS] [--root DIR] [--quick] [--out FILE] [--baseline FILE]
+pub const USAGE: &str = "usage: experiments <command> [--scale tiny|small|full] [--seed N] [--workloads a,b,c] [--svg DIR] [--faults SPEC] [--keep-going] [--checkpoint FILE] [--resume] [--livelock-budget N] [--jobs N] [--cell-timeout SECS] [--retries N] [--isolation process|thread] [--snapshot-dir DIR] [--snapshot-interval N] [--budget N] [--inject CLASS] [--root DIR] [--model] [--depth N] [--protocol VARIANT] [--quick] [--out FILE] [--baseline FILE]
 
 commands:
   table3 fig2 fig3 fig7 fig8 fig9-11 fig12 fig13 fig14
@@ -160,8 +168,21 @@ static analysis (docs/STATIC_ANALYSIS.md):
                   finding
   --inject CLASS  seed one known violation class to prove the audit
                   detects it: incomplete-row | waitsfor-cycle |
-                  entropy | unordered-map
+                  entropy | unordered-map | hot-path-struct |
+                  dir-match | spec-drop-forward
   --root DIR      workspace root to audit (default: current directory)
+  --model         also run the explicit-state model checker: walk every
+                  reachable configuration of a small abstract system
+                  under the guarded-action spec rows and prove SWMR,
+                  sharer conservation, no stuck states, and waits-for
+                  acyclicity per variant (prints `[model] ...` lines
+                  with reachable-state counts and, on violation, the
+                  shortest counterexample trace)
+  --depth N       bound the model checker's BFS at depth N (the run is
+                  then a sample, reported as `truncated`; default is
+                  the full reachable space)
+  --protocol VARIANT  restrict --model to one spec variant:
+                  nhcc | hmg | nhcc-phase | hmg-phase
 
 coherence checking (docs/CHECKING.md):
   check           sweep the bounded litmus space against the axiomatic
@@ -176,6 +197,10 @@ coherence checking (docs/CHECKING.md):
   --faults flip-msg=P,flip-line=P,flip-dir=P   stamp soft-error
                   injection onto every perturbation plan; any silently
                   consumed flip fails the sweep as INTEGRITY
+  --protocol VARIANT   run the sweep under a specific spec variant; the
+                  -phase variants enable threshold-0 flow control with
+                  phase-priority arbitration, so every HomeBusy guarded
+                  row is exercised against the oracle
 
 fault injection (DESIGN.md `Robustness & fault injection`):
   --faults SPEC   comma-separated clauses, e.g.
@@ -262,6 +287,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
     let mut budget = 2000u64;
     let mut inject = None;
     let mut audit_root = String::from(".");
+    let mut model = false;
+    let mut model_depth = None;
+    let mut protocol = None;
     let mut bench_quick = false;
     let mut bench_out = String::from("BENCH_hotpath.json");
     let mut bench_baseline = None;
@@ -343,6 +371,24 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
                 })?);
             }
             "--root" => audit_root = it.next().ok_or("--root needs a directory")?.clone(),
+            "--model" => model = true,
+            "--depth" => {
+                let v = it.next().ok_or("--depth needs a BFS depth bound")?;
+                model_depth = Some(v.parse().map_err(|e| format!("bad depth: {e}"))?);
+            }
+            "--protocol" => {
+                let v = it.next().ok_or("--protocol needs a spec variant")?;
+                protocol = Some(SpecVariant::from_name(v).ok_or_else(|| {
+                    format!(
+                        "unknown spec variant `{v}` (expected one of: {})",
+                        SpecVariant::ALL
+                            .iter()
+                            .map(|x| x.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                })?);
+            }
             "--quick" => bench_quick = true,
             "--out" => bench_out = it.next().ok_or("--out needs a file path")?.clone(),
             "--baseline" => {
@@ -361,6 +407,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, String> {
         budget,
         inject,
         audit_root,
+        model,
+        model_depth,
+        protocol,
         bench_quick,
         bench_out,
         bench_baseline,
@@ -588,6 +637,47 @@ mod tests {
         assert_eq!(q.audit_root, ".");
         assert!(parse_args(&s(&["audit", "--inject", "nope"])).is_err());
         assert!(parse_args(&s(&["audit", "--inject"])).is_err());
+    }
+
+    #[test]
+    fn parses_audit_model_flags() {
+        let p = parse_args(&s(&[
+            "audit",
+            "--model",
+            "--depth",
+            "6",
+            "--protocol",
+            "hmg-phase",
+        ]))
+        .unwrap();
+        assert!(p.model);
+        assert_eq!(p.model_depth, Some(6));
+        assert_eq!(p.protocol, Some(SpecVariant::HmgPhase));
+        let q = parse_args(&s(&["audit"])).unwrap();
+        assert!(!q.model, "the model checker is opt-in");
+        assert_eq!(q.model_depth, None, "default is exhaustive");
+        assert!(q.protocol.is_none(), "default checks every variant");
+        assert!(parse_args(&s(&["audit", "--depth", "deep"])).is_err());
+        assert!(parse_args(&s(&["audit", "--depth"])).is_err());
+    }
+
+    #[test]
+    fn every_spec_variant_name_round_trips_through_the_flag() {
+        for v in SpecVariant::ALL {
+            let p = parse_args(&s(&["audit", "--model", "--protocol", v.name()])).unwrap();
+            assert_eq!(p.protocol, Some(v), "{}", v.name());
+        }
+        let err = parse_args(&s(&["audit", "--protocol", "mesi"])).unwrap_err();
+        assert!(err.contains("unknown spec variant"), "{err}");
+        assert!(err.contains("nhcc-phase"), "the error lists names: {err}");
+        assert!(parse_args(&s(&["audit", "--protocol"])).is_err());
+    }
+
+    #[test]
+    fn check_accepts_a_protocol_variant() {
+        let p = parse_args(&s(&["check", "--protocol", "nhcc-phase", "--budget", "40"])).unwrap();
+        assert_eq!(p.protocol, Some(SpecVariant::NhccPhase));
+        assert_eq!(p.budget, 40);
     }
 
     #[test]

@@ -209,7 +209,15 @@ pub fn cost_of(p: &Program, cfg: &CheckConfig) -> u64 {
 pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
     let mut out = ClassResult::default();
     let used = p.used_addrs();
-    let plans = plans(cfg.seed, cfg.inject, cfg.link_down, flips_of(cfg));
+    let mut plans = plans(cfg.seed, cfg.inject, cfg.link_down, flips_of(cfg));
+    // An arbitration discipline under check turns home flow control on
+    // (threshold 0: every contended request hits the busy-home row) and
+    // stamps the discipline into every plan label so repros carry it.
+    if let Some(arb) = cfg.arbitration {
+        for (label, _) in &mut plans {
+            *label = format!("{label},arbitration={}", arb.name());
+        }
+    }
     for &proto in &cfg.protocols {
         for mode in Mode::ALL {
             let trace = trace_for(p, mode);
@@ -229,6 +237,10 @@ pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
                     let mut ecfg = EngineConfig::small_test(proto);
                     ecfg.faults = plan.clone();
                     ecfg.probe_line = Some(ADDR_LINES[a as usize]);
+                    if let Some(arb) = cfg.arbitration {
+                        ecfg.home_nack_threshold = Some(0);
+                        ecfg.arbitration = arb;
+                    }
                     out.runs += 1;
                     let result = run_isolated(ecfg, &trace);
                     if let Ok(m) = &result {
@@ -256,6 +268,7 @@ pub fn check_program(p: &Program, cfg: &CheckConfig) -> ClassResult {
                         mode,
                         addr: a,
                         fault_free,
+                        protocol: proto,
                     };
                     let rules = oracle::validate(&ctx, &result);
                     if !rules.is_empty() {
@@ -383,6 +396,29 @@ mod tests {
                 })
             );
             assert!(label.ends_with("link-down=0-1@400"), "{label}");
+        }
+    }
+
+    #[test]
+    fn both_arbitration_disciplines_pass_the_message_passing_sweep() {
+        // Flow control armed at threshold 0: every contended request
+        // exercises the guarded HomeBusy rows. Neither discipline —
+        // NACK/retry nor phase-priority defer — may ever produce an
+        // outcome the memory model disallows; arbitration reorders
+        // requests but must not change legality.
+        for arb in hmg::protocol::Arbitration::ALL {
+            let cfg = CheckConfig {
+                arbitration: Some(arb),
+                ..CheckConfig::default()
+            };
+            for reader in [2u8, 3] {
+                let r = check_program(&mp(reader), &cfg);
+                assert!(
+                    r.violations.is_empty(),
+                    "{arb:?} reader gpm{reader}: {:?}",
+                    r.violations
+                );
+            }
         }
     }
 

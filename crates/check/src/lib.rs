@@ -84,6 +84,13 @@ pub struct CheckConfig {
     /// (`--faults flip-dir=PROB`), recovered through ECC or a
     /// sticky-broadcast rebuild.
     pub flip_dir: Option<f64>,
+    /// Sweep with home flow control armed (threshold 0) under the given
+    /// busy-home arbitration discipline (`--protocol` with a `-phase`
+    /// variant, or `--tweak arbitration=...`). `None` (default) leaves
+    /// flow control off — the unguarded spec rows only. The litmus
+    /// outcomes must stay inside the oracle's allowed set either way:
+    /// arbitration may reorder requests but never change legality.
+    pub arbitration: Option<hmg::protocol::Arbitration>,
     /// Worker threads for the class sweep (0 = one per core).
     pub jobs: usize,
 }
@@ -100,6 +107,7 @@ impl Default for CheckConfig {
             flip_msg: None,
             flip_line: None,
             flip_dir: None,
+            arbitration: None,
             jobs: 0,
         }
     }

@@ -31,8 +31,15 @@
 //!   independent of protocol, schedule perturbation, and probe target.
 //! * **R7 probe completeness** — every load/atomic of the probed line
 //!   is observed exactly once per SM (nothing lost, nothing invented).
+//! * **R8 spec admissibility** — every directory transition the run
+//!   executed lies in the guarded-action spec's legal-row set for the
+//!   protocol variant (`ProtocolSpec::legal`), and the engine's runtime
+//!   conformance replay saw zero mismatches. The admissible set is
+//!   *derived from the spec rows*, not hand-listed here, so a spec edit
+//!   reshapes the oracle automatically.
 
-use hmg::prelude::{RunMetrics, SimError};
+use hmg::prelude::{ProtocolKind, RunMetrics, SimError};
+use hmg::protocol::{row_of, ProtocolSpec, NUM_ROWS};
 
 use crate::program::{LOp, Program};
 
@@ -71,6 +78,8 @@ pub struct RunCtx<'a> {
     /// Whether the fault plan perturbed message timing (delay/dup).
     /// Fault-free runs admit the sharpest rules.
     pub fault_free: bool,
+    /// Protocol under check; selects which spec rows R8 admits.
+    pub protocol: ProtocolKind,
 }
 
 /// Line index (in `probe_line` units) backing each symbolic address:
@@ -150,6 +159,33 @@ pub fn validate(ctx: &RunCtx, result: &Result<RunMetrics, SimError>) -> Vec<Stri
             "R6 committed-state: digest {:#018x}, model predicts {want:#018x}",
             m.state_digest
         ));
+    }
+
+    // R8: the run's directory transitions all lie in the spec's
+    // legal-row set for this variant, and the conformance replay (which
+    // re-derives every executed transition from the same spec) agrees.
+    let spec = ProtocolSpec::of(ctx.protocol == ProtocolKind::Hmg, Default::default());
+    if m.table.mismatches > 0 {
+        viol.push(format!(
+            "R8 spec-admissibility: {} directory transition(s) disagreed with the \
+             guarded-action spec at runtime",
+            m.table.mismatches
+        ));
+    }
+    for i in 0..NUM_ROWS {
+        let (s, e) = row_of(i);
+        if m.table.rows[i] > 0 && !spec.legal(s, e) {
+            viol.push(format!(
+                "R8 spec-admissibility: the run executed ({s:?}, {e:?}) {} time(s), a cell \
+                 the {} spec leaves undefined",
+                m.table.rows[i],
+                if ctx.protocol == ProtocolKind::Hmg {
+                    "HMG"
+                } else {
+                    "flat"
+                }
+            ));
+        }
     }
 
     // R7: exactly the expected observations, per SM. Structure checks
@@ -362,6 +398,7 @@ mod tests {
             mode: Mode::Concurrent,
             addr: 0,
             fault_free: true,
+            protocol: ProtocolKind::Hmg,
         };
         let digest = expected_digest(&p);
         for read in [0u64, 1] {
@@ -383,6 +420,7 @@ mod tests {
             mode: Mode::Concurrent,
             addr: 0,
             fault_free: false,
+            protocol: ProtocolKind::Hmg,
         };
         let m = metrics(
             vec![(0, 0), (4, 0), (0, 1), (2, 1), (4, 0), (6, 1)],
@@ -400,6 +438,7 @@ mod tests {
             mode: Mode::Concurrent,
             addr: 0,
             fault_free: true,
+            protocol: ProtocolKind::Hmg,
         };
         let m = metrics(
             vec![(0, 0), (4, 2), (0, 1), (2, 1), (4, 1), (6, 1)],
@@ -418,6 +457,7 @@ mod tests {
             mode: Mode::Concurrent,
             addr: 0,
             fault_free: true,
+            protocol: ProtocolKind::Hmg,
         };
         let m = metrics(
             vec![(0, 0), (0, 1), (2, 1), (4, 1), (6, 1)],
@@ -437,6 +477,7 @@ mod tests {
             mode: Mode::Phased,
             addr: 0,
             fault_free: true,
+            protocol: ProtocolKind::Hmg,
         };
         let good = metrics(
             vec![(0, 0), (4, 1), (0, 1), (2, 1), (4, 1), (6, 1)],
@@ -470,6 +511,7 @@ mod tests {
             mode: Mode::Phased,
             addr: 0,
             fault_free: true,
+            protocol: ProtocolKind::Hmg,
         };
         let good = metrics(
             vec![(0, 0), (4, 2), (0, 2), (2, 2), (4, 2), (6, 2)],
@@ -486,6 +528,51 @@ mod tests {
     }
 
     #[test]
+    fn r8_admissibility_is_derived_from_the_spec() {
+        use hmg::protocol::{row_index, DirEvent, DirState, TableConformance};
+        let p = mp();
+        let probe = vec![(0, 0), (4, 1), (0, 1), (2, 1), (4, 1), (6, 1)];
+        let digest = expected_digest(&p);
+
+        // A run that exercised the Invalidation column is admissible
+        // under HMG (the spec defines the row) but not under a flat
+        // protocol (the spec leaves it undefined) — same evidence, the
+        // verdict flips with the variant's legal-row set.
+        let mut table = TableConformance::new();
+        table.rows[row_index(DirState::Valid, DirEvent::Invalidation)] = 3;
+        let m = RunMetrics {
+            probe: probe.clone(),
+            state_digest: digest,
+            table,
+            ..RunMetrics::default()
+        };
+        let mut ctx = RunCtx {
+            program: &p,
+            mode: Mode::Concurrent,
+            addr: 0,
+            fault_free: true,
+            protocol: ProtocolKind::Hmg,
+        };
+        assert_eq!(validate(&ctx, &Ok(m.clone())), Vec::<String>::new());
+        ctx.protocol = ProtocolKind::Nhcc;
+        let v = validate(&ctx, &Ok(m));
+        assert!(v.iter().any(|s| s.starts_with("R8")), "{v:?}");
+
+        // A runtime conformance mismatch fails R8 under any variant.
+        let mut table = TableConformance::new();
+        table.mismatches = 1;
+        let m = RunMetrics {
+            probe,
+            state_digest: digest,
+            table,
+            ..RunMetrics::default()
+        };
+        ctx.protocol = ProtocolKind::Hmg;
+        let v = validate(&ctx, &Ok(m));
+        assert!(v.iter().any(|s| s.contains("disagreed")), "{v:?}");
+    }
+
+    #[test]
     fn r1_catches_engine_errors() {
         let p = mp();
         let ctx = RunCtx {
@@ -493,6 +580,7 @@ mod tests {
             mode: Mode::Concurrent,
             addr: 0,
             fault_free: true,
+            protocol: ProtocolKind::Hmg,
         };
         let v = validate(&ctx, &Err(SimError::protocol("boom")));
         assert_eq!(v.len(), 1);

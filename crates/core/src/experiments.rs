@@ -180,6 +180,8 @@ impl ExpOptions {
 /// | `checksums=on/off`  | per-message checksum verification            |
 /// | `scrub=N`           | background scrubber period in cycles         |
 /// | `double-bit=F`      | SEC-DED uncorrectable-flip fraction in [0,1] |
+/// | `nack-thr=N`        | busy-home flow-control threshold in cycles   |
+/// | `arbitration=nack/phase` | busy-home discipline: NACK/retry or phase-priority |
 pub fn apply_tweak(spec: &str, cfg: &mut EngineConfig) -> Result<(), SimError> {
     for clause in spec.split('+').filter(|c| !c.is_empty()) {
         let (key, value) = match clause.split_once('=') {
@@ -240,6 +242,12 @@ pub fn apply_tweak(spec: &str, cfg: &mut EngineConfig) -> Result<(), SimError> {
                     return Err(bad());
                 }
                 cfg.ecc_double_bit_fraction = f;
+            }
+            ("nack-thr", Some(v)) => {
+                cfg.home_nack_threshold = Some(v.parse().map_err(|_| bad())?);
+            }
+            ("arbitration", Some(v)) => {
+                cfg.arbitration = hmg_protocol::Arbitration::from_name(v).ok_or_else(bad)?;
             }
             _ => return Err(bad()),
         }
@@ -2063,6 +2071,11 @@ mod tests {
         apply_tweak("ecc=secded+checksums=on", &mut cfg).expect("secded");
         assert_eq!(cfg.ecc, hmg_gpu::EccMode::SecDed);
         assert!(cfg.checksums);
+        apply_tweak("nack-thr=32+arbitration=phase", &mut cfg).expect("arbitration");
+        assert_eq!(cfg.home_nack_threshold, Some(32));
+        assert_eq!(cfg.arbitration, hmg_protocol::Arbitration::PhasePriority);
+        apply_tweak("arbitration=nack", &mut cfg).expect("nack");
+        assert_eq!(cfg.arbitration, hmg_protocol::Arbitration::NackRetry);
     }
 
     #[test]
@@ -2076,6 +2089,8 @@ mod tests {
         assert!(apply_tweak("checksums=maybe", &mut cfg).is_err());
         assert!(apply_tweak("scrub=soon", &mut cfg).is_err());
         assert!(apply_tweak("double-bit=1.5", &mut cfg).is_err());
+        assert!(apply_tweak("arbitration=lottery", &mut cfg).is_err());
+        assert!(apply_tweak("nack-thr=soon", &mut cfg).is_err());
         assert!(apply_tweak("", &mut cfg).is_ok(), "empty spec is a no-op");
     }
 

@@ -3,7 +3,7 @@
 
 use hmg_interconnect::{FabricConfig, Topology};
 use hmg_mem::{CacheConfig, DirectoryConfig, MemGeometry, PagePlacement};
-use hmg_protocol::{MsgSizes, ProtocolKind};
+use hmg_protocol::{Arbitration, MsgSizes, ProtocolKind};
 use hmg_sim::{Cycle, FaultPlan, SimError};
 
 /// L2 write policy for plain (`.cta`) stores.
@@ -142,6 +142,14 @@ pub struct EngineConfig {
     /// retrying (and potentially livelocking) forever. `None` (default)
     /// keeps the pre-existing unbounded-retry behavior.
     pub nack_attempt_cap: Option<u8>,
+    /// What a busy directory home does with the requests it throttles
+    /// (only consulted when `home_nack_threshold` is set): NACK/retry
+    /// rejects them back to the requester with exponential backoff;
+    /// phase-priority holds them at the home and replays them after a
+    /// fixed quantum (`nack_backoff`) in arrival order. The discipline
+    /// is the guarded `HomeBusy` rows of the protocol spec
+    /// (`hmg_protocol::spec`), so both variants are model-checked.
+    pub arbitration: Arbitration,
     /// ECC scheme protecting L2 lines and directory entries against
     /// `flip-line`/`flip-dir` soft errors. Default [`EccMode::SecDed`].
     pub ecc: EccMode,
@@ -202,6 +210,7 @@ impl EngineConfig {
             home_nack_threshold: None,
             nack_backoff: Cycle(200),
             nack_attempt_cap: None,
+            arbitration: Arbitration::NackRetry,
             ecc: EccMode::SecDed,
             ecc_double_bit_fraction: 0.25,
             checksums: true,

@@ -26,9 +26,9 @@ use std::collections::VecDeque;
 
 use hmg_interconnect::{Fabric, GpmId, GpuId, MsgClass};
 use hmg_mem::{BlockAddr, Cache, Directory, Dram, LineAddr, PageMap, Sharer, VersionStore};
-use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
 use hmg_protocol::{
-    AccessKind, DirEvent, DirState, Observed, ProtocolKind, Scope, TraceOp, WorkloadTrace,
+    AccessKind, AcquireAction, Action, CacheLevel, DirEvent, DirState, FenceDomain, GuardCtx,
+    Observed, ProtocolKind, ProtocolSpec, Scope, TraceOp, WorkloadTrace,
 };
 use hmg_sim::collect::{FlatMap, VecPool};
 use hmg_sim::{
@@ -1270,16 +1270,39 @@ impl<'t> Sim<'t> {
         let t_data = now + self.cfg.l2_latency;
         let block = self.cfg.geometry.block_of(msg.line);
 
-        // Flow control: a busy directory home rejects remote requests
-        // outright rather than queueing them unboundedly. This runs
-        // before any state is touched, so a rejected delivery has no
-        // side effects and the retry is a clean re-issue from the
-        // requester (redelivery is idempotent by construction).
+        // Flow control: a busy directory home throttles remote requests
+        // rather than queueing them unboundedly. This runs before any
+        // state is touched, so a throttled delivery has no side effects
+        // and the replay is a clean re-issue (redelivery is idempotent
+        // by construction). *What* the home does comes from the spec's
+        // guarded `HomeBusy` rows: NACK/retry rejects the request back
+        // to the requester with exponential backoff; phase-priority
+        // holds it at the home and replays it after a fixed quantum, in
+        // arrival order (the event queue's FIFO tie order).
         if let Some(thr) = self.cfg.home_nack_threshold {
             if node != req_gpm
                 && self.node_is_dir_home(node, sys_home, gpu_home)
                 && self.fabric.intra_backlog(node, now).1 > thr
             {
+                let state = self.gpms[node.index()].dir.state_of(block);
+                let event = if msg.kind == AccessKind::Load {
+                    DirEvent::RemoteLoad
+                } else {
+                    DirEvent::RemoteStore
+                };
+                // Every remote-request cell carries a busy-home row; if
+                // a spec edit ever dropped one, falling through to the
+                // NACK discipline keeps the engine total.
+                let defer = self
+                    .spec()
+                    .row(state, event, GuardCtx::BUSY)
+                    .is_some_and(|row| row.has(Action::Defer));
+                if defer {
+                    self.m.deferred_reqs += 1;
+                    self.q
+                        .push(now + self.cfg.nack_backoff, Ev::Req { msg, node });
+                    return;
+                }
                 self.m.nacks += 1;
                 // Attempt cap: a request the home keeps refusing must
                 // surface as a typed error, not retry into a livelock.
@@ -2099,6 +2122,31 @@ impl<'t> Sim<'t> {
 
     // ---------- directory ----------
 
+    /// The guarded-action spec variant this run executes: the base
+    /// protocol (HMG's hierarchical `Invalidation` column or flat NHCC)
+    /// crossed with the configured arbitration discipline. Every
+    /// directory decision below is read from this spec's rows — the
+    /// same rows the audit model checker proves safe.
+    fn spec(&self) -> ProtocolSpec {
+        ProtocolSpec::of(self.cfg.protocol == ProtocolKind::Hmg, self.cfg.arbitration)
+    }
+
+    /// The unconditional spec row for `(state, event)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the spec leaves the cell undefined — the engine
+    /// reached a transition the protocol does not have, which is a
+    /// simulator bug (same contract as `hmg_protocol::transition`).
+    fn dir_row(&self, state: DirState, event: DirEvent) -> &'static hmg_protocol::SpecRow {
+        self.spec()
+            .row(state, event, GuardCtx::FREE)
+            .unwrap_or_else(|| {
+                // audit:allow(panic-path): undefined-cell contract, mirrors transition().
+                panic!("spec leaves ({state:?}, {event:?}) undefined")
+            })
+    }
+
     fn node_is_dir_home(&self, node: GpmId, sys_home: GpmId, gpu_home: GpmId) -> bool {
         match self.cfg.protocol {
             ProtocolKind::Nhcc => node == sys_home,
@@ -2124,14 +2172,21 @@ impl<'t> Sim<'t> {
         let topo = self.cfg.topo;
         let cap = self.cfg.dir.max_sharers;
         let prev = self.gpms[node.index()].dir.state_of(block);
+        // Spec: (I|V, RemoteLoad) -> [AddSharer] -> V. Allocation is the
+        // I-row's implicit V entry creation; no invalidation action.
+        let row = self.dir_row(prev, DirEvent::RemoteLoad);
         let (obs, newly_broadcast, evicted) = {
             let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
             let prior = (!set.is_broadcast()).then(|| set.len());
             let sender_was = set.contains(&topo, sharer);
-            let (_, newly_broadcast) = set.insert_capped(&topo, sharer, cap);
+            let newly_broadcast = if row.has(Action::AddSharer) {
+                set.insert_capped(&topo, sharer, cap).1
+            } else {
+                false
+            };
             let obs = Observed {
-                next: DirState::Valid,
-                added_sharer: true,
+                next: row.next,
+                added_sharer: row.has(Action::AddSharer),
                 prior_sharers: prior,
                 sender_was_sharer: sender_was,
                 invalidated: Some(0),
@@ -2214,18 +2269,26 @@ impl<'t> Sim<'t> {
     ) {
         let topo = self.cfg.topo;
         if local {
-            // Table I: V + Local St -> inv all sharers, -> I.
+            // Spec: (V, LocalStore) -> [InvAllSharers, RemoveAllSharers]
+            // -> I; (I, LocalStore) -> [] -> I. The `remove` call is the
+            // RemoveAllSharers action and doubles as the state probe.
             match self.gpms[node.index()].dir.remove(block) {
                 Some(sharers) => {
+                    let row = self.dir_row(DirState::Valid, DirEvent::LocalStore);
+                    debug_assert!(row.has(Action::RemoveAllSharers));
                     let prior = (!sharers.is_broadcast()).then(|| sharers.len());
-                    let targets = self.inv_targets(node, block, &sharers);
+                    let targets = if row.has(Action::InvAllSharers) {
+                        self.inv_targets(node, block, &sharers)
+                    } else {
+                        Vec::new()
+                    };
                     let invalidated = prior.map(|_| targets.len() as u32);
                     self.conform(
                         DirState::Valid,
                         DirEvent::LocalStore,
                         Observed {
-                            next: DirState::Invalid,
-                            added_sharer: false,
+                            next: row.next,
+                            added_sharer: row.has(Action::AddSharer),
                             prior_sharers: prior,
                             sender_was_sharer: false,
                             invalidated,
@@ -2237,28 +2300,31 @@ impl<'t> Sim<'t> {
                     }
                 }
                 None => {
-                    // I + Local St is a no-op.
+                    let row = self.dir_row(DirState::Invalid, DirEvent::LocalStore);
                     self.conform(
                         DirState::Invalid,
                         DirEvent::LocalStore,
-                        Observed::quiet(DirState::Invalid),
+                        Observed::quiet(row.next),
                     );
                 }
             }
             return;
         }
-        // Table I: remote St -> add s, inv other sharers (stay V; allocate
-        // from I). A precise entry names the others exactly — even when
-        // this very insert overflows the cap, because the pre-insert set
-        // was still precise. An already-degraded entry falls back to the
+        // Spec: (I|V, RemoteStore) -> [AddSharer, InvOtherSharers] -> V.
+        // A precise entry names the others exactly — even when this very
+        // insert overflows the cap, because the pre-insert set was still
+        // precise. An already-degraded entry falls back to the
         // conservative broadcast list.
         let cap = self.cfg.dir.max_sharers;
         let prev = self.gpms[node.index()].dir.state_of(block);
+        let row = self.dir_row(prev, DirEvent::RemoteStore);
         let (others, prior, sender_was, newly_broadcast, evicted) = {
             let (set, evicted) = self.gpms[node.index()].dir.allocate(block);
             let prior = (!set.is_broadcast()).then(|| set.len());
             let sender_was = set.contains(&topo, sharer);
-            let others: Option<Vec<Sharer>> = if set.is_broadcast() {
+            let others: Option<Vec<Sharer>> = if !row.has(Action::InvOtherSharers) {
+                Some(Vec::new())
+            } else if set.is_broadcast() {
                 None
             } else {
                 Some(
@@ -2268,15 +2334,19 @@ impl<'t> Sim<'t> {
                         .collect(),
                 )
             };
-            let (_, newly_broadcast) = set.insert_capped(&topo, sharer, cap);
+            let newly_broadcast = if row.has(Action::AddSharer) {
+                set.insert_capped(&topo, sharer, cap).1
+            } else {
+                false
+            };
             (others, prior, sender_was, newly_broadcast, evicted)
         };
         self.conform(
             prev,
             DirEvent::RemoteStore,
             Observed {
-                next: DirState::Valid,
-                added_sharer: true,
+                next: row.next,
+                added_sharer: row.has(Action::AddSharer),
                 prior_sharers: prior,
                 sender_was_sharer: sender_was,
                 invalidated: others.as_ref().map(|o| o.len() as u32),
@@ -2311,15 +2381,24 @@ impl<'t> Sim<'t> {
         block: BlockAddr,
         sharers: hmg_mem::SharerSet,
     ) {
-        // Table I: V + Replace Dir Entry -> inv all sharers, -> I.
+        // Spec: (V, Replace) -> [InvAllSharers, RemoveAllSharers,
+        // Writeback] -> I. The removal already happened at the caller
+        // (the directory's `allocate` evicted the victim entry); the
+        // Writeback action is a no-op under the evaluated write-through
+        // policy — dirty copies flush at the invalidated caches.
+        let row = self.dir_row(DirState::Valid, DirEvent::Replace);
         let prior = (!sharers.is_broadcast()).then(|| sharers.len());
-        let targets = self.inv_targets(node, block, &sharers);
+        let targets = if row.has(Action::InvAllSharers) {
+            self.inv_targets(node, block, &sharers)
+        } else {
+            Vec::new()
+        };
         self.conform(
             DirState::Valid,
             DirEvent::Replace,
             Observed {
-                next: DirState::Invalid,
-                added_sharer: false,
+                next: row.next,
+                added_sharer: row.has(Action::AddSharer),
                 prior_sharers: prior,
                 sender_was_sharer: false,
                 invalidated: prior.map(|_| targets.len() as u32),
@@ -2336,7 +2415,7 @@ impl<'t> Sim<'t> {
     /// that its observed effect matches the static Table I. Release
     /// builds count the mismatch instead of aborting.
     fn conform(&mut self, state: DirState, event: DirEvent, obs: Observed) {
-        let hmg = self.cfg.protocol == ProtocolKind::Hmg;
+        let hmg = self.spec().variant.hmg();
         if let Err(why) = self.m.table.observe(state, event, hmg, obs) {
             debug_assert!(false, "directory conformance violation: {why}");
             let _ = why;
@@ -2478,24 +2557,33 @@ impl<'t> Sim<'t> {
             InvCause::Store => self.m.lines_invalidated_by_stores += removed,
             InvCause::Eviction => self.m.lines_invalidated_by_evictions += removed,
         }
-        // HMG: a GPU home node forwards system-home invalidations to its
-        // tracked GPM sharers (the extra Table I transition). The
-        // `skip-hier-fwd` fault plan deliberately omits the forward — the
-        // injected protocol bug the coherence checker must catch.
+        // Hierarchical forward: a GPU home node receiving a system-home
+        // invalidation executes the spec's `Invalidation` column —
+        // (V, Invalidation) -> [ForwardInv, RemoveAllSharers] -> I.
+        // The column only exists in HMG variants, so its legality *is*
+        // the protocol test. The `skip-hier-fwd` fault plan deliberately
+        // omits the forward — the injected protocol bug the coherence
+        // checker must catch.
         if inv.from_sys
-            && self.cfg.protocol == ProtocolKind::Hmg
+            && self.spec().legal(DirState::Valid, DirEvent::Invalidation)
             && !self.cfg.faults.skip_hier_inv_forward
         {
             match self.gpms[inv.target.index()].dir.remove(inv.block) {
                 Some(sharers) => {
+                    let row = self.dir_row(DirState::Valid, DirEvent::Invalidation);
+                    debug_assert!(row.has(Action::RemoveAllSharers));
                     let prior = (!sharers.is_broadcast()).then(|| sharers.len());
-                    let targets = self.inv_targets(inv.target, inv.block, &sharers);
+                    let targets = if row.has(Action::ForwardInv) {
+                        self.inv_targets(inv.target, inv.block, &sharers)
+                    } else {
+                        Vec::new()
+                    };
                     self.conform(
                         DirState::Valid,
                         DirEvent::Invalidation,
                         Observed {
-                            next: DirState::Invalid,
-                            added_sharer: false,
+                            next: row.next,
+                            added_sharer: row.has(Action::AddSharer),
                             prior_sharers: prior,
                             sender_was_sharer: false,
                             invalidated: prior.map(|_| targets.len() as u32),
@@ -2514,11 +2602,12 @@ impl<'t> Sim<'t> {
                     }
                 }
                 None => {
-                    // I + Invalidation: nothing tracked below, -> I.
+                    // (I, Invalidation): nothing tracked below, -> I.
+                    let row = self.dir_row(DirState::Invalid, DirEvent::Invalidation);
                     self.conform(
                         DirState::Invalid,
                         DirEvent::Invalidation,
-                        Observed::quiet(DirState::Invalid),
+                        Observed::quiet(row.next),
                     );
                 }
             }
@@ -4710,6 +4799,37 @@ mod tests {
         assert_eq!(
             m.state_digest, base.state_digest,
             "NACK/retry must converge to the same memory state"
+        );
+    }
+
+    #[test]
+    fn phase_priority_arbitration_defers_without_nack_traffic() {
+        // Same burst shape as `nack_flow_control_rejects_and_recovers`,
+        // but with phase-priority arbitration the busy home holds and
+        // replays requests instead of NACKing them: zero NACK messages,
+        // same retired work, same final memory state.
+        let line_b = 128u64;
+        let homing: Vec<TraceOp> = (0..32u64).map(|i| ld(i * line_b)).collect();
+        let burst: Vec<TraceOp> = (0..32u64).map(|i| ld(i * line_b)).collect();
+        let trace = WorkloadTrace::new(
+            "phase",
+            vec![
+                kernel_per_gpm(vec![homing]),
+                kernel_per_gpm(vec![vec![], burst.clone(), burst.clone(), burst]),
+            ],
+        );
+        let base = run(ProtocolKind::Hmg, &trace);
+        assert_eq!(base.deferred_reqs, 0, "arbitration is idle by default");
+        let mut cfg = EngineConfig::small_test(ProtocolKind::Hmg);
+        cfg.home_nack_threshold = Some(0);
+        cfg.arbitration = hmg_protocol::Arbitration::PhasePriority;
+        let m = Engine::new(cfg).run(&trace);
+        assert!(m.deferred_reqs > 0, "zero threshold must defer bursts");
+        assert_eq!(m.nacks, 0, "phase-priority sends no NACK messages");
+        assert_eq!(m.loads, base.loads, "every deferred load still retires");
+        assert_eq!(
+            m.state_digest, base.state_digest,
+            "deferral must converge to the same memory state"
         );
     }
 

@@ -64,6 +64,9 @@ pub struct RunMetrics {
     /// Requests rejected by a busy directory home and re-issued by the
     /// requester after an exponential backoff (NACK flow control).
     pub nacks: u64,
+    /// Requests a busy directory home held and replayed after a fixed
+    /// quantum instead of NACKing (phase-priority arbitration).
+    pub deferred_reqs: u64,
     /// Directory entries that overflowed the sharer cap and degraded
     /// from precise tracking to conservative broadcast mode.
     pub dir_broadcast_fallbacks: u64,
@@ -239,6 +242,7 @@ impl hmg_sim::SnapshotWrite for RunMetrics {
         w.put_u64(self.writebacks);
         w.put_u64(self.downgrades);
         w.put_u64(self.nacks);
+        w.put_u64(self.deferred_reqs);
         w.put_u64(self.dir_broadcast_fallbacks);
         w.put_u64(self.broadcast_invs);
         self.reconfig.write_snap(w);
@@ -285,6 +289,7 @@ impl hmg_sim::SnapshotRead for RunMetrics {
             writebacks: r.get_u64()?,
             downgrades: r.get_u64()?,
             nacks: r.get_u64()?,
+            deferred_reqs: r.get_u64()?,
             dir_broadcast_fallbacks: r.get_u64()?,
             broadcast_invs: r.get_u64()?,
             reconfig: ReconfigStats::read_snap(r)?,

@@ -1,0 +1,635 @@
+//! Guarded-action protocol specification: Table I as first-class data.
+//!
+//! [`crate::table`] gives Table I as a pure *function*; this module
+//! promotes it to a pure *description*: a flat list of guarded-action
+//! rows `(state, event, guard) → (actions, next_state)` over a small
+//! closed action vocabulary. The rows are `static` data — no allocation,
+//! no I/O — and every other layer derives from them:
+//!
+//! * [`crate::table::try_transition`] compiles the matching row into the
+//!   legacy [`crate::Outcome`] shape (so the engine's conformance
+//!   replay, the audit graph checks, and the check oracle all read the
+//!   same rows);
+//! * the GPU engine's directory paths branch on [`SpecRow::actions`]
+//!   instead of hand-coded per-event match arms;
+//! * `hmg-audit`'s explicit-state model checker enumerates the rows to
+//!   generate its transition relation, so a spec edit is re-proved safe
+//!   (single-writer, conservation, no stuck states) before any cycle is
+//!   simulated.
+//!
+//! Guards model *arbitration* at a busy directory home — the one place
+//! the protocol's behavior is conditional on something other than
+//! `(state, event)`. Two arbitration disciplines exist as spec-only
+//! variants: classic NACK/retry (send a NACK, requester backs off and
+//! re-issues) and phase-priority (defer the request locally and replay
+//! it when the home drains, after Li & An's phase-priority directory
+//! arbitration). Neither touches the directory entry, which is why both
+//! are expressible as guarded rows with `next == state`.
+
+use crate::table::{DirEvent, DirState};
+
+/// Arbitration discipline a directory home applies to requests that
+/// arrive while its ingress port is congested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Arbitration {
+    /// Reject with a NACK message; the requester re-issues after an
+    /// exponential backoff (the PR 7 flow-control behavior).
+    #[default]
+    NackRetry,
+    /// Keep the request at the home and replay it after a fixed
+    /// quantum, in arrival order (phase-priority arbitration). No NACK
+    /// traffic, no requester-side backoff state.
+    PhasePriority,
+}
+
+impl Arbitration {
+    /// Both disciplines, NACK first (the default).
+    pub const ALL: [Arbitration; 2] = [Arbitration::NackRetry, Arbitration::PhasePriority];
+
+    /// Stable lower-case name used by CLI flags and tweak specs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Arbitration::NackRetry => "nack",
+            Arbitration::PhasePriority => "phase",
+        }
+    }
+
+    /// Inverse of [`Arbitration::name`].
+    pub fn from_name(s: &str) -> Option<Arbitration> {
+        Arbitration::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+/// One protocol variant the spec describes: a base protocol (flat NHCC
+/// or hierarchical HMG) crossed with an arbitration discipline.
+///
+/// This is deliberately *not* [`crate::ProtocolKind`]: the fig. 8 matrix
+/// enumerates whole coherence configurations (software schemes, ideal,
+/// etc.), while the spec only describes the two hardware-directory
+/// protocols — arbitration is an orthogonal knob on top of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecVariant {
+    /// Flat NHCC directory, NACK/retry arbitration.
+    Nhcc,
+    /// Hierarchical HMG directory, NACK/retry arbitration.
+    Hmg,
+    /// Flat NHCC directory, phase-priority arbitration.
+    NhccPhase,
+    /// Hierarchical HMG directory, phase-priority arbitration.
+    HmgPhase,
+}
+
+impl SpecVariant {
+    /// Every variant, in audit/report order.
+    pub const ALL: [SpecVariant; 4] = [
+        SpecVariant::Nhcc,
+        SpecVariant::Hmg,
+        SpecVariant::NhccPhase,
+        SpecVariant::HmgPhase,
+    ];
+
+    /// Stable name used by `experiments audit --protocol` and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpecVariant::Nhcc => "nhcc",
+            SpecVariant::Hmg => "hmg",
+            SpecVariant::NhccPhase => "nhcc-phase",
+            SpecVariant::HmgPhase => "hmg-phase",
+        }
+    }
+
+    /// Inverse of [`SpecVariant::name`].
+    pub fn from_name(s: &str) -> Option<SpecVariant> {
+        SpecVariant::ALL.into_iter().find(|v| v.name() == s)
+    }
+
+    /// Whether the variant defines the hierarchical `Invalidation`
+    /// column (GPU home nodes forward system-home invalidations down).
+    pub fn hmg(self) -> bool {
+        matches!(self, SpecVariant::Hmg | SpecVariant::HmgPhase)
+    }
+
+    /// The arbitration discipline of this variant.
+    pub fn arbitration(self) -> Arbitration {
+        match self {
+            SpecVariant::Nhcc | SpecVariant::Hmg => Arbitration::NackRetry,
+            SpecVariant::NhccPhase | SpecVariant::HmgPhase => Arbitration::PhasePriority,
+        }
+    }
+
+    /// The variant describing `(hmg, arbitration)`.
+    pub fn of(hmg: bool, arb: Arbitration) -> SpecVariant {
+        match (hmg, arb) {
+            (false, Arbitration::NackRetry) => SpecVariant::Nhcc,
+            (true, Arbitration::NackRetry) => SpecVariant::Hmg,
+            (false, Arbitration::PhasePriority) => SpecVariant::NhccPhase,
+            (true, Arbitration::PhasePriority) => SpecVariant::HmgPhase,
+        }
+    }
+}
+
+/// Row guard: the condition, beyond `(state, event)`, under which a row
+/// fires. Rows are matched first-to-last, so a `HomeBusy` row shadows
+/// the unconditional row for the same cell when the home is congested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Guard {
+    /// Fires unconditionally.
+    Always,
+    /// Fires only when the home's ingress backlog exceeds the
+    /// flow-control threshold (requests from other nodes only; a home
+    /// never throttles itself).
+    HomeBusy,
+}
+
+/// Evaluation context for [`Guard`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GuardCtx {
+    /// Whether the home node's ingress backlog is over threshold.
+    pub home_busy: bool,
+}
+
+impl GuardCtx {
+    /// The uncongested context: only `Always` rows fire. This is what
+    /// the table adapter and conformance replay use, since they check
+    /// directory *transitions* (arbitration rows never transition).
+    pub const FREE: GuardCtx = GuardCtx { home_busy: false };
+
+    /// The congested context: `HomeBusy` rows shadow their cells.
+    pub const BUSY: GuardCtx = GuardCtx { home_busy: true };
+}
+
+impl Guard {
+    /// Whether the guard holds in `ctx`.
+    pub fn eval(self, ctx: GuardCtx) -> bool {
+        match self {
+            Guard::Always => true,
+            Guard::HomeBusy => ctx.home_busy,
+        }
+    }
+}
+
+/// The closed action vocabulary. Everything a directory home can do is
+/// one of these; there is deliberately no "wait for ack" action — the
+/// type system itself encodes the paper's ack-free, two-stable-state
+/// claim (Section III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Record the request sender as a sharer of the entry.
+    AddSharer,
+    /// Drop every tracked sharer (entry deallocation).
+    RemoveAllSharers,
+    /// Send an invalidation to every tracked sharer.
+    InvAllSharers,
+    /// Send an invalidation to every tracked sharer except the sender.
+    InvOtherSharers,
+    /// HMG only: forward a system-home invalidation to every local
+    /// (GPM-level) sharer tracked by a GPU home node.
+    ForwardInv,
+    /// Flush any dirty local copy to memory (write-back policy only;
+    /// a write-through configuration has nothing to flush).
+    Writeback,
+    /// Reject the request with a NACK message; the requester re-issues
+    /// after exponential backoff.
+    Nack,
+    /// Hold the request at the home and replay it after a fixed quantum
+    /// (phase-priority arbitration).
+    Defer,
+}
+
+/// One guarded-action row: when `event` hits an entry in `state` and
+/// `guard` holds, perform `actions` and move to `next`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpecRow {
+    /// Stable state the entry is in.
+    pub state: DirState,
+    /// Event observed.
+    pub event: DirEvent,
+    /// Condition beyond `(state, event)`.
+    pub guard: Guard,
+    /// Actions to perform, in order.
+    pub actions: &'static [Action],
+    /// Stable state the entry moves to.
+    pub next: DirState,
+    /// Whether the row exists only under hierarchical (HMG) variants.
+    pub hmg_only: bool,
+    /// Arbitration discipline the row belongs to, or `None` for rows
+    /// shared by every discipline.
+    pub arbitration: Option<Arbitration>,
+}
+
+impl SpecRow {
+    /// Whether `actions` contains `a`.
+    pub fn has(&self, a: Action) -> bool {
+        self.actions.contains(&a)
+    }
+
+    /// Whether the row belongs to `variant`.
+    pub fn in_variant(&self, variant: SpecVariant) -> bool {
+        (!self.hmg_only || variant.hmg())
+            && self
+                .arbitration
+                .is_none_or(|arb| arb == variant.arbitration())
+    }
+}
+
+/// Shorthand for unconditional rows shared by every arbitration.
+const fn row(
+    state: DirState,
+    event: DirEvent,
+    actions: &'static [Action],
+    next: DirState,
+    hmg_only: bool,
+) -> SpecRow {
+    SpecRow {
+        state,
+        event,
+        guard: Guard::Always,
+        actions,
+        next,
+        hmg_only,
+        arbitration: None,
+    }
+}
+
+/// Guarded arbitration row: remote request at a busy home. Never
+/// touches the entry (`next == state`, no sharer/invalidation action).
+const fn busy_row(
+    state: DirState,
+    event: DirEvent,
+    arb: Arbitration,
+    action: &'static [Action],
+) -> SpecRow {
+    SpecRow {
+        state,
+        event,
+        guard: Guard::HomeBusy,
+        actions: action,
+        next: state,
+        hmg_only: false,
+        arbitration: Some(arb),
+    }
+}
+
+use DirEvent::*;
+use DirState::*;
+
+/// Every row of the spec, across all variants. Guarded (`HomeBusy`)
+/// rows come first so first-match lookup gives them precedence; the
+/// unconditional rows then transcribe Table I cell by cell. Cells
+/// absent from this list — `(Invalid, Replace)` everywhere, and the
+/// `Invalidation` column outside HMG — are *undefined*: reaching them
+/// is a protocol bug, which is exactly what the audit layers check.
+pub static ROWS: &[SpecRow] = &[
+    // Arbitration at a congested home: only remote requests are
+    // throttled (a home never NACKs or defers its own accesses).
+    busy_row(Invalid, RemoteLoad, Arbitration::NackRetry, &[Action::Nack]),
+    busy_row(
+        Invalid,
+        RemoteStore,
+        Arbitration::NackRetry,
+        &[Action::Nack],
+    ),
+    busy_row(Valid, RemoteLoad, Arbitration::NackRetry, &[Action::Nack]),
+    busy_row(Valid, RemoteStore, Arbitration::NackRetry, &[Action::Nack]),
+    busy_row(
+        Invalid,
+        RemoteLoad,
+        Arbitration::PhasePriority,
+        &[Action::Defer],
+    ),
+    busy_row(
+        Invalid,
+        RemoteStore,
+        Arbitration::PhasePriority,
+        &[Action::Defer],
+    ),
+    busy_row(
+        Valid,
+        RemoteLoad,
+        Arbitration::PhasePriority,
+        &[Action::Defer],
+    ),
+    busy_row(
+        Valid,
+        RemoteStore,
+        Arbitration::PhasePriority,
+        &[Action::Defer],
+    ),
+    // Table I, row I (entry absent).
+    row(Invalid, LocalLoad, &[], Invalid, false),
+    row(Invalid, LocalStore, &[], Invalid, false),
+    row(Invalid, RemoteLoad, &[Action::AddSharer], Valid, false),
+    row(Invalid, RemoteStore, &[Action::AddSharer], Valid, false),
+    row(Invalid, Invalidation, &[], Invalid, true),
+    // Table I, row V (entry present, sharer list meaningful).
+    row(Valid, LocalLoad, &[], Valid, false),
+    row(
+        Valid,
+        LocalStore,
+        &[Action::InvAllSharers, Action::RemoveAllSharers],
+        Invalid,
+        false,
+    ),
+    row(Valid, RemoteLoad, &[Action::AddSharer], Valid, false),
+    row(
+        Valid,
+        RemoteStore,
+        &[Action::AddSharer, Action::InvOtherSharers],
+        Valid,
+        false,
+    ),
+    row(
+        Valid,
+        Replace,
+        &[
+            Action::InvAllSharers,
+            Action::RemoveAllSharers,
+            Action::Writeback,
+        ],
+        Invalid,
+        false,
+    ),
+    row(
+        Valid,
+        Invalidation,
+        &[Action::ForwardInv, Action::RemoveAllSharers],
+        Invalid,
+        true,
+    ),
+];
+
+/// A protocol variant's view of the spec: the rows of [`ROWS`] that
+/// belong to the variant, with first-match guarded lookup.
+///
+/// `Copy` and allocation-free: a `ProtocolSpec` is just the variant tag
+/// plus an optional injected mutation, so it can sit on hot paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolSpec {
+    /// The variant this view selects.
+    pub variant: SpecVariant,
+    /// Audit-injection hook: when set, the `(Valid, Invalidation)` row
+    /// loses its `ForwardInv` action — the seeded model-checker
+    /// violation (`spec-drop-forward`). Never set outside audits.
+    drop_forward: bool,
+}
+
+/// The `(Valid, Invalidation)` row with `ForwardInv` removed, substituted
+/// by [`ProtocolSpec::with_forward_dropped`] views.
+static BROKEN_FORWARD_ROW: SpecRow = row(
+    Valid,
+    Invalidation,
+    &[Action::RemoveAllSharers],
+    Invalid,
+    true,
+);
+
+impl ProtocolSpec {
+    /// The spec restricted to `variant`.
+    pub fn for_variant(variant: SpecVariant) -> ProtocolSpec {
+        ProtocolSpec {
+            variant,
+            drop_forward: false,
+        }
+    }
+
+    /// Convenience: the variant for `(hmg, arbitration)`.
+    pub fn of(hmg: bool, arb: Arbitration) -> ProtocolSpec {
+        ProtocolSpec::for_variant(SpecVariant::of(hmg, arb))
+    }
+
+    /// A deliberately broken copy of the spec: the HMG inv-forward
+    /// action is dropped from `(Valid, Invalidation)`. Used by the
+    /// `spec-drop-forward` audit injection to prove the model checker
+    /// actually catches real protocol bugs.
+    pub fn with_forward_dropped(self) -> ProtocolSpec {
+        ProtocolSpec {
+            drop_forward: true,
+            ..self
+        }
+    }
+
+    /// Resolves one row through the injection hook.
+    fn resolve(self, r: &'static SpecRow) -> &'static SpecRow {
+        if self.drop_forward && (r.state, r.event, r.guard) == (Valid, Invalidation, Guard::Always)
+        {
+            &BROKEN_FORWARD_ROW
+        } else {
+            r
+        }
+    }
+
+    /// First row of the variant matching `(state, event)` whose guard
+    /// holds in `ctx`, or `None` when the spec leaves the cell
+    /// undefined.
+    pub fn row(self, state: DirState, event: DirEvent, ctx: GuardCtx) -> Option<&'static SpecRow> {
+        ROWS.iter()
+            .find(|r| {
+                r.in_variant(self.variant)
+                    && r.state == state
+                    && r.event == event
+                    && r.guard.eval(ctx)
+            })
+            .map(|r| self.resolve(r))
+    }
+
+    /// Whether `(state, event)` has any row in this variant (under any
+    /// guard): the cell is *legal*, i.e. reaching it is not a bug.
+    pub fn legal(self, state: DirState, event: DirEvent) -> bool {
+        ROWS.iter()
+            .any(|r| r.in_variant(self.variant) && r.state == state && r.event == event)
+    }
+
+    /// All `(state, event)` cells that are legal in this variant, in
+    /// dense [`crate::row_index`] order. This is the set conformance
+    /// coverage and the check oracle consider "must be reachable".
+    pub fn legal_rows(self) -> Vec<(DirState, DirEvent)> {
+        (0..crate::table::NUM_ROWS)
+            .map(crate::table::row_of)
+            .filter(|&(s, e)| self.legal(s, e))
+            .collect()
+    }
+
+    /// Every row of this variant, in spec order (guarded rows first).
+    pub fn rows(self) -> impl Iterator<Item = &'static SpecRow> {
+        let v = self.variant;
+        ROWS.iter()
+            .filter(move |r| r.in_variant(v))
+            .map(move |r| self.resolve(r))
+    }
+}
+
+/// Compiles the unconditional row for `(state, event)` into the legacy
+/// [`crate::Outcome`] shape. This is what [`crate::try_transition`]
+/// calls: the function form of Table I is now a *view* of the spec, so
+/// the engine's conformance replay, the audit graph checks, and the
+/// check oracle all answer from the same rows.
+pub fn outcome_of(state: DirState, event: DirEvent, hmg: bool) -> Option<crate::Outcome> {
+    let spec = ProtocolSpec::of(hmg, Arbitration::NackRetry);
+    let r = spec.row(state, event, GuardCtx::FREE)?;
+    Some(crate::Outcome {
+        next: r.next,
+        add_sharer: r.has(Action::AddSharer),
+        inv_all_sharers: r.has(Action::InvAllSharers) || r.has(Action::ForwardInv),
+        inv_other_sharers: r.has(Action::InvOtherSharers),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_names_round_trip() {
+        for v in SpecVariant::ALL {
+            assert_eq!(SpecVariant::from_name(v.name()), Some(v));
+            assert_eq!(SpecVariant::of(v.hmg(), v.arbitration()), v);
+        }
+        for a in Arbitration::ALL {
+            assert_eq!(Arbitration::from_name(a.name()), Some(a));
+        }
+        assert_eq!(SpecVariant::from_name("carve"), None);
+        assert_eq!(Arbitration::from_name("defer"), None);
+    }
+
+    #[test]
+    fn guarded_rows_shadow_only_when_busy() {
+        for v in SpecVariant::ALL {
+            let spec = ProtocolSpec::for_variant(v);
+            let free = spec.row(Valid, RemoteStore, GuardCtx::FREE).unwrap();
+            assert_eq!(free.guard, Guard::Always);
+            assert!(free.has(Action::AddSharer));
+            let busy = spec.row(Valid, RemoteStore, GuardCtx::BUSY).unwrap();
+            assert_eq!(busy.guard, Guard::HomeBusy);
+            assert_eq!(busy.next, Valid, "arbitration never transitions");
+            match v.arbitration() {
+                Arbitration::NackRetry => assert!(busy.has(Action::Nack)),
+                Arbitration::PhasePriority => assert!(busy.has(Action::Defer)),
+            }
+        }
+    }
+
+    #[test]
+    fn local_and_replace_cells_are_never_throttled() {
+        let spec = ProtocolSpec::for_variant(SpecVariant::HmgPhase);
+        for (s, e) in [
+            (Invalid, LocalLoad),
+            (Valid, LocalStore),
+            (Valid, Replace),
+            (Valid, Invalidation),
+        ] {
+            let r = spec.row(s, e, GuardCtx::BUSY).unwrap();
+            assert_eq!(r.guard, Guard::Always, "{s:?}/{e:?}");
+        }
+    }
+
+    #[test]
+    fn legality_is_guard_independent_and_matches_the_table() {
+        for v in SpecVariant::ALL {
+            let spec = ProtocolSpec::for_variant(v);
+            for s in DirState::ALL {
+                for e in DirEvent::ALL {
+                    assert_eq!(
+                        spec.legal(s, e),
+                        crate::try_transition(s, e, v.hmg()).is_some(),
+                        "{s:?}/{e:?} {v:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn legal_rows_counts_match_the_variants() {
+        // 9 legal cells flat, 11 under HMG (the Invalidation column).
+        assert_eq!(
+            ProtocolSpec::for_variant(SpecVariant::Nhcc)
+                .legal_rows()
+                .len(),
+            9
+        );
+        assert_eq!(
+            ProtocolSpec::for_variant(SpecVariant::Hmg)
+                .legal_rows()
+                .len(),
+            11
+        );
+        // Arbitration adds guarded rows to existing cells, never new cells.
+        assert_eq!(
+            ProtocolSpec::for_variant(SpecVariant::Nhcc).legal_rows(),
+            ProtocolSpec::for_variant(SpecVariant::NhccPhase).legal_rows()
+        );
+        assert_eq!(
+            ProtocolSpec::for_variant(SpecVariant::Hmg).legal_rows(),
+            ProtocolSpec::for_variant(SpecVariant::HmgPhase).legal_rows()
+        );
+    }
+
+    #[test]
+    fn rows_iterator_respects_variant_membership() {
+        let nhcc: Vec<_> = ProtocolSpec::for_variant(SpecVariant::Nhcc)
+            .rows()
+            .collect();
+        assert!(nhcc.iter().all(|r| !r.hmg_only));
+        assert!(nhcc.iter().all(|r| !r.has(Action::Defer)));
+        let hmg_phase: Vec<_> = ProtocolSpec::for_variant(SpecVariant::HmgPhase)
+            .rows()
+            .collect();
+        assert!(hmg_phase.iter().any(|r| r.has(Action::ForwardInv)));
+        assert!(hmg_phase.iter().any(|r| r.has(Action::Defer)));
+        assert!(hmg_phase.iter().all(|r| !r.has(Action::Nack)));
+    }
+
+    #[test]
+    fn dropped_forward_injection_only_affects_the_one_row() {
+        let spec = ProtocolSpec::for_variant(SpecVariant::Hmg).with_forward_dropped();
+        let r = spec.row(Valid, Invalidation, GuardCtx::FREE).unwrap();
+        assert!(!r.has(Action::ForwardInv), "forward must be gone");
+        assert!(r.has(Action::RemoveAllSharers), "deallocation survives");
+        let clean = ProtocolSpec::for_variant(SpecVariant::Hmg);
+        for s in DirState::ALL {
+            for e in DirEvent::ALL {
+                if (s, e) == (Valid, Invalidation) {
+                    continue;
+                }
+                assert_eq!(
+                    spec.row(s, e, GuardCtx::FREE),
+                    clean.row(s, e, GuardCtx::FREE),
+                    "{s:?}/{e:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_row_carries_a_wait_or_ack() {
+        // The vocabulary simply has no ack/wait action; document the
+        // closed set so adding one is a conscious, reviewed act.
+        for r in ROWS {
+            for a in r.actions {
+                assert!(matches!(
+                    a,
+                    Action::AddSharer
+                        | Action::RemoveAllSharers
+                        | Action::InvAllSharers
+                        | Action::InvOtherSharers
+                        | Action::ForwardInv
+                        | Action::Writeback
+                        | Action::Nack
+                        | Action::Defer
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn deallocating_rows_always_remove_their_sharers() {
+        // Any unconditional row that ends Invalid from Valid must drop
+        // its sharers — a Valid→Invalid transition that leaks tracked
+        // sharers would desynchronize the directory occupancy.
+        for r in ROWS {
+            if r.guard == Guard::Always && r.state == Valid && r.next == Invalid {
+                assert!(r.has(Action::RemoveAllSharers), "{r:?}");
+            }
+        }
+    }
+}

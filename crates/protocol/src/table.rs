@@ -163,55 +163,15 @@ pub fn transition(state: DirState, event: DirEvent, hmg: bool) -> Outcome {
 /// `(Invalid, Replace)` under either variant, and the whole
 /// `Invalidation` column under flat NHCC (`hmg == false`).
 ///
-/// This is the single source of truth for the table; both the runtime
-/// engine (via [`transition`]) and the static verifier in `crates/audit`
-/// consume it, so a table edit is automatically re-proved complete,
-/// conservative, and ack-free on the next `hmg-audit` run.
+/// Since PR 10 this is a *view*, not the source: the table lives as
+/// guarded-action rows in [`crate::spec`], and this function compiles
+/// the matching unconditional row into the legacy [`Outcome`] shape.
+/// The runtime engine, the conformance replay, and the static verifier
+/// in `crates/audit` all consume it, so a spec edit is automatically
+/// re-proved complete, conservative, ack-free — and, via the model
+/// checker, coherent — on the next `hmg-audit` run.
 pub fn try_transition(state: DirState, event: DirEvent, hmg: bool) -> Option<Outcome> {
-    use DirEvent::*;
-    use DirState::*;
-    match (state, event) {
-        (Invalid, LocalLoad) | (Invalid, LocalStore) => Some(Outcome::quiet(Invalid)),
-        (Invalid, RemoteLoad) | (Invalid, RemoteStore) => Some(Outcome {
-            next: Valid,
-            add_sharer: true,
-            inv_all_sharers: false,
-            inv_other_sharers: false,
-        }),
-        (Invalid, Replace) => None,
-        (Invalid, Invalidation) => hmg.then_some(Outcome::quiet(Invalid)),
-        (Valid, LocalLoad) => Some(Outcome::quiet(Valid)),
-        (Valid, LocalStore) => Some(Outcome {
-            next: Invalid,
-            add_sharer: false,
-            inv_all_sharers: true,
-            inv_other_sharers: false,
-        }),
-        (Valid, RemoteLoad) => Some(Outcome {
-            next: Valid,
-            add_sharer: true,
-            inv_all_sharers: false,
-            inv_other_sharers: false,
-        }),
-        (Valid, RemoteStore) => Some(Outcome {
-            next: Valid,
-            add_sharer: true,
-            inv_all_sharers: false,
-            inv_other_sharers: true,
-        }),
-        (Valid, Replace) => Some(Outcome {
-            next: Invalid,
-            add_sharer: false,
-            inv_all_sharers: true,
-            inv_other_sharers: false,
-        }),
-        (Valid, Invalidation) => hmg.then_some(Outcome {
-            next: Invalid,
-            add_sharer: false,
-            inv_all_sharers: true, // "forward inv to all sharers"
-            inv_other_sharers: false,
-        }),
-    }
+    crate::spec::outcome_of(state, event, hmg)
 }
 
 #[cfg(test)]

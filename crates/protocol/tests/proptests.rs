@@ -3,8 +3,9 @@
 //! rather than an external property-testing crate so the workspace
 //! builds offline.
 
-use hmg_protocol::policy::{AcquireAction, CacheLevel, FenceDomain};
-use hmg_protocol::{transition, DirEvent, DirState, ProtocolKind, Scope};
+use hmg_protocol::{
+    transition, AcquireAction, CacheLevel, DirEvent, DirState, FenceDomain, ProtocolKind, Scope,
+};
 use hmg_sim::Rng;
 
 const CASES: u64 = 64;

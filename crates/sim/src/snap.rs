@@ -41,8 +41,9 @@ pub const SNAP_MAGIC: [u8; 8] = *b"HMGSNAP1";
 
 /// Current snapshot format version. Bumped on any layout change; a
 /// mismatch is refused with [`SnapError::Version`] rather than decoded
-/// on a guess.
-pub const SNAP_VERSION: u32 = 1;
+/// on a guess. v2: `RunMetrics` gained `deferred_reqs` (phase-priority
+/// directory arbitration).
+pub const SNAP_VERSION: u32 = 2;
 
 /// FNV-1a 64-bit hash, the per-section integrity checksum.
 ///
